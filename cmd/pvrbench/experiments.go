@@ -1,0 +1,472 @@
+package main
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"fmt"
+	mrand "math/rand"
+	"net/netip"
+	"time"
+
+	"pvr/internal/aspath"
+	"pvr/internal/core"
+	"pvr/internal/merkle"
+	"pvr/internal/netsim"
+	"pvr/internal/prefix"
+	"pvr/internal/rfg"
+	"pvr/internal/ringsig"
+	"pvr/internal/route"
+	"pvr/internal/sigs"
+	"pvr/internal/smc"
+	"pvr/internal/topology"
+	"pvr/internal/zkp"
+)
+
+func header(id, title string) {
+	fmt.Printf("== %s — %s ==\n", id, title)
+}
+
+// timeIt runs fn n times and returns the mean duration.
+func timeIt(n int, fn func() error) (time.Duration, error) {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := fn(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(n), nil
+}
+
+// --- shared mini-PKI ---
+
+type pki struct {
+	reg     *sigs.Registry
+	signers map[aspath.ASN]sigs.Signer
+	pfx     prefix.Prefix
+}
+
+func newPKI(n int) (*pki, error) {
+	p := &pki{
+		reg:     sigs.NewRegistry(),
+		signers: map[aspath.ASN]sigs.Signer{},
+		pfx:     prefix.MustParse("203.0.113.0/24"),
+	}
+	for asn := aspath.ASN(100); asn < aspath.ASN(100+n); asn++ {
+		s, err := sigs.GenerateEd25519()
+		if err != nil {
+			return nil, err
+		}
+		p.signers[asn] = s
+		p.reg.Register(asn, s.Public())
+	}
+	return p, nil
+}
+
+func (p *pki) announce(from aspath.ASN, epoch uint64, length int) (core.Announcement, error) {
+	asns := make([]aspath.ASN, length)
+	asns[0] = from
+	for i := 1; i < length; i++ {
+		asns[i] = aspath.ASN(65000 + i)
+	}
+	r := route.Route{
+		Prefix:  p.pfx,
+		Path:    aspath.New(asns...),
+		NextHop: netip.AddrFrom4([4]byte{10, 0, 0, 1}),
+	}
+	return core.NewAnnouncement(p.signers[from], from, 100, epoch, r)
+}
+
+// minEpoch runs one full §3.3 epoch for k providers, returning disclosure
+// sizes for the table.
+func (p *pki) minEpoch(k, maxLen int, epoch uint64) (provBytes, promBytes int, err error) {
+	prover, err := core.NewProver(100, p.signers[100], p.reg, maxLen)
+	if err != nil {
+		return 0, 0, err
+	}
+	prover.BeginEpoch(epoch, p.pfx)
+	anns := make([]core.Announcement, k)
+	for i := 0; i < k; i++ {
+		anns[i], err = p.announce(aspath.ASN(101+i), epoch, 1+(i%maxLen))
+		if err != nil {
+			return 0, 0, err
+		}
+		if _, err := prover.AcceptAnnouncement(anns[i]); err != nil {
+			return 0, 0, err
+		}
+	}
+	mc, err := prover.CommitMin()
+	if err != nil {
+		return 0, 0, err
+	}
+	for i := 0; i < k; i++ {
+		v, err := prover.DiscloseToProvider(aspath.ASN(101 + i))
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := core.VerifyProviderView(p.reg, v, anns[i]); err != nil {
+			return 0, 0, err
+		}
+		ob, _ := v.Opening.MarshalBinary()
+		provBytes = len(ob)
+	}
+	pv, err := prover.DiscloseToPromisee(199)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := core.VerifyPromiseeView(p.reg, pv); err != nil {
+		return 0, 0, err
+	}
+	for _, op := range pv.Openings {
+		ob, _ := op.MarshalBinary()
+		promBytes += len(ob)
+	}
+	promBytes += len(mc.Commitments) * 32
+	return provBytes, promBytes, nil
+}
+
+// E1 — Fig. 1: full minimum-operator protocol vs provider count.
+func runFig1(seed int64) error {
+	header("E1 (Fig. 1)", "minimum-operator protocol, one epoch, all parties verify")
+	pk, err := newPKI(100)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%6s %12s %16s %16s\n", "k", "epoch time", "Ni view bytes", "B view bytes")
+	epoch := uint64(1)
+	for _, k := range []int{2, 5, 10, 20, 50} {
+		var pb, bb int
+		d, err := timeIt(20, func() error {
+			epoch++
+			var err error
+			pb, bb, err = pk.minEpoch(k, 32, epoch)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%6d %12s %16d %16d\n", k, d.Round(time.Microsecond), pb, bb)
+	}
+	return nil
+}
+
+// E2 — Fig. 2: graph commitment and selective disclosure.
+func runFig2(seed int64) error {
+	header("E2 (Fig. 2)", "route-flow graph commit + disclose + verify")
+	pk, err := newPKI(100)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%6s %10s %12s %14s %14s\n", "k", "vertices", "commit time", "disclose time", "proof bytes")
+	for _, k := range []int{3, 5, 10, 20} {
+		g, ins, outVar, err := rfg.Fig2(k)
+		if err != nil {
+			return err
+		}
+		access := rfg.NewAccess()
+		access.AllowAll(199, outVar.Label())
+		a1, err := pk.announce(101, 1, 4)
+		if err != nil {
+			return err
+		}
+		a2, err := pk.announce(102, 1, 2)
+		if err != nil {
+			return err
+		}
+		inputs := map[rfg.VarID][]route.Route{ins[0]: {a1.Route}, ins[1]: {a2.Route}}
+
+		var gc *core.GraphCommitment
+		var gp *core.GraphProver
+		epoch := uint64(0)
+		commitD, err := timeIt(10, func() error {
+			epoch++
+			gp = core.NewGraphProver(100, pk.signers[100], g, access)
+			var err error
+			gc, err = gp.Commit(epoch, inputs)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		var proofBytes int
+		discD, err := timeIt(10, func() error {
+			d, err := gp.Disclose(199, outVar.Label())
+			if err != nil {
+				return err
+			}
+			if _, err := core.VerifyVertexDisclosure(pk.reg, gc, d); err != nil {
+				return err
+			}
+			pb, _ := d.Proof.MarshalBinary()
+			proofBytes = len(pb)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%6d %10d %12s %14s %14d\n",
+			k, len(g.Vars())+len(g.Ops()), commitD.Round(time.Microsecond),
+			discD.Round(time.Microsecond), proofBytes)
+	}
+	return nil
+}
+
+// E3 — SMC strawman vs PVR on the same minimum task.
+func runSMC(seed int64) error {
+	header("E3 (§3.1)", "SMC strawman vs PVR (same minimum task)")
+	pk, err := newPKI(100)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%6s %14s %16s %18s %12s\n", "k", "PVR epoch", "live SMC", "FairplayMP model", "PVR speedup")
+	epoch := uint64(1000)
+	for _, k := range []int{2, 5, 10} {
+		epoch++
+		pvrD, err := timeIt(10, func() error {
+			epoch++
+			_, _, err := pk.minEpoch(k, 32, epoch)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		parties := make([]*smc.Party, k)
+		for i := range parties {
+			parties[i], err = smc.NewParty(i, 1+i%smc.Domain, 1024)
+			if err != nil {
+				return err
+			}
+		}
+		smcD, err := timeIt(3, func() error {
+			_, _, _, err := smc.SecureMin(parties)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		model := smc.FairplayModelSeconds(k, 1)
+		fmt.Printf("%6d %14s %16s %17.1fs %11.0fx\n",
+			k, pvrD.Round(time.Microsecond), smcD.Round(time.Microsecond),
+			model, model*float64(time.Second)/float64(pvrD))
+	}
+	fmt.Println("  (paper's cited point: FairplayMP ≈ 15 s at 5 players; PVR is msec-scale)")
+	return nil
+}
+
+// E4 — ZKP strawman scaling in policy size.
+func runZKP(seed int64) error {
+	header("E4 (§3.1)", "ZKP strawman: monotone-vector proof vs vector length")
+	fmt.Printf("%6s %12s %12s %12s %14s\n", "K", "prove", "verify", "proof bytes", "PVR openings")
+	for _, k := range []int{8, 16, 32, 64} {
+		bits := make([]bool, k)
+		for i := k / 2; i < k; i++ {
+			bits[i] = true
+		}
+		cs := make([]zkp.Commitment, k)
+		os := make([]zkp.Opening, k)
+		for i, b := range bits {
+			c, o, err := zkp.Commit(b)
+			if err != nil {
+				return err
+			}
+			cs[i], os[i] = c, o
+		}
+		ctx := []byte("pvrbench")
+		var mp *zkp.MonotoneProof
+		proveD, err := timeIt(3, func() error {
+			var err error
+			mp, err = zkp.ProveMonotone(cs, os, k/2+1, ctx)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		verifyD, err := timeIt(3, func() error {
+			return zkp.VerifyMonotone(cs, mp, ctx)
+		})
+		if err != nil {
+			return err
+		}
+		// PVR reveals K openings (~72 bytes each) instead.
+		fmt.Printf("%6d %12s %12s %12d %14d\n",
+			k, proveD.Round(time.Millisecond), verifyD.Round(time.Millisecond),
+			mp.Size(), k*72)
+	}
+	return nil
+}
+
+// E5 — primitive costs (§3.8).
+func runCrypto(seed int64) error {
+	header("E5 (§3.8)", "primitive costs (paper: RSA-1024 sign ≈ 2 ms on 2011 hardware)")
+	msg := make([]byte, 1024)
+	fmt.Printf("%-24s %12s\n", "primitive", "time/op")
+	hashD, err := timeIt(10000, func() error { sha256.Sum256(msg); return nil })
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-24s %12s\n", "SHA-256 (1 KiB)", hashD)
+	for _, spec := range []struct {
+		name string
+		gen  func() (sigs.Signer, error)
+	}{
+		{"RSA-1024 sign", func() (sigs.Signer, error) { return sigs.GenerateRSA(1024) }},
+		{"RSA-2048 sign", func() (sigs.Signer, error) { return sigs.GenerateRSA(2048) }},
+		{"Ed25519 sign", sigs.GenerateEd25519},
+	} {
+		s, err := spec.gen()
+		if err != nil {
+			return err
+		}
+		d, err := timeIt(50, func() error { _, err := s.Sign(msg); return err })
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-24s %12s\n", spec.name, d.Round(time.Microsecond))
+		sig, err := s.Sign(msg)
+		if err != nil {
+			return err
+		}
+		v, err := timeIt(200, func() error { return s.Public().Verify(msg, sig) })
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-24s %12s\n", spec.name[:len(spec.name)-5]+" verify", v.Round(time.Microsecond))
+	}
+	return nil
+}
+
+// E6 — batch signing amortization (§3.8).
+func runBatch(seed int64) error {
+	header("E6 (§3.8)", "batch signing: per-update cost vs batch size")
+	s, err := sigs.GenerateRSA(1024)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%10s %16s %16s\n", "batch", "per-update", "vs batch=1")
+	var base time.Duration
+	for _, batch := range []int{1, 4, 16, 64, 256, 1024} {
+		msgs := make([][]byte, batch)
+		for i := range msgs {
+			msgs[i] = []byte(fmt.Sprintf("update-%d 203.0.113.0/24", i))
+		}
+		reps := 5
+		total, err := timeIt(reps, func() error {
+			mt, err := merkle.NewBatch(msgs)
+			if err != nil {
+				return err
+			}
+			root := mt.Root()
+			if _, err := s.Sign(root[:]); err != nil {
+				return err
+			}
+			for j := range msgs {
+				if _, err := mt.Prove(j); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		perUpdate := total / time.Duration(batch)
+		if batch == 1 {
+			base = perUpdate
+		}
+		fmt.Printf("%10d %16s %15.1fx\n", batch, perUpdate.Round(time.Microsecond),
+			float64(base)/float64(perUpdate))
+	}
+	return nil
+}
+
+// E7 — the §2.3 property matrix under injected faults.
+func runProperties(seed int64) error {
+	header("E7 (§2.3)", "property matrix: detection/evidence/accuracy under faults")
+	fmt.Printf("%-14s %10s %20s %10s %14s\n", "fault", "detected", "detected by", "guilty", "false accus.")
+	for _, f := range []netsim.Fault{netsim.FaultNone, netsim.FaultSuppress, netsim.FaultWrongExport, netsim.FaultEquivocate} {
+		cfg := netsim.Fig1Config{K: 5, MaxLen: 16, Fault: f, Seed: seed}
+		if f == netsim.FaultWrongExport {
+			cfg.Providers = []int{7, 2, 9, 4, 11}
+		}
+		res, err := netsim.RunFig1(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-14s %10v %-28s %10d %14d\n",
+			f, res.Detected, fmt.Sprintf("%v", res.DetectedBy), res.GuiltyVerdicts, res.FalseAccusations)
+	}
+	fmt.Println("  (confidentiality: honest-run audit in netsim tests — B's bits ≡ export)")
+	return nil
+}
+
+// E8 — plain vs PVR BGP convergence on a tiered topology.
+func runE2E(seed int64) error {
+	header("E8", "plain vs PVR BGP propagation on synthetic tiered topologies")
+	fmt.Printf("%8s %8s %8s %10s %10s %10s %12s\n",
+		"ASes", "mode", "rounds", "messages", "KB", "signs", "crypto time")
+	for _, size := range []struct{ t1, t2, stub int }{{3, 6, 12}, {4, 12, 40}, {5, 20, 100}} {
+		g, err := topology.Tiered(size.t1, size.t2, size.stub, mrand.New(mrand.NewSource(seed)))
+		if err != nil {
+			return err
+		}
+		origin := g.Nodes()[len(g.Nodes())-1]
+		for _, mode := range []struct {
+			name  string
+			pvr   bool
+			batch int
+		}{{"plain", false, 0}, {"pvr", true, 0}, {"pvr+b16", true, 16}} {
+			res, err := netsim.RunConvergence(netsim.ConvergenceConfig{
+				Graph: g, Origin: origin, Prefixes: 10,
+				PVR: mode.pvr, BatchSize: mode.batch, Seed: seed,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%8d %8s %8d %10d %10d %10d %12s\n",
+				g.Len(), mode.name, res.Rounds, res.Messages, res.Bytes/1024,
+				res.SignOps, res.CryptoTime.Round(time.Microsecond))
+		}
+	}
+	return nil
+}
+
+// E9 — ring signatures (§3.2 link-state variant).
+func runRing(seed int64) error {
+	header("E9 (§3.2)", "ring signatures: \"a route exists\" without identifying the signer")
+	fmt.Printf("%8s %12s %12s %12s\n", "ring", "sign", "verify", "sig bytes")
+	keys := make([]*rsa.PrivateKey, 16)
+	for i := range keys {
+		k, err := rsa.GenerateKey(rand.Reader, 1024)
+		if err != nil {
+			return err
+		}
+		keys[i] = k
+	}
+	msg := []byte("a route exists")
+	for _, n := range []int{2, 4, 8, 16} {
+		pubs := make([]*rsa.PublicKey, n)
+		for i := 0; i < n; i++ {
+			pubs[i] = &keys[i].PublicKey
+		}
+		ring, err := ringsig.NewRing(pubs)
+		if err != nil {
+			return err
+		}
+		var sig *ringsig.Signature
+		signD, err := timeIt(10, func() error {
+			var err error
+			sig, err = ring.Sign(msg, keys[0])
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		verifyD, err := timeIt(10, func() error { return ring.Verify(msg, sig) })
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%8d %12s %12s %12d\n",
+			n, signD.Round(time.Microsecond), verifyD.Round(time.Microsecond), ring.SignatureSize())
+	}
+	return nil
+}

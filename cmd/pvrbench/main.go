@@ -1,0 +1,58 @@
+// Command pvrbench regenerates the paper's quantitative claims as tables,
+// one experiment per flag value (see EXPERIMENTS.md for the mapping to
+// sections of the paper):
+//
+//	pvrbench -e all          # everything
+//	pvrbench -e fig1         # E1: §3.3 minimum protocol vs provider count
+//	pvrbench -e fig2         # E2: §3.5–3.7 graph commitment
+//	pvrbench -e smc          # E3: SMC strawman vs PVR
+//	pvrbench -e zkp          # E4: ZKP strawman scaling
+//	pvrbench -e crypto       # E5: §3.8 primitive costs
+//	pvrbench -e batch        # E6: §3.8 batch signing
+//	pvrbench -e properties   # E7: §2.3 property matrix under faults
+//	pvrbench -e e2e          # E8: plain vs PVR BGP convergence
+//	pvrbench -e ring         # E9: §3.2 ring signatures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	exp := flag.String("e", "all", "experiment: all|fig1|fig2|smc|zkp|crypto|batch|properties|e2e|ring")
+	seed := flag.Int64("seed", 1, "random seed for workloads")
+	flag.Parse()
+
+	runners := map[string]func(int64) error{
+		"fig1":       runFig1,
+		"fig2":       runFig2,
+		"smc":        runSMC,
+		"zkp":        runZKP,
+		"crypto":     runCrypto,
+		"batch":      runBatch,
+		"properties": runProperties,
+		"e2e":        runE2E,
+		"ring":       runRing,
+	}
+	order := []string{"fig1", "fig2", "smc", "zkp", "crypto", "batch", "properties", "e2e", "ring"}
+
+	var selected []string
+	if *exp == "all" {
+		selected = order
+	} else {
+		if _, ok := runners[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+		selected = []string{*exp}
+	}
+	for _, name := range selected {
+		if err := runners[name](*seed); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

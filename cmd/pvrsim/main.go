@@ -1,0 +1,135 @@
+// Command pvrsim runs PVR simulations from the command line.
+//
+//	pvrsim fig1 -k 5 -fault suppress        # the paper's Fig. 1 scenario
+//	pvrsim converge -t1 4 -t2 12 -stub 40   # plain vs PVR BGP propagation
+//
+// fig1 builds the star of the paper's Figure 1 (prover A, providers
+// N_1…N_k, promisee B), runs one epoch of the §3.3 minimum-operator
+// protocol with the chosen Byzantine fault, and reports who detected what
+// and how the third-party judge ruled.
+package main
+
+import (
+	"flag"
+	"fmt"
+	mrand "math/rand"
+	"os"
+	"time"
+
+	"pvr/internal/netsim"
+	"pvr/internal/topology"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "fig1":
+		runFig1(os.Args[2:])
+	case "converge":
+		runConverge(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: pvrsim fig1|converge [flags]")
+	os.Exit(2)
+}
+
+func runFig1(args []string) {
+	fs := flag.NewFlagSet("fig1", flag.ExitOnError)
+	k := fs.Int("k", 5, "number of providers N_1..N_k")
+	maxLen := fs.Int("maxlen", 16, "committed bit-vector length K")
+	faultName := fs.String("fault", "none", "fault: none|suppress|wrong-export|equivocate")
+	seed := fs.Int64("seed", 1, "seed for provider route lengths")
+	_ = fs.Parse(args)
+
+	faults := map[string]netsim.Fault{
+		"none":         netsim.FaultNone,
+		"suppress":     netsim.FaultSuppress,
+		"wrong-export": netsim.FaultWrongExport,
+		"equivocate":   netsim.FaultEquivocate,
+	}
+	fault, ok := faults[*faultName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown fault %q\n", *faultName)
+		os.Exit(2)
+	}
+	cfg := netsim.Fig1Config{K: *k, MaxLen: *maxLen, Fault: fault, Seed: *seed}
+	if fault == netsim.FaultWrongExport {
+		// The fault exports the longest input; guarantee it differs from
+		// the shortest so the misbehaviour is real.
+		lengths := make([]int, *k)
+		for i := range lengths {
+			lengths[i] = 2 + (i*3)%(*maxLen-1)
+		}
+		lengths[0] = 1
+		cfg.Providers = lengths
+	}
+	res, err := netsim.RunFig1(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("scenario : Fig. 1 star, k=%d providers, K=%d, fault=%s\n", *k, *maxLen, fault)
+	if res.Exported != nil {
+		fmt.Printf("exported : %s\n", res.Exported)
+	} else {
+		fmt.Printf("exported : (nothing)\n")
+	}
+	fmt.Printf("detected : %v", res.Detected)
+	if res.Detected {
+		fmt.Printf(" by %v", res.DetectedBy)
+	}
+	fmt.Println()
+	fmt.Printf("verdicts : %d guilty, %d false accusations\n", res.GuiltyVerdicts, res.FalseAccusations)
+	fmt.Printf("elapsed  : %s\n", res.Elapsed.Round(time.Microsecond))
+	if fault == netsim.FaultNone && (res.Detected || res.FalseAccusations > 0) {
+		fmt.Fprintln(os.Stderr, "ACCURACY VIOLATION: honest prover flagged")
+		os.Exit(1)
+	}
+	if fault != netsim.FaultNone && !res.Detected {
+		fmt.Fprintln(os.Stderr, "DETECTION FAILURE: fault escaped")
+		os.Exit(1)
+	}
+}
+
+func runConverge(args []string) {
+	fs := flag.NewFlagSet("converge", flag.ExitOnError)
+	t1 := fs.Int("t1", 3, "tier-1 count")
+	t2 := fs.Int("t2", 6, "tier-2 count")
+	stub := fs.Int("stub", 12, "stub count")
+	prefixes := fs.Int("prefixes", 10, "prefixes originated")
+	churn := fs.Int("churn", 0, "churn events after convergence")
+	batch := fs.Int("batch", 0, "PVR signing batch size (0 = per update)")
+	seed := fs.Int64("seed", 1, "topology/trace seed")
+	_ = fs.Parse(args)
+
+	g, err := topology.Tiered(*t1, *t2, *stub, mrand.New(mrand.NewSource(*seed)))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	origin := g.Nodes()[len(g.Nodes())-1]
+	fmt.Printf("topology : %d ASes, %d links; origin %s, %d prefixes\n",
+		g.Len(), g.EdgeCount(), origin, *prefixes)
+	for _, mode := range []struct {
+		name string
+		pvr  bool
+	}{{"plain BGP", false}, {"PVR-enabled", true}} {
+		res, err := netsim.RunConvergence(netsim.ConvergenceConfig{
+			Graph: g, Origin: origin, Prefixes: *prefixes, Churn: *churn,
+			Seed: *seed, PVR: mode.pvr, BatchSize: *batch,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-12s: %d rounds, %d msgs, %d KB, %d signs, %d verifies, crypto %s, routing %s\n",
+			mode.name, res.Rounds, res.Messages, res.Bytes/1024, res.SignOps, res.VerifyOps,
+			res.CryptoTime.Round(time.Microsecond), res.RoutingTime.Round(time.Microsecond))
+	}
+}

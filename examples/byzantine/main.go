@@ -1,0 +1,68 @@
+// Byzantine fault injection: the §2.3 properties demonstrated end to end.
+//
+// The same Fig. 1 scenario runs four times — honest, suppressing,
+// exporting the wrong route, and equivocating — and the output shows who
+// detects each misbehaviour, and that every detection carries evidence a
+// third-party judge convicts on, while the honest run stays clean.
+//
+//	go run ./examples/byzantine
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pvr"
+)
+
+func main() {
+	cases := []struct {
+		fault pvr.Fault
+		story string
+	}{
+		{pvr.FaultNone, "honest A: commits true bits, exports the shortest route"},
+		{pvr.FaultSuppress, "A hides all routes: commits an all-zero vector, exports nothing"},
+		{pvr.FaultWrongExport, "A steers traffic: commits honest bits but exports the longest route"},
+		{pvr.FaultEquivocate, "A lies selectively: honest commitment to providers, zero vector to B"},
+	}
+	for _, c := range cases {
+		cfg := pvr.Fig1Config{K: 4, MaxLen: 16, Fault: c.fault, Seed: 7}
+		if c.fault == pvr.FaultWrongExport {
+			cfg.Providers = []int{6, 2, 9, 4} // distinct lengths: the lie is real
+		}
+		res, err := pvr.RunFig1(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("fault=%-13s %s\n", c.fault, c.story)
+		if res.Exported != nil {
+			fmt.Printf("  B received     : %d-hop route\n", res.Exported.PathLen())
+		} else {
+			fmt.Printf("  B received     : nothing\n")
+		}
+		if res.Detected {
+			fmt.Printf("  detection      : caught by %v\n", res.DetectedBy)
+			fmt.Printf("  evidence       : %d accusation(s) upheld by the judge\n", res.GuiltyVerdicts)
+		} else {
+			fmt.Printf("  detection      : no violation observed\n")
+		}
+		fmt.Printf("  false verdicts : %d\n\n", res.FalseAccusations)
+
+		// Sanity: the four §2.3 properties.
+		switch c.fault {
+		case pvr.FaultNone:
+			if res.Detected || res.FalseAccusations > 0 {
+				log.Fatal("ACCURACY broken: honest prover flagged")
+			}
+		default:
+			if !res.Detected {
+				log.Fatalf("DETECTION broken: %v escaped", c.fault)
+			}
+			if res.GuiltyVerdicts == 0 {
+				log.Fatalf("EVIDENCE broken: %v detected but not convictable", c.fault)
+			}
+		}
+	}
+	fmt.Println("all four PVR properties held: Detection, Evidence, Accuracy (and see")
+	fmt.Println("the netsim tests for the Confidentiality audit of B's disclosed bits)")
+}

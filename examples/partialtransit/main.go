@@ -1,0 +1,123 @@
+// Partial transit: the paper's Figure 2 policy as a route-flow graph.
+//
+// A's promise to B is "I will export some route via N2..N4 unless N1
+// provides a shorter route" — a multi-operator graph (exists over r2..r4
+// feeding a preference operator with r1). The example shows the three
+// §2.2/§3.5 steps a skeptical B performs:
+//
+//  1. statically vet the declared rules against the promise (model check),
+//
+//  2. verify A's Merkle commitment over the evaluated graph, and
+//
+//  3. navigate the disclosed vertices without seeing anything α forbids.
+//
+//     go run ./examples/partialtransit
+package main
+
+import (
+	"fmt"
+	"log"
+	mrand "math/rand"
+	"net/netip"
+
+	"pvr"
+	"pvr/internal/rfg"
+	"pvr/internal/route"
+)
+
+func main() {
+	network := pvr.NewNetwork()
+	a, err := network.AddNode(64500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bASN := pvr.ASN(64510)
+	if _, err := network.AddNode(bASN); err != nil {
+		log.Fatal(err)
+	}
+
+	// The declared rules: Fig. 2 with k = 4 inputs.
+	graph, inputs, outVar, err := rfg.Fig2(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("declared route-flow graph: inputs %v, output %s\n", inputs, outVar)
+
+	// Step 1 — B vets the rules offline: does this graph keep the promise
+	// "export iff any input exists"? And would it satisfy the stronger
+	// "always shortest" promise? (No: that is the point of partial transit.)
+	honest := rfg.ExistsFromSubset{Subset: inputs}
+	if err := rfg.ModelCheck(graph, honest, inputs, outVar, 500, mrand.New(mrand.NewSource(1))); err != nil {
+		log.Fatalf("graph does not implement the agreed promise: %v", err)
+	}
+	fmt.Printf("model check: graph implements %q\n", honest)
+	tooStrong := rfg.ShortestOfSubset{Subset: inputs}
+	if err := rfg.ModelCheck(graph, tooStrong, inputs, outVar, 500, mrand.New(mrand.NewSource(2))); err != nil {
+		fmt.Printf("model check: graph correctly does NOT implement %q\n  (%v)\n", tooStrong, err)
+	}
+
+	// The access policy α: B sees the output and the operators, the edges
+	// of the intermediate variable, and none of the input values.
+	access := rfg.NewAccess()
+	access.AllowAll(bASN, outVar.Label())
+	access.AllowAll(bASN, rfg.OpID("prefer").Label())
+	access.AllowAll(bASN, rfg.OpID("exists").Label())
+	access.Allow(bASN, rfg.VarID("v").Label(), rfg.CompPreds, rfg.CompSuccs)
+
+	// This epoch's inputs: N1 offers 5 hops, N3 offers 3 hops.
+	epochInputs := map[rfg.VarID][]route.Route{
+		inputs[0]: {mkRoute(64501, 5)},
+		inputs[2]: {mkRoute(64503, 3)},
+	}
+
+	// Step 2 — A evaluates and commits; B checks the signed root.
+	gp := a.NewGraphProver(graph, access)
+	gc, err := gp.Commit(1, epochInputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nA committed to the evaluated graph, root %s\n", gc.Root)
+
+	// Step 3 — B navigates from the output, verifying every disclosure.
+	seen, err := pvr.Navigate(network.Registry(), gc, outVar.Label(), func(label string) (*pvr.VertexDisclosure, error) {
+		return gp.Disclose(bASN, label)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("B navigated the disclosed graph:")
+	for label, v := range seen {
+		switch {
+		case v.HasData && len(v.Routes) > 0:
+			fmt.Printf("  %-14s value: %d-hop route via %s\n", label, v.Routes[0].PathLen(), firstHop(v.Routes[0]))
+		case v.HasData && v.OpType != "":
+			fmt.Printf("  %-14s operator: %s (reads %v)\n", label, v.OpType, v.Preds)
+		default:
+			fmt.Printf("  %-14s edges only (data withheld by α): preds %v\n", label, v.Preds)
+		}
+	}
+	for _, in := range inputs {
+		if _, leaked := seen[in.Label()]; leaked {
+			log.Fatalf("confidentiality broken: B saw %s", in.Label())
+		}
+	}
+	fmt.Println("confidentiality held: no input variable was disclosed to B")
+}
+
+func mkRoute(origin pvr.ASN, hops int) route.Route {
+	path := make([]pvr.ASN, hops)
+	path[0] = origin
+	for i := 1; i < hops; i++ {
+		path[i] = pvr.ASN(65000 + i)
+	}
+	return route.Route{
+		Prefix:  pvr.MustParsePrefix("203.0.113.0/24"),
+		Path:    pvr.NewPath(path...),
+		NextHop: netip.MustParseAddr("192.0.2.7"),
+	}
+}
+
+func firstHop(r route.Route) pvr.ASN {
+	f, _ := r.Path.First()
+	return f
+}

@@ -1,0 +1,270 @@
+// Package aspath implements BGP AS_PATH attributes: ordered sequences of
+// autonomous system numbers with AS_SET segments, prepending, loop
+// detection, and a canonical binary encoding.
+//
+// Path length follows RFC 4271 §9.1.2.2: each AS in an AS_SEQUENCE counts 1,
+// and an entire AS_SET counts 1 regardless of its size. PVR's minimum
+// operator (paper §3.3) is defined over this length.
+package aspath
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ASN is a 4-byte autonomous system number (RFC 6793).
+type ASN uint32
+
+// String renders the ASN in the canonical "AS64500" form.
+func (a ASN) String() string { return fmt.Sprintf("AS%d", uint32(a)) }
+
+// SegmentType distinguishes ordered and unordered path segments.
+type SegmentType uint8
+
+// Segment types per RFC 4271.
+const (
+	SeqSegment SegmentType = 2 // AS_SEQUENCE: ordered
+	SetSegment SegmentType = 1 // AS_SET: unordered (from aggregation)
+)
+
+// Segment is one AS_PATH segment.
+type Segment struct {
+	Type SegmentType
+	ASNs []ASN
+}
+
+// Path is a BGP AS_PATH: a sequence of segments, leftmost = most recent hop.
+// The zero value is the empty path (a route originated locally).
+type Path struct {
+	segs []Segment
+}
+
+// Errors returned by path operations and decoding.
+var (
+	ErrBadSegment = errors.New("aspath: malformed segment")
+	ErrTooLong    = errors.New("aspath: path too long")
+)
+
+// MaxLength is the maximum path length accepted by Decode and Prepend; it
+// matches the "maximum AS-path length at A" bound k used by the PVR minimum
+// operator's bit vector in §3.3 of the paper.
+const MaxLength = 64
+
+// New builds a path from a single AS_SEQUENCE, leftmost first.
+func New(asns ...ASN) Path {
+	if len(asns) == 0 {
+		return Path{}
+	}
+	s := make([]ASN, len(asns))
+	copy(s, asns)
+	return Path{segs: []Segment{{Type: SeqSegment, ASNs: s}}}
+}
+
+// FromSegments builds a path from explicit segments, copying its input.
+func FromSegments(segs ...Segment) (Path, error) {
+	out := make([]Segment, 0, len(segs))
+	for _, sg := range segs {
+		if len(sg.ASNs) == 0 {
+			return Path{}, fmt.Errorf("%w: empty segment", ErrBadSegment)
+		}
+		if sg.Type != SeqSegment && sg.Type != SetSegment {
+			return Path{}, fmt.Errorf("%w: type %d", ErrBadSegment, sg.Type)
+		}
+		cp := make([]ASN, len(sg.ASNs))
+		copy(cp, sg.ASNs)
+		if sg.Type == SetSegment {
+			sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+		}
+		out = append(out, Segment{Type: sg.Type, ASNs: cp})
+	}
+	p := Path{segs: out}
+	if p.Length() > MaxLength {
+		return Path{}, ErrTooLong
+	}
+	return p, nil
+}
+
+// Segments returns a copy of the path's segments.
+func (p Path) Segments() []Segment {
+	out := make([]Segment, len(p.segs))
+	for i, sg := range p.segs {
+		cp := make([]ASN, len(sg.ASNs))
+		copy(cp, sg.ASNs)
+		out[i] = Segment{Type: sg.Type, ASNs: cp}
+	}
+	return out
+}
+
+// Length returns the RFC 4271 path length: sequence ASes count individually,
+// each set counts once.
+func (p Path) Length() int {
+	n := 0
+	for _, sg := range p.segs {
+		if sg.Type == SetSegment {
+			n++
+		} else {
+			n += len(sg.ASNs)
+		}
+	}
+	return n
+}
+
+// IsEmpty reports whether the path has no segments (locally originated).
+func (p Path) IsEmpty() bool { return len(p.segs) == 0 }
+
+// First returns the leftmost (most recent) ASN. For a leading AS_SET the
+// smallest member is returned. ok is false for the empty path.
+func (p Path) First() (asn ASN, ok bool) {
+	if len(p.segs) == 0 {
+		return 0, false
+	}
+	return p.segs[0].ASNs[0], true
+}
+
+// Origin returns the rightmost (originating) ASN; ok is false for the empty
+// path.
+func (p Path) Origin() (asn ASN, ok bool) {
+	if len(p.segs) == 0 {
+		return 0, false
+	}
+	last := p.segs[len(p.segs)-1]
+	return last.ASNs[len(last.ASNs)-1], true
+}
+
+// Contains reports whether the ASN appears anywhere in the path; BGP's loop
+// prevention drops routes whose path contains the local AS.
+func (p Path) Contains(a ASN) bool {
+	for _, sg := range p.segs {
+		for _, x := range sg.ASNs {
+			if x == a {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Prepend returns a new path with the ASN prepended n times, the operation a
+// speaker performs when propagating a route (n > 1 models path prepending
+// for traffic engineering).
+func (p Path) Prepend(a ASN, n int) (Path, error) {
+	if n <= 0 {
+		return Path{}, fmt.Errorf("aspath: prepend count %d", n)
+	}
+	if p.Length()+n > MaxLength {
+		return Path{}, ErrTooLong
+	}
+	head := make([]ASN, n)
+	for i := range head {
+		head[i] = a
+	}
+	if len(p.segs) > 0 && p.segs[0].Type == SeqSegment {
+		head = append(head, p.segs[0].ASNs...)
+		segs := append([]Segment{{Type: SeqSegment, ASNs: head}}, p.Segments()[1:]...)
+		return Path{segs: segs}, nil
+	}
+	segs := append([]Segment{{Type: SeqSegment, ASNs: head}}, p.Segments()...)
+	return Path{segs: segs}, nil
+}
+
+// Equal reports structural equality.
+func (p Path) Equal(q Path) bool {
+	if len(p.segs) != len(q.segs) {
+		return false
+	}
+	for i := range p.segs {
+		if p.segs[i].Type != q.segs[i].Type || len(p.segs[i].ASNs) != len(q.segs[i].ASNs) {
+			return false
+		}
+		for j := range p.segs[i].ASNs {
+			if p.segs[i].ASNs[j] != q.segs[i].ASNs[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the path in looking-glass style: "AS1 AS2 {AS3,AS4}".
+func (p Path) String() string {
+	if len(p.segs) == 0 {
+		return "(empty)"
+	}
+	var b strings.Builder
+	for i, sg := range p.segs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if sg.Type == SetSegment {
+			b.WriteByte('{')
+			for j, a := range sg.ASNs {
+				if j > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, "%d", uint32(a))
+			}
+			b.WriteByte('}')
+		} else {
+			for j, a := range sg.ASNs {
+				if j > 0 {
+					b.WriteByte(' ')
+				}
+				fmt.Fprintf(&b, "%d", uint32(a))
+			}
+		}
+	}
+	return b.String()
+}
+
+// MarshalBinary encodes the path as RFC 4271-style segments with 4-byte
+// ASNs: for each segment, type byte, count byte, then ASNs big-endian.
+func (p Path) MarshalBinary() ([]byte, error) {
+	var out []byte
+	for _, sg := range p.segs {
+		if len(sg.ASNs) > 255 {
+			return nil, ErrBadSegment
+		}
+		out = append(out, byte(sg.Type), byte(len(sg.ASNs)))
+		for _, a := range sg.ASNs {
+			out = binary.BigEndian.AppendUint32(out, uint32(a))
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes the MarshalBinary encoding, validating segment
+// types, emptiness, and the MaxLength bound.
+func (p *Path) UnmarshalBinary(b []byte) error {
+	var segs []Segment
+	for len(b) > 0 {
+		if len(b) < 2 {
+			return fmt.Errorf("%w: truncated header", ErrBadSegment)
+		}
+		typ, n := SegmentType(b[0]), int(b[1])
+		if typ != SeqSegment && typ != SetSegment {
+			return fmt.Errorf("%w: type %d", ErrBadSegment, typ)
+		}
+		if n == 0 {
+			return fmt.Errorf("%w: empty segment", ErrBadSegment)
+		}
+		b = b[2:]
+		if len(b) < 4*n {
+			return fmt.Errorf("%w: truncated ASNs", ErrBadSegment)
+		}
+		asns := make([]ASN, n)
+		for i := 0; i < n; i++ {
+			asns[i] = ASN(binary.BigEndian.Uint32(b[4*i:]))
+		}
+		b = b[4*n:]
+		segs = append(segs, Segment{Type: typ, ASNs: asns})
+	}
+	q, err := FromSegments(segs...)
+	if err != nil {
+		return err
+	}
+	*p = q
+	return nil
+}

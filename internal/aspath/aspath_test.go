@@ -1,0 +1,233 @@
+package aspath
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	p := New(10, 20, 30)
+	if p.Length() != 3 {
+		t.Fatalf("Length = %d, want 3", p.Length())
+	}
+	if f, ok := p.First(); !ok || f != 10 {
+		t.Errorf("First = %v,%v", f, ok)
+	}
+	if o, ok := p.Origin(); !ok || o != 30 {
+		t.Errorf("Origin = %v,%v", o, ok)
+	}
+	if !p.Contains(20) || p.Contains(99) {
+		t.Error("Contains wrong")
+	}
+	if p.String() != "10 20 30" {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestEmptyPath(t *testing.T) {
+	var p Path
+	if !p.IsEmpty() || p.Length() != 0 {
+		t.Error("zero path should be empty")
+	}
+	if _, ok := p.First(); ok {
+		t.Error("First of empty ok")
+	}
+	if _, ok := p.Origin(); ok {
+		t.Error("Origin of empty ok")
+	}
+	if p.String() != "(empty)" {
+		t.Errorf("String = %q", p.String())
+	}
+	b, err := p.MarshalBinary()
+	if err != nil || len(b) != 0 {
+		t.Errorf("empty marshal = %v, %v", b, err)
+	}
+}
+
+func TestSetSegmentLength(t *testing.T) {
+	p, err := FromSegments(
+		Segment{Type: SeqSegment, ASNs: []ASN{1, 2}},
+		Segment{Type: SetSegment, ASNs: []ASN{5, 3, 4}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RFC 4271: AS_SET counts as one hop.
+	if p.Length() != 3 {
+		t.Fatalf("Length = %d, want 3", p.Length())
+	}
+	// Set contents are canonicalized to sorted order.
+	if p.String() != "1 2 {3,4,5}" {
+		t.Errorf("String = %q", p.String())
+	}
+	if o, _ := p.Origin(); o != 5 {
+		t.Errorf("Origin = %v", o)
+	}
+}
+
+func TestFromSegmentsRejectsBad(t *testing.T) {
+	if _, err := FromSegments(Segment{Type: SeqSegment}); err == nil {
+		t.Error("empty segment accepted")
+	}
+	if _, err := FromSegments(Segment{Type: 9, ASNs: []ASN{1}}); err == nil {
+		t.Error("bad type accepted")
+	}
+	long := make([]ASN, MaxLength+1)
+	for i := range long {
+		long[i] = ASN(i + 1)
+	}
+	if _, err := FromSegments(Segment{Type: SeqSegment, ASNs: long}); err == nil {
+		t.Error("overlong path accepted")
+	}
+}
+
+func TestPrepend(t *testing.T) {
+	p := New(20, 30)
+	q, err := p.Prepend(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.String() != "10 20 30" {
+		t.Errorf("prepend = %q", q)
+	}
+	// Original unchanged (immutability).
+	if p.String() != "20 30" {
+		t.Errorf("original mutated: %q", p)
+	}
+	// Triple prepend.
+	q, err = p.Prepend(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Length() != 5 || q.String() != "10 10 10 20 30" {
+		t.Errorf("triple prepend = %q", q)
+	}
+	// Prepend onto empty.
+	var empty Path
+	q, err = empty.Prepend(7, 1)
+	if err != nil || q.String() != "7" {
+		t.Errorf("prepend empty = %q, %v", q, err)
+	}
+	// Prepend onto leading set creates a new sequence segment.
+	ps, _ := FromSegments(Segment{Type: SetSegment, ASNs: []ASN{2, 3}})
+	q, err = ps.Prepend(1, 1)
+	if err != nil || q.String() != "1 {2,3}" {
+		t.Errorf("prepend onto set = %q, %v", q, err)
+	}
+	if _, err := p.Prepend(1, 0); err == nil {
+		t.Error("zero prepend accepted")
+	}
+	if _, err := p.Prepend(1, MaxLength); err == nil {
+		t.Error("overflow prepend accepted")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := New(1, 2, 3)
+	b := New(1, 2, 3)
+	c := New(1, 2)
+	d, _ := FromSegments(Segment{Type: SetSegment, ASNs: []ASN{1, 2, 3}})
+	if !a.Equal(b) {
+		t.Error("equal paths unequal")
+	}
+	if a.Equal(c) || a.Equal(d) {
+		t.Error("unequal paths equal")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	paths := []Path{
+		New(1),
+		New(64500, 64501, 64502),
+		mustSegs(t, Segment{Type: SeqSegment, ASNs: []ASN{1, 2}}, Segment{Type: SetSegment, ASNs: []ASN{7, 8, 9}}),
+		mustSegs(t, Segment{Type: SetSegment, ASNs: []ASN{4294967295}}),
+	}
+	for _, p := range paths {
+		b, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var q Path
+		if err := q.UnmarshalBinary(b); err != nil {
+			t.Fatalf("unmarshal %s: %v", p, err)
+		}
+		if !p.Equal(q) {
+			t.Errorf("round trip %s -> %s", p, q)
+		}
+	}
+}
+
+func mustSegs(t *testing.T, segs ...Segment) Path {
+	t.Helper()
+	p, err := FromSegments(segs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	bad := [][]byte{
+		{2},                   // truncated header
+		{2, 1},                // truncated ASN
+		{2, 0},                // empty segment
+		{5, 1, 0, 0, 0, 1},    // bad type
+		{2, 1, 0, 0, 0, 1, 2}, // trailing partial header
+		{2, 2, 0, 0, 0, 1},    // count larger than data
+	}
+	for i, b := range bad {
+		var p Path
+		if err := p.UnmarshalBinary(b); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) > MaxLength {
+			raw = raw[:MaxLength]
+		}
+		asns := make([]ASN, len(raw))
+		for i, v := range raw {
+			asns[i] = ASN(v)
+		}
+		p := New(asns...)
+		b, err := p.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var q Path
+		if err := q.UnmarshalBinary(b); err != nil {
+			return false
+		}
+		return p.Equal(q) && q.Length() == len(asns)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPrependIncrementsLength(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		n := r.Intn(20) + 1
+		asns := make([]ASN, n)
+		for j := range asns {
+			asns[j] = ASN(r.Uint32())
+		}
+		p := New(asns...)
+		k := r.Intn(5) + 1
+		q, err := p.Prepend(ASN(r.Uint32()), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.Length() != p.Length()+k {
+			t.Fatalf("prepend %d: length %d -> %d", k, p.Length(), q.Length())
+		}
+		if f, _ := q.First(); !q.Contains(f) {
+			t.Fatal("first not contained")
+		}
+	}
+}

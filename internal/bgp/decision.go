@@ -1,0 +1,98 @@
+package bgp
+
+import "pvr/internal/route"
+
+// DecisionConfig tunes the tie-breaking behaviour of the decision process.
+type DecisionConfig struct {
+	// CompareMEDAlways compares MED between routes from different
+	// neighboring ASes (the "always-compare-med" knob); default is the RFC
+	// behaviour of comparing MED only between routes from the same AS.
+	CompareMEDAlways bool
+}
+
+// Better reports whether candidate a beats candidate b under the pairwise
+// BGP decision process (RFC 4271 §9.1.2.2, single-router eBGP-only model):
+//
+//  1. higher LOCAL_PREF
+//  2. shorter AS_PATH
+//  3. lower ORIGIN
+//  4. lower MED (same neighbor AS, unless CompareMEDAlways)
+//  5. lower neighbor ASN (deterministic stand-in for router ID)
+//
+// Note that with same-AS-only MED this pairwise relation is famously not
+// transitive; SelectBest therefore uses deterministic-MED grouping rather
+// than a linear scan, so the selected route never depends on arrival order.
+func (c DecisionConfig) Better(a, b LearnedRoute) bool {
+	useMED := c.CompareMEDAlways || firstAS(a.Route) == firstAS(b.Route)
+	return c.better(a, b, useMED)
+}
+
+func (c DecisionConfig) better(a, b LearnedRoute, useMED bool) bool {
+	if a.Route.LocalPref != b.Route.LocalPref {
+		return a.Route.LocalPref > b.Route.LocalPref
+	}
+	if la, lb := a.Route.PathLen(), b.Route.PathLen(); la != lb {
+		return la < lb
+	}
+	if a.Route.Origin != b.Route.Origin {
+		return a.Route.Origin < b.Route.Origin
+	}
+	if useMED && a.Route.MED != b.Route.MED {
+		return a.Route.MED < b.Route.MED
+	}
+	return a.From < b.From
+}
+
+func firstAS(r route.Route) uint32 {
+	if f, ok := r.Path.First(); ok {
+		return uint32(f)
+	}
+	return 0
+}
+
+// SelectBest runs the decision process over the candidates, returning the
+// winner; ok is false when no candidates exist.
+//
+// Unless CompareMEDAlways is set, candidates are first grouped by
+// neighboring AS and the MED comparison is confined to each group
+// (deterministic-MED); group winners are then compared without MED. This
+// makes the selection a pure function of the candidate set.
+func (c DecisionConfig) SelectBest(cands []LearnedRoute) (LearnedRoute, bool) {
+	if len(cands) == 0 {
+		return LearnedRoute{}, false
+	}
+	if c.CompareMEDAlways {
+		// MED is globally comparable: the order is total, scan linearly.
+		best := cands[0]
+		for _, cand := range cands[1:] {
+			if c.better(cand, best, true) {
+				best = cand
+			}
+		}
+		return best, true
+	}
+	// Deterministic MED: pick per-neighbor-AS winners with MED...
+	winners := map[uint32]LearnedRoute{}
+	var order []uint32
+	for _, cand := range cands {
+		as := firstAS(cand.Route)
+		w, ok := winners[as]
+		if !ok {
+			winners[as] = cand
+			order = append(order, as)
+			continue
+		}
+		if c.better(cand, w, true) {
+			winners[as] = cand
+		}
+	}
+	// ...then compare group winners without MED.
+	best, started := LearnedRoute{}, false
+	for _, as := range order {
+		w := winners[as]
+		if !started || c.better(w, best, false) {
+			best, started = w, true
+		}
+	}
+	return best, true
+}

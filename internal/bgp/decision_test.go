@@ -1,0 +1,139 @@
+package bgp
+
+import (
+	"math/rand"
+	"testing"
+
+	"pvr/internal/aspath"
+	"pvr/internal/route"
+)
+
+func lr(from aspath.ASN, r route.Route) LearnedRoute { return LearnedRoute{From: from, Route: r} }
+
+func TestDecisionLocalPrefWins(t *testing.T) {
+	var d DecisionConfig
+	a := lr(1, testRoute("10.0.0.0/8", 1, 2, 3).WithLocalPref(200)) // longer path, higher pref
+	b := lr(2, testRoute("10.0.0.0/8", 2).WithLocalPref(100))
+	if !d.Better(a, b) || d.Better(b, a) {
+		t.Error("LOCAL_PREF should dominate path length")
+	}
+}
+
+func TestDecisionPathLength(t *testing.T) {
+	var d DecisionConfig
+	a := lr(1, testRoute("10.0.0.0/8", 1, 2, 3))
+	b := lr(2, testRoute("10.0.0.0/8", 2, 3))
+	if !d.Better(b, a) {
+		t.Error("shorter path should win")
+	}
+}
+
+func TestDecisionOrigin(t *testing.T) {
+	var d DecisionConfig
+	ra := testRoute("10.0.0.0/8", 1)
+	ra.Origin = route.OriginEGP
+	rb := testRoute("10.0.0.0/8", 2)
+	rb.Origin = route.OriginIGP
+	if !d.Better(lr(2, rb), lr(1, ra)) {
+		t.Error("lower origin should win")
+	}
+}
+
+func TestDecisionMEDOnlySameNeighbor(t *testing.T) {
+	var d DecisionConfig
+	// Same neighbor AS (path head 7), different MED.
+	ra := testRoute("10.0.0.0/8", 7)
+	ra.MED = 10
+	rb := testRoute("10.0.0.0/8", 7)
+	rb.MED = 5
+	// Give them different From so the final tie-break doesn't mask MED.
+	if !d.Better(lr(9, rb), lr(3, ra)) {
+		t.Error("lower MED from same neighbor AS should win")
+	}
+	// Different neighbor AS: MED ignored, falls to lowest From.
+	rc := testRoute("10.0.0.0/8", 8)
+	rc.MED = 1000
+	if !d.Better(lr(3, ra), lr(9, rc)) {
+		t.Error("MED across different ASes should be ignored (lowest peer wins)")
+	}
+	// With CompareMEDAlways, MED compares across ASes.
+	always := DecisionConfig{CompareMEDAlways: true}
+	if !always.Better(lr(3, ra), lr(9, rc)) {
+		t.Error("always-compare-med: lower MED should win")
+	}
+	rd := testRoute("10.0.0.0/8", 8)
+	rd.MED = 1
+	if !always.Better(lr(9, rd), lr(3, ra)) {
+		t.Error("always-compare-med: lower MED should win regardless of peer")
+	}
+}
+
+func TestDecisionPeerTieBreak(t *testing.T) {
+	var d DecisionConfig
+	a := lr(5, testRoute("10.0.0.0/8", 5))
+	b := lr(3, testRoute("10.0.0.0/8", 3))
+	if !d.Better(b, a) {
+		t.Error("lowest peer ASN should break ties")
+	}
+}
+
+func TestSelectBest(t *testing.T) {
+	var d DecisionConfig
+	if _, ok := d.SelectBest(nil); ok {
+		t.Error("SelectBest of empty should be not-ok")
+	}
+	cands := []LearnedRoute{
+		lr(1, testRoute("10.0.0.0/8", 1, 9, 9)),
+		lr(2, testRoute("10.0.0.0/8", 2, 9)), // shortest
+		lr(3, testRoute("10.0.0.0/8", 3, 9, 9)),
+	}
+	best, ok := d.SelectBest(cands)
+	if !ok || best.From != 2 {
+		t.Errorf("best = %v, %v", best.From, ok)
+	}
+}
+
+// TestDecisionTotalOrder verifies Better is a strict total order over
+// candidates with distinct peers: antisymmetric and transitive, so
+// SelectBest is order-independent.
+func TestDecisionTotalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var d DecisionConfig
+	mk := func(i int) LearnedRoute {
+		n := rng.Intn(4) + 1
+		asns := make([]aspath.ASN, n)
+		for j := range asns {
+			asns[j] = aspath.ASN(rng.Intn(5) + 1)
+		}
+		r := testRoute("10.0.0.0/8", asns...)
+		r.LocalPref = uint32(rng.Intn(3)) * 100
+		r.MED = uint32(rng.Intn(3))
+		r.Origin = route.Origin(rng.Intn(3))
+		return lr(aspath.ASN(i+1), r)
+	}
+	for trial := 0; trial < 200; trial++ {
+		cands := make([]LearnedRoute, 5)
+		for i := range cands {
+			cands[i] = mk(i)
+		}
+		// Antisymmetry.
+		for i := range cands {
+			for j := range cands {
+				if i == j {
+					continue
+				}
+				if d.Better(cands[i], cands[j]) == d.Better(cands[j], cands[i]) {
+					t.Fatalf("not antisymmetric: %v vs %v", cands[i], cands[j])
+				}
+			}
+		}
+		// Order independence of SelectBest.
+		best1, _ := d.SelectBest(cands)
+		shuffled := append([]LearnedRoute(nil), cands...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		best2, _ := d.SelectBest(shuffled)
+		if best1.From != best2.From {
+			t.Fatalf("SelectBest order-dependent: %v vs %v", best1.From, best2.From)
+		}
+	}
+}

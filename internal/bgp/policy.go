@@ -1,0 +1,259 @@
+package bgp
+
+import (
+	"fmt"
+	"strings"
+
+	"pvr/internal/aspath"
+	"pvr/internal/community"
+	"pvr/internal/prefix"
+	"pvr/internal/route"
+)
+
+// Disposition is a policy term's verdict on a route.
+type Disposition uint8
+
+// Dispositions: Accept exports/imports the (possibly rewritten) route,
+// Reject drops it, Next falls through to the following term.
+const (
+	Next Disposition = iota
+	Accept
+	Reject
+)
+
+// String names the disposition.
+func (d Disposition) String() string {
+	switch d {
+	case Next:
+		return "next"
+	case Accept:
+		return "accept"
+	case Reject:
+		return "reject"
+	}
+	return fmt.Sprintf("disposition(%d)", uint8(d))
+}
+
+// Match is a route predicate usable in a policy term.
+type Match interface {
+	// MatchRoute reports whether the route satisfies the predicate.
+	MatchRoute(r route.Route) bool
+	// String renders a router-config-style description.
+	String() string
+}
+
+// Action rewrites a route's attributes.
+type Action interface {
+	// Apply returns the rewritten route (routes are immutable values).
+	Apply(r route.Route) (route.Route, error)
+	// String renders a router-config-style description.
+	String() string
+}
+
+// --- matches ---
+
+// MatchPrefixWithin matches routes whose prefix lies inside Within.
+type MatchPrefixWithin struct{ Within prefix.Prefix }
+
+// MatchRoute implements Match.
+func (m MatchPrefixWithin) MatchRoute(r route.Route) bool { return m.Within.Contains(r.Prefix) }
+
+func (m MatchPrefixWithin) String() string { return fmt.Sprintf("prefix within %s", m.Within) }
+
+// MatchPrefixExact matches one exact prefix.
+type MatchPrefixExact struct{ Prefix prefix.Prefix }
+
+// MatchRoute implements Match.
+func (m MatchPrefixExact) MatchRoute(r route.Route) bool { return r.Prefix == m.Prefix }
+
+func (m MatchPrefixExact) String() string { return fmt.Sprintf("prefix %s", m.Prefix) }
+
+// MatchCommunity matches routes tagged with a community.
+type MatchCommunity struct{ C community.Community }
+
+// MatchRoute implements Match.
+func (m MatchCommunity) MatchRoute(r route.Route) bool { return r.Communities.Has(m.C) }
+
+func (m MatchCommunity) String() string { return fmt.Sprintf("community %s", m.C) }
+
+// MatchPathContains matches routes whose AS path traverses an AS.
+type MatchPathContains struct{ ASN aspath.ASN }
+
+// MatchRoute implements Match.
+func (m MatchPathContains) MatchRoute(r route.Route) bool { return r.Path.Contains(m.ASN) }
+
+func (m MatchPathContains) String() string { return fmt.Sprintf("as-path contains %s", m.ASN) }
+
+// MatchMaxPathLen matches routes with AS-path length ≤ N.
+type MatchMaxPathLen struct{ N int }
+
+// MatchRoute implements Match.
+func (m MatchMaxPathLen) MatchRoute(r route.Route) bool { return r.PathLen() <= m.N }
+
+func (m MatchMaxPathLen) String() string { return fmt.Sprintf("as-path length <= %d", m.N) }
+
+// MatchNextHopFrom matches routes learned from a given first-hop AS (the
+// leftmost path element).
+type MatchNextHopFrom struct{ ASN aspath.ASN }
+
+// MatchRoute implements Match.
+func (m MatchNextHopFrom) MatchRoute(r route.Route) bool {
+	f, ok := r.Path.First()
+	return ok && f == m.ASN
+}
+
+func (m MatchNextHopFrom) String() string { return fmt.Sprintf("learned-from %s", m.ASN) }
+
+// MatchAny matches every route; useful as a policy's final catch-all term.
+type MatchAny struct{}
+
+// MatchRoute implements Match.
+func (MatchAny) MatchRoute(route.Route) bool { return true }
+
+func (MatchAny) String() string { return "any" }
+
+// --- actions ---
+
+// SetLocalPref sets LOCAL_PREF, the lever for Gao-Rexford route ranking.
+type SetLocalPref struct{ Value uint32 }
+
+// Apply implements Action.
+func (a SetLocalPref) Apply(r route.Route) (route.Route, error) {
+	return r.WithLocalPref(a.Value), nil
+}
+
+func (a SetLocalPref) String() string { return fmt.Sprintf("set local-pref %d", a.Value) }
+
+// AddCommunity tags the route.
+type AddCommunity struct{ C community.Community }
+
+// Apply implements Action.
+func (a AddCommunity) Apply(r route.Route) (route.Route, error) {
+	return r.WithCommunity(a.C), nil
+}
+
+func (a AddCommunity) String() string { return fmt.Sprintf("add community %s", a.C) }
+
+// DelCommunity removes a tag.
+type DelCommunity struct{ C community.Community }
+
+// Apply implements Action.
+func (a DelCommunity) Apply(r route.Route) (route.Route, error) {
+	r.Communities = r.Communities.Remove(a.C)
+	return r, nil
+}
+
+func (a DelCommunity) String() string { return fmt.Sprintf("del community %s", a.C) }
+
+// PrependSelf prepends the local AS N extra times (traffic engineering).
+type PrependSelf struct {
+	ASN aspath.ASN
+	N   int
+}
+
+// Apply implements Action.
+func (a PrependSelf) Apply(r route.Route) (route.Route, error) {
+	p, err := r.Path.Prepend(a.ASN, a.N)
+	if err != nil {
+		return route.Route{}, err
+	}
+	r.Path = p
+	return r, nil
+}
+
+func (a PrependSelf) String() string { return fmt.Sprintf("prepend %s x%d", a.ASN, a.N) }
+
+// SetMED sets MULTI_EXIT_DISC.
+type SetMED struct{ Value uint32 }
+
+// Apply implements Action.
+func (a SetMED) Apply(r route.Route) (route.Route, error) {
+	r.MED = a.Value
+	return r, nil
+}
+
+func (a SetMED) String() string { return fmt.Sprintf("set med %d", a.Value) }
+
+// Term is one match–action clause: if all Matches hold, apply Actions and
+// return Result (Next continues to the following term after the rewrite).
+type Term struct {
+	Matches []Match
+	Actions []Action
+	Result  Disposition
+}
+
+// Policy is an ordered list of terms with a default disposition, the shape
+// of real router import/export policy chains.
+type Policy struct {
+	Name    string
+	Terms   []Term
+	Default Disposition
+}
+
+// AcceptAll is the identity policy.
+func AcceptAll() *Policy { return &Policy{Name: "accept-all", Default: Accept} }
+
+// RejectAll drops everything.
+func RejectAll() *Policy { return &Policy{Name: "reject-all", Default: Reject} }
+
+// Apply evaluates the policy on a route, returning the rewritten route and
+// whether it was accepted. A nil policy accepts unchanged.
+func (p *Policy) Apply(r route.Route) (route.Route, bool, error) {
+	if p == nil {
+		return r, true, nil
+	}
+	cur := r
+	for ti, t := range p.Terms {
+		matched := true
+		for _, m := range t.Matches {
+			if !m.MatchRoute(cur) {
+				matched = false
+				break
+			}
+		}
+		if !matched {
+			continue
+		}
+		for _, a := range t.Actions {
+			var err error
+			cur, err = a.Apply(cur)
+			if err != nil {
+				return route.Route{}, false, fmt.Errorf("bgp: policy %q term %d: %w", p.Name, ti, err)
+			}
+		}
+		switch t.Result {
+		case Accept:
+			return cur, true, nil
+		case Reject:
+			return route.Route{}, false, nil
+		}
+	}
+	if p.Default == Accept {
+		return cur, true, nil
+	}
+	return route.Route{}, false, nil
+}
+
+// String renders the policy in a router-config-like layout.
+func (p *Policy) String() string {
+	if p == nil {
+		return "policy <nil: accept-all>"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "policy %q {\n", p.Name)
+	for i, t := range p.Terms {
+		fmt.Fprintf(&b, "  term %d:", i)
+		if len(t.Matches) == 0 {
+			b.WriteString(" match any")
+		}
+		for _, m := range t.Matches {
+			fmt.Fprintf(&b, " match(%s)", m)
+		}
+		for _, a := range t.Actions {
+			fmt.Fprintf(&b, " then(%s)", a)
+		}
+		fmt.Fprintf(&b, " -> %s\n", t.Result)
+	}
+	fmt.Fprintf(&b, "  default -> %s\n}", p.Default)
+	return b.String()
+}

@@ -1,0 +1,183 @@
+package bgp
+
+import (
+	"testing"
+
+	"pvr/internal/aspath"
+	"pvr/internal/community"
+	"pvr/internal/prefix"
+)
+
+func TestMatches(t *testing.T) {
+	r := testRoute("203.0.113.0/24", 64500, 64501).WithCommunity(community.Make(64500, 1))
+	cases := []struct {
+		m    Match
+		want bool
+	}{
+		{MatchPrefixWithin{prefix.MustParse("203.0.0.0/16")}, true},
+		{MatchPrefixWithin{prefix.MustParse("10.0.0.0/8")}, false},
+		{MatchPrefixExact{prefix.MustParse("203.0.113.0/24")}, true},
+		{MatchPrefixExact{prefix.MustParse("203.0.0.0/16")}, false},
+		{MatchCommunity{community.Make(64500, 1)}, true},
+		{MatchCommunity{community.NoExport}, false},
+		{MatchPathContains{64501}, true},
+		{MatchPathContains{64999}, false},
+		{MatchMaxPathLen{2}, true},
+		{MatchMaxPathLen{1}, false},
+		{MatchNextHopFrom{64500}, true},
+		{MatchNextHopFrom{64501}, false},
+		{MatchAny{}, true},
+	}
+	for _, c := range cases {
+		if got := c.m.MatchRoute(r); got != c.want {
+			t.Errorf("%s = %v, want %v", c.m, got, c.want)
+		}
+		if c.m.String() == "" {
+			t.Errorf("%T has empty String", c.m)
+		}
+	}
+}
+
+func TestActions(t *testing.T) {
+	r := testRoute("203.0.113.0/24", 64500)
+
+	out, err := SetLocalPref{Value: 200}.Apply(r)
+	if err != nil || out.LocalPref != 200 {
+		t.Errorf("SetLocalPref: %v %v", out.LocalPref, err)
+	}
+	out, err = AddCommunity{community.NoExport}.Apply(r)
+	if err != nil || !out.Communities.Has(community.NoExport) {
+		t.Errorf("AddCommunity: %v", err)
+	}
+	out, err = DelCommunity{community.NoExport}.Apply(out)
+	if err != nil || out.Communities.Has(community.NoExport) {
+		t.Errorf("DelCommunity: %v", err)
+	}
+	out, err = PrependSelf{ASN: 64999, N: 2}.Apply(r)
+	if err != nil || out.PathLen() != 3 {
+		t.Errorf("PrependSelf: len=%d %v", out.PathLen(), err)
+	}
+	out, err = SetMED{Value: 42}.Apply(r)
+	if err != nil || out.MED != 42 {
+		t.Errorf("SetMED: %v %v", out.MED, err)
+	}
+	// Original untouched throughout.
+	if r.LocalPref != 100 || r.PathLen() != 1 || r.MED != 0 {
+		t.Error("actions mutated input")
+	}
+}
+
+func TestPolicyTermOrderAndDefault(t *testing.T) {
+	pol := &Policy{
+		Name: "partial-transit",
+		Terms: []Term{
+			{
+				Matches: []Match{MatchCommunity{community.NoExport}},
+				Result:  Reject,
+			},
+			{
+				Matches: []Match{MatchPrefixWithin{prefix.MustParse("203.0.0.0/8")}},
+				Actions: []Action{SetLocalPref{Value: 300}},
+				Result:  Accept,
+			},
+		},
+		Default: Reject,
+	}
+	// First term rejects tagged routes.
+	tagged := testRoute("203.0.113.0/24", 1).WithCommunity(community.NoExport)
+	if _, ok, err := pol.Apply(tagged); ok || err != nil {
+		t.Errorf("tagged: ok=%v err=%v", ok, err)
+	}
+	// Second term accepts and rewrites.
+	in := testRoute("203.0.113.0/24", 1)
+	out, ok, err := pol.Apply(in)
+	if !ok || err != nil || out.LocalPref != 300 {
+		t.Errorf("in-range: ok=%v lp=%d err=%v", ok, out.LocalPref, err)
+	}
+	// Default rejects everything else.
+	if _, ok, _ := pol.Apply(testRoute("10.0.0.0/8", 1)); ok {
+		t.Error("default reject not applied")
+	}
+}
+
+func TestPolicyNextFallsThrough(t *testing.T) {
+	pol := &Policy{
+		Name: "tag-then-accept",
+		Terms: []Term{
+			{ // tag everything, keep evaluating
+				Actions: []Action{AddCommunity{community.Make(64500, 99)}},
+				Result:  Next,
+			},
+			{
+				Matches: []Match{MatchCommunity{community.Make(64500, 99)}},
+				Result:  Accept,
+			},
+		},
+		Default: Reject,
+	}
+	out, ok, err := pol.Apply(testRoute("10.0.0.0/8", 1))
+	if !ok || err != nil {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if !out.Communities.Has(community.Make(64500, 99)) {
+		t.Error("rewrite from Next term lost")
+	}
+}
+
+func TestPolicyNilAcceptsUnchanged(t *testing.T) {
+	var pol *Policy
+	in := testRoute("10.0.0.0/8", 1)
+	out, ok, err := pol.Apply(in)
+	if !ok || err != nil || !out.Equal(in) {
+		t.Error("nil policy should accept unchanged")
+	}
+}
+
+func TestAcceptAllRejectAll(t *testing.T) {
+	in := testRoute("10.0.0.0/8", 1)
+	if _, ok, _ := AcceptAll().Apply(in); !ok {
+		t.Error("AcceptAll rejected")
+	}
+	if _, ok, _ := RejectAll().Apply(in); ok {
+		t.Error("RejectAll accepted")
+	}
+}
+
+func TestPolicyActionError(t *testing.T) {
+	// Prepending past MaxLength errors; policy must surface it.
+	long := make([]aspath.ASN, aspath.MaxLength)
+	for i := range long {
+		long[i] = aspath.ASN(i + 1)
+	}
+	r := testRoute("10.0.0.0/8", long...)
+	pol := &Policy{
+		Name:    "over-prepend",
+		Terms:   []Term{{Actions: []Action{PrependSelf{ASN: 9, N: 5}}, Result: Accept}},
+		Default: Accept,
+	}
+	if _, _, err := pol.Apply(r); err == nil {
+		t.Error("action error swallowed")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	pol := &Policy{
+		Name: "x",
+		Terms: []Term{
+			{Matches: []Match{MatchAny{}}, Actions: []Action{SetMED{1}}, Result: Accept},
+			{Result: Reject},
+		},
+		Default: Reject,
+	}
+	s := pol.String()
+	if s == "" || pol == nil {
+		t.Error("empty String")
+	}
+	var nilPol *Policy
+	if nilPol.String() == "" {
+		t.Error("nil policy String empty")
+	}
+	if Next.String() != "next" || Accept.String() != "accept" || Reject.String() != "reject" {
+		t.Error("disposition names wrong")
+	}
+}

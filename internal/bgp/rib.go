@@ -1,0 +1,218 @@
+package bgp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pvr/internal/aspath"
+	"pvr/internal/prefix"
+	"pvr/internal/route"
+)
+
+// LearnedRoute is a route in Adj-RIB-In together with the peer it came from;
+// the decision process and PVR's verification both need that provenance.
+type LearnedRoute struct {
+	From  aspath.ASN
+	Route route.Route
+}
+
+// AdjRIBIn stores the routes learned from each peer, per prefix: the input
+// variables r_1 … r_k of the paper's route-flow graph (Fig. 1).
+type AdjRIBIn struct {
+	byPeer map[aspath.ASN]map[prefix.Prefix]route.Route
+}
+
+// NewAdjRIBIn returns an empty Adj-RIB-In.
+func NewAdjRIBIn() *AdjRIBIn {
+	return &AdjRIBIn{byPeer: make(map[aspath.ASN]map[prefix.Prefix]route.Route)}
+}
+
+// Set records the route learned from a peer, replacing any previous route
+// for the same prefix (implicit withdraw). It reports whether the entry
+// changed.
+func (a *AdjRIBIn) Set(peer aspath.ASN, r route.Route) bool {
+	m, ok := a.byPeer[peer]
+	if !ok {
+		m = make(map[prefix.Prefix]route.Route)
+		a.byPeer[peer] = m
+	}
+	if old, ok := m[r.Prefix]; ok && old.Equal(r) {
+		return false
+	}
+	m[r.Prefix] = r
+	return true
+}
+
+// Remove deletes the peer's route for a prefix (explicit withdraw),
+// reporting whether one was present.
+func (a *AdjRIBIn) Remove(peer aspath.ASN, p prefix.Prefix) bool {
+	m, ok := a.byPeer[peer]
+	if !ok {
+		return false
+	}
+	if _, ok := m[p]; !ok {
+		return false
+	}
+	delete(m, p)
+	return true
+}
+
+// Get returns the route a peer has advertised for a prefix.
+func (a *AdjRIBIn) Get(peer aspath.ASN, p prefix.Prefix) (route.Route, bool) {
+	r, ok := a.byPeer[peer][p]
+	return r, ok
+}
+
+// Candidates returns all learned routes for a prefix, sorted by peer ASN
+// for determinism.
+func (a *AdjRIBIn) Candidates(p prefix.Prefix) []LearnedRoute {
+	var out []LearnedRoute
+	for peer, m := range a.byPeer {
+		if r, ok := m[p]; ok {
+			out = append(out, LearnedRoute{From: peer, Route: r})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].From < out[j].From })
+	return out
+}
+
+// Prefixes returns every prefix present from any peer, sorted.
+func (a *AdjRIBIn) Prefixes() []prefix.Prefix {
+	seen := map[prefix.Prefix]bool{}
+	for _, m := range a.byPeer {
+		for p := range m {
+			seen[p] = true
+		}
+	}
+	out := make([]prefix.Prefix, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// DropPeer removes all routes from a peer (session teardown), returning the
+// affected prefixes.
+func (a *AdjRIBIn) DropPeer(peer aspath.ASN) []prefix.Prefix {
+	m, ok := a.byPeer[peer]
+	if !ok {
+		return nil
+	}
+	out := make([]prefix.Prefix, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	delete(a.byPeer, peer)
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// LocRIB holds the selected best route per prefix, plus its provenance.
+type LocRIB struct {
+	best map[prefix.Prefix]LearnedRoute
+}
+
+// NewLocRIB returns an empty Loc-RIB.
+func NewLocRIB() *LocRIB {
+	return &LocRIB{best: make(map[prefix.Prefix]LearnedRoute)}
+}
+
+// Get returns the selected route for a prefix.
+func (l *LocRIB) Get(p prefix.Prefix) (LearnedRoute, bool) {
+	r, ok := l.best[p]
+	return r, ok
+}
+
+// Set installs a best route, reporting whether the entry changed.
+func (l *LocRIB) Set(p prefix.Prefix, r LearnedRoute) bool {
+	if old, ok := l.best[p]; ok && old.From == r.From && old.Route.Equal(r.Route) {
+		return false
+	}
+	l.best[p] = r
+	return true
+}
+
+// Remove uninstalls a prefix, reporting whether it was present.
+func (l *LocRIB) Remove(p prefix.Prefix) bool {
+	if _, ok := l.best[p]; !ok {
+		return false
+	}
+	delete(l.best, p)
+	return true
+}
+
+// Len returns the number of installed prefixes.
+func (l *LocRIB) Len() int { return len(l.best) }
+
+// Prefixes returns installed prefixes, sorted.
+func (l *LocRIB) Prefixes() []prefix.Prefix {
+	out := make([]prefix.Prefix, 0, len(l.best))
+	for p := range l.best {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// AdjRIBOut tracks what has been advertised to each peer, so the speaker
+// sends deltas rather than full tables.
+type AdjRIBOut struct {
+	byPeer map[aspath.ASN]map[prefix.Prefix]route.Route
+}
+
+// NewAdjRIBOut returns an empty Adj-RIB-Out.
+func NewAdjRIBOut() *AdjRIBOut {
+	return &AdjRIBOut{byPeer: make(map[aspath.ASN]map[prefix.Prefix]route.Route)}
+}
+
+// Get returns the route currently advertised to a peer for a prefix.
+func (a *AdjRIBOut) Get(peer aspath.ASN, p prefix.Prefix) (route.Route, bool) {
+	r, ok := a.byPeer[peer][p]
+	return r, ok
+}
+
+// Set records an advertisement, reporting whether it changed.
+func (a *AdjRIBOut) Set(peer aspath.ASN, r route.Route) bool {
+	m, ok := a.byPeer[peer]
+	if !ok {
+		m = make(map[prefix.Prefix]route.Route)
+		a.byPeer[peer] = m
+	}
+	if old, ok := m[r.Prefix]; ok && old.Equal(r) {
+		return false
+	}
+	m[r.Prefix] = r
+	return true
+}
+
+// Remove records a withdrawal, reporting whether an advertisement existed.
+func (a *AdjRIBOut) Remove(peer aspath.ASN, p prefix.Prefix) bool {
+	m, ok := a.byPeer[peer]
+	if !ok {
+		return false
+	}
+	if _, ok := m[p]; !ok {
+		return false
+	}
+	delete(m, p)
+	return true
+}
+
+// Dump renders the full RIB state for debugging and looking-glass output.
+func Dump(in *AdjRIBIn, loc *LocRIB) string {
+	var b strings.Builder
+	b.WriteString("Loc-RIB:\n")
+	for _, p := range loc.Prefixes() {
+		lr, _ := loc.Get(p)
+		fmt.Fprintf(&b, "  %s from %s: %s\n", p, lr.From, lr.Route)
+	}
+	b.WriteString("Adj-RIB-In:\n")
+	for _, p := range in.Prefixes() {
+		for _, c := range in.Candidates(p) {
+			fmt.Fprintf(&b, "  %s from %s: %s\n", p, c.From, c.Route)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,139 @@
+package bgp
+
+import (
+	"testing"
+
+	"pvr/internal/prefix"
+)
+
+func TestAdjRIBInSetGetRemove(t *testing.T) {
+	rib := NewAdjRIBIn()
+	r1 := testRoute("10.0.0.0/8", 1)
+	if !rib.Set(1, r1) {
+		t.Fatal("first set not fresh")
+	}
+	// Setting the identical route is a no-op.
+	if rib.Set(1, r1) {
+		t.Error("identical set reported change")
+	}
+	// A different route for the same prefix replaces (implicit withdraw).
+	r1b := testRoute("10.0.0.0/8", 1, 9)
+	if !rib.Set(1, r1b) {
+		t.Error("replacement not reported")
+	}
+	got, ok := rib.Get(1, r1.Prefix)
+	if !ok || !got.Equal(r1b) {
+		t.Error("Get returned stale route")
+	}
+	if !rib.Remove(1, r1.Prefix) {
+		t.Error("remove failed")
+	}
+	if rib.Remove(1, r1.Prefix) {
+		t.Error("double remove succeeded")
+	}
+	if rib.Remove(99, r1.Prefix) {
+		t.Error("remove from unknown peer succeeded")
+	}
+}
+
+func TestAdjRIBInCandidatesSortedAndPrefixes(t *testing.T) {
+	rib := NewAdjRIBIn()
+	p := prefix.MustParse("10.0.0.0/8")
+	rib.Set(30, testRoute("10.0.0.0/8", 30))
+	rib.Set(2, testRoute("10.0.0.0/8", 2))
+	rib.Set(7, testRoute("10.0.0.0/8", 7))
+	rib.Set(7, testRoute("192.168.0.0/16", 7))
+	cands := rib.Candidates(p)
+	if len(cands) != 3 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	for i := 1; i < len(cands); i++ {
+		if cands[i].From <= cands[i-1].From {
+			t.Error("candidates not sorted by peer")
+		}
+	}
+	ps := rib.Prefixes()
+	if len(ps) != 2 {
+		t.Fatalf("prefixes = %v", ps)
+	}
+	if ps[0].Compare(ps[1]) >= 0 {
+		t.Error("prefixes not sorted")
+	}
+}
+
+func TestAdjRIBInDropPeer(t *testing.T) {
+	rib := NewAdjRIBIn()
+	rib.Set(1, testRoute("10.0.0.0/8", 1))
+	rib.Set(1, testRoute("192.168.0.0/16", 1))
+	rib.Set(2, testRoute("10.0.0.0/8", 2))
+	affected := rib.DropPeer(1)
+	if len(affected) != 2 {
+		t.Fatalf("affected = %v", affected)
+	}
+	if _, ok := rib.Get(1, prefix.MustParse("10.0.0.0/8")); ok {
+		t.Error("peer 1 routes survive drop")
+	}
+	if _, ok := rib.Get(2, prefix.MustParse("10.0.0.0/8")); !ok {
+		t.Error("peer 2 routes lost")
+	}
+	if got := rib.DropPeer(1); got != nil {
+		t.Error("second drop returned prefixes")
+	}
+}
+
+func TestLocRIB(t *testing.T) {
+	loc := NewLocRIB()
+	p := prefix.MustParse("10.0.0.0/8")
+	lr := LearnedRoute{From: 1, Route: testRoute("10.0.0.0/8", 1)}
+	if !loc.Set(p, lr) {
+		t.Fatal("set not fresh")
+	}
+	if loc.Set(p, lr) {
+		t.Error("identical set reported change")
+	}
+	if loc.Len() != 1 {
+		t.Errorf("Len = %d", loc.Len())
+	}
+	got, ok := loc.Get(p)
+	if !ok || got.From != 1 {
+		t.Error("Get wrong")
+	}
+	if ps := loc.Prefixes(); len(ps) != 1 || ps[0] != p {
+		t.Errorf("Prefixes = %v", ps)
+	}
+	if !loc.Remove(p) || loc.Remove(p) {
+		t.Error("remove semantics wrong")
+	}
+}
+
+func TestAdjRIBOut(t *testing.T) {
+	out := NewAdjRIBOut()
+	r := testRoute("10.0.0.0/8", 99)
+	if !out.Set(5, r) {
+		t.Fatal("set not fresh")
+	}
+	if out.Set(5, r) {
+		t.Error("identical set reported change")
+	}
+	got, ok := out.Get(5, r.Prefix)
+	if !ok || !got.Equal(r) {
+		t.Error("Get wrong")
+	}
+	if _, ok := out.Get(6, r.Prefix); ok {
+		t.Error("cross-peer get")
+	}
+	if !out.Remove(5, r.Prefix) || out.Remove(5, r.Prefix) || out.Remove(6, r.Prefix) {
+		t.Error("remove semantics wrong")
+	}
+}
+
+func TestDumpRenders(t *testing.T) {
+	in := NewAdjRIBIn()
+	loc := NewLocRIB()
+	in.Set(1, testRoute("10.0.0.0/8", 1))
+	loc.Set(prefix.MustParse("10.0.0.0/8"), LearnedRoute{From: 1, Route: testRoute("10.0.0.0/8", 1)})
+	s := Dump(in, loc)
+	if s == "" {
+		t.Error("empty dump")
+	}
+}

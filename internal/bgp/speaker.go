@@ -1,0 +1,331 @@
+package bgp
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"pvr/internal/aspath"
+	"pvr/internal/prefix"
+	"pvr/internal/route"
+)
+
+// DefaultLocalPref is assigned to imported routes whose import policy does
+// not set one (RFC 4271's common default).
+const DefaultLocalPref = 100
+
+// PeerConfig describes one eBGP neighbor and the policies applied on that
+// session.
+type PeerConfig struct {
+	ASN aspath.ASN
+	// Import rewrites/filters routes learned from this peer (nil = accept).
+	Import *Policy
+	// Export rewrites/filters routes advertised to this peer (nil = accept).
+	Export *Policy
+}
+
+// Config configures a speaker (one router, one AS).
+type Config struct {
+	ASN      aspath.ASN
+	RouterID uint32
+	// NextHop is this router's address, stamped on exported routes.
+	NextHop  netip.Addr
+	Decision DecisionConfig
+	Peers    []PeerConfig
+}
+
+// PeerUpdate pairs an outbound update with its destination peer.
+type PeerUpdate struct {
+	Peer   aspath.ASN
+	Update Update
+}
+
+// Errors returned by the speaker.
+var (
+	ErrUnknownPeer = errors.New("bgp: update from unconfigured peer")
+	ErrBadFirstAS  = errors.New("bgp: leftmost path AS does not match peer")
+)
+
+// Speaker is a deterministic, single-goroutine BGP speaker: feed it updates
+// with HandleUpdate / Originate, then drain the resulting advertisements
+// with Drain. The simulator drives many speakers in rounds; Session wraps
+// one in goroutines for live connections. Speaker is not safe for
+// concurrent use.
+type Speaker struct {
+	cfg     Config
+	peers   map[aspath.ASN]PeerConfig
+	adjIn   *AdjRIBIn
+	loc     *LocRIB
+	origins map[prefix.Prefix]route.Route
+
+	// adjOut is the *desired* per-peer advertisement state; sent is what
+	// has actually been handed out via Drain. Drain diffs the two, so
+	// announce/withdraw churn within one cycle cancels naturally.
+	adjOut *AdjRIBOut
+	sent   *AdjRIBOut
+	dirty  map[aspath.ASN]map[prefix.Prefix]bool
+
+	// Stats counts protocol activity for the experiments.
+	Stats Stats
+}
+
+// Stats counts speaker activity.
+type Stats struct {
+	UpdatesIn      int
+	UpdatesOut     int
+	RoutesAccepted int
+	RoutesRejected int
+	LoopsDropped   int
+	Recomputations int
+}
+
+// NewSpeaker validates the configuration and returns a speaker.
+func NewSpeaker(cfg Config) (*Speaker, error) {
+	if cfg.ASN == 0 {
+		return nil, errors.New("bgp: ASN must be nonzero")
+	}
+	if !cfg.NextHop.IsValid() {
+		return nil, errors.New("bgp: NextHop must be set")
+	}
+	peers := make(map[aspath.ASN]PeerConfig, len(cfg.Peers))
+	for _, p := range cfg.Peers {
+		if p.ASN == cfg.ASN {
+			return nil, fmt.Errorf("bgp: peer %s is self", p.ASN)
+		}
+		if _, dup := peers[p.ASN]; dup {
+			return nil, fmt.Errorf("bgp: duplicate peer %s", p.ASN)
+		}
+		peers[p.ASN] = p
+	}
+	return &Speaker{
+		cfg:     cfg,
+		peers:   peers,
+		adjIn:   NewAdjRIBIn(),
+		loc:     NewLocRIB(),
+		adjOut:  NewAdjRIBOut(),
+		sent:    NewAdjRIBOut(),
+		origins: make(map[prefix.Prefix]route.Route),
+		dirty:   make(map[aspath.ASN]map[prefix.Prefix]bool),
+	}, nil
+}
+
+// ASN returns the speaker's AS number.
+func (s *Speaker) ASN() aspath.ASN { return s.cfg.ASN }
+
+// Peers returns the configured peer ASNs in ascending order.
+func (s *Speaker) Peers() []aspath.ASN {
+	out := make([]aspath.ASN, 0, len(s.peers))
+	for a := range s.peers {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Originate injects a locally originated route for p and recomputes.
+func (s *Speaker) Originate(p prefix.Prefix) error {
+	if !p.IsValid() {
+		return prefix.ErrInvalidPrefix
+	}
+	r := route.Route{
+		Prefix:    p,
+		Path:      aspath.Path{}, // empty: local origin
+		NextHop:   s.cfg.NextHop,
+		LocalPref: DefaultLocalPref,
+		Origin:    route.OriginIGP,
+	}
+	s.origins[p] = r
+	s.recompute(p)
+	return nil
+}
+
+// WithdrawOrigin removes a locally originated route and recomputes.
+func (s *Speaker) WithdrawOrigin(p prefix.Prefix) {
+	if _, ok := s.origins[p]; !ok {
+		return
+	}
+	delete(s.origins, p)
+	s.recompute(p)
+}
+
+// HandleUpdate ingests an update from a peer: withdrawals, then announces
+// (loop check, first-AS check, import policy), then recomputation of every
+// affected prefix.
+func (s *Speaker) HandleUpdate(from aspath.ASN, u Update) error {
+	pc, ok := s.peers[from]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownPeer, from)
+	}
+	s.Stats.UpdatesIn++
+	affected := map[prefix.Prefix]bool{}
+	for _, p := range u.Withdrawn {
+		if s.adjIn.Remove(from, p) {
+			affected[p] = true
+		}
+	}
+	for _, r := range u.Announced {
+		if !r.Valid() {
+			return fmt.Errorf("%w: invalid route", ErrBadMessage)
+		}
+		// eBGP sanity: the leftmost AS must be the sending peer.
+		if f, ok := r.Path.First(); !ok || f != from {
+			return fmt.Errorf("%w: got %s from %s", ErrBadFirstAS, r.Path, from)
+		}
+		// Loop prevention: drop routes that traverse us.
+		if r.Path.Contains(s.cfg.ASN) {
+			s.Stats.LoopsDropped++
+			continue
+		}
+		// LOCAL_PREF is not carried across eBGP: reset before import policy.
+		r = r.WithLocalPref(DefaultLocalPref)
+		imported, accepted, err := pc.Import.Apply(r)
+		if err != nil {
+			return err
+		}
+		if !accepted {
+			s.Stats.RoutesRejected++
+			// A newly filtered route acts as a withdraw of any prior one.
+			if s.adjIn.Remove(from, r.Prefix) {
+				affected[r.Prefix] = true
+			}
+			continue
+		}
+		s.Stats.RoutesAccepted++
+		if s.adjIn.Set(from, imported) {
+			affected[imported.Prefix] = true
+		}
+	}
+	for p := range affected {
+		s.recompute(p)
+	}
+	return nil
+}
+
+// DropPeer flushes all state learned from a peer (session failure).
+func (s *Speaker) DropPeer(from aspath.ASN) {
+	for _, p := range s.adjIn.DropPeer(from) {
+		s.recompute(p)
+	}
+}
+
+// Candidates exposes the Adj-RIB-In entries for a prefix: the inputs
+// r_1 … r_k over which PVR promises are defined.
+func (s *Speaker) Candidates(p prefix.Prefix) []LearnedRoute {
+	cands := s.adjIn.Candidates(p)
+	if org, ok := s.origins[p]; ok {
+		cands = append(cands, LearnedRoute{From: s.cfg.ASN, Route: org})
+	}
+	return cands
+}
+
+// Best returns the Loc-RIB selection for a prefix.
+func (s *Speaker) Best(p prefix.Prefix) (LearnedRoute, bool) { return s.loc.Get(p) }
+
+// AdvertisedTo returns what is currently advertised to a peer for a prefix.
+func (s *Speaker) AdvertisedTo(peer aspath.ASN, p prefix.Prefix) (route.Route, bool) {
+	return s.adjOut.Get(peer, p)
+}
+
+// LocRIBLen reports the number of selected prefixes.
+func (s *Speaker) LocRIBLen() int { return s.loc.Len() }
+
+// recompute reruns the decision process for one prefix and refreshes the
+// per-peer advertisements.
+func (s *Speaker) recompute(p prefix.Prefix) {
+	s.Stats.Recomputations++
+	best, ok := s.cfg.Decision.SelectBest(s.Candidates(p))
+	if !ok {
+		s.loc.Remove(p)
+	} else {
+		s.loc.Set(p, best)
+	}
+	for peerASN := range s.peers {
+		s.exportTo(peerASN, p, best, ok)
+	}
+}
+
+// exportTo recomputes the advertisement for (peer, prefix) and queues a
+// delta if it changed.
+func (s *Speaker) exportTo(peer aspath.ASN, p prefix.Prefix, best LearnedRoute, have bool) {
+	pc := s.peers[peer]
+	var want route.Route
+	haveExport := false
+	// Never advertise a route back to the peer it was learned from.
+	if have && best.From != peer {
+		exported, err := best.Route.WithPrepended(s.cfg.ASN)
+		if err == nil {
+			exported.NextHop = s.cfg.NextHop
+			exported.LocalPref = 0 // LOCAL_PREF is not sent over eBGP
+			out, accepted, perr := pc.Export.Apply(exported)
+			if perr == nil && accepted {
+				want, haveExport = out, true
+			}
+		}
+	}
+	cur, haveCur := s.adjOut.Get(peer, p)
+	switch {
+	case haveExport && (!haveCur || !cur.Equal(want)):
+		s.adjOut.Set(peer, want)
+		s.markDirty(peer, p)
+	case !haveExport && haveCur:
+		s.adjOut.Remove(peer, p)
+		s.markDirty(peer, p)
+	}
+}
+
+func (s *Speaker) markDirty(peer aspath.ASN, p prefix.Prefix) {
+	m, ok := s.dirty[peer]
+	if !ok {
+		m = make(map[prefix.Prefix]bool)
+		s.dirty[peer] = m
+	}
+	m[p] = true
+}
+
+// Drain diffs the desired advertisements against what each peer has already
+// been sent, returning at most one coalesced update per peer in ascending
+// peer order, and records the new wire state. Changes that cancelled out
+// within a cycle (announce then withdraw of a never-sent route) produce
+// nothing.
+func (s *Speaker) Drain() []PeerUpdate {
+	peers := make([]aspath.ASN, 0, len(s.dirty))
+	for a, m := range s.dirty {
+		if len(m) > 0 {
+			peers = append(peers, a)
+		}
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+
+	var out []PeerUpdate
+	for _, peer := range peers {
+		ps := make([]prefix.Prefix, 0, len(s.dirty[peer]))
+		for p := range s.dirty[peer] {
+			ps = append(ps, p)
+		}
+		sort.Slice(ps, func(i, j int) bool { return ps[i].Compare(ps[j]) < 0 })
+
+		var u Update
+		for _, p := range ps {
+			want, haveWant := s.adjOut.Get(peer, p)
+			got, haveGot := s.sent.Get(peer, p)
+			switch {
+			case haveWant && (!haveGot || !got.Equal(want)):
+				u.Announced = append(u.Announced, want)
+				s.sent.Set(peer, want)
+			case !haveWant && haveGot:
+				u.Withdrawn = append(u.Withdrawn, p)
+				s.sent.Remove(peer, p)
+			}
+		}
+		if len(u.Announced) > 0 || len(u.Withdrawn) > 0 {
+			out = append(out, PeerUpdate{Peer: peer, Update: u})
+			s.Stats.UpdatesOut++
+		}
+	}
+	s.dirty = make(map[aspath.ASN]map[prefix.Prefix]bool)
+	return out
+}
+
+// DumpRIBs renders the speaker's tables for debugging.
+func (s *Speaker) DumpRIBs() string { return Dump(s.adjIn, s.loc) }

@@ -1,0 +1,389 @@
+package bgp
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+
+	"pvr/internal/aspath"
+	"pvr/internal/community"
+	"pvr/internal/prefix"
+	"pvr/internal/route"
+)
+
+func mustSpeaker(t *testing.T, asn aspath.ASN, peers ...PeerConfig) *Speaker {
+	t.Helper()
+	s, err := NewSpeaker(Config{
+		ASN:      asn,
+		RouterID: uint32(asn),
+		NextHop:  netip.AddrFrom4([4]byte{10, 0, byte(asn >> 8), byte(asn)}),
+		Peers:    peers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// pump delivers queued updates between speakers until quiescence,
+// returning the number of update messages exchanged.
+func pump(t *testing.T, speakers map[aspath.ASN]*Speaker) int {
+	t.Helper()
+	msgs := 0
+	for round := 0; round < 1000; round++ {
+		moved := false
+		for _, s := range speakers {
+			for _, pu := range s.Drain() {
+				dst, ok := speakers[pu.Peer]
+				if !ok {
+					continue // peer not simulated
+				}
+				msgs++
+				if err := dst.HandleUpdate(s.ASN(), pu.Update); err != nil {
+					t.Fatalf("%s -> %s: %v", s.ASN(), pu.Peer, err)
+				}
+				moved = true
+			}
+		}
+		if !moved {
+			return msgs
+		}
+	}
+	t.Fatal("did not converge in 1000 rounds")
+	return msgs
+}
+
+func TestNewSpeakerValidation(t *testing.T) {
+	if _, err := NewSpeaker(Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	if _, err := NewSpeaker(Config{ASN: 1}); err == nil {
+		t.Error("missing next hop accepted")
+	}
+	nh := netip.MustParseAddr("10.0.0.1")
+	if _, err := NewSpeaker(Config{ASN: 1, NextHop: nh, Peers: []PeerConfig{{ASN: 1}}}); err == nil {
+		t.Error("self peer accepted")
+	}
+	if _, err := NewSpeaker(Config{ASN: 1, NextHop: nh, Peers: []PeerConfig{{ASN: 2}, {ASN: 2}}}); err == nil {
+		t.Error("duplicate peer accepted")
+	}
+}
+
+func TestLinePropagation(t *testing.T) {
+	// AS1 -- AS2 -- AS3: origin at AS1 must reach AS3 with path "2 1".
+	s1 := mustSpeaker(t, 1, PeerConfig{ASN: 2})
+	s2 := mustSpeaker(t, 2, PeerConfig{ASN: 1}, PeerConfig{ASN: 3})
+	s3 := mustSpeaker(t, 3, PeerConfig{ASN: 2})
+	net := map[aspath.ASN]*Speaker{1: s1, 2: s2, 3: s3}
+
+	p := prefix.MustParse("203.0.113.0/24")
+	if err := s1.Originate(p); err != nil {
+		t.Fatal(err)
+	}
+	pump(t, net)
+
+	best, ok := s3.Best(p)
+	if !ok {
+		t.Fatal("AS3 has no route")
+	}
+	if best.From != 2 || best.Route.Path.String() != "2 1" {
+		t.Errorf("AS3 best: from %v path %s", best.From, best.Route.Path)
+	}
+	// AS2 must not re-advertise the route back to AS1.
+	if _, ok := s1.adjIn.Get(2, p); ok {
+		t.Error("route echoed back to originator")
+	}
+}
+
+func TestWithdrawPropagates(t *testing.T) {
+	s1 := mustSpeaker(t, 1, PeerConfig{ASN: 2})
+	s2 := mustSpeaker(t, 2, PeerConfig{ASN: 1}, PeerConfig{ASN: 3})
+	s3 := mustSpeaker(t, 3, PeerConfig{ASN: 2})
+	net := map[aspath.ASN]*Speaker{1: s1, 2: s2, 3: s3}
+
+	p := prefix.MustParse("203.0.113.0/24")
+	if err := s1.Originate(p); err != nil {
+		t.Fatal(err)
+	}
+	pump(t, net)
+	s1.WithdrawOrigin(p)
+	pump(t, net)
+
+	if _, ok := s2.Best(p); ok {
+		t.Error("AS2 still has route after withdraw")
+	}
+	if _, ok := s3.Best(p); ok {
+		t.Error("AS3 still has route after withdraw")
+	}
+	if s3.LocRIBLen() != 0 {
+		t.Error("AS3 Loc-RIB not empty")
+	}
+}
+
+func TestShortestPathPreferredInDiamond(t *testing.T) {
+	// Diamond: 1 origin; 1–2–4 and 1–3a–3b–4 (longer). AS4 must pick via 2.
+	s1 := mustSpeaker(t, 1, PeerConfig{ASN: 2}, PeerConfig{ASN: 30})
+	s2 := mustSpeaker(t, 2, PeerConfig{ASN: 1}, PeerConfig{ASN: 4})
+	s30 := mustSpeaker(t, 30, PeerConfig{ASN: 1}, PeerConfig{ASN: 31})
+	s31 := mustSpeaker(t, 31, PeerConfig{ASN: 30}, PeerConfig{ASN: 4})
+	s4 := mustSpeaker(t, 4, PeerConfig{ASN: 2}, PeerConfig{ASN: 31})
+	net := map[aspath.ASN]*Speaker{1: s1, 2: s2, 30: s30, 31: s31, 4: s4}
+
+	p := prefix.MustParse("198.51.100.0/24")
+	if err := s1.Originate(p); err != nil {
+		t.Fatal(err)
+	}
+	pump(t, net)
+
+	best, ok := s4.Best(p)
+	if !ok {
+		t.Fatal("AS4 has no route")
+	}
+	if best.From != 2 {
+		t.Errorf("AS4 best from %v, want 2 (shortest path)", best.From)
+	}
+	if best.Route.PathLen() != 2 {
+		t.Errorf("AS4 path length %d, want 2", best.Route.PathLen())
+	}
+	// Both candidates present in Adj-RIB-In.
+	if got := len(s4.Candidates(p)); got != 2 {
+		t.Errorf("AS4 candidates = %d, want 2", got)
+	}
+}
+
+func TestFailoverToLongerPath(t *testing.T) {
+	s1 := mustSpeaker(t, 1, PeerConfig{ASN: 2}, PeerConfig{ASN: 30})
+	s2 := mustSpeaker(t, 2, PeerConfig{ASN: 1}, PeerConfig{ASN: 4})
+	s30 := mustSpeaker(t, 30, PeerConfig{ASN: 1}, PeerConfig{ASN: 31})
+	s31 := mustSpeaker(t, 31, PeerConfig{ASN: 30}, PeerConfig{ASN: 4})
+	s4 := mustSpeaker(t, 4, PeerConfig{ASN: 2}, PeerConfig{ASN: 31})
+	net := map[aspath.ASN]*Speaker{1: s1, 2: s2, 30: s30, 31: s31, 4: s4}
+
+	p := prefix.MustParse("198.51.100.0/24")
+	if err := s1.Originate(p); err != nil {
+		t.Fatal(err)
+	}
+	pump(t, net)
+
+	// Short path dies: AS4 drops its session to AS2.
+	s4.DropPeer(2)
+	pump(t, net)
+
+	best, ok := s4.Best(p)
+	if !ok {
+		t.Fatal("AS4 lost the route entirely")
+	}
+	if best.From != 31 || best.Route.PathLen() != 3 {
+		t.Errorf("AS4 failover: from %v len %d", best.From, best.Route.PathLen())
+	}
+}
+
+func TestLoopPreventionDropsOwnASN(t *testing.T) {
+	// A route whose path already contains the local AS must be dropped,
+	// counted, and never installed.
+	s := mustSpeaker(t, 2, PeerConfig{ASN: 1})
+	looped := testRoute("203.0.113.0/24", 1, 7, 2, 9)
+	if err := s.HandleUpdate(1, Update{Announced: []route.Route{looped}}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats.LoopsDropped != 1 {
+		t.Errorf("LoopsDropped = %d, want 1", s.Stats.LoopsDropped)
+	}
+	if _, ok := s.Best(looped.Prefix); ok {
+		t.Error("looped route installed")
+	}
+}
+
+func TestTriangleConverges(t *testing.T) {
+	// Triangle 1-2-3: propagation must reach quiescence and both neighbors
+	// must prefer the direct route from the originator.
+	s1 := mustSpeaker(t, 1, PeerConfig{ASN: 2}, PeerConfig{ASN: 3})
+	s2 := mustSpeaker(t, 2, PeerConfig{ASN: 1}, PeerConfig{ASN: 3})
+	s3 := mustSpeaker(t, 3, PeerConfig{ASN: 1}, PeerConfig{ASN: 2})
+	net := map[aspath.ASN]*Speaker{1: s1, 2: s2, 3: s3}
+
+	p := prefix.MustParse("203.0.113.0/24")
+	if err := s1.Originate(p); err != nil {
+		t.Fatal(err)
+	}
+	pump(t, net) // must terminate: loop prevention guarantees quiescence
+
+	b2, _ := s2.Best(p)
+	b3, _ := s3.Best(p)
+	if b2.From != 1 || b3.From != 1 {
+		t.Errorf("bests: AS2 from %v, AS3 from %v", b2.From, b3.From)
+	}
+}
+
+func TestImportPolicyFilters(t *testing.T) {
+	// AS2 rejects everything under 10.0.0.0/8 from AS1.
+	imp := &Policy{
+		Name: "no-ten",
+		Terms: []Term{
+			{Matches: []Match{MatchPrefixWithin{prefix.MustParse("10.0.0.0/8")}}, Result: Reject},
+		},
+		Default: Accept,
+	}
+	s1 := mustSpeaker(t, 1, PeerConfig{ASN: 2})
+	s2 := mustSpeaker(t, 2, PeerConfig{ASN: 1, Import: imp})
+	net := map[aspath.ASN]*Speaker{1: s1, 2: s2}
+
+	if err := s1.Originate(prefix.MustParse("10.1.0.0/16")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Originate(prefix.MustParse("203.0.113.0/24")); err != nil {
+		t.Fatal(err)
+	}
+	pump(t, net)
+
+	if _, ok := s2.Best(prefix.MustParse("10.1.0.0/16")); ok {
+		t.Error("filtered route installed")
+	}
+	if _, ok := s2.Best(prefix.MustParse("203.0.113.0/24")); !ok {
+		t.Error("unfiltered route missing")
+	}
+	if s2.Stats.RoutesRejected == 0 {
+		t.Error("no rejects counted")
+	}
+}
+
+func TestExportPolicyTagsAndFilters(t *testing.T) {
+	// AS2 exports to AS3 only routes without no-export, and tags exports.
+	exp := &Policy{
+		Name: "honor-no-export",
+		Terms: []Term{
+			{Matches: []Match{MatchCommunity{community.NoExport}}, Result: Reject},
+			{Actions: []Action{AddCommunity{community.Make(2, 100)}}, Result: Accept},
+		},
+		Default: Reject,
+	}
+	impTag := &Policy{ // AS2 tags routes for 10/8 with no-export at import
+		Name: "tag-ten",
+		Terms: []Term{
+			{
+				Matches: []Match{MatchPrefixWithin{prefix.MustParse("10.0.0.0/8")}},
+				Actions: []Action{AddCommunity{community.NoExport}},
+				Result:  Accept,
+			},
+		},
+		Default: Accept,
+	}
+	s1 := mustSpeaker(t, 1, PeerConfig{ASN: 2})
+	s2 := mustSpeaker(t, 2, PeerConfig{ASN: 1, Import: impTag}, PeerConfig{ASN: 3, Export: exp})
+	s3 := mustSpeaker(t, 3, PeerConfig{ASN: 2})
+	net := map[aspath.ASN]*Speaker{1: s1, 2: s2, 3: s3}
+
+	if err := s1.Originate(prefix.MustParse("10.1.0.0/16")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Originate(prefix.MustParse("203.0.113.0/24")); err != nil {
+		t.Fatal(err)
+	}
+	pump(t, net)
+
+	if _, ok := s3.Best(prefix.MustParse("10.1.0.0/16")); ok {
+		t.Error("no-export route leaked to AS3")
+	}
+	best, ok := s3.Best(prefix.MustParse("203.0.113.0/24"))
+	if !ok {
+		t.Fatal("allowed route missing at AS3")
+	}
+	if !best.Route.Communities.Has(community.Make(2, 100)) {
+		t.Error("export tag missing")
+	}
+}
+
+func TestHandleUpdateValidation(t *testing.T) {
+	s := mustSpeaker(t, 2, PeerConfig{ASN: 1})
+	// Unknown peer.
+	err := s.HandleUpdate(9, Update{})
+	if !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("unknown peer: %v", err)
+	}
+	// First-AS mismatch: peer 1 announces a path starting with 7.
+	err = s.HandleUpdate(1, Update{Announced: []route.Route{testRoute("10.0.0.0/8", 7)}})
+	if !errors.Is(err, ErrBadFirstAS) {
+		t.Errorf("first-AS: %v", err)
+	}
+	// Invalid route.
+	err = s.HandleUpdate(1, Update{Announced: []route.Route{{}}})
+	if err == nil {
+		t.Error("invalid route accepted")
+	}
+}
+
+func TestImplicitWithdrawReplaces(t *testing.T) {
+	s := mustSpeaker(t, 2, PeerConfig{ASN: 1})
+	p := prefix.MustParse("10.0.0.0/8")
+	r1 := testRoute("10.0.0.0/8", 1, 5)
+	if err := s.HandleUpdate(1, Update{Announced: []route.Route{r1}}); err != nil {
+		t.Fatal(err)
+	}
+	r2 := testRoute("10.0.0.0/8", 1) // better replacement
+	if err := s.HandleUpdate(1, Update{Announced: []route.Route{r2}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Candidates(p)); got != 1 {
+		t.Fatalf("candidates = %d, want 1 (implicit withdraw)", got)
+	}
+	best, _ := s.Best(p)
+	if best.Route.PathLen() != 1 {
+		t.Errorf("best len = %d, want replacement", best.Route.PathLen())
+	}
+}
+
+func TestDrainCoalescesAndClears(t *testing.T) {
+	s := mustSpeaker(t, 1, PeerConfig{ASN: 2})
+	if err := s.Originate(prefix.MustParse("10.0.0.0/8")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Originate(prefix.MustParse("10.1.0.0/16")); err != nil {
+		t.Fatal(err)
+	}
+	out := s.Drain()
+	if len(out) != 1 {
+		t.Fatalf("Drain = %d peer updates, want 1 (coalesced)", len(out))
+	}
+	if len(out[0].Update.Announced) != 2 {
+		t.Errorf("announced = %d, want 2", len(out[0].Update.Announced))
+	}
+	if len(s.Drain()) != 0 {
+		t.Error("second Drain not empty")
+	}
+	// Originate + withdraw in the same cycle nets out to nothing for a
+	// prefix never advertised.
+	p := prefix.MustParse("192.0.2.0/24")
+	if err := s.Originate(p); err != nil {
+		t.Fatal(err)
+	}
+	s.WithdrawOrigin(p)
+	for _, pu := range s.Drain() {
+		for _, w := range pu.Update.Withdrawn {
+			if w == p {
+				t.Error("withdraw sent for never-advertised prefix")
+			}
+		}
+		for _, a := range pu.Update.Announced {
+			if a.Prefix == p {
+				t.Error("announce survived cancellation")
+			}
+		}
+	}
+}
+
+func TestPeersSorted(t *testing.T) {
+	s := mustSpeaker(t, 1, PeerConfig{ASN: 30}, PeerConfig{ASN: 2}, PeerConfig{ASN: 7})
+	got := s.Peers()
+	want := []aspath.ASN{2, 7, 30}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Peers = %v", got)
+		}
+	}
+	if s.ASN() != 1 {
+		t.Error("ASN wrong")
+	}
+	if s.DumpRIBs() == "" {
+		t.Error("DumpRIBs empty")
+	}
+}

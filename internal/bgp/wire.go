@@ -1,0 +1,286 @@
+// Package bgp implements the interdomain-routing substrate the paper's PVR
+// system attaches to: an RFC 4271-style wire format, per-peer RIBs
+// (Adj-RIB-In, Loc-RIB, Adj-RIB-Out), the BGP decision process, a
+// match–action policy engine, a speaker suitable for deterministic
+// simulation, and a session FSM for use over real connections.
+//
+// The substrate is intentionally a single-router-per-AS model (every
+// session is eBGP) — exactly the granularity at which the paper reasons
+// about promises between neighboring networks.
+package bgp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"pvr/internal/aspath"
+	"pvr/internal/prefix"
+	"pvr/internal/route"
+)
+
+// MsgType identifies a BGP message on the wire.
+type MsgType uint8
+
+// Message types (RFC 4271 §4.1).
+const (
+	MsgOpen         MsgType = 1
+	MsgUpdate       MsgType = 2
+	MsgNotification MsgType = 3
+	MsgKeepalive    MsgType = 4
+)
+
+// String names the message type.
+func (m MsgType) String() string {
+	switch m {
+	case MsgOpen:
+		return "OPEN"
+	case MsgUpdate:
+		return "UPDATE"
+	case MsgNotification:
+		return "NOTIFICATION"
+	case MsgKeepalive:
+		return "KEEPALIVE"
+	}
+	return fmt.Sprintf("type(%d)", uint8(m))
+}
+
+// ErrBadMessage is returned for malformed wire encodings.
+var ErrBadMessage = errors.New("bgp: malformed message")
+
+// Open is the session-establishment message.
+type Open struct {
+	ASN      aspath.ASN
+	HoldTime uint16
+	RouterID uint32
+}
+
+// MarshalBinary encodes the OPEN body.
+func (o Open) MarshalBinary() ([]byte, error) {
+	b := make([]byte, 10)
+	binary.BigEndian.PutUint32(b[0:], uint32(o.ASN))
+	binary.BigEndian.PutUint16(b[4:], o.HoldTime)
+	binary.BigEndian.PutUint32(b[6:], o.RouterID)
+	return b, nil
+}
+
+// UnmarshalBinary decodes the OPEN body.
+func (o *Open) UnmarshalBinary(b []byte) error {
+	if len(b) != 10 {
+		return fmt.Errorf("%w: OPEN length %d", ErrBadMessage, len(b))
+	}
+	o.ASN = aspath.ASN(binary.BigEndian.Uint32(b))
+	o.HoldTime = binary.BigEndian.Uint16(b[4:])
+	o.RouterID = binary.BigEndian.Uint32(b[6:])
+	return nil
+}
+
+// Update announces routes and withdraws prefixes. Unlike RFC 4271's shared
+// path-attribute block, each announced route carries its own attributes;
+// this per-route form is what PVR commits to and signs.
+type Update struct {
+	Withdrawn []prefix.Prefix
+	Announced []route.Route
+	// Attachments carries opaque PVR payloads (signatures, commitments,
+	// proofs) keyed by a short label; empty in plain BGP.
+	Attachments map[string][]byte
+}
+
+// MarshalBinary encodes the UPDATE body.
+func (u Update) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	var n2 [2]byte
+	binary.BigEndian.PutUint16(n2[:], uint16(len(u.Withdrawn)))
+	buf.Write(n2[:])
+	for _, p := range u.Withdrawn {
+		pb, err := p.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		writeU16Bytes(&buf, pb)
+	}
+	binary.BigEndian.PutUint16(n2[:], uint16(len(u.Announced)))
+	buf.Write(n2[:])
+	for _, r := range u.Announced {
+		rb, err := r.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		writeU16Bytes(&buf, rb)
+	}
+	binary.BigEndian.PutUint16(n2[:], uint16(len(u.Attachments)))
+	buf.Write(n2[:])
+	for _, k := range sortedKeys(u.Attachments) {
+		writeU16Bytes(&buf, []byte(k))
+		writeU32Bytes(&buf, u.Attachments[k])
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary decodes the UPDATE body.
+func (u *Update) UnmarshalBinary(b []byte) error {
+	var out Update
+	rd := &reader{b: b}
+	nw, err := rd.u16()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < int(nw); i++ {
+		pb, err := rd.u16Bytes()
+		if err != nil {
+			return err
+		}
+		var p prefix.Prefix
+		if err := p.UnmarshalBinary(pb); err != nil {
+			return err
+		}
+		out.Withdrawn = append(out.Withdrawn, p)
+	}
+	na, err := rd.u16()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < int(na); i++ {
+		rb, err := rd.u16Bytes()
+		if err != nil {
+			return err
+		}
+		var r route.Route
+		if err := r.UnmarshalBinary(rb); err != nil {
+			return err
+		}
+		out.Announced = append(out.Announced, r)
+	}
+	nat, err := rd.u16()
+	if err != nil {
+		return err
+	}
+	if nat > 0 {
+		out.Attachments = make(map[string][]byte, nat)
+		for i := 0; i < int(nat); i++ {
+			k, err := rd.u16Bytes()
+			if err != nil {
+				return err
+			}
+			v, err := rd.u32Bytes()
+			if err != nil {
+				return err
+			}
+			out.Attachments[string(k)] = append([]byte(nil), v...)
+		}
+	}
+	if rd.len() != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadMessage, rd.len())
+	}
+	*u = out
+	return nil
+}
+
+// Notification reports a fatal session error.
+type Notification struct {
+	Code    uint8
+	Subcode uint8
+	Data    []byte
+}
+
+// Notification codes (subset of RFC 4271 §4.5).
+const (
+	NotifyMsgHeaderError  = 1
+	NotifyOpenError       = 2
+	NotifyUpdateError     = 3
+	NotifyHoldTimeExpired = 4
+	NotifyFSMError        = 5
+	NotifyCease           = 6
+)
+
+// MarshalBinary encodes the NOTIFICATION body.
+func (n Notification) MarshalBinary() ([]byte, error) {
+	return append([]byte{n.Code, n.Subcode}, n.Data...), nil
+}
+
+// UnmarshalBinary decodes the NOTIFICATION body.
+func (n *Notification) UnmarshalBinary(b []byte) error {
+	if len(b) < 2 {
+		return fmt.Errorf("%w: NOTIFICATION length %d", ErrBadMessage, len(b))
+	}
+	n.Code, n.Subcode = b[0], b[1]
+	n.Data = append([]byte(nil), b[2:]...)
+	return nil
+}
+
+// --- small wire helpers ---
+
+func writeU16Bytes(buf *bytes.Buffer, b []byte) {
+	var l [2]byte
+	binary.BigEndian.PutUint16(l[:], uint16(len(b)))
+	buf.Write(l[:])
+	buf.Write(b)
+}
+
+func writeU32Bytes(buf *bytes.Buffer, b []byte) {
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(b)))
+	buf.Write(l[:])
+	buf.Write(b)
+}
+
+func sortedKeys(m map[string][]byte) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+type reader struct{ b []byte }
+
+func (r *reader) len() int { return len(r.b) }
+
+func (r *reader) u16() (uint16, error) {
+	if len(r.b) < 2 {
+		return 0, fmt.Errorf("%w: short u16", ErrBadMessage)
+	}
+	v := binary.BigEndian.Uint16(r.b)
+	r.b = r.b[2:]
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if len(r.b) < 4 {
+		return 0, fmt.Errorf("%w: short u32", ErrBadMessage)
+	}
+	v := binary.BigEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v, nil
+}
+
+func (r *reader) take(n int) ([]byte, error) {
+	if n < 0 || len(r.b) < n {
+		return nil, fmt.Errorf("%w: short field", ErrBadMessage)
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out, nil
+}
+
+func (r *reader) u16Bytes() ([]byte, error) {
+	n, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	return r.take(int(n))
+}
+
+func (r *reader) u32Bytes() ([]byte, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	return r.take(int(n))
+}

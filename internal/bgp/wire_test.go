@@ -1,0 +1,146 @@
+package bgp
+
+import (
+	"net/netip"
+	"testing"
+
+	"pvr/internal/aspath"
+	"pvr/internal/community"
+	"pvr/internal/prefix"
+	"pvr/internal/route"
+)
+
+func testRoute(pfx string, asns ...aspath.ASN) route.Route {
+	return route.Route{
+		Prefix:    prefix.MustParse(pfx),
+		Path:      aspath.New(asns...),
+		NextHop:   netip.MustParseAddr("192.0.2.1"),
+		LocalPref: 100,
+		Origin:    route.OriginIGP,
+	}
+}
+
+func TestOpenRoundTrip(t *testing.T) {
+	o := Open{ASN: 64500, HoldTime: 90, RouterID: 0x0A000001}
+	b, err := o.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Open
+	if err := got.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if got != o {
+		t.Errorf("round trip %+v -> %+v", o, got)
+	}
+	if err := got.UnmarshalBinary(b[:5]); err == nil {
+		t.Error("short OPEN accepted")
+	}
+	if err := got.UnmarshalBinary(append(b, 0)); err == nil {
+		t.Error("long OPEN accepted")
+	}
+}
+
+func TestUpdateRoundTrip(t *testing.T) {
+	cases := []Update{
+		{}, // empty update
+		{Withdrawn: []prefix.Prefix{prefix.MustParse("10.0.0.0/8")}},
+		{Announced: []route.Route{testRoute("203.0.113.0/24", 64500)}},
+		{
+			Withdrawn: []prefix.Prefix{prefix.MustParse("10.0.0.0/8"), prefix.MustParse("10.1.0.0/16")},
+			Announced: []route.Route{
+				testRoute("203.0.113.0/24", 64500, 64501),
+				testRoute("198.51.100.0/24", 64500).WithCommunity(community.NoExport),
+			},
+			Attachments: map[string][]byte{
+				"pvr/sig":    {1, 2, 3},
+				"pvr/commit": {4, 5},
+			},
+		},
+	}
+	for i, u := range cases {
+		b, err := u.MarshalBinary()
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		var got Update
+		if err := got.UnmarshalBinary(b); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if len(got.Withdrawn) != len(u.Withdrawn) || len(got.Announced) != len(u.Announced) {
+			t.Fatalf("case %d: shape mismatch", i)
+		}
+		for j := range u.Withdrawn {
+			if got.Withdrawn[j] != u.Withdrawn[j] {
+				t.Errorf("case %d withdrawn %d mismatch", i, j)
+			}
+		}
+		for j := range u.Announced {
+			if !got.Announced[j].Equal(u.Announced[j]) {
+				t.Errorf("case %d announced %d mismatch", i, j)
+			}
+		}
+		for k, v := range u.Attachments {
+			if string(got.Attachments[k]) != string(v) {
+				t.Errorf("case %d attachment %q mismatch", i, k)
+			}
+		}
+		// Canonical: re-marshal must be identical (attachments sorted).
+		b2, err := got.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b) != string(b2) {
+			t.Errorf("case %d: non-canonical encoding", i)
+		}
+	}
+}
+
+func TestUpdateUnmarshalRejectsGarbage(t *testing.T) {
+	u := Update{
+		Withdrawn:   []prefix.Prefix{prefix.MustParse("10.0.0.0/8")},
+		Announced:   []route.Route{testRoute("203.0.113.0/24", 64500)},
+		Attachments: map[string][]byte{"k": {1}},
+	}
+	b, err := u.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Update
+	for n := 0; n < len(b); n++ {
+		if err := got.UnmarshalBinary(b[:n]); err == nil {
+			t.Errorf("truncation to %d accepted", n)
+		}
+	}
+	if err := got.UnmarshalBinary(append(b, 0)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}
+
+func TestNotificationRoundTrip(t *testing.T) {
+	n := Notification{Code: NotifyCease, Subcode: 2, Data: []byte("bye")}
+	b, err := n.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Notification
+	if err := got.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if got.Code != n.Code || got.Subcode != n.Subcode || string(got.Data) != "bye" {
+		t.Error("round trip mismatch")
+	}
+	if err := got.UnmarshalBinary([]byte{1}); err == nil {
+		t.Error("short notification accepted")
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	for mt, want := range map[MsgType]string{
+		MsgOpen: "OPEN", MsgUpdate: "UPDATE", MsgNotification: "NOTIFICATION", MsgKeepalive: "KEEPALIVE", MsgType(9): "type(9)",
+	} {
+		if mt.String() != want {
+			t.Errorf("%d.String() = %q", mt, mt.String())
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package commit
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestCommitVerify(t *testing.T) {
+	var c Committer
+	cm, op, err := c.Commit("test/tag", []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(cm, op); err != nil {
+		t.Fatalf("honest opening rejected: %v", err)
+	}
+}
+
+func TestCommitBindingValue(t *testing.T) {
+	var c Committer
+	cm, op, err := c.Commit("t", []byte("value-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Changing any component of the opening must fail verification.
+	bad := op
+	bad.Value = []byte("value-b")
+	if Verify(cm, bad) == nil {
+		t.Error("altered value accepted")
+	}
+	bad = op
+	bad.Tag = "t2"
+	if Verify(cm, bad) == nil {
+		t.Error("altered tag accepted")
+	}
+	bad = op
+	bad.Nonce[0] ^= 1
+	if Verify(cm, bad) == nil {
+		t.Error("altered nonce accepted")
+	}
+}
+
+func TestCommitHidingNonceMatters(t *testing.T) {
+	// The same value committed twice yields different commitments: without
+	// this, a neighbor could test c = H(0) or H(1) (paper footnote 2).
+	var c Committer
+	cm1, _, err := c.CommitBit("t", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm2, _, err := c.CommitBit("t", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm1 == cm2 {
+		t.Error("commitments to equal bits are equal; nonce missing")
+	}
+}
+
+func TestTagDomainSeparation(t *testing.T) {
+	var c Committer
+	_, op, err := c.Commit("tag-one", []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same (value, nonce) under a different tag yields a different
+	// digest, so protocol fields cannot be confused.
+	other := op
+	other.Tag = "tag-two"
+	cm1 := mustDigest(t, op)
+	cm2 := mustDigest(t, other)
+	if cm1 == cm2 {
+		t.Error("tags do not separate domains")
+	}
+}
+
+func mustDigest(t *testing.T, o Opening) Commitment {
+	t.Helper()
+	return digest(o.Tag, o.Value, o.Nonce)
+}
+
+func TestBitRoundTrip(t *testing.T) {
+	var c Committer
+	for _, b := range []bool{false, true} {
+		cm, op, err := c.CommitBit("bit", b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(cm, op); err != nil {
+			t.Fatal(err)
+		}
+		got, err := op.Bit()
+		if err != nil || got != b {
+			t.Errorf("Bit() = %v, %v; want %v", got, err, b)
+		}
+	}
+	// Malformed bit values are rejected.
+	bad := Opening{Tag: "bit", Value: []byte{2}}
+	if _, err := bad.Bit(); err == nil {
+		t.Error("bit value 2 accepted")
+	}
+	bad.Value = []byte{0, 0}
+	if _, err := bad.Bit(); err == nil {
+		t.Error("two-byte bit accepted")
+	}
+	bad.Value = nil
+	if _, err := bad.Bit(); err == nil {
+		t.Error("empty bit accepted")
+	}
+}
+
+func TestOpeningMarshalRoundTrip(t *testing.T) {
+	var c Committer
+	_, op, err := c.Commit("round/trip", []byte{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := op.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Opening
+	if err := got.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if got.Tag != op.Tag || !bytes.Equal(got.Value, op.Value) || got.Nonce != op.Nonce {
+		t.Error("round trip mismatch")
+	}
+	// Truncations fail cleanly.
+	for n := 0; n < len(b); n++ {
+		var o Opening
+		if err := o.UnmarshalBinary(b[:n]); err == nil {
+			t.Errorf("truncation to %d accepted", n)
+		}
+	}
+	var o Opening
+	if err := o.UnmarshalBinary(append(b, 0)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}
+
+func TestQuickCommitRoundTrip(t *testing.T) {
+	var c Committer
+	f := func(tag string, value []byte) bool {
+		cm, op, err := c.Commit(tag, value)
+		if err != nil {
+			return false
+		}
+		if Verify(cm, op) != nil {
+			return false
+		}
+		enc, err := op.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var op2 Opening
+		if err := op2.UnmarshalBinary(enc); err != nil {
+			return false
+		}
+		return Verify(cm, op2) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitVector(t *testing.T) {
+	var c Committer
+	bits := []bool{false, false, true, true, true}
+	bv, err := c.CommitBitVector("as1/p1", bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bv.Len() != 5 {
+		t.Fatalf("Len = %d", bv.Len())
+	}
+	// Each position opens against its own commitment and tag.
+	for i := 1; i <= 5; i++ {
+		op, err := bv.Open(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if op.Tag != VectorTag("as1/p1", i) {
+			t.Errorf("position %d tag %q", i, op.Tag)
+		}
+		if err := Verify(bv.Commitments[i-1], op); err != nil {
+			t.Errorf("position %d: %v", i, err)
+		}
+		b, err := op.Bit()
+		if err != nil || b != bits[i-1] {
+			t.Errorf("position %d bit = %v, %v", i, b, err)
+		}
+	}
+	// Openings cannot be swapped across positions: tags differ.
+	op3, _ := bv.Open(3)
+	if err := Verify(bv.Commitments[3], op3); err == nil {
+		t.Error("opening for position 3 verified against commitment 4")
+	}
+	if _, err := bv.Open(0); err == nil {
+		t.Error("position 0 accepted")
+	}
+	if _, err := bv.Open(6); err == nil {
+		t.Error("position 6 accepted")
+	}
+	if got := len(bv.OpenAll()); got != 5 {
+		t.Errorf("OpenAll len = %d", got)
+	}
+}
+
+func TestBitVectorRejectsNonMonotone(t *testing.T) {
+	var c Committer
+	if _, err := c.CommitBitVector("x", []bool{true, false}); err == nil {
+		t.Error("non-monotone vector committed")
+	}
+}
+
+func TestMinFromBits(t *testing.T) {
+	cases := []struct {
+		bits []bool
+		min  int
+		ok   bool
+	}{
+		{[]bool{false, false, true, true}, 3, true},
+		{[]bool{true, true}, 1, true},
+		{[]bool{false, false}, 0, false},
+		{nil, 0, false},
+	}
+	for i, c := range cases {
+		m, ok := MinFromBits(c.bits)
+		if m != c.min || ok != c.ok {
+			t.Errorf("case %d: MinFromBits = %d,%v; want %d,%v", i, m, ok, c.min, c.ok)
+		}
+	}
+}
+
+func TestCheckMonotone(t *testing.T) {
+	if err := CheckMonotone([]bool{false, true, true}); err != nil {
+		t.Errorf("monotone rejected: %v", err)
+	}
+	if err := CheckMonotone([]bool{false, true, false}); err == nil {
+		t.Error("non-monotone accepted")
+	}
+	if err := CheckMonotone(nil); err != nil {
+		t.Errorf("empty rejected: %v", err)
+	}
+}
+
+func TestQuickMinConsistentWithMonotone(t *testing.T) {
+	// For any monotone vector built from a threshold, MinFromBits returns
+	// the threshold.
+	f := func(k uint8, thr uint8) bool {
+		n := int(k%32) + 1
+		tr := int(thr)%n + 1
+		bits := make([]bool, n)
+		for i := tr - 1; i < n; i++ {
+			bits[i] = true
+		}
+		if CheckMonotone(bits) != nil {
+			return false
+		}
+		m, ok := MinFromBits(bits)
+		return ok && m == tr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,190 @@
+// Package community implements RFC 1997 BGP communities: 32-bit route tags
+// written "ASN:value" that policies match on. PVR route-flow graphs use
+// community operators to express tagging promises (paper §4, "operators
+// that evaluate communities").
+package community
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Community is a 32-bit tag, conventionally split ASN:value.
+type Community uint32
+
+// Well-known communities from RFC 1997.
+const (
+	NoExport          Community = 0xFFFFFF01
+	NoAdvertise       Community = 0xFFFFFF02
+	NoExportSubconfed Community = 0xFFFFFF03
+)
+
+// ErrBadCommunity is returned for unparseable community strings or
+// malformed encodings.
+var ErrBadCommunity = errors.New("community: malformed community")
+
+// Make builds a community from its conventional ASN:value halves.
+func Make(asn, value uint16) Community {
+	return Community(uint32(asn)<<16 | uint32(value))
+}
+
+// Halves splits the community into its conventional ASN:value parts.
+func (c Community) Halves() (asn, value uint16) {
+	return uint16(c >> 16), uint16(c)
+}
+
+// String renders "ASN:value", or the well-known name if it has one.
+func (c Community) String() string {
+	switch c {
+	case NoExport:
+		return "no-export"
+	case NoAdvertise:
+		return "no-advertise"
+	case NoExportSubconfed:
+		return "no-export-subconfed"
+	}
+	a, v := c.Halves()
+	return fmt.Sprintf("%d:%d", a, v)
+}
+
+// Parse parses "ASN:value" or a well-known name.
+func Parse(s string) (Community, error) {
+	switch s {
+	case "no-export":
+		return NoExport, nil
+	case "no-advertise":
+		return NoAdvertise, nil
+	case "no-export-subconfed":
+		return NoExportSubconfed, nil
+	}
+	a, v, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrBadCommunity, s)
+	}
+	an, err := strconv.ParseUint(a, 10, 16)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %q: %v", ErrBadCommunity, s, err)
+	}
+	vn, err := strconv.ParseUint(v, 10, 16)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %q: %v", ErrBadCommunity, s, err)
+	}
+	return Make(uint16(an), uint16(vn)), nil
+}
+
+// Set is an immutable, sorted, duplicate-free collection of communities
+// attached to a route. The zero value is the empty set.
+type Set struct {
+	cs []Community
+}
+
+// NewSet builds a set from the given communities, sorting and deduplicating.
+func NewSet(cs ...Community) Set {
+	if len(cs) == 0 {
+		return Set{}
+	}
+	cp := make([]Community, len(cs))
+	copy(cp, cs)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	out := cp[:1]
+	for _, c := range cp[1:] {
+		if c != out[len(out)-1] {
+			out = append(out, c)
+		}
+	}
+	return Set{cs: out}
+}
+
+// Len returns the number of communities in the set.
+func (s Set) Len() int { return len(s.cs) }
+
+// Has reports membership.
+func (s Set) Has(c Community) bool {
+	i := sort.Search(len(s.cs), func(i int) bool { return s.cs[i] >= c })
+	return i < len(s.cs) && s.cs[i] == c
+}
+
+// All returns the communities in sorted order (a copy).
+func (s Set) All() []Community {
+	out := make([]Community, len(s.cs))
+	copy(out, s.cs)
+	return out
+}
+
+// Add returns a new set with c added.
+func (s Set) Add(c Community) Set {
+	if s.Has(c) {
+		return s
+	}
+	return NewSet(append(s.All(), c)...)
+}
+
+// Remove returns a new set with c removed.
+func (s Set) Remove(c Community) Set {
+	if !s.Has(c) {
+		return s
+	}
+	out := make([]Community, 0, len(s.cs)-1)
+	for _, x := range s.cs {
+		if x != c {
+			out = append(out, x)
+		}
+	}
+	return Set{cs: out}
+}
+
+// Equal reports whether two sets hold the same communities.
+func (s Set) Equal(t Set) bool {
+	if len(s.cs) != len(t.cs) {
+		return false
+	}
+	for i := range s.cs {
+		if s.cs[i] != t.cs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set as space-separated communities, "[]" when empty.
+func (s Set) String() string {
+	if len(s.cs) == 0 {
+		return "[]"
+	}
+	parts := make([]string, len(s.cs))
+	for i, c := range s.cs {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// MarshalBinary encodes the set as big-endian 32-bit values in sorted order,
+// a canonical form suitable for hashing into commitments.
+func (s Set) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 0, 4*len(s.cs))
+	for _, c := range s.cs {
+		out = binary.BigEndian.AppendUint32(out, uint32(c))
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes the MarshalBinary encoding, rejecting unsorted or
+// duplicate entries so the canonical form is unique on the wire.
+func (s *Set) UnmarshalBinary(b []byte) error {
+	if len(b)%4 != 0 {
+		return fmt.Errorf("%w: length %d", ErrBadCommunity, len(b))
+	}
+	cs := make([]Community, len(b)/4)
+	for i := range cs {
+		cs[i] = Community(binary.BigEndian.Uint32(b[4*i:]))
+		if i > 0 && cs[i] <= cs[i-1] {
+			return fmt.Errorf("%w: non-canonical order", ErrBadCommunity)
+		}
+	}
+	s.cs = cs
+	return nil
+}

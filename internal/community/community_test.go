@@ -1,0 +1,138 @@
+package community
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeHalves(t *testing.T) {
+	c := Make(64500, 120)
+	a, v := c.Halves()
+	if a != 64500 || v != 120 {
+		t.Fatalf("Halves = %d:%d", a, v)
+	}
+	if c.String() != "64500:120" {
+		t.Errorf("String = %q", c.String())
+	}
+}
+
+func TestParse(t *testing.T) {
+	good := map[string]Community{
+		"64500:120":    Make(64500, 120),
+		"0:0":          Make(0, 0),
+		"65535:65535":  Make(65535, 65535),
+		"no-export":    NoExport,
+		"no-advertise": NoAdvertise,
+	}
+	for s, want := range good {
+		got, err := Parse(s)
+		if err != nil || got != want {
+			t.Errorf("Parse(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	for _, s := range []string{"", "1", "1:2:3", "x:1", "1:x", "70000:1", "1:70000"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted", s)
+		}
+	}
+}
+
+func TestWellKnownStrings(t *testing.T) {
+	if NoExport.String() != "no-export" || NoAdvertise.String() != "no-advertise" || NoExportSubconfed.String() != "no-export-subconfed" {
+		t.Error("well-known names wrong")
+	}
+	rt, err := Parse("no-export")
+	if err != nil || rt != NoExport {
+		t.Error("well-known parse wrong")
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(Make(1, 2), Make(3, 4), Make(1, 2)) // dup removed
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if !s.Has(Make(1, 2)) || s.Has(Make(9, 9)) {
+		t.Error("Has wrong")
+	}
+	s2 := s.Add(Make(9, 9))
+	if s2.Len() != 3 || s.Len() != 2 {
+		t.Error("Add not persistent")
+	}
+	s3 := s2.Remove(Make(1, 2))
+	if s3.Len() != 2 || s3.Has(Make(1, 2)) {
+		t.Error("Remove wrong")
+	}
+	// Removing an absent element returns the same contents.
+	if !s.Remove(Make(42, 42)).Equal(s) {
+		t.Error("Remove absent changed set")
+	}
+	var empty Set
+	if empty.Len() != 0 || empty.String() != "[]" {
+		t.Error("zero Set wrong")
+	}
+	if !NewSet().Equal(empty) {
+		t.Error("NewSet() != zero set")
+	}
+}
+
+func TestSetOrderCanonical(t *testing.T) {
+	a := NewSet(Make(3, 3), Make(1, 1), Make(2, 2))
+	b := NewSet(Make(2, 2), Make(3, 3), Make(1, 1))
+	if !a.Equal(b) {
+		t.Error("order should not matter")
+	}
+	all := a.All()
+	for i := 1; i < len(all); i++ {
+		if all[i] <= all[i-1] {
+			t.Error("All not sorted")
+		}
+	}
+}
+
+func TestSetMarshalRoundTrip(t *testing.T) {
+	s := NewSet(NoExport, Make(64500, 1), Make(64500, 2))
+	b, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var u Set
+	if err := u.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if !u.Equal(s) {
+		t.Errorf("round trip %v -> %v", s, u)
+	}
+	// Reject: bad length, unsorted, duplicate.
+	if err := u.UnmarshalBinary([]byte{1, 2, 3}); err == nil {
+		t.Error("ragged length accepted")
+	}
+	if err := u.UnmarshalBinary([]byte{0, 0, 0, 2, 0, 0, 0, 1}); err == nil {
+		t.Error("unsorted accepted")
+	}
+	if err := u.UnmarshalBinary([]byte{0, 0, 0, 1, 0, 0, 0, 1}); err == nil {
+		t.Error("duplicate accepted")
+	}
+}
+
+func TestQuickSetDedup(t *testing.T) {
+	f := func(vals []uint32) bool {
+		cs := make([]Community, len(vals))
+		for i, v := range vals {
+			cs[i] = Community(v)
+		}
+		s := NewSet(cs...)
+		// Every input is a member, membership count matches unique count.
+		uniq := map[Community]bool{}
+		for _, c := range cs {
+			if !s.Has(c) {
+				return false
+			}
+			uniq[c] = true
+		}
+		return s.Len() == len(uniq)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"testing"
+
+	"pvr/internal/commit"
+	"pvr/internal/route"
+)
+
+func TestHonestExistsProtocol(t *testing.T) {
+	f := newFixture(t)
+	p := f.prover(t)
+	p.BeginEpoch(60, f.pfx)
+	ann := f.provide(t, 101, 60, 4)
+	if _, err := p.AcceptAnnouncement(ann); err != nil {
+		t.Fatal(err)
+	}
+	ec, op, err := p.CommitExists()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Provider view.
+	nv, err := p.DiscloseExistsToProvider(ec, *op, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyExistsProviderView(f.reg, nv, ann); err != nil {
+		t.Errorf("provider rejected honest view: %v", err)
+	}
+	// Promisee view.
+	bv, err := p.DiscloseExistsToPromisee(ec, *op, promiseeASN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyExistsPromiseeView(f.reg, bv); err != nil {
+		t.Errorf("promisee rejected honest view: %v", err)
+	}
+	if bv.Export.Empty {
+		t.Error("export should carry the route")
+	}
+}
+
+func TestHonestExistsProtocolEmpty(t *testing.T) {
+	f := newFixture(t)
+	p := f.prover(t)
+	p.BeginEpoch(61, f.pfx)
+	ec, op, err := p.CommitExists()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bv, err := p.DiscloseExistsToPromisee(ec, *op, promiseeASN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyExistsPromiseeView(f.reg, bv); err != nil {
+		t.Errorf("empty epoch rejected: %v", err)
+	}
+	if !bv.Export.Empty {
+		t.Error("export should be empty")
+	}
+	// No provider can be disclosed to.
+	if _, err := p.DiscloseExistsToProvider(ec, *op, 101); err == nil {
+		t.Error("disclosure to non-provider succeeded")
+	}
+}
+
+// cheatExists builds a signed existential commitment to an arbitrary bit.
+func cheatExists(t *testing.T, f *fixture, epoch uint64, bit bool) (*ExistsCommitment, commit.Opening) {
+	t.Helper()
+	var cm commit.Committer
+	c, op, err := cm.CommitBit(ExistsTag(proverASN, f.pfx, epoch), bit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec := &ExistsCommitment{Prover: proverASN, Epoch: epoch, Prefix: f.pfx, Commitment: c}
+	msg, err := ec.bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ec.Sig, err = f.signers[proverASN].Sign(msg); err != nil {
+		t.Fatal(err)
+	}
+	return ec, op
+}
+
+func TestExistsDetectionFalseBit(t *testing.T) {
+	// A received a route but commits b = 0: the provider must detect.
+	f := newFixture(t)
+	ann := f.provide(t, 101, 62, 4)
+	ec, op := cheatExists(t, f, 62, false)
+	v := &ExistsProviderView{Commitment: ec, Opening: op}
+	err := VerifyExistsProviderView(f.reg, v, ann)
+	viol, ok := IsViolation(err)
+	if !ok || viol.Kind != "false-bit" {
+		t.Fatalf("expected false-bit violation, got %v", err)
+	}
+}
+
+func TestExistsDetectionBadExport(t *testing.T) {
+	f := newFixture(t)
+	// b = 1 but nothing exported.
+	ec, op := cheatExists(t, f, 63, true)
+	exp, err := NewExportStatement(f.signers[proverASN], proverASN, promiseeASN, 63, route.Route{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := &ExistsPromiseeView{Commitment: ec, Opening: op, Export: exp}
+	verr := VerifyExistsPromiseeView(f.reg, v)
+	viol, ok := IsViolation(verr)
+	if !ok || viol.Kind != "bad-export" {
+		t.Fatalf("expected bad-export, got %v", verr)
+	}
+
+	// b = 0 but a route exported.
+	ec0, op0 := cheatExists(t, f, 64, false)
+	ann := f.provide(t, 101, 64, 3)
+	exported, err := ann.Route.WithPrepended(proverASN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp0, err := NewExportStatement(f.signers[proverASN], proverASN, promiseeASN, 64, exported, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0 := &ExistsPromiseeView{Commitment: ec0, Opening: op0, Winner: &ann, Export: exp0}
+	verr = VerifyExistsPromiseeView(f.reg, v0)
+	viol, ok = IsViolation(verr)
+	if !ok || viol.Kind != "bad-export" {
+		t.Fatalf("expected bad-export, got %v", verr)
+	}
+}
+
+func TestExistsExportMustExtendWinner(t *testing.T) {
+	// A exports a route unrelated to the provenance it shows.
+	f := newFixture(t)
+	p := f.prover(t)
+	p.BeginEpoch(65, f.pfx)
+	ann := f.provide(t, 101, 65, 3)
+	if _, err := p.AcceptAnnouncement(ann); err != nil {
+		t.Fatal(err)
+	}
+	ec, op, err := p.CommitExists()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bv, err := p.DiscloseExistsToPromisee(ec, *op, promiseeASN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replace the export with a fabricated path.
+	other := f.provide(t, 102, 65, 2)
+	exported, err := other.Route.WithPrepended(proverASN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bv.Export, err = NewExportStatement(f.signers[proverASN], proverASN, promiseeASN, 65, exported, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verr := VerifyExistsPromiseeView(f.reg, bv)
+	viol, ok := IsViolation(verr)
+	if !ok || viol.Kind != "bad-export" {
+		t.Fatalf("expected bad-export, got %v", verr)
+	}
+}
+
+func TestExistsCommitmentEqual(t *testing.T) {
+	f := newFixture(t)
+	e1, _ := cheatExists(t, f, 66, true)
+	e2, _ := cheatExists(t, f, 66, true)
+	if e1.Equal(e2) {
+		t.Error("fresh nonces must differ")
+	}
+	if !e1.Equal(e1) {
+		t.Error("self equality")
+	}
+	if e1.GossipTopic() == "" || e1.GossipTopic() != e2.GossipTopic() {
+		t.Error("gossip topics inconsistent")
+	}
+}

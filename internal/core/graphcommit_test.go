@@ -1,0 +1,314 @@
+package core
+
+import (
+	"testing"
+
+	"pvr/internal/aspath"
+	"pvr/internal/rfg"
+	"pvr/internal/route"
+)
+
+// fig2Fixture builds the Fig. 2 scenario: graph, access policy, inputs.
+func fig2Fixture(t *testing.T, k int) (*rfg.Graph, *rfg.Access, []rfg.VarID, map[rfg.VarID][]route.Route) {
+	t.Helper()
+	g, ins, outVar, err := rfg.Fig2(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := newFixture(t)
+	access := rfg.NewAccess()
+	// B sees the output, both operators (type + edges), and the edges (but
+	// not the data) of the intermediate variable v.
+	access.AllowAll(promiseeASN, outVar.Label())
+	access.AllowAll(promiseeASN, rfg.OpID("prefer").Label())
+	access.AllowAll(promiseeASN, rfg.OpID("exists").Label())
+	access.Allow(promiseeASN, rfg.VarID("v").Label(), rfg.CompPreds, rfg.CompSuccs)
+	// Each provider sees only its own input variable.
+	for i, v := range ins {
+		access.AllowAll(aspath.ASN(101+i), v.Label())
+	}
+
+	inputs := map[rfg.VarID][]route.Route{
+		ins[0]: {f.provide(t, 101, 70, 6).Route},
+		ins[1]: {f.provide(t, 102, 70, 3).Route},
+	}
+	return g, access, ins, inputs
+}
+
+func TestGraphCommitDiscloseVerify(t *testing.T) {
+	f := newFixture(t)
+	g, access, _, inputs := fig2Fixture(t, 4)
+	gp := NewGraphProver(proverASN, f.signers[proverASN], g, access)
+	gc, err := gp.Commit(70, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gc.Verify(f.reg); err != nil {
+		t.Fatalf("root signature: %v", err)
+	}
+
+	// B verifies the output vertex: full disclosure.
+	d, err := gp.Disclose(promiseeASN, "var(ro)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv, err := VerifyVertexDisclosure(f.reg, gc, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dv.HasData || len(dv.Routes) != 1 {
+		t.Fatalf("ro data = %+v", dv)
+	}
+	// Fig2 with r1 length 6 and r2 length 3: the exists branch wins.
+	if dv.Routes[0].PathLen() != 3 {
+		t.Errorf("ro length %d, want 3", dv.Routes[0].PathLen())
+	}
+	if !dv.HasPreds || len(dv.Preds) != 1 || dv.Preds[0] != "rule(prefer)" {
+		t.Errorf("ro preds = %v", dv.Preds)
+	}
+
+	// B verifies the operator vertex: sees the type.
+	d, err = gp.Disclose(promiseeASN, "rule(prefer)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv, err = VerifyVertexDisclosure(f.reg, gc, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dv.OpType != "prefer-first" {
+		t.Errorf("op type %q", dv.OpType)
+	}
+}
+
+func TestGraphAccessControlEnforced(t *testing.T) {
+	f := newFixture(t)
+	g, access, ins, inputs := fig2Fixture(t, 4)
+	gp := NewGraphProver(proverASN, f.signers[proverASN], g, access)
+	gc, err := gp.Commit(70, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// B may not fetch r1 at all.
+	if _, err := gp.Disclose(promiseeASN, ins[0].Label()); err == nil {
+		t.Error("unauthorized disclosure succeeded")
+	}
+	// B's view of v has edges but no data.
+	d, err := gp.Disclose(promiseeASN, "var(v)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv, err := VerifyVertexDisclosure(f.reg, gc, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dv.HasData {
+		t.Error("v's data disclosed despite α")
+	}
+	if !dv.HasPreds || !dv.HasSuccs {
+		t.Error("v's edges missing")
+	}
+	// Provider 101 sees its own variable's data.
+	d, err = gp.Disclose(101, ins[0].Label())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv, err = VerifyVertexDisclosure(f.reg, gc, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dv.HasData || len(dv.Routes) != 1 || dv.Routes[0].PathLen() != 6 {
+		t.Errorf("101's view of r1 = %+v", dv)
+	}
+	// Provider 101 may not see r2.
+	if _, err := gp.Disclose(101, ins[1].Label()); err == nil {
+		t.Error("cross-provider disclosure succeeded")
+	}
+}
+
+func TestGraphDisclosureTamperRejected(t *testing.T) {
+	f := newFixture(t)
+	g, access, _, inputs := fig2Fixture(t, 4)
+	gp := NewGraphProver(proverASN, f.signers[proverASN], g, access)
+	gc, err := gp.Commit(70, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with the disclosed route value: flip a byte in the data
+	// opening. The commitment check must reject.
+	d2, err := gp.Disclose(promiseeASN, "var(ro)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := d2.Openings[rfg.CompData]
+	op.Value = append([]byte(nil), op.Value...)
+	op.Value[len(op.Value)-1] ^= 1
+	d2.Openings[rfg.CompData] = op
+	if _, err := VerifyVertexDisclosure(f.reg, gc, d2); err == nil {
+		t.Error("tampered data opening accepted")
+	}
+	// Tamper with the Merkle proof payload.
+	d3, err := gp.Disclose(promiseeASN, "var(ro)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d3.Proof.Payload[0] ^= 1
+	if _, err := VerifyVertexDisclosure(f.reg, gc, d3); err == nil {
+		t.Error("tampered proof accepted")
+	}
+	// Claim the proof is for a different label.
+	d4, err := gp.Disclose(promiseeASN, "var(ro)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d4.Label = "var(v)"
+	if _, err := VerifyVertexDisclosure(f.reg, gc, d4); err == nil {
+		t.Error("label substitution accepted")
+	}
+}
+
+func TestNavigateRespectsAccess(t *testing.T) {
+	f := newFixture(t)
+	g, access, ins, inputs := fig2Fixture(t, 4)
+	gp := NewGraphProver(proverASN, f.signers[proverASN], g, access)
+	gc, err := gp.Commit(70, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fetch := func(label string) (*VertexDisclosure, error) {
+		return gp.Disclose(promiseeASN, label)
+	}
+	seen, err := Navigate(f.reg, gc, "var(ro)", fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// B walks ro -> prefer -> {v, r1} ... r1 denied, v edges-only ->
+	// exists -> {r2..r4} all denied.
+	for _, want := range []string{"var(ro)", "rule(prefer)", "var(v)", "rule(exists)"} {
+		if _, ok := seen[want]; !ok {
+			t.Errorf("navigation missed %s", want)
+		}
+	}
+	for _, in := range ins {
+		if _, ok := seen[in.Label()]; ok {
+			t.Errorf("navigation reached unauthorized %s", in.Label())
+		}
+	}
+	// B can confirm structure: prefer reads v and r1.
+	preds := seen["rule(prefer)"].Preds
+	if len(preds) != 2 {
+		t.Errorf("prefer preds = %v", preds)
+	}
+}
+
+func TestGraphProofSizeIndependentOfGraphSize(t *testing.T) {
+	// Confidentiality: the proof for a vertex has length determined only
+	// by its label, not by how many other vertices exist.
+	f := newFixture(t)
+	sizes := []int{2, 8, 16}
+	var lens []int
+	for _, k := range sizes {
+		g, ins, _, err := rfg.Fig2(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		access := rfg.NewAccess()
+		access.AllowAll(promiseeASN, "var(ro)")
+		gp := NewGraphProver(proverASN, f.signers[proverASN], g, access)
+		if _, err := gp.Commit(70, map[rfg.VarID][]route.Route{
+			ins[0]: {f.provide(t, 101, 70, 2).Route},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		d, err := gp.Disclose(promiseeASN, "var(ro)")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lens = append(lens, len(d.Proof.Siblings))
+	}
+	for i := 1; i < len(lens); i++ {
+		if lens[i] != lens[0] {
+			t.Errorf("proof length varies with graph size: %v for sizes %v", lens, sizes)
+		}
+	}
+}
+
+func TestGraphCommitDeterministicEval(t *testing.T) {
+	// Committing twice over the same inputs yields different roots (hiding)
+	// but identical disclosed values.
+	f := newFixture(t)
+	g, access, _, inputs := fig2Fixture(t, 4)
+	gp1 := NewGraphProver(proverASN, f.signers[proverASN], g, access)
+	gc1, err := gp1.Commit(70, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp2 := NewGraphProver(proverASN, f.signers[proverASN], g, access)
+	gc2, err := gp2.Commit(70, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gc1.Root == gc2.Root {
+		t.Error("roots equal: commitment not hiding")
+	}
+	d1, err := gp1.Disclose(promiseeASN, "var(ro)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := gp2.Disclose(promiseeASN, "var(ro)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := VerifyVertexDisclosure(f.reg, gc1, d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := VerifyVertexDisclosure(f.reg, gc2, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v1.Routes) != 1 || len(v2.Routes) != 1 || !v1.Routes[0].Equal(v2.Routes[0]) {
+		t.Error("same inputs, different disclosed outputs")
+	}
+}
+
+func TestStringListRoundTrip(t *testing.T) {
+	for _, ls := range [][]string{nil, {}, {"a"}, {"var(x)", "rule(y)"}, {"z", "a", "m"}} {
+		b := encodeStringList(ls)
+		got, err := decodeStringList(b)
+		if err != nil {
+			t.Fatalf("%v: %v", ls, err)
+		}
+		if len(got) != len(ls) {
+			t.Fatalf("%v -> %v", ls, got)
+		}
+	}
+	if _, err := decodeStringList([]byte{0, 5, 0}); err == nil {
+		t.Error("short list accepted")
+	}
+	if _, err := decodeStringList([]byte{}); err == nil {
+		t.Error("empty bytes accepted")
+	}
+}
+
+func TestRoutesRoundTrip(t *testing.T) {
+	f := newFixture(t)
+	rs := []route.Route{
+		f.provide(t, 101, 1, 3).Route,
+		f.provide(t, 102, 1, 5).Route,
+	}
+	b, err := encodeRoutes(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeRoutes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !got[0].Equal(rs[0]) || !got[1].Equal(rs[1]) {
+		t.Error("route list round trip failed")
+	}
+	if _, err := decodeRoutes(b[:len(b)-1]); err == nil {
+		t.Error("truncated route list accepted")
+	}
+}

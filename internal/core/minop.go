@@ -1,0 +1,423 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"pvr/internal/aspath"
+	"pvr/internal/commit"
+	"pvr/internal/prefix"
+	"pvr/internal/route"
+	"pvr/internal/sigs"
+)
+
+// This file implements the §3.3 minimum-operator protocol for the Fig. 1
+// scenario: A promises B to export the shortest route received from
+// N_1 … N_k. A commits to the monotone bit vector b_1 … b_K (b_i = "some
+// input has AS-path length ≤ i"), reveals b_{|r_i|} to each provider N_i,
+// and the whole vector plus the winning signed input to the promisee B.
+
+// MinCommitment is A's signed, published commitment for one (prefix,
+// epoch): the bit-vector commitments of §3.3. Neighbors gossip it to
+// detect equivocation.
+type MinCommitment struct {
+	Prover      aspath.ASN
+	Epoch       uint64
+	Prefix      prefix.Prefix
+	Commitments []commit.Commitment
+	Sig         []byte
+}
+
+// VectorID identifies the committed vector; it parameterizes the per-bit
+// commitment tags so openings cannot migrate between prefixes, epochs, or
+// provers.
+func VectorID(prover aspath.ASN, pfx prefix.Prefix, epoch uint64) string {
+	return fmt.Sprintf("%d/%s/%d", uint32(prover), pfx, epoch)
+}
+
+func (mc *MinCommitment) bytes() ([]byte, error) {
+	pb, err := mc.Prefix.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	buf.WriteString(tagMinCmt)
+	var u8 [8]byte
+	binary.BigEndian.PutUint64(u8[:], mc.Epoch)
+	buf.Write(u8[:])
+	binary.BigEndian.PutUint32(u8[:4], uint32(mc.Prover))
+	buf.Write(u8[:4])
+	buf.WriteByte(byte(len(pb)))
+	buf.Write(pb)
+	binary.BigEndian.PutUint32(u8[:4], uint32(len(mc.Commitments)))
+	buf.Write(u8[:4])
+	for _, c := range mc.Commitments {
+		buf.Write(c[:])
+	}
+	return buf.Bytes(), nil
+}
+
+// Verify checks the prover's signature over the commitment.
+func (mc *MinCommitment) Verify(reg *sigs.Registry) error {
+	msg, err := mc.bytes()
+	if err != nil {
+		return err
+	}
+	if err := reg.Verify(mc.Prover, msg, mc.Sig); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadCommitment, err)
+	}
+	return nil
+}
+
+// Equal reports whether two commitments bind the same vector (signatures
+// excluded: two different signatures over identical content are not
+// equivocation).
+func (mc *MinCommitment) Equal(o *MinCommitment) bool {
+	if mc.Prover != o.Prover || mc.Epoch != o.Epoch || mc.Prefix != o.Prefix ||
+		len(mc.Commitments) != len(o.Commitments) {
+		return false
+	}
+	for i := range mc.Commitments {
+		if mc.Commitments[i] != o.Commitments[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// GossipTopic returns the topic under which neighbors gossip this
+// commitment for equivocation detection.
+func (mc *MinCommitment) GossipTopic() string {
+	return "min/" + VectorID(mc.Prover, mc.Prefix, mc.Epoch)
+}
+
+// GossipPayload returns the canonical signed bytes plus signature for the
+// gossip pool.
+func (mc *MinCommitment) GossipPayload() ([]byte, []byte, error) {
+	b, err := mc.bytes()
+	return b, mc.Sig, err
+}
+
+// Prover is network A: it gathers signed inputs for one (prefix, epoch),
+// commits, chooses, exports, and discloses. Not safe for concurrent use.
+type Prover struct {
+	asn    aspath.ASN
+	signer sigs.Signer
+	reg    *sigs.Registry
+	cm     commit.Committer
+	// MaxLen is K, the bit-vector length: the maximum AS-path length at A
+	// (§3.3 "Suppose the maximum AS-path length at A is k").
+	maxLen int
+
+	epoch  uint64
+	pfx    prefix.Prefix
+	inputs map[aspath.ASN]Announcement
+	bv     *commit.BitVector
+	mc     *MinCommitment
+}
+
+// NewProver creates a prover for network asn with bit-vector length maxLen.
+func NewProver(asn aspath.ASN, signer sigs.Signer, reg *sigs.Registry, maxLen int) (*Prover, error) {
+	if maxLen < 1 {
+		return nil, fmt.Errorf("core: maxLen %d", maxLen)
+	}
+	return &Prover{asn: asn, signer: signer, reg: reg, maxLen: maxLen}, nil
+}
+
+// ASN returns the prover's AS number.
+func (p *Prover) ASN() aspath.ASN { return p.asn }
+
+// BeginEpoch starts a fresh commitment epoch for a prefix, clearing inputs.
+func (p *Prover) BeginEpoch(epoch uint64, pfx prefix.Prefix) {
+	p.epoch = epoch
+	p.pfx = pfx
+	p.inputs = make(map[aspath.ASN]Announcement)
+	p.bv = nil
+	p.mc = nil
+}
+
+// AcceptAnnouncement verifies and records an input route, returning the
+// signed receipt. Announcements for other prefixes, epochs, or recipients
+// are rejected.
+func (p *Prover) AcceptAnnouncement(a Announcement) (Receipt, error) {
+	if a.Epoch != p.epoch {
+		return Receipt{}, fmt.Errorf("%w: announcement epoch %d, current %d", ErrWrongEpoch, a.Epoch, p.epoch)
+	}
+	if a.To != p.asn {
+		return Receipt{}, fmt.Errorf("%w: addressed to %s", ErrBadAnnouncement, a.To)
+	}
+	if a.Route.Prefix != p.pfx {
+		return Receipt{}, fmt.Errorf("%w: prefix %s, epoch covers %s", ErrBadAnnouncement, a.Route.Prefix, p.pfx)
+	}
+	if a.Route.PathLen() > p.maxLen {
+		return Receipt{}, fmt.Errorf("%w: path length %d exceeds K=%d", ErrBadAnnouncement, a.Route.PathLen(), p.maxLen)
+	}
+	if err := a.Verify(p.reg); err != nil {
+		return Receipt{}, err
+	}
+	p.inputs[a.Provider] = a
+	return NewReceipt(p.signer, p.asn, &a)
+}
+
+// Inputs returns the accepted providers in ascending order.
+func (p *Prover) Inputs() []aspath.ASN {
+	out := make([]aspath.ASN, 0, len(p.inputs))
+	for a := range p.inputs {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// bits computes the honest bit vector from the accepted inputs.
+func (p *Prover) bits() []bool {
+	bits := make([]bool, p.maxLen)
+	for _, a := range p.inputs {
+		l := a.Route.PathLen()
+		for i := l; i <= p.maxLen; i++ {
+			bits[i-1] = true
+		}
+	}
+	return bits
+}
+
+// CommitMin computes and signs the bit-vector commitment (idempotent per
+// epoch). This is the publish step of §3.3.
+func (p *Prover) CommitMin() (*MinCommitment, error) {
+	if p.mc != nil {
+		return p.mc, nil
+	}
+	bv, err := p.cm.CommitBitVector(VectorID(p.asn, p.pfx, p.epoch), p.bits())
+	if err != nil {
+		return nil, err
+	}
+	mc := &MinCommitment{
+		Prover:      p.asn,
+		Epoch:       p.epoch,
+		Prefix:      p.pfx,
+		Commitments: bv.Commitments,
+	}
+	msg, err := mc.bytes()
+	if err != nil {
+		return nil, err
+	}
+	if mc.Sig, err = p.signer.Sign(msg); err != nil {
+		return nil, err
+	}
+	p.bv, p.mc = bv, mc
+	return mc, nil
+}
+
+// Winner returns the chosen (shortest) input announcement; ok is false when
+// there are no inputs. Ties break to the lowest provider ASN.
+func (p *Prover) Winner() (Announcement, bool) {
+	var (
+		best  Announcement
+		found bool
+	)
+	for _, asn := range p.Inputs() {
+		a := p.inputs[asn]
+		if !found || a.Route.PathLen() < best.Route.PathLen() {
+			best, found = a, true
+		}
+	}
+	return best, found
+}
+
+// Export produces the signed export statement for the promisee: the winning
+// route with A prepended, or an explicit "nothing" statement.
+func (p *Prover) Export(to aspath.ASN) (ExportStatement, error) {
+	w, ok := p.Winner()
+	if !ok {
+		return NewExportStatement(p.signer, p.asn, to, p.epoch, route.Route{}, true)
+	}
+	exported, err := w.Route.WithPrepended(p.asn)
+	if err != nil {
+		return ExportStatement{}, err
+	}
+	return NewExportStatement(p.signer, p.asn, to, p.epoch, exported, false)
+}
+
+// ProviderView is what A reveals to a provider N_i: the commitment and the
+// opening of bit b_{|r_i|} (§3.3: "To each Ni that has provided a route ri
+// to A, A now reveals the bit b_|ri|").
+type ProviderView struct {
+	Commitment *MinCommitment
+	Position   int // 1-based |r_i|
+	Opening    commit.Opening
+}
+
+// DiscloseToProvider builds the view for provider ni, which must have
+// provided a route this epoch. CommitMin must have been called.
+func (p *Prover) DiscloseToProvider(ni aspath.ASN) (*ProviderView, error) {
+	if p.bv == nil {
+		return nil, fmt.Errorf("core: CommitMin not called")
+	}
+	a, ok := p.inputs[ni]
+	if !ok {
+		return nil, fmt.Errorf("core: %s provided no route this epoch", ni)
+	}
+	pos := a.Route.PathLen()
+	op, err := p.bv.Open(pos)
+	if err != nil {
+		return nil, err
+	}
+	return &ProviderView{Commitment: p.mc, Position: pos, Opening: op}, nil
+}
+
+// PromiseeView is what A reveals to B: all bit openings, the winning signed
+// input (provenance), and the signed export statement.
+type PromiseeView struct {
+	Commitment *MinCommitment
+	Openings   []commit.Opening
+	Winner     *Announcement // nil when nothing was exported
+	Export     ExportStatement
+}
+
+// DiscloseToPromisee builds B's view. CommitMin must have been called.
+func (p *Prover) DiscloseToPromisee(b aspath.ASN) (*PromiseeView, error) {
+	if p.bv == nil {
+		return nil, fmt.Errorf("core: CommitMin not called")
+	}
+	exp, err := p.Export(b)
+	if err != nil {
+		return nil, err
+	}
+	view := &PromiseeView{
+		Commitment: p.mc,
+		Openings:   p.bv.OpenAll(),
+		Export:     exp,
+	}
+	if w, ok := p.Winner(); ok {
+		view.Winner = &w
+	}
+	return view, nil
+}
+
+// VerifyProviderView is N_i's check (§3.3): the commitment is authentic,
+// the opening is for position |r_i| with the right tag, it verifies against
+// commitment b_{|r_i|}, and the bit is 1 — "clearly, the chosen route
+// cannot be longer than Ni's route". myAnn is the announcement N_i sent.
+// A *Violation error means N_i has caught A; other errors mean the view is
+// malformed or unauthentic (and should be treated as a protocol failure).
+func VerifyProviderView(reg *sigs.Registry, v *ProviderView, myAnn Announcement) error {
+	mc := v.Commitment
+	if mc == nil {
+		return fmt.Errorf("%w: missing commitment", ErrBadCommitment)
+	}
+	if err := mc.Verify(reg); err != nil {
+		return err
+	}
+	if mc.Epoch != myAnn.Epoch || mc.Prefix != myAnn.Route.Prefix || mc.Prover != myAnn.To {
+		return fmt.Errorf("%w: commitment does not cover my announcement", ErrBadCommitment)
+	}
+	if v.Position != myAnn.Route.PathLen() {
+		return fmt.Errorf("%w: opened position %d, my route length %d", ErrBadCommitment, v.Position, myAnn.Route.PathLen())
+	}
+	if v.Position < 1 || v.Position > len(mc.Commitments) {
+		return fmt.Errorf("%w: position %d out of range", ErrBadCommitment, v.Position)
+	}
+	wantTag := commit.VectorTag(VectorID(mc.Prover, mc.Prefix, mc.Epoch), v.Position)
+	if v.Opening.Tag != wantTag {
+		return fmt.Errorf("%w: opening tag %q, want %q", ErrBadCommitment, v.Opening.Tag, wantTag)
+	}
+	if err := commit.Verify(mc.Commitments[v.Position-1], v.Opening); err != nil {
+		return fmt.Errorf("%w: opening does not match commitment", ErrBadCommitment)
+	}
+	bit, err := v.Opening.Bit()
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadCommitment, err)
+	}
+	if !bit {
+		return &Violation{
+			Accused: mc.Prover,
+			Kind:    "false-bit",
+			Detail: fmt.Sprintf("bit %d committed as 0, but provider %s supplied a length-%d route",
+				v.Position, myAnn.Provider, myAnn.Route.PathLen()),
+		}
+	}
+	return nil
+}
+
+// VerifyPromiseeView is B's check (§3.3): every opening verifies, the
+// vector is monotone, and the export matches the committed minimum — if
+// any bit is set a properly signed winning route of exactly the minimum
+// length must be exported (with A prepended); if no bit is set, nothing may
+// be exported.
+func VerifyPromiseeView(reg *sigs.Registry, v *PromiseeView) error {
+	mc := v.Commitment
+	if mc == nil {
+		return fmt.Errorf("%w: missing commitment", ErrBadCommitment)
+	}
+	if err := mc.Verify(reg); err != nil {
+		return err
+	}
+	if err := v.Export.Verify(reg); err != nil {
+		return err
+	}
+	if v.Export.Prover != mc.Prover || v.Export.Epoch != mc.Epoch {
+		return fmt.Errorf("%w: export statement does not cover this epoch", ErrBadCommitment)
+	}
+	if len(v.Openings) != len(mc.Commitments) {
+		return fmt.Errorf("%w: %d openings for %d commitments", ErrBadCommitment, len(v.Openings), len(mc.Commitments))
+	}
+	id := VectorID(mc.Prover, mc.Prefix, mc.Epoch)
+	bits := make([]bool, len(v.Openings))
+	for i, op := range v.Openings {
+		if op.Tag != commit.VectorTag(id, i+1) {
+			return fmt.Errorf("%w: opening %d has tag %q", ErrBadCommitment, i+1, op.Tag)
+		}
+		if err := commit.Verify(mc.Commitments[i], op); err != nil {
+			return fmt.Errorf("%w: opening %d rejected", ErrBadCommitment, i+1)
+		}
+		b, err := op.Bit()
+		if err != nil {
+			return fmt.Errorf("%w: opening %d: %v", ErrBadCommitment, i+1, err)
+		}
+		bits[i] = b
+	}
+	// Check (b): monotonicity.
+	if err := commit.CheckMonotone(bits); err != nil {
+		return &Violation{Accused: mc.Prover, Kind: "non-monotone", Detail: err.Error()}
+	}
+	min, have := commit.MinFromBits(bits)
+	// Check (a): bit set ⇒ properly signed route of that length exported.
+	if !have {
+		if !v.Export.Empty {
+			return &Violation{Accused: mc.Prover, Kind: "bad-export",
+				Detail: "exported a route although the committed vector is all-zero"}
+		}
+		if v.Winner != nil {
+			return fmt.Errorf("%w: winner present with empty vector", ErrBadCommitment)
+		}
+		return nil
+	}
+	if v.Export.Empty {
+		return &Violation{Accused: mc.Prover, Kind: "bad-export",
+			Detail: fmt.Sprintf("committed minimum %d but exported nothing", min)}
+	}
+	if v.Winner == nil {
+		return fmt.Errorf("%w: no provenance for exported route", ErrBadCommitment)
+	}
+	if err := v.Winner.Verify(reg); err != nil {
+		return err
+	}
+	if v.Winner.To != mc.Prover || v.Winner.Epoch != mc.Epoch || v.Winner.Route.Prefix != mc.Prefix {
+		return fmt.Errorf("%w: provenance does not cover this epoch", ErrBadCommitment)
+	}
+	if v.Winner.Route.PathLen() != min {
+		return &Violation{Accused: mc.Prover, Kind: "bad-export",
+			Detail: fmt.Sprintf("winner has length %d, committed minimum is %d", v.Winner.Route.PathLen(), min)}
+	}
+	wantExport, err := v.Winner.Route.WithPrepended(mc.Prover)
+	if err != nil {
+		return err
+	}
+	if !v.Export.Route.Path.Equal(wantExport.Path) || v.Export.Route.Prefix != wantExport.Prefix {
+		return &Violation{Accused: mc.Prover, Kind: "bad-export",
+			Detail: fmt.Sprintf("export path %s does not extend winner path %s", v.Export.Route.Path, v.Winner.Route.Path)}
+	}
+	return nil
+}

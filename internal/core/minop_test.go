@@ -1,0 +1,533 @@
+package core
+
+import (
+	"errors"
+	"net/netip"
+	"sync"
+	"testing"
+
+	"pvr/internal/aspath"
+	"pvr/internal/commit"
+	"pvr/internal/prefix"
+	"pvr/internal/route"
+	"pvr/internal/sigs"
+)
+
+// --- shared fixture: A (64500) with providers 101..104 and promisee 200 ---
+
+const (
+	proverASN   = aspath.ASN(64500)
+	promiseeASN = aspath.ASN(200)
+	maxLen      = 16
+)
+
+type fixture struct {
+	reg     *sigs.Registry
+	signers map[aspath.ASN]sigs.Signer
+	pfx     prefix.Prefix
+}
+
+var (
+	fixOnce sync.Once
+	fix     *fixture
+)
+
+// newFixture generates keys once (Ed25519: fast) for all parties.
+func newFixture(t testing.TB) *fixture {
+	t.Helper()
+	fixOnce.Do(func() {
+		f := &fixture{
+			reg:     sigs.NewRegistry(),
+			signers: make(map[aspath.ASN]sigs.Signer),
+			pfx:     prefix.MustParse("203.0.113.0/24"),
+		}
+		for _, asn := range []aspath.ASN{proverASN, promiseeASN, 101, 102, 103, 104, 105} {
+			s, err := sigs.GenerateEd25519()
+			if err != nil {
+				panic(err)
+			}
+			f.signers[asn] = s
+			f.reg.Register(asn, s.Public())
+		}
+		fix = f
+	})
+	return fix
+}
+
+// provide builds and signs an announcement from ni to the prover with the
+// given path length.
+func (f *fixture) provide(t testing.TB, ni aspath.ASN, epoch uint64, pathLen int) Announcement {
+	t.Helper()
+	asns := make([]aspath.ASN, pathLen)
+	asns[0] = ni
+	for i := 1; i < pathLen; i++ {
+		asns[i] = aspath.ASN(90000 + i)
+	}
+	r := route.Route{
+		Prefix:    f.pfx,
+		Path:      aspath.New(asns...),
+		NextHop:   netip.AddrFrom4([4]byte{10, 0, 0, byte(ni)}),
+		LocalPref: 100,
+		Origin:    route.OriginIGP,
+	}
+	a, err := NewAnnouncement(f.signers[ni], ni, proverASN, epoch, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func (f *fixture) prover(t testing.TB) *Prover {
+	t.Helper()
+	p, err := NewProver(proverASN, f.signers[proverASN], f.reg, maxLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAnnouncementVerify(t *testing.T) {
+	f := newFixture(t)
+	a := f.provide(t, 101, 1, 3)
+	if err := a.Verify(f.reg); err != nil {
+		t.Fatalf("honest announcement rejected: %v", err)
+	}
+	// Tampered route fails.
+	bad := a
+	bad.Route = bad.Route.WithLocalPref(999)
+	if bad.Verify(f.reg) == nil {
+		t.Error("tampered announcement accepted")
+	}
+	// Replay to a different recipient fails.
+	bad = a
+	bad.To = 102
+	if bad.Verify(f.reg) == nil {
+		t.Error("recipient substitution accepted")
+	}
+	// Path not starting at the provider fails.
+	r := a.Route
+	p2, _ := r.Path.Prepend(999, 1)
+	r.Path = p2
+	forged, err := NewAnnouncement(f.signers[101], 101, proverASN, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forged.Verify(f.reg) == nil {
+		t.Error("announcement with foreign first AS accepted")
+	}
+}
+
+func TestReceiptVerify(t *testing.T) {
+	f := newFixture(t)
+	a := f.provide(t, 101, 1, 3)
+	rc, err := NewReceipt(f.signers[proverASN], proverASN, &a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.Verify(f.reg, &a); err != nil {
+		t.Fatalf("honest receipt rejected: %v", err)
+	}
+	// Receipt for a different announcement fails.
+	other := f.provide(t, 102, 1, 4)
+	if rc.Verify(f.reg, &other) == nil {
+		t.Error("receipt matched wrong announcement")
+	}
+	// Forged issuer fails.
+	bad := rc
+	bad.Issuer = 101
+	if bad.Verify(f.reg, &a) == nil {
+		t.Error("forged issuer accepted")
+	}
+}
+
+func TestHonestMinProtocol(t *testing.T) {
+	f := newFixture(t)
+	p := f.prover(t)
+	p.BeginEpoch(7, f.pfx)
+
+	anns := map[aspath.ASN]Announcement{
+		101: f.provide(t, 101, 7, 5),
+		102: f.provide(t, 102, 7, 2), // shortest: winner
+		103: f.provide(t, 103, 7, 9),
+	}
+	for _, a := range anns {
+		rc, err := p.AcceptAnnouncement(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rc.Verify(f.reg, &a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.CommitMin(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every provider verifies its own view.
+	for ni, a := range anns {
+		v, err := p.DiscloseToProvider(ni)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyProviderView(f.reg, v, a); err != nil {
+			t.Errorf("provider %s rejected honest view: %v", ni, err)
+		}
+	}
+	// The promisee verifies the full view.
+	pv, err := p.DiscloseToPromisee(promiseeASN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyPromiseeView(f.reg, pv); err != nil {
+		t.Errorf("promisee rejected honest view: %v", err)
+	}
+	// The winner is the shortest route, exported with A prepended.
+	if pv.Winner == nil || pv.Winner.Provider != 102 {
+		t.Fatalf("winner = %+v, want provider 102", pv.Winner)
+	}
+	if pv.Export.Route.PathLen() != 3 {
+		t.Errorf("export length %d, want 3 (2 + prepend)", pv.Export.Route.PathLen())
+	}
+	if first, _ := pv.Export.Route.Path.First(); first != proverASN {
+		t.Errorf("export path does not start with the prover")
+	}
+}
+
+func TestMinProtocolNoInputs(t *testing.T) {
+	f := newFixture(t)
+	p := f.prover(t)
+	p.BeginEpoch(8, f.pfx)
+	if _, err := p.CommitMin(); err != nil {
+		t.Fatal(err)
+	}
+	pv, err := p.DiscloseToPromisee(promiseeASN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyPromiseeView(f.reg, pv); err != nil {
+		t.Errorf("empty epoch rejected: %v", err)
+	}
+	if !pv.Export.Empty || pv.Winner != nil {
+		t.Error("no-input epoch should export nothing")
+	}
+	// Disclosing to a provider that sent nothing fails (it has no view).
+	if _, err := p.DiscloseToProvider(101); err == nil {
+		t.Error("disclosure to non-provider succeeded")
+	}
+}
+
+func TestAcceptAnnouncementValidation(t *testing.T) {
+	f := newFixture(t)
+	p := f.prover(t)
+	p.BeginEpoch(9, f.pfx)
+
+	// Wrong epoch.
+	a := f.provide(t, 101, 8, 3)
+	if _, err := p.AcceptAnnouncement(a); !errors.Is(err, ErrWrongEpoch) {
+		t.Errorf("wrong epoch: %v", err)
+	}
+	// Wrong recipient.
+	a = f.provide(t, 101, 9, 3)
+	a.To = 102
+	if _, err := p.AcceptAnnouncement(a); !errors.Is(err, ErrBadAnnouncement) {
+		t.Errorf("wrong recipient: %v", err)
+	}
+	// Path too long for the committed vector.
+	a = f.provide(t, 101, 9, maxLen+1)
+	if _, err := p.AcceptAnnouncement(a); !errors.Is(err, ErrBadAnnouncement) {
+		t.Errorf("overlong path: %v", err)
+	}
+	// Tampered signature.
+	a = f.provide(t, 101, 9, 3)
+	a.Sig[0] ^= 1
+	if _, err := p.AcceptAnnouncement(a); !errors.Is(err, ErrBadAnnouncement) {
+		t.Errorf("bad signature: %v", err)
+	}
+}
+
+// cheatCommit builds a signed MinCommitment over arbitrary bits, as a
+// Byzantine prover would (bypassing the honest API's monotonicity check).
+// It returns the commitment and per-position openings.
+func cheatCommit(t *testing.T, f *fixture, epoch uint64, bits []bool) (*MinCommitment, []commit.Opening) {
+	t.Helper()
+	var cm commit.Committer
+	id := VectorID(proverASN, f.pfx, epoch)
+	mc := &MinCommitment{Prover: proverASN, Epoch: epoch, Prefix: f.pfx}
+	openings := make([]commit.Opening, len(bits))
+	for i, b := range bits {
+		c, op, err := cm.CommitBit(commit.VectorTag(id, i+1), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc.Commitments = append(mc.Commitments, c)
+		openings[i] = op
+	}
+	msg, err := mc.bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Sig, err = f.signers[proverASN].Sign(msg); err != nil {
+		t.Fatal(err)
+	}
+	return mc, openings
+}
+
+func TestDetectionFalseBit(t *testing.T) {
+	// Byzantine A: provider 101 supplies a length-4 route, but A commits
+	// b_4 = 0 (suppressing it). 101 must detect a violation.
+	f := newFixture(t)
+	ann := f.provide(t, 101, 20, 4)
+	bits := make([]bool, maxLen) // all zeros
+	mc, openings := cheatCommit(t, f, 20, bits)
+
+	view := &ProviderView{Commitment: mc, Position: 4, Opening: openings[3]}
+	err := VerifyProviderView(f.reg, view, ann)
+	v, ok := IsViolation(err)
+	if !ok {
+		t.Fatalf("expected violation, got %v", err)
+	}
+	if v.Accused != proverASN || v.Kind != "false-bit" {
+		t.Errorf("violation = %+v", v)
+	}
+}
+
+func TestDetectionNonMonotone(t *testing.T) {
+	// Byzantine A commits 0,1,0,… — B must detect non-monotonicity.
+	f := newFixture(t)
+	bits := make([]bool, maxLen)
+	bits[1] = true // b_2=1, b_3=0: non-monotone
+	mc, openings := cheatCommit(t, f, 21, bits)
+	exp, err := NewExportStatement(f.signers[proverASN], proverASN, promiseeASN, 21, route.Route{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := &PromiseeView{Commitment: mc, Openings: openings, Export: exp}
+	verr := VerifyPromiseeView(f.reg, view)
+	v, ok := IsViolation(verr)
+	if !ok || v.Kind != "non-monotone" {
+		t.Fatalf("expected non-monotone violation, got %v", verr)
+	}
+}
+
+func TestDetectionBadExportLongerRoute(t *testing.T) {
+	// Byzantine A: commits honest bits (min=2 via 102) but exports 101's
+	// length-5 route. B must detect the mismatch.
+	f := newFixture(t)
+	p := f.prover(t)
+	p.BeginEpoch(22, f.pfx)
+	a101 := f.provide(t, 101, 22, 5)
+	a102 := f.provide(t, 102, 22, 2)
+	for _, a := range []Announcement{a101, a102} {
+		if _, err := p.AcceptAnnouncement(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.CommitMin(); err != nil {
+		t.Fatal(err)
+	}
+	pv, err := p.DiscloseToPromisee(promiseeASN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap the export for the longer route (A re-signs: it is Byzantine).
+	exported, err := a101.Route.WithPrepended(proverASN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv.Export, err = NewExportStatement(f.signers[proverASN], proverASN, promiseeASN, 22, exported, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv.Winner = &a101
+	verr := VerifyPromiseeView(f.reg, pv)
+	v, ok := IsViolation(verr)
+	if !ok || v.Kind != "bad-export" {
+		t.Fatalf("expected bad-export violation, got %v", verr)
+	}
+}
+
+func TestDetectionSuppressionSplitView(t *testing.T) {
+	// Byzantine A suppresses everything: commits all-zero and exports
+	// nothing. B's view is internally consistent (B alone cannot detect),
+	// but each provider catches the false bit — the paper's point that
+	// detection is collective.
+	f := newFixture(t)
+	ann := f.provide(t, 103, 23, 6)
+	bits := make([]bool, maxLen)
+	mc, openings := cheatCommit(t, f, 23, bits)
+
+	exp, err := NewExportStatement(f.signers[proverASN], proverASN, promiseeASN, 23, route.Route{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bView := &PromiseeView{Commitment: mc, Openings: openings, Export: exp}
+	if err := VerifyPromiseeView(f.reg, bView); err != nil {
+		t.Errorf("B should see a consistent (if dishonest) view: %v", err)
+	}
+	nView := &ProviderView{Commitment: mc, Position: 6, Opening: openings[5]}
+	if _, ok := IsViolation(VerifyProviderView(f.reg, nView, ann)); !ok {
+		t.Error("provider failed to detect suppression")
+	}
+}
+
+func TestAccuracyHonestProverNeverAccused(t *testing.T) {
+	// Property: if A evaluates correctly, no correct neighbor detects a
+	// violation — run 50 randomized honest epochs.
+	f := newFixture(t)
+	for epoch := uint64(100); epoch < 150; epoch++ {
+		p := f.prover(t)
+		p.BeginEpoch(epoch, f.pfx)
+		var anns []Announcement
+		for i, ni := range []aspath.ASN{101, 102, 103, 104} {
+			if (epoch+uint64(i))%3 == 0 {
+				continue // this provider abstains
+			}
+			a := f.provide(t, ni, epoch, 1+int((epoch+uint64(7*i))%maxLen))
+			if _, err := p.AcceptAnnouncement(a); err != nil {
+				t.Fatal(err)
+			}
+			anns = append(anns, a)
+		}
+		if _, err := p.CommitMin(); err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range anns {
+			v, err := p.DiscloseToProvider(a.Provider)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := VerifyProviderView(f.reg, v, a); err != nil {
+				t.Fatalf("epoch %d: provider %s wrongly detected: %v", epoch, a.Provider, err)
+			}
+		}
+		pv, err := p.DiscloseToPromisee(promiseeASN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyPromiseeView(f.reg, pv); err != nil {
+			t.Fatalf("epoch %d: promisee wrongly detected: %v", epoch, err)
+		}
+	}
+}
+
+func TestConfidentialityPromiseeViewIsMinimal(t *testing.T) {
+	// The monotone vector B sees is fully determined by the minimum, which
+	// B already learns from the exported route. B therefore learns nothing
+	// beyond standard BGP (§2.3 Confidentiality).
+	f := newFixture(t)
+	p := f.prover(t)
+	p.BeginEpoch(30, f.pfx)
+	for _, spec := range []struct {
+		ni  aspath.ASN
+		len int
+	}{{101, 7}, {102, 3}, {103, 12}} {
+		if _, err := p.AcceptAnnouncement(f.provide(t, spec.ni, 30, spec.len)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.CommitMin(); err != nil {
+		t.Fatal(err)
+	}
+	pv, err := p.DiscloseToPromisee(promiseeASN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := pv.Winner.Route.PathLen()
+	for i, op := range pv.Openings {
+		bit, err := op.Bit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		predicted := (i + 1) >= min
+		if bit != predicted {
+			t.Fatalf("bit %d = %v, but export alone predicts %v: vector leaks extra information", i+1, bit, predicted)
+		}
+	}
+	// The view must not contain any announcement other than the winner's.
+	if pv.Winner.Provider != 102 {
+		t.Errorf("winner from %s", pv.Winner.Provider)
+	}
+}
+
+func TestConfidentialityProviderLearnsOnlyItsBit(t *testing.T) {
+	// N_i's view contains a single opening — the bit at its own route's
+	// position, whose value (1) it can already predict from the promise.
+	// It sees no other provider's route and not the chosen route.
+	f := newFixture(t)
+	p := f.prover(t)
+	p.BeginEpoch(31, f.pfx)
+	a101 := f.provide(t, 101, 31, 7)
+	if _, err := p.AcceptAnnouncement(a101); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AcceptAnnouncement(f.provide(t, 102, 31, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.CommitMin(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := p.DiscloseToProvider(101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Position != 7 {
+		t.Errorf("position %d, want own route length 7", v.Position)
+	}
+	bit, err := v.Opening.Bit()
+	if err != nil || !bit {
+		t.Errorf("own bit should be 1 (predictable): %v %v", bit, err)
+	}
+	// Structurally the view carries exactly one opening and no routes.
+	if len(v.Opening.Value) != 1 {
+		t.Error("opening carries more than a bit")
+	}
+}
+
+func TestEpochIsolation(t *testing.T) {
+	// Openings from one epoch must not verify against another epoch's
+	// commitment (the tags differ), preventing replay of old disclosures.
+	f := newFixture(t)
+	p := f.prover(t)
+	p.BeginEpoch(40, f.pfx)
+	a := f.provide(t, 101, 40, 4)
+	if _, err := p.AcceptAnnouncement(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.CommitMin(); err != nil {
+		t.Fatal(err)
+	}
+	v40, err := p.DiscloseToProvider(101)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p.BeginEpoch(41, f.pfx)
+	a41 := f.provide(t, 101, 41, 4)
+	if _, err := p.AcceptAnnouncement(a41); err != nil {
+		t.Fatal(err)
+	}
+	mc41, err := p.CommitMin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay epoch-40 opening against epoch-41 commitment.
+	replay := &ProviderView{Commitment: mc41, Position: 4, Opening: v40.Opening}
+	if err := VerifyProviderView(f.reg, replay, a41); err == nil {
+		t.Error("cross-epoch replay accepted")
+	}
+}
+
+func TestMinCommitmentEqualAndTopic(t *testing.T) {
+	f := newFixture(t)
+	mc1, _ := cheatCommit(t, f, 50, make([]bool, 4))
+	mc2, _ := cheatCommit(t, f, 50, make([]bool, 4))
+	if mc1.Equal(mc2) {
+		t.Error("different nonces should give different commitments")
+	}
+	if !mc1.Equal(mc1) {
+		t.Error("self-equality")
+	}
+	if mc1.GossipTopic() != mc2.GossipTopic() {
+		t.Error("same epoch/prefix must share a gossip topic")
+	}
+}

@@ -1,0 +1,163 @@
+// Package gossip implements the neighbor gossip that backs PVR's
+// equivocation detection: "A's neighbors can gossip about c to ensure that
+// they all have the same view" (§3.2, §3.6). Each neighbor keeps a pool of
+// the signed statements it has received; merging pools detects when an AS
+// has published two different commitments for the same topic — an
+// equivocation, with the two conflicting signed statements as evidence.
+package gossip
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"pvr/internal/aspath"
+	"pvr/internal/sigs"
+)
+
+// Statement is a signed utterance by Origin on a topic: for PVR, the
+// canonical bytes of a commitment (min vector, existential bit, or graph
+// root) for one (prefix, epoch).
+type Statement struct {
+	Origin  aspath.ASN
+	Topic   string
+	Payload []byte // canonical signed bytes (include the topic's identity)
+	Sig     []byte // Origin's signature over Payload
+}
+
+// Verify checks the statement's signature against the registry.
+func (s *Statement) Verify(reg *sigs.Registry) error {
+	k, err := reg.Lookup(s.Origin)
+	if err != nil {
+		return err
+	}
+	return k.Verify(s.Payload, s.Sig)
+}
+
+// Equal reports whether two statements carry identical payloads.
+func (s *Statement) Equal(o *Statement) bool {
+	return s.Origin == o.Origin && s.Topic == o.Topic && bytes.Equal(s.Payload, o.Payload)
+}
+
+// Conflict is a detected equivocation: two validly signed, different
+// payloads from the same origin on the same topic. It is transferable
+// evidence — any third party can re-verify both signatures.
+type Conflict struct {
+	Origin aspath.ASN
+	Topic  string
+	A, B   Statement
+}
+
+// Error implements error so conflicts can flow through error returns.
+func (c *Conflict) Error() string {
+	return fmt.Sprintf("gossip: %s equivocated on %q", c.Origin, c.Topic)
+}
+
+// Verify re-checks the conflict from scratch: both statements validly
+// signed by the accused, same topic, different payloads. A forged conflict
+// fails here — this is what makes gossip conflicts judge-ready evidence.
+func (c *Conflict) Verify(reg *sigs.Registry) error {
+	if c.A.Origin != c.Origin || c.B.Origin != c.Origin || c.A.Topic != c.Topic || c.B.Topic != c.Topic {
+		return errors.New("gossip: conflict statements do not match accusation")
+	}
+	if err := c.A.Verify(reg); err != nil {
+		return fmt.Errorf("gossip: statement A: %w", err)
+	}
+	if err := c.B.Verify(reg); err != nil {
+		return fmt.Errorf("gossip: statement B: %w", err)
+	}
+	if bytes.Equal(c.A.Payload, c.B.Payload) {
+		return errors.New("gossip: statements are identical, no equivocation")
+	}
+	return nil
+}
+
+// Pool is one neighbor's view of gossiped statements. Safe for concurrent
+// use.
+type Pool struct {
+	reg *sigs.Registry
+
+	mu    sync.Mutex
+	byKey map[string]Statement // origin/topic -> first accepted statement
+	confl []*Conflict
+}
+
+// NewPool builds an empty pool verifying against reg.
+func NewPool(reg *sigs.Registry) *Pool {
+	return &Pool{reg: reg, byKey: make(map[string]Statement)}
+}
+
+func key(origin aspath.ASN, topic string) string {
+	return fmt.Sprintf("%d\x00%s", uint32(origin), topic)
+}
+
+// Add ingests a statement. Invalid signatures are rejected with an error;
+// a validly signed statement that contradicts a previously accepted one is
+// recorded and returned as a *Conflict error.
+func (p *Pool) Add(s Statement) error {
+	if err := s.Verify(p.reg); err != nil {
+		return fmt.Errorf("gossip: reject statement from %s: %w", s.Origin, err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	k := key(s.Origin, s.Topic)
+	prev, seen := p.byKey[k]
+	if !seen {
+		p.byKey[k] = s
+		return nil
+	}
+	if prev.Equal(&s) {
+		return nil
+	}
+	c := &Conflict{Origin: s.Origin, Topic: s.Topic, A: prev, B: s}
+	p.confl = append(p.confl, c)
+	return c
+}
+
+// Statements returns every accepted statement, sorted by origin and topic,
+// for forwarding to other neighbors.
+func (p *Pool) Statements() []Statement {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Statement, 0, len(p.byKey))
+	for _, s := range p.byKey {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Origin != out[j].Origin {
+			return out[i].Origin < out[j].Origin
+		}
+		return out[i].Topic < out[j].Topic
+	})
+	return out
+}
+
+// Conflicts returns the equivocations detected so far.
+func (p *Pool) Conflicts() []*Conflict {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]*Conflict(nil), p.confl...)
+}
+
+// MergeFrom ingests every statement from another pool's export, returning
+// all conflicts discovered during the merge. This is one gossip exchange
+// between two neighbors.
+func (p *Pool) MergeFrom(stmts []Statement) []*Conflict {
+	var found []*Conflict
+	for _, s := range stmts {
+		var c *Conflict
+		if err := p.Add(s); errors.As(err, &c) {
+			found = append(found, c)
+		}
+	}
+	return found
+}
+
+// Exchange performs a bidirectional gossip round between two pools,
+// returning conflicts detected on either side.
+func Exchange(a, b *Pool) []*Conflict {
+	out := a.MergeFrom(b.Statements())
+	return append(out, b.MergeFrom(a.Statements())...)
+}

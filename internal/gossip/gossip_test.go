@@ -1,0 +1,212 @@
+package gossip
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"pvr/internal/aspath"
+	"pvr/internal/sigs"
+)
+
+var (
+	setupOnce sync.Once
+	reg       *sigs.Registry
+	signers   map[aspath.ASN]sigs.Signer
+)
+
+func setup(t *testing.T) {
+	t.Helper()
+	setupOnce.Do(func() {
+		reg = sigs.NewRegistry()
+		signers = map[aspath.ASN]sigs.Signer{}
+		for _, asn := range []aspath.ASN{1, 2, 3} {
+			s, err := sigs.GenerateEd25519()
+			if err != nil {
+				panic(err)
+			}
+			signers[asn] = s
+			reg.Register(asn, s.Public())
+		}
+	})
+}
+
+func signed(t *testing.T, origin aspath.ASN, topic, payload string) Statement {
+	t.Helper()
+	sig, err := signers[origin].Sign([]byte(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Statement{Origin: origin, Topic: topic, Payload: []byte(payload), Sig: sig}
+}
+
+func TestPoolAcceptsValidRejectsForged(t *testing.T) {
+	setup(t)
+	p := NewPool(reg)
+	if err := p.Add(signed(t, 1, "min/x/1", "commitment-bytes")); err != nil {
+		t.Fatalf("valid statement rejected: %v", err)
+	}
+	// Forged signature.
+	bad := signed(t, 1, "min/x/2", "other")
+	bad.Sig[0] ^= 1
+	if err := p.Add(bad); err == nil {
+		t.Error("forged statement accepted")
+	}
+	// Statement from unregistered origin.
+	s := signed(t, 1, "t", "p")
+	s.Origin = 99
+	if err := p.Add(s); err == nil {
+		t.Error("unknown origin accepted")
+	}
+	if got := len(p.Statements()); got != 1 {
+		t.Errorf("pool holds %d statements", got)
+	}
+}
+
+func TestPoolIdempotentSameStatement(t *testing.T) {
+	setup(t)
+	p := NewPool(reg)
+	s := signed(t, 1, "min/x/1", "same-bytes")
+	if err := p.Add(s); err != nil {
+		t.Fatal(err)
+	}
+	// The same payload again (possibly re-signed) is not a conflict.
+	s2 := signed(t, 1, "min/x/1", "same-bytes")
+	if err := p.Add(s2); err != nil {
+		t.Errorf("re-adding identical payload: %v", err)
+	}
+	if len(p.Conflicts()) != 0 {
+		t.Error("false conflict recorded")
+	}
+}
+
+func TestEquivocationDetected(t *testing.T) {
+	setup(t)
+	p := NewPool(reg)
+	if err := p.Add(signed(t, 1, "min/x/1", "version-A")); err != nil {
+		t.Fatal(err)
+	}
+	err := p.Add(signed(t, 1, "min/x/1", "version-B"))
+	var c *Conflict
+	if !errors.As(err, &c) {
+		t.Fatalf("expected conflict, got %v", err)
+	}
+	if c.Origin != 1 || c.Topic != "min/x/1" {
+		t.Errorf("conflict = %+v", c)
+	}
+	// The conflict is judge-ready: it re-verifies from scratch.
+	if err := c.Verify(reg); err != nil {
+		t.Errorf("genuine conflict rejected: %v", err)
+	}
+	if len(p.Conflicts()) != 1 {
+		t.Error("conflict not recorded")
+	}
+}
+
+func TestNoConflictAcrossTopicsOrOrigins(t *testing.T) {
+	setup(t)
+	p := NewPool(reg)
+	stmts := []Statement{
+		signed(t, 1, "min/x/1", "A"),
+		signed(t, 1, "min/x/2", "B"), // different topic
+		signed(t, 2, "min/x/1", "C"), // different origin
+	}
+	for _, s := range stmts {
+		if err := p.Add(s); err != nil {
+			t.Fatalf("cross add: %v", err)
+		}
+	}
+	if len(p.Conflicts()) != 0 {
+		t.Error("spurious conflict")
+	}
+}
+
+func TestExchangeSpreadsAndDetects(t *testing.T) {
+	setup(t)
+	// N1 got version A from the equivocator, N2 got version B. A gossip
+	// exchange must surface the equivocation on at least one side.
+	p1 := NewPool(reg)
+	p2 := NewPool(reg)
+	if err := p1.Add(signed(t, 3, "exists/y/9", "to-N1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Add(signed(t, 3, "exists/y/9", "to-N2")); err != nil {
+		t.Fatal(err)
+	}
+	conflicts := Exchange(p1, p2)
+	if len(conflicts) == 0 {
+		t.Fatal("exchange missed the equivocation")
+	}
+	for _, c := range conflicts {
+		if err := c.Verify(reg); err != nil {
+			t.Errorf("conflict does not verify: %v", err)
+		}
+		if c.Origin != 3 {
+			t.Errorf("accused %v", c.Origin)
+		}
+	}
+}
+
+func TestExchangeHonestNoConflicts(t *testing.T) {
+	setup(t)
+	p1 := NewPool(reg)
+	p2 := NewPool(reg)
+	s := signed(t, 1, "min/z/1", "same")
+	if err := p1.Add(s); err != nil {
+		t.Fatal(err)
+	}
+	if cs := Exchange(p1, p2); len(cs) != 0 {
+		t.Errorf("honest exchange produced conflicts: %v", cs)
+	}
+	// p2 now has the statement too.
+	if len(p2.Statements()) != 1 {
+		t.Error("statement did not propagate")
+	}
+}
+
+func TestForgedConflictRejected(t *testing.T) {
+	setup(t)
+	// Accuracy: an accuser cannot fabricate a conflict.
+	a := signed(t, 1, "t", "same")
+	b := signed(t, 1, "t", "same")
+	c := &Conflict{Origin: 1, Topic: "t", A: a, B: b}
+	if err := c.Verify(reg); err == nil {
+		t.Error("identical-payload conflict verified")
+	}
+	// Statements signed by someone else.
+	x := signed(t, 2, "t", "v1")
+	y := signed(t, 2, "t", "v2")
+	c2 := &Conflict{Origin: 1, Topic: "t", A: x, B: y}
+	if err := c2.Verify(reg); err == nil {
+		t.Error("conflict with wrong origin verified")
+	}
+	// Tampered payload breaks the signature.
+	z := signed(t, 1, "t", "v1")
+	z.Payload = []byte("v1-tampered")
+	c3 := &Conflict{Origin: 1, Topic: "t", A: z, B: signed(t, 1, "t", "v2")}
+	if err := c3.Verify(reg); err == nil {
+		t.Error("tampered conflict verified")
+	}
+}
+
+func TestPoolConcurrentAdds(t *testing.T) {
+	setup(t)
+	p := NewPool(reg)
+	s := signed(t, 1, "topic", "payload") // same everywhere: no conflicts
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if err := p.Add(s); err != nil {
+					t.Errorf("add: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(p.Conflicts()) != 0 {
+		t.Error("spurious conflicts under concurrency")
+	}
+}

@@ -1,0 +1,141 @@
+package merkle
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// Batch is the dense, index-addressed Merkle tree of §3.8: "it seems
+// feasible to sign messages in batches, perhaps using a small MHT to reveal
+// batched routes individually". A speaker accumulates a burst of updates,
+// builds a Batch, signs only the root, and ships each update with its audit
+// path, amortizing the signature across the batch.
+type Batch struct {
+	leaves [][HashSize]byte
+	levels [][][HashSize]byte // levels[0] = leaves (padded), last = root
+}
+
+// NewBatch builds the tree over the given messages. The leaf count is
+// padded to the next power of two by duplicating the last leaf hash, the
+// standard construction; proofs carry the original index so padding cannot
+// be confused with data.
+func NewBatch(msgs [][]byte) (*Batch, error) {
+	if len(msgs) == 0 {
+		return nil, ErrEmptyTree
+	}
+	leaves := make([][HashSize]byte, len(msgs))
+	for i, m := range msgs {
+		leaves[i] = batchLeafHash(uint32(i), m)
+	}
+	padded := append([][HashSize]byte(nil), leaves...)
+	for len(padded)&(len(padded)-1) != 0 {
+		padded = append(padded, padded[len(padded)-1])
+	}
+	levels := [][][HashSize]byte{padded}
+	for len(padded) > 1 {
+		next := make([][HashSize]byte, len(padded)/2)
+		for i := range next {
+			next[i] = innerHash(padded[2*i], padded[2*i+1])
+		}
+		levels = append(levels, next)
+		padded = next
+	}
+	return &Batch{leaves: leaves, levels: levels}, nil
+}
+
+// batchLeafHash binds the message to its index so two equal messages at
+// different positions have distinct leaves.
+func batchLeafHash(idx uint32, msg []byte) [HashSize]byte {
+	h := sha256.New()
+	h.Write([]byte{tagLeaf})
+	var ib [4]byte
+	binary.BigEndian.PutUint32(ib[:], idx)
+	h.Write(ib[:])
+	h.Write(msg)
+	var out [HashSize]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// Len returns the number of messages in the batch.
+func (b *Batch) Len() int { return len(b.leaves) }
+
+// Root returns the batch root; sign this once per batch.
+func (b *Batch) Root() Root {
+	return Root(b.levels[len(b.levels)-1][0])
+}
+
+// BatchProof authenticates one message of a batch against the signed root.
+type BatchProof struct {
+	Index    uint32
+	Siblings [][HashSize]byte
+}
+
+// Prove returns the audit path for message i.
+func (b *Batch) Prove(i int) (*BatchProof, error) {
+	if i < 0 || i >= len(b.leaves) {
+		return nil, fmt.Errorf("merkle: batch index %d out of range 0..%d", i, len(b.leaves)-1)
+	}
+	var sibs [][HashSize]byte
+	idx := i
+	for _, level := range b.levels[:len(b.levels)-1] {
+		sibs = append(sibs, level[idx^1])
+		idx >>= 1
+	}
+	return &BatchProof{Index: uint32(i), Siblings: sibs}, nil
+}
+
+// VerifyBatch checks that msg was the Index-th message of the batch with
+// the given root.
+func VerifyBatch(root Root, msg []byte, p *BatchProof) error {
+	h := batchLeafHash(p.Index, msg)
+	idx := int(p.Index)
+	for _, sib := range p.Siblings {
+		if idx&1 == 1 {
+			h = innerHash(sib, h)
+		} else {
+			h = innerHash(h, sib)
+		}
+		idx >>= 1
+	}
+	if !hmac.Equal(h[:], root[:]) {
+		return ErrBadProof
+	}
+	return nil
+}
+
+// MarshalBinary encodes the proof.
+func (p *BatchProof) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	var u [4]byte
+	binary.BigEndian.PutUint32(u[:], p.Index)
+	buf.Write(u[:])
+	binary.BigEndian.PutUint32(u[:], uint32(len(p.Siblings)))
+	buf.Write(u[:])
+	for _, s := range p.Siblings {
+		buf.Write(s[:])
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary decodes the MarshalBinary encoding.
+func (p *BatchProof) UnmarshalBinary(b []byte) error {
+	if len(b) < 8 {
+		return ErrShortProof
+	}
+	idx := binary.BigEndian.Uint32(b)
+	n := int(binary.BigEndian.Uint32(b[4:]))
+	b = b[8:]
+	if n > 64 || len(b) != n*HashSize {
+		return ErrShortProof
+	}
+	sibs := make([][HashSize]byte, n)
+	for i := range sibs {
+		copy(sibs[i][:], b[i*HashSize:])
+	}
+	*p = BatchProof{Index: idx, Siblings: sibs}
+	return nil
+}

@@ -1,0 +1,371 @@
+// Package merkle implements the paper's commitment and selective-disclosure
+// structure (§3.6): a Merkle hash tree whose leaves sit at positions given
+// by prefix-free bitstrings, so a network can commit to its entire
+// route-flow graph with one signed root hash and later reveal individual
+// vertices without exposing the presence or absence of any others.
+//
+// Labels are derived from vertex names by NUL-terminating the name and
+// taking its bits; distinct NUL-free names therefore yield prefix-free
+// bitstrings, exactly the property §3.6 requires ("encode the string
+// rule(x) for each rule x and var(v) for each variable v"). Every
+// materialized inner node whose other child is absent is padded with a
+// fresh random 32-byte value, so an audit path never reveals whether a
+// sibling subtree holds real vertices or nothing — the confidentiality
+// argument at the end of §3.6.
+package merkle
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// HashSize is the byte length of node hashes.
+const HashSize = sha256.Size
+
+// Root is the tree's committed root hash.
+type Root [HashSize]byte
+
+// String renders a short hex form.
+func (r Root) String() string { return fmt.Sprintf("%x…", r[:6]) }
+
+// Domain-separation prefixes for leaf and inner hashes; distinct tags make
+// second-preimage splicing across node kinds impossible.
+const (
+	tagLeaf  = 0x00
+	tagInner = 0x01
+)
+
+// Errors returned by tree operations and verification.
+var (
+	ErrBadLabel   = errors.New("merkle: label must be non-empty and NUL-free")
+	ErrDuplicate  = errors.New("merkle: duplicate label")
+	ErrBadProof   = errors.New("merkle: proof verification failed")
+	ErrEmptyTree  = errors.New("merkle: tree has no leaves")
+	ErrShortProof = errors.New("merkle: malformed proof encoding")
+)
+
+// labelBits converts a vertex name into its prefix-free bit path:
+// the bits of name ‖ 0x00, most significant bit first.
+func labelBits(name string) ([]bool, error) {
+	if name == "" || bytes.IndexByte([]byte(name), 0) >= 0 {
+		return nil, fmt.Errorf("%w: %q", ErrBadLabel, name)
+	}
+	raw := append([]byte(name), 0)
+	bits := make([]bool, 0, len(raw)*8)
+	for _, b := range raw {
+		for i := 7; i >= 0; i-- {
+			bits = append(bits, (b>>uint(i))&1 == 1)
+		}
+	}
+	return bits, nil
+}
+
+func leafHash(name string, payload []byte) [HashSize]byte {
+	h := sha256.New()
+	h.Write([]byte{tagLeaf})
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(name)))
+	h.Write(l[:])
+	h.Write([]byte(name))
+	binary.BigEndian.PutUint32(l[:], uint32(len(payload)))
+	h.Write(l[:])
+	h.Write(payload)
+	var out [HashSize]byte
+	h.Sum(out[:0])
+	return out
+}
+
+func innerHash(left, right [HashSize]byte) [HashSize]byte {
+	h := sha256.New()
+	h.Write([]byte{tagInner})
+	h.Write(left[:])
+	h.Write(right[:])
+	var out [HashSize]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// Tree is an immutable committed tree built by Build. It retains the
+// materialized nodes needed to produce audit paths.
+type Tree struct {
+	root  *tnode
+	names map[string][]byte // label -> payload
+}
+
+type tnode struct {
+	hash        [HashSize]byte
+	left, right *tnode
+	// leaf data; nil left/right and name != "" marks a leaf
+	name string
+}
+
+// Build constructs the committed tree over the label→payload map, drawing
+// sibling padding from rnd (crypto/rand if nil). Payload bytes are copied.
+func Build(items map[string][]byte, rnd io.Reader) (*Tree, error) {
+	if len(items) == 0 {
+		return nil, ErrEmptyTree
+	}
+	if rnd == nil {
+		rnd = rand.Reader
+	}
+	type entry struct {
+		name string
+		bits []bool
+	}
+	entries := make([]entry, 0, len(items))
+	names := make(map[string][]byte, len(items))
+	for name, payload := range items {
+		bits, err := labelBits(name)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, entry{name: name, bits: bits})
+		names[name] = append([]byte(nil), payload...)
+	}
+	// Deterministic build order (map iteration is random).
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+
+	t := &Tree{names: names}
+	for _, e := range entries {
+		if err := t.insert(e.name, e.bits); err != nil {
+			return nil, err
+		}
+	}
+	if err := t.finalize(t.root, rnd); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// insert materializes the path for a leaf. Prefix-freeness guarantees we
+// never descend through an existing leaf.
+func (t *Tree) insert(name string, bits []bool) error {
+	if t.root == nil {
+		t.root = &tnode{}
+	}
+	n := t.root
+	for _, b := range bits {
+		if n.name != "" {
+			return fmt.Errorf("merkle: label %q collides under leaf %q", name, n.name)
+		}
+		next := &n.left
+		if b {
+			next = &n.right
+		}
+		if *next == nil {
+			*next = &tnode{}
+		}
+		n = *next
+	}
+	if n.name != "" || n.left != nil || n.right != nil {
+		return fmt.Errorf("%w: %q", ErrDuplicate, name)
+	}
+	n.name = name
+	return nil
+}
+
+// finalize computes hashes bottom-up, padding absent siblings with random
+// values so audit paths are structure-hiding.
+func (t *Tree) finalize(n *tnode, rnd io.Reader) error {
+	if n == nil {
+		return nil
+	}
+	if n.name != "" {
+		n.hash = leafHash(n.name, t.names[n.name])
+		return nil
+	}
+	if err := t.finalize(n.left, rnd); err != nil {
+		return err
+	}
+	if err := t.finalize(n.right, rnd); err != nil {
+		return err
+	}
+	var lh, rh [HashSize]byte
+	switch {
+	case n.left != nil && n.right != nil:
+		lh, rh = n.left.hash, n.right.hash
+	case n.left != nil:
+		lh = n.left.hash
+		if _, err := io.ReadFull(rnd, rh[:]); err != nil {
+			return fmt.Errorf("merkle: padding: %w", err)
+		}
+		n.right = &tnode{hash: rh}
+	case n.right != nil:
+		rh = n.right.hash
+		if _, err := io.ReadFull(rnd, lh[:]); err != nil {
+			return fmt.Errorf("merkle: padding: %w", err)
+		}
+		n.left = &tnode{hash: lh}
+	default:
+		return errors.New("merkle: internal node with no children")
+	}
+	n.hash = innerHash(lh, rh)
+	return nil
+}
+
+// Root returns the committed root hash; this is the value a network signs
+// and publishes to its neighbors (§3.6).
+func (t *Tree) Root() Root { return Root(t.root.hash) }
+
+// Len returns the number of leaves.
+func (t *Tree) Len() int { return len(t.names) }
+
+// Labels returns the leaf labels in sorted order.
+func (t *Tree) Labels() []string {
+	out := make([]string, 0, len(t.names))
+	for n := range t.names {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Payload returns the stored payload for a label.
+func (t *Tree) Payload(name string) ([]byte, bool) {
+	p, ok := t.names[name]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), p...), true
+}
+
+// Proof is the selective-disclosure object for one vertex: the payload and
+// the sibling hashes from the leaf up to the root. Given the proof and the
+// published root, a neighbor validates I(x) without learning anything about
+// other vertices (§3.6).
+type Proof struct {
+	Name     string
+	Payload  []byte
+	Siblings [][HashSize]byte // leaf-adjacent first, root-adjacent last
+}
+
+// Prove returns the disclosure proof for a label.
+func (t *Tree) Prove(name string) (*Proof, error) {
+	payload, ok := t.names[name]
+	if !ok {
+		return nil, fmt.Errorf("merkle: unknown label %q", name)
+	}
+	bits, err := labelBits(name)
+	if err != nil {
+		return nil, err
+	}
+	sibs := make([][HashSize]byte, len(bits))
+	n := t.root
+	for d, b := range bits {
+		var next, sib *tnode
+		if b {
+			next, sib = n.right, n.left
+		} else {
+			next, sib = n.left, n.right
+		}
+		// finalize guarantees both children exist on materialized paths.
+		sibs[len(bits)-1-d] = sib.hash
+		n = next
+	}
+	return &Proof{
+		Name:     name,
+		Payload:  append([]byte(nil), payload...),
+		Siblings: sibs,
+	}, nil
+}
+
+// VerifyProof checks a disclosure proof against a committed root.
+func VerifyProof(root Root, p *Proof) error {
+	bits, err := labelBits(p.Name)
+	if err != nil {
+		return err
+	}
+	if len(p.Siblings) != len(bits) {
+		return fmt.Errorf("%w: %d siblings for %d-bit label", ErrBadProof, len(p.Siblings), len(bits))
+	}
+	h := leafHash(p.Name, p.Payload)
+	for i, sib := range p.Siblings {
+		// Sibling i corresponds to depth len(bits)-1-i; bit there says
+		// whether our node was the right child.
+		b := bits[len(bits)-1-i]
+		if b {
+			h = innerHash(sib, h)
+		} else {
+			h = innerHash(h, sib)
+		}
+	}
+	if !hmac.Equal(h[:], root[:]) {
+		return ErrBadProof
+	}
+	return nil
+}
+
+// MarshalBinary encodes the proof.
+func (p *Proof) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(p.Name)))
+	buf.Write(l[:])
+	buf.WriteString(p.Name)
+	binary.BigEndian.PutUint32(l[:], uint32(len(p.Payload)))
+	buf.Write(l[:])
+	buf.Write(p.Payload)
+	binary.BigEndian.PutUint32(l[:], uint32(len(p.Siblings)))
+	buf.Write(l[:])
+	for _, s := range p.Siblings {
+		buf.Write(s[:])
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary decodes the MarshalBinary encoding.
+func (p *Proof) UnmarshalBinary(b []byte) error {
+	take := func(n int) ([]byte, error) {
+		if len(b) < n {
+			return nil, ErrShortProof
+		}
+		out := b[:n]
+		b = b[n:]
+		return out, nil
+	}
+	lb, err := take(4)
+	if err != nil {
+		return err
+	}
+	nb, err := take(int(binary.BigEndian.Uint32(lb)))
+	if err != nil {
+		return err
+	}
+	name := string(nb)
+	lb, err = take(4)
+	if err != nil {
+		return err
+	}
+	payload, err := take(int(binary.BigEndian.Uint32(lb)))
+	if err != nil {
+		return err
+	}
+	lb, err = take(4)
+	if err != nil {
+		return err
+	}
+	count := int(binary.BigEndian.Uint32(lb))
+	if count > 1<<20 {
+		return ErrShortProof
+	}
+	sibs := make([][HashSize]byte, count)
+	for i := range sibs {
+		sb, err := take(HashSize)
+		if err != nil {
+			return err
+		}
+		copy(sibs[i][:], sb)
+	}
+	if len(b) != 0 {
+		return ErrShortProof
+	}
+	*p = Proof{Name: name, Payload: append([]byte(nil), payload...), Siblings: sibs}
+	return nil
+}

@@ -1,0 +1,263 @@
+package merkle
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func buildSample(t *testing.T) (*Tree, map[string][]byte) {
+	t.Helper()
+	items := map[string][]byte{
+		"var(r1)":   []byte("route one"),
+		"var(r2)":   []byte("route two"),
+		"var(ro)":   []byte("output route"),
+		"rule(min)": []byte("operator: min"),
+	}
+	tree, err := Build(items, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, items
+}
+
+func TestBuildAndProveAll(t *testing.T) {
+	tree, items := buildSample(t)
+	if tree.Len() != len(items) {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+	root := tree.Root()
+	for name, payload := range items {
+		p, err := tree.Prove(name)
+		if err != nil {
+			t.Fatalf("Prove(%q): %v", name, err)
+		}
+		if string(p.Payload) != string(payload) {
+			t.Errorf("payload mismatch for %q", name)
+		}
+		if err := VerifyProof(root, p); err != nil {
+			t.Errorf("VerifyProof(%q): %v", name, err)
+		}
+		// Proof length is exactly the label bit length, independent of how
+		// many other vertices exist — the confidentiality property.
+		if want := 8 * (len(name) + 1); len(p.Siblings) != want {
+			t.Errorf("%q: %d siblings, want %d", name, len(p.Siblings), want)
+		}
+	}
+}
+
+func TestProofTamperDetection(t *testing.T) {
+	tree, _ := buildSample(t)
+	root := tree.Root()
+	p, err := tree.Prove("var(r1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Payload tampering.
+	bad := *p
+	bad.Payload = []byte("forged")
+	if VerifyProof(root, &bad) == nil {
+		t.Error("forged payload accepted")
+	}
+	// Name substitution (claiming the payload belongs to another vertex).
+	bad = *p
+	bad.Name = "var(r2)"
+	if VerifyProof(root, &bad) == nil {
+		t.Error("name substitution accepted")
+	}
+	// Sibling tampering.
+	bad = *p
+	bad.Siblings = append([][HashSize]byte(nil), p.Siblings...)
+	bad.Siblings[0][0] ^= 1
+	if VerifyProof(root, &bad) == nil {
+		t.Error("sibling tampering accepted")
+	}
+	// Wrong root.
+	other, err := Build(map[string][]byte{"var(r1)": []byte("route one")}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if VerifyProof(other.Root(), p) == nil {
+		t.Error("proof verified against wrong root")
+	}
+}
+
+func TestBuildRejectsBadLabels(t *testing.T) {
+	if _, err := Build(map[string][]byte{}, nil); err != ErrEmptyTree {
+		t.Errorf("empty build: %v", err)
+	}
+	if _, err := Build(map[string][]byte{"": nil}, nil); err == nil {
+		t.Error("empty label accepted")
+	}
+	if _, err := Build(map[string][]byte{"a\x00b": nil}, nil); err == nil {
+		t.Error("NUL label accepted")
+	}
+}
+
+func TestPrefixFreedomAcrossPrefixNames(t *testing.T) {
+	// "ab" and "abc": one name a prefix of the other — the NUL terminator
+	// must keep their bit paths disjoint.
+	tree, err := Build(map[string][]byte{
+		"ab":  []byte("1"),
+		"abc": []byte("2"),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"ab", "abc"} {
+		p, err := tree.Prove(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyProof(tree.Root(), p); err != nil {
+			t.Errorf("%q: %v", n, err)
+		}
+	}
+}
+
+func TestHidingPadding(t *testing.T) {
+	// Two builds of the same single-leaf content yield different roots,
+	// because absent siblings are fresh random pads; a neighbor cannot
+	// infer "this tree contains exactly the vertex I know" from the root.
+	items := map[string][]byte{"var(x)": []byte("v")}
+	t1, err := Build(items, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := Build(items, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Root() == t2.Root() {
+		t.Error("roots equal across builds: padding not random")
+	}
+}
+
+func TestDeterministicWithSeededRand(t *testing.T) {
+	items := map[string][]byte{"a": []byte("1"), "b": []byte("2")}
+	t1, err := Build(items, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := Build(items, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Root() != t2.Root() {
+		t.Error("same seed, different roots")
+	}
+}
+
+func TestPayloadAndLabels(t *testing.T) {
+	tree, items := buildSample(t)
+	for name := range items {
+		got, ok := tree.Payload(name)
+		if !ok || string(got) != string(items[name]) {
+			t.Errorf("Payload(%q) = %q, %v", name, got, ok)
+		}
+	}
+	if _, ok := tree.Payload("nope"); ok {
+		t.Error("Payload of absent label ok")
+	}
+	labels := tree.Labels()
+	if len(labels) != len(items) {
+		t.Errorf("Labels = %v", labels)
+	}
+	for i := 1; i < len(labels); i++ {
+		if labels[i] <= labels[i-1] {
+			t.Error("Labels not sorted")
+		}
+	}
+	if _, err := tree.Prove("nope"); err == nil {
+		t.Error("Prove of absent label succeeded")
+	}
+}
+
+func TestProofMarshalRoundTrip(t *testing.T) {
+	tree, _ := buildSample(t)
+	p, err := tree.Prove("rule(min)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Proof
+	if err := q.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyProof(tree.Root(), &q); err != nil {
+		t.Errorf("round-tripped proof rejected: %v", err)
+	}
+	for n := 0; n < len(b); n += 7 {
+		var bad Proof
+		if err := bad.UnmarshalBinary(b[:n]); err == nil {
+			t.Errorf("truncation to %d accepted", n)
+		}
+	}
+	var bad Proof
+	if err := bad.UnmarshalBinary(append(b, 1)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}
+
+func TestLargeTreeRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	items := map[string][]byte{}
+	for i := 0; i < 300; i++ {
+		v := make([]byte, rng.Intn(64))
+		rng.Read(v)
+		items[fmt.Sprintf("var(r%d)", i)] = v
+	}
+	tree, err := Build(items, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tree.Root()
+	for i := 0; i < 50; i++ {
+		name := fmt.Sprintf("var(r%d)", rng.Intn(300))
+		p, err := tree.Prove(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyProof(root, p); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func BenchmarkBuild100(b *testing.B) {
+	items := map[string][]byte{}
+	for i := 0; i < 100; i++ {
+		items[fmt.Sprintf("var(r%d)", i)] = []byte("payload-payload-payload")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(items, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProveVerify(b *testing.B) {
+	items := map[string][]byte{}
+	for i := 0; i < 100; i++ {
+		items[fmt.Sprintf("var(r%d)", i)] = []byte("payload")
+	}
+	tree, err := Build(items, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	root := tree.Root()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := tree.Prove("var(r42)")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := VerifyProof(root, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"pvr/internal/aspath"
+	"pvr/internal/topology"
+)
+
+func TestFig1HonestRun(t *testing.T) {
+	res, err := RunFig1(Fig1Config{K: 5, MaxLen: 16, Fault: FaultNone, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accuracy: nobody detects, nothing convicts.
+	if res.Detected {
+		t.Errorf("honest run detected by %v", res.DetectedBy)
+	}
+	if res.GuiltyVerdicts != 0 || res.FalseAccusations != 0 {
+		t.Errorf("honest run: %d guilty, %d false", res.GuiltyVerdicts, res.FalseAccusations)
+	}
+	if res.Exported == nil {
+		t.Fatal("nothing exported")
+	}
+	// Confidentiality audit: B's bits are exactly the ones implied by the
+	// exported route's length (prepended once by A).
+	min := res.Exported.PathLen() - 1
+	for i, b := range res.BitsSeenByB {
+		if b != (i+1 >= min) {
+			t.Errorf("bit %d = %v leaks beyond the export (min %d)", i+1, b, min)
+		}
+	}
+}
+
+func TestFig1HonestAcrossSeedsAndK(t *testing.T) {
+	for _, k := range []int{1, 2, 10} {
+		for seed := int64(0); seed < 5; seed++ {
+			res, err := RunFig1(Fig1Config{K: k, MaxLen: 12, Fault: FaultNone, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Detected || res.FalseAccusations > 0 {
+				t.Fatalf("k=%d seed=%d: honest run flagged", k, seed)
+			}
+		}
+	}
+}
+
+func TestFig1SuppressDetectedByProviders(t *testing.T) {
+	res, err := RunFig1(Fig1Config{K: 4, MaxLen: 16, Fault: FaultSuppress, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Detected {
+		t.Fatal("suppression not detected")
+	}
+	// Every provider catches its own false bit, and the evidence convicts.
+	if len(res.DetectedBy) < 4 {
+		t.Errorf("detected only by %v", res.DetectedBy)
+	}
+	if res.GuiltyVerdicts < 4 {
+		t.Errorf("only %d guilty verdicts", res.GuiltyVerdicts)
+	}
+	// B alone would have seen a consistent view: the promisee is not among
+	// the detectors (collective detection).
+	for _, d := range res.DetectedBy {
+		if d == fig1Promisee {
+			t.Error("promisee detected suppression on its own")
+		}
+	}
+}
+
+func TestFig1WrongExportDetectedByB(t *testing.T) {
+	// Ensure at least two distinct lengths so "longest ≠ shortest".
+	res, err := RunFig1(Fig1Config{K: 3, MaxLen: 16, Fault: FaultWrongExport, Providers: []int{7, 2, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Detected {
+		t.Fatal("wrong export not detected")
+	}
+	found := false
+	for _, d := range res.DetectedBy {
+		if d == fig1Promisee {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("B not among detectors: %v", res.DetectedBy)
+	}
+	if res.GuiltyVerdicts == 0 {
+		t.Error("no conviction for wrong export")
+	}
+}
+
+func TestFig1EquivocateDetectedByGossip(t *testing.T) {
+	res, err := RunFig1(Fig1Config{K: 3, MaxLen: 16, Fault: FaultEquivocate, Providers: []int{4, 6, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Detected {
+		t.Fatal("equivocation not detected")
+	}
+	if res.GuiltyVerdicts == 0 {
+		t.Error("no conviction for equivocation")
+	}
+}
+
+func TestFig1ProvidersExplicit(t *testing.T) {
+	// Abstaining providers (length 0) are skipped; the shortest present
+	// route wins.
+	res, err := RunFig1(Fig1Config{K: 4, MaxLen: 16, Fault: FaultNone, Providers: []int{0, 5, 0, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exported == nil || res.Exported.PathLen() != 4 { // 3 + prepend
+		t.Errorf("exported = %v", res.Exported)
+	}
+	// Nobody present: nothing exported, still clean.
+	res, err = RunFig1(Fig1Config{K: 2, MaxLen: 16, Fault: FaultNone, Providers: []int{0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exported != nil || res.Detected {
+		t.Error("empty epoch misbehaved")
+	}
+	// Config validation.
+	if _, err := RunFig1(Fig1Config{K: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := RunFig1(Fig1Config{K: 2, Providers: []int{1}}); err == nil {
+		t.Error("mismatched Providers accepted")
+	}
+}
+
+func TestFaultString(t *testing.T) {
+	for f, want := range map[Fault]string{
+		FaultNone: "none", FaultSuppress: "suppress",
+		FaultWrongExport: "wrong-export", FaultEquivocate: "equivocate",
+		Fault(99): "fault(99)",
+	} {
+		if f.String() != want {
+			t.Errorf("%d = %q", f, f.String())
+		}
+	}
+}
+
+func TestConvergencePlainVsPVR(t *testing.T) {
+	g, err := topology.Tiered(3, 6, 12, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin := g.Nodes()[len(g.Nodes())-1] // a stub
+	plain, err := RunConvergence(ConvergenceConfig{Graph: g, Origin: origin, Prefixes: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Converged || plain.Messages == 0 {
+		t.Fatalf("plain run: %+v", plain)
+	}
+	if plain.SignOps != 0 {
+		t.Error("plain run signed")
+	}
+	pvr, err := RunConvergence(ConvergenceConfig{Graph: g, Origin: origin, Prefixes: 5, PVR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Routing behaviour identical: PVR only adds crypto.
+	if pvr.Messages != plain.Messages || pvr.Rounds != plain.Rounds {
+		t.Errorf("PVR changed routing: %d/%d msgs, %d/%d rounds",
+			pvr.Messages, plain.Messages, pvr.Rounds, plain.Rounds)
+	}
+	if pvr.SignOps == 0 || pvr.VerifyOps == 0 {
+		t.Error("PVR run did not sign/verify")
+	}
+	if pvr.Bytes <= plain.Bytes {
+		t.Error("PVR run did not add bytes")
+	}
+}
+
+func TestConvergenceBatchingReducesSignatures(t *testing.T) {
+	g, err := topology.Tiered(3, 6, 12, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin := g.Nodes()[len(g.Nodes())-1]
+	each, err := RunConvergence(ConvergenceConfig{Graph: g, Origin: origin, Prefixes: 8, PVR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := RunConvergence(ConvergenceConfig{Graph: g, Origin: origin, Prefixes: 8, PVR: true, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batched.SignOps >= each.SignOps {
+		t.Errorf("batching did not reduce signatures: %d vs %d", batched.SignOps, each.SignOps)
+	}
+}
+
+func TestConvergenceChurn(t *testing.T) {
+	g, err := topology.Tiered(2, 4, 6, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin := g.Nodes()[len(g.Nodes())-1]
+	res, err := RunConvergence(ConvergenceConfig{Graph: g, Origin: origin, Prefixes: 4, Churn: 20, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("churn run did not converge")
+	}
+	if res.Messages == 0 {
+		t.Error("no messages during churn")
+	}
+}
+
+func TestConvergenceValidation(t *testing.T) {
+	if _, err := RunConvergence(ConvergenceConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	g, err := topology.Star(64500, []aspath.ASN{101}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Origin not in the topology.
+	if _, err := RunConvergence(ConvergenceConfig{Graph: g, Origin: 9999, Prefixes: 1}); err == nil {
+		t.Error("unknown origin accepted")
+	}
+}

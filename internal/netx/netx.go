@@ -1,0 +1,228 @@
+// Package netx provides the transport layer shared by the BGP substrate and
+// the PVR daemon: length-prefixed message framing over any net.Conn, an
+// in-process duplex link for simulations, and small TCP helpers. Framing is
+// explicit binary (4-byte big-endian length, type byte, payload) so the
+// same bytes interoperate between in-memory simulations and cmd/pvrd over
+// real sockets.
+package netx
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// MaxFrame bounds a frame payload; larger frames are rejected to keep a
+// malicious peer from forcing unbounded allocations.
+const MaxFrame = 1 << 22 // 4 MiB
+
+// Frame is one wire message: an application-defined type and its payload.
+type Frame struct {
+	Type    uint8
+	Payload []byte
+}
+
+// Errors returned by framing.
+var (
+	ErrFrameTooBig = errors.New("netx: frame exceeds MaxFrame")
+	ErrClosed      = errors.New("netx: connection closed")
+)
+
+// WriteFrame writes one frame: u32 length of (type ‖ payload), then bytes.
+func WriteFrame(w io.Writer, f Frame) error {
+	if len(f.Payload) > MaxFrame {
+		return ErrFrameTooBig
+	}
+	hdr := make([]byte, 5, 5+len(f.Payload))
+	binary.BigEndian.PutUint32(hdr, uint32(1+len(f.Payload)))
+	hdr[4] = f.Type
+	if _, err := w.Write(append(hdr, f.Payload...)); err != nil {
+		return fmt.Errorf("netx: write frame: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one frame written by WriteFrame.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var lb [4]byte
+	if _, err := io.ReadFull(r, lb[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return Frame{}, ErrClosed
+		}
+		return Frame{}, fmt.Errorf("netx: read length: %w", err)
+	}
+	n := binary.BigEndian.Uint32(lb[:])
+	if n == 0 || n > MaxFrame+1 {
+		return Frame{}, ErrFrameTooBig
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Frame{}, fmt.Errorf("netx: read payload: %w", err)
+	}
+	return Frame{Type: buf[0], Payload: buf[1:]}, nil
+}
+
+// Conn is a framed, mutex-protected connection: safe for one concurrent
+// reader plus any number of writers, the usage pattern of a BGP session
+// (one receive loop, sends from the decision process and keepalive timer).
+type Conn struct {
+	raw net.Conn
+	wmu sync.Mutex
+	rmu sync.Mutex
+}
+
+// NewConn wraps a net.Conn with framing.
+func NewConn(raw net.Conn) *Conn { return &Conn{raw: raw} }
+
+// Send writes one frame.
+func (c *Conn) Send(f Frame) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return WriteFrame(c.raw, f)
+}
+
+// Recv reads one frame, blocking until available.
+func (c *Conn) Recv() (Frame, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	return ReadFrame(c.raw)
+}
+
+// SetDeadline applies to subsequent reads and writes.
+func (c *Conn) SetDeadline(t time.Time) error { return c.raw.SetDeadline(t) }
+
+// Close closes the underlying connection; a blocked Recv returns ErrClosed.
+func (c *Conn) Close() error { return c.raw.Close() }
+
+// RemoteAddr exposes the peer address for logs.
+func (c *Conn) RemoteAddr() net.Addr { return c.raw.RemoteAddr() }
+
+// Pipe returns two framed connections joined by an in-process link, the
+// transport used between simulated ASes. It is built on net.Pipe, so sends
+// are synchronous rendezvous; Link (below) adds buffering.
+func Pipe() (*Conn, *Conn) {
+	a, b := net.Pipe()
+	return NewConn(a), NewConn(b)
+}
+
+// Link is a buffered, bidirectional in-memory message link with optional
+// delivery delay, used by the simulator where thousands of messages flow
+// between goroutine-actors without rendezvous stalls.
+type Link struct {
+	a2b chan Frame
+	b2a chan Frame
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
+}
+
+// Endpoint is one side of a Link.
+type Endpoint struct {
+	link *Link
+	out  chan<- Frame
+	in   <-chan Frame
+}
+
+// NewLink builds a link whose endpoints buffer up to depth frames each way.
+func NewLink(depth int) (*Link, *Endpoint, *Endpoint) {
+	if depth < 1 {
+		depth = 1
+	}
+	l := &Link{
+		a2b:  make(chan Frame, depth),
+		b2a:  make(chan Frame, depth),
+		done: make(chan struct{}),
+	}
+	ea := &Endpoint{link: l, out: l.a2b, in: l.b2a}
+	eb := &Endpoint{link: l, out: l.b2a, in: l.a2b}
+	return l, ea, eb
+}
+
+// Close tears the link down; blocked operations return ErrClosed.
+func (l *Link) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.closed {
+		l.closed = true
+		close(l.done)
+	}
+}
+
+// Send enqueues a frame, blocking if the buffer is full. A copy of the
+// payload is made so callers may reuse their buffers.
+func (e *Endpoint) Send(f Frame) error {
+	// Closed-state check takes priority over an available buffer slot.
+	select {
+	case <-e.link.done:
+		return ErrClosed
+	default:
+	}
+	cp := Frame{Type: f.Type, Payload: append([]byte(nil), f.Payload...)}
+	select {
+	case <-e.link.done:
+		return ErrClosed
+	case e.out <- cp:
+		return nil
+	}
+}
+
+// Recv dequeues the next frame, blocking until one arrives or the link
+// closes.
+func (e *Endpoint) Recv() (Frame, error) {
+	select {
+	case <-e.link.done:
+		// Drain anything already queued before reporting closure.
+		select {
+		case f := <-e.in:
+			return f, nil
+		default:
+			return Frame{}, ErrClosed
+		}
+	case f := <-e.in:
+		return f, nil
+	}
+}
+
+// TryRecv dequeues a frame without blocking.
+func (e *Endpoint) TryRecv() (Frame, bool) {
+	select {
+	case f := <-e.in:
+		return f, true
+	default:
+		return Frame{}, false
+	}
+}
+
+// Listen starts a TCP listener and hands each accepted framed connection to
+// handle on its own goroutine, until the listener is closed. It returns the
+// bound address.
+func Listen(addr string, handle func(*Conn)) (net.Addr, io.Closer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("netx: listen %s: %w", addr, err)
+	}
+	go func() {
+		for {
+			raw, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			go handle(NewConn(raw))
+		}
+	}()
+	return ln.Addr(), ln, nil
+}
+
+// Dial connects to a framed TCP endpoint.
+func Dial(addr string, timeout time.Duration) (*Conn, error) {
+	raw, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("netx: dial %s: %w", addr, err)
+	}
+	return NewConn(raw), nil
+}

@@ -1,0 +1,234 @@
+package netx
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	frames := []Frame{
+		{Type: 1, Payload: []byte("hello")},
+		{Type: 0, Payload: nil},
+		{Type: 255, Payload: bytes.Repeat([]byte{0xAB}, 1000)},
+	}
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range frames {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Type != want.Type || !bytes.Equal(got.Payload, want.Payload) {
+			t.Errorf("frame %d mismatch", i)
+		}
+	}
+	// EOF on empty buffer maps to ErrClosed.
+	if _, err := ReadFrame(&buf); !errors.Is(err, ErrClosed) {
+		t.Errorf("empty read: %v", err)
+	}
+}
+
+func TestFrameTooBig(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Payload: make([]byte, MaxFrame+1)}); !errors.Is(err, ErrFrameTooBig) {
+		t.Errorf("oversize write: %v", err)
+	}
+	// A hostile length prefix is rejected before allocation.
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadFrame(&buf); !errors.Is(err, ErrFrameTooBig) {
+		t.Errorf("hostile length: %v", err)
+	}
+	// Zero length is invalid (frames always carry a type byte).
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 0})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Error("zero-length frame accepted")
+	}
+}
+
+func TestFrameTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 10, 1, 2, 3}) // claims 10, has 3
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestConnOverPipe(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	done := make(chan error, 1)
+	go func() {
+		f, err := b.Recv()
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- b.Send(Frame{Type: f.Type + 1, Payload: f.Payload})
+	}()
+	if err := a.Send(Frame{Type: 7, Payload: []byte("ping")}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := a.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != 8 || string(f.Payload) != "ping" {
+		t.Errorf("echo = %d %q", f.Type, f.Payload)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnConcurrentWriters(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	const n = 50
+	var recvWG sync.WaitGroup
+	recvWG.Add(1)
+	counts := make(map[uint8]int)
+	go func() {
+		defer recvWG.Done()
+		for i := 0; i < 4*n; i++ {
+			f, err := b.Recv()
+			if err != nil {
+				t.Errorf("recv: %v", err)
+				return
+			}
+			counts[f.Type]++
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(id uint8) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if err := a.Send(Frame{Type: id, Payload: []byte{byte(i)}}); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(uint8(w))
+	}
+	wg.Wait()
+	recvWG.Wait()
+	for w := 0; w < 4; w++ {
+		if counts[uint8(w)] != n {
+			t.Errorf("writer %d: %d frames", w, counts[uint8(w)])
+		}
+	}
+}
+
+func TestLinkSendRecv(t *testing.T) {
+	l, ea, eb := NewLink(8)
+	defer l.Close()
+	payload := []byte("data")
+	if err := ea.Send(Frame{Type: 3, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the caller's buffer must not affect the queued frame.
+	payload[0] = 'X'
+	f, err := eb.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(f.Payload) != "data" {
+		t.Errorf("payload aliased: %q", f.Payload)
+	}
+	// Other direction.
+	if err := eb.Send(Frame{Type: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if f, err := ea.Recv(); err != nil || f.Type != 4 {
+		t.Errorf("reverse: %v %v", f, err)
+	}
+}
+
+func TestLinkTryRecv(t *testing.T) {
+	l, ea, eb := NewLink(2)
+	defer l.Close()
+	if _, ok := eb.TryRecv(); ok {
+		t.Error("TryRecv on empty link returned a frame")
+	}
+	if err := ea.Send(Frame{Type: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if f, ok := eb.TryRecv(); !ok || f.Type != 9 {
+		t.Errorf("TryRecv = %v %v", f, ok)
+	}
+}
+
+func TestLinkCloseUnblocksAndDrains(t *testing.T) {
+	l, ea, eb := NewLink(4)
+	if err := ea.Send(Frame{Type: 1}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// Queued frame still deliverable after close.
+	if f, err := eb.Recv(); err != nil || f.Type != 1 {
+		t.Errorf("drain after close: %v %v", f, err)
+	}
+	// Then closed.
+	if _, err := eb.Recv(); !errors.Is(err, ErrClosed) {
+		t.Errorf("recv after drain: %v", err)
+	}
+	if err := ea.Send(Frame{Type: 2}); !errors.Is(err, ErrClosed) {
+		t.Errorf("send after close: %v", err)
+	}
+	l.Close() // double close is safe
+}
+
+func TestTCPListenDial(t *testing.T) {
+	got := make(chan Frame, 1)
+	addr, closer, err := Listen("127.0.0.1:0", func(c *Conn) {
+		defer c.Close()
+		f, err := c.Recv()
+		if err != nil {
+			return
+		}
+		got <- f
+		_ = c.Send(Frame{Type: 99, Payload: []byte("ack")})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+
+	c, err := Dial(addr.String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send(Frame{Type: 5, Payload: []byte("over tcp")}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case f := <-got:
+		if f.Type != 5 || string(f.Payload) != "over tcp" {
+			t.Errorf("server got %v", f)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("server did not receive frame")
+	}
+	f, err := c.Recv()
+	if err != nil || f.Type != 99 {
+		t.Errorf("ack = %v %v", f, err)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", 100*time.Millisecond); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}

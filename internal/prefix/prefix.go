@@ -1,0 +1,247 @@
+// Package prefix provides IP prefix types and a longest-prefix-match radix
+// trie, the address substrate for the BGP simulator and the PVR protocols.
+//
+// A Prefix is an immutable value type: a (possibly IPv6-mapped) 16-byte
+// address plus a mask length, always stored in canonical (masked) form so
+// that two prefixes covering the same address block compare equal. The
+// package is self-contained on the standard library.
+package prefix
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// Prefix is an IP prefix in canonical form: all bits past Bits() are zero.
+// The zero value is the invalid prefix; use Parse or From to construct one.
+type Prefix struct {
+	addr netip.Addr
+	bits int16
+	ok   bool
+}
+
+// ErrInvalidPrefix is returned by Parse for syntactically invalid input.
+var ErrInvalidPrefix = errors.New("prefix: invalid prefix")
+
+// Parse parses a prefix in CIDR notation ("10.0.0.0/8", "2001:db8::/32").
+// A bare address is treated as a host prefix (/32 or /128).
+func Parse(s string) (Prefix, error) {
+	if !strings.Contains(s, "/") {
+		a, err := netip.ParseAddr(s)
+		if err != nil {
+			return Prefix{}, fmt.Errorf("%w: %q: %v", ErrInvalidPrefix, s, err)
+		}
+		return From(a, a.BitLen())
+	}
+	p, err := netip.ParsePrefix(s)
+	if err != nil {
+		return Prefix{}, fmt.Errorf("%w: %q: %v", ErrInvalidPrefix, s, err)
+	}
+	return From(p.Addr(), p.Bits())
+}
+
+// MustParse is Parse that panics on error, for tests and literals.
+func MustParse(s string) Prefix {
+	p, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// From builds a canonical prefix from an address and mask length.
+func From(a netip.Addr, bits int) (Prefix, error) {
+	if !a.IsValid() || bits < 0 || bits > a.BitLen() {
+		return Prefix{}, fmt.Errorf("%w: %v/%d", ErrInvalidPrefix, a, bits)
+	}
+	np := netip.PrefixFrom(a, bits).Masked()
+	return Prefix{addr: np.Addr(), bits: int16(bits), ok: true}, nil
+}
+
+// V4 builds an IPv4 prefix from four octets and a length; it panics on an
+// invalid length, for concise test and generator code.
+func V4(a, b, c, d byte, bits int) Prefix {
+	p, err := From(netip.AddrFrom4([4]byte{a, b, c, d}), bits)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// IsValid reports whether p was constructed by Parse or From.
+func (p Prefix) IsValid() bool { return p.ok }
+
+// Addr returns the (masked) network address.
+func (p Prefix) Addr() netip.Addr { return p.addr }
+
+// Bits returns the mask length.
+func (p Prefix) Bits() int { return int(p.bits) }
+
+// Is4 reports whether this is an IPv4 prefix.
+func (p Prefix) Is4() bool { return p.addr.Is4() }
+
+// String renders CIDR notation; the invalid prefix renders as "invalid".
+func (p Prefix) String() string {
+	if !p.ok {
+		return "invalid"
+	}
+	return fmt.Sprintf("%s/%d", p.addr, p.bits)
+}
+
+// Compare orders prefixes first by address family (IPv4 < IPv6), then by
+// address, then by mask length. It returns -1, 0, or 1.
+func (p Prefix) Compare(q Prefix) int {
+	if p.ok != q.ok {
+		if !p.ok {
+			return -1
+		}
+		return 1
+	}
+	if c := p.addr.Compare(q.addr); c != 0 {
+		return c
+	}
+	switch {
+	case p.bits < q.bits:
+		return -1
+	case p.bits > q.bits:
+		return 1
+	}
+	return 0
+}
+
+// bit returns bit i (0 = most significant) of the prefix's address.
+func (p Prefix) bit(i int) byte {
+	s := p.addr.AsSlice()
+	return (s[i/8] >> (7 - i%8)) & 1
+}
+
+// Contains reports whether p covers q: same family, p no longer than q, and
+// q's address inside p's block.
+func (p Prefix) Contains(q Prefix) bool {
+	if !p.ok || !q.ok || p.Is4() != q.Is4() || p.bits > q.bits {
+		return false
+	}
+	qp := netip.PrefixFrom(q.addr, int(p.bits)).Masked()
+	return qp.Addr() == p.addr
+}
+
+// ContainsAddr reports whether the address a lies inside p.
+func (p Prefix) ContainsAddr(a netip.Addr) bool {
+	if !p.ok || !a.IsValid() || p.Is4() != a.Is4() {
+		return false
+	}
+	return netip.PrefixFrom(a, int(p.bits)).Masked().Addr() == p.addr
+}
+
+// Overlaps reports whether p and q share any address.
+func (p Prefix) Overlaps(q Prefix) bool {
+	return p.Contains(q) || q.Contains(p)
+}
+
+// CommonAncestor returns the longest prefix covering both p and q. The two
+// prefixes must be of the same family.
+func (p Prefix) CommonAncestor(q Prefix) (Prefix, error) {
+	if !p.ok || !q.ok || p.Is4() != q.Is4() {
+		return Prefix{}, fmt.Errorf("%w: mixed or invalid operands", ErrInvalidPrefix)
+	}
+	max := int(p.bits)
+	if int(q.bits) < max {
+		max = int(q.bits)
+	}
+	i := 0
+	for i < max && p.bit(i) == q.bit(i) {
+		i++
+	}
+	return From(p.addr, i)
+}
+
+// Children splits p into its two immediate more-specific halves. It fails if
+// p is already a host prefix.
+func (p Prefix) Children() (Prefix, Prefix, error) {
+	if !p.ok {
+		return Prefix{}, Prefix{}, ErrInvalidPrefix
+	}
+	nb := int(p.bits) + 1
+	if nb > p.addr.BitLen() {
+		return Prefix{}, Prefix{}, fmt.Errorf("prefix: %v is a host prefix", p)
+	}
+	left, err := From(p.addr, nb)
+	if err != nil {
+		return Prefix{}, Prefix{}, err
+	}
+	s := p.addr.AsSlice()
+	s[(nb-1)/8] |= 1 << (7 - (nb-1)%8)
+	ra, rok := netip.AddrFromSlice(s)
+	if !rok {
+		return Prefix{}, Prefix{}, ErrInvalidPrefix
+	}
+	right, err := From(ra, nb)
+	if err != nil {
+		return Prefix{}, Prefix{}, err
+	}
+	return left, right, nil
+}
+
+// MarshalBinary encodes the prefix as family byte, mask length byte, and the
+// minimum number of address bytes needed to hold the mask.
+func (p Prefix) MarshalBinary() ([]byte, error) {
+	if !p.ok {
+		return nil, ErrInvalidPrefix
+	}
+	fam := byte(6)
+	if p.Is4() {
+		fam = 4
+	}
+	n := (int(p.bits) + 7) / 8
+	out := make([]byte, 2+n)
+	out[0] = fam
+	out[1] = byte(p.bits)
+	copy(out[2:], p.addr.AsSlice()[:n])
+	return out, nil
+}
+
+// UnmarshalBinary decodes the MarshalBinary encoding.
+func (p *Prefix) UnmarshalBinary(b []byte) error {
+	if len(b) < 2 {
+		return fmt.Errorf("%w: short input", ErrInvalidPrefix)
+	}
+	fam, bits := b[0], int(b[1])
+	var alen int
+	switch fam {
+	case 4:
+		alen = 4
+	case 6:
+		alen = 16
+	default:
+		return fmt.Errorf("%w: unknown family %d", ErrInvalidPrefix, fam)
+	}
+	if bits > alen*8 {
+		return fmt.Errorf("%w: mask %d too long", ErrInvalidPrefix, bits)
+	}
+	n := (bits + 7) / 8
+	if len(b) != 2+n {
+		return fmt.Errorf("%w: length %d, want %d", ErrInvalidPrefix, len(b), 2+n)
+	}
+	buf := make([]byte, alen)
+	copy(buf, b[2:])
+	a, ok := netip.AddrFromSlice(buf)
+	if !ok {
+		return ErrInvalidPrefix
+	}
+	q, err := From(a, bits)
+	if err != nil {
+		return err
+	}
+	// Reject non-canonical encodings (set bits past the mask) so that the
+	// wire form of a prefix is unique, which commitments depend on.
+	canon := q.addr.AsSlice()
+	for i := 0; i < n; i++ {
+		if canon[i] != buf[i] {
+			return fmt.Errorf("%w: non-canonical encoding", ErrInvalidPrefix)
+		}
+	}
+	*p = q
+	return nil
+}

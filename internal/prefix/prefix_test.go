@@ -1,0 +1,253 @@
+package prefix
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseValid(t *testing.T) {
+	cases := []struct {
+		in, want string
+		bits     int
+	}{
+		{"10.0.0.0/8", "10.0.0.0/8", 8},
+		{"10.1.2.3/8", "10.0.0.0/8", 8}, // masked to canonical form
+		{"192.168.1.0/24", "192.168.1.0/24", 24},
+		{"0.0.0.0/0", "0.0.0.0/0", 0},
+		{"255.255.255.255/32", "255.255.255.255/32", 32},
+		{"1.2.3.4", "1.2.3.4/32", 32},
+		{"2001:db8::/32", "2001:db8::/32", 32},
+		{"2001:db8::1", "2001:db8::1/128", 128},
+		{"2001:db8:ffff::1/48", "2001:db8:ffff::/48", 48},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if got := p.String(); got != c.want {
+			t.Errorf("Parse(%q) = %s, want %s", c.in, got, c.want)
+		}
+		if p.Bits() != c.bits {
+			t.Errorf("Parse(%q).Bits() = %d, want %d", c.in, p.Bits(), c.bits)
+		}
+	}
+}
+
+func TestParseInvalid(t *testing.T) {
+	for _, in := range []string{"", "10.0.0.0/33", "10.0.0.0/-1", "bogus", "1.2.3/8", "::/129", "10.0.0.0/8/8"} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestZeroValueInvalid(t *testing.T) {
+	var p Prefix
+	if p.IsValid() {
+		t.Error("zero Prefix should be invalid")
+	}
+	if p.String() != "invalid" {
+		t.Errorf("zero Prefix String = %q", p.String())
+	}
+	if p.Contains(MustParse("10.0.0.0/8")) {
+		t.Error("invalid prefix should contain nothing")
+	}
+}
+
+func TestContains(t *testing.T) {
+	cases := []struct {
+		outer, inner string
+		want         bool
+	}{
+		{"10.0.0.0/8", "10.1.0.0/16", true},
+		{"10.0.0.0/8", "10.0.0.0/8", true},
+		{"10.1.0.0/16", "10.0.0.0/8", false},
+		{"10.0.0.0/8", "11.0.0.0/16", false},
+		{"0.0.0.0/0", "203.0.113.0/24", true},
+		{"2001:db8::/32", "2001:db8:1::/48", true},
+		{"10.0.0.0/8", "2001:db8::/32", false}, // cross family
+	}
+	for _, c := range cases {
+		got := MustParse(c.outer).Contains(MustParse(c.inner))
+		if got != c.want {
+			t.Errorf("%s.Contains(%s) = %v, want %v", c.outer, c.inner, got, c.want)
+		}
+	}
+}
+
+func TestContainsAddr(t *testing.T) {
+	p := MustParse("192.0.2.0/24")
+	if !p.ContainsAddr(netip.MustParseAddr("192.0.2.200")) {
+		t.Error("expected containment")
+	}
+	if p.ContainsAddr(netip.MustParseAddr("192.0.3.1")) {
+		t.Error("unexpected containment")
+	}
+	if p.ContainsAddr(netip.MustParseAddr("2001:db8::1")) {
+		t.Error("cross-family containment")
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	a := MustParse("10.0.0.0/8")
+	b := MustParse("10.5.0.0/16")
+	c := MustParse("172.16.0.0/12")
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("a and b should overlap")
+	}
+	if a.Overlaps(c) {
+		t.Error("a and c should not overlap")
+	}
+}
+
+func TestCommonAncestor(t *testing.T) {
+	a := MustParse("10.0.0.0/16")
+	b := MustParse("10.1.0.0/16")
+	anc, err := a.CommonAncestor(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anc.String() != "10.0.0.0/15" {
+		t.Errorf("ancestor = %s, want 10.0.0.0/15", anc)
+	}
+	if _, err := a.CommonAncestor(MustParse("2001:db8::/32")); err == nil {
+		t.Error("cross-family ancestor should fail")
+	}
+}
+
+func TestChildren(t *testing.T) {
+	p := MustParse("10.0.0.0/8")
+	l, r, err := p.Children()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.String() != "10.0.0.0/9" || r.String() != "10.128.0.0/9" {
+		t.Errorf("children = %s, %s", l, r)
+	}
+	if !p.Contains(l) || !p.Contains(r) {
+		t.Error("parent must contain both children")
+	}
+	host := MustParse("1.2.3.4/32")
+	if _, _, err := host.Children(); err == nil {
+		t.Error("host prefix should have no children")
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	ps := []Prefix{
+		MustParse("10.0.0.0/8"),
+		MustParse("10.0.0.0/16"),
+		MustParse("10.1.0.0/16"),
+		MustParse("2001:db8::/32"),
+	}
+	for i := range ps {
+		for j := range ps {
+			got := ps[i].Compare(ps[j])
+			switch {
+			case i == j && got != 0:
+				t.Errorf("Compare(%s,%s) = %d, want 0", ps[i], ps[j], got)
+			case i < j && got >= 0:
+				t.Errorf("Compare(%s,%s) = %d, want <0", ps[i], ps[j], got)
+			case i > j && got <= 0:
+				t.Errorf("Compare(%s,%s) = %d, want >0", ps[i], ps[j], got)
+			}
+		}
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	for _, s := range []string{"0.0.0.0/0", "10.0.0.0/8", "192.0.2.128/25", "255.255.255.255/32", "2001:db8::/32", "::/0", "2001:db8::1/128"} {
+		p := MustParse(s)
+		b, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatalf("marshal %s: %v", s, err)
+		}
+		var q Prefix
+		if err := q.UnmarshalBinary(b); err != nil {
+			t.Fatalf("unmarshal %s: %v", s, err)
+		}
+		if q != p {
+			t.Errorf("round trip %s -> %s", p, q)
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{4},
+		{7, 8, 10},          // unknown family
+		{4, 33, 1, 2, 3, 4}, // mask too long
+		{4, 8},              // missing address byte
+		{4, 8, 10, 99},      // trailing bytes
+		{4, 8, 0xFF},        // ok actually: 255.0.0.0/8 — canonical; not garbage
+	}
+	for i, b := range cases[:len(cases)-1] {
+		var p Prefix
+		if err := p.UnmarshalBinary(b); err == nil {
+			t.Errorf("case %d: UnmarshalBinary(%v) succeeded", i, b)
+		}
+	}
+	// Non-canonical: bits set past the mask.
+	var p Prefix
+	if err := p.UnmarshalBinary([]byte{4, 4, 0xFF}); err == nil {
+		t.Error("non-canonical encoding accepted")
+	}
+}
+
+// randPrefix builds a random valid IPv4 prefix from quick's source.
+func randPrefix(r *rand.Rand) Prefix {
+	var oct [4]byte
+	r.Read(oct[:])
+	p, err := From(netip.AddrFrom4(oct), r.Intn(33))
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestQuickMarshalRoundTrip(t *testing.T) {
+	f := func(a, b, c, d byte, bits uint8) bool {
+		p := V4(a, b, c, d, int(bits%33))
+		enc, err := p.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var q Prefix
+		if err := q.UnmarshalBinary(enc); err != nil {
+			return false
+		}
+		return q == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickContainsTransitive(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		a, b, c := randPrefix(r), randPrefix(r), randPrefix(r)
+		if a.Contains(b) && b.Contains(c) && !a.Contains(c) {
+			t.Fatalf("containment not transitive: %s %s %s", a, b, c)
+		}
+	}
+}
+
+func TestQuickAncestorContainsBoth(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 2000; i++ {
+		a, b := randPrefix(r), randPrefix(r)
+		anc, err := a.CommonAncestor(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !anc.Contains(a) || !anc.Contains(b) {
+			t.Fatalf("ancestor %s does not contain %s and %s", anc, a, b)
+		}
+	}
+}

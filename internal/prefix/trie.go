@@ -1,0 +1,302 @@
+package prefix
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+)
+
+// Trie is a path-compressed binary radix trie mapping prefixes to values,
+// supporting exact lookup, longest-prefix match, and ordered walks. It is
+// the routing-table index used by the BGP substrate.
+//
+// The zero value is an empty trie ready for use for a single family; mixing
+// IPv4 and IPv6 keys in one Trie is rejected. Trie is not safe for
+// concurrent mutation; readers and writers must be externally synchronized.
+type Trie[V any] struct {
+	root *node[V]
+	size int
+	fam4 bool // valid once size > 0
+}
+
+type node[V any] struct {
+	key         Prefix
+	left, right *node[V]
+	val         V
+	hasVal      bool
+}
+
+// Len returns the number of prefixes with values in the trie.
+func (t *Trie[V]) Len() int { return t.size }
+
+// Insert sets the value for p, replacing any existing value.
+// It reports whether the prefix was newly inserted.
+func (t *Trie[V]) Insert(p Prefix, v V) (fresh bool, err error) {
+	if !p.IsValid() {
+		return false, ErrInvalidPrefix
+	}
+	if t.size == 0 && t.root == nil {
+		t.fam4 = p.Is4()
+	} else if p.Is4() != t.fam4 {
+		return false, fmt.Errorf("prefix: mixed address families in one trie")
+	}
+	n, grew, err := t.insert(t.root, p, v)
+	if err != nil {
+		return false, err
+	}
+	t.root = n
+	if grew {
+		t.size++
+	}
+	return grew, nil
+}
+
+func (t *Trie[V]) insert(n *node[V], p Prefix, v V) (*node[V], bool, error) {
+	if n == nil {
+		return &node[V]{key: p, val: v, hasVal: true}, true, nil
+	}
+	if n.key == p {
+		grew := !n.hasVal
+		n.val, n.hasVal = v, true
+		return n, grew, nil
+	}
+	if n.key.Contains(p) {
+		// Descend on the bit just past n's mask.
+		child := &n.left
+		if p.bit(n.key.Bits()) == 1 {
+			child = &n.right
+		}
+		c, grew, err := t.insert(*child, p, v)
+		if err != nil {
+			return nil, false, err
+		}
+		*child = c
+		return n, grew, nil
+	}
+	if p.Contains(n.key) {
+		// New node becomes an ancestor of n.
+		nn := &node[V]{key: p, val: v, hasVal: true}
+		if n.key.bit(p.Bits()) == 1 {
+			nn.right = n
+		} else {
+			nn.left = n
+		}
+		return nn, true, nil
+	}
+	// Split at the common ancestor.
+	anc, err := p.CommonAncestor(n.key)
+	if err != nil {
+		return nil, false, err
+	}
+	branch := &node[V]{key: anc}
+	leaf := &node[V]{key: p, val: v, hasVal: true}
+	if p.bit(anc.Bits()) == 1 {
+		branch.right, branch.left = leaf, n
+	} else {
+		branch.left, branch.right = leaf, n
+	}
+	return branch, true, nil
+}
+
+// Get returns the value stored exactly at p.
+func (t *Trie[V]) Get(p Prefix) (V, bool) {
+	var zero V
+	n := t.root
+	for n != nil {
+		if n.key == p {
+			if n.hasVal {
+				return n.val, true
+			}
+			return zero, false
+		}
+		if !n.key.Contains(p) {
+			return zero, false
+		}
+		if p.bit(n.key.Bits()) == 1 {
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	return zero, false
+}
+
+// Lookup returns the longest stored prefix containing the address, i.e. the
+// forwarding decision for a destination.
+func (t *Trie[V]) Lookup(a netip.Addr) (Prefix, V, bool) {
+	var (
+		zero  V
+		bestP Prefix
+		bestV V
+		found bool
+	)
+	n := t.root
+	for n != nil {
+		if !n.key.ContainsAddr(a) {
+			break
+		}
+		if n.hasVal {
+			bestP, bestV, found = n.key, n.val, true
+		}
+		if n.key.Bits() == a.BitLen() {
+			break
+		}
+		if addrBit(a, n.key.Bits()) == 1 {
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	if !found {
+		return Prefix{}, zero, false
+	}
+	return bestP, bestV, true
+}
+
+// LookupPrefix returns the longest stored prefix containing p (including p
+// itself), the match a BGP speaker uses to resolve a covering route.
+func (t *Trie[V]) LookupPrefix(p Prefix) (Prefix, V, bool) {
+	var (
+		zero  V
+		bestP Prefix
+		bestV V
+		found bool
+	)
+	n := t.root
+	for n != nil {
+		if !n.key.Contains(p) {
+			break
+		}
+		if n.hasVal {
+			bestP, bestV, found = n.key, n.val, true
+		}
+		if n.key.Bits() == p.Bits() {
+			break
+		}
+		if p.bit(n.key.Bits()) == 1 {
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	if !found {
+		return Prefix{}, zero, false
+	}
+	return bestP, bestV, true
+}
+
+// Delete removes the value at p and reports whether it was present.
+func (t *Trie[V]) Delete(p Prefix) bool {
+	n, removed := t.delete(t.root, p)
+	t.root = n
+	if removed {
+		t.size--
+	}
+	return removed
+}
+
+func (t *Trie[V]) delete(n *node[V], p Prefix) (*node[V], bool) {
+	if n == nil {
+		return nil, false
+	}
+	var removed bool
+	if n.key == p {
+		if !n.hasVal {
+			return n, false
+		}
+		var zero V
+		n.val, n.hasVal = zero, false
+		removed = true
+	} else if n.key.Contains(p) {
+		if p.bit(n.key.Bits()) == 1 {
+			n.right, removed = t.delete(n.right, p)
+		} else {
+			n.left, removed = t.delete(n.left, p)
+		}
+	} else {
+		return n, false
+	}
+	// Compress: drop empty leaves and splice out valueless one-child nodes.
+	if !n.hasVal {
+		switch {
+		case n.left == nil && n.right == nil:
+			return nil, removed
+		case n.left == nil:
+			return n.right, removed
+		case n.right == nil:
+			return n.left, removed
+		}
+	}
+	return n, removed
+}
+
+// Walk visits every stored (prefix, value) pair in address order. Returning
+// false from fn stops the walk early.
+func (t *Trie[V]) Walk(fn func(Prefix, V) bool) {
+	t.walk(t.root, fn)
+}
+
+func (t *Trie[V]) walk(n *node[V], fn func(Prefix, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.hasVal && !fn(n.key, n.val) {
+		return false
+	}
+	return t.walk(n.left, fn) && t.walk(n.right, fn)
+}
+
+// Subtree visits every stored pair covered by p, in address order.
+func (t *Trie[V]) Subtree(p Prefix, fn func(Prefix, V) bool) {
+	n := t.root
+	for n != nil && !p.Contains(n.key) {
+		if !n.key.Contains(p) {
+			return
+		}
+		if p.bit(n.key.Bits()) == 1 {
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	if n != nil {
+		t.walk(n, fn)
+	}
+}
+
+// Prefixes returns all stored prefixes in sorted order.
+func (t *Trie[V]) Prefixes() []Prefix {
+	out := make([]Prefix, 0, t.size)
+	t.Walk(func(p Prefix, _ V) bool {
+		out = append(out, p)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// String renders the trie structure, one node per line, for debugging.
+func (t *Trie[V]) String() string {
+	var b strings.Builder
+	var rec func(n *node[V], depth int)
+	rec = func(n *node[V], depth int) {
+		if n == nil {
+			return
+		}
+		fmt.Fprintf(&b, "%s%s", strings.Repeat("  ", depth), n.key)
+		if n.hasVal {
+			fmt.Fprintf(&b, " = %v", n.val)
+		}
+		b.WriteByte('\n')
+		rec(n.left, depth+1)
+		rec(n.right, depth+1)
+	}
+	rec(t.root, 0)
+	return b.String()
+}
+
+func addrBit(a netip.Addr, i int) byte {
+	s := a.AsSlice()
+	return (s[i/8] >> (7 - i%8)) & 1
+}

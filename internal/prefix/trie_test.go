@@ -1,0 +1,247 @@
+package prefix
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+)
+
+func TestTrieInsertGet(t *testing.T) {
+	var tr Trie[string]
+	ps := []string{"10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24", "192.168.0.0/16", "0.0.0.0/0"}
+	for _, s := range ps {
+		fresh, err := tr.Insert(MustParse(s), s)
+		if err != nil || !fresh {
+			t.Fatalf("Insert(%s) = %v, %v", s, fresh, err)
+		}
+	}
+	if tr.Len() != len(ps) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(ps))
+	}
+	for _, s := range ps {
+		v, ok := tr.Get(MustParse(s))
+		if !ok || v != s {
+			t.Errorf("Get(%s) = %q, %v", s, v, ok)
+		}
+	}
+	if _, ok := tr.Get(MustParse("10.1.0.0/24")); ok {
+		t.Error("Get of absent prefix succeeded")
+	}
+	// Replacement is not fresh.
+	fresh, err := tr.Insert(MustParse("10.0.0.0/8"), "new")
+	if err != nil || fresh {
+		t.Fatalf("replacement Insert = %v, %v", fresh, err)
+	}
+	if v, _ := tr.Get(MustParse("10.0.0.0/8")); v != "new" {
+		t.Errorf("value not replaced: %q", v)
+	}
+}
+
+func TestTrieRejectsMixedFamilies(t *testing.T) {
+	var tr Trie[int]
+	if _, err := tr.Insert(MustParse("10.0.0.0/8"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Insert(MustParse("2001:db8::/32"), 2); err == nil {
+		t.Error("mixed-family insert succeeded")
+	}
+}
+
+func TestTrieLookupLongestMatch(t *testing.T) {
+	var tr Trie[string]
+	for _, s := range []string{"0.0.0.0/0", "10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24"} {
+		if _, err := tr.Insert(MustParse(s), s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct{ addr, want string }{
+		{"10.1.2.3", "10.1.2.0/24"},
+		{"10.1.9.9", "10.1.0.0/16"},
+		{"10.9.9.9", "10.0.0.0/8"},
+		{"8.8.8.8", "0.0.0.0/0"},
+	}
+	for _, c := range cases {
+		p, v, ok := tr.Lookup(netip.MustParseAddr(c.addr))
+		if !ok || v != c.want || p.String() != c.want {
+			t.Errorf("Lookup(%s) = %s/%q/%v, want %s", c.addr, p, v, ok, c.want)
+		}
+	}
+	var empty Trie[string]
+	if _, _, ok := empty.Lookup(netip.MustParseAddr("1.1.1.1")); ok {
+		t.Error("lookup in empty trie succeeded")
+	}
+}
+
+func TestTrieLookupPrefix(t *testing.T) {
+	var tr Trie[string]
+	for _, s := range []string{"10.0.0.0/8", "10.1.0.0/16"} {
+		if _, err := tr.Insert(MustParse(s), s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, v, ok := tr.LookupPrefix(MustParse("10.1.2.0/24"))
+	if !ok || v != "10.1.0.0/16" || p.String() != "10.1.0.0/16" {
+		t.Errorf("LookupPrefix = %s/%q/%v", p, v, ok)
+	}
+	// Exact prefix also matches itself.
+	if _, v, ok := tr.LookupPrefix(MustParse("10.1.0.0/16")); !ok || v != "10.1.0.0/16" {
+		t.Errorf("exact LookupPrefix = %q/%v", v, ok)
+	}
+	if _, _, ok := tr.LookupPrefix(MustParse("11.0.0.0/8")); ok {
+		t.Error("LookupPrefix of uncovered prefix succeeded")
+	}
+}
+
+func TestTrieDelete(t *testing.T) {
+	var tr Trie[int]
+	ss := []string{"10.0.0.0/8", "10.0.0.0/9", "10.128.0.0/9", "10.64.0.0/10"}
+	for i, s := range ss {
+		if _, err := tr.Insert(MustParse(s), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !tr.Delete(MustParse("10.0.0.0/9")) {
+		t.Fatal("delete failed")
+	}
+	if tr.Delete(MustParse("10.0.0.0/9")) {
+		t.Fatal("double delete succeeded")
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	if _, ok := tr.Get(MustParse("10.0.0.0/9")); ok {
+		t.Error("deleted prefix still present")
+	}
+	// Remaining entries unaffected.
+	for _, s := range []string{"10.0.0.0/8", "10.128.0.0/9", "10.64.0.0/10"} {
+		if _, ok := tr.Get(MustParse(s)); !ok {
+			t.Errorf("lost %s after delete", s)
+		}
+	}
+}
+
+func TestTrieWalkOrderAndSubtree(t *testing.T) {
+	var tr Trie[int]
+	ss := []string{"10.0.0.0/8", "10.1.0.0/16", "10.2.0.0/16", "192.168.0.0/16"}
+	for i, s := range ss {
+		if _, err := tr.Insert(MustParse(s), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	tr.Walk(func(p Prefix, _ int) bool {
+		got = append(got, p.String())
+		return true
+	})
+	if len(got) != 4 {
+		t.Fatalf("walk visited %d, want 4", len(got))
+	}
+	var sub []string
+	tr.Subtree(MustParse("10.0.0.0/8"), func(p Prefix, _ int) bool {
+		sub = append(sub, p.String())
+		return true
+	})
+	if len(sub) != 3 {
+		t.Fatalf("subtree visited %v", sub)
+	}
+	// Early stop.
+	n := 0
+	tr.Walk(func(Prefix, int) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+// TestTrieAgainstFlatModel cross-checks the trie against a brute-force model
+// on thousands of random operations: the classic property test for LPM.
+func TestTrieAgainstFlatModel(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	var tr Trie[int]
+	model := map[Prefix]int{}
+	for op := 0; op < 5000; op++ {
+		p := randPrefix(r)
+		switch r.Intn(3) {
+		case 0: // insert
+			v := r.Int()
+			if _, err := tr.Insert(p, v); err != nil {
+				t.Fatal(err)
+			}
+			model[p] = v
+		case 1: // delete
+			want := false
+			if _, ok := model[p]; ok {
+				want = true
+			}
+			if got := tr.Delete(p); got != want {
+				t.Fatalf("Delete(%s) = %v, want %v", p, got, want)
+			}
+			delete(model, p)
+		case 2: // lookup of a random address
+			var oct [4]byte
+			r.Read(oct[:])
+			a := netip.AddrFrom4(oct)
+			var bestP Prefix
+			bestBits, found := -1, false
+			for mp := range model {
+				if mp.ContainsAddr(a) && mp.Bits() > bestBits {
+					bestP, bestBits, found = mp, mp.Bits(), true
+				}
+			}
+			gp, gv, gok := tr.Lookup(a)
+			if gok != found {
+				t.Fatalf("Lookup(%s) ok=%v, model=%v", a, gok, found)
+			}
+			if found && (gp != bestP || gv != model[bestP]) {
+				t.Fatalf("Lookup(%s) = %s/%d, model %s/%d", a, gp, gv, bestP, model[bestP])
+			}
+		}
+		if tr.Len() != len(model) {
+			t.Fatalf("size drift: trie %d model %d", tr.Len(), len(model))
+		}
+	}
+	// Final sweep: every model entry retrievable.
+	for p, v := range model {
+		got, ok := tr.Get(p)
+		if !ok || got != v {
+			t.Fatalf("final Get(%s) = %d,%v want %d", p, got, ok, v)
+		}
+	}
+	if got := tr.Prefixes(); len(got) != len(model) {
+		t.Fatalf("Prefixes len %d, want %d", len(got), len(model))
+	}
+}
+
+func BenchmarkTrieInsert(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	ps := make([]Prefix, 4096)
+	for i := range ps {
+		ps[i] = randPrefix(r)
+	}
+	b.ResetTimer()
+	var tr Trie[int]
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Insert(ps[i%len(ps)], i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrieLookup(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	var tr Trie[int]
+	for i := 0; i < 10000; i++ {
+		if _, err := tr.Insert(randPrefix(r), i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	addrs := make([]netip.Addr, 1024)
+	for i := range addrs {
+		var oct [4]byte
+		r.Read(oct[:])
+		addrs[i] = netip.AddrFrom4(oct)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(addrs[i%len(addrs)])
+	}
+}

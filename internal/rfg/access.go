@@ -1,0 +1,106 @@
+package rfg
+
+import (
+	"fmt"
+	"sort"
+
+	"pvr/internal/aspath"
+)
+
+// Component is one independently disclosable part of a vertex's information
+// I(x) (§3.7): the incoming-edge list, the outgoing-edge list, and the data
+// (route value or operator type plus evidence).
+type Component uint8
+
+// Components of I(x).
+const (
+	CompPreds Component = iota // incoming edges (who produces my inputs)
+	CompSuccs                  // outgoing edges (who consumes me)
+	CompData                   // the route value / operator type + evidence
+)
+
+// String names the component.
+func (c Component) String() string {
+	switch c {
+	case CompPreds:
+		return "preds"
+	case CompSuccs:
+		return "succs"
+	case CompData:
+		return "data"
+	}
+	return fmt.Sprintf("component(%d)", uint8(c))
+}
+
+// Access is the paper's α: which networks may see which parts of which
+// vertices (§2.2), refined per component (§3.7). The zero value denies
+// everything; Access is not safe for concurrent mutation.
+type Access struct {
+	grants map[aspath.ASN]map[string]uint8 // vertex label -> component bitmask
+}
+
+// NewAccess returns an empty (deny-all) policy.
+func NewAccess() *Access {
+	return &Access{grants: make(map[aspath.ASN]map[string]uint8)}
+}
+
+// Allow grants network n the given components of the vertex with the given
+// wire label.
+func (a *Access) Allow(n aspath.ASN, label string, comps ...Component) {
+	m, ok := a.grants[n]
+	if !ok {
+		m = make(map[string]uint8)
+		a.grants[n] = m
+	}
+	for _, c := range comps {
+		m[label] |= 1 << uint8(c)
+	}
+}
+
+// AllowAll grants network n every component of a vertex.
+func (a *Access) AllowAll(n aspath.ASN, label string) {
+	a.Allow(n, label, CompPreds, CompSuccs, CompData)
+}
+
+// Can reports whether network n may see the given component of a vertex.
+func (a *Access) Can(n aspath.ASN, label string, c Component) bool {
+	return a.grants[n][label]&(1<<uint8(c)) != 0
+}
+
+// CanAny reports whether n may see any component of a vertex.
+func (a *Access) CanAny(n aspath.ASN, label string) bool {
+	return a.grants[n][label] != 0
+}
+
+// Visible returns the vertex labels of which n may see at least one
+// component, sorted.
+func (a *Access) Visible(n aspath.ASN) []string {
+	var out []string
+	for label, mask := range a.grants[n] {
+		if mask != 0 {
+			out = append(out, label)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Fig1Access builds the access policy of the paper's Fig. 1 scenario:
+// α(Ni, ri) = α(B, ro) = TRUE, α(n, min) = TRUE for all n, FALSE otherwise.
+// providers maps each Ni to its input variable.
+func Fig1Access(providers map[aspath.ASN]VarID, promisee aspath.ASN, outVar VarID, minOp OpID) *Access {
+	a := NewAccess()
+	for n, v := range providers {
+		a.AllowAll(n, v.Label())
+	}
+	a.AllowAll(promisee, outVar.Label())
+	all := make([]aspath.ASN, 0, len(providers)+1)
+	for n := range providers {
+		all = append(all, n)
+	}
+	all = append(all, promisee)
+	for _, n := range all {
+		a.AllowAll(n, minOp.Label())
+	}
+	return a
+}

@@ -1,0 +1,148 @@
+package rfg
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+
+	"pvr/internal/aspath"
+	"pvr/internal/prefix"
+	"pvr/internal/route"
+)
+
+// This file implements §2.2's static verification: "A network may be able
+// to tell, given the rules to which it has access, whether particular
+// promises made to it will be kept... based purely on static inspection of
+// the route-flow graph." Two checkers are provided: a structural pattern
+// matcher for the promises whose implementing shapes are known, and a
+// behavioural model checker that drives the visible graph with synthetic
+// inputs and checks the promise on every evaluation.
+
+// CheckStructureShortest verifies structurally that outVar is produced by a
+// single Min operator reading exactly the subset variables: the shape that
+// implements ShortestOfSubset.
+func CheckStructureShortest(g *Graph, subset []VarID, outVar VarID) error {
+	opID, ok := g.Producer(outVar)
+	if !ok {
+		return fmt.Errorf("rfg: %s has no producer", outVar.Label())
+	}
+	op, in, out, _ := g.Op(opID)
+	if op.Type() != "min" {
+		return fmt.Errorf("rfg: %s computed by %q, want min", outVar.Label(), op.Type())
+	}
+	if out != outVar {
+		return fmt.Errorf("rfg: producer output mismatch")
+	}
+	if err := sameVarSet(in, subset); err != nil {
+		return fmt.Errorf("rfg: min inputs: %w", err)
+	}
+	return nil
+}
+
+// CheckStructureExists verifies that outVar is produced by an Exists
+// operator over exactly the subset variables.
+func CheckStructureExists(g *Graph, subset []VarID, outVar VarID) error {
+	opID, ok := g.Producer(outVar)
+	if !ok {
+		return fmt.Errorf("rfg: %s has no producer", outVar.Label())
+	}
+	op, in, _, _ := g.Op(opID)
+	if op.Type() != "exists" {
+		return fmt.Errorf("rfg: %s computed by %q, want exists", outVar.Label(), op.Type())
+	}
+	if err := sameVarSet(in, subset); err != nil {
+		return fmt.Errorf("rfg: exists inputs: %w", err)
+	}
+	return nil
+}
+
+func sameVarSet(a, b []VarID) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("have %d vars, want %d", len(a), len(b))
+	}
+	set := make(map[VarID]bool, len(a))
+	for _, v := range a {
+		set[v] = true
+	}
+	for _, v := range b {
+		if !set[v] {
+			return fmt.Errorf("missing %s", v.Label())
+		}
+	}
+	return nil
+}
+
+// ModelCheck drives the graph with trials random input bindings (from the
+// seeded rng) plus the all-empty and single-route corner cases, evaluating
+// the promise on each. It returns the first counterexample found, nil if
+// the graph appears to implement the promise.
+//
+// This is a bounded behavioural check, not a proof; it corresponds to the
+// recipient's offline vetting of the declared rules before trusting them.
+func ModelCheck(g *Graph, p Promise, inVars []VarID, outVar VarID, trials int, rng *rand.Rand) error {
+	// Corner case: all inputs empty.
+	if err := evalAndCheck(g, p, map[VarID][]route.Route{}, outVar); err != nil {
+		return err
+	}
+	// Corner cases: exactly one input bound, length 1 and length MaxLength/2.
+	for _, v := range inVars {
+		for _, l := range []int{1, 8} {
+			in := map[VarID][]route.Route{v: {synthRoute(rng, l)}}
+			if err := evalAndCheck(g, p, in, outVar); err != nil {
+				return err
+			}
+		}
+	}
+	for t := 0; t < trials; t++ {
+		in := map[VarID][]route.Route{}
+		for _, v := range inVars {
+			switch rng.Intn(3) {
+			case 0: // absent
+			case 1:
+				in[v] = []route.Route{synthRoute(rng, 1+rng.Intn(10))}
+			case 2:
+				in[v] = []route.Route{
+					synthRoute(rng, 1+rng.Intn(10)),
+					synthRoute(rng, 1+rng.Intn(10)),
+				}
+			}
+		}
+		if err := evalAndCheck(g, p, in, outVar); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func evalAndCheck(g *Graph, p Promise, in map[VarID][]route.Route, outVar VarID) error {
+	vals, err := g.Eval(in)
+	if err != nil {
+		return err
+	}
+	if err := p.Check(in, vals[outVar]); err != nil {
+		return fmt.Errorf("counterexample with %d bound inputs: %w", len(in), err)
+	}
+	return nil
+}
+
+// synthRoute builds a random route with the requested AS-path length.
+func synthRoute(rng *rand.Rand, pathLen int) route.Route {
+	asns := make([]aspath.ASN, pathLen)
+	for i := range asns {
+		asns[i] = aspath.ASN(64500 + rng.Intn(1000))
+	}
+	var oct [4]byte
+	rng.Read(oct[:])
+	oct[0] = 203 // keep prefixes inside a documentation-ish range
+	pfx, err := prefix.From(netip.AddrFrom4(oct), 24)
+	if err != nil {
+		panic(err)
+	}
+	return route.Route{
+		Prefix:    pfx,
+		Path:      aspath.New(asns...),
+		NextHop:   netip.AddrFrom4([4]byte{192, 0, 2, byte(rng.Intn(256))}),
+		LocalPref: 100,
+		Origin:    route.OriginIGP,
+	}
+}

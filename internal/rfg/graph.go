@@ -1,0 +1,306 @@
+package rfg
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"pvr/internal/route"
+)
+
+// VarID names a variable vertex. By the paper's convention (§3.6) the wire
+// label is "var(<id>)".
+type VarID string
+
+// OpID names an operator vertex; wire label "rule(<id>)".
+type OpID string
+
+// Label renders the prefix-free wire label of a variable vertex.
+func (v VarID) Label() string { return fmt.Sprintf("var(%s)", string(v)) }
+
+// Label renders the prefix-free wire label of an operator vertex.
+func (o OpID) Label() string { return fmt.Sprintf("rule(%s)", string(o)) }
+
+// Errors returned by graph construction and evaluation.
+var (
+	ErrDupVertex   = errors.New("rfg: duplicate vertex")
+	ErrUnknownVar  = errors.New("rfg: unknown variable")
+	ErrMultiSource = errors.New("rfg: variable already produced by another operator")
+	ErrCycle       = errors.New("rfg: graph contains a cycle")
+	ErrNotInput    = errors.New("rfg: value supplied for a computed variable")
+)
+
+// opNode is an operator vertex with its wiring.
+type opNode struct {
+	id  OpID
+	op  Operator
+	in  []VarID
+	out VarID
+}
+
+// Graph is a route-flow graph: variables, operators, and the edges between
+// them. Input variables (produced by no operator) are bound at Eval time;
+// all others are computed. Graph is immutable after Freeze and not safe for
+// concurrent mutation.
+type Graph struct {
+	vars     map[VarID]bool
+	producer map[VarID]OpID
+	readers  map[VarID][]OpID
+	ops      map[OpID]*opNode
+	frozen   bool
+	order    []OpID // topological order, set by Freeze
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		vars:     make(map[VarID]bool),
+		producer: make(map[VarID]OpID),
+		readers:  make(map[VarID][]OpID),
+		ops:      make(map[OpID]*opNode),
+	}
+}
+
+// AddVar declares a variable vertex.
+func (g *Graph) AddVar(id VarID) error {
+	if g.frozen {
+		return errors.New("rfg: graph is frozen")
+	}
+	if g.vars[id] {
+		return fmt.Errorf("%w: %s", ErrDupVertex, id.Label())
+	}
+	g.vars[id] = true
+	return nil
+}
+
+// AddOp declares an operator vertex reading the given variables and
+// producing out. Every referenced variable must already be declared, and a
+// variable may have at most one producer.
+func (g *Graph) AddOp(id OpID, op Operator, in []VarID, out VarID) error {
+	if g.frozen {
+		return errors.New("rfg: graph is frozen")
+	}
+	if _, dup := g.ops[id]; dup {
+		return fmt.Errorf("%w: %s", ErrDupVertex, id.Label())
+	}
+	for _, v := range append(append([]VarID{}, in...), out) {
+		if !g.vars[v] {
+			return fmt.Errorf("%w: %s", ErrUnknownVar, v.Label())
+		}
+	}
+	if p, has := g.producer[out]; has {
+		return fmt.Errorf("%w: %s by %s", ErrMultiSource, out.Label(), p.Label())
+	}
+	n := &opNode{id: id, op: op, in: append([]VarID(nil), in...), out: out}
+	g.ops[id] = n
+	g.producer[out] = id
+	for _, v := range in {
+		g.readers[v] = append(g.readers[v], id)
+	}
+	return nil
+}
+
+// Inputs returns the input variables (no producer), sorted.
+func (g *Graph) Inputs() []VarID {
+	var out []VarID
+	for v := range g.vars {
+		if _, has := g.producer[v]; !has {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Outputs returns the sink variables (produced but read by no operator),
+// sorted; these correspond to exported routes.
+func (g *Graph) Outputs() []VarID {
+	var out []VarID
+	for v := range g.vars {
+		_, produced := g.producer[v]
+		if produced && len(g.readers[v]) == 0 {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Vars returns all variable IDs, sorted.
+func (g *Graph) Vars() []VarID {
+	out := make([]VarID, 0, len(g.vars))
+	for v := range g.vars {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Ops returns all operator IDs, sorted.
+func (g *Graph) Ops() []OpID {
+	out := make([]OpID, 0, len(g.ops))
+	for o := range g.ops {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Op returns an operator vertex's operator, inputs, and output.
+func (g *Graph) Op(id OpID) (Operator, []VarID, VarID, bool) {
+	n, ok := g.ops[id]
+	if !ok {
+		return nil, nil, "", false
+	}
+	return n.op, append([]VarID(nil), n.in...), n.out, true
+}
+
+// Producer returns the operator producing a variable, if any.
+func (g *Graph) Producer(v VarID) (OpID, bool) {
+	o, ok := g.producer[v]
+	return o, ok
+}
+
+// Readers returns the operators consuming a variable, sorted.
+func (g *Graph) Readers(v VarID) []OpID {
+	out := append([]OpID(nil), g.readers[v]...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Freeze validates acyclicity, computes the evaluation order, and makes the
+// graph immutable. It must be called before Eval.
+func (g *Graph) Freeze() error {
+	if g.frozen {
+		return nil
+	}
+	// Kahn's algorithm over operators: op X precedes op Y when X's output
+	// is one of Y's inputs.
+	indeg := make(map[OpID]int, len(g.ops))
+	for id, n := range g.ops {
+		for _, v := range n.in {
+			if _, produced := g.producer[v]; produced {
+				indeg[id]++
+			}
+		}
+	}
+	var queue []OpID
+	for id := range g.ops {
+		if indeg[id] == 0 {
+			queue = append(queue, id)
+		}
+	}
+	sort.Slice(queue, func(i, j int) bool { return queue[i] < queue[j] })
+	var order []OpID
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		out := g.ops[id].out
+		next := append([]OpID(nil), g.readers[out]...)
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		for _, r := range next {
+			indeg[r]--
+			if indeg[r] == 0 {
+				queue = append(queue, r)
+			}
+		}
+	}
+	if len(order) != len(g.ops) {
+		return ErrCycle
+	}
+	g.order = order
+	g.frozen = true
+	return nil
+}
+
+// Eval binds the given input variable values and evaluates every operator
+// in topological order, returning the value of every variable. Unbound
+// inputs default to the empty set; binding a computed variable is an error.
+func (g *Graph) Eval(inputs map[VarID][]route.Route) (map[VarID][]route.Route, error) {
+	if !g.frozen {
+		if err := g.Freeze(); err != nil {
+			return nil, err
+		}
+	}
+	vals := make(map[VarID][]route.Route, len(g.vars))
+	for v, rs := range inputs {
+		if !g.vars[v] {
+			return nil, fmt.Errorf("%w: %s", ErrUnknownVar, v.Label())
+		}
+		if _, produced := g.producer[v]; produced {
+			return nil, fmt.Errorf("%w: %s", ErrNotInput, v.Label())
+		}
+		vals[v] = append([]route.Route(nil), rs...)
+	}
+	for _, id := range g.order {
+		n := g.ops[id]
+		ins := make([][]route.Route, len(n.in))
+		for i, v := range n.in {
+			ins[i] = vals[v]
+		}
+		out, err := n.op.Eval(ins)
+		if err != nil {
+			return nil, fmt.Errorf("rfg: %s: %w", id.Label(), err)
+		}
+		vals[n.out] = out
+	}
+	return vals, nil
+}
+
+// Fig1 builds the paper's Figure 1 graph: input variables r1…rk feeding a
+// single min operator that produces ro.
+func Fig1(k int) (*Graph, []VarID, VarID, error) {
+	g := NewGraph()
+	ins := make([]VarID, k)
+	for i := 0; i < k; i++ {
+		ins[i] = VarID(fmt.Sprintf("r%d", i+1))
+		if err := g.AddVar(ins[i]); err != nil {
+			return nil, nil, "", err
+		}
+	}
+	out := VarID("ro")
+	if err := g.AddVar(out); err != nil {
+		return nil, nil, "", err
+	}
+	if err := g.AddOp("min", Min{}, ins, out); err != nil {
+		return nil, nil, "", err
+	}
+	if err := g.Freeze(); err != nil {
+		return nil, nil, "", err
+	}
+	return g, ins, out, nil
+}
+
+// Fig2 builds the paper's Figure 2 graph: r2…rk feed an existential
+// operator producing v; a preference operator combines v with r1 into ro,
+// implementing "I will export some route via N2…Nk unless N1 provides a
+// shorter route" (§3.5).
+func Fig2(k int) (*Graph, []VarID, VarID, error) {
+	if k < 2 {
+		return nil, nil, "", fmt.Errorf("rfg: Fig2 needs k >= 2")
+	}
+	g := NewGraph()
+	ins := make([]VarID, k)
+	for i := 0; i < k; i++ {
+		ins[i] = VarID(fmt.Sprintf("r%d", i+1))
+		if err := g.AddVar(ins[i]); err != nil {
+			return nil, nil, "", err
+		}
+	}
+	for _, v := range []VarID{"v", "ro"} {
+		if err := g.AddVar(v); err != nil {
+			return nil, nil, "", err
+		}
+	}
+	if err := g.AddOp("exists", Exists{}, ins[1:], "v"); err != nil {
+		return nil, nil, "", err
+	}
+	if err := g.AddOp("prefer", PreferFirst{}, []VarID{"v", ins[0]}, "ro"); err != nil {
+		return nil, nil, "", err
+	}
+	if err := g.Freeze(); err != nil {
+		return nil, nil, "", err
+	}
+	return g, ins, "ro", nil
+}

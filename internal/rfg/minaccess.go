@@ -1,0 +1,120 @@
+package rfg
+
+import (
+	"fmt"
+
+	"pvr/internal/aspath"
+)
+
+// This file addresses the paper's §4 "Minimum access" challenge: "A
+// practical PVR system must have a way for a network's neighbors to tell
+// whether a) the visible route-flow graph implements a given promise and
+// b) the access privileges granted by the network are sufficient to verify
+// that promise."
+//
+// Part (a) is CheckStructure*/ModelCheck (check.go). Part (b) is
+// implemented here: given a promise, we compute the vertex components a
+// verifier necessarily needs, and test a concrete α against them.
+
+// Requirement is one (vertex label, component) pair a verifier must see.
+type Requirement struct {
+	Label string
+	Comp  Component
+}
+
+// String renders "component of label".
+func (r Requirement) String() string { return fmt.Sprintf("%s of %s", r.Comp, r.Label) }
+
+// AccessError reports which requirements α fails to grant.
+type AccessError struct {
+	Viewer  aspath.ASN
+	Missing []Requirement
+}
+
+// Error implements error.
+func (e *AccessError) Error() string {
+	return fmt.Sprintf("rfg: α grants %s insufficient access: missing %v", e.Viewer, e.Missing)
+}
+
+// PromiseeRequirements returns what the promisee B must be able to see to
+// verify a promise about outVar: the output's data, plus — walking
+// backward from the output to the promise's input subset — every
+// intermediate operator's type and edge structure, and the edge structure
+// of intermediate variables. Input variables themselves need not be
+// visible (their values are protected by the commitment protocol), but B
+// must be able to confirm *which* inputs feed the computation, so the
+// operators reading them must expose their predecessor lists.
+func PromiseeRequirements(g *Graph, subset []VarID, outVar VarID) ([]Requirement, error) {
+	if err := g.Freeze(); err != nil {
+		return nil, err
+	}
+	inSubset := make(map[VarID]bool, len(subset))
+	for _, v := range subset {
+		inSubset[v] = true
+	}
+	var reqs []Requirement
+	reqs = append(reqs, Requirement{outVar.Label(), CompData}, Requirement{outVar.Label(), CompPreds})
+
+	seenOps := map[OpID]bool{}
+	seenVars := map[VarID]bool{outVar: true}
+	queue := []VarID{outVar}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		opID, produced := g.Producer(v)
+		if !produced {
+			continue // an input: protected, nothing more to require
+		}
+		if seenOps[opID] {
+			continue
+		}
+		seenOps[opID] = true
+		// The operator's type and wiring must be visible.
+		reqs = append(reqs,
+			Requirement{opID.Label(), CompData},
+			Requirement{opID.Label(), CompPreds},
+			Requirement{opID.Label(), CompSuccs},
+		)
+		_, ins, _, _ := g.Op(opID)
+		for _, in := range ins {
+			if seenVars[in] {
+				continue
+			}
+			seenVars[in] = true
+			if inSubset[in] {
+				continue // protected input
+			}
+			// Intermediate variable: its wiring (not its value) must be
+			// navigable.
+			reqs = append(reqs,
+				Requirement{in.Label(), CompPreds},
+				Requirement{in.Label(), CompSuccs},
+			)
+			queue = append(queue, in)
+		}
+	}
+	return reqs, nil
+}
+
+// CheckSufficientAccess verifies that α grants the viewer every
+// requirement; it returns an *AccessError listing what is missing.
+func CheckSufficientAccess(a *Access, viewer aspath.ASN, reqs []Requirement) error {
+	var missing []Requirement
+	for _, r := range reqs {
+		if !a.Can(viewer, r.Label, r.Comp) {
+			missing = append(missing, r)
+		}
+	}
+	if len(missing) > 0 {
+		return &AccessError{Viewer: viewer, Missing: missing}
+	}
+	return nil
+}
+
+// GrantRequirements extends α so the viewer satisfies the requirements —
+// the constructive form a network uses when negotiating a new promise.
+func GrantRequirements(a *Access, viewer aspath.ASN, reqs []Requirement) {
+	for _, r := range reqs {
+		a.Allow(viewer, r.Label, r.Comp)
+	}
+}

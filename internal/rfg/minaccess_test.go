@@ -1,0 +1,119 @@
+package rfg
+
+import (
+	"errors"
+	"testing"
+
+	"pvr/internal/aspath"
+)
+
+func TestPromiseeRequirementsFig1(t *testing.T) {
+	g, ins, outVar, err := Fig1(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := PromiseeRequirements(g, ins, outVar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[Requirement]bool{
+		{outVar.Label(), CompData}:       true,
+		{outVar.Label(), CompPreds}:      true,
+		{OpID("min").Label(), CompData}:  true,
+		{OpID("min").Label(), CompPreds}: true,
+		{OpID("min").Label(), CompSuccs}: true,
+	}
+	if len(reqs) != len(want) {
+		t.Fatalf("requirements = %v", reqs)
+	}
+	for _, r := range reqs {
+		if !want[r] {
+			t.Errorf("unexpected requirement %v", r)
+		}
+	}
+	// Input variables are NOT required: their values stay protected.
+	for _, r := range reqs {
+		for _, in := range ins {
+			if r.Label == in.Label() {
+				t.Errorf("input %s wrongly required", in.Label())
+			}
+		}
+	}
+}
+
+func TestPromiseeRequirementsFig2WalksIntermediates(t *testing.T) {
+	g, ins, outVar, err := Fig2(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := PromiseeRequirements(g, ins, outVar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := func(label string, c Component) bool {
+		for _, r := range reqs {
+			if r.Label == label && r.Comp == c {
+				return true
+			}
+		}
+		return false
+	}
+	// Both operators must be fully visible.
+	for _, op := range []OpID{"prefer", "exists"} {
+		for _, c := range []Component{CompData, CompPreds, CompSuccs} {
+			if !has(op.Label(), c) {
+				t.Errorf("missing %s of %s", c, op.Label())
+			}
+		}
+	}
+	// The intermediate variable v needs edges but not data.
+	if !has("var(v)", CompPreds) || !has("var(v)", CompSuccs) {
+		t.Error("v's edges not required")
+	}
+	if has("var(v)", CompData) {
+		t.Error("v's data wrongly required")
+	}
+}
+
+func TestCheckSufficientAccess(t *testing.T) {
+	g, ins, outVar, err := Fig1(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := PromiseeRequirements(g, ins, outVar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Fig. 1 α is sufficient for B.
+	providers := map[aspath.ASN]VarID{101: ins[0], 102: ins[1], 103: ins[2]}
+	a := Fig1Access(providers, 200, outVar, "min")
+	if err := CheckSufficientAccess(a, 200, reqs); err != nil {
+		t.Errorf("Fig1 α insufficient: %v", err)
+	}
+	// An empty α is insufficient, and the error names what is missing.
+	empty := NewAccess()
+	err = CheckSufficientAccess(empty, 200, reqs)
+	var ae *AccessError
+	if !errors.As(err, &ae) {
+		t.Fatalf("expected AccessError, got %v", err)
+	}
+	if len(ae.Missing) != len(reqs) {
+		t.Errorf("missing %d, want all %d", len(ae.Missing), len(reqs))
+	}
+	if ae.Error() == "" || ae.Missing[0].String() == "" {
+		t.Error("empty error rendering")
+	}
+	// GrantRequirements repairs it.
+	GrantRequirements(empty, 200, reqs)
+	if err := CheckSufficientAccess(empty, 200, reqs); err != nil {
+		t.Errorf("after grant: %v", err)
+	}
+	// The trivial §4 example: a network that exports a route but hides the
+	// operator that derived it — promises about that route are not
+	// verifiable.
+	hidden := NewAccess()
+	hidden.AllowAll(200, outVar.Label())
+	if err := CheckSufficientAccess(hidden, 200, reqs); err == nil {
+		t.Error("hidden-operator α accepted")
+	}
+}

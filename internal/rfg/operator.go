@@ -1,0 +1,241 @@
+// Package rfg implements the paper's route-flow graphs (§2.1): routing
+// policy decomposed into operator vertices and variable vertices whose
+// visibility is governed by an access-control policy α (§2.2). A graph can
+// be evaluated (what the router actually does), statically checked against
+// a promise (what the recipient verifies, §2.2 "based purely on static
+// inspection"), and committed/disclosed through the PVR core.
+package rfg
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"pvr/internal/aspath"
+	"pvr/internal/community"
+	"pvr/internal/route"
+)
+
+// Operator is a rule vertex: it consumes the values of its input variables
+// (each a set of routes — possibly empty, possibly singleton) and produces
+// an output set. "A rule is an operation that takes some set of input
+// routes and emits a set of output routes (which may be a single route, or
+// no route at all)" (§2.1).
+type Operator interface {
+	// Type is the operator's wire name, e.g. "min"; it is what α may
+	// authorize a neighbor to learn about the vertex.
+	Type() string
+	// Eval computes the output set from the input sets, in input order.
+	Eval(inputs [][]route.Route) ([]route.Route, error)
+}
+
+// ErrArity is returned when an operator receives the wrong input count.
+var ErrArity = errors.New("rfg: wrong number of operator inputs")
+
+// CompareRoutes orders routes for the Min operator: by AS-path length, then
+// by canonical encoding for a deterministic tie-break. Returns -1/0/1.
+func CompareRoutes(a, b route.Route) int {
+	if la, lb := a.PathLen(), b.PathLen(); la != lb {
+		if la < lb {
+			return -1
+		}
+		return 1
+	}
+	ab, _ := a.MarshalBinary()
+	bb, _ := b.MarshalBinary()
+	switch {
+	case string(ab) < string(bb):
+		return -1
+	case string(ab) > string(bb):
+		return 1
+	}
+	return 0
+}
+
+// Min selects the shortest route (by AS-path length) from the union of its
+// inputs: the paper's minimum operator (§3.3, Fig. 1). Ties break
+// deterministically via CompareRoutes.
+type Min struct{}
+
+// Type implements Operator.
+func (Min) Type() string { return "min" }
+
+// Eval implements Operator.
+func (Min) Eval(inputs [][]route.Route) ([]route.Route, error) {
+	var best *route.Route
+	for _, set := range inputs {
+		for _, r := range set {
+			r := r
+			if best == nil || CompareRoutes(r, *best) < 0 {
+				best = &r
+			}
+		}
+	}
+	if best == nil {
+		return nil, nil
+	}
+	return []route.Route{*best}, nil
+}
+
+// Exists emits one route whenever any input is nonempty: the paper's
+// existential operator (§3.2). The representative is chosen
+// deterministically (first input set with a route, CompareRoutes-minimal
+// within it), but the promise it implements only concerns existence.
+type Exists struct{}
+
+// Type implements Operator.
+func (Exists) Type() string { return "exists" }
+
+// Eval implements Operator.
+func (Exists) Eval(inputs [][]route.Route) ([]route.Route, error) {
+	for _, set := range inputs {
+		if len(set) == 0 {
+			continue
+		}
+		best := set[0]
+		for _, r := range set[1:] {
+			if CompareRoutes(r, best) < 0 {
+				best = r
+			}
+		}
+		return []route.Route{best}, nil
+	}
+	return nil, nil
+}
+
+// Union merges all inputs into one set (deterministic order, duplicates by
+// full attribute equality removed).
+type Union struct{}
+
+// Type implements Operator.
+func (Union) Type() string { return "union" }
+
+// Eval implements Operator.
+func (Union) Eval(inputs [][]route.Route) ([]route.Route, error) {
+	var out []route.Route
+	for _, set := range inputs {
+		for _, r := range set {
+			dup := false
+			for _, o := range out {
+				if o.Equal(r) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, r)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return CompareRoutes(out[i], out[j]) < 0 })
+	return out, nil
+}
+
+// Filter keeps routes satisfying a predicate; the predicate kinds cover the
+// "more operators" the paper calls for in §4 (communities, AS presence,
+// path-length caps).
+type Filter struct {
+	Pred Predicate
+}
+
+// Predicate is a named route predicate usable in Filter.
+type Predicate interface {
+	Name() string
+	Test(route.Route) bool
+}
+
+// Type implements Operator.
+func (f Filter) Type() string { return "filter:" + f.Pred.Name() }
+
+// Eval implements Operator.
+func (f Filter) Eval(inputs [][]route.Route) ([]route.Route, error) {
+	var out []route.Route
+	for _, set := range inputs {
+		for _, r := range set {
+			if f.Pred.Test(r) {
+				out = append(out, r)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return CompareRoutes(out[i], out[j]) < 0 })
+	return out, nil
+}
+
+// MaxLen passes routes with AS-path length ≤ N.
+type MaxLen struct{ N int }
+
+// Name implements Predicate.
+func (p MaxLen) Name() string { return fmt.Sprintf("maxlen<=%d", p.N) }
+
+// Test implements Predicate.
+func (p MaxLen) Test(r route.Route) bool { return r.PathLen() <= p.N }
+
+// HasCommunity passes routes carrying a community (§4: "operators that
+// evaluate communities").
+type HasCommunity struct{ C community.Community }
+
+// Name implements Predicate.
+func (p HasCommunity) Name() string { return "community=" + p.C.String() }
+
+// Test implements Predicate.
+func (p HasCommunity) Test(r route.Route) bool { return r.Communities.Has(p.C) }
+
+// LacksCommunity passes routes not carrying a community.
+type LacksCommunity struct{ C community.Community }
+
+// Name implements Predicate.
+func (p LacksCommunity) Name() string { return "no-community=" + p.C.String() }
+
+// Test implements Predicate.
+func (p LacksCommunity) Test(r route.Route) bool { return !r.Communities.Has(p.C) }
+
+// AvoidsAS passes routes that do not traverse the given AS (§4: "check for
+// the presence of particular ASes on the path").
+type AvoidsAS struct{ ASN aspath.ASN }
+
+// Name implements Predicate.
+func (p AvoidsAS) Name() string { return fmt.Sprintf("avoids-%s", p.ASN) }
+
+// Test implements Predicate.
+func (p AvoidsAS) Test(r route.Route) bool { return !r.Path.Contains(p.ASN) }
+
+// ViaAS passes routes whose first hop is the given AS.
+type ViaAS struct{ ASN aspath.ASN }
+
+// Name implements Predicate.
+func (p ViaAS) Name() string { return fmt.Sprintf("via-%s", p.ASN) }
+
+// Test implements Predicate.
+func (p ViaAS) Test(r route.Route) bool {
+	f, ok := r.Path.First()
+	return ok && f == p.ASN
+}
+
+// PreferFirst emits the Min of its first nonempty input *only if* it is not
+// beaten by a shorter route in a later input; otherwise the later route
+// wins. With inputs (v, r1) it implements Fig. 2's policy "export some
+// route via N2…Nk unless N1 provides a shorter route" when composed as
+// PreferFirst(Exists(r2…rk), r1).
+type PreferFirst struct{}
+
+// Type implements Operator.
+func (PreferFirst) Type() string { return "prefer-first" }
+
+// Eval implements Operator.
+func (PreferFirst) Eval(inputs [][]route.Route) ([]route.Route, error) {
+	if len(inputs) != 2 {
+		return nil, fmt.Errorf("%w: prefer-first wants 2, got %d", ErrArity, len(inputs))
+	}
+	pref, _ := Min{}.Eval(inputs[:1])
+	alt, _ := Min{}.Eval(inputs[1:])
+	switch {
+	case len(pref) == 0:
+		return alt, nil
+	case len(alt) == 0:
+		return pref, nil
+	case alt[0].PathLen() < pref[0].PathLen():
+		return alt, nil
+	default:
+		return pref, nil
+	}
+}

@@ -1,0 +1,190 @@
+package rfg
+
+import (
+	"fmt"
+
+	"pvr/internal/route"
+)
+
+// Promise is a contract between an AS and a neighbor, understood as in §2:
+// "for each set of input routes the AS might receive, some set of
+// permissible routes that its output must be drawn from. A violation
+// occurs whenever an AS emits a route that was not in its permitted set."
+//
+// Check returns nil when the output is permissible for the inputs.
+type Promise interface {
+	// Check validates one (inputs, output) pair. The output set is the
+	// value of the promised output variable (empty = nothing exported).
+	Check(inputs map[VarID][]route.Route, output []route.Route) error
+	// String describes the promise in contract language.
+	String() string
+}
+
+// Violation describes a broken promise, carrying enough context for logs
+// and for wrapping into transferable evidence by the PVR layer.
+type Violation struct {
+	Promise string
+	Detail  string
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("rfg: promise %q violated: %s", v.Promise, v.Detail)
+}
+
+func violatef(p Promise, format string, args ...any) error {
+	return &Violation{Promise: p.String(), Detail: fmt.Sprintf(format, args...)}
+}
+
+func flatten(inputs map[VarID][]route.Route, vars []VarID) []route.Route {
+	var all []route.Route
+	for _, v := range vars {
+		all = append(all, inputs[v]...)
+	}
+	return all
+}
+
+func shortest(rs []route.Route) (route.Route, bool) {
+	if len(rs) == 0 {
+		return route.Route{}, false
+	}
+	best := rs[0]
+	for _, r := range rs[1:] {
+		if CompareRoutes(r, best) < 0 {
+			best = r
+		}
+	}
+	return best, true
+}
+
+// ShortestOfSubset is promise #2 of §2: "I will give you the shortest route
+// out of those received from a specific subset of neighbors." With Subset =
+// all inputs it degenerates to promise #1 ("the shortest route I receive").
+type ShortestOfSubset struct {
+	Subset []VarID
+}
+
+// Check implements Promise: the output must be nonempty iff some subset
+// input exists, and its path length must equal the subset minimum.
+func (p ShortestOfSubset) Check(inputs map[VarID][]route.Route, output []route.Route) error {
+	all := flatten(inputs, p.Subset)
+	best, have := shortest(all)
+	switch {
+	case !have && len(output) == 0:
+		return nil
+	case !have && len(output) > 0:
+		return violatef(p, "exported %s with no input routes", output[0].Prefix)
+	case have && len(output) == 0:
+		return violatef(p, "exported nothing although a length-%d route exists", best.PathLen())
+	}
+	if got, want := output[0].PathLen(), best.PathLen(); got != want {
+		return violatef(p, "exported length %d, shortest available is %d", got, want)
+	}
+	return nil
+}
+
+// String implements Promise.
+func (p ShortestOfSubset) String() string {
+	return fmt.Sprintf("shortest route among inputs %v", p.Subset)
+}
+
+// ExistsFromSubset is the §3.2 promise: "export a route whenever at least
+// one of the Ni provides one".
+type ExistsFromSubset struct {
+	Subset []VarID
+}
+
+// Check implements Promise.
+func (p ExistsFromSubset) Check(inputs map[VarID][]route.Route, output []route.Route) error {
+	have := len(flatten(inputs, p.Subset)) > 0
+	switch {
+	case have && len(output) == 0:
+		return violatef(p, "an input route exists but nothing was exported")
+	case !have && len(output) > 0:
+		return violatef(p, "exported a route although no input exists")
+	}
+	return nil
+}
+
+// String implements Promise.
+func (p ExistsFromSubset) String() string {
+	return fmt.Sprintf("export iff any of %v provides a route", p.Subset)
+}
+
+// WithinSlack is promise #3 of §2: "I will give you a route no more than K
+// hops longer than my best route." Nothing may be exported only when no
+// input exists.
+type WithinSlack struct {
+	Subset []VarID
+	K      int
+}
+
+// Check implements Promise.
+func (p WithinSlack) Check(inputs map[VarID][]route.Route, output []route.Route) error {
+	best, have := shortest(flatten(inputs, p.Subset))
+	switch {
+	case !have && len(output) == 0:
+		return nil
+	case !have:
+		return violatef(p, "exported with no inputs")
+	case len(output) == 0:
+		return violatef(p, "exported nothing although inputs exist")
+	}
+	if got, max := output[0].PathLen(), best.PathLen()+p.K; got > max {
+		return violatef(p, "exported length %d, more than %d hops over best %d", got, p.K, best.PathLen())
+	}
+	return nil
+}
+
+// String implements Promise.
+func (p WithinSlack) String() string {
+	return fmt.Sprintf("route at most %d hops longer than best of %v", p.K, p.Subset)
+}
+
+// NoLongerThanOthers is promise #4 of §2: "the route you get is no longer
+// than what I tell anybody else." It compares one neighbor's output
+// against the outputs given to all others.
+type NoLongerThanOthers struct {
+	Mine   VarID
+	Others []VarID
+}
+
+// CheckOutputs validates the multi-output form; outputs maps each output
+// variable to its exported value.
+func (p NoLongerThanOthers) CheckOutputs(outputs map[VarID][]route.Route) error {
+	mine := outputs[p.Mine]
+	if len(mine) == 0 {
+		// Receiving nothing while others receive something *is* a
+		// violation of "no longer than": absence is infinitely long.
+		for _, o := range p.Others {
+			if len(outputs[o]) > 0 {
+				return violatef(p, "I received nothing but %s received a route", o.Label())
+			}
+		}
+		return nil
+	}
+	for _, o := range p.Others {
+		for _, r := range outputs[o] {
+			if r.PathLen() < mine[0].PathLen() {
+				return violatef(p, "%s received length %d, I received %d", o.Label(), r.PathLen(), mine[0].PathLen())
+			}
+		}
+	}
+	return nil
+}
+
+// Check implements Promise by treating the single output as Mine and
+// inputs as the exports to others (each input variable the route told to
+// another neighbor). Prefer CheckOutputs where the full output map exists.
+func (p NoLongerThanOthers) Check(inputs map[VarID][]route.Route, output []route.Route) error {
+	outs := map[VarID][]route.Route{p.Mine: output}
+	for _, o := range p.Others {
+		outs[o] = inputs[o]
+	}
+	return p.CheckOutputs(outs)
+}
+
+// String implements Promise.
+func (p NoLongerThanOthers) String() string {
+	return fmt.Sprintf("%s no longer than outputs %v", p.Mine.Label(), p.Others)
+}

@@ -1,0 +1,426 @@
+package rfg
+
+import (
+	"errors"
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"pvr/internal/aspath"
+	"pvr/internal/community"
+	"pvr/internal/prefix"
+	"pvr/internal/route"
+)
+
+func rt(t *testing.T, pathLen int, seed byte) route.Route {
+	t.Helper()
+	asns := make([]aspath.ASN, pathLen)
+	for i := range asns {
+		asns[i] = aspath.ASN(1000 + int(seed)*100 + i)
+	}
+	return route.Route{
+		Prefix:    prefix.V4(203, 0, 113, 0, 24),
+		Path:      aspath.New(asns...),
+		NextHop:   netip.AddrFrom4([4]byte{10, 0, 0, seed}),
+		LocalPref: 100,
+		Origin:    route.OriginIGP,
+	}
+}
+
+func TestMinOperator(t *testing.T) {
+	short := rt(t, 1, 1)
+	long := rt(t, 5, 2)
+	out, err := Min{}.Eval([][]route.Route{{long}, {short}, nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || !out[0].Equal(short) {
+		t.Errorf("min picked %v", out)
+	}
+	// Empty inputs → empty output.
+	out, err = Min{}.Eval([][]route.Route{nil, nil})
+	if err != nil || len(out) != 0 {
+		t.Errorf("min of nothing = %v, %v", out, err)
+	}
+	// Deterministic tie-break.
+	a, b := rt(t, 3, 1), rt(t, 3, 2)
+	o1, _ := Min{}.Eval([][]route.Route{{a}, {b}})
+	o2, _ := Min{}.Eval([][]route.Route{{b}, {a}})
+	if !o1[0].Equal(o2[0]) {
+		t.Error("min tie-break order-dependent")
+	}
+}
+
+func TestExistsOperator(t *testing.T) {
+	out, err := Exists{}.Eval([][]route.Route{nil, {rt(t, 4, 1)}})
+	if err != nil || len(out) != 1 {
+		t.Errorf("exists = %v, %v", out, err)
+	}
+	out, err = Exists{}.Eval([][]route.Route{nil, nil})
+	if err != nil || len(out) != 0 {
+		t.Errorf("exists of nothing = %v, %v", out, err)
+	}
+}
+
+func TestUnionOperator(t *testing.T) {
+	a, b := rt(t, 2, 1), rt(t, 3, 2)
+	out, err := Union{}.Eval([][]route.Route{{a, b}, {a}}) // duplicate a
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Errorf("union size %d, want 2", len(out))
+	}
+	// Sorted by length first.
+	if out[0].PathLen() > out[1].PathLen() {
+		t.Error("union not sorted")
+	}
+}
+
+func TestFilterPredicates(t *testing.T) {
+	withC := rt(t, 2, 1).WithCommunity(community.Make(1, 1))
+	longR := rt(t, 9, 2)
+	via := rt(t, 2, 3)
+
+	cases := []struct {
+		pred Predicate
+		in   route.Route
+		want bool
+	}{
+		{MaxLen{3}, withC, true},
+		{MaxLen{3}, longR, false},
+		{HasCommunity{community.Make(1, 1)}, withC, true},
+		{HasCommunity{community.Make(1, 1)}, longR, false},
+		{LacksCommunity{community.Make(1, 1)}, longR, true},
+		{LacksCommunity{community.Make(1, 1)}, withC, false},
+		{AvoidsAS{2222}, withC, true}, // withC path is [1100 1101]
+		{AvoidsAS{1100}, withC, false},
+		{AvoidsAS{1101}, withC, false},
+		{ViaAS{1300}, via, true},
+		{ViaAS{9}, via, false},
+	}
+	for _, c := range cases {
+		got := c.pred.Test(c.in)
+		if got != c.want {
+			t.Errorf("%s on %s = %v, want %v", c.pred.Name(), c.in.Path, got, c.want)
+		}
+		out, err := Filter{Pred: c.pred}.Eval([][]route.Route{{c.in}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (len(out) == 1) != c.want {
+			t.Errorf("filter %s inconsistent with predicate", c.pred.Name())
+		}
+	}
+}
+
+func TestPreferFirstOperator(t *testing.T) {
+	pref := rt(t, 4, 1)
+	shorter := rt(t, 2, 2)
+	longer := rt(t, 6, 3)
+
+	// Preferred wins when alternative is not shorter.
+	out, err := PreferFirst{}.Eval([][]route.Route{{pref}, {longer}})
+	if err != nil || len(out) != 1 || !out[0].Equal(pref) {
+		t.Errorf("prefer kept %v, %v", out, err)
+	}
+	// Shorter alternative overrides.
+	out, err = PreferFirst{}.Eval([][]route.Route{{pref}, {shorter}})
+	if err != nil || len(out) != 1 || !out[0].Equal(shorter) {
+		t.Errorf("override got %v, %v", out, err)
+	}
+	// Fallback when preferred empty.
+	out, err = PreferFirst{}.Eval([][]route.Route{nil, {longer}})
+	if err != nil || len(out) != 1 || !out[0].Equal(longer) {
+		t.Errorf("fallback got %v, %v", out, err)
+	}
+	// Nothing at all.
+	out, err = PreferFirst{}.Eval([][]route.Route{nil, nil})
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty got %v, %v", out, err)
+	}
+	// Arity enforced.
+	if _, err := (PreferFirst{}).Eval([][]route.Route{nil}); !errors.Is(err, ErrArity) {
+		t.Errorf("arity: %v", err)
+	}
+}
+
+func TestGraphBuildValidation(t *testing.T) {
+	g := NewGraph()
+	if err := g.AddVar("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddVar("a"); !errors.Is(err, ErrDupVertex) {
+		t.Errorf("dup var: %v", err)
+	}
+	if err := g.AddOp("op", Min{}, []VarID{"missing"}, "a"); !errors.Is(err, ErrUnknownVar) {
+		t.Errorf("unknown var: %v", err)
+	}
+	if err := g.AddVar("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddOp("op", Min{}, []VarID{"a"}, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddOp("op", Min{}, []VarID{"a"}, "b"); !errors.Is(err, ErrDupVertex) {
+		t.Errorf("dup op: %v", err)
+	}
+	if err := g.AddOp("op2", Min{}, []VarID{"a"}, "b"); !errors.Is(err, ErrMultiSource) {
+		t.Errorf("multi source: %v", err)
+	}
+}
+
+func TestGraphCycleDetection(t *testing.T) {
+	g := NewGraph()
+	for _, v := range []VarID{"a", "b"} {
+		if err := g.AddVar(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.AddOp("f", Min{}, []VarID{"a"}, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddOp("g", Min{}, []VarID{"b"}, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Freeze(); !errors.Is(err, ErrCycle) {
+		t.Errorf("cycle: %v", err)
+	}
+}
+
+func TestGraphEvalPipeline(t *testing.T) {
+	// r1, r2 -> union -> u; u -> filter(maxlen 3) -> f; f -> min -> out
+	g := NewGraph()
+	for _, v := range []VarID{"r1", "r2", "u", "f", "out"} {
+		if err := g.AddVar(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.AddOp("u", Union{}, []VarID{"r1", "r2"}, "u"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddOp("f", Filter{Pred: MaxLen{3}}, []VarID{"u"}, "f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddOp("m", Min{}, []VarID{"f"}, "out"); err != nil {
+		t.Fatal(err)
+	}
+	short := rt(t, 2, 1)
+	long := rt(t, 7, 2)
+	vals, err := g.Eval(map[VarID][]route.Route{"r1": {long}, "r2": {short}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals["out"]) != 1 || !vals["out"][0].Equal(short) {
+		t.Errorf("pipeline out = %v", vals["out"])
+	}
+	// The long route was filtered before min.
+	if len(vals["f"]) != 1 {
+		t.Errorf("filter kept %d", len(vals["f"]))
+	}
+	// Inputs/Outputs classification.
+	ins := g.Inputs()
+	if len(ins) != 2 || ins[0] != "r1" || ins[1] != "r2" {
+		t.Errorf("Inputs = %v", ins)
+	}
+	outs := g.Outputs()
+	if len(outs) != 1 || outs[0] != "out" {
+		t.Errorf("Outputs = %v", outs)
+	}
+}
+
+func TestGraphEvalRejectsBadBindings(t *testing.T) {
+	g, _, outVar, err := Fig1(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Eval(map[VarID][]route.Route{"nope": nil}); !errors.Is(err, ErrUnknownVar) {
+		t.Errorf("unknown binding: %v", err)
+	}
+	if _, err := g.Eval(map[VarID][]route.Route{outVar: nil}); !errors.Is(err, ErrNotInput) {
+		t.Errorf("computed binding: %v", err)
+	}
+}
+
+func TestFig1GraphMatchesPromise(t *testing.T) {
+	g, ins, outVar, err := Fig1(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckStructureShortest(g, ins, outVar); err != nil {
+		t.Errorf("structural check: %v", err)
+	}
+	p := ShortestOfSubset{Subset: ins}
+	if err := ModelCheck(g, p, ins, outVar, 300, rand.New(rand.NewSource(1))); err != nil {
+		t.Errorf("model check: %v", err)
+	}
+}
+
+func TestFig2GraphMatchesItsPromise(t *testing.T) {
+	g, ins, outVar, err := Fig2(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig2 does NOT implement plain shortest-of-all: the structural check
+	// must reject, and the model checker must find a counterexample.
+	if err := CheckStructureShortest(g, ins, outVar); err == nil {
+		t.Error("Fig2 structurally accepted as shortest-of-all")
+	}
+	// But it does implement "within slack" loosely? No — it can export a
+	// longer route via N2..Nk when N1's is equal length. The honest promise
+	// that holds: the output exists iff any input exists.
+	p := ExistsFromSubset{Subset: ins}
+	if err := ModelCheck(g, p, ins, outVar, 300, rand.New(rand.NewSource(2))); err != nil {
+		t.Errorf("exists model check: %v", err)
+	}
+	// And shortest-of-all must produce a counterexample.
+	bad := ShortestOfSubset{Subset: ins}
+	if err := ModelCheck(g, bad, ins, outVar, 500, rand.New(rand.NewSource(3))); err == nil {
+		t.Error("model check failed to find counterexample for wrong promise")
+	}
+}
+
+func TestCheckStructureExists(t *testing.T) {
+	g, ins, _, err := Fig2(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v is produced by exists over r2..rk.
+	if err := CheckStructureExists(g, ins[1:], "v"); err != nil {
+		t.Errorf("exists structure: %v", err)
+	}
+	if err := CheckStructureExists(g, ins, "v"); err == nil {
+		t.Error("wrong subset accepted")
+	}
+	if err := CheckStructureExists(g, ins[1:], "ro"); err == nil {
+		t.Error("wrong operator type accepted")
+	}
+}
+
+func TestPromiseShortestOfSubset(t *testing.T) {
+	p := ShortestOfSubset{Subset: []VarID{"r1", "r2"}}
+	short := rt(t, 2, 1)
+	long := rt(t, 5, 2)
+	in := map[VarID][]route.Route{"r1": {long}, "r2": {short}}
+
+	if err := p.Check(in, []route.Route{short}); err != nil {
+		t.Errorf("honest: %v", err)
+	}
+	if err := p.Check(in, []route.Route{long}); err == nil {
+		t.Error("long export accepted")
+	}
+	if err := p.Check(in, nil); err == nil {
+		t.Error("suppression accepted")
+	}
+	if err := p.Check(map[VarID][]route.Route{}, nil); err != nil {
+		t.Errorf("empty/empty: %v", err)
+	}
+	if err := p.Check(map[VarID][]route.Route{}, []route.Route{short}); err == nil {
+		t.Error("fabricated export accepted")
+	}
+	// Same length but different route is permissible (promise is about length).
+	alt := rt(t, 2, 9)
+	if err := p.Check(in, []route.Route{alt}); err != nil {
+		t.Errorf("equal-length alternative rejected: %v", err)
+	}
+}
+
+func TestPromiseWithinSlack(t *testing.T) {
+	p := WithinSlack{Subset: []VarID{"r1", "r2"}, K: 2}
+	in := map[VarID][]route.Route{"r1": {rt(t, 2, 1)}, "r2": {rt(t, 9, 2)}}
+	if err := p.Check(in, []route.Route{rt(t, 4, 3)}); err != nil {
+		t.Errorf("within slack rejected: %v", err)
+	}
+	if err := p.Check(in, []route.Route{rt(t, 5, 3)}); err == nil {
+		t.Error("over slack accepted")
+	}
+	if err := p.Check(in, nil); err == nil {
+		t.Error("suppression accepted")
+	}
+}
+
+func TestPromiseNoLongerThanOthers(t *testing.T) {
+	p := NoLongerThanOthers{Mine: "oB", Others: []VarID{"oC", "oD"}}
+	outs := map[VarID][]route.Route{
+		"oB": {rt(t, 3, 1)},
+		"oC": {rt(t, 3, 2)},
+		"oD": {rt(t, 5, 3)},
+	}
+	if err := p.CheckOutputs(outs); err != nil {
+		t.Errorf("honest: %v", err)
+	}
+	outs["oC"] = []route.Route{rt(t, 2, 4)} // someone else got shorter
+	if err := p.CheckOutputs(outs); err == nil {
+		t.Error("favoritism accepted")
+	}
+	// Nothing for me while others get routes.
+	outs = map[VarID][]route.Route{"oB": nil, "oC": {rt(t, 4, 5)}, "oD": nil}
+	if err := p.CheckOutputs(outs); err == nil {
+		t.Error("starvation accepted")
+	}
+	// Nothing anywhere is fine.
+	outs = map[VarID][]route.Route{"oB": nil, "oC": nil, "oD": nil}
+	if err := p.CheckOutputs(outs); err != nil {
+		t.Errorf("all-empty: %v", err)
+	}
+}
+
+func TestAccessPolicy(t *testing.T) {
+	a := NewAccess()
+	a.Allow(1, "var(r1)", CompData)
+	a.AllowAll(2, "rule(min)")
+
+	if !a.Can(1, "var(r1)", CompData) {
+		t.Error("granted component denied")
+	}
+	if a.Can(1, "var(r1)", CompPreds) {
+		t.Error("ungranted component allowed")
+	}
+	if a.Can(3, "var(r1)", CompData) {
+		t.Error("stranger allowed")
+	}
+	if !a.CanAny(2, "rule(min)") || a.CanAny(2, "var(r1)") {
+		t.Error("CanAny wrong")
+	}
+	vis := a.Visible(2)
+	if len(vis) != 1 || vis[0] != "rule(min)" {
+		t.Errorf("Visible = %v", vis)
+	}
+}
+
+func TestFig1Access(t *testing.T) {
+	providers := map[aspath.ASN]VarID{101: "r1", 102: "r2"}
+	a := Fig1Access(providers, 200, "ro", "min")
+	// Each Ni sees its own variable and the operator, not the output.
+	if !a.Can(101, VarID("r1").Label(), CompData) {
+		t.Error("N1 cannot see r1")
+	}
+	if a.CanAny(101, VarID("r2").Label()) {
+		t.Error("N1 sees N2's variable")
+	}
+	if a.CanAny(101, VarID("ro").Label()) {
+		t.Error("N1 sees the output")
+	}
+	if !a.Can(101, OpID("min").Label(), CompData) {
+		t.Error("N1 cannot see the operator")
+	}
+	// B sees ro and min but no inputs.
+	if !a.Can(200, VarID("ro").Label(), CompData) || !a.Can(200, OpID("min").Label(), CompData) {
+		t.Error("B's grants missing")
+	}
+	if a.CanAny(200, VarID("r1").Label()) {
+		t.Error("B sees an input")
+	}
+}
+
+func TestComponentString(t *testing.T) {
+	if CompPreds.String() != "preds" || CompSuccs.String() != "succs" || CompData.String() != "data" {
+		t.Error("component names wrong")
+	}
+	if Component(9).String() == "" {
+		t.Error("unknown component empty")
+	}
+	if VarID("x").Label() != "var(x)" || OpID("y").Label() != "rule(y)" {
+		t.Error("labels wrong")
+	}
+}

@@ -1,0 +1,294 @@
+// Package ringsig implements Rivest–Shamir–Tauman ring signatures ("How to
+// Leak a Secret", ASIACRYPT 2001), the scheme the paper invokes in §3.2 for
+// link-state protocols: the neighbors N_i can jointly sign the statement
+// "a route exists" so that the recipient B can check that *some* ring
+// member signed, but not which one.
+//
+// The construction follows the original: each member contributes an RSA
+// trapdoor permutation g_i extended to a common domain of 2^b values; the
+// signer closes the ring equation
+//
+//	v = E_n(g_n(x_n) ⊕ E_{n-1}(g_{n-1}(x_{n-1}) ⊕ … E_1(g_1(x_1) ⊕ v)…))
+//
+// by inverting its own g_s with the private key. E_i is instantiated as a
+// position-keyed 4-round Feistel permutation over the b-bit domain with a
+// SHA-256-based round function (Luby–Rackoff construction), keyed by
+// H(ring ‖ message); this keeps the implementation inside the standard
+// library and preserves the scheme's structure for the simulation and
+// benchmarks, though it has not had the cryptanalysis the original
+// symmetric instantiation assumes.
+package ringsig
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"math/big"
+)
+
+// Errors returned by signing and verification.
+var (
+	ErrBadRing      = errors.New("ringsig: ring must have at least 2 members")
+	ErrNotInRing    = errors.New("ringsig: signer's key not in ring")
+	ErrBadSignature = errors.New("ringsig: verification failed")
+)
+
+// extraBits pads the common domain above the largest modulus so the
+// extension trick's wraparound case is negligible (RST §3.1 uses 160).
+const extraBits = 160
+
+// Ring is an ordered set of RSA public keys over which signatures are made.
+// Order matters: the same keys in a different order form a different ring.
+type Ring struct {
+	keys []*rsa.PublicKey
+	b    int      // common domain bits
+	dom  *big.Int // 2^b
+}
+
+// NewRing builds a ring from the members' public keys.
+func NewRing(keys []*rsa.PublicKey) (*Ring, error) {
+	if len(keys) < 2 {
+		return nil, ErrBadRing
+	}
+	maxBits := 0
+	for _, k := range keys {
+		if k == nil || k.N == nil {
+			return nil, errors.New("ringsig: nil key")
+		}
+		if n := k.N.BitLen(); n > maxBits {
+			maxBits = n
+		}
+	}
+	b := maxBits + extraBits
+	// Round up to an even byte count so the Feistel halves are byte-aligned.
+	b = (b + 15) / 16 * 16
+	dom := new(big.Int).Lsh(big.NewInt(1), uint(b))
+	cp := append([]*rsa.PublicKey(nil), keys...)
+	return &Ring{keys: cp, b: b, dom: dom}, nil
+}
+
+// Size returns the number of ring members.
+func (r *Ring) Size() int { return len(r.keys) }
+
+// extend applies the domain-extended permutation g_i to x:
+// write x = q·n_i + rem; if (q+1)·n_i ≤ 2^b, map rem through RSA and keep
+// the quotient, otherwise pass x unchanged (negligible fraction).
+func (r *Ring) extend(i int, x *big.Int) *big.Int {
+	k := r.keys[i]
+	q, rem := new(big.Int).DivMod(x, k.N, new(big.Int))
+	hi := new(big.Int).Mul(new(big.Int).Add(q, big.NewInt(1)), k.N)
+	if hi.Cmp(r.dom) > 0 {
+		return new(big.Int).Set(x)
+	}
+	fr := new(big.Int).Exp(rem, big.NewInt(int64(k.E)), k.N)
+	return fr.Add(fr, new(big.Int).Mul(q, k.N))
+}
+
+// invert applies g_s^{-1} using the signer's private key.
+func (r *Ring) invert(i int, priv *rsa.PrivateKey, y *big.Int) *big.Int {
+	k := r.keys[i]
+	q, rem := new(big.Int).DivMod(y, k.N, new(big.Int))
+	hi := new(big.Int).Mul(new(big.Int).Add(q, big.NewInt(1)), k.N)
+	if hi.Cmp(r.dom) > 0 {
+		return new(big.Int).Set(y)
+	}
+	fr := new(big.Int).Exp(rem, priv.D, k.N)
+	return fr.Add(fr, new(big.Int).Mul(q, k.N))
+}
+
+// feistelRounds is the Luby–Rackoff round count; four rounds give a strong
+// pseudorandom permutation when the round function is pseudorandom.
+const feistelRounds = 4
+
+// roundF expands a SHA-256 PRF keyed by (key, ring position, round) over
+// the half-block src into dst (counter-mode expansion).
+func roundF(key [32]byte, pos, round int, src, dst []byte) {
+	var ctr uint32
+	off := 0
+	for off < len(dst) {
+		h := sha256.New()
+		h.Write(key[:])
+		var hdr [12]byte
+		binary.BigEndian.PutUint32(hdr[0:], uint32(pos))
+		binary.BigEndian.PutUint32(hdr[4:], uint32(round))
+		binary.BigEndian.PutUint32(hdr[8:], ctr)
+		h.Write(hdr[:])
+		h.Write(src)
+		off += copy(dst[off:], h.Sum(nil))
+		ctr++
+	}
+}
+
+// encrypt applies the position-keyed Feistel permutation E_{key,i} in place.
+// In physical half-block terms each round XORs one half with the PRF of the
+// other, alternating halves; each step is self-inverse, so decryption is
+// the same steps in reverse order. buf length is even (guaranteed by
+// NewRing's domain rounding).
+func (r *Ring) encrypt(key [32]byte, i int, buf []byte) {
+	half := len(buf) / 2
+	a, b := buf[:half], buf[half:]
+	tmp := make([]byte, half)
+	for round := 0; round < feistelRounds; round++ {
+		dst, src := a, b
+		if round%2 == 1 {
+			dst, src = b, a
+		}
+		roundF(key, i, round, src, tmp)
+		for j := range dst {
+			dst[j] ^= tmp[j]
+		}
+	}
+}
+
+// decrypt inverts encrypt in place.
+func (r *Ring) decrypt(key [32]byte, i int, buf []byte) {
+	half := len(buf) / 2
+	a, b := buf[:half], buf[half:]
+	tmp := make([]byte, half)
+	for round := feistelRounds - 1; round >= 0; round-- {
+		dst, src := a, b
+		if round%2 == 1 {
+			dst, src = b, a
+		}
+		roundF(key, i, round, src, tmp)
+		for j := range dst {
+			dst[j] ^= tmp[j]
+		}
+	}
+}
+
+// bytesOf left-pads x to the domain width.
+func (r *Ring) bytesOf(x *big.Int) []byte {
+	out := make([]byte, r.b/8)
+	x.FillBytes(out)
+	return out
+}
+
+// Signature is a ring signature: the glue value v and one x_i per member.
+type Signature struct {
+	V  []byte
+	Xs [][]byte
+}
+
+// messageKey derives the symmetric key from the message and the ring, so a
+// signature cannot be replayed over a different ring.
+func (r *Ring) messageKey(msg []byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte("pvr/ringsig/v1"))
+	var lb [4]byte
+	binary.BigEndian.PutUint32(lb[:], uint32(len(r.keys)))
+	h.Write(lb[:])
+	for _, k := range r.keys {
+		kb := k.N.Bytes()
+		binary.BigEndian.PutUint32(lb[:], uint32(len(kb)))
+		h.Write(lb[:])
+		h.Write(kb)
+		binary.BigEndian.PutUint32(lb[:], uint32(k.E))
+		h.Write(lb[:])
+	}
+	h.Write(msg)
+	var key [32]byte
+	h.Sum(key[:0])
+	return key
+}
+
+// Sign produces a ring signature over msg by the member holding priv. The
+// signer's position is located by modulus comparison.
+func (r *Ring) Sign(msg []byte, priv *rsa.PrivateKey) (*Signature, error) {
+	s := -1
+	for i, k := range r.keys {
+		if k.N.Cmp(priv.N) == 0 && k.E == priv.E {
+			s = i
+			break
+		}
+	}
+	if s < 0 {
+		return nil, ErrNotInRing
+	}
+	key := r.messageKey(msg)
+	n := len(r.keys)
+
+	// Random glue value v and random x_i for i ≠ s.
+	v, err := rand.Int(rand.Reader, r.dom)
+	if err != nil {
+		return nil, err
+	}
+	xs := make([]*big.Int, n)
+	ys := make([]*big.Int, n)
+	for i := 0; i < n; i++ {
+		if i == s {
+			continue
+		}
+		if xs[i], err = rand.Int(rand.Reader, r.dom); err != nil {
+			return nil, err
+		}
+		ys[i] = r.extend(i, xs[i])
+	}
+
+	// Walk the ring equation forward from position 0 with accumulator v,
+	// leaving a hole at s: acc_{i+1} = E_i(acc_i ⊕ y_i).
+	acc := new(big.Int).Set(v)
+	for i := 0; i < s; i++ {
+		step := r.bytesOf(new(big.Int).Xor(acc, ys[i]))
+		r.encrypt(key, i, step)
+		acc.SetBytes(step)
+	}
+	// Walk backward from the end: the final output must equal v.
+	back := new(big.Int).Set(v)
+	for i := n - 1; i > s; i-- {
+		// back = E_i(prev ⊕ y_i)  ⇒  prev = E_i^{-1}(back) ⊕ y_i.
+		step := r.bytesOf(back)
+		r.decrypt(key, i, step)
+		back.SetBytes(step)
+		back.Xor(back, ys[i])
+	}
+	// Close the gap: back = E_s(acc ⊕ y_s) ⇒ y_s = E_s^{-1}(back) ⊕ acc.
+	step := r.bytesOf(back)
+	r.decrypt(key, s, step)
+	ySigner := new(big.Int).SetBytes(step)
+	ySigner.Xor(ySigner, acc)
+	xs[s] = r.invert(s, priv, ySigner)
+
+	sig := &Signature{V: r.bytesOf(v), Xs: make([][]byte, n)}
+	for i := range xs {
+		sig.Xs[i] = r.bytesOf(xs[i])
+	}
+	return sig, nil
+}
+
+// Verify checks the signature: recompute y_i = g_i(x_i) and test that the
+// ring equation returns to v.
+func (r *Ring) Verify(msg []byte, sig *Signature) error {
+	n := len(r.keys)
+	if sig == nil || len(sig.Xs) != n || len(sig.V) != r.b/8 {
+		return ErrBadSignature
+	}
+	key := r.messageKey(msg)
+	v := new(big.Int).SetBytes(sig.V)
+	acc := new(big.Int).Set(v)
+	for i := 0; i < n; i++ {
+		if len(sig.Xs[i]) != r.b/8 {
+			return ErrBadSignature
+		}
+		x := new(big.Int).SetBytes(sig.Xs[i])
+		if x.Cmp(r.dom) >= 0 {
+			return ErrBadSignature
+		}
+		y := r.extend(i, x)
+		step := r.bytesOf(new(big.Int).Xor(acc, y))
+		r.encrypt(key, i, step)
+		acc.SetBytes(step)
+	}
+	if acc.Cmp(v) != 0 {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// SignatureSize returns the byte size of a signature over this ring,
+// reported by the E9 experiment.
+func (r *Ring) SignatureSize() int {
+	return (r.Size() + 1) * r.b / 8
+}

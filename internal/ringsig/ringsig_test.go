@@ -1,0 +1,205 @@
+package ringsig
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"sync"
+	"testing"
+)
+
+// Test keys are expensive; generate a pool once.
+var (
+	poolOnce sync.Once
+	pool     []*rsa.PrivateKey
+)
+
+func keys(t testing.TB, n int) []*rsa.PrivateKey {
+	t.Helper()
+	poolOnce.Do(func() {
+		pool = make([]*rsa.PrivateKey, 8)
+		for i := range pool {
+			k, err := rsa.GenerateKey(rand.Reader, 1024)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool[i] = k
+		}
+	})
+	if n > len(pool) {
+		t.Fatalf("need %d keys, pool has %d", n, len(pool))
+	}
+	return pool[:n]
+}
+
+func ringOf(t testing.TB, ks []*rsa.PrivateKey) *Ring {
+	t.Helper()
+	pubs := make([]*rsa.PublicKey, len(ks))
+	for i, k := range ks {
+		pubs[i] = &k.PublicKey
+	}
+	r, err := NewRing(pubs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestSignVerifyEverySigner(t *testing.T) {
+	ks := keys(t, 4)
+	r := ringOf(t, ks)
+	msg := []byte("a route exists")
+	for i, k := range ks {
+		sig, err := r.Sign(msg, k)
+		if err != nil {
+			t.Fatalf("signer %d: %v", i, err)
+		}
+		if err := r.Verify(msg, sig); err != nil {
+			t.Fatalf("signer %d: verify: %v", i, err)
+		}
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	ks := keys(t, 3)
+	r := ringOf(t, ks)
+	msg := []byte("a route exists")
+	sig, err := r.Sign(msg, ks[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different message.
+	if r.Verify([]byte("no route exists"), sig) == nil {
+		t.Error("wrong message accepted")
+	}
+	// Tampered x.
+	bad := &Signature{V: append([]byte(nil), sig.V...), Xs: make([][]byte, len(sig.Xs))}
+	for i := range sig.Xs {
+		bad.Xs[i] = append([]byte(nil), sig.Xs[i]...)
+	}
+	bad.Xs[0][10] ^= 1
+	if r.Verify(msg, bad) == nil {
+		t.Error("tampered x accepted")
+	}
+	// Tampered glue.
+	bad2 := &Signature{V: append([]byte(nil), sig.V...), Xs: sig.Xs}
+	bad2.V[0] ^= 1
+	if r.Verify(msg, bad2) == nil {
+		t.Error("tampered v accepted")
+	}
+	// Structurally wrong.
+	if r.Verify(msg, nil) == nil {
+		t.Error("nil signature accepted")
+	}
+	if r.Verify(msg, &Signature{V: sig.V, Xs: sig.Xs[:2]}) == nil {
+		t.Error("short signature accepted")
+	}
+}
+
+func TestRingBindsKeySet(t *testing.T) {
+	ks := keys(t, 4)
+	r3 := ringOf(t, ks[:3])
+	msg := []byte("m")
+	sig, err := r3.Sign(msg, ks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same signature over a different ring (one more member) fails
+	// structurally and cryptographically.
+	r4 := ringOf(t, ks)
+	if r4.Verify(msg, sig) == nil {
+		t.Error("signature accepted by larger ring")
+	}
+	// Same size, different membership: key derivation differs.
+	r3b := ringOf(t, ks[1:])
+	if r3b.Verify(msg, sig) == nil {
+		t.Error("signature accepted by different ring of same size")
+	}
+}
+
+func TestNonMemberCannotSign(t *testing.T) {
+	ks := keys(t, 4)
+	r := ringOf(t, ks[:3])
+	if _, err := r.Sign([]byte("m"), ks[3]); err != ErrNotInRing {
+		t.Errorf("non-member sign: %v", err)
+	}
+}
+
+func TestNewRingRejectsTiny(t *testing.T) {
+	ks := keys(t, 1)
+	pubs := []*rsa.PublicKey{&ks[0].PublicKey}
+	if _, err := NewRing(pubs); err != ErrBadRing {
+		t.Errorf("1-member ring: %v", err)
+	}
+	if _, err := NewRing(nil); err != ErrBadRing {
+		t.Errorf("empty ring: %v", err)
+	}
+	if _, err := NewRing([]*rsa.PublicKey{nil, nil}); err == nil {
+		t.Error("nil keys accepted")
+	}
+}
+
+// TestAnonymitySignatureShapeIndependentOfSigner checks the signer is not
+// identifiable from signature structure: all components have the same fixed
+// width regardless of who signed.
+func TestAnonymitySignatureShapeIndependentOfSigner(t *testing.T) {
+	ks := keys(t, 4)
+	r := ringOf(t, ks)
+	msg := []byte("a route exists")
+	want := r.SignatureSize()
+	for i, k := range ks {
+		sig, err := r.Sign(msg, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := len(sig.V)
+		for _, x := range sig.Xs {
+			total += len(x)
+			if len(x) != len(sig.V) {
+				t.Errorf("signer %d: ragged component widths", i)
+			}
+		}
+		if total != want {
+			t.Errorf("signer %d: size %d, want %d", i, total, want)
+		}
+	}
+}
+
+func TestSignatureSize(t *testing.T) {
+	ks := keys(t, 3)
+	r := ringOf(t, ks)
+	// (n+1) components of b/8 bytes each.
+	if r.SignatureSize() != (3+1)*r.b/8 {
+		t.Errorf("SignatureSize = %d", r.SignatureSize())
+	}
+	if r.Size() != 3 {
+		t.Errorf("Size = %d", r.Size())
+	}
+}
+
+func BenchmarkRingSign4(b *testing.B) {
+	ks := keys(b, 4)
+	r := ringOf(b, ks)
+	msg := []byte("a route exists")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Sign(msg, ks[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRingVerify4(b *testing.B) {
+	ks := keys(b, 4)
+	r := ringOf(b, ks)
+	msg := []byte("a route exists")
+	sig, err := r.Sign(msg, ks[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Verify(msg, sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

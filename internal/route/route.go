@@ -1,0 +1,227 @@
+// Package route defines the BGP route: a destination prefix plus its path
+// attributes. Routes are the values flowing through route-flow graphs and
+// the objects that PVR commits to, signs, and selectively discloses, so the
+// package provides a canonical, unique binary encoding.
+package route
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+
+	"pvr/internal/aspath"
+	"pvr/internal/community"
+	"pvr/internal/prefix"
+)
+
+// Origin is the BGP ORIGIN attribute (RFC 4271 §4.3).
+type Origin uint8
+
+// Origin codes; lower is preferred in the decision process.
+const (
+	OriginIGP        Origin = 0
+	OriginEGP        Origin = 1
+	OriginIncomplete Origin = 2
+)
+
+// String names the origin code as in router show output.
+func (o Origin) String() string {
+	switch o {
+	case OriginIGP:
+		return "IGP"
+	case OriginEGP:
+		return "EGP"
+	case OriginIncomplete:
+		return "incomplete"
+	}
+	return fmt.Sprintf("origin(%d)", uint8(o))
+}
+
+// ErrBadRoute is returned for malformed route encodings.
+var ErrBadRoute = errors.New("route: malformed route")
+
+// Route is one BGP route: a prefix and its attributes. Routes are treated
+// as immutable values; mutators return copies. The zero value is invalid.
+type Route struct {
+	// Prefix is the destination (NLRI).
+	Prefix prefix.Prefix
+	// Path is the AS_PATH; its leftmost AS is the neighbor the route was
+	// learned from (after that neighbor prepended itself).
+	Path aspath.Path
+	// NextHop is the NEXT_HOP attribute.
+	NextHop netip.Addr
+	// LocalPref is the LOCAL_PREF attribute (meaningful inside one AS).
+	LocalPref uint32
+	// MED is the MULTI_EXIT_DISC attribute.
+	MED uint32
+	// Origin is the ORIGIN attribute.
+	Origin Origin
+	// Communities are the RFC 1997 tags attached to the route.
+	Communities community.Set
+}
+
+// Valid reports whether the route has a valid prefix and next hop.
+func (r Route) Valid() bool { return r.Prefix.IsValid() && r.NextHop.IsValid() }
+
+// PathLen returns the AS-path length used by the decision process and by
+// PVR's minimum operator.
+func (r Route) PathLen() int { return r.Path.Length() }
+
+// WithPrepended returns a copy of r whose path has asn prepended once, the
+// transformation applied when an AS exports the route.
+func (r Route) WithPrepended(asn aspath.ASN) (Route, error) {
+	p, err := r.Path.Prepend(asn, 1)
+	if err != nil {
+		return Route{}, err
+	}
+	r.Path = p
+	return r, nil
+}
+
+// WithLocalPref returns a copy with LOCAL_PREF set.
+func (r Route) WithLocalPref(lp uint32) Route { r.LocalPref = lp; return r }
+
+// WithCommunity returns a copy with community c added.
+func (r Route) WithCommunity(c community.Community) Route {
+	r.Communities = r.Communities.Add(c)
+	return r
+}
+
+// Equal reports full attribute equality.
+func (r Route) Equal(o Route) bool {
+	return r.Prefix == o.Prefix &&
+		r.Path.Equal(o.Path) &&
+		r.NextHop == o.NextHop &&
+		r.LocalPref == o.LocalPref &&
+		r.MED == o.MED &&
+		r.Origin == o.Origin &&
+		r.Communities.Equal(o.Communities)
+}
+
+// String renders a looking-glass-style one-liner.
+func (r Route) String() string {
+	return fmt.Sprintf("%s via %s path [%s] lp=%d med=%d origin=%s comm=%s",
+		r.Prefix, r.NextHop, r.Path, r.LocalPref, r.MED, r.Origin, r.Communities)
+}
+
+// MarshalBinary produces the canonical encoding:
+//
+//	prefix  : u16 length-prefixed prefix.MarshalBinary
+//	path    : u16 length-prefixed aspath.MarshalBinary
+//	nexthop : u8 length + address bytes
+//	localpref, med : u32 big-endian
+//	origin  : u8
+//	comms   : u16 length-prefixed community.Set.MarshalBinary
+//
+// The encoding is unique for a given route (all components are canonical),
+// so hashing it yields a well-defined commitment.
+func (r Route) MarshalBinary() ([]byte, error) {
+	if !r.Valid() {
+		return nil, fmt.Errorf("%w: invalid prefix or next hop", ErrBadRoute)
+	}
+	var buf bytes.Buffer
+	pb, err := r.Prefix.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	appendU16Bytes(&buf, pb)
+	ab, err := r.Path.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	appendU16Bytes(&buf, ab)
+	nh := r.NextHop.AsSlice()
+	buf.WriteByte(byte(len(nh)))
+	buf.Write(nh)
+	var u32 [4]byte
+	binary.BigEndian.PutUint32(u32[:], r.LocalPref)
+	buf.Write(u32[:])
+	binary.BigEndian.PutUint32(u32[:], r.MED)
+	buf.Write(u32[:])
+	buf.WriteByte(byte(r.Origin))
+	cb, err := r.Communities.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	appendU16Bytes(&buf, cb)
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary decodes the MarshalBinary encoding.
+func (r *Route) UnmarshalBinary(b []byte) error {
+	var out Route
+	pb, rest, err := takeU16Bytes(b)
+	if err != nil {
+		return fmt.Errorf("%w: prefix: %v", ErrBadRoute, err)
+	}
+	if err := out.Prefix.UnmarshalBinary(pb); err != nil {
+		return err
+	}
+	ab, rest, err := takeU16Bytes(rest)
+	if err != nil {
+		return fmt.Errorf("%w: path: %v", ErrBadRoute, err)
+	}
+	if err := out.Path.UnmarshalBinary(ab); err != nil {
+		return err
+	}
+	if len(rest) < 1 {
+		return fmt.Errorf("%w: missing next hop", ErrBadRoute)
+	}
+	nhLen := int(rest[0])
+	rest = rest[1:]
+	if nhLen != 4 && nhLen != 16 {
+		return fmt.Errorf("%w: next hop length %d", ErrBadRoute, nhLen)
+	}
+	if len(rest) < nhLen {
+		return fmt.Errorf("%w: truncated next hop", ErrBadRoute)
+	}
+	nh, ok := netip.AddrFromSlice(rest[:nhLen])
+	if !ok {
+		return fmt.Errorf("%w: bad next hop", ErrBadRoute)
+	}
+	out.NextHop = nh
+	rest = rest[nhLen:]
+	if len(rest) < 9 {
+		return fmt.Errorf("%w: truncated attributes", ErrBadRoute)
+	}
+	out.LocalPref = binary.BigEndian.Uint32(rest)
+	out.MED = binary.BigEndian.Uint32(rest[4:])
+	out.Origin = Origin(rest[8])
+	if out.Origin > OriginIncomplete {
+		return fmt.Errorf("%w: origin %d", ErrBadRoute, out.Origin)
+	}
+	rest = rest[9:]
+	cb, rest, err := takeU16Bytes(rest)
+	if err != nil {
+		return fmt.Errorf("%w: communities: %v", ErrBadRoute, err)
+	}
+	if err := out.Communities.UnmarshalBinary(cb); err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadRoute, len(rest))
+	}
+	*r = out
+	return nil
+}
+
+func appendU16Bytes(buf *bytes.Buffer, b []byte) {
+	var l [2]byte
+	binary.BigEndian.PutUint16(l[:], uint16(len(b)))
+	buf.Write(l[:])
+	buf.Write(b)
+}
+
+func takeU16Bytes(b []byte) (field, rest []byte, err error) {
+	if len(b) < 2 {
+		return nil, nil, errors.New("short length")
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < n {
+		return nil, nil, errors.New("short field")
+	}
+	return b[:n], b[n:], nil
+}

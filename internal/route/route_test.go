@@ -1,0 +1,209 @@
+package route
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"pvr/internal/aspath"
+	"pvr/internal/community"
+	"pvr/internal/prefix"
+)
+
+func sample() Route {
+	return Route{
+		Prefix:      prefix.MustParse("203.0.113.0/24"),
+		Path:        aspath.New(64500, 64501),
+		NextHop:     netip.MustParseAddr("192.0.2.1"),
+		LocalPref:   100,
+		MED:         5,
+		Origin:      OriginIGP,
+		Communities: community.NewSet(community.Make(64500, 1)),
+	}
+}
+
+func TestValid(t *testing.T) {
+	r := sample()
+	if !r.Valid() {
+		t.Fatal("sample should be valid")
+	}
+	var zero Route
+	if zero.Valid() {
+		t.Error("zero route should be invalid")
+	}
+	bad := sample()
+	bad.NextHop = netip.Addr{}
+	if bad.Valid() {
+		t.Error("missing next hop should be invalid")
+	}
+}
+
+func TestWithPrepended(t *testing.T) {
+	r := sample()
+	r2, err := r.WithPrepended(64999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.PathLen() != r.PathLen()+1 {
+		t.Errorf("PathLen = %d", r2.PathLen())
+	}
+	if f, _ := r2.Path.First(); f != 64999 {
+		t.Errorf("First = %v", f)
+	}
+	// Immutable: original unchanged.
+	if r.PathLen() != 2 {
+		t.Error("original mutated")
+	}
+}
+
+func TestMutatorsPersistent(t *testing.T) {
+	r := sample()
+	r2 := r.WithLocalPref(999).WithCommunity(community.NoExport)
+	if r2.LocalPref != 999 || !r2.Communities.Has(community.NoExport) {
+		t.Error("mutators did not apply")
+	}
+	if r.LocalPref != 100 || r.Communities.Has(community.NoExport) {
+		t.Error("original mutated")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := sample(), sample()
+	if !a.Equal(b) {
+		t.Fatal("identical routes unequal")
+	}
+	mods := []func(*Route){
+		func(r *Route) { r.Prefix = prefix.MustParse("10.0.0.0/8") },
+		func(r *Route) { r.Path = aspath.New(1) },
+		func(r *Route) { r.NextHop = netip.MustParseAddr("192.0.2.99") },
+		func(r *Route) { r.LocalPref = 0 },
+		func(r *Route) { r.MED = 77 },
+		func(r *Route) { r.Origin = OriginIncomplete },
+		func(r *Route) { r.Communities = community.NewSet() },
+	}
+	for i, m := range mods {
+		c := sample()
+		m(&c)
+		if a.Equal(c) {
+			t.Errorf("mod %d: routes still equal", i)
+		}
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	cases := []Route{
+		sample(),
+		{
+			Prefix:  prefix.MustParse("0.0.0.0/0"),
+			Path:    aspath.Path{},
+			NextHop: netip.MustParseAddr("10.0.0.1"),
+			Origin:  OriginIncomplete,
+		},
+		{
+			Prefix:  prefix.MustParse("2001:db8::/32"),
+			Path:    aspath.New(1, 2, 3, 4, 5),
+			NextHop: netip.MustParseAddr("2001:db8::1"),
+			MED:     4294967295,
+			Origin:  OriginEGP,
+			Communities: community.NewSet(
+				community.NoExport, community.Make(1, 1), community.Make(2, 2)),
+		},
+	}
+	for i, r := range cases {
+		b, err := r.MarshalBinary()
+		if err != nil {
+			t.Fatalf("case %d marshal: %v", i, err)
+		}
+		var u Route
+		if err := u.UnmarshalBinary(b); err != nil {
+			t.Fatalf("case %d unmarshal: %v", i, err)
+		}
+		if !u.Equal(r) {
+			t.Errorf("case %d round trip:\n  in  %s\n  out %s", i, r, u)
+		}
+	}
+}
+
+func TestMarshalInvalid(t *testing.T) {
+	var zero Route
+	if _, err := zero.MarshalBinary(); err == nil {
+		t.Error("marshal of invalid route succeeded")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	good, err := sample().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Route
+	// Truncations at every boundary must fail, never panic.
+	for n := 0; n < len(good); n++ {
+		if err := r.UnmarshalBinary(good[:n]); err == nil {
+			t.Errorf("truncation to %d bytes accepted", n)
+		}
+	}
+	// Trailing garbage.
+	if err := r.UnmarshalBinary(append(append([]byte{}, good...), 0xFF)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+	// Bad origin.
+	bad := append([]byte{}, good...)
+	// Origin sits 9 bytes before the trailing communities field (u16 len + 4 bytes).
+	bad[len(bad)-7] = 9
+	if err := r.UnmarshalBinary(bad); err == nil {
+		t.Error("bad origin accepted")
+	}
+}
+
+// TestQuickRoundTrip round-trips randomized routes: encoding must be total
+// and injective over valid routes.
+func TestQuickRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		var oct [4]byte
+		rng.Read(oct[:])
+		pfx, err := prefix.From(netip.AddrFrom4(oct), rng.Intn(33))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := rng.Intn(10)
+		asns := make([]aspath.ASN, n)
+		for j := range asns {
+			asns[j] = aspath.ASN(rng.Uint32())
+		}
+		var comms []community.Community
+		for j := 0; j < rng.Intn(5); j++ {
+			comms = append(comms, community.Community(rng.Uint32()))
+		}
+		rng.Read(oct[:])
+		r := Route{
+			Prefix:      pfx,
+			Path:        aspath.New(asns...),
+			NextHop:     netip.AddrFrom4(oct),
+			LocalPref:   rng.Uint32(),
+			MED:         rng.Uint32(),
+			Origin:      Origin(rng.Intn(3)),
+			Communities: community.NewSet(comms...),
+		}
+		b, err := r.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var u Route
+		if err := u.UnmarshalBinary(b); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if !u.Equal(r) {
+			t.Fatalf("round %d mismatch", i)
+		}
+		// Injectivity spot check: re-marshal equals original bytes.
+		b2, err := u.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b) != string(b2) {
+			t.Fatalf("round %d: non-canonical encoding", i)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package sigs
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"pvr/internal/aspath"
+)
+
+// shared keys: RSA keygen is slow, generate once.
+var (
+	keyOnce sync.Once
+	rsaKey  Signer
+	edKey   Signer
+)
+
+func testKeys(t *testing.T) (Signer, Signer) {
+	t.Helper()
+	keyOnce.Do(func() {
+		var err error
+		rsaKey, err = GenerateRSA(1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		edKey, err = GenerateEd25519()
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	return rsaKey, edKey
+}
+
+func TestSignVerifyBothSchemes(t *testing.T) {
+	r, e := testKeys(t)
+	for _, s := range []Signer{r, e} {
+		msg := []byte("the route is 203.0.113.0/24 via AS64500")
+		sig, err := s.Sign(msg)
+		if err != nil {
+			t.Fatalf("%s: sign: %v", s.Scheme(), err)
+		}
+		if err := s.Public().Verify(msg, sig); err != nil {
+			t.Fatalf("%s: verify: %v", s.Scheme(), err)
+		}
+		// Tampered message fails.
+		bad := append([]byte(nil), msg...)
+		bad[0] ^= 1
+		if err := s.Public().Verify(bad, sig); !errors.Is(err, ErrBadSignature) {
+			t.Errorf("%s: tampered message: err = %v", s.Scheme(), err)
+		}
+		// Tampered signature fails.
+		badSig := append([]byte(nil), sig...)
+		badSig[0] ^= 1
+		if err := s.Public().Verify(msg, badSig); err == nil {
+			t.Errorf("%s: tampered signature accepted", s.Scheme())
+		}
+	}
+}
+
+func TestPublicKeyMarshalRoundTrip(t *testing.T) {
+	r, e := testKeys(t)
+	for _, s := range []Signer{r, e} {
+		b, err := s.Public().Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pk, err := UnmarshalPublicKey(b)
+		if err != nil {
+			t.Fatalf("%s: unmarshal: %v", s.Scheme(), err)
+		}
+		if pk.Scheme() != s.Scheme() {
+			t.Errorf("scheme mismatch: %v vs %v", pk.Scheme(), s.Scheme())
+		}
+		if pk.Fingerprint() != s.Public().Fingerprint() {
+			t.Errorf("%s: fingerprint changed across marshal", s.Scheme())
+		}
+		msg := []byte("m")
+		sig, err := s.Sign(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pk.Verify(msg, sig); err != nil {
+			t.Errorf("%s: unmarshaled key rejects valid sig: %v", s.Scheme(), err)
+		}
+	}
+	if _, err := UnmarshalPublicKey(nil); err == nil {
+		t.Error("empty key accepted")
+	}
+	if _, err := UnmarshalPublicKey([]byte{99, 1, 2}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if _, err := UnmarshalPublicKey([]byte{byte(Ed25519), 1, 2}); err == nil {
+		t.Error("short ed25519 key accepted")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r, e := testKeys(t)
+	reg := NewRegistry()
+	reg.Register(64500, r.Public())
+	reg.Register(64501, e.Public())
+
+	msg := []byte("announcement")
+	sig, err := r.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Verify(64500, msg, sig); err != nil {
+		t.Fatalf("registry verify: %v", err)
+	}
+	// Wrong AS's key rejects.
+	if err := reg.Verify(64501, msg, sig); err == nil {
+		t.Error("cross-AS verification succeeded")
+	}
+	// Unknown AS.
+	if err := reg.Verify(64999, msg, sig); !errors.Is(err, ErrUnknownKey) {
+		t.Errorf("unknown AS: err = %v", err)
+	}
+	members := reg.Members()
+	if len(members) != 2 || members[0] != 64500 || members[1] != 64501 {
+		t.Errorf("Members = %v", members)
+	}
+}
+
+func TestSignedEnvelope(t *testing.T) {
+	r, _ := testKeys(t)
+	reg := NewRegistry()
+	reg.Register(64500, r.Public())
+	reg.Register(64666, r.Public()) // same key registered under another ASN
+
+	sd, err := Sign(r, 64500, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.VerifySigned(sd); err != nil {
+		t.Fatalf("envelope verify: %v", err)
+	}
+	// Replaying the envelope as a different signer fails even though that
+	// ASN has the same key: the ASN is inside the signed bytes.
+	forged := sd
+	forged.Signer = 64666
+	if err := reg.VerifySigned(forged); err == nil {
+		t.Error("signer substitution accepted")
+	}
+	// Payload tampering fails.
+	tampered := sd
+	tampered.Payload = []byte("payloaX")
+	if err := reg.VerifySigned(tampered); err == nil {
+		t.Error("payload tampering accepted")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if RSA.String() != "rsa" || Ed25519.String() != "ed25519" {
+		t.Error("scheme names wrong")
+	}
+	if Scheme(77).String() == "" {
+		t.Error("unknown scheme renders empty")
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	_, e := testKeys(t)
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				asn := aspath.ASN(n*1000 + j)
+				reg.Register(asn, e.Public())
+				if _, err := reg.Lookup(asn); err != nil {
+					t.Errorf("lookup after register: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(reg.Members()) != 800 {
+		t.Errorf("Members = %d, want 800", len(reg.Members()))
+	}
+}

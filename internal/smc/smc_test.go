@@ -1,0 +1,204 @@
+package smc
+
+import (
+	"sync"
+	"testing"
+)
+
+// Key generation dominates test time; share a pool of parties and mutate
+// their values per test (Value is plain data).
+var (
+	poolOnce sync.Once
+	pool     []*Party
+)
+
+func parties(t testing.TB, vals ...int) []*Party {
+	t.Helper()
+	poolOnce.Do(func() {
+		pool = make([]*Party, 8)
+		for i := range pool {
+			p, err := NewParty(i, 1, 1024)
+			if err != nil {
+				panic(err)
+			}
+			pool[i] = p
+		}
+	})
+	if len(vals) > len(pool) {
+		t.Fatalf("need %d parties", len(vals))
+	}
+	out := make([]*Party, len(vals))
+	for i, v := range vals {
+		pool[i].Value = v
+		out[i] = pool[i]
+	}
+	return out
+}
+
+func TestNewPartyValidation(t *testing.T) {
+	if _, err := NewParty(0, -1, 512); err == nil {
+		t.Error("negative value accepted")
+	}
+	if _, err := NewParty(0, Domain+1, 512); err == nil {
+		t.Error("oversized value accepted")
+	}
+}
+
+func TestCompareLEAllOrderings(t *testing.T) {
+	cases := []struct {
+		a, b int
+		want bool
+	}{
+		{1, 2, true},
+		{2, 1, false},
+		{3, 3, true}, // ties count as ≤
+		{1, Domain, true},
+		{Domain, 1, false},
+		{Domain, Domain, true},
+	}
+	for _, c := range cases {
+		ps := parties(t, c.a, c.b)
+		var st Stats
+		got, err := CompareLE(ps[0], ps[1], &st)
+		if err != nil {
+			t.Fatalf("%d vs %d: %v", c.a, c.b, err)
+		}
+		if got != c.want {
+			t.Errorf("CompareLE(%d,%d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if st.RSADecrypts != Domain {
+			t.Errorf("decrypts = %d, want %d", st.RSADecrypts, Domain)
+		}
+	}
+}
+
+func TestCompareLERejectsOutOfDomain(t *testing.T) {
+	ps := parties(t, 1, 1)
+	ps[0].Value = 0
+	if _, err := CompareLE(ps[0], ps[1], nil); err == nil {
+		t.Error("zero value accepted in comparison")
+	}
+	ps[0].Value = 1
+}
+
+func TestSecureMinBasic(t *testing.T) {
+	ps := parties(t, 5, 2, 9, 4)
+	w, ok, st, err := SecureMin(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || w != 1 {
+		t.Errorf("winner = %d, %v; want 1", w, ok)
+	}
+	if st.Comparisons != 3 {
+		t.Errorf("comparisons = %d, want k-1 = 3", st.Comparisons)
+	}
+	if st.BytesMoved == 0 || st.Rounds == 0 {
+		t.Error("stats not collected")
+	}
+}
+
+func TestSecureMinTieBreaksEarlier(t *testing.T) {
+	ps := parties(t, 3, 3, 3)
+	w, ok, _, err := SecureMin(ps)
+	if err != nil || !ok || w != 0 {
+		t.Errorf("tie winner = %d, %v, %v", w, ok, err)
+	}
+}
+
+func TestSecureMinSkipsAbstainers(t *testing.T) {
+	ps := parties(t, 0, 7, 0, 3)
+	w, ok, _, err := SecureMin(ps)
+	if err != nil || !ok || w != 3 {
+		t.Errorf("winner = %d, %v, %v; want 3", w, ok, err)
+	}
+	// All abstain.
+	ps = parties(t, 0, 0)
+	_, ok, _, err = SecureMin(ps)
+	if err != nil || ok {
+		t.Errorf("all-abstain: ok=%v err=%v", ok, err)
+	}
+	if _, _, _, err := SecureMin(nil); err == nil {
+		t.Error("empty party list accepted")
+	}
+}
+
+func TestSecureMinMatchesPlainMin(t *testing.T) {
+	// Cross-check against the trivial computation on many value sets.
+	sets := [][]int{
+		{1, 1}, {2, 1}, {1, 2}, {4, 4, 4, 4},
+		{9, 8, 7, 6, 5}, {5, 6, 7, 8, 9},
+		{0, 2, 0, 1}, {3, 0, 0, 3},
+	}
+	for _, vals := range sets {
+		ps := parties(t, vals...)
+		w, ok, _, err := SecureMin(ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantIdx, wantOK := -1, false
+		for i, v := range vals {
+			if v == 0 {
+				continue
+			}
+			if !wantOK || v < vals[wantIdx] {
+				wantIdx, wantOK = i, true
+			}
+		}
+		if ok != wantOK || (ok && w != wantIdx) {
+			t.Errorf("%v: got %d,%v want %d,%v", vals, w, ok, wantIdx, wantOK)
+		}
+	}
+}
+
+func TestFairplayModel(t *testing.T) {
+	// The model must reproduce the paper's cited operating point exactly.
+	if got := FairplayModelSeconds(5, 1); got != FairplayBaseSeconds {
+		t.Errorf("5 players = %v s, want %v", got, FairplayBaseSeconds)
+	}
+	// Quadratic growth in players.
+	if got := FairplayModelSeconds(10, 1); got != 4*FairplayBaseSeconds {
+		t.Errorf("10 players = %v s, want %v", got, 4*FairplayBaseSeconds)
+	}
+	// Linear in gates.
+	if got := FairplayModelSeconds(5, 3); got != 3*FairplayBaseSeconds {
+		t.Errorf("3x gates = %v s", got)
+	}
+	// Degenerate cases.
+	if FairplayModelSeconds(1, 1) != 0 {
+		t.Error("single player should cost 0")
+	}
+	if FairplayModelSeconds(5, 0) != FairplayBaseSeconds {
+		t.Error("gates < 1 should clamp to 1")
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	ps := parties(t, 1, 2)
+	if ps[0].Fingerprint() == ps[1].Fingerprint() {
+		t.Error("distinct parties share a fingerprint")
+	}
+	if ps[0].Fingerprint() != ps[0].Fingerprint() {
+		t.Error("fingerprint unstable")
+	}
+}
+
+func BenchmarkCompareLE(b *testing.B) {
+	ps := parties(b, 3, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CompareLE(ps[0], ps[1], nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSecureMin5(b *testing.B) {
+	ps := parties(b, 5, 2, 9, 4, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := SecureMin(ps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,356 @@
+// Package topology builds AS-level topologies with Gao-Rexford business
+// relationships and compiles them into BGP speaker configurations with
+// valley-free export policies. It provides the exact star of the paper's
+// Fig. 1, plus synthetic Internet-like hierarchies for the end-to-end
+// experiments (substituting for the real AS graph, per DESIGN.md §5).
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+
+	"pvr/internal/aspath"
+	"pvr/internal/bgp"
+	"pvr/internal/community"
+)
+
+// Rel is the business relationship of an edge, read from the first AS's
+// perspective.
+type Rel uint8
+
+// Relationships.
+const (
+	Customer Rel = iota // the other AS is my customer
+	Provider            // the other AS is my provider
+	Peer                // settlement-free peer
+)
+
+// String names the relationship.
+func (r Rel) String() string {
+	switch r {
+	case Customer:
+		return "customer"
+	case Provider:
+		return "provider"
+	case Peer:
+		return "peer"
+	}
+	return fmt.Sprintf("rel(%d)", uint8(r))
+}
+
+// invert flips the perspective.
+func (r Rel) invert() Rel {
+	switch r {
+	case Customer:
+		return Provider
+	case Provider:
+		return Customer
+	}
+	return Peer
+}
+
+// Graph is an AS-level topology: nodes and relationship-labeled edges.
+type Graph struct {
+	nodes map[aspath.ASN]bool
+	edges map[aspath.ASN]map[aspath.ASN]Rel
+}
+
+// ErrBadEdge is returned for self-loops or duplicate edges.
+var ErrBadEdge = errors.New("topology: invalid edge")
+
+// NewGraph returns an empty topology.
+func NewGraph() *Graph {
+	return &Graph{
+		nodes: make(map[aspath.ASN]bool),
+		edges: make(map[aspath.ASN]map[aspath.ASN]Rel),
+	}
+}
+
+// AddNode declares an AS.
+func (g *Graph) AddNode(a aspath.ASN) {
+	g.nodes[a] = true
+}
+
+// AddEdge links a and b, with rel read from a's perspective ("b is my
+// <rel>"). Both endpoints are added implicitly.
+func (g *Graph) AddEdge(a, b aspath.ASN, rel Rel) error {
+	if a == b {
+		return fmt.Errorf("%w: self loop %s", ErrBadEdge, a)
+	}
+	if _, dup := g.edges[a][b]; dup {
+		return fmt.Errorf("%w: duplicate %s-%s", ErrBadEdge, a, b)
+	}
+	g.AddNode(a)
+	g.AddNode(b)
+	if g.edges[a] == nil {
+		g.edges[a] = make(map[aspath.ASN]Rel)
+	}
+	if g.edges[b] == nil {
+		g.edges[b] = make(map[aspath.ASN]Rel)
+	}
+	g.edges[a][b] = rel
+	g.edges[b][a] = rel.invert()
+	return nil
+}
+
+// Nodes returns all ASNs in ascending order.
+func (g *Graph) Nodes() []aspath.ASN {
+	out := make([]aspath.ASN, 0, len(g.nodes))
+	for a := range g.nodes {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Neighbors returns an AS's neighbors in ascending order.
+func (g *Graph) Neighbors(a aspath.ASN) []aspath.ASN {
+	out := make([]aspath.ASN, 0, len(g.edges[a]))
+	for b := range g.edges[a] {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RelOf returns the relationship of b from a's perspective.
+func (g *Graph) RelOf(a, b aspath.ASN) (Rel, bool) {
+	r, ok := g.edges[a][b]
+	return r, ok
+}
+
+// Len returns the node count.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// EdgeCount returns the number of undirected edges.
+func (g *Graph) EdgeCount() int {
+	n := 0
+	for _, m := range g.edges {
+		n += len(m)
+	}
+	return n / 2
+}
+
+// --- generators ---
+
+// Star builds the paper's Fig. 1 scenario: center A, providers N_1..N_k,
+// and promisee B, all directly connected to A (providers as A's providers,
+// B as A's customer).
+func Star(center aspath.ASN, providers []aspath.ASN, promisee aspath.ASN) (*Graph, error) {
+	g := NewGraph()
+	for _, n := range providers {
+		if err := g.AddEdge(center, n, Provider); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.AddEdge(center, promisee, Customer); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Line builds a simple provider chain 1-2-…-n (each AS the provider of the
+// next).
+func Line(asns []aspath.ASN) (*Graph, error) {
+	g := NewGraph()
+	for i := 0; i+1 < len(asns); i++ {
+		if err := g.AddEdge(asns[i], asns[i+1], Customer); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Tiered builds a synthetic Internet-like hierarchy: a clique of tier-1
+// ASes; tier-2 ASes each buying transit from 1-2 tier-1s and peering with
+// some tier-2 siblings; stub ASes each buying transit from 1-2 tier-2s.
+// The generator is deterministic in rng.
+func Tiered(nTier1, nTier2, nStub int, rng *rand.Rand) (*Graph, error) {
+	if nTier1 < 1 || nTier2 < 0 || nStub < 0 {
+		return nil, errors.New("topology: bad tier sizes")
+	}
+	g := NewGraph()
+	t1 := make([]aspath.ASN, nTier1)
+	for i := range t1 {
+		t1[i] = aspath.ASN(100 + i)
+		g.AddNode(t1[i])
+	}
+	// Tier-1 full mesh of peers.
+	for i := 0; i < nTier1; i++ {
+		for j := i + 1; j < nTier1; j++ {
+			if err := g.AddEdge(t1[i], t1[j], Peer); err != nil {
+				return nil, err
+			}
+		}
+	}
+	t2 := make([]aspath.ASN, nTier2)
+	for i := range t2 {
+		t2[i] = aspath.ASN(1000 + i)
+		// 1-2 transit providers from tier-1.
+		p1 := t1[rng.Intn(nTier1)]
+		if err := g.AddEdge(t2[i], p1, Provider); err != nil {
+			return nil, err
+		}
+		if nTier1 > 1 && rng.Intn(2) == 0 {
+			p2 := t1[rng.Intn(nTier1)]
+			if p2 != p1 {
+				if err := g.AddEdge(t2[i], p2, Provider); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// Peer with ~25% of earlier tier-2s.
+		for j := 0; j < i; j++ {
+			if rng.Intn(4) == 0 {
+				if err := g.AddEdge(t2[i], t2[j], Peer); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for i := 0; i < nStub; i++ {
+		stub := aspath.ASN(64512 + i)
+		if nTier2 == 0 {
+			if err := g.AddEdge(stub, t1[rng.Intn(nTier1)], Provider); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		p1 := t2[rng.Intn(nTier2)]
+		if err := g.AddEdge(stub, p1, Provider); err != nil {
+			return nil, err
+		}
+		if nTier2 > 1 && rng.Intn(2) == 0 {
+			p2 := t2[rng.Intn(nTier2)]
+			if p2 != p1 {
+				if err := g.AddEdge(stub, p2, Provider); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// --- Gao-Rexford policy compilation ---
+
+// Relationship-tag communities: routes are tagged at import with the
+// relationship they were learned over; export policies match on the tags.
+var (
+	tagCustomer = community.Make(65000, 1)
+	tagPeer     = community.Make(65000, 2)
+	tagProvider = community.Make(65000, 3)
+)
+
+// LocalPref values implementing "prefer customer > peer > provider".
+const (
+	prefCustomer = 300
+	prefPeer     = 200
+	prefProvider = 100
+)
+
+// SpeakerConfigs compiles the topology into one bgp.Config per AS with
+// Gao-Rexford import preferences and valley-free exports: routes learned
+// from a peer or provider are re-exported only to customers; customer
+// routes (and own origins) go everywhere.
+func SpeakerConfigs(g *Graph) (map[aspath.ASN]bgp.Config, error) {
+	out := make(map[aspath.ASN]bgp.Config, g.Len())
+	for _, a := range g.Nodes() {
+		var peers []bgp.PeerConfig
+		for _, b := range g.Neighbors(a) {
+			rel, _ := g.RelOf(a, b)
+			peers = append(peers, bgp.PeerConfig{
+				ASN:    b,
+				Import: importPolicy(rel),
+				Export: exportPolicy(rel),
+			})
+		}
+		out[a] = bgp.Config{
+			ASN:      a,
+			RouterID: uint32(a),
+			NextHop:  netip.AddrFrom4([4]byte{10, byte(a >> 16), byte(a >> 8), byte(a)}),
+			Peers:    peers,
+		}
+	}
+	return out, nil
+}
+
+// importPolicy tags and ranks routes by the relationship they arrive over.
+func importPolicy(rel Rel) *bgp.Policy {
+	var tag community.Community
+	var pref uint32
+	switch rel {
+	case Customer:
+		tag, pref = tagCustomer, prefCustomer
+	case Peer:
+		tag, pref = tagPeer, prefPeer
+	default:
+		tag, pref = tagProvider, prefProvider
+	}
+	return &bgp.Policy{
+		Name: "gao-rexford-import-" + rel.String(),
+		Terms: []bgp.Term{{
+			Actions: []bgp.Action{
+				// Strip any stale relationship tags, then tag and rank.
+				bgp.DelCommunity{C: tagCustomer},
+				bgp.DelCommunity{C: tagPeer},
+				bgp.DelCommunity{C: tagProvider},
+				bgp.AddCommunity{C: tag},
+				bgp.SetLocalPref{Value: pref},
+			},
+			Result: bgp.Accept,
+		}},
+		Default: bgp.Accept,
+	}
+}
+
+// exportPolicy enforces valley-freeness: everything may be exported to a
+// customer; only customer-learned routes (or own origins, which carry no
+// tag) may be exported to peers and providers.
+func exportPolicy(rel Rel) *bgp.Policy {
+	if rel == Customer {
+		return &bgp.Policy{Name: "export-to-customer", Default: bgp.Accept}
+	}
+	return &bgp.Policy{
+		Name: "export-to-" + rel.String(),
+		Terms: []bgp.Term{
+			{Matches: []bgp.Match{bgp.MatchCommunity{C: tagPeer}}, Result: bgp.Reject},
+			{Matches: []bgp.Match{bgp.MatchCommunity{C: tagProvider}}, Result: bgp.Reject},
+		},
+		Default: bgp.Accept,
+	}
+}
+
+// ValleyFree reports whether an AS-level path (leftmost = latest hop)
+// respects the valley-free rule under this topology's relationships:
+// once the path travels provider→customer or across a peering link, it
+// must keep going "downhill". Unknown edges fail.
+func (g *Graph) ValleyFree(path []aspath.ASN) (bool, error) {
+	// Walk from origin (rightmost) toward the latest hop, tracking phase:
+	// uphill (customer→provider) → at most one peer link → downhill.
+	phase := 0 // 0 = uphill, 1 = after peak
+	for i := len(path) - 1; i > 0; i-- {
+		from, to := path[i], path[i-1]
+		rel, ok := g.RelOf(from, to)
+		if !ok {
+			return false, fmt.Errorf("topology: no edge %s-%s", from, to)
+		}
+		switch rel {
+		case Provider: // going uphill
+			if phase != 0 {
+				return false, nil
+			}
+		case Peer:
+			if phase != 0 {
+				return false, nil
+			}
+			phase = 1
+		case Customer: // going downhill
+			phase = 1
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,257 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+
+	"pvr/internal/aspath"
+	"pvr/internal/bgp"
+	"pvr/internal/prefix"
+)
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph()
+	if err := g.AddEdge(1, 2, Customer); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 1, Peer); err == nil {
+		t.Error("self loop accepted")
+	}
+	if err := g.AddEdge(1, 2, Peer); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+	if g.Len() != 2 || g.EdgeCount() != 1 {
+		t.Errorf("Len=%d Edges=%d", g.Len(), g.EdgeCount())
+	}
+	// Perspective inversion.
+	r, ok := g.RelOf(1, 2)
+	if !ok || r != Customer {
+		t.Errorf("RelOf(1,2) = %v", r)
+	}
+	r, ok = g.RelOf(2, 1)
+	if !ok || r != Provider {
+		t.Errorf("RelOf(2,1) = %v", r)
+	}
+	if _, ok := g.RelOf(1, 9); ok {
+		t.Error("phantom edge")
+	}
+	if ns := g.Neighbors(1); len(ns) != 1 || ns[0] != 2 {
+		t.Errorf("Neighbors = %v", ns)
+	}
+	// Peer inverts to peer.
+	if err := g.AddEdge(2, 3, Peer); err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := g.RelOf(3, 2); r != Peer {
+		t.Errorf("peer inversion = %v", r)
+	}
+}
+
+func TestStarShape(t *testing.T) {
+	providers := []aspath.ASN{101, 102, 103}
+	g, err := Star(64500, providers, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 5 || g.EdgeCount() != 4 {
+		t.Errorf("star: %d nodes %d edges", g.Len(), g.EdgeCount())
+	}
+	for _, n := range providers {
+		if r, _ := g.RelOf(64500, n); r != Provider {
+			t.Errorf("N%v should be a provider of the center", n)
+		}
+	}
+	if r, _ := g.RelOf(64500, 200); r != Customer {
+		t.Error("B should be the center's customer")
+	}
+}
+
+func TestTieredGeneratorProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g, err := Tiered(4, 10, 30, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() < 44 {
+		t.Errorf("tiered has %d nodes", g.Len())
+	}
+	// Tier-1 clique: every pair of 100..103 are peers.
+	for i := aspath.ASN(100); i < 104; i++ {
+		for j := i + 1; j < 104; j++ {
+			r, ok := g.RelOf(i, j)
+			if !ok || r != Peer {
+				t.Errorf("tier-1 %v-%v: %v %v", i, j, r, ok)
+			}
+		}
+	}
+	// Every non-tier-1 node has at least one provider.
+	for _, n := range g.Nodes() {
+		if n < 1000 {
+			continue
+		}
+		hasProvider := false
+		for _, b := range g.Neighbors(n) {
+			if r, _ := g.RelOf(n, b); r == Provider {
+				hasProvider = true
+			}
+		}
+		if !hasProvider {
+			t.Errorf("%v has no provider", n)
+		}
+	}
+	// Determinism.
+	g2, err := Tiered(4, 10, 30, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.EdgeCount() != g.EdgeCount() {
+		t.Error("generator not deterministic")
+	}
+	if _, err := Tiered(0, 1, 1, rng); err == nil {
+		t.Error("zero tier-1 accepted")
+	}
+}
+
+func TestSpeakerConfigsCompile(t *testing.T) {
+	g, err := Star(64500, []aspath.ASN{101, 102}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs, err := SpeakerConfigs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(configs) != 4 {
+		t.Fatalf("configs = %d", len(configs))
+	}
+	for asn, c := range configs {
+		if c.ASN != asn || !c.NextHop.IsValid() {
+			t.Errorf("config %v malformed", asn)
+		}
+		if _, err := bgp.NewSpeaker(c); err != nil {
+			t.Errorf("config %v: %v", asn, err)
+		}
+	}
+}
+
+// TestValleyFreeEnforcedBySimulation runs BGP over a topology where a
+// valley path exists physically but must not be used: stub X buys from
+// providers P1 and P2; P1 and P2 peer. A route from P1 must not transit X
+// to P2.
+func TestValleyFreeEnforcedBySimulation(t *testing.T) {
+	g := NewGraph()
+	// X (64512) has providers 100 and 101; 100-101 also peer directly.
+	if err := g.AddEdge(64512, 100, Provider); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(64512, 101, Provider); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(100, 101, Peer); err != nil {
+		t.Fatal(err)
+	}
+	configs, err := SpeakerConfigs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speakers := map[aspath.ASN]*bgp.Speaker{}
+	for asn, c := range configs {
+		s, err := bgp.NewSpeaker(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		speakers[asn] = s
+	}
+	// 100 originates; propagate to quiescence.
+	p := prefix.MustParse("203.0.113.0/24")
+	if err := speakers[100].Originate(p); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 100; round++ {
+		moved := false
+		for asn, s := range speakers {
+			for _, pu := range s.Drain() {
+				moved = true
+				if err := speakers[pu.Peer].HandleUpdate(asn, pu.Update); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	// X hears the route from its provider 100 (and possibly 101 via
+	// peering). X must NOT have re-exported a provider route to 101:
+	// 101's candidates must not include a path through 64512.
+	for _, c := range speakers[101].Candidates(p) {
+		if c.Route.Path.Contains(64512) {
+			t.Errorf("valley path via stub: %s", c.Route.Path)
+		}
+	}
+	// The stub still has the route.
+	if _, ok := speakers[64512].Best(p); !ok {
+		t.Error("stub has no route")
+	}
+}
+
+func TestValleyFreeChecker(t *testing.T) {
+	// Topology (provider above customer, ═ peering):
+	//
+	//        1 ═══ 4
+	//       /│      \
+	//      7 2       5
+	//        │
+	//        3
+	g := NewGraph()
+	for _, e := range []struct {
+		a, b aspath.ASN
+		r    Rel
+	}{
+		{2, 1, Provider}, // 1 is 2's provider
+		{3, 2, Provider},
+		{1, 4, Peer},
+		{5, 4, Provider},
+		{2, 7, Provider}, // 2 has a second provider, 7
+	} {
+		if err := g.AddEdge(e.a, e.b, e.r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Paths are leftmost-latest (the origin is the rightmost AS).
+	cases := []struct {
+		name string
+		path []aspath.ASN
+		want bool
+	}{
+		{"pure uphill", []aspath.ASN{1, 2, 3}, true},
+		{"pure downhill", []aspath.ASN{3, 2, 1}, true},
+		{"uphill then peer", []aspath.ASN{4, 1, 2}, true},
+		{"up, peer, down", []aspath.ASN{5, 4, 1, 2, 3}, true},
+		{"up, peer, down (short)", []aspath.ASN{2, 1, 4, 5}, true},
+		// Origin 1, downhill to its customer 2, then back uphill to 2's
+		// other provider 7: a valley.
+		{"down then up (valley)", []aspath.ASN{7, 2, 1}, false},
+	}
+	for _, c := range cases {
+		ok, err := g.ValleyFree(c.path)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if ok != c.want {
+			t.Errorf("%s: ValleyFree(%v) = %v, want %v", c.name, c.path, ok, c.want)
+		}
+	}
+	if _, err := g.ValleyFree([]aspath.ASN{1, 99}); err == nil {
+		t.Error("unknown edge accepted")
+	}
+}
+
+func TestRelString(t *testing.T) {
+	if Customer.String() != "customer" || Provider.String() != "provider" || Peer.String() != "peer" {
+		t.Error("names wrong")
+	}
+	if Rel(9).String() == "" {
+		t.Error("unknown rel empty")
+	}
+}

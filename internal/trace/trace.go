@@ -1,0 +1,148 @@
+// Package trace generates synthetic BGP update workloads: announcement and
+// withdrawal event streams with Zipf-distributed prefix popularity and
+// configurable burstiness. It substitutes for live RouteViews-style feeds
+// (see DESIGN.md §5): §3.8's batching argument depends only on arrival
+// burstiness, which the generator controls directly.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"pvr/internal/prefix"
+)
+
+// Kind distinguishes event types.
+type Kind uint8
+
+// Event kinds.
+const (
+	Announce Kind = iota
+	Withdraw
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	if k == Announce {
+		return "announce"
+	}
+	return "withdraw"
+}
+
+// Event is one routing event: at time offset At, the origin announces or
+// withdraws Prefix.
+type Event struct {
+	At     time.Duration
+	Kind   Kind
+	Prefix prefix.Prefix
+}
+
+// Config parameterizes the generator.
+type Config struct {
+	// Prefixes is the universe size; prefixes are drawn Zipf-distributed
+	// (a few hot prefixes flap a lot, matching observed BGP dynamics).
+	Prefixes int
+	// Events is the total number of events to generate.
+	Events int
+	// MeanGap is the mean inter-arrival time outside bursts.
+	MeanGap time.Duration
+	// BurstLen > 1 groups events into bursts of this mean size arriving
+	// back-to-back (gap 0), modeling BGP update bursts (§3.8).
+	BurstLen int
+	// WithdrawRatio in [0,1] is the fraction of withdrawals; a withdrawal
+	// is only emitted for a currently-announced prefix.
+	WithdrawRatio float64
+	// Seed makes the trace reproducible.
+	Seed int64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Prefixes < 1 || c.Events < 1 {
+		return errors.New("trace: Prefixes and Events must be positive")
+	}
+	if c.WithdrawRatio < 0 || c.WithdrawRatio > 1 {
+		return errors.New("trace: WithdrawRatio outside [0,1]")
+	}
+	return nil
+}
+
+// Universe returns the generator's prefix universe: /24s carved from
+// 10.0.0.0/8, deterministic in the index.
+func Universe(n int) []prefix.Prefix {
+	out := make([]prefix.Prefix, n)
+	for i := range out {
+		out[i] = prefix.V4(10, byte(i>>8), byte(i), 0, 24)
+	}
+	return out
+}
+
+// Generate produces the event stream. It is deterministic in Config.Seed.
+func Generate(c Config) ([]Event, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	uni := Universe(c.Prefixes)
+	// Zipf over prefix indexes: s=1.2, v=1 gives a realistic hot-tail.
+	zipf := rand.NewZipf(rng, 1.2, 1, uint64(c.Prefixes-1))
+
+	announced := make(map[int]bool)
+	events := make([]Event, 0, c.Events)
+	now := time.Duration(0)
+	burstRemaining := 0
+	for len(events) < c.Events {
+		if burstRemaining <= 0 {
+			// Exponential inter-burst gap.
+			gap := time.Duration(rng.ExpFloat64() * float64(c.MeanGap))
+			now += gap
+			burstRemaining = 1
+			if c.BurstLen > 1 {
+				burstRemaining += rng.Intn(2 * c.BurstLen) // mean ≈ BurstLen
+			}
+		}
+		burstRemaining--
+		idx := int(zipf.Uint64())
+		kind := Announce
+		if announced[idx] && rng.Float64() < c.WithdrawRatio {
+			kind = Withdraw
+		}
+		if kind == Announce {
+			announced[idx] = true
+		} else {
+			delete(announced, idx)
+		}
+		events = append(events, Event{At: now, Kind: kind, Prefix: uni[idx]})
+	}
+	return events, nil
+}
+
+// Burstiness summarizes a trace's arrival pattern: the fraction of events
+// arriving with zero gap to their predecessor (inside a burst), and the
+// maximum burst length observed.
+func Burstiness(events []Event) (zeroGapFrac float64, maxBurst int) {
+	if len(events) < 2 {
+		return 0, len(events)
+	}
+	zero, burst := 0, 1
+	maxBurst = 1
+	for i := 1; i < len(events); i++ {
+		if events[i].At == events[i-1].At {
+			zero++
+			burst++
+			if burst > maxBurst {
+				maxBurst = burst
+			}
+		} else {
+			burst = 1
+		}
+	}
+	return float64(zero) / float64(len(events)-1), maxBurst
+}
+
+// String renders an event for logs.
+func (e Event) String() string {
+	return fmt.Sprintf("%8s %s %s", e.At.Truncate(time.Millisecond), e.Kind, e.Prefix)
+}

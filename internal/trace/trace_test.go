@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func baseConfig() Config {
+	return Config{
+		Prefixes:      100,
+		Events:        2000,
+		MeanGap:       10 * time.Millisecond,
+		BurstLen:      1,
+		WithdrawRatio: 0.3,
+		Seed:          1,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := baseConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Prefixes = 0
+	if bad.Validate() == nil {
+		t.Error("zero prefixes accepted")
+	}
+	bad = good
+	bad.Events = 0
+	if bad.Validate() == nil {
+		t.Error("zero events accepted")
+	}
+	bad = good
+	bad.WithdrawRatio = 1.5
+	if bad.Validate() == nil {
+		t.Error("ratio > 1 accepted")
+	}
+}
+
+func TestUniverse(t *testing.T) {
+	uni := Universe(300)
+	if len(uni) != 300 {
+		t.Fatalf("len = %d", len(uni))
+	}
+	seen := map[string]bool{}
+	for _, p := range uni {
+		if !p.IsValid() || p.Bits() != 24 {
+			t.Fatalf("bad universe prefix %v", p)
+		}
+		if seen[p.String()] {
+			t.Fatalf("duplicate %v", p)
+		}
+		seen[p.String()] = true
+	}
+}
+
+func TestGenerateBasicInvariants(t *testing.T) {
+	events, err := Generate(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2000 {
+		t.Fatalf("events = %d", len(events))
+	}
+	// Time is non-decreasing; withdrawals only for announced prefixes.
+	announced := map[string]bool{}
+	withdrawals := 0
+	for i, ev := range events {
+		if i > 0 && ev.At < events[i-1].At {
+			t.Fatalf("time went backward at %d", i)
+		}
+		switch ev.Kind {
+		case Announce:
+			announced[ev.Prefix.String()] = true
+		case Withdraw:
+			withdrawals++
+			if !announced[ev.Prefix.String()] {
+				t.Fatalf("withdraw of never-announced %v", ev.Prefix)
+			}
+			delete(announced, ev.Prefix.String())
+		}
+	}
+	if withdrawals == 0 {
+		t.Error("no withdrawals generated despite ratio 0.3")
+	}
+	if ev := events[0]; ev.String() == "" {
+		t.Error("empty event String")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs across runs with same seed", i)
+		}
+	}
+	c := baseConfig()
+	c.Seed = 2
+	other, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	events, err := Generate(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, ev := range events {
+		counts[ev.Prefix.String()]++
+	}
+	// The hottest prefix must be far more active than the median: Zipf.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < len(events)/10 {
+		t.Errorf("hottest prefix only %d/%d events; distribution not skewed", max, len(events))
+	}
+}
+
+func TestBurstiness(t *testing.T) {
+	smooth := baseConfig()
+	smoothEv, err := Generate(smooth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bursty := baseConfig()
+	bursty.BurstLen = 16
+	burstyEv, err := Generate(bursty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, _ := Burstiness(smoothEv)
+	bf, bmax := Burstiness(burstyEv)
+	if bf <= sf {
+		t.Errorf("bursty trace zero-gap fraction %.2f not above smooth %.2f", bf, sf)
+	}
+	if bmax < 4 {
+		t.Errorf("max burst %d too small for BurstLen 16", bmax)
+	}
+	// Degenerate inputs.
+	if f, m := Burstiness(nil); f != 0 || m != 0 {
+		t.Error("empty burstiness wrong")
+	}
+	if f, m := Burstiness(smoothEv[:1]); f != 0 || m != 1 {
+		t.Errorf("single-event burstiness = %v,%v", f, m)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Announce.String() != "announce" || Withdraw.String() != "withdraw" {
+		t.Error("kind names wrong")
+	}
+}

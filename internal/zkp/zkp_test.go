@@ -1,0 +1,259 @@
+package zkp
+
+import (
+	"math/big"
+	"testing"
+)
+
+func commitVector(t *testing.T, bits []bool) ([]Commitment, []Opening) {
+	t.Helper()
+	cs := make([]Commitment, len(bits))
+	os := make([]Opening, len(bits))
+	for i, b := range bits {
+		c, o, err := Commit(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs[i], os[i] = c, o
+	}
+	return cs, os
+}
+
+func monotone(k, min int) []bool {
+	bits := make([]bool, k)
+	if min > 0 {
+		for i := min - 1; i < k; i++ {
+			bits[i] = true
+		}
+	}
+	return bits
+}
+
+func TestCommitVerifyOpen(t *testing.T) {
+	for _, b := range []bool{false, true} {
+		c, o, err := Commit(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Verify(c, o) {
+			t.Errorf("bit %v: honest opening rejected", b)
+		}
+		o.Bit = !o.Bit
+		if Verify(c, o) {
+			t.Errorf("bit %v: flipped opening accepted", b)
+		}
+	}
+}
+
+func TestCommitHiding(t *testing.T) {
+	c1, _, err := Commit(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _, err := Commit(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.C.Cmp(c2.C) == 0 {
+		t.Error("two commitments to the same bit are equal")
+	}
+}
+
+func TestBitProofBothValues(t *testing.T) {
+	ctx := []byte("test")
+	for _, b := range []bool{false, true} {
+		c, o, err := Commit(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := proveDlogOr(c, o, ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := verifyDlogOr(c, p, ctx); err != nil {
+			t.Errorf("bit %v: honest proof rejected: %v", b, err)
+		}
+		// Wrong context fails (proofs are bound to their position).
+		if err := verifyDlogOr(c, p, []byte("other")); err == nil {
+			t.Errorf("bit %v: proof accepted under wrong context", b)
+		}
+	}
+}
+
+func TestBitProofSoundness(t *testing.T) {
+	// A "commitment" to 2 (= g² h^r) must not admit a bit proof.
+	ctx := []byte("test")
+	r, err := randScalar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Commitment{C: new(big.Int).Exp(genH, r, groupP)}
+	c.C.Mul(c.C, new(big.Int).Exp(genG, big.NewInt(2), groupP))
+	c.C.Mod(c.C, groupP)
+	// The prover lies: claims bit 1 with blinding r.
+	p, err := proveDlogOr(c, Opening{Bit: true, R: r}, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verifyDlogOr(c, p, ctx); err == nil {
+		t.Error("proof for a non-bit accepted")
+	}
+}
+
+func randScalar() (*big.Int, error) {
+	_, o, err := Commit(false)
+	if err != nil {
+		return nil, err
+	}
+	return o.R, nil
+}
+
+func TestMonotoneProofHonest(t *testing.T) {
+	ctx := []byte("epoch-7")
+	for _, tc := range []struct{ k, min int }{
+		{1, 0}, {1, 1}, {4, 1}, {8, 3}, {8, 8}, {8, 0}, {16, 5},
+	} {
+		bits := monotone(tc.k, tc.min)
+		cs, os := commitVector(t, bits)
+		mp, err := ProveMonotone(cs, os, tc.min, ctx)
+		if err != nil {
+			t.Fatalf("k=%d min=%d: %v", tc.k, tc.min, err)
+		}
+		if err := VerifyMonotone(cs, mp, ctx); err != nil {
+			t.Errorf("k=%d min=%d: honest proof rejected: %v", tc.k, tc.min, err)
+		}
+		if mp.Size() <= 0 {
+			t.Error("proof size not positive")
+		}
+	}
+}
+
+func TestMonotoneProofRejectsNonMonotone(t *testing.T) {
+	ctx := []byte("epoch-8")
+	bits := []bool{false, true, false, true} // dip
+	cs, os := commitVector(t, bits)
+	// A cheating prover claims min=2 over a non-monotone vector; the diff
+	// proof for the 1->0 drop cannot be made.
+	mp, err := ProveMonotone(cs, os, 2, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyMonotone(cs, mp, ctx); err == nil {
+		t.Error("non-monotone vector verified")
+	}
+}
+
+func TestMonotoneProofRejectsWrongMin(t *testing.T) {
+	ctx := []byte("epoch-9")
+	bits := monotone(8, 3)
+	cs, os := commitVector(t, bits)
+	// Claim min=5 although bit 3 is set: pin-zero at position 4 fails
+	// (b_4 = 1), or pin-one at 5 succeeds but pin-zero at 4 lies.
+	mp, err := ProveMonotone(cs, os, 5, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyMonotone(cs, mp, ctx); err == nil {
+		t.Error("wrong minimum verified")
+	}
+	// Claim min=2 although bit 2 is 0.
+	mp, err = ProveMonotone(cs, os, 2, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyMonotone(cs, mp, ctx); err == nil {
+		t.Error("too-small minimum verified")
+	}
+}
+
+func TestMonotoneProofShapeChecks(t *testing.T) {
+	ctx := []byte("x")
+	bits := monotone(4, 2)
+	cs, os := commitVector(t, bits)
+	mp, err := ProveMonotone(cs, os, 2, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyMonotone(cs[:3], mp, ctx); err == nil {
+		t.Error("wrong commitment count accepted")
+	}
+	if err := VerifyMonotone(cs, nil, ctx); err == nil {
+		t.Error("nil proof accepted")
+	}
+	bad := *mp
+	bad.Min = 99
+	if err := VerifyMonotone(cs, &bad, ctx); err == nil {
+		t.Error("out-of-range min accepted")
+	}
+}
+
+func TestMonotoneProofSizeLinear(t *testing.T) {
+	// The E4 claim: proof size grows linearly with vector length.
+	ctx := []byte("scale")
+	var sizes []int
+	for _, k := range []int{4, 8, 16} {
+		bits := monotone(k, 2)
+		cs, os := commitVector(t, bits)
+		mp, err := ProveMonotone(cs, os, 2, ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyMonotone(cs, mp, ctx); err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, mp.Size())
+	}
+	// Doubling k should roughly double the size (within 25%).
+	ratio := float64(sizes[1]) / float64(sizes[0])
+	if ratio < 1.5 || ratio > 2.5 {
+		t.Errorf("size growth 4->8 = %.2fx, want ~2x (sizes %v)", ratio, sizes)
+	}
+	ratio = float64(sizes[2]) / float64(sizes[1])
+	if ratio < 1.5 || ratio > 2.5 {
+		t.Errorf("size growth 8->16 = %.2fx, want ~2x (sizes %v)", ratio, sizes)
+	}
+}
+
+func BenchmarkProveMonotone16(b *testing.B) {
+	bits := monotone(16, 4)
+	cs := make([]Commitment, len(bits))
+	os := make([]Opening, len(bits))
+	for i, bit := range bits {
+		c, o, err := Commit(bit)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cs[i], os[i] = c, o
+	}
+	ctx := []byte("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ProveMonotone(cs, os, 4, ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyMonotone16(b *testing.B) {
+	bits := monotone(16, 4)
+	cs := make([]Commitment, len(bits))
+	os := make([]Opening, len(bits))
+	for i, bit := range bits {
+		c, o, err := Commit(bit)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cs[i], os[i] = c, o
+	}
+	ctx := []byte("bench")
+	mp, err := ProveMonotone(cs, os, 4, ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := VerifyMonotone(cs, mp, ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Package pvr is the public API of this repository: an implementation of
+// private and verifiable routing (PVR) from "Having Your Cake and Eating
+// It Too: Routing Security with Privacy Protections" (Gurney, Haeberlen,
+// Zhou, Sherr, Loo — HotNets-X, 2011).
+//
+// PVR lets an autonomous system prove to its neighbors that it kept its
+// routing promises ("I exported the shortest route you gave me") without
+// revealing anything the routing protocol does not already reveal. The
+// package exposes:
+//
+//   - Network / Node: key management for the participating ASes.
+//   - The §3.3 minimum-operator protocol (Prover, ProviderView,
+//     PromiseeView and their verifiers) and the §3.2 existential protocol.
+//   - Route-flow graphs (§2.1) with operators, access control α (§2.2),
+//     promise model checking, and the generalized Merkle commitment with
+//     selective disclosure (§3.5–3.7).
+//   - Commitment gossip for equivocation detection, transferable evidence,
+//     and a third-party Judge (§2.3).
+//   - Simulation drivers (RunFig1, RunConvergence) used by the examples
+//     and the experiment harness.
+//
+// A minimal session, with A proving its shortest-route promise:
+//
+//	net := pvr.NewNetwork()
+//	a, _ := net.AddNode(64500)     // the prover A
+//	n1, _ := net.AddNode(64501)    // provider N1
+//	b, _ := net.AddNode(64502)     // promisee B
+//
+//	prover, _ := a.NewProver(32)
+//	prover.BeginEpoch(1, pfx)
+//	ann, _ := n1.Announce(a.ASN(), 1, route)
+//	receipt, _ := prover.AcceptAnnouncement(ann)
+//	_, _ = prover.CommitMin()
+//	view, _ := prover.DiscloseToPromisee(b.ASN())
+//	err := pvr.VerifyPromiseeView(net.Registry(), view)   // b's check
+//	_ = receipt
+//
+// See examples/ for complete programs and EXPERIMENTS.md for the
+// reproduction of the paper's quantitative claims.
+package pvr
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"pvr/internal/aspath"
+	"pvr/internal/core"
+	"pvr/internal/evidence"
+	"pvr/internal/gossip"
+	"pvr/internal/netsim"
+	"pvr/internal/prefix"
+	"pvr/internal/rfg"
+	"pvr/internal/route"
+	"pvr/internal/sigs"
+)
+
+// ASN is an autonomous system number.
+type ASN = aspath.ASN
+
+// Prefix is an IP prefix; see ParsePrefix.
+type Prefix = prefix.Prefix
+
+// Route is a BGP route with attributes.
+type Route = route.Route
+
+// Path is a BGP AS_PATH.
+type Path = aspath.Path
+
+// NewPath builds an AS_SEQUENCE path, leftmost (most recent) first.
+func NewPath(asns ...ASN) Path { return aspath.New(asns...) }
+
+// ParsePrefix parses CIDR notation ("203.0.113.0/24").
+func ParsePrefix(s string) (Prefix, error) { return prefix.Parse(s) }
+
+// MustParsePrefix is ParsePrefix that panics on error, for literals.
+func MustParsePrefix(s string) Prefix { return prefix.MustParse(s) }
+
+// Core protocol types (§3.2–§3.3). A Prover is the promise-making AS; the
+// views are what it disclosed to each class of neighbor.
+type (
+	// Prover is network A: it gathers signed inputs, commits, exports,
+	// and discloses.
+	Prover = core.Prover
+	// Announcement is a provider's signed input route.
+	Announcement = core.Announcement
+	// Receipt is the prover's signed acknowledgement of an announcement.
+	Receipt = core.Receipt
+	// MinCommitment is the signed §3.3 bit-vector commitment.
+	MinCommitment = core.MinCommitment
+	// ProviderView is the disclosure a provider N_i verifies.
+	ProviderView = core.ProviderView
+	// PromiseeView is the disclosure the promisee B verifies.
+	PromiseeView = core.PromiseeView
+	// Violation is a detected promise violation.
+	Violation = core.Violation
+	// GraphProver commits to and discloses a route-flow graph (§3.5–3.7).
+	GraphProver = core.GraphProver
+	// GraphCommitment is the signed Merkle root over a route-flow graph.
+	GraphCommitment = core.GraphCommitment
+	// VertexDisclosure reveals one graph vertex under α.
+	VertexDisclosure = core.VertexDisclosure
+)
+
+// Route-flow graph types (§2.1–2.2).
+type (
+	// Graph is a route-flow graph of operator and variable vertices.
+	Graph = rfg.Graph
+	// Access is the α visibility policy.
+	Access = rfg.Access
+	// Promise is a verifiable contract over graph inputs and outputs.
+	Promise = rfg.Promise
+)
+
+// Evidence and judging (§2.3).
+type (
+	// Evidence is a transferable accusation with supporting material.
+	Evidence = evidence.Evidence
+	// Verdict is the judge's decision.
+	Verdict = evidence.Verdict
+	// GossipPool detects commitment equivocation between neighbors.
+	GossipPool = gossip.Pool
+)
+
+// Registry maps ASNs to verification keys.
+type Registry = sigs.Registry
+
+// Re-exported verification functions: these are what each neighbor runs.
+var (
+	// VerifyProviderView is N_i's §3.3 check.
+	VerifyProviderView = core.VerifyProviderView
+	// VerifyPromiseeView is B's §3.3 check.
+	VerifyPromiseeView = core.VerifyPromiseeView
+	// VerifyVertexDisclosure validates a graph disclosure against a root.
+	VerifyVertexDisclosure = core.VerifyVertexDisclosure
+	// Navigate walks a disclosed route-flow graph under α.
+	Navigate = core.Navigate
+	// IsViolation extracts a promise violation from a verification error.
+	IsViolation = core.IsViolation
+	// Judge renders a third-party verdict on evidence.
+	Judge = evidence.Judge
+)
+
+// Judge verdicts.
+const (
+	Guilty   = evidence.Guilty
+	Unproven = evidence.Unproven
+)
+
+// Simulation drivers for experiments and examples.
+type (
+	// Fig1Config parameterizes a run of the paper's Fig. 1 scenario.
+	Fig1Config = netsim.Fig1Config
+	// Fig1Result is what the neighbors observed.
+	Fig1Result = netsim.Fig1Result
+	// Fault selects an injected Byzantine behaviour.
+	Fault = netsim.Fault
+)
+
+// Faults for Fig1Config.
+const (
+	FaultNone        = netsim.FaultNone
+	FaultSuppress    = netsim.FaultSuppress
+	FaultWrongExport = netsim.FaultWrongExport
+	FaultEquivocate  = netsim.FaultEquivocate
+)
+
+// RunFig1 executes one epoch of the Fig. 1 scenario with fault injection.
+var RunFig1 = netsim.RunFig1
+
+// Network is the set of participating ASes and their public keys: the
+// out-of-band PKI the paper assumes. Safe for concurrent use.
+type Network struct {
+	mu    sync.Mutex
+	reg   *sigs.Registry
+	nodes map[ASN]*Node
+}
+
+// NewNetwork creates an empty network.
+func NewNetwork() *Network {
+	return &Network{reg: sigs.NewRegistry(), nodes: make(map[ASN]*Node)}
+}
+
+// Registry exposes the verification-key registry used by all Verify*
+// functions.
+func (n *Network) Registry() *Registry { return n.reg }
+
+// AddNode creates a node with a fresh Ed25519 key and registers it.
+func (n *Network) AddNode(asn ASN) (*Node, error) {
+	return n.addNode(asn, func() (sigs.Signer, error) { return sigs.GenerateEd25519() })
+}
+
+// AddNodeRSA creates a node with an RSA key of the given size (the paper's
+// §3.8 cost discussion assumes RSA-1024).
+func (n *Network) AddNodeRSA(asn ASN, bits int) (*Node, error) {
+	return n.addNode(asn, func() (sigs.Signer, error) { return sigs.GenerateRSA(bits) })
+}
+
+func (n *Network) addNode(asn ASN, gen func() (sigs.Signer, error)) (*Node, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.nodes[asn]; dup {
+		return nil, fmt.Errorf("pvr: node %s already exists", asn)
+	}
+	s, err := gen()
+	if err != nil {
+		return nil, err
+	}
+	node := &Node{asn: asn, signer: s, net: n}
+	n.nodes[asn] = node
+	n.reg.Register(asn, s.Public())
+	return node, nil
+}
+
+// Node returns a previously added node.
+func (n *Network) Node(asn ASN) (*Node, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	node, ok := n.nodes[asn]
+	return node, ok
+}
+
+// Members lists the network's ASNs in ascending order.
+func (n *Network) Members() []ASN {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]ASN, 0, len(n.nodes))
+	for a := range n.nodes {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Node is one AS: an identity that can announce routes, make promises
+// (prove), and verify neighbors' disclosures.
+type Node struct {
+	asn    ASN
+	signer sigs.Signer
+	net    *Network
+}
+
+// ASN returns the node's AS number.
+func (nd *Node) ASN() ASN { return nd.asn }
+
+// Announce signs an input route offered to a neighboring prover for an
+// epoch (the route's first AS must be this node).
+func (nd *Node) Announce(to ASN, epoch uint64, r Route) (Announcement, error) {
+	return core.NewAnnouncement(nd.signer, nd.asn, to, epoch, r)
+}
+
+// NewProver creates a §3.3 prover for this node with bit-vector length
+// maxLen (the maximum AS-path length, K in the paper).
+func (nd *Node) NewProver(maxLen int) (*Prover, error) {
+	return core.NewProver(nd.asn, nd.signer, nd.net.reg, maxLen)
+}
+
+// NewGraphProver creates a §3.5–3.7 prover over a route-flow graph and an
+// access policy.
+func (nd *Node) NewGraphProver(g *Graph, access *Access) *GraphProver {
+	return core.NewGraphProver(nd.asn, nd.signer, g, access)
+}
+
+// NewGossipPool creates this node's equivocation-detection pool.
+func (nd *Node) NewGossipPool() *GossipPool {
+	return gossip.NewPool(nd.net.reg)
+}

@@ -1,0 +1,140 @@
+package pvr_test
+
+import (
+	"net/netip"
+	"testing"
+
+	"pvr"
+)
+
+// TestPublicAPIMinProtocol exercises the package through its public
+// surface only: the documented quickstart flow.
+func TestPublicAPIMinProtocol(t *testing.T) {
+	net := pvr.NewNetwork()
+	a, err := net.AddNode(64500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, err := net.AddNode(64501)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := net.AddNode(64502)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.AddNode(64503)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pfx := pvr.MustParsePrefix("203.0.113.0/24")
+	prover, err := a.NewProver(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prover.BeginEpoch(1, pfx)
+
+	mk := func(from *pvr.Node, length int) pvr.Announcement {
+		asns := make([]pvr.ASN, length)
+		asns[0] = from.ASN()
+		for i := 1; i < length; i++ {
+			asns[i] = pvr.ASN(65000 + i)
+		}
+		r := pvr.Route{
+			Prefix:  pfx,
+			Path:    pvr.NewPath(asns...),
+			NextHop: netip.MustParseAddr("192.0.2.1"),
+		}
+		ann, err := from.Announce(a.ASN(), 1, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ann
+	}
+	ann1 := mk(n1, 5)
+	ann2 := mk(n2, 2)
+	for _, ann := range []pvr.Announcement{ann1, ann2} {
+		if _, err := prover.AcceptAnnouncement(ann); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := prover.CommitMin(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Providers verify.
+	v1, err := prover.DiscloseToProvider(n1.ASN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pvr.VerifyProviderView(net.Registry(), v1, ann1); err != nil {
+		t.Errorf("N1: %v", err)
+	}
+	// Promisee verifies; winner is N2's length-2 route.
+	pv, err := prover.DiscloseToPromisee(b.ASN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pvr.VerifyPromiseeView(net.Registry(), pv); err != nil {
+		t.Errorf("B: %v", err)
+	}
+	if pv.Winner == nil || pv.Winner.Provider != n2.ASN() {
+		t.Errorf("winner = %+v", pv.Winner)
+	}
+}
+
+func TestPublicAPINetworkManagement(t *testing.T) {
+	net := pvr.NewNetwork()
+	if _, err := net.AddNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.AddNode(1); err == nil {
+		t.Error("duplicate node accepted")
+	}
+	if _, ok := net.Node(1); !ok {
+		t.Error("node lookup failed")
+	}
+	if _, ok := net.Node(9); ok {
+		t.Error("phantom node")
+	}
+	if _, err := net.AddNodeRSA(2, 1024); err != nil {
+		t.Fatal(err)
+	}
+	members := net.Members()
+	if len(members) != 2 || members[0] != 1 || members[1] != 2 {
+		t.Errorf("Members = %v", members)
+	}
+}
+
+func TestPublicAPIFig1Simulation(t *testing.T) {
+	res, err := pvr.RunFig1(pvr.Fig1Config{K: 3, MaxLen: 8, Fault: pvr.FaultSuppress, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Detected || res.GuiltyVerdicts == 0 {
+		t.Error("suppression escaped the public-API simulation")
+	}
+	clean, err := pvr.RunFig1(pvr.Fig1Config{K: 3, MaxLen: 8, Fault: pvr.FaultNone, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Detected || clean.FalseAccusations != 0 {
+		t.Error("honest run flagged through public API")
+	}
+}
+
+func TestPublicAPIGossip(t *testing.T) {
+	net := pvr.NewNetwork()
+	n1, err := net.AddNode(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := n1.NewGossipPool()
+	if pool == nil {
+		t.Fatal("nil pool")
+	}
+	if got := len(pool.Statements()); got != 0 {
+		t.Errorf("fresh pool has %d statements", got)
+	}
+}

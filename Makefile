@@ -1,0 +1,30 @@
+# Standard-library-only Go module; these targets just wrap the toolchain.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+# bench emits BENCH_engine.json: the E10 engine-vs-serial rows consumed
+# by the perf trajectory, plus the printed tables on stdout.
+bench:
+	$(GO) run ./cmd/pvrbench -e engine -json BENCH_engine.json
+
+clean:
+	rm -f BENCH_engine.json

@@ -4,13 +4,17 @@ import (
 	"crypto/rand"
 	"crypto/rsa"
 	"crypto/sha256"
+	"encoding/json"
 	"fmt"
 	mrand "math/rand"
 	"net/netip"
+	"os"
+	"runtime"
 	"time"
 
 	"pvr/internal/aspath"
 	"pvr/internal/core"
+	"pvr/internal/engine"
 	"pvr/internal/merkle"
 	"pvr/internal/netsim"
 	"pvr/internal/prefix"
@@ -20,6 +24,7 @@ import (
 	"pvr/internal/sigs"
 	"pvr/internal/smc"
 	"pvr/internal/topology"
+	"pvr/internal/trace"
 	"pvr/internal/zkp"
 )
 
@@ -411,13 +416,14 @@ func runE2E(seed int64) error {
 		}
 		origin := g.Nodes()[len(g.Nodes())-1]
 		for _, mode := range []struct {
-			name  string
-			pvr   bool
-			batch int
-		}{{"plain", false, 0}, {"pvr", true, 0}, {"pvr+b16", true, 16}} {
+			name   string
+			pvr    bool
+			batch  int
+			engine bool
+		}{{"plain", false, 0, false}, {"pvr", true, 0, false}, {"pvr+b16", true, 16, false}, {"pvr+eng", true, 16, true}} {
 			res, err := netsim.RunConvergence(netsim.ConvergenceConfig{
 				Graph: g, Origin: origin, Prefixes: 10,
-				PVR: mode.pvr, BatchSize: mode.batch, Seed: seed,
+				PVR: mode.pvr, BatchSize: mode.batch, Engine: mode.engine, Seed: seed,
 			})
 			if err != nil {
 				return err
@@ -428,6 +434,182 @@ func runE2E(seed int64) error {
 		}
 	}
 	return nil
+}
+
+// E10 — the sharded multi-prefix engine vs a loop of single-prefix
+// provers on the same announcement table: the production-shaped workload.
+// One full epoch = accept every announcement, commit every prefix, and
+// verify every promisee disclosure.
+
+type engineRow struct {
+	Prefixes   int     `json:"prefixes"`
+	Providers  int     `json:"providers"`
+	SerialMs   float64 `json:"serial_ms"`
+	EngineMs   float64 `json:"engine_ms"`
+	Speedup    float64 `json:"speedup"`
+	SerialSigs int     `json:"serial_commit_sigs"`
+	Seals      int     `json:"engine_seals"`
+}
+
+// jsonOut, when set by -json, receives the E10 rows as a JSON array.
+var jsonOut string
+
+func runEngine(seed int64) error {
+	header("E10", "sharded engine vs single-prefix prover loop (full epoch: accept+commit+verify)")
+	const k = 2
+	pk, err := newPKI(k + 2)
+	if err != nil {
+		return err
+	}
+	prover, promisee := aspath.ASN(100), aspath.ASN(100+k+1)
+	providers := make([]aspath.ASN, k)
+	for i := range providers {
+		providers[i] = aspath.ASN(101 + i)
+	}
+	rng := mrand.New(mrand.NewSource(seed))
+	fmt.Printf("%10s %12s %12s %10s %14s %10s\n",
+		"prefixes", "serial", "engine", "speedup", "commit sigs", "seals")
+
+	var rows []engineRow
+	for _, nPfx := range []int{100, 500, 1000} {
+		const maxLen = 16
+		epoch := uint64(nPfx) // distinct epochs keep commitments apart
+		pfxs := trace.Universe(nPfx)
+		anns := make([]core.Announcement, 0, nPfx*k)
+		for i, pfx := range pfxs {
+			for _, ni := range providers {
+				length := 1 + (i+rng.Intn(maxLen))%maxLen
+				a, err := engineAnnounce(pk, ni, prover, epoch, pfx, length)
+				if err != nil {
+					return err
+				}
+				anns = append(anns, a)
+			}
+		}
+
+		// Serial baseline: one core.Prover per prefix, one commitment
+		// signature each, promisee views verified one by one.
+		t0 := time.Now()
+		serialProvers := make(map[prefix.Prefix]*core.Prover, nPfx)
+		for _, a := range anns {
+			p := serialProvers[a.Route.Prefix]
+			if p == nil {
+				if p, err = core.NewProver(prover, pk.signers[prover], pk.reg, maxLen); err != nil {
+					return err
+				}
+				p.BeginEpoch(epoch, a.Route.Prefix)
+				serialProvers[a.Route.Prefix] = p
+			}
+			if _, err := p.AcceptAnnouncement(a); err != nil {
+				return err
+			}
+		}
+		serialSigs := 0
+		for _, pfx := range pfxs {
+			p := serialProvers[pfx]
+			if _, err := p.CommitMin(); err != nil {
+				return err
+			}
+			serialSigs++
+			v, err := p.DiscloseToPromisee(promisee)
+			if err != nil {
+				return err
+			}
+			if err := core.VerifyPromiseeView(pk.reg, v); err != nil {
+				return err
+			}
+		}
+		serialD := time.Since(t0)
+
+		// Engine: concurrent ingest, batched shard seals, pipelined verify.
+		t0 = time.Now()
+		eng, err := engine.New(engine.Config{
+			ASN: prover, Signer: pk.signers[prover], Registry: pk.reg, MaxLen: maxLen,
+		})
+		if err != nil {
+			return err
+		}
+		eng.BeginEpoch(epoch)
+		writers := runtime.GOMAXPROCS(0)
+		if err := eng.AcceptAll(anns, writers); err != nil {
+			return err
+		}
+		seals, err := eng.SealEpoch()
+		if err != nil {
+			return err
+		}
+		verifyEngine := func() error {
+			pl := engine.NewPipeline(pk.reg, writers)
+			defer pl.Close()
+			for _, pfx := range pfxs {
+				v, err := eng.DiscloseToPromisee(pfx, promisee)
+				if err != nil {
+					return err
+				}
+				pl.SubmitPromisee(v, promisee)
+			}
+			for _, r := range pl.Drain() {
+				if r.Err != nil {
+					return fmt.Errorf("engine verify %s: %w", r.Prefix, r.Err)
+				}
+			}
+			return nil
+		}
+		if err := verifyEngine(); err != nil {
+			return err
+		}
+		engineD := time.Since(t0)
+
+		speedup := float64(serialD) / float64(engineD)
+		fmt.Printf("%10d %12s %12s %9.1fx %14d %10d\n",
+			nPfx, serialD.Round(time.Millisecond), engineD.Round(time.Millisecond),
+			speedup, serialSigs, len(seals))
+		rows = append(rows, engineRow{
+			Prefixes: nPfx, Providers: k,
+			SerialMs: float64(serialD) / 1e6, EngineMs: float64(engineD) / 1e6,
+			Speedup: speedup, SerialSigs: serialSigs, Seals: len(seals),
+		})
+	}
+
+	// Writer-scaling view through the netsim driver.
+	fmt.Printf("\n%10s %12s %12s %12s\n", "writers", "accept", "seal", "verify")
+	for _, writers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		res, err := netsim.RunEngineEpoch(netsim.EngineRunConfig{
+			Prefixes: 500, Providers: k, Writers: writers, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%10d %12s %12s %12s\n", writers,
+			res.AcceptTime.Round(time.Millisecond), res.SealTime.Round(time.Millisecond),
+			res.VerifyTime.Round(time.Millisecond))
+	}
+
+	if jsonOut != "" {
+		b, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonOut, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  (wrote %s)\n", jsonOut)
+	}
+	return nil
+}
+
+func engineAnnounce(pk *pki, from, to aspath.ASN, epoch uint64, pfx prefix.Prefix, length int) (core.Announcement, error) {
+	asns := make([]aspath.ASN, length)
+	asns[0] = from
+	for i := 1; i < length; i++ {
+		asns[i] = aspath.ASN(65000 + i)
+	}
+	r := route.Route{
+		Prefix:  pfx,
+		Path:    aspath.New(asns...),
+		NextHop: netip.AddrFrom4([4]byte{10, 0, 0, 1}),
+	}
+	return core.NewAnnouncement(pk.signers[from], from, to, epoch, r)
 }
 
 // E9 — ring signatures (§3.2 link-state variant).

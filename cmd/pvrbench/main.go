@@ -12,6 +12,10 @@
 //	pvrbench -e properties   # E7: §2.3 property matrix under faults
 //	pvrbench -e e2e          # E8: plain vs PVR BGP convergence
 //	pvrbench -e ring         # E9: §3.2 ring signatures
+//	pvrbench -e engine       # E10: sharded multi-prefix engine vs prover loop
+//
+// With -json FILE, the engine experiment additionally writes its rows as
+// JSON (the BENCH_engine.json consumed by the perf trajectory).
 package main
 
 import (
@@ -21,8 +25,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("e", "all", "experiment: all|fig1|fig2|smc|zkp|crypto|batch|properties|e2e|ring")
+	exp := flag.String("e", "all", "experiment: all|fig1|fig2|smc|zkp|crypto|batch|properties|e2e|ring|engine")
 	seed := flag.Int64("seed", 1, "random seed for workloads")
+	flag.StringVar(&jsonOut, "json", "", "write engine experiment rows to this JSON file")
 	flag.Parse()
 
 	runners := map[string]func(int64) error{
@@ -35,8 +40,9 @@ func main() {
 		"properties": runProperties,
 		"e2e":        runE2E,
 		"ring":       runRing,
+		"engine":     runEngine,
 	}
-	order := []string{"fig1", "fig2", "smc", "zkp", "crypto", "batch", "properties", "e2e", "ring"}
+	order := []string{"fig1", "fig2", "smc", "zkp", "crypto", "batch", "properties", "e2e", "ring", "engine"}
 
 	var selected []string
 	if *exp == "all" {

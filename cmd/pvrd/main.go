@@ -1,18 +1,28 @@
 // Command pvrd is a small BGP speaker daemon demonstrating the substrate
 // over real TCP: it runs the session FSM (OPEN exchange, keepalives, hold
-// timer) and exchanges UPDATE messages whose attachments carry PVR
-// signatures.
+// timer) and exchanges UPDATE messages whose attachments carry PVR engine
+// state — per-prefix commitments sealed into Merkle-batched shard roots —
+// instead of one signature per route.
+//
+// The listener owns a sharded ProverEngine: it ingests signed announcements
+// for every originated prefix (from a synthetic upstream provider standing
+// in for its provider sessions), seals the epoch, and serves each route
+// with its sealed commitment (commitment bytes, inclusion proof, shard
+// seal, and the speaker's public key) attached.
 //
 // Listener:
 //
-//	pvrd -listen 127.0.0.1:1790 -asn 64500 -originate 203.0.113.0/24
+//	pvrd -listen 127.0.0.1:1790 -asn 64500 -originate 203.0.113.0/24,198.51.100.0/24 -shards 4
 //
 // Dialer:
 //
 //	pvrd -connect 127.0.0.1:1790 -asn 64501
 //
-// The dialer prints every route it learns, verifying the announcement
-// signature attached by the listener. Stop with Ctrl-C.
+// The dialer pins the listener's key trust-on-first-use (standing in for
+// the paper's out-of-band PKI), then verifies every learned route: the
+// route body's own signature, the shard-seal signature, the prefix→shard
+// binding, and Merkle inclusion of the commitment under the sealed root.
+// Stop with Ctrl-C.
 package main
 
 import (
@@ -21,10 +31,15 @@ import (
 	"net/netip"
 	"os"
 	"os/signal"
+	"strings"
+	"sync"
 	"time"
 
 	"pvr/internal/aspath"
 	"pvr/internal/bgp"
+	"pvr/internal/core"
+	"pvr/internal/engine"
+	"pvr/internal/merkle"
 	"pvr/internal/netx"
 	"pvr/internal/prefix"
 	"pvr/internal/route"
@@ -35,7 +50,8 @@ func main() {
 	listen := flag.String("listen", "", "listen address (server mode)")
 	connect := flag.String("connect", "", "peer address (client mode)")
 	asn := flag.Uint("asn", 64500, "local AS number")
-	originate := flag.String("originate", "", "prefix to originate (server mode)")
+	originate := flag.String("originate", "", "comma-separated prefixes to originate (server mode)")
+	shards := flag.Int("shards", 0, "engine shard count (0 = one per CPU)")
 	hold := flag.Uint("hold", 9, "hold time seconds (0 disables)")
 	flag.Parse()
 
@@ -44,15 +60,9 @@ func main() {
 		os.Exit(2)
 	}
 	local := bgp.Open{ASN: aspath.ASN(*asn), HoldTime: uint16(*hold), RouterID: uint32(*asn)}
-	signer, err := sigs.GenerateEd25519()
-	if err != nil {
-		fatal(err)
-	}
-	reg := sigs.NewRegistry()
-	reg.Register(local.ASN, signer.Public())
 
 	if *listen != "" {
-		serve(*listen, local, signer, *originate)
+		serve(*listen, local, *originate, *shards)
 		return
 	}
 	dial(*connect, local)
@@ -63,26 +73,130 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func serve(addr string, local bgp.Open, signer sigs.Signer, originate string) {
-	var origin route.Route
-	haveOrigin := false
-	if originate != "" {
-		p, err := prefix.Parse(originate)
-		if err != nil {
-			fatal(err)
-		}
-		path, err := aspath.Path{}.Prepend(local.ASN, 1)
-		if err != nil {
-			fatal(err)
-		}
-		origin = route.Route{
-			Prefix:  p,
-			Path:    path,
-			NextHop: mustAddr("192.0.2.1"),
-			Origin:  route.OriginIGP,
-		}
-		haveOrigin = true
+// sealedRoute is one originated prefix with its engine commitment chain,
+// ready to attach to an UPDATE.
+type sealedRoute struct {
+	route    route.Route
+	routeSig []byte // speaker's signature over the route body (§3.2)
+	mc       []byte // commitment canonical bytes
+	proof    []byte // Merkle inclusion proof
+	seal     []byte // shard seal incl. signature
+}
+
+// buildEngineState stands up the PKI and engine, ingests one announcement
+// per originated prefix from the synthetic upstream provider, seals the
+// epoch, and extracts the per-prefix commitment chains.
+func buildEngineState(local bgp.Open, originate string, shards int) (sigs.PublicKey, []sealedRoute, []*engine.Seal, error) {
+	signer, err := sigs.GenerateEd25519()
+	if err != nil {
+		return nil, nil, nil, err
 	}
+	upstream := aspath.ASN(uint32(local.ASN) + 1000)
+	upSigner, err := sigs.GenerateEd25519()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	reg := sigs.NewRegistry()
+	reg.Register(local.ASN, signer.Public())
+	reg.Register(upstream, upSigner.Public())
+
+	eng, err := engine.New(engine.Config{
+		ASN: local.ASN, Signer: signer, Registry: reg, Shards: shards,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	const epoch = 1
+	eng.BeginEpoch(epoch)
+
+	var pfxs []prefix.Prefix
+	for _, s := range strings.Split(originate, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		p, err := prefix.Parse(s)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		pfxs = append(pfxs, p)
+	}
+	for _, p := range pfxs {
+		r := route.Route{
+			Prefix:  p,
+			Path:    aspath.New(upstream),
+			NextHop: netip.MustParseAddr("192.0.2.1"),
+		}
+		ann, err := core.NewAnnouncement(upSigner, upstream, local.ASN, epoch, r)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if _, err := eng.AcceptAnnouncement(ann); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	var seals []*engine.Seal
+	if len(pfxs) > 0 {
+		if seals, err = eng.SealEpoch(); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+
+	var routes []sealedRoute
+	for _, p := range pfxs {
+		sc, err := eng.Commitment(p)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		mcBytes, err := sc.MC.SignedBytes()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		proofBytes, err := sc.Proof.MarshalBinary()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		sealBytes, err := sc.Seal.MarshalBinary()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		pv, err := eng.DiscloseToPromisee(p, 0) // exported route for any promisee
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		// The route body itself is signed per-route (§3.2 announcement
+		// signing): the sealed commitment authenticates the promise state,
+		// not the path and next hop the update carries.
+		body, err := pv.Export.Route.MarshalBinary()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		routeSig, err := signer.Sign(body)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		routes = append(routes, sealedRoute{
+			route:    pv.Export.Route,
+			routeSig: routeSig,
+			mc:       mcBytes,
+			proof:    proofBytes,
+			seal:     sealBytes,
+		})
+	}
+	return signer.Public(), routes, seals, nil
+}
+
+func serve(addr string, local bgp.Open, originate string, shards int) {
+	pub, routes, seals, err := buildEngineState(local, originate, shards)
+	if err != nil {
+		fatal(err)
+	}
+	key, err := pub.Marshal()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("pvrd: engine sealed %d prefixes into %d shard seals\n", len(routes), len(seals))
+
 	bound, closer, err := netx.Listen(addr, func(c *netx.Conn) {
 		fmt.Printf("pvrd: connection from %s\n", c.RemoteAddr())
 		s := bgp.NewSession(c, local, bgp.SessionHooks{
@@ -94,31 +208,29 @@ func serve(addr string, local bgp.Open, signer sigs.Signer, originate string) {
 			},
 		})
 		go func() {
-			// Once established, push the originated route with a PVR
-			// signature attachment.
+			// Once established, serve the sealed engine state: one update
+			// per prefix, each carrying its commitment chain.
 			for s.State() != bgp.StateEstablished {
 				if s.State() == bgp.StateClosed {
 					return
 				}
 				time.Sleep(10 * time.Millisecond)
 			}
-			if !haveOrigin {
-				return
-			}
-			body, err := origin.MarshalBinary()
-			if err != nil {
-				return
-			}
-			sig, err := signer.Sign(body)
-			if err != nil {
-				return
-			}
-			u := bgp.Update{
-				Announced:   []route.Route{origin},
-				Attachments: map[string][]byte{"pvr/sig": sig},
-			}
-			if err := s.SendUpdate(u); err != nil {
-				fmt.Printf("pvrd: send: %v\n", err)
+			for _, sr := range routes {
+				u := bgp.Update{
+					Announced: []route.Route{sr.route},
+					Attachments: map[string][]byte{
+						"pvr/sig":   sr.routeSig,
+						"pvr/mc":    sr.mc,
+						"pvr/proof": sr.proof,
+						"pvr/seal":  sr.seal,
+						"pvr/key":   key,
+					},
+				}
+				if err := s.SendUpdate(u); err != nil {
+					fmt.Printf("pvrd: send: %v\n", err)
+					return
+				}
 			}
 		}()
 		_ = s.Run()
@@ -136,14 +248,31 @@ func dial(addr string, local bgp.Open) {
 	if err != nil {
 		fatal(err)
 	}
+	reg := sigs.NewRegistry()
+	var (
+		mu       sync.Mutex
+		peerASN  aspath.ASN
+		haveKey  bool
+		verified int
+	)
 	s := bgp.NewSession(conn, local, bgp.SessionHooks{
 		OnEstablished: func(peer bgp.Open) {
+			mu.Lock()
+			peerASN = peer.ASN
+			mu.Unlock()
 			fmt.Printf("pvrd: established with %s (hold %ds)\n", peer.ASN, peer.HoldTime)
 		},
 		OnUpdate: func(u bgp.Update) {
+			mu.Lock()
+			defer mu.Unlock()
 			for _, r := range u.Announced {
-				sig := u.Attachments["pvr/sig"]
-				fmt.Printf("pvrd: learned %s (pvr signature: %d bytes)\n", r, len(sig))
+				err := verifySealedRoute(reg, peerASN, r, u, &haveKey)
+				if err != nil {
+					fmt.Printf("pvrd: learned %s — REJECTED: %v\n", r, err)
+					continue
+				}
+				verified++
+				fmt.Printf("pvrd: learned %s — sealed commitment verified (%d so far)\n", r, verified)
 			}
 			for _, w := range u.Withdrawn {
 				fmt.Printf("pvrd: withdrawn %s\n", w)
@@ -159,13 +288,73 @@ func dial(addr string, local bgp.Open) {
 	s.Close()
 }
 
+// verifySealedRoute checks what an update's attachments actually
+// establish, rooted in the peer's key: the route body's own signature
+// (§3.2 — path and next hop are authenticated per route), the engine
+// commitment chain via engine.SealedCommitment.Verify (seal signature,
+// shard binding, Merkle inclusion), and that the commitment covers
+// exactly the announced prefix as the session peer's statement.
+//
+// The key itself is pinned trust-on-first-use from the pvr/key
+// attachment — a stand-in for the out-of-band PKI the paper assumes, so
+// the chain proves consistency with the pinned key, not the peer's
+// real-world identity.
+func verifySealedRoute(reg *sigs.Registry, peer aspath.ASN, r route.Route, u bgp.Update, haveKey *bool) error {
+	mcBytes, proofBytes, sealBytes := u.Attachments["pvr/mc"], u.Attachments["pvr/proof"], u.Attachments["pvr/seal"]
+	if mcBytes == nil || proofBytes == nil || sealBytes == nil {
+		return fmt.Errorf("missing engine attachments")
+	}
+	if !*haveKey {
+		kb := u.Attachments["pvr/key"]
+		if kb == nil {
+			return fmt.Errorf("no key attachment")
+		}
+		k, err := sigs.UnmarshalPublicKey(kb)
+		if err != nil {
+			return err
+		}
+		reg.Register(peer, k)
+		*haveKey = true
+		fp := k.Fingerprint()
+		fmt.Printf("pvrd: pinned %s's key (trust-on-first-use, fp %x…)\n", peer, fp[:6])
+	}
+	// Route-body signature: binds path and next hop.
+	body, err := r.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if err := reg.Verify(peer, body, u.Attachments["pvr/sig"]); err != nil {
+		return fmt.Errorf("route signature: %w", err)
+	}
+	// Commitment chain.
+	var seal engine.Seal
+	if err := seal.UnmarshalBinary(sealBytes); err != nil {
+		return err
+	}
+	if seal.Prover != peer {
+		return fmt.Errorf("seal from %s, session peer is %s", seal.Prover, peer)
+	}
+	mc, err := core.ParseMinCommitmentBytes(mcBytes)
+	if err != nil {
+		return err
+	}
+	if mc.Prefix != r.Prefix {
+		return fmt.Errorf("commitment covers %s, route announces %s", mc.Prefix, r.Prefix)
+	}
+	var proof merkle.BatchProof
+	if err := proof.UnmarshalBinary(proofBytes); err != nil {
+		return err
+	}
+	// ParseMinCommitmentBytes round-trips, so mc.SignedBytes() == mcBytes
+	// and the shared verifier covers prover/epoch agreement, shard-range
+	// and prefix->shard binding, seal signature, and Merkle inclusion.
+	sc := engine.SealedCommitment{MC: mc, Proof: &proof, Seal: &seal}
+	return sc.Verify(reg)
+}
+
 func waitInterrupt() {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt)
 	<-ch
 	fmt.Println("pvrd: shutting down")
-}
-
-func mustAddr(s string) netip.Addr {
-	return netip.MustParseAddr(s)
 }

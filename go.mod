@@ -1,0 +1,3 @@
+module pvr
+
+go 1.24

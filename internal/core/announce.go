@@ -114,7 +114,7 @@ func NewAnnouncement(signer sigs.Signer, provider, to aspath.ASN, epoch uint64, 
 // Verify checks the announcement's signature and structural sanity: the
 // route's first AS must be the provider itself (it advertised its own
 // path).
-func (a *Announcement) Verify(reg *sigs.Registry) error {
+func (a *Announcement) Verify(reg sigs.Verifier) error {
 	if !a.Route.Valid() {
 		return fmt.Errorf("%w: invalid route", ErrBadAnnouncement)
 	}
@@ -182,7 +182,7 @@ func NewReceipt(signer sigs.Signer, issuer aspath.ASN, a *Announcement) (Receipt
 }
 
 // Verify checks the receipt signature and that it matches the announcement.
-func (rc *Receipt) Verify(reg *sigs.Registry, a *Announcement) error {
+func (rc *Receipt) Verify(reg sigs.Verifier, a *Announcement) error {
 	h, err := a.Hash()
 	if err != nil {
 		return err
@@ -246,7 +246,7 @@ func NewExportStatement(signer sigs.Signer, prover, to aspath.ASN, epoch uint64,
 }
 
 // Verify checks the statement's signature.
-func (e *ExportStatement) Verify(reg *sigs.Registry) error {
+func (e *ExportStatement) Verify(reg sigs.Verifier) error {
 	msg, err := exportBytes(e.Epoch, e.Prover, e.To, e.Route, e.Empty)
 	if err != nil {
 		return err

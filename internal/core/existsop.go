@@ -51,7 +51,7 @@ func (ec *ExistsCommitment) bytes() ([]byte, error) {
 }
 
 // Verify checks the prover's signature.
-func (ec *ExistsCommitment) Verify(reg *sigs.Registry) error {
+func (ec *ExistsCommitment) Verify(reg sigs.Verifier) error {
 	msg, err := ec.bytes()
 	if err != nil {
 		return err
@@ -149,7 +149,7 @@ func (p *Prover) DiscloseExistsToPromisee(ec *ExistsCommitment, op commit.Openin
 
 // VerifyExistsProviderView is N_i's §3.2 check: commitment authentic,
 // opening valid, and — since N_i provided a route — the bit must be 1.
-func VerifyExistsProviderView(reg *sigs.Registry, v *ExistsProviderView, myAnn Announcement) error {
+func VerifyExistsProviderView(reg sigs.Verifier, v *ExistsProviderView, myAnn Announcement) error {
 	ec := v.Commitment
 	if ec == nil {
 		return fmt.Errorf("%w: missing commitment", ErrBadCommitment)
@@ -180,7 +180,7 @@ func VerifyExistsProviderView(reg *sigs.Registry, v *ExistsProviderView, myAnn A
 // VerifyExistsPromiseeView is B's §3.2 check: either b = 0 and nothing was
 // exported, or b = 1 and a properly signed input route was exported (with
 // A prepended).
-func VerifyExistsPromiseeView(reg *sigs.Registry, v *ExistsPromiseeView) error {
+func VerifyExistsPromiseeView(reg sigs.Verifier, v *ExistsPromiseeView) error {
 	ec := v.Commitment
 	if ec == nil {
 		return fmt.Errorf("%w: missing commitment", ErrBadCommitment)

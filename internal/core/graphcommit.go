@@ -44,7 +44,7 @@ func (gc *GraphCommitment) bytes() []byte {
 }
 
 // Verify checks the prover's signature over the root.
-func (gc *GraphCommitment) Verify(reg *sigs.Registry) error {
+func (gc *GraphCommitment) Verify(reg sigs.Verifier) error {
 	if err := reg.Verify(gc.Prover, gc.bytes(), gc.Sig); err != nil {
 		return fmt.Errorf("%w: graph root: %v", ErrBadCommitment, err)
 	}
@@ -216,7 +216,7 @@ type DisclosedVertex struct {
 // signed root: the Merkle proof authenticates the three commitments, and
 // each provided opening must match its commitment and tag. It returns the
 // decoded visible components.
-func VerifyVertexDisclosure(reg *sigs.Registry, gc *GraphCommitment, d *VertexDisclosure) (*DisclosedVertex, error) {
+func VerifyVertexDisclosure(reg sigs.Verifier, gc *GraphCommitment, d *VertexDisclosure) (*DisclosedVertex, error) {
 	if err := gc.Verify(reg); err != nil {
 		return nil, err
 	}
@@ -279,7 +279,7 @@ func VerifyVertexDisclosure(reg *sigs.Registry, gc *GraphCommitment, d *VertexDi
 // error when α denies it (the walk simply stops there, mirroring §3.5's
 // "navigated ... without learning about the existence of rules or
 // variables they are not authorized to see").
-func Navigate(reg *sigs.Registry, gc *GraphCommitment, start string, fetch func(label string) (*VertexDisclosure, error)) (map[string]*DisclosedVertex, error) {
+func Navigate(reg sigs.Verifier, gc *GraphCommitment, start string, fetch func(label string) (*VertexDisclosure, error)) (map[string]*DisclosedVertex, error) {
 	seen := make(map[string]*DisclosedVertex)
 	queue := []string{start}
 	for len(queue) > 0 {

@@ -37,6 +37,55 @@ func VectorID(prover aspath.ASN, pfx prefix.Prefix, epoch uint64) string {
 	return fmt.Sprintf("%d/%s/%d", uint32(prover), pfx, epoch)
 }
 
+// SignedBytes returns the canonical byte encoding the prover signs — or,
+// when the commitment is sealed inside a Merkle batch (internal/engine),
+// the leaf bytes bound to the shard root. The domain tag makes the bytes
+// unambiguous in either role.
+func (mc *MinCommitment) SignedBytes() ([]byte, error) { return mc.bytes() }
+
+// ParseMinCommitmentBytes decodes the SignedBytes encoding (signature not
+// included — a batched commitment is authenticated by its shard seal, so
+// wire consumers receive the canonical bytes and must recover the fields
+// to check them against the accompanying route).
+func ParseMinCommitmentBytes(b []byte) (*MinCommitment, error) {
+	rest, ok := bytes.CutPrefix(b, []byte(tagMinCmt))
+	if !ok {
+		return nil, fmt.Errorf("%w: bad commitment tag", ErrBadCommitment)
+	}
+	if len(rest) < 8+4+1 {
+		return nil, fmt.Errorf("%w: short commitment encoding", ErrBadCommitment)
+	}
+	mc := &MinCommitment{
+		Epoch:  binary.BigEndian.Uint64(rest),
+		Prover: aspath.ASN(binary.BigEndian.Uint32(rest[8:])),
+	}
+	rest = rest[12:]
+	pl := int(rest[0])
+	rest = rest[1:]
+	if len(rest) < pl+4 {
+		return nil, fmt.Errorf("%w: short commitment encoding", ErrBadCommitment)
+	}
+	if err := mc.Prefix.UnmarshalBinary(rest[:pl]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCommitment, err)
+	}
+	rest = rest[pl:]
+	n := int(binary.BigEndian.Uint32(rest))
+	rest = rest[4:]
+	if n > MaxVectorLen || len(rest) != n*commit.Size {
+		return nil, fmt.Errorf("%w: malformed commitment vector", ErrBadCommitment)
+	}
+	mc.Commitments = make([]commit.Commitment, n)
+	for i := range mc.Commitments {
+		copy(mc.Commitments[i][:], rest[i*commit.Size:])
+	}
+	// Round-trip check: the parse must be the exact inverse of bytes().
+	rt, err := mc.bytes()
+	if err != nil || !bytes.Equal(rt, b) {
+		return nil, fmt.Errorf("%w: non-canonical commitment encoding", ErrBadCommitment)
+	}
+	return mc, nil
+}
+
 func (mc *MinCommitment) bytes() ([]byte, error) {
 	pb, err := mc.Prefix.MarshalBinary()
 	if err != nil {
@@ -60,12 +109,12 @@ func (mc *MinCommitment) bytes() ([]byte, error) {
 }
 
 // Verify checks the prover's signature over the commitment.
-func (mc *MinCommitment) Verify(reg *sigs.Registry) error {
+func (mc *MinCommitment) Verify(ver sigs.Verifier) error {
 	msg, err := mc.bytes()
 	if err != nil {
 		return err
 	}
-	if err := reg.Verify(mc.Prover, msg, mc.Sig); err != nil {
+	if err := ver.Verify(mc.Prover, msg, mc.Sig); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadCommitment, err)
 	}
 	return nil
@@ -105,7 +154,7 @@ func (mc *MinCommitment) GossipPayload() ([]byte, []byte, error) {
 type Prover struct {
 	asn    aspath.ASN
 	signer sigs.Signer
-	reg    *sigs.Registry
+	reg    sigs.Verifier
 	cm     commit.Committer
 	// MaxLen is K, the bit-vector length: the maximum AS-path length at A
 	// (§3.3 "Suppose the maximum AS-path length at A is k").
@@ -118,10 +167,16 @@ type Prover struct {
 	mc     *MinCommitment
 }
 
+// MaxVectorLen bounds the committed bit-vector length K. The write path
+// (NewProver) and the wire parser (ParseMinCommitmentBytes) enforce the
+// same bound, so every commitment a prover can seal is also parseable by
+// its neighbors. 1024 is far beyond any real AS-path length.
+const MaxVectorLen = 1024
+
 // NewProver creates a prover for network asn with bit-vector length maxLen.
-func NewProver(asn aspath.ASN, signer sigs.Signer, reg *sigs.Registry, maxLen int) (*Prover, error) {
-	if maxLen < 1 {
-		return nil, fmt.Errorf("core: maxLen %d", maxLen)
+func NewProver(asn aspath.ASN, signer sigs.Signer, reg sigs.Verifier, maxLen int) (*Prover, error) {
+	if maxLen < 1 || maxLen > MaxVectorLen {
+		return nil, fmt.Errorf("core: maxLen %d out of range 1..%d", maxLen, MaxVectorLen)
 	}
 	return &Prover{asn: asn, signer: signer, reg: reg, maxLen: maxLen}, nil
 }
@@ -186,6 +241,28 @@ func (p *Prover) bits() []bool {
 // CommitMin computes and signs the bit-vector commitment (idempotent per
 // epoch). This is the publish step of §3.3.
 func (p *Prover) CommitMin() (*MinCommitment, error) {
+	if p.mc != nil && p.mc.Sig != nil {
+		return p.mc, nil
+	}
+	mc, err := p.CommitMinUnsigned()
+	if err != nil {
+		return nil, err
+	}
+	msg, err := mc.bytes()
+	if err != nil {
+		return nil, err
+	}
+	if mc.Sig, err = p.signer.Sign(msg); err != nil {
+		return nil, err
+	}
+	return mc, nil
+}
+
+// CommitMinUnsigned computes the bit-vector commitment without signing it
+// (idempotent per epoch). Callers that amortize signatures — the engine
+// seals one Merkle batch of SignedBytes per shard and signs only the root —
+// use this instead of CommitMin; everyone else wants CommitMin.
+func (p *Prover) CommitMinUnsigned() (*MinCommitment, error) {
 	if p.mc != nil {
 		return p.mc, nil
 	}
@@ -199,16 +276,15 @@ func (p *Prover) CommitMin() (*MinCommitment, error) {
 		Prefix:      p.pfx,
 		Commitments: bv.Commitments,
 	}
-	msg, err := mc.bytes()
-	if err != nil {
-		return nil, err
-	}
-	if mc.Sig, err = p.signer.Sign(msg); err != nil {
-		return nil, err
-	}
 	p.bv, p.mc = bv, mc
 	return mc, nil
 }
+
+// Prefix returns the prefix of the current epoch.
+func (p *Prover) Prefix() prefix.Prefix { return p.pfx }
+
+// Epoch returns the current epoch number.
+func (p *Prover) Epoch() uint64 { return p.epoch }
 
 // Winner returns the chosen (shortest) input announcement; ok is false when
 // there are no inputs. Ties break to the lowest provider ASN.
@@ -302,31 +378,39 @@ func (p *Prover) DiscloseToPromisee(b aspath.ASN) (*PromiseeView, error) {
 // cannot be longer than Ni's route". myAnn is the announcement N_i sent.
 // A *Violation error means N_i has caught A; other errors mean the view is
 // malformed or unauthentic (and should be treated as a protocol failure).
-func VerifyProviderView(reg *sigs.Registry, v *ProviderView, myAnn Announcement) error {
+func VerifyProviderView(ver sigs.Verifier, v *ProviderView, myAnn Announcement) error {
 	mc := v.Commitment
 	if mc == nil {
 		return fmt.Errorf("%w: missing commitment", ErrBadCommitment)
 	}
-	if err := mc.Verify(reg); err != nil {
+	if err := mc.Verify(ver); err != nil {
 		return err
 	}
+	return CheckProviderOpening(mc, v.Position, v.Opening, myAnn)
+}
+
+// CheckProviderOpening is the content half of N_i's check: everything
+// except the commitment's own authenticity, which the caller has already
+// established (via MinCommitment.Verify, or via a shard seal plus Merkle
+// inclusion proof when the commitment arrived batched from the engine).
+func CheckProviderOpening(mc *MinCommitment, position int, opening commit.Opening, myAnn Announcement) error {
 	if mc.Epoch != myAnn.Epoch || mc.Prefix != myAnn.Route.Prefix || mc.Prover != myAnn.To {
 		return fmt.Errorf("%w: commitment does not cover my announcement", ErrBadCommitment)
 	}
-	if v.Position != myAnn.Route.PathLen() {
-		return fmt.Errorf("%w: opened position %d, my route length %d", ErrBadCommitment, v.Position, myAnn.Route.PathLen())
+	if position != myAnn.Route.PathLen() {
+		return fmt.Errorf("%w: opened position %d, my route length %d", ErrBadCommitment, position, myAnn.Route.PathLen())
 	}
-	if v.Position < 1 || v.Position > len(mc.Commitments) {
-		return fmt.Errorf("%w: position %d out of range", ErrBadCommitment, v.Position)
+	if position < 1 || position > len(mc.Commitments) {
+		return fmt.Errorf("%w: position %d out of range", ErrBadCommitment, position)
 	}
-	wantTag := commit.VectorTag(VectorID(mc.Prover, mc.Prefix, mc.Epoch), v.Position)
-	if v.Opening.Tag != wantTag {
-		return fmt.Errorf("%w: opening tag %q, want %q", ErrBadCommitment, v.Opening.Tag, wantTag)
+	wantTag := commit.VectorTag(VectorID(mc.Prover, mc.Prefix, mc.Epoch), position)
+	if opening.Tag != wantTag {
+		return fmt.Errorf("%w: opening tag %q, want %q", ErrBadCommitment, opening.Tag, wantTag)
 	}
-	if err := commit.Verify(mc.Commitments[v.Position-1], v.Opening); err != nil {
+	if err := commit.Verify(mc.Commitments[position-1], opening); err != nil {
 		return fmt.Errorf("%w: opening does not match commitment", ErrBadCommitment)
 	}
-	bit, err := v.Opening.Bit()
+	bit, err := opening.Bit()
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrBadCommitment, err)
 	}
@@ -335,7 +419,7 @@ func VerifyProviderView(reg *sigs.Registry, v *ProviderView, myAnn Announcement)
 			Accused: mc.Prover,
 			Kind:    "false-bit",
 			Detail: fmt.Sprintf("bit %d committed as 0, but provider %s supplied a length-%d route",
-				v.Position, myAnn.Provider, myAnn.Route.PathLen()),
+				position, myAnn.Provider, myAnn.Route.PathLen()),
 		}
 	}
 	return nil
@@ -346,15 +430,29 @@ func VerifyProviderView(reg *sigs.Registry, v *ProviderView, myAnn Announcement)
 // any bit is set a properly signed winning route of exactly the minimum
 // length must be exported (with A prepended); if no bit is set, nothing may
 // be exported.
-func VerifyPromiseeView(reg *sigs.Registry, v *PromiseeView) error {
+func VerifyPromiseeView(ver sigs.Verifier, v *PromiseeView) error {
 	mc := v.Commitment
 	if mc == nil {
 		return fmt.Errorf("%w: missing commitment", ErrBadCommitment)
 	}
-	if err := mc.Verify(reg); err != nil {
+	if err := mc.Verify(ver); err != nil {
 		return err
 	}
-	if err := v.Export.Verify(reg); err != nil {
+	return CheckPromiseeDisclosure(ver, v)
+}
+
+// CheckPromiseeDisclosure is the content half of B's check: every opening,
+// monotonicity, and export consistency — everything except the
+// commitment's own authenticity, which the caller has already established
+// (directly or through a shard seal and inclusion proof). The export and
+// winner signatures are still checked here; those stay per-statement even
+// when commitments are batch-sealed.
+func CheckPromiseeDisclosure(ver sigs.Verifier, v *PromiseeView) error {
+	mc := v.Commitment
+	if mc == nil {
+		return fmt.Errorf("%w: missing commitment", ErrBadCommitment)
+	}
+	if err := v.Export.Verify(ver); err != nil {
 		return err
 	}
 	if v.Export.Prover != mc.Prover || v.Export.Epoch != mc.Epoch {
@@ -401,7 +499,7 @@ func VerifyPromiseeView(reg *sigs.Registry, v *PromiseeView) error {
 	if v.Winner == nil {
 		return fmt.Errorf("%w: no provenance for exported route", ErrBadCommitment)
 	}
-	if err := v.Winner.Verify(reg); err != nil {
+	if err := v.Winner.Verify(ver); err != nil {
 		return err
 	}
 	if v.Winner.To != mc.Prover || v.Winner.Epoch != mc.Epoch || v.Winner.Route.Prefix != mc.Prefix {

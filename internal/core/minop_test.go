@@ -531,3 +531,41 @@ func TestMinCommitmentEqualAndTopic(t *testing.T) {
 		t.Error("same epoch/prefix must share a gossip topic")
 	}
 }
+
+func TestParseMinCommitmentBytes(t *testing.T) {
+	f := newFixture(t)
+	p, err := NewProver(proverASN, f.signers[proverASN], f.reg, maxLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.BeginEpoch(9, f.pfx)
+	if _, err := p.AcceptAnnouncement(f.provide(t, 101, 9, 3)); err != nil {
+		t.Fatal(err)
+	}
+	mc, err := p.CommitMinUnsigned()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mc.SignedBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseMinCommitmentBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Prover != mc.Prover || back.Epoch != mc.Epoch || back.Prefix != mc.Prefix || !back.Equal(mc) {
+		t.Fatalf("round-trip mismatch: %+v != %+v", back, mc)
+	}
+
+	for name, mut := range map[string][]byte{
+		"empty":     {},
+		"bad-tag":   append([]byte("xvr"), b[3:]...),
+		"truncated": b[:len(b)-5],
+		"extended":  append(append([]byte(nil), b...), 0),
+	} {
+		if _, err := ParseMinCommitmentBytes(mut); err == nil {
+			t.Fatalf("%s encoding parsed", name)
+		}
+	}
+}

@@ -1,0 +1,473 @@
+// Package engine scales the §3.3 prover from one (prefix, epoch) to the
+// full table of an AS. A real AS proves promises for hundreds of thousands
+// of prefixes per epoch; constructing a core.Prover per prefix and signing
+// each commitment individually serializes on the signer and wastes the
+// paper's own §3.8 observation that signatures batch.
+//
+// ProverEngine owns N hash-sharded shards of per-prefix prover state.
+// Announcements for different prefixes proceed concurrently (a shard-local
+// mutex is the only contention point); SealEpoch commits every shard in
+// parallel, building one Merkle batch per shard over the canonical
+// commitment bytes and signing only the root — S signatures per epoch
+// instead of one per prefix. Disclosures carry the commitment, its
+// inclusion proof, and the shard seal; verification runs through the
+// channel-fed worker Pipeline with a per-registry verification-key cache.
+package engine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+
+	"pvr/internal/aspath"
+	"pvr/internal/commit"
+	"pvr/internal/core"
+	"pvr/internal/merkle"
+	"pvr/internal/prefix"
+	"pvr/internal/sigs"
+)
+
+// Config parameterizes a ProverEngine.
+type Config struct {
+	// ASN is the proving AS (network A).
+	ASN aspath.ASN
+	// Signer signs receipts, seals, and export statements.
+	Signer sigs.Signer
+	// Registry resolves neighbor keys for announcement verification.
+	Registry *sigs.Registry
+	// MaxLen is K, the committed bit-vector length (default 32).
+	MaxLen int
+	// Shards is the shard count (default GOMAXPROCS, min 1).
+	Shards int
+	// Workers is the verification pipeline width used by NewPipeline when
+	// callers do not override it (default GOMAXPROCS).
+	Workers int
+}
+
+func (c *Config) fill() {
+	if c.MaxLen <= 0 {
+		c.MaxLen = 32
+	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// shard holds the per-prefix prover state for one hash slice of the table.
+type shard struct {
+	mu      sync.Mutex
+	provers map[prefix.Prefix]*core.Prover
+	// Set by SealEpoch:
+	seal   *Seal
+	batch  *merkle.Batch
+	index  map[prefix.Prefix]int // prefix -> leaf index
+	sealed bool
+}
+
+// ProverEngine is a sharded multi-prefix prover. Methods are safe for
+// concurrent use; AcceptAnnouncement calls for prefixes in different
+// shards do not contend.
+type ProverEngine struct {
+	cfg Config
+	ver *sigs.CachedVerifier
+
+	mu     sync.RWMutex // guards epoch transitions vs. accepts/seals
+	epoch  uint64
+	begun  bool
+	shards []*shard
+}
+
+// New builds an engine. The zero-value fields of cfg are defaulted; ASN,
+// Signer, and Registry are required.
+func New(cfg Config) (*ProverEngine, error) {
+	if cfg.Signer == nil || cfg.Registry == nil {
+		return nil, fmt.Errorf("engine: Signer and Registry are required")
+	}
+	cfg.fill()
+	if cfg.MaxLen > core.MaxVectorLen {
+		return nil, fmt.Errorf("engine: MaxLen %d exceeds core.MaxVectorLen %d", cfg.MaxLen, core.MaxVectorLen)
+	}
+	e := &ProverEngine{cfg: cfg, ver: sigs.NewCachedVerifier(cfg.Registry)}
+	e.shards = make([]*shard, cfg.Shards)
+	for i := range e.shards {
+		e.shards[i] = &shard{provers: make(map[prefix.Prefix]*core.Prover)}
+	}
+	return e, nil
+}
+
+// ASN returns the proving AS.
+func (e *ProverEngine) ASN() aspath.ASN { return e.cfg.ASN }
+
+// ShardCount returns the number of shards.
+func (e *ProverEngine) ShardCount() int { return len(e.shards) }
+
+// Epoch returns the current epoch number.
+func (e *ProverEngine) Epoch() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.epoch
+}
+
+// Verifier returns the engine's cached verification-key view of the
+// registry, for callers that verify neighbor material on the hot path.
+func (e *ProverEngine) Verifier() sigs.Verifier { return e.ver }
+
+// BeginEpoch starts a fresh commitment epoch, discarding all per-prefix
+// state from the previous one.
+func (e *ProverEngine) BeginEpoch(epoch uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.epoch = epoch
+	e.begun = true
+	for _, s := range e.shards {
+		s.mu.Lock()
+		s.provers = make(map[prefix.Prefix]*core.Prover)
+		s.seal, s.batch, s.index, s.sealed = nil, nil, nil, false
+		s.mu.Unlock()
+	}
+}
+
+// ShardIndexFor maps a prefix to its shard index by FNV-1a over the
+// canonical prefix encoding. The mapping is part of the protocol, not an
+// implementation detail: verifiers recompute it against the seal's signed
+// Shard/Shards fields, so a prover cannot place one prefix in two shards
+// of a "consistent" seal set and show different commitments to different
+// neighbors.
+func ShardIndexFor(pfx prefix.Prefix, shards uint32) (uint32, error) {
+	if shards == 0 {
+		return 0, fmt.Errorf("engine: zero shard count")
+	}
+	pb, err := pfx.MarshalBinary()
+	if err != nil {
+		return 0, err
+	}
+	h := fnv.New32a()
+	h.Write(pb)
+	return h.Sum32() % shards, nil
+}
+
+func (e *ProverEngine) shardOf(pfx prefix.Prefix) (*shard, uint32, error) {
+	i, err := ShardIndexFor(pfx, uint32(len(e.shards)))
+	if err != nil {
+		return nil, 0, err
+	}
+	return e.shards[i], i, nil
+}
+
+// AcceptAnnouncement verifies and records an input route for its prefix,
+// returning the prover's signed receipt. Concurrent calls for prefixes in
+// different shards proceed in parallel.
+func (e *ProverEngine) AcceptAnnouncement(a core.Announcement) (core.Receipt, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if !e.begun {
+		return core.Receipt{}, fmt.Errorf("engine: BeginEpoch not called")
+	}
+	s, _, err := e.shardOf(a.Route.Prefix)
+	if err != nil {
+		return core.Receipt{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sealed {
+		return core.Receipt{}, fmt.Errorf("engine: epoch %d already sealed", e.epoch)
+	}
+	p, ok := s.provers[a.Route.Prefix]
+	if !ok {
+		p, err = core.NewProver(e.cfg.ASN, e.cfg.Signer, e.ver, e.cfg.MaxLen)
+		if err != nil {
+			return core.Receipt{}, err
+		}
+		p.BeginEpoch(e.epoch, a.Route.Prefix)
+		s.provers[a.Route.Prefix] = p
+	}
+	return p.AcceptAnnouncement(a)
+}
+
+// AcceptAll ingests a batch of announcements striped across the given
+// number of writer goroutines (writers < 2 ingests serially), returning
+// the first error encountered. This is the standard bulk-ingest shape the
+// drivers and benchmarks share; receipts are discarded — callers that
+// need them use AcceptAnnouncement directly.
+func (e *ProverEngine) AcceptAll(anns []core.Announcement, writers int) error {
+	if writers < 2 || len(anns) < 2 {
+		for _, a := range anns {
+			if _, err := e.AcceptAnnouncement(a); err != nil {
+				return fmt.Errorf("engine: accept %s from %s: %w", a.Route.Prefix, a.Provider, err)
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(anns); i += writers {
+				if _, err := e.AcceptAnnouncement(anns[i]); err != nil {
+					errs[w] = fmt.Errorf("engine: accept %s from %s: %w",
+						anns[i].Route.Prefix, anns[i].Provider, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SealEpoch commits every shard in parallel: each shard computes its
+// per-prefix bit-vector commitments, Merkle-batches their canonical bytes,
+// and signs the root once. Idempotent; shards with no prefixes produce no
+// seal. After sealing, AcceptAnnouncement fails until the next BeginEpoch.
+func (e *ProverEngine) SealEpoch() ([]*Seal, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if !e.begun {
+		return nil, fmt.Errorf("engine: BeginEpoch not called")
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(e.shards))
+	for i, s := range e.shards {
+		wg.Add(1)
+		go func(idx int, s *shard) {
+			defer wg.Done()
+			errs[idx] = e.sealShard(uint32(idx), s)
+		}(i, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return e.sealsLocked(), nil
+}
+
+func (e *ProverEngine) sealShard(idx uint32, s *shard) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sealed {
+		return nil
+	}
+	seal := &Seal{
+		Prover: e.cfg.ASN,
+		Epoch:  e.epoch,
+		Shard:  idx,
+		Shards: uint32(len(e.shards)),
+	}
+	// Empty shards still seal (Count 0, zero root): every epoch publishes
+	// exactly Shards seals, so shard 0 always exists and two seal sets
+	// with different layouts are guaranteed to collide on a gossip topic
+	// (their signed Shards fields differ), surfacing the equivocation.
+	if len(s.provers) > 0 {
+		// Deterministic leaf order: sorted by prefix.
+		pfxs := make([]prefix.Prefix, 0, len(s.provers))
+		for pfx := range s.provers {
+			pfxs = append(pfxs, pfx)
+		}
+		sort.Slice(pfxs, func(i, j int) bool { return pfxs[i].Compare(pfxs[j]) < 0 })
+		leaves := make([][]byte, len(pfxs))
+		s.index = make(map[prefix.Prefix]int, len(pfxs))
+		for i, pfx := range pfxs {
+			mc, err := s.provers[pfx].CommitMinUnsigned()
+			if err != nil {
+				return err
+			}
+			var err2 error
+			if leaves[i], err2 = mc.SignedBytes(); err2 != nil {
+				return err2
+			}
+			s.index[pfx] = i
+		}
+		batch, err := merkle.NewBatch(leaves)
+		if err != nil {
+			return err
+		}
+		s.batch = batch
+		seal.Count = uint32(batch.Len())
+		seal.Root = batch.Root()
+	}
+	var err error
+	if seal.Sig, err = e.cfg.Signer.Sign(seal.SignedBytes()); err != nil {
+		return err
+	}
+	// Mark sealed only once the seal exists: a mid-seal error leaves the
+	// shard unsealed so a retried SealEpoch redoes the work instead of
+	// silently returning a seal set with holes.
+	s.seal = seal
+	s.sealed = true
+	return nil
+}
+
+// Seals returns the shard seals of the sealed epoch, ascending by shard
+// index — exactly ShardCount of them, empty shards included.
+func (e *ProverEngine) Seals() []*Seal {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.sealsLocked()
+}
+
+func (e *ProverEngine) sealsLocked() []*Seal {
+	var out []*Seal
+	for _, s := range e.shards {
+		s.mu.Lock()
+		if s.seal != nil {
+			out = append(out, s.seal)
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// Prefixes returns every prefix with accepted state this epoch, sorted.
+func (e *ProverEngine) Prefixes() []prefix.Prefix {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var out []prefix.Prefix
+	for _, s := range e.shards {
+		s.mu.Lock()
+		for pfx := range s.provers {
+			out = append(out, pfx)
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// sealedProver returns the prefix's prover plus its sealed commitment
+// material; the epoch must be sealed and the prefix known.
+func (e *ProverEngine) sealedProver(pfx prefix.Prefix) (*core.Prover, *SealedCommitment, error) {
+	s, _, err := e.shardOf(pfx)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.sealed {
+		return nil, nil, fmt.Errorf("engine: epoch not sealed")
+	}
+	p, ok := s.provers[pfx]
+	if !ok {
+		return nil, nil, fmt.Errorf("engine: no state for prefix %s", pfx)
+	}
+	mc, err := p.CommitMinUnsigned()
+	if err != nil {
+		return nil, nil, err
+	}
+	proof, err := s.batch.Prove(s.index[pfx])
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, &SealedCommitment{MC: mc, Proof: proof, Seal: s.seal}, nil
+}
+
+// Commitment returns the sealed commitment for one prefix: what the engine
+// publishes (and neighbors gossip) in place of a per-prefix signature.
+func (e *ProverEngine) Commitment(pfx prefix.Prefix) (*SealedCommitment, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	_, sc, err := e.sealedProver(pfx)
+	return sc, err
+}
+
+// ProviderView is the engine's disclosure to a provider N_i for one
+// prefix: the §3.3 single-bit opening, authenticated by the shard seal.
+type ProviderView struct {
+	Sealed   *SealedCommitment
+	Position int
+	Opening  commit.Opening
+}
+
+// PromiseeView is the engine's disclosure to the promisee B for one
+// prefix: the full opened vector, provenance, and export, authenticated by
+// the shard seal.
+type PromiseeView struct {
+	Sealed   *SealedCommitment
+	Openings []commit.Opening
+	Winner   *core.Announcement
+	Export   core.ExportStatement
+}
+
+// DiscloseToProvider builds provider ni's view for one prefix. SealEpoch
+// must have been called.
+func (e *ProverEngine) DiscloseToProvider(pfx prefix.Prefix, ni aspath.ASN) (*ProviderView, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	p, sc, err := e.sealedProver(pfx)
+	if err != nil {
+		return nil, err
+	}
+	v, err := p.DiscloseToProvider(ni)
+	if err != nil {
+		return nil, err
+	}
+	return &ProviderView{Sealed: sc, Position: v.Position, Opening: v.Opening}, nil
+}
+
+// DiscloseToPromisee builds promisee b's view for one prefix. SealEpoch
+// must have been called.
+func (e *ProverEngine) DiscloseToPromisee(pfx prefix.Prefix, b aspath.ASN) (*PromiseeView, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	p, sc, err := e.sealedProver(pfx)
+	if err != nil {
+		return nil, err
+	}
+	v, err := p.DiscloseToPromisee(b)
+	if err != nil {
+		return nil, err
+	}
+	return &PromiseeView{Sealed: sc, Openings: v.Openings, Winner: v.Winner, Export: v.Export}, nil
+}
+
+// VerifyProviderView is N_i's check of an engine disclosure: authenticate
+// the sealed commitment (seal signature + Merkle inclusion), then run the
+// §3.3 opening check. A *core.Violation error means N_i caught the prover.
+func VerifyProviderView(ver sigs.Verifier, v *ProviderView, myAnn core.Announcement) error {
+	return verifyProviderView(func(s *Seal) error { return s.Verify(ver) }, ver, v, myAnn)
+}
+
+func verifyProviderView(checkSeal func(*Seal) error, ver sigs.Verifier, v *ProviderView, myAnn core.Announcement) error {
+	if v == nil || v.Sealed == nil {
+		return fmt.Errorf("engine: missing sealed commitment")
+	}
+	if err := v.Sealed.verify(checkSeal); err != nil {
+		return err
+	}
+	return core.CheckProviderOpening(v.Sealed.MC, v.Position, v.Opening, myAnn)
+}
+
+// VerifyPromiseeView is B's check of an engine disclosure: authenticate
+// the sealed commitment, then run the full §3.3 vector/export check. A
+// *core.Violation error means B caught the prover.
+func VerifyPromiseeView(ver sigs.Verifier, v *PromiseeView) error {
+	return verifyPromiseeView(func(s *Seal) error { return s.Verify(ver) }, ver, v)
+}
+
+func verifyPromiseeView(checkSeal func(*Seal) error, ver sigs.Verifier, v *PromiseeView) error {
+	if v == nil || v.Sealed == nil {
+		return fmt.Errorf("engine: missing sealed commitment")
+	}
+	if err := v.Sealed.verify(checkSeal); err != nil {
+		return err
+	}
+	return core.CheckPromiseeDisclosure(ver, &core.PromiseeView{
+		Commitment: v.Sealed.MC,
+		Openings:   v.Openings,
+		Winner:     v.Winner,
+		Export:     v.Export,
+	})
+}

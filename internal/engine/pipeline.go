@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"pvr/internal/aspath"
+	"pvr/internal/core"
+	"pvr/internal/prefix"
+	"pvr/internal/sigs"
+)
+
+// Result is the outcome of one pipeline verification job.
+type Result struct {
+	// Prefix is the prefix the verified view covers.
+	Prefix prefix.Prefix
+	// Neighbor is the verifying party's role peer: the provider whose
+	// announcement the view answers, or the promisee.
+	Neighbor aspath.ASN
+	// Err is nil on success; a *core.Violation when the prover was caught;
+	// any other error means the view was malformed or unauthentic.
+	Err error
+}
+
+// Violation reports whether the result caught the prover breaking its
+// promise (as opposed to clean success or a malformed view).
+func (r Result) Violation() (*core.Violation, bool) { return core.IsViolation(r.Err) }
+
+// Pipeline drives disclosure verification through a pool of channel-fed
+// workers. Signature checks dominate verification cost and are
+// embarrassingly parallel across (prefix, neighbor) pairs, so the pipeline
+// fans jobs out over Workers goroutines, each using a shared per-registry
+// verification-key cache (sigs.CachedVerifier) so registry lock traffic
+// does not serialize the pool.
+//
+// Usage is one-shot: NewPipeline, Submit* any number of times from any
+// goroutines, then Drain exactly once to close the feed and collect every
+// result.
+type Pipeline struct {
+	ver  sigs.Verifier
+	jobs chan func(sigs.Verifier) Result
+
+	// seals memoizes seal-signature checks (key: signed bytes ‖ signature,
+	// value: error or nil). A shard seal covers every prefix in its batch,
+	// so its one signature would otherwise be re-verified per leaf — the
+	// dominant per-view cost. Memoizing is sound because the check is a
+	// pure function of the key.
+	seals sync.Map
+
+	mu      sync.Mutex
+	results []Result
+	wg      sync.WaitGroup
+
+	drained bool
+}
+
+// checkSealOnce verifies a seal's signature at most once per distinct
+// (content, signature) pair.
+func (p *Pipeline) checkSealOnce(s *Seal) error {
+	key := string(s.SignedBytes()) + string(s.Sig)
+	if v, ok := p.seals.Load(key); ok {
+		if v == nil {
+			return nil
+		}
+		return v.(error)
+	}
+	err := s.Verify(p.ver)
+	if err == nil {
+		p.seals.Store(key, nil)
+	} else {
+		p.seals.Store(key, err)
+	}
+	return err
+}
+
+// NewPipeline starts a verification pool of the given width over the
+// registry (workers <= 0 panics; pass Config.Workers or GOMAXPROCS).
+func NewPipeline(reg *sigs.Registry, workers int) *Pipeline {
+	if workers <= 0 {
+		panic(fmt.Sprintf("engine: pipeline workers %d", workers))
+	}
+	p := &Pipeline{
+		ver:  sigs.NewCachedVerifier(reg),
+		jobs: make(chan func(sigs.Verifier) Result, 4*workers),
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				r := job(p.ver)
+				p.mu.Lock()
+				p.results = append(p.results, r)
+				p.mu.Unlock()
+			}
+		}()
+	}
+	return p
+}
+
+// SubmitProvider enqueues N_i's check of an engine provider view against
+// the announcement N_i itself sent.
+func (p *Pipeline) SubmitProvider(v *ProviderView, myAnn core.Announcement) {
+	p.jobs <- func(ver sigs.Verifier) Result {
+		return Result{
+			Prefix:   myAnn.Route.Prefix,
+			Neighbor: myAnn.Provider,
+			Err:      verifyProviderView(p.checkSealOnce, ver, v, myAnn),
+		}
+	}
+}
+
+// SubmitPromisee enqueues B's check of an engine promisee view.
+func (p *Pipeline) SubmitPromisee(v *PromiseeView, b aspath.ASN) {
+	var pfx prefix.Prefix
+	if v != nil && v.Sealed != nil && v.Sealed.MC != nil {
+		pfx = v.Sealed.MC.Prefix
+	}
+	p.jobs <- func(ver sigs.Verifier) Result {
+		return Result{Prefix: pfx, Neighbor: b, Err: verifyPromiseeView(p.checkSealOnce, ver, v)}
+	}
+}
+
+// Submit enqueues an arbitrary verification job; the worker passes in the
+// pipeline's cached verifier. Used for mixed workloads (e.g. announcement
+// signature checks sharing the pool with view checks).
+func (p *Pipeline) Submit(pfx prefix.Prefix, neighbor aspath.ASN, check func(sigs.Verifier) error) {
+	p.jobs <- func(ver sigs.Verifier) Result {
+		return Result{Prefix: pfx, Neighbor: neighbor, Err: check(ver)}
+	}
+}
+
+// stop closes the job feed and waits for the workers; it reports false if
+// the pipeline was already stopped.
+func (p *Pipeline) stop() bool {
+	p.mu.Lock()
+	if p.drained {
+		p.mu.Unlock()
+		return false
+	}
+	p.drained = true
+	p.mu.Unlock()
+	close(p.jobs)
+	p.wg.Wait()
+	return true
+}
+
+// Drain closes the job feed, waits for the workers, and returns every
+// result. Call exactly once; submissions after Drain panic.
+func (p *Pipeline) Drain() []Result {
+	if !p.stop() {
+		panic("engine: pipeline drained twice")
+	}
+	return p.results
+}
+
+// Close stops the workers without collecting results. It is idempotent
+// and safe after Drain — defer it so error paths between NewPipeline and
+// Drain do not leak the worker goroutines.
+func (p *Pipeline) Close() { p.stop() }

@@ -85,7 +85,7 @@ var ErrMalformed = errors.New("evidence: malformed record")
 // Judge renders a verdict on an evidence record, re-verifying every
 // signature and commitment from the registry. The explanation string says
 // what was (or was not) established.
-func Judge(reg *sigs.Registry, ev *Evidence) (Verdict, string, error) {
+func Judge(reg sigs.Verifier, ev *Evidence) (Verdict, string, error) {
 	switch ev.Kind {
 	case KindFalseBit:
 		return judgeFalseBit(reg, ev)
@@ -97,7 +97,7 @@ func Judge(reg *sigs.Registry, ev *Evidence) (Verdict, string, error) {
 	return Unproven, "", fmt.Errorf("%w: unknown kind %q", ErrMalformed, ev.Kind)
 }
 
-func judgeFalseBit(reg *sigs.Registry, ev *Evidence) (Verdict, string, error) {
+func judgeFalseBit(reg sigs.Verifier, ev *Evidence) (Verdict, string, error) {
 	if ev.MinCommitment == nil || ev.Opening == nil || ev.Announcement == nil || ev.Receipt == nil {
 		return Unproven, "", fmt.Errorf("%w: false-bit needs commitment, opening, announcement, receipt", ErrMalformed)
 	}
@@ -152,7 +152,7 @@ func judgeFalseBit(reg *sigs.Registry, ev *Evidence) (Verdict, string, error) {
 		ev.Accused, pos, pos, a.Provider), nil
 }
 
-func judgePromiseeView(reg *sigs.Registry, ev *Evidence) (Verdict, string, error) {
+func judgePromiseeView(reg sigs.Verifier, ev *Evidence) (Verdict, string, error) {
 	if ev.PromiseeView == nil {
 		return Unproven, "", fmt.Errorf("%w: missing promisee view", ErrMalformed)
 	}
@@ -173,7 +173,7 @@ func judgePromiseeView(reg *sigs.Registry, ev *Evidence) (Verdict, string, error
 	return Unproven, fmt.Sprintf("evidence does not reconstruct: %v", err), nil
 }
 
-func judgeEquivocation(reg *sigs.Registry, ev *Evidence) (Verdict, string, error) {
+func judgeEquivocation(reg sigs.Verifier, ev *Evidence) (Verdict, string, error) {
 	if ev.Conflict == nil {
 		return Unproven, "", fmt.Errorf("%w: missing conflict", ErrMalformed)
 	}

@@ -28,7 +28,7 @@ type Statement struct {
 }
 
 // Verify checks the statement's signature against the registry.
-func (s *Statement) Verify(reg *sigs.Registry) error {
+func (s *Statement) Verify(reg sigs.Verifier) error {
 	k, err := reg.Lookup(s.Origin)
 	if err != nil {
 		return err
@@ -58,7 +58,7 @@ func (c *Conflict) Error() string {
 // Verify re-checks the conflict from scratch: both statements validly
 // signed by the accused, same topic, different payloads. A forged conflict
 // fails here — this is what makes gossip conflicts judge-ready evidence.
-func (c *Conflict) Verify(reg *sigs.Registry) error {
+func (c *Conflict) Verify(reg sigs.Verifier) error {
 	if c.A.Origin != c.Origin || c.B.Origin != c.Origin || c.A.Topic != c.Topic || c.B.Topic != c.Topic {
 		return errors.New("gossip: conflict statements do not match accusation")
 	}
@@ -77,7 +77,7 @@ func (c *Conflict) Verify(reg *sigs.Registry) error {
 // Pool is one neighbor's view of gossiped statements. Safe for concurrent
 // use.
 type Pool struct {
-	reg *sigs.Registry
+	reg sigs.Verifier
 
 	mu    sync.Mutex
 	byKey map[string]Statement // origin/topic -> first accepted statement
@@ -85,7 +85,7 @@ type Pool struct {
 }
 
 // NewPool builds an empty pool verifying against reg.
-func NewPool(reg *sigs.Registry) *Pool {
+func NewPool(reg sigs.Verifier) *Pool {
 	return &Pool{reg: reg, byKey: make(map[string]Statement)}
 }
 

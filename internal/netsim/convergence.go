@@ -3,11 +3,16 @@ package netsim
 import (
 	"errors"
 	"fmt"
+	"net/netip"
+	"runtime"
 	"time"
 
 	"pvr/internal/aspath"
 	"pvr/internal/bgp"
+	"pvr/internal/core"
+	"pvr/internal/engine"
 	"pvr/internal/merkle"
+	"pvr/internal/route"
 	"pvr/internal/sigs"
 	"pvr/internal/topology"
 	"pvr/internal/trace"
@@ -32,6 +37,14 @@ type ConvergenceConfig struct {
 	// individually.
 	PVR       bool
 	BatchSize int
+	// Engine, with PVR, additionally runs the sharded ProverEngine at the
+	// origin's first neighbor after convergence: the neighbor ingests the
+	// origin's signed announcements for every prefix, seals the epoch with
+	// batched shard commitments, and the promisee views are verified
+	// through the parallel pipeline. Its signature and verification work
+	// is added to the counters; EngineShards 0 uses the engine default.
+	Engine       bool
+	EngineShards int
 }
 
 // ConvergenceResult reports protocol and crypto cost.
@@ -45,6 +58,11 @@ type ConvergenceResult struct {
 	RoutingTime time.Duration
 	// Converged is true when propagation quiesced within the round bound.
 	Converged bool
+	// EngineSeals and EngineVerified report the post-convergence engine
+	// epoch when ConvergenceConfig.Engine is set: shard seals signed and
+	// promisee disclosures verified.
+	EngineSeals    int
+	EngineVerified int
 }
 
 // RunConvergence floods the origin's prefixes through the topology,
@@ -221,6 +239,67 @@ func RunConvergence(cfg ConvergenceConfig) (*ConvergenceResult, error) {
 				return nil, err
 			}
 		}
+	}
+
+	// Engine epoch: the origin's first neighbor proves its shortest-route
+	// promise over the whole converged prefix table through the sharded
+	// engine — the multi-prefix commitment workload a deployment would run
+	// each epoch on top of update signing.
+	if cfg.PVR && cfg.Engine {
+		neighbors := cfg.Graph.Neighbors(cfg.Origin)
+		if len(neighbors) == 0 {
+			return nil, errors.New("netsim: origin has no neighbors for engine run")
+		}
+		proverAS := neighbors[0]
+		eng, err := engine.New(engine.Config{
+			ASN: proverAS, Signer: signers[proverAS], Registry: reg,
+			Shards: cfg.EngineShards, MaxLen: 32,
+		})
+		if err != nil {
+			return nil, err
+		}
+		eng.BeginEpoch(1)
+		c0 := time.Now()
+		for _, p := range uni {
+			r := route.Route{
+				Prefix:  p,
+				Path:    aspath.New(cfg.Origin),
+				NextHop: netip.AddrFrom4([4]byte{192, 0, 2, 1}),
+			}
+			ann, err := core.NewAnnouncement(signers[cfg.Origin], cfg.Origin, proverAS, 1, r)
+			if err != nil {
+				return nil, err
+			}
+			res.SignOps++ // the origin's announcement signature
+			if _, err := eng.AcceptAnnouncement(ann); err != nil {
+				return nil, err
+			}
+			res.SignOps++   // the prover's receipt signature
+			res.VerifyOps++ // the prover's announcement check
+		}
+		seals, err := eng.SealEpoch()
+		if err != nil {
+			return nil, err
+		}
+		res.SignOps += len(seals)
+		res.EngineSeals = len(seals)
+		pl := engine.NewPipeline(reg, runtime.GOMAXPROCS(0))
+		defer pl.Close()
+		for _, p := range uni {
+			v, err := eng.DiscloseToPromisee(p, cfg.Origin)
+			if err != nil {
+				return nil, err
+			}
+			pl.SubmitPromisee(v, cfg.Origin)
+		}
+		for _, r := range pl.Drain() {
+			if r.Err != nil {
+				return nil, fmt.Errorf("netsim: engine verify %s: %w", r.Prefix, r.Err)
+			}
+			res.VerifyOps++
+			res.EngineVerified++
+		}
+		res.CryptoTime += time.Since(c0)
 	}
 	return res, nil
 }

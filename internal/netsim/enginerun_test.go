@@ -1,0 +1,110 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pvr/internal/topology"
+)
+
+func TestRunEngineEpoch(t *testing.T) {
+	res, err := RunEngineEpoch(EngineRunConfig{
+		Prefixes: 60, Providers: 3, MaxLen: 12, Shards: 4, Workers: 4, Writers: 4, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Announcements != 180 {
+		t.Fatalf("announcements = %d, want 180", res.Announcements)
+	}
+	if res.Seals != 4 {
+		t.Fatalf("seals = %d, want one per shard (4)", res.Seals)
+	}
+	// Every provider bit plus every promisee vector verifies; nothing is
+	// flagged on an honest run.
+	if want := res.Announcements + res.Prefixes; res.Verified != want {
+		t.Fatalf("verified = %d, want %d (violations %d, malformed %d)",
+			res.Verified, want, res.Violations, res.Malformed)
+	}
+	if res.Violations != 0 || res.Malformed != 0 {
+		t.Fatalf("honest run flagged: %d violations, %d malformed", res.Violations, res.Malformed)
+	}
+}
+
+// TestRunEngineEpochDeterministic: the accepted route table is a pure
+// function of the seed — counts match across runs and across writer
+// parallelism (timings excluded, they are wall-clock).
+func TestRunEngineEpochDeterministic(t *testing.T) {
+	strip := func(r *EngineRunResult) EngineRunResult {
+		c := *r
+		c.AcceptTime, c.SealTime, c.VerifyTime = 0, 0, 0
+		return c
+	}
+	base, err := RunEngineEpoch(EngineRunConfig{Prefixes: 30, Providers: 2, Shards: 4, Workers: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, writers := range []int{1, 4} {
+		got, err := RunEngineEpoch(EngineRunConfig{
+			Prefixes: 30, Providers: 2, Shards: 4, Workers: 2, Writers: writers, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(strip(base), strip(got)) {
+			t.Fatalf("writers=%d: %+v != %+v", writers, strip(got), strip(base))
+		}
+	}
+}
+
+func TestConvergenceWithEngine(t *testing.T) {
+	g, err := topology.Tiered(2, 4, 6, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin := g.Nodes()[len(g.Nodes())-1]
+	res, err := RunConvergence(ConvergenceConfig{
+		Graph: g, Origin: origin, Prefixes: 8,
+		PVR: true, Engine: true, EngineShards: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if res.EngineSeals != 4 {
+		t.Fatalf("engine seals = %d, want one per shard (4)", res.EngineSeals)
+	}
+	if res.EngineVerified != 8 {
+		t.Fatalf("engine verified = %d, want 8", res.EngineVerified)
+	}
+}
+
+// TestFig1Deterministic: identical seeds replay identically for every
+// fault, the reproducibility contract of Fig1Config.Seed.
+func TestFig1Deterministic(t *testing.T) {
+	for _, f := range []Fault{FaultNone, FaultSuppress, FaultWrongExport, FaultEquivocate} {
+		t.Run(f.String(), func(t *testing.T) {
+			strip := func(r *Fig1Result) string {
+				c := *r
+				c.Elapsed = 0
+				return fmt.Sprintf("%+v", c)
+			}
+			cfg := Fig1Config{K: 5, MaxLen: 16, Fault: f, Seed: 99}
+			a, err := RunFig1(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := RunFig1(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if strip(a) != strip(b) {
+				t.Fatalf("same seed, different results:\n%s\n%s", strip(a), strip(b))
+			}
+		})
+	}
+}

@@ -220,8 +220,10 @@ func RunFig1(cfg Fig1Config) (*Fig1Result, error) {
 		}
 	}
 
-	// Provider verification.
-	for ni, ann := range anns {
+	// Provider verification, in ascending provider order so runs with the
+	// same seed replay identically (map iteration order is randomized).
+	for _, ni := range sortedProviders(anns) {
+		ann := anns[ni]
 		view, ok := views[ni]
 		if !ok {
 			continue
@@ -310,7 +312,7 @@ func buildViews(p *core.Prover, proverSigner sigs.Signer, reg *sigs.Registry, cf
 			return nil, nil, nil, err
 		}
 		views := make(map[aspath.ASN]*core.ProviderView)
-		for ni := range anns {
+		for _, ni := range sortedProviders(anns) {
 			v, err := p.DiscloseToProvider(ni)
 			if err != nil {
 				return nil, nil, nil, err
@@ -336,8 +338,8 @@ func buildViews(p *core.Prover, proverSigner sigs.Signer, reg *sigs.Registry, cf
 			return nil, nil, nil, err
 		}
 		views := make(map[aspath.ASN]*core.ProviderView)
-		for ni, ann := range anns {
-			pos := ann.Route.PathLen()
+		for _, ni := range sortedProviders(anns) {
+			pos := anns[ni].Route.PathLen()
 			views[ni] = &core.ProviderView{Commitment: mc, Position: pos, Opening: openings[pos-1]}
 			stmts[ni] = stmt
 		}
@@ -360,7 +362,7 @@ func buildViews(p *core.Prover, proverSigner sigs.Signer, reg *sigs.Registry, cf
 			return nil, nil, nil, err
 		}
 		views := make(map[aspath.ASN]*core.ProviderView)
-		for ni := range anns {
+		for _, ni := range sortedProviders(anns) {
 			v, err := p.DiscloseToProvider(ni)
 			if err != nil {
 				return nil, nil, nil, err
@@ -373,7 +375,7 @@ func buildViews(p *core.Prover, proverSigner sigs.Signer, reg *sigs.Registry, cf
 			return nil, nil, nil, err
 		}
 		var longest *core.Announcement
-		for ni := range anns {
+		for _, ni := range sortedProviders(anns) {
 			a := anns[ni]
 			if longest == nil || a.Route.PathLen() > longest.Route.PathLen() {
 				longest = &a
@@ -408,7 +410,7 @@ func buildViews(p *core.Prover, proverSigner sigs.Signer, reg *sigs.Registry, cf
 			return nil, nil, nil, err
 		}
 		views := make(map[aspath.ASN]*core.ProviderView)
-		for ni := range anns {
+		for _, ni := range sortedProviders(anns) {
 			v, err := p.DiscloseToProvider(ni)
 			if err != nil {
 				return nil, nil, nil, err
@@ -487,6 +489,17 @@ func makeAnnouncement(signer sigs.Signer, from, to aspath.ASN, epoch uint64, pfx
 		Origin:    route.OriginIGP,
 	}
 	return core.NewAnnouncement(signer, from, to, epoch, r)
+}
+
+// sortedProviders returns the announcing providers in ascending ASN order,
+// so every pass over the announcement map is deterministic.
+func sortedProviders(anns map[aspath.ASN]core.Announcement) []aspath.ASN {
+	out := make([]aspath.ASN, 0, len(anns))
+	for ni := range anns {
+		out = append(out, ni)
+	}
+	sortASNs(out)
+	return out
 }
 
 func sortASNs(a []aspath.ASN) {

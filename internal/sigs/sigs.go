@@ -189,6 +189,16 @@ func UnmarshalPublicKey(b []byte) (PublicKey, error) {
 	return nil, fmt.Errorf("sigs: unknown scheme %d", b[0])
 }
 
+// Verifier is the read side of a key registry: everything the protocol
+// verification paths need. *Registry implements it directly; wrap a
+// registry in NewCachedVerifier for hot verification loops.
+type Verifier interface {
+	// Lookup returns the verification key registered for an AS.
+	Lookup(asn aspath.ASN) (PublicKey, error)
+	// Verify checks that sig is a valid signature by asn over msg.
+	Verify(asn aspath.ASN, msg, sig []byte) error
+}
+
 // Registry maps AS numbers to verification keys. It models the out-of-band
 // PKI the paper assumes ("we can sign all the routing announcements",
 // §3.2). Registry is safe for concurrent use.
@@ -239,6 +249,51 @@ func (r *Registry) Members() []aspath.ASN {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// CachedVerifier memoizes registry lookups. Registry.Lookup takes a lock
+// and a map probe per signature check; on the engine's parallel
+// verification paths the same handful of keys is checked millions of
+// times, so each worker-facing verifier snapshots keys into a sync.Map
+// that is read lock-free after first use. A key replaced in the underlying
+// registry is picked up again after Invalidate.
+type CachedVerifier struct {
+	reg   *Registry
+	cache sync.Map // aspath.ASN -> PublicKey
+}
+
+// NewCachedVerifier wraps a registry in a lookup cache. The returned
+// verifier is safe for concurrent use.
+func NewCachedVerifier(reg *Registry) *CachedVerifier {
+	return &CachedVerifier{reg: reg}
+}
+
+// Lookup returns the cached key for asn, consulting the registry on miss.
+func (c *CachedVerifier) Lookup(asn aspath.ASN) (PublicKey, error) {
+	if k, ok := c.cache.Load(asn); ok {
+		return k.(PublicKey), nil
+	}
+	k, err := c.reg.Lookup(asn)
+	if err != nil {
+		return nil, err
+	}
+	c.cache.Store(asn, k)
+	return k, nil
+}
+
+// Verify checks that sig is a valid signature by asn over msg, using the
+// cached key.
+func (c *CachedVerifier) Verify(asn aspath.ASN, msg, sig []byte) error {
+	k, err := c.Lookup(asn)
+	if err != nil {
+		return err
+	}
+	return k.Verify(msg, sig)
+}
+
+// Invalidate drops every cached key, forcing fresh registry lookups.
+func (c *CachedVerifier) Invalidate() {
+	c.cache.Range(func(k, _ any) bool { c.cache.Delete(k); return true })
 }
 
 // Signed is a signed envelope: a payload bound to its signer's ASN. The

@@ -182,3 +182,51 @@ func TestRegistryConcurrentAccess(t *testing.T) {
 		t.Errorf("Members = %d, want 800", len(reg.Members()))
 	}
 }
+
+func TestCachedVerifier(t *testing.T) {
+	reg := NewRegistry()
+	s, err := GenerateEd25519()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Register(64500, s.Public())
+	cv := NewCachedVerifier(reg)
+
+	msg := []byte("hello")
+	sig, err := s.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // repeated hits exercise the cache path
+		if err := cv.Verify(64500, msg, sig); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cv.Verify(64500, msg, append([]byte(nil), make([]byte, len(sig))...)); err == nil {
+		t.Fatal("bad signature verified")
+	}
+	if _, err := cv.Lookup(64999); err == nil {
+		t.Fatal("unknown ASN resolved")
+	}
+
+	// A replaced key is invisible until Invalidate.
+	s2, err := GenerateEd25519()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Register(64500, s2.Public())
+	if err := cv.Verify(64500, msg, sig); err != nil {
+		t.Fatal("cached key should still verify old signature")
+	}
+	cv.Invalidate()
+	if err := cv.Verify(64500, msg, sig); err == nil {
+		t.Fatal("old signature verified after key rotation + Invalidate")
+	}
+	sig2, err := s2.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cv.Verify(64500, msg, sig2); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -46,6 +46,7 @@ import (
 
 	"pvr/internal/aspath"
 	"pvr/internal/core"
+	"pvr/internal/engine"
 	"pvr/internal/evidence"
 	"pvr/internal/gossip"
 	"pvr/internal/netsim"
@@ -100,6 +101,8 @@ type (
 	GraphCommitment = core.GraphCommitment
 	// VertexDisclosure reveals one graph vertex under α.
 	VertexDisclosure = core.VertexDisclosure
+	// ExportStatement is A's signed statement of what it exported (§3.3).
+	ExportStatement = core.ExportStatement
 )
 
 // Route-flow graph types (§2.1–2.2).
@@ -124,6 +127,47 @@ type (
 
 // Registry maps ASNs to verification keys.
 type Registry = sigs.Registry
+
+// Verifier is the read side of a Registry; *Registry implements it.
+type Verifier = sigs.Verifier
+
+// Engine types: the sharded multi-prefix prover (internal/engine). Where a
+// Prover handles one (prefix, epoch), an Engine handles an AS's whole
+// table: hash-sharded per-prefix state, concurrent announcement ingest,
+// one Merkle-batched commitment signature per shard at epoch seal, and a
+// worker-pool verification pipeline on the receiving side.
+type (
+	// Engine is the sharded multi-prefix prover.
+	Engine = engine.ProverEngine
+	// EngineConfig parameterizes NewEngine; zero values are defaulted.
+	EngineConfig = engine.Config
+	// EngineSeal is one shard's signed Merkle-batched epoch commitment.
+	EngineSeal = engine.Seal
+	// SealedCommitment is a per-prefix commitment authenticated by a shard
+	// seal plus inclusion proof instead of its own signature.
+	SealedCommitment = engine.SealedCommitment
+	// EngineProviderView is the engine's §3.3 disclosure to a provider.
+	EngineProviderView = engine.ProviderView
+	// EnginePromiseeView is the engine's §3.3 disclosure to the promisee.
+	EnginePromiseeView = engine.PromiseeView
+	// Pipeline is the channel-fed worker pool for parallel disclosure
+	// verification with a cached key registry.
+	Pipeline = engine.Pipeline
+	// VerifyResult is one pipeline verification outcome.
+	VerifyResult = engine.Result
+)
+
+// NewEngine builds a sharded multi-prefix prover engine. Config.ASN,
+// Signer, and Registry are required; NewPipeline builds the matching
+// verification pool (workers must be positive).
+var (
+	NewEngine   = engine.New
+	NewPipeline = engine.NewPipeline
+	// VerifyEngineProviderView is N_i's check of an engine disclosure.
+	VerifyEngineProviderView = engine.VerifyProviderView
+	// VerifyEnginePromiseeView is B's check of an engine disclosure.
+	VerifyEnginePromiseeView = engine.VerifyPromiseeView
+)
 
 // Re-exported verification functions: these are what each neighbor runs.
 var (
@@ -167,6 +211,18 @@ const (
 
 // RunFig1 executes one epoch of the Fig. 1 scenario with fault injection.
 var RunFig1 = netsim.RunFig1
+
+// Engine-scale simulation driver (experiment E10): a whole-table epoch
+// through the sharded engine with pipelined verification.
+type (
+	// EngineRunConfig parameterizes RunEngineEpoch.
+	EngineRunConfig = netsim.EngineRunConfig
+	// EngineRunResult reports counts and the cost split.
+	EngineRunResult = netsim.EngineRunResult
+)
+
+// RunEngineEpoch runs one multi-prefix epoch through a sharded engine.
+var RunEngineEpoch = netsim.RunEngineEpoch
 
 // Network is the set of participating ASes and their public keys: the
 // out-of-band PKI the paper assumes. Safe for concurrent use.
@@ -261,7 +317,24 @@ func (nd *Node) NewGraphProver(g *Graph, access *Access) *GraphProver {
 	return core.NewGraphProver(nd.asn, nd.signer, g, access)
 }
 
+// SignExport signs an export statement for a route offered to the given
+// promisee. Honest provers export through their Prover or Engine
+// disclosures; this is for simulations that model Byzantine exports.
+func (nd *Node) SignExport(to ASN, epoch uint64, r Route) (ExportStatement, error) {
+	return core.NewExportStatement(nd.signer, nd.asn, to, epoch, r, false)
+}
+
 // NewGossipPool creates this node's equivocation-detection pool.
 func (nd *Node) NewGossipPool() *GossipPool {
 	return gossip.NewPool(nd.net.reg)
+}
+
+// NewEngine creates this node's sharded multi-prefix prover engine. The
+// identity fields (ASN, Signer, Registry) are filled from the node; set
+// MaxLen, Shards, and Workers in cfg or leave them zero for defaults.
+func (nd *Node) NewEngine(cfg EngineConfig) (*Engine, error) {
+	cfg.ASN = nd.asn
+	cfg.Signer = nd.signer
+	cfg.Registry = nd.net.reg
+	return engine.New(cfg)
 }

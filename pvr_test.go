@@ -1,6 +1,7 @@
 package pvr_test
 
 import (
+	"fmt"
 	"net/netip"
 	"testing"
 
@@ -136,5 +137,85 @@ func TestPublicAPIGossip(t *testing.T) {
 	}
 	if got := len(pool.Statements()); got != 0 {
 		t.Errorf("fresh pool has %d statements", got)
+	}
+}
+
+// TestPublicAPIEngine exercises the sharded multi-prefix engine through
+// the public surface: ingest for many prefixes, seal, and verify both
+// disclosure kinds via the pipeline.
+func TestPublicAPIEngine(t *testing.T) {
+	net := pvr.NewNetwork()
+	a, err := net.AddNode(64500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, err := net.AddNode(64501)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.AddNode(64503)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := a.NewEngine(pvr.EngineConfig{MaxLen: 16, Shards: 4, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.BeginEpoch(1)
+
+	var (
+		pfxs []pvr.Prefix
+		anns []pvr.Announcement
+	)
+	for i := 0; i < 20; i++ {
+		pfx := pvr.MustParsePrefix(fmt.Sprintf("10.0.%d.0/24", i))
+		pfxs = append(pfxs, pfx)
+		asns := make([]pvr.ASN, 1+i%16)
+		asns[0] = n1.ASN()
+		for j := 1; j < len(asns); j++ {
+			asns[j] = pvr.ASN(65000 + j)
+		}
+		ann, err := n1.Announce(a.ASN(), 1, pvr.Route{
+			Prefix:  pfx,
+			Path:    pvr.NewPath(asns...),
+			NextHop: netip.MustParseAddr("192.0.2.1"),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.AcceptAnnouncement(ann); err != nil {
+			t.Fatal(err)
+		}
+		anns = append(anns, ann)
+	}
+
+	seals, err := eng.SealEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range seals {
+		if err := s.Verify(net.Registry()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	pl := pvr.NewPipeline(net.Registry(), 2)
+	for i, pfx := range pfxs {
+		pv, err := eng.DiscloseToProvider(pfx, n1.ASN())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl.SubmitProvider(pv, anns[i])
+		bv, err := eng.DiscloseToPromisee(pfx, b.ASN())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl.SubmitPromisee(bv, b.ASN())
+	}
+	for _, r := range pl.Drain() {
+		if r.Err != nil {
+			t.Fatalf("%s neighbor %s: %v", r.Prefix, r.Neighbor, r.Err)
+		}
 	}
 }

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt bench clean
+.PHONY: all build test race vet fmt bench bench-smoke clean
 
 all: build
 
@@ -21,10 +21,21 @@ vet:
 fmt:
 	gofmt -l .
 
-# bench emits BENCH_engine.json: the E10 engine-vs-serial rows consumed
-# by the perf trajectory, plus the printed tables on stdout.
+# bench emits BENCH_engine.json (E10 engine-vs-serial rows) and
+# BENCH_gossip.json (E11 audit-gossip rows), consumed by the perf
+# trajectory, plus the printed tables on stdout.
 bench:
 	$(GO) run ./cmd/pvrbench -e engine -json BENCH_engine.json
+	$(GO) run ./cmd/pvrbench -e gossip -json BENCH_gossip.json
+
+# bench-smoke runs both experiment harnesses at tiny sizes and fails if
+# either JSON output comes back empty — catches benchmark-harness rot in
+# CI without paying for the full sweeps.
+bench-smoke:
+	$(GO) run ./cmd/pvrbench -e engine -prefixes 50 -json BENCH_engine.json
+	$(GO) run ./cmd/pvrbench -e gossip -nodes 8 -json BENCH_gossip.json
+	grep -q '"prefixes"' BENCH_engine.json
+	grep -q '"nodes"' BENCH_gossip.json
 
 clean:
-	rm -f BENCH_engine.json
+	rm -f BENCH_engine.json BENCH_gossip.json

@@ -451,8 +451,29 @@ type engineRow struct {
 	Seals      int     `json:"engine_seals"`
 }
 
-// jsonOut, when set by -json, receives the E10 rows as a JSON array.
-var jsonOut string
+// jsonOut, when set by -json, receives the selected experiment's rows as a
+// JSON array; jsonExp records which experiment -e selected (engine owns
+// the file under "all", gossip only when selected directly).
+var (
+	jsonOut string
+	jsonExp string
+	// benchPrefixes / gossipNodes, when nonzero, collapse the E10/E11
+	// sweeps to a single size (CI smoke runs).
+	benchPrefixes int
+	gossipNodes   int
+)
+
+func writeJSONRows(rows any) error {
+	b, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonOut, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  (wrote %s)\n", jsonOut)
+	return nil
+}
 
 func runEngine(seed int64) error {
 	header("E10", "sharded engine vs single-prefix prover loop (full epoch: accept+commit+verify)")
@@ -470,8 +491,12 @@ func runEngine(seed int64) error {
 	fmt.Printf("%10s %12s %12s %10s %14s %10s\n",
 		"prefixes", "serial", "engine", "speedup", "commit sigs", "seals")
 
+	sweep := []int{100, 500, 1000}
+	if benchPrefixes > 0 {
+		sweep = []int{benchPrefixes}
+	}
 	var rows []engineRow
-	for _, nPfx := range []int{100, 500, 1000} {
+	for _, nPfx := range sweep {
 		const maxLen = 16
 		epoch := uint64(nPfx) // distinct epochs keep commitments apart
 		pfxs := trace.Universe(nPfx)
@@ -572,10 +597,14 @@ func runEngine(seed int64) error {
 	}
 
 	// Writer-scaling view through the netsim driver.
+	wsPfx := 500
+	if benchPrefixes > 0 {
+		wsPfx = benchPrefixes
+	}
 	fmt.Printf("\n%10s %12s %12s %12s\n", "writers", "accept", "seal", "verify")
 	for _, writers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
 		res, err := netsim.RunEngineEpoch(netsim.EngineRunConfig{
-			Prefixes: 500, Providers: k, Writers: writers, Seed: seed,
+			Prefixes: wsPfx, Providers: k, Writers: writers, Seed: seed,
 		})
 		if err != nil {
 			return err
@@ -585,15 +614,77 @@ func runEngine(seed int64) error {
 			res.VerifyTime.Round(time.Millisecond))
 	}
 
-	if jsonOut != "" {
-		b, err := json.MarshalIndent(rows, "", "  ")
-		if err != nil {
+	if jsonOut != "" && jsonExp != "gossip" {
+		if err := writeJSONRows(rows); err != nil {
 			return err
 		}
-		if err := os.WriteFile(jsonOut, append(b, '\n'), 0o644); err != nil {
+	}
+	return nil
+}
+
+// E11 — the audit network: anti-entropy gossip dissemination of engine
+// seals, equivocation detection latency, and reconciliation cost vs Δ.
+
+type gossipRow struct {
+	Nodes           int    `json:"nodes"`
+	Fanout          int    `json:"fanout"`
+	Epoch           uint64 `json:"epoch"`
+	Delta           int    `json:"delta"`
+	StoreBefore     int    `json:"store_before"`
+	Rounds          int    `json:"rounds"`
+	Bytes           int64  `json:"bytes"`
+	FirstRoundBytes int64  `json:"first_round_bytes"`
+	FirstDetection  int    `json:"first_detection"`
+	FullDetection   int    `json:"full_detection"`
+	DetectionBound  int    `json:"detection_bound"`
+}
+
+func runGossip(seed int64) error {
+	header("E11 (§3.2/§3.6)", "anti-entropy audit gossip: detection latency + reconciliation bytes vs Δ")
+	sizes := []int{10, 20, 40}
+	if gossipNodes > 0 {
+		sizes = []int{gossipNodes}
+	}
+	const epochs = 4
+	fmt.Printf("%6s %7s %14s %7s %10s %12s %12s %10s\n",
+		"nodes", "fanout", "detect(f/all)", "bound", "rounds", "epoch1 B", "epoch4 B", "store")
+	var rows []gossipRow
+	for _, n := range sizes {
+		for _, fanout := range []int{1, 2, 3} {
+			if fanout > n-1 {
+				continue
+			}
+			res, err := netsim.RunGossip(netsim.GossipConfig{
+				Nodes: n, Fanout: fanout, Epochs: epochs, Equivocate: true, Seed: seed,
+			})
+			if err != nil {
+				return err
+			}
+			totalRounds := 0
+			for _, es := range res.EpochStats {
+				totalRounds += es.Rounds
+			}
+			first := res.EpochStats[0]
+			last := res.EpochStats[len(res.EpochStats)-1]
+			fmt.Printf("%6d %7d %9d/%-4d %7d %10d %12d %12d %10d\n",
+				n, fanout, res.FirstDetection, res.FullDetection,
+				netsim.DetectionBound(n), totalRounds, first.Bytes, last.Bytes, res.StoreFinal)
+			for _, es := range res.EpochStats {
+				rows = append(rows, gossipRow{
+					Nodes: n, Fanout: fanout, Epoch: es.Epoch, Delta: es.Delta,
+					StoreBefore: es.StoreBefore, Rounds: es.Rounds, Bytes: es.Bytes,
+					FirstRoundBytes: es.FirstRoundBytes,
+					FirstDetection:  res.FirstDetection, FullDetection: res.FullDetection,
+					DetectionBound: netsim.DetectionBound(n),
+				})
+			}
+		}
+	}
+	fmt.Println("  (per-epoch JSON rows show bytes tracking delta, not store_before)")
+	if jsonOut != "" && jsonExp == "gossip" {
+		if err := writeJSONRows(rows); err != nil {
 			return err
 		}
-		fmt.Printf("  (wrote %s)\n", jsonOut)
 	}
 	return nil
 }

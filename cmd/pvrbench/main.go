@@ -13,9 +13,13 @@
 //	pvrbench -e e2e          # E8: plain vs PVR BGP convergence
 //	pvrbench -e ring         # E9: §3.2 ring signatures
 //	pvrbench -e engine       # E10: sharded multi-prefix engine vs prover loop
+//	pvrbench -e gossip       # E11: anti-entropy audit gossip (auditnet)
 //
-// With -json FILE, the engine experiment additionally writes its rows as
-// JSON (the BENCH_engine.json consumed by the perf trajectory).
+// With -json FILE, the engine experiment (or, when selected directly, the
+// gossip experiment) additionally writes its rows as JSON (the
+// BENCH_engine.json / BENCH_gossip.json consumed by the perf trajectory).
+// -prefixes and -nodes shrink the E10/E11 sweeps to a single size, for CI
+// smoke runs.
 package main
 
 import (
@@ -25,10 +29,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("e", "all", "experiment: all|fig1|fig2|smc|zkp|crypto|batch|properties|e2e|ring|engine")
+	exp := flag.String("e", "all", "experiment: all|fig1|fig2|smc|zkp|crypto|batch|properties|e2e|ring|engine|gossip")
 	seed := flag.Int64("seed", 1, "random seed for workloads")
-	flag.StringVar(&jsonOut, "json", "", "write engine experiment rows to this JSON file")
+	flag.StringVar(&jsonOut, "json", "", "write the engine (or gossip, when selected) rows to this JSON file")
+	flag.IntVar(&benchPrefixes, "prefixes", 0, "override the E10 prefix-table sweep with one size")
+	flag.IntVar(&gossipNodes, "nodes", 0, "override the E11 network-size sweep with one size")
 	flag.Parse()
+	jsonExp = *exp
 
 	runners := map[string]func(int64) error{
 		"fig1":       runFig1,
@@ -41,8 +48,9 @@ func main() {
 		"e2e":        runE2E,
 		"ring":       runRing,
 		"engine":     runEngine,
+		"gossip":     runGossip,
 	}
-	order := []string{"fig1", "fig2", "smc", "zkp", "crypto", "batch", "properties", "e2e", "ring", "engine"}
+	order := []string{"fig1", "fig2", "smc", "zkp", "crypto", "batch", "properties", "e2e", "ring", "engine", "gossip"}
 
 	var selected []string
 	if *exp == "all" {

@@ -22,7 +22,13 @@
 // the paper's out-of-band PKI), then verifies every learned route: the
 // route body's own signature, the shard-seal signature, the prefix→shard
 // binding, and Merkle inclusion of the commitment under the sealed root.
-// Stop with Ctrl-C.
+//
+// Both modes can additionally join the audit network (internal/auditnet):
+// -gossip-listen serves anti-entropy exchanges, -gossip-peers dials the
+// given peers every -gossip-every, and -ledger persists confirmed
+// equivocation evidence across restarts. The listener seeds its auditor
+// with its own shard seals; the dialer audits what it learns, and routes
+// from a convicted peer are rejected. Stop with Ctrl-C.
 package main
 
 import (
@@ -36,6 +42,7 @@ import (
 	"time"
 
 	"pvr/internal/aspath"
+	"pvr/internal/auditnet"
 	"pvr/internal/bgp"
 	"pvr/internal/core"
 	"pvr/internal/engine"
@@ -46,6 +53,14 @@ import (
 	"pvr/internal/sigs"
 )
 
+// gossipOpts carries the audit-network flags shared by both modes.
+type gossipOpts struct {
+	listen string
+	peers  []string
+	every  time.Duration
+	ledger string
+}
+
 func main() {
 	listen := flag.String("listen", "", "listen address (server mode)")
 	connect := flag.String("connect", "", "peer address (client mode)")
@@ -53,6 +68,10 @@ func main() {
 	originate := flag.String("originate", "", "comma-separated prefixes to originate (server mode)")
 	shards := flag.Int("shards", 0, "engine shard count (0 = one per CPU)")
 	hold := flag.Uint("hold", 9, "hold time seconds (0 disables)")
+	gossipListen := flag.String("gossip-listen", "", "serve audit anti-entropy exchanges on this address")
+	gossipPeers := flag.String("gossip-peers", "", "comma-separated audit peers to reconcile with periodically")
+	gossipEvery := flag.Duration("gossip-every", 2*time.Second, "anti-entropy round interval")
+	ledgerPath := flag.String("ledger", "", "persistent evidence ledger file (audit convictions survive restarts)")
 	flag.Parse()
 
 	if (*listen == "") == (*connect == "") {
@@ -60,12 +79,90 @@ func main() {
 		os.Exit(2)
 	}
 	local := bgp.Open{ASN: aspath.ASN(*asn), HoldTime: uint16(*hold), RouterID: uint32(*asn)}
+	g := gossipOpts{listen: *gossipListen, every: *gossipEvery, ledger: *ledgerPath}
+	for _, p := range strings.Split(*gossipPeers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			g.peers = append(g.peers, p)
+		}
+	}
 
 	if *listen != "" {
-		serve(*listen, local, *originate, *shards)
+		serve(*listen, local, *originate, *shards, g)
 		return
 	}
-	dial(*connect, local)
+	dial(*connect, local, g)
+}
+
+// newAuditor stands up the local audit node over the daemon's registry,
+// replaying the evidence ledger when one is configured.
+func newAuditor(local aspath.ASN, reg *sigs.Registry, g gossipOpts) (*auditnet.Auditor, error) {
+	cfg := auditnet.Config{ASN: local, Registry: reg}
+	if g.ledger != "" {
+		led, recs, err := auditnet.OpenLedger(g.ledger)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Ledger, cfg.Replay = led, recs
+		if len(recs) > 0 {
+			fmt.Printf("pvrd: replayed %d evidence records from %s\n", len(recs), g.ledger)
+		}
+	}
+	a, err := auditnet.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range a.Convictions() {
+		fmt.Printf("pvrd: audit: %s stands convicted (%s)\n", c.ASN, c.Detail)
+	}
+	return a, nil
+}
+
+// startGossip wires the auditor into the network: a listener answering
+// anti-entropy exchanges and a ticker reconciling with each peer.
+func startGossip(a *auditnet.Auditor, g gossipOpts) error {
+	if g.listen != "" {
+		bound, _, err := netx.Listen(g.listen, func(c *netx.Conn) {
+			defer c.Close()
+			for {
+				if _, err := a.Respond(c); err != nil {
+					return // peer hung up or protocol error; drop the conn
+				}
+			}
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("pvrd: audit gossip listening on %s\n", bound)
+	}
+	if len(g.peers) > 0 {
+		go func() {
+			tick := time.NewTicker(g.every)
+			defer tick.Stop()
+			for range tick.C {
+				for _, peer := range g.peers {
+					st, err := reconcileOnce(a, peer)
+					if err != nil {
+						fmt.Printf("pvrd: audit %s: %v\n", peer, err)
+						continue
+					}
+					if st.NewStatements > 0 || st.NewConflicts > 0 {
+						fmt.Printf("pvrd: audit %s: +%d statements, +%d convictions (%d B)\n",
+							peer, st.NewStatements, st.NewConflicts, st.Bytes())
+					}
+				}
+			}
+		}()
+	}
+	return nil
+}
+
+func reconcileOnce(a *auditnet.Auditor, peer string) (*auditnet.Stats, error) {
+	conn, err := netx.Dial(peer, 3*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	return a.Reconcile(conn)
 }
 
 func fatal(err error) {
@@ -86,15 +183,15 @@ type sealedRoute struct {
 // buildEngineState stands up the PKI and engine, ingests one announcement
 // per originated prefix from the synthetic upstream provider, seals the
 // epoch, and extracts the per-prefix commitment chains.
-func buildEngineState(local bgp.Open, originate string, shards int) (sigs.PublicKey, []sealedRoute, []*engine.Seal, error) {
+func buildEngineState(local bgp.Open, originate string, shards int) (*sigs.Registry, sigs.PublicKey, []sealedRoute, []*engine.Seal, error) {
 	signer, err := sigs.GenerateEd25519()
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	upstream := aspath.ASN(uint32(local.ASN) + 1000)
 	upSigner, err := sigs.GenerateEd25519()
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	reg := sigs.NewRegistry()
 	reg.Register(local.ASN, signer.Public())
@@ -104,7 +201,7 @@ func buildEngineState(local bgp.Open, originate string, shards int) (sigs.Public
 		ASN: local.ASN, Signer: signer, Registry: reg, Shards: shards,
 	})
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	const epoch = 1
 	eng.BeginEpoch(epoch)
@@ -117,7 +214,7 @@ func buildEngineState(local bgp.Open, originate string, shards int) (sigs.Public
 		}
 		p, err := prefix.Parse(s)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 		pfxs = append(pfxs, p)
 	}
@@ -129,16 +226,16 @@ func buildEngineState(local bgp.Open, originate string, shards int) (sigs.Public
 		}
 		ann, err := core.NewAnnouncement(upSigner, upstream, local.ASN, epoch, r)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 		if _, err := eng.AcceptAnnouncement(ann); err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 	}
 	var seals []*engine.Seal
 	if len(pfxs) > 0 {
 		if seals, err = eng.SealEpoch(); err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 	}
 
@@ -146,34 +243,34 @@ func buildEngineState(local bgp.Open, originate string, shards int) (sigs.Public
 	for _, p := range pfxs {
 		sc, err := eng.Commitment(p)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 		mcBytes, err := sc.MC.SignedBytes()
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 		proofBytes, err := sc.Proof.MarshalBinary()
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 		sealBytes, err := sc.Seal.MarshalBinary()
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 		pv, err := eng.DiscloseToPromisee(p, 0) // exported route for any promisee
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 		// The route body itself is signed per-route (§3.2 announcement
 		// signing): the sealed commitment authenticates the promise state,
 		// not the path and next hop the update carries.
 		body, err := pv.Export.Route.MarshalBinary()
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 		routeSig, err := signer.Sign(body)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 		routes = append(routes, sealedRoute{
 			route:    pv.Export.Route,
@@ -183,11 +280,11 @@ func buildEngineState(local bgp.Open, originate string, shards int) (sigs.Public
 			seal:     sealBytes,
 		})
 	}
-	return signer.Public(), routes, seals, nil
+	return reg, signer.Public(), routes, seals, nil
 }
 
-func serve(addr string, local bgp.Open, originate string, shards int) {
-	pub, routes, seals, err := buildEngineState(local, originate, shards)
+func serve(addr string, local bgp.Open, originate string, shards int, g gossipOpts) {
+	reg, pub, routes, seals, err := buildEngineState(local, originate, shards)
 	if err != nil {
 		fatal(err)
 	}
@@ -196,6 +293,21 @@ func serve(addr string, local bgp.Open, originate string, shards int) {
 		fatal(err)
 	}
 	fmt.Printf("pvrd: engine sealed %d prefixes into %d shard seals\n", len(routes), len(seals))
+
+	// Join the audit network: seed the auditor with our own shard seals so
+	// peers can cross-check what we told other neighbors.
+	auditor, err := newAuditor(local.ASN, reg, g)
+	if err != nil {
+		fatal(err)
+	}
+	for _, s := range seals {
+		if _, _, err := auditor.AddRecord(auditnet.Record{Epoch: s.Epoch, S: s.Statement()}); err != nil {
+			fatal(err)
+		}
+	}
+	if err := startGossip(auditor, g); err != nil {
+		fatal(err)
+	}
 
 	bound, closer, err := netx.Listen(addr, func(c *netx.Conn) {
 		fmt.Printf("pvrd: connection from %s\n", c.RemoteAddr())
@@ -243,12 +355,22 @@ func serve(addr string, local bgp.Open, originate string, shards int) {
 	waitInterrupt()
 }
 
-func dial(addr string, local bgp.Open) {
+func dial(addr string, local bgp.Open, g gossipOpts) {
 	conn, err := netx.Dial(addr, 5*time.Second)
 	if err != nil {
 		fatal(err)
 	}
+	// The registry is TOFU-populated from the session; the auditor shares
+	// it, so gossip statements from the pinned peer verify once the BGP
+	// session has established.
 	reg := sigs.NewRegistry()
+	auditor, err := newAuditor(local.ASN, reg, g)
+	if err != nil {
+		fatal(err)
+	}
+	if err := startGossip(auditor, g); err != nil {
+		fatal(err)
+	}
 	var (
 		mu       sync.Mutex
 		peerASN  aspath.ASN
@@ -266,6 +388,10 @@ func dial(addr string, local bgp.Open) {
 			mu.Lock()
 			defer mu.Unlock()
 			for _, r := range u.Announced {
+				if auditor.Convicted(peerASN) {
+					fmt.Printf("pvrd: learned %s — REJECTED: %s convicted by audit\n", r, peerASN)
+					continue
+				}
 				err := verifySealedRoute(reg, peerASN, r, u, &haveKey)
 				if err != nil {
 					fmt.Printf("pvrd: learned %s — REJECTED: %v\n", r, err)

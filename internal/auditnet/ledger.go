@@ -1,0 +1,190 @@
+package auditnet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"pvr/internal/aspath"
+	"pvr/internal/gossip"
+	"pvr/internal/netx"
+)
+
+// Ledger is the persistent append-only evidence log: every confirmed
+// equivocation, framed with the same explicit binary encoding the wire
+// uses, fsync'd on append. Nothing in the ledger is trusted on read —
+// OpenLedger returns the raw records and the Auditor re-verifies every
+// signature and re-runs the judge during replay, so a tampered ledger
+// fails loudly instead of minting convictions.
+type Ledger struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// Ledger record frame types.
+const (
+	recMagic    uint8 = 0x01
+	recConflict uint8 = 0x02
+)
+
+// ledgerMagic is the first record of every ledger file; it versions the
+// format.
+const ledgerMagic = "pvr/auditnet-ledger/v1"
+
+// LedgerRecord is one replayed evidence entry.
+type LedgerRecord struct {
+	// Accuser is the AS that recorded the evidence (not itself verified —
+	// equivocation evidence convicts on the accused's own signatures).
+	Accuser aspath.ASN
+	// Conflict is the equivocation evidence.
+	Conflict *gossip.Conflict
+}
+
+// ErrLedgerCorrupt is wrapped by replay failures.
+var ErrLedgerCorrupt = errors.New("auditnet: ledger corrupt")
+
+// OpenLedger opens (creating if needed) the ledger at path and replays its
+// records. A torn final record — the crash-during-append case — is
+// truncated away; any other malformed framing fails with ErrLedgerCorrupt.
+// Record *contents* are not verified here; the Auditor does that, with
+// keys, during its replay.
+func OpenLedger(path string) (*Ledger, []LedgerRecord, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("auditnet: open ledger: %w", err)
+	}
+	l := &Ledger{f: f, path: path}
+	recs, goodOffset, err := l.replay()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	// Drop a torn tail so the next append starts on a frame boundary.
+	if err := f.Truncate(goodOffset); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("auditnet: truncate ledger: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return l, recs, nil
+}
+
+func (l *Ledger) replay() ([]LedgerRecord, int64, error) {
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	info, err := l.f.Stat()
+	if err != nil {
+		return nil, 0, err
+	}
+	if info.Size() == 0 {
+		// Fresh ledger: write the magic record.
+		if err := l.appendFrame(netx.Frame{Type: recMagic, Payload: []byte(ledgerMagic)}); err != nil {
+			return nil, 0, err
+		}
+		return nil, int64(5 + len(ledgerMagic)), nil
+	}
+	cr := &countingReader{r: l.f}
+	first, err := netx.ReadFrame(cr)
+	if errors.Is(err, netx.ErrClosed) || errors.Is(err, io.ErrUnexpectedEOF) {
+		// The initial magic write itself was torn by a crash: no complete
+		// record ever existed, so reset to a fresh ledger rather than
+		// refusing to open.
+		if err := l.f.Truncate(0); err != nil {
+			return nil, 0, err
+		}
+		if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+			return nil, 0, err
+		}
+		if err := l.appendFrame(netx.Frame{Type: recMagic, Payload: []byte(ledgerMagic)}); err != nil {
+			return nil, 0, err
+		}
+		return nil, int64(5 + len(ledgerMagic)), nil
+	}
+	if err != nil || first.Type != recMagic || string(first.Payload) != ledgerMagic {
+		return nil, 0, fmt.Errorf("%w: bad magic", ErrLedgerCorrupt)
+	}
+	var recs []LedgerRecord
+	good := cr.n
+	for {
+		fr, err := netx.ReadFrame(cr)
+		if errors.Is(err, netx.ErrClosed) || errors.Is(err, io.ErrUnexpectedEOF) {
+			// Clean EOF, or a torn record from a crash mid-append (a short
+			// length read maps to ErrClosed, a short payload read to
+			// ErrUnexpectedEOF); keep what replayed and truncate the tail.
+			return recs, good, nil
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: %v", ErrLedgerCorrupt, err)
+		}
+		switch fr.Type {
+		case recConflict:
+			r := &reader{b: fr.Payload}
+			accuser, err := r.u32()
+			if err != nil {
+				return nil, 0, fmt.Errorf("%w: conflict record: %v", ErrLedgerCorrupt, err)
+			}
+			c, err := readConflict(r)
+			if err == nil {
+				err = r.done()
+			}
+			if err != nil {
+				return nil, 0, fmt.Errorf("%w: conflict record: %v", ErrLedgerCorrupt, err)
+			}
+			recs = append(recs, LedgerRecord{Accuser: aspath.ASN(accuser), Conflict: c})
+		default:
+			return nil, 0, fmt.Errorf("%w: unknown record type %#x", ErrLedgerCorrupt, fr.Type)
+		}
+		good = cr.n
+	}
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// AppendConflict durably appends one evidence record.
+func (l *Ledger) AppendConflict(accuser aspath.ASN, c *gossip.Conflict) error {
+	payload := appendU32(nil, uint32(accuser))
+	payload = append(payload, EncodeConflict(c)...)
+	return l.appendFrame(netx.Frame{Type: recConflict, Payload: payload})
+}
+
+func (l *Ledger) appendFrame(f netx.Frame) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return fmt.Errorf("auditnet: ledger closed")
+	}
+	if err := netx.WriteFrame(l.f, f); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// Path returns the backing file path.
+func (l *Ledger) Path() string { return l.path }
+
+// Close closes the backing file.
+func (l *Ledger) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}

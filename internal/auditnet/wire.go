@@ -1,0 +1,604 @@
+// Package auditnet is PVR's accountability dissemination subsystem: a
+// gossip *network* that spreads commitment statements (engine shard seals,
+// single-prefix commitments) and equivocation evidence between neighbors
+// with anti-entropy set reconciliation, a persistent append-only evidence
+// ledger, and a conviction service that turns confirmed conflicts into an
+// enforced convicted-AS set.
+//
+// Where internal/gossip models one neighbor's in-memory pool and a
+// full-state merge, auditnet is the deployable layer on top: each node
+// keeps an epoch-indexed statement store with per-(origin, epoch) Merkle
+// digests; an exchange ships digests first and statements only for the
+// groups that actually differ, so a round between two synchronized nodes
+// costs a constant ~150 bytes and a round after Δ new statements costs
+// O(Δ), not O(store). The wire protocol (DIGEST / WANT / STATEMENTS /
+// CONFLICT frames over internal/netx framing) runs identically over an
+// in-process netx.Pipe in the simulator and over TCP in cmd/pvrd.
+package auditnet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"pvr/internal/aspath"
+	"pvr/internal/gossip"
+)
+
+// Frame types of the anti-entropy wire protocol, carried in netx.Frame.Type.
+const (
+	// FrameDigest carries store digests at one of three resolutions
+	// (summary, per-origin, per-group); the first payload byte selects.
+	FrameDigest uint8 = 0x41
+	// FrameWant requests statements (by group, minus held content hashes)
+	// and conflicts (by key).
+	FrameWant uint8 = 0x42
+	// FrameStatements ships the requested statement records.
+	FrameStatements uint8 = 0x43
+	// FrameConflict ships equivocation evidence records.
+	FrameConflict uint8 = 0x44
+)
+
+// Digest payload kinds (first byte of a FrameDigest payload).
+const (
+	digestSummary uint8 = 0
+	digestOrigins uint8 = 1
+	digestGroups  uint8 = 2
+)
+
+// Hash is the reconciliation identity: content hashes, digests, and
+// conflict keys are all 32-byte SHA-256 values.
+type Hash = [sha256.Size]byte
+
+// Record is the unit the network disseminates: a signed gossip statement
+// filed under its commitment epoch. The epoch is reconciliation metadata
+// (it selects the (origin, epoch) digest group), not part of the signed
+// payload — the statement's own bytes already bind its epoch.
+type Record struct {
+	Epoch uint64
+	S     gossip.Statement
+}
+
+// ContentHash identifies a statement for set reconciliation: origin, topic,
+// and payload, deliberately excluding the signature so two validly
+// re-signed copies of the same utterance reconcile as one element.
+func ContentHash(s *gossip.Statement) Hash {
+	h := sha256.New()
+	h.Write([]byte("pvr/auditnet/stmt/v1"))
+	var u [4]byte
+	binary.BigEndian.PutUint32(u[:], uint32(s.Origin))
+	h.Write(u[:])
+	writeLenPrefixed(h.Write, []byte(s.Topic))
+	writeLenPrefixed(h.Write, s.Payload)
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// ConflictKey identifies an equivocation for dissemination and dedupe:
+// origin, topic, and the two payloads in normalized order, so the same
+// conflict detected independently at two nodes (possibly with A and B
+// swapped) reconciles as one piece of evidence.
+func ConflictKey(c *gossip.Conflict) Hash {
+	pa, pb := c.A.Payload, c.B.Payload
+	if string(pa) > string(pb) {
+		pa, pb = pb, pa
+	}
+	h := sha256.New()
+	h.Write([]byte("pvr/auditnet/conflict/v1"))
+	var u [4]byte
+	binary.BigEndian.PutUint32(u[:], uint32(c.Origin))
+	h.Write(u[:])
+	writeLenPrefixed(h.Write, []byte(c.Topic))
+	writeLenPrefixed(h.Write, pa)
+	writeLenPrefixed(h.Write, pb)
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+func writeLenPrefixed(w func([]byte) (int, error), b []byte) {
+	var u [4]byte
+	binary.BigEndian.PutUint32(u[:], uint32(len(b)))
+	w(u[:])
+	w(b)
+}
+
+// ErrWire is wrapped by every decoding error.
+var ErrWire = errors.New("auditnet: malformed wire encoding")
+
+// --- primitive append/consume helpers ---
+
+func appendU32(b []byte, v uint32) []byte {
+	var u [4]byte
+	binary.BigEndian.PutUint32(u[:], v)
+	return append(b, u[:]...)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	var u [8]byte
+	binary.BigEndian.PutUint64(u[:], v)
+	return append(b, u[:]...)
+}
+
+func appendBytes(b, p []byte) []byte {
+	b = appendU32(b, uint32(len(p)))
+	return append(b, p...)
+}
+
+type reader struct {
+	b []byte
+}
+
+func (r *reader) take(n int) ([]byte, error) {
+	if n < 0 || len(r.b) < n {
+		return nil, ErrWire
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b), nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+func (r *reader) bytes() ([]byte, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	return r.take(int(n))
+}
+
+// count reads a u32 element count and sanity-bounds it against the bytes
+// remaining, given a minimum encoded size per element, so a corrupt count
+// cannot force a huge allocation.
+func (r *reader) count(minPer int) (int, error) {
+	n, err := r.u32()
+	if err != nil {
+		return 0, err
+	}
+	if minPer > 0 && int(n) > len(r.b)/minPer {
+		return 0, ErrWire
+	}
+	return int(n), nil
+}
+
+func (r *reader) hash() (Hash, error) {
+	var out Hash
+	b, err := r.take(len(out))
+	if err != nil {
+		return out, err
+	}
+	copy(out[:], b)
+	return out, nil
+}
+
+func (r *reader) done() error {
+	if len(r.b) != 0 {
+		return ErrWire
+	}
+	return nil
+}
+
+// --- statement / record / conflict encodings ---
+
+// AppendStatement appends the canonical wire encoding of a statement:
+// origin, topic, payload, signature, each length-prefixed.
+func AppendStatement(b []byte, s *gossip.Statement) []byte {
+	b = appendU32(b, uint32(s.Origin))
+	b = appendBytes(b, []byte(s.Topic))
+	b = appendBytes(b, s.Payload)
+	return appendBytes(b, s.Sig)
+}
+
+// EncodeStatement returns the wire encoding of one statement.
+func EncodeStatement(s *gossip.Statement) []byte {
+	return AppendStatement(nil, s)
+}
+
+func readStatement(r *reader) (gossip.Statement, error) {
+	var s gossip.Statement
+	origin, err := r.u32()
+	if err != nil {
+		return s, err
+	}
+	topic, err := r.bytes()
+	if err != nil {
+		return s, err
+	}
+	payload, err := r.bytes()
+	if err != nil {
+		return s, err
+	}
+	sig, err := r.bytes()
+	if err != nil {
+		return s, err
+	}
+	s.Origin = aspath.ASN(origin)
+	s.Topic = string(topic)
+	s.Payload = append([]byte(nil), payload...)
+	s.Sig = append([]byte(nil), sig...)
+	return s, nil
+}
+
+// DecodeStatement decodes an EncodeStatement encoding (exact length).
+func DecodeStatement(b []byte) (gossip.Statement, error) {
+	r := &reader{b: b}
+	s, err := readStatement(r)
+	if err != nil {
+		return s, err
+	}
+	return s, r.done()
+}
+
+// AppendRecord appends a record: epoch then statement.
+func AppendRecord(b []byte, rec *Record) []byte {
+	b = appendU64(b, rec.Epoch)
+	return AppendStatement(b, &rec.S)
+}
+
+func readRecord(r *reader) (Record, error) {
+	epoch, err := r.u64()
+	if err != nil {
+		return Record{}, err
+	}
+	s, err := readStatement(r)
+	if err != nil {
+		return Record{}, err
+	}
+	return Record{Epoch: epoch, S: s}, nil
+}
+
+// EncodeConflict returns the wire encoding of an equivocation record: the
+// accusation header plus both conflicting signed statements.
+func EncodeConflict(c *gossip.Conflict) []byte {
+	b := appendU32(nil, uint32(c.Origin))
+	b = appendBytes(b, []byte(c.Topic))
+	b = AppendStatement(b, &c.A)
+	return AppendStatement(b, &c.B)
+}
+
+func readConflict(r *reader) (*gossip.Conflict, error) {
+	origin, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	topic, err := r.bytes()
+	if err != nil {
+		return nil, err
+	}
+	a, err := readStatement(r)
+	if err != nil {
+		return nil, err
+	}
+	bst, err := readStatement(r)
+	if err != nil {
+		return nil, err
+	}
+	return &gossip.Conflict{Origin: aspath.ASN(origin), Topic: string(topic), A: a, B: bst}, nil
+}
+
+// DecodeConflict decodes an EncodeConflict encoding (exact length).
+func DecodeConflict(b []byte) (*gossip.Conflict, error) {
+	r := &reader{b: b}
+	c, err := readConflict(r)
+	if err != nil {
+		return nil, err
+	}
+	return c, r.done()
+}
+
+// --- reconciliation messages ---
+
+// GroupKey addresses one digest group: every statement an origin made for
+// one epoch.
+type GroupKey struct {
+	Origin aspath.ASN
+	Epoch  uint64
+}
+
+// summaryMsg is the cheapest digest resolution: one hash over the whole
+// store and one over the conflict set. Two synchronized nodes exchange
+// only this and stop.
+type summaryMsg struct {
+	Store     Hash
+	Conflicts Hash
+	Groups    uint32
+	NConfl    uint32
+}
+
+func (m *summaryMsg) encode() []byte {
+	b := []byte{digestSummary}
+	b = append(b, m.Store[:]...)
+	b = append(b, m.Conflicts[:]...)
+	b = appendU32(b, m.Groups)
+	return appendU32(b, m.NConfl)
+}
+
+func decodeSummary(b []byte) (*summaryMsg, error) {
+	r := &reader{b: b}
+	var m summaryMsg
+	var err error
+	if m.Store, err = r.hash(); err != nil {
+		return nil, err
+	}
+	if m.Conflicts, err = r.hash(); err != nil {
+		return nil, err
+	}
+	if m.Groups, err = r.u32(); err != nil {
+		return nil, err
+	}
+	if m.NConfl, err = r.u32(); err != nil {
+		return nil, err
+	}
+	return &m, r.done()
+}
+
+// OriginDigest summarizes every group one origin has: a hash over the
+// origin's sorted (epoch, group digest) pairs.
+type OriginDigest struct {
+	Origin aspath.ASN
+	Digest Hash
+	Groups uint32
+}
+
+// originsMsg is the second digest resolution: per-origin digests plus the
+// full conflict key set (conflicts are rare; their keys are cheap).
+type originsMsg struct {
+	Origins      []OriginDigest
+	ConflictKeys []Hash
+}
+
+func (m *originsMsg) encode() []byte {
+	b := []byte{digestOrigins}
+	b = appendU32(b, uint32(len(m.Origins)))
+	for _, o := range m.Origins {
+		b = appendU32(b, uint32(o.Origin))
+		b = append(b, o.Digest[:]...)
+		b = appendU32(b, o.Groups)
+	}
+	b = appendU32(b, uint32(len(m.ConflictKeys)))
+	for _, k := range m.ConflictKeys {
+		b = append(b, k[:]...)
+	}
+	return b
+}
+
+func decodeOrigins(b []byte) (*originsMsg, error) {
+	r := &reader{b: b}
+	n, err := r.count(4 + sha256.Size + 4)
+	if err != nil {
+		return nil, err
+	}
+	m := &originsMsg{Origins: make([]OriginDigest, n)}
+	for i := range m.Origins {
+		o, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		d, err := r.hash()
+		if err != nil {
+			return nil, err
+		}
+		g, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		m.Origins[i] = OriginDigest{Origin: aspath.ASN(o), Digest: d, Groups: g}
+	}
+	nk, err := r.count(sha256.Size)
+	if err != nil {
+		return nil, err
+	}
+	m.ConflictKeys = make([]Hash, nk)
+	for i := range m.ConflictKeys {
+		if m.ConflictKeys[i], err = r.hash(); err != nil {
+			return nil, err
+		}
+	}
+	return m, r.done()
+}
+
+// GroupDigest is the finest digest resolution: one (origin, epoch) group's
+// Merkle root over its sorted statement content hashes.
+type GroupDigest struct {
+	Key    GroupKey
+	Digest Hash
+	Count  uint32
+}
+
+type groupsMsg struct {
+	Groups []GroupDigest
+}
+
+func (m *groupsMsg) encode() []byte {
+	b := []byte{digestGroups}
+	b = appendU32(b, uint32(len(m.Groups)))
+	for _, g := range m.Groups {
+		b = appendU32(b, uint32(g.Key.Origin))
+		b = appendU64(b, g.Key.Epoch)
+		b = append(b, g.Digest[:]...)
+		b = appendU32(b, g.Count)
+	}
+	return b
+}
+
+func decodeGroups(b []byte) (*groupsMsg, error) {
+	r := &reader{b: b}
+	n, err := r.count(4 + 8 + sha256.Size + 4)
+	if err != nil {
+		return nil, err
+	}
+	m := &groupsMsg{Groups: make([]GroupDigest, n)}
+	for i := range m.Groups {
+		o, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		e, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		d, err := r.hash()
+		if err != nil {
+			return nil, err
+		}
+		c, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		m.Groups[i] = GroupDigest{Key: GroupKey{Origin: aspath.ASN(o), Epoch: e}, Digest: d, Count: c}
+	}
+	return m, r.done()
+}
+
+// GroupWant asks for one group's statements, minus the content hashes the
+// asker already holds.
+type GroupWant struct {
+	Key  GroupKey
+	Have []Hash
+}
+
+type wantMsg struct {
+	Groups    []GroupWant
+	Conflicts []Hash
+}
+
+func (m *wantMsg) encode() []byte {
+	b := appendU32(nil, uint32(len(m.Groups)))
+	for _, g := range m.Groups {
+		b = appendU32(b, uint32(g.Key.Origin))
+		b = appendU64(b, g.Key.Epoch)
+		b = appendU32(b, uint32(len(g.Have)))
+		for _, h := range g.Have {
+			b = append(b, h[:]...)
+		}
+	}
+	b = appendU32(b, uint32(len(m.Conflicts)))
+	for _, k := range m.Conflicts {
+		b = append(b, k[:]...)
+	}
+	return b
+}
+
+func decodeWant(b []byte) (*wantMsg, error) {
+	r := &reader{b: b}
+	n, err := r.count(4 + 8 + 4)
+	if err != nil {
+		return nil, err
+	}
+	m := &wantMsg{Groups: make([]GroupWant, n)}
+	for i := range m.Groups {
+		o, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		e, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		nh, err := r.count(sha256.Size)
+		if err != nil {
+			return nil, err
+		}
+		have := make([]Hash, nh)
+		for j := range have {
+			if have[j], err = r.hash(); err != nil {
+				return nil, err
+			}
+		}
+		m.Groups[i] = GroupWant{Key: GroupKey{Origin: aspath.ASN(o), Epoch: e}, Have: have}
+	}
+	nk, err := r.count(sha256.Size)
+	if err != nil {
+		return nil, err
+	}
+	m.Conflicts = make([]Hash, nk)
+	for i := range m.Conflicts {
+		if m.Conflicts[i], err = r.hash(); err != nil {
+			return nil, err
+		}
+	}
+	return m, r.done()
+}
+
+type stmtsMsg struct {
+	Records []Record
+}
+
+func (m *stmtsMsg) encode() []byte {
+	b := appendU32(nil, uint32(len(m.Records)))
+	for i := range m.Records {
+		b = AppendRecord(b, &m.Records[i])
+	}
+	return b
+}
+
+func decodeStmts(b []byte) (*stmtsMsg, error) {
+	r := &reader{b: b}
+	n, err := r.count(8 + 4 + 4 + 4 + 4)
+	if err != nil {
+		return nil, err
+	}
+	m := &stmtsMsg{Records: make([]Record, n)}
+	for i := range m.Records {
+		if m.Records[i], err = readRecord(r); err != nil {
+			return nil, err
+		}
+	}
+	return m, r.done()
+}
+
+type conflMsg struct {
+	Conflicts []*gossip.Conflict
+}
+
+func (m *conflMsg) encode() []byte {
+	b := appendU32(nil, uint32(len(m.Conflicts)))
+	for _, c := range m.Conflicts {
+		b = appendBytes(b, EncodeConflict(c))
+	}
+	return b
+}
+
+func decodeConfl(b []byte) (*conflMsg, error) {
+	r := &reader{b: b}
+	n, err := r.count(4)
+	if err != nil {
+		return nil, err
+	}
+	m := &conflMsg{Conflicts: make([]*gossip.Conflict, n)}
+	for i := range m.Conflicts {
+		cb, err := r.bytes()
+		if err != nil {
+			return nil, err
+		}
+		if m.Conflicts[i], err = DecodeConflict(cb); err != nil {
+			return nil, err
+		}
+	}
+	return m, r.done()
+}
+
+// decodeDigest dispatches on the digest kind byte.
+func decodeDigest(b []byte) (kind uint8, body []byte, err error) {
+	if len(b) < 1 {
+		return 0, nil, fmt.Errorf("%w: empty digest", ErrWire)
+	}
+	return b[0], b[1:], nil
+}

@@ -1,0 +1,142 @@
+package auditnet
+
+import (
+	"bytes"
+	"testing"
+
+	"pvr/internal/aspath"
+	"pvr/internal/gossip"
+)
+
+func TestStatementRoundTrip(t *testing.T) {
+	cases := []gossip.Statement{
+		{Origin: 1, Topic: "seal/1/1/0", Payload: []byte("p"), Sig: []byte("s")},
+		{Origin: 0xFFFFFFFF, Topic: "", Payload: nil, Sig: nil},
+		{Origin: 64500, Topic: "min/203.0.113.0—24/7", Payload: bytes.Repeat([]byte{0}, 300), Sig: make([]byte, 64)},
+	}
+	for _, s := range cases {
+		got, err := DecodeStatement(EncodeStatement(&s))
+		if err != nil {
+			t.Fatalf("round trip %q: %v", s.Topic, err)
+		}
+		if got.Origin != s.Origin || got.Topic != s.Topic ||
+			!bytes.Equal(got.Payload, s.Payload) || !bytes.Equal(got.Sig, s.Sig) {
+			t.Fatalf("round trip mutated statement: %+v != %+v", got, s)
+		}
+		if ContentHash(&got) != ContentHash(&s) {
+			t.Fatal("content hash changed across round trip")
+		}
+	}
+}
+
+func TestConflictRoundTripAndKeyNormalization(t *testing.T) {
+	a := gossip.Statement{Origin: 7, Topic: "t", Payload: []byte("v1"), Sig: []byte("sa")}
+	b := gossip.Statement{Origin: 7, Topic: "t", Payload: []byte("v2"), Sig: []byte("sb")}
+	c := &gossip.Conflict{Origin: 7, Topic: "t", A: a, B: b}
+	got, err := DecodeConflict(EncodeConflict(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Origin != c.Origin || got.Topic != c.Topic || !got.A.Equal(&c.A) || !got.B.Equal(&c.B) {
+		t.Fatalf("conflict round trip mutated record: %+v", got)
+	}
+	// The same equivocation seen with A and B swapped is the same evidence.
+	swapped := &gossip.Conflict{Origin: 7, Topic: "t", A: b, B: a}
+	if ConflictKey(c) != ConflictKey(swapped) {
+		t.Fatal("conflict key not normalized across statement order")
+	}
+	other := &gossip.Conflict{Origin: 7, Topic: "t2", A: a, B: b}
+	if ConflictKey(c) == ConflictKey(other) {
+		t.Fatal("distinct conflicts share a key")
+	}
+}
+
+func TestDecodeRejectsTruncationsWithoutPanic(t *testing.T) {
+	s := gossip.Statement{Origin: 9, Topic: "topic", Payload: []byte("payload"), Sig: []byte("signature")}
+	enc := EncodeStatement(&s)
+	for i := 0; i < len(enc); i++ {
+		if _, err := DecodeStatement(enc[:i]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded", i)
+		}
+	}
+	// Trailing garbage is also rejected (exact-length decode).
+	if _, err := DecodeStatement(append(enc, 0)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+	c := &gossip.Conflict{Origin: 9, Topic: "t", A: s, B: s}
+	cenc := EncodeConflict(c)
+	for i := 0; i < len(cenc); i++ {
+		if _, err := DecodeConflict(cenc[:i]); err == nil {
+			t.Fatalf("conflict truncation to %d bytes decoded", i)
+		}
+	}
+}
+
+func TestDecodeBoundsHugeCounts(t *testing.T) {
+	// A corrupt count must not force a giant allocation: counts are bounded
+	// by the bytes remaining.
+	huge := appendU32(nil, 0xFFFFFFFF)
+	if _, err := decodeStmts(huge); err == nil {
+		t.Fatal("huge statement count accepted")
+	}
+	if _, err := decodeWant(huge); err == nil {
+		t.Fatal("huge want count accepted")
+	}
+	if _, err := decodeGroups(append([]byte{digestGroups}, huge...)[1:]); err == nil {
+		t.Fatal("huge group count accepted")
+	}
+}
+
+// FuzzStatementWire fuzzes the statement decoder: arbitrary bytes must
+// never panic, and every successfully decoded statement must re-encode to
+// an equivalent record (round-trip stability, the property reconciliation
+// hashes rely on).
+func FuzzStatementWire(f *testing.F) {
+	seedStmts := []gossip.Statement{
+		{Origin: 1, Topic: "seal/1/1/0", Payload: []byte("root"), Sig: []byte("sig")},
+		{Origin: 64500, Topic: "", Payload: nil, Sig: nil},
+	}
+	for _, s := range seedStmts {
+		f.Add(EncodeStatement(&s))
+	}
+	f.Add([]byte{})
+	f.Add(appendU32(nil, 0xFFFFFFFF))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeStatement(data)
+		if err != nil {
+			return
+		}
+		re := EncodeStatement(&s)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode not canonical: % x -> % x", data, re)
+		}
+		s2, err := DecodeStatement(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if ContentHash(&s) != ContentHash(&s2) {
+			t.Fatal("content hash unstable across round trip")
+		}
+	})
+}
+
+// FuzzConflictWire does the same for evidence records.
+func FuzzConflictWire(f *testing.F) {
+	a := gossip.Statement{Origin: 7, Topic: "t", Payload: []byte("v1"), Sig: []byte("sa")}
+	b := gossip.Statement{Origin: 7, Topic: "t", Payload: []byte("v2"), Sig: []byte("sb")}
+	f.Add(EncodeConflict(&gossip.Conflict{Origin: 7, Topic: "t", A: a, B: b}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeConflict(data)
+		if err != nil {
+			return
+		}
+		if c.Origin > aspath.ASN(0xFFFFFFFF) {
+			t.Fatal("impossible origin")
+		}
+		re := EncodeConflict(c)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("conflict decode/encode not canonical")
+		}
+	})
+}

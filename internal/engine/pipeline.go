@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -9,6 +10,13 @@ import (
 	"pvr/internal/prefix"
 	"pvr/internal/sigs"
 )
+
+// ErrConvictedProver marks a disclosure rejected because its prover is in
+// the verifier's convicted-AS set (the audit network's conviction service;
+// see internal/auditnet). The view may be cryptographically valid — the
+// point is that a prover caught equivocating has forfeited trust for the
+// epoch, so its disclosures are refused without spending signature checks.
+var ErrConvictedProver = errors.New("engine: prover convicted by audit")
 
 // Result is the outcome of one pipeline verification job.
 type Result struct {
@@ -39,6 +47,11 @@ func (r Result) Violation() (*core.Violation, bool) { return core.IsViolation(r.
 type Pipeline struct {
 	ver  sigs.Verifier
 	jobs chan func(sigs.Verifier) Result
+
+	// ban, when set, is consulted with the disclosing prover's ASN before
+	// any cryptographic work; convicted provers' views fail fast with
+	// ErrConvictedProver.
+	ban func(aspath.ASN) bool
 
 	// seals memoizes seal-signature checks (key: signed bytes ‖ signature,
 	// value: error or nil). A shard seal covers every prefix in its batch,
@@ -98,15 +111,35 @@ func NewPipeline(reg *sigs.Registry, workers int) *Pipeline {
 	return p
 }
 
+// SetBanlist installs the convicted-AS check (e.g. an auditnet Auditor's
+// Convicted method) the pipeline consults before verifying a view. Call
+// before the first Submit; the function must be safe for concurrent use.
+func (p *Pipeline) SetBanlist(convicted func(aspath.ASN) bool) { p.ban = convicted }
+
+// banned returns the fast-fail error for a view's prover, or nil.
+func (p *Pipeline) banned(sc *SealedCommitment) error {
+	if p.ban == nil || sc == nil || sc.Seal == nil {
+		return nil
+	}
+	if prover := sc.Seal.Prover; p.ban(prover) {
+		return fmt.Errorf("%w: %s", ErrConvictedProver, prover)
+	}
+	return nil
+}
+
 // SubmitProvider enqueues N_i's check of an engine provider view against
 // the announcement N_i itself sent.
 func (p *Pipeline) SubmitProvider(v *ProviderView, myAnn core.Announcement) {
 	p.jobs <- func(ver sigs.Verifier) Result {
-		return Result{
-			Prefix:   myAnn.Route.Prefix,
-			Neighbor: myAnn.Provider,
-			Err:      verifyProviderView(p.checkSealOnce, ver, v, myAnn),
+		r := Result{Prefix: myAnn.Route.Prefix, Neighbor: myAnn.Provider}
+		if v != nil {
+			if err := p.banned(v.Sealed); err != nil {
+				r.Err = err
+				return r
+			}
 		}
+		r.Err = verifyProviderView(p.checkSealOnce, ver, v, myAnn)
+		return r
 	}
 }
 
@@ -117,7 +150,15 @@ func (p *Pipeline) SubmitPromisee(v *PromiseeView, b aspath.ASN) {
 		pfx = v.Sealed.MC.Prefix
 	}
 	p.jobs <- func(ver sigs.Verifier) Result {
-		return Result{Prefix: pfx, Neighbor: b, Err: verifyPromiseeView(p.checkSealOnce, ver, v)}
+		r := Result{Prefix: pfx, Neighbor: b}
+		if v != nil {
+			if err := p.banned(v.Sealed); err != nil {
+				r.Err = err
+				return r
+			}
+		}
+		r.Err = verifyPromiseeView(p.checkSealOnce, ver, v)
+		return r
 	}
 }
 

@@ -79,23 +79,42 @@ func (c *Conflict) Verify(reg sigs.Verifier) error {
 type Pool struct {
 	reg sigs.Verifier
 
-	mu    sync.Mutex
-	byKey map[string]Statement // origin/topic -> first accepted statement
-	confl []*Conflict
+	mu       sync.Mutex
+	byKey    map[string]Statement // origin/topic -> first accepted statement
+	confl    []*Conflict
+	conflKey map[string]*Conflict // dedupe: same equivocation recorded once
+	sorted   []Statement          // cached Statements() export; nil = stale
 }
 
 // NewPool builds an empty pool verifying against reg.
 func NewPool(reg sigs.Verifier) *Pool {
-	return &Pool{reg: reg, byKey: make(map[string]Statement)}
+	return &Pool{
+		reg:      reg,
+		byKey:    make(map[string]Statement),
+		conflKey: make(map[string]*Conflict),
+	}
 }
 
 func key(origin aspath.ASN, topic string) string {
 	return fmt.Sprintf("%d\x00%s", uint32(origin), topic)
 }
 
+// conflictKey identifies an equivocation by (origin, topic, payload pair),
+// payloads in normalized order, so the same conflicting statement
+// re-arriving (every MergeFrom from the same peer re-delivers it) maps to
+// the already recorded conflict instead of growing the pool.
+func conflictKey(c *Conflict) string {
+	a, b := c.A.Payload, c.B.Payload
+	if bytes.Compare(a, b) > 0 {
+		a, b = b, a
+	}
+	return fmt.Sprintf("%d\x00%s\x00%x\x00%x", uint32(c.Origin), c.Topic, a, b)
+}
+
 // Add ingests a statement. Invalid signatures are rejected with an error;
 // a validly signed statement that contradicts a previously accepted one is
-// recorded and returned as a *Conflict error.
+// recorded (once per distinct payload pair) and returned as a *Conflict
+// error.
 func (p *Pool) Add(s Statement) error {
 	if err := s.Verify(p.reg); err != nil {
 		return fmt.Errorf("gossip: reject statement from %s: %w", s.Origin, err)
@@ -106,21 +125,31 @@ func (p *Pool) Add(s Statement) error {
 	prev, seen := p.byKey[k]
 	if !seen {
 		p.byKey[k] = s
+		p.sorted = nil
 		return nil
 	}
 	if prev.Equal(&s) {
 		return nil
 	}
 	c := &Conflict{Origin: s.Origin, Topic: s.Topic, A: prev, B: s}
+	ck := conflictKey(c)
+	if dup, ok := p.conflKey[ck]; ok {
+		return dup
+	}
+	p.conflKey[ck] = c
 	p.confl = append(p.confl, c)
 	return c
 }
 
 // Statements returns every accepted statement, sorted by origin and topic,
-// for forwarding to other neighbors.
+// for forwarding to other neighbors. The export is cached between Adds and
+// shared between callers: treat it as read-only.
 func (p *Pool) Statements() []Statement {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.sorted != nil {
+		return p.sorted
+	}
 	out := make([]Statement, 0, len(p.byKey))
 	for _, s := range p.byKey {
 		out = append(out, s)
@@ -131,6 +160,7 @@ func (p *Pool) Statements() []Statement {
 		}
 		return out[i].Topic < out[j].Topic
 	})
+	p.sorted = out
 	return out
 }
 

@@ -189,6 +189,117 @@ func TestForgedConflictRejected(t *testing.T) {
 	}
 }
 
+func TestRepeatedMergeDoesNotGrowConflicts(t *testing.T) {
+	setup(t)
+	// The same conflicting statement re-arrives on every exchange with the
+	// same peer; the pool must record the equivocation exactly once.
+	p := NewPool(reg)
+	if err := p.Add(signed(t, 1, "min/x/1", "version-A")); err != nil {
+		t.Fatal(err)
+	}
+	conflicting := signed(t, 1, "min/x/1", "version-B")
+	var first *Conflict
+	for i := 0; i < 10; i++ {
+		err := p.Add(conflicting)
+		var c *Conflict
+		if !errors.As(err, &c) {
+			t.Fatalf("round %d: expected conflict, got %v", i, err)
+		}
+		if first == nil {
+			first = c
+		} else if c != first {
+			t.Fatalf("round %d: new conflict allocated for known equivocation", i)
+		}
+	}
+	if got := len(p.Conflicts()); got != 1 {
+		t.Fatalf("pool holds %d conflicts after 10 re-arrivals, want 1", got)
+	}
+	// A genuinely different payload pair is a distinct conflict.
+	if err := p.Add(signed(t, 1, "min/x/1", "version-C")); err == nil {
+		t.Fatal("third version accepted silently")
+	}
+	if got := len(p.Conflicts()); got != 2 {
+		t.Fatalf("pool holds %d conflicts, want 2 distinct equivocations", got)
+	}
+}
+
+func TestStatementsCachedUntilAdd(t *testing.T) {
+	setup(t)
+	p := NewPool(reg)
+	if err := p.Add(signed(t, 1, "a", "1")); err != nil {
+		t.Fatal(err)
+	}
+	s1 := p.Statements()
+	s2 := p.Statements()
+	if &s1[0] != &s2[0] {
+		t.Error("repeated Statements() rebuilt the export without intervening Add")
+	}
+	if err := p.Add(signed(t, 2, "b", "2")); err != nil {
+		t.Fatal(err)
+	}
+	s3 := p.Statements()
+	if len(s3) != 2 {
+		t.Fatalf("export has %d statements, want 2", len(s3))
+	}
+	for i := 1; i < len(s3); i++ {
+		prev, cur := s3[i-1], s3[i]
+		if prev.Origin > cur.Origin || (prev.Origin == cur.Origin && prev.Topic > cur.Topic) {
+			t.Fatal("export not sorted after cache invalidation")
+		}
+	}
+	// Duplicate adds and conflicting adds do not invalidate the cache.
+	p.Add(signed(t, 1, "a", "1"))
+	p.Add(signed(t, 1, "a", "other"))
+	s4 := p.Statements()
+	if &s3[0] != &s4[0] {
+		t.Error("no-op Add invalidated the cached export")
+	}
+}
+
+func TestConflictVerifyAdversarial(t *testing.T) {
+	setup(t)
+	v1 := signed(t, 1, "t", "v1")
+	v2 := signed(t, 1, "t", "v2")
+
+	// Genuine conflict verifies (control).
+	if err := (&Conflict{Origin: 1, Topic: "t", A: v1, B: v2}).Verify(reg); err != nil {
+		t.Fatalf("genuine conflict rejected: %v", err)
+	}
+	// Accusation origin differs from the statements' origin.
+	if err := (&Conflict{Origin: 2, Topic: "t", A: v1, B: v2}).Verify(reg); err == nil {
+		t.Error("origin mismatch verified")
+	}
+	// Accusation topic differs from the statements' topic.
+	if err := (&Conflict{Origin: 1, Topic: "other", A: v1, B: v2}).Verify(reg); err == nil {
+		t.Error("topic mismatch verified")
+	}
+	// One statement's topic quietly swapped: same payloads, different topic
+	// fields — must not convict for topic "t".
+	crossTopic := signed(t, 1, "t2", "v2")
+	if err := (&Conflict{Origin: 1, Topic: "t", A: v1, B: crossTopic}).Verify(reg); err == nil {
+		t.Error("cross-topic statement pair verified")
+	}
+	// Forged signature on one side.
+	forged := signed(t, 1, "t", "v2")
+	forged.Sig = append([]byte(nil), forged.Sig...)
+	forged.Sig[0] ^= 1
+	if err := (&Conflict{Origin: 1, Topic: "t", A: v1, B: forged}).Verify(reg); err == nil {
+		t.Error("forged-signature conflict verified")
+	}
+	// Statement signed by a different (registered) AS, origin field lies.
+	other := signed(t, 2, "t", "v2")
+	other.Origin = 1
+	if err := (&Conflict{Origin: 1, Topic: "t", A: v1, B: other}).Verify(reg); err == nil {
+		t.Error("wrong-signer statement verified")
+	}
+	// Unknown origin.
+	u1, u2 := v1, v2
+	u1.Origin, u2.Origin = 99, 99
+	if err := (&Conflict{Origin: 99, Topic: "t", A: u1, B: u2}).Verify(reg); err == nil {
+		t.Error("unknown-origin conflict verified")
+	}
+}
+
 func TestPoolConcurrentAdds(t *testing.T) {
 	setup(t)
 	p := NewPool(reg)

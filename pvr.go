@@ -45,6 +45,7 @@ import (
 	"sync"
 
 	"pvr/internal/aspath"
+	"pvr/internal/auditnet"
 	"pvr/internal/core"
 	"pvr/internal/engine"
 	"pvr/internal/evidence"
@@ -123,6 +124,39 @@ type (
 	Verdict = evidence.Verdict
 	// GossipPool detects commitment equivocation between neighbors.
 	GossipPool = gossip.Pool
+)
+
+// Audit network types (internal/auditnet): the deployable accountability
+// layer. An Auditor keeps an epoch-indexed statement store with
+// per-(origin, epoch) Merkle digests, reconciles it with peers via
+// anti-entropy exchanges (digests first, only missing statements on the
+// wire), persists confirmed equivocation evidence to an append-only
+// Ledger, and maintains the convicted-AS set that Pipeline.SetBanlist
+// consults.
+type (
+	// Auditor is one node of the audit network.
+	Auditor = auditnet.Auditor
+	// AuditorConfig parameterizes NewAuditor.
+	AuditorConfig = auditnet.Config
+	// AuditRecord is a signed statement filed under its epoch, the unit
+	// the network disseminates.
+	AuditRecord = auditnet.Record
+	// AuditStats reports what one anti-entropy exchange moved.
+	AuditStats = auditnet.Stats
+	// Ledger is the persistent append-only evidence log.
+	Ledger = auditnet.Ledger
+	// LedgerRecord is one replayed evidence entry.
+	LedgerRecord = auditnet.LedgerRecord
+	// Conviction is one convicted-AS entry with the judge's explanation.
+	Conviction = auditnet.Conviction
+)
+
+// NewAuditor builds an audit-network node; OpenLedger opens (creating if
+// absent) an evidence ledger and returns its replayed records, which
+// AuditorConfig.Replay feeds through verification and the judge.
+var (
+	NewAuditor = auditnet.New
+	OpenLedger = auditnet.OpenLedger
 )
 
 // Registry maps ASNs to verification keys.
@@ -223,6 +257,19 @@ type (
 
 // RunEngineEpoch runs one multi-prefix epoch through a sharded engine.
 var RunEngineEpoch = netsim.RunEngineEpoch
+
+// Gossip-convergence simulation driver (experiment E11): an audit network
+// of N nodes running anti-entropy rounds, with an injected cross-shard
+// equivocation and per-epoch statement deltas.
+type (
+	// GossipConfig parameterizes RunGossip.
+	GossipConfig = netsim.GossipConfig
+	// GossipResult reports detection latency and reconciliation cost.
+	GossipResult = netsim.GossipResult
+)
+
+// RunGossip executes one gossip-convergence run.
+var RunGossip = netsim.RunGossip
 
 // Network is the set of participating ASes and their public keys: the
 // out-of-band PKI the paper assumes. Safe for concurrent use.

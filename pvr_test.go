@@ -219,3 +219,89 @@ func TestPublicAPIEngine(t *testing.T) {
 		}
 	}
 }
+
+// TestPublicAPIAuditNetwork exercises the audit-network surface: an
+// engine's shard seals flow into an Auditor, an injected equivocation is
+// convicted, evidence persists through OpenLedger, and the conviction
+// gates a Pipeline.
+func TestPublicAPIAuditNetwork(t *testing.T) {
+	net := pvr.NewNetwork()
+	a, err := net.AddNode(64500) // the (equivocating) prover
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, err := net.AddNode(64501)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := net.AddNode(64502)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The prover seals the same epoch twice (different commitment
+	// blinding -> different roots) and shows each neighbor one set.
+	pfx := pvr.MustParsePrefix("203.0.113.0/24")
+	sealsOf := func() []*pvr.EngineSeal {
+		eng, err := a.NewEngine(pvr.EngineConfig{MaxLen: 8, Shards: 2, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.BeginEpoch(1)
+		ann, err := n1.Announce(a.ASN(), 1, pvr.Route{
+			Prefix:  pfx,
+			Path:    pvr.NewPath(n1.ASN()),
+			NextHop: netip.MustParseAddr("192.0.2.1"),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.AcceptAnnouncement(ann); err != nil {
+			t.Fatal(err)
+		}
+		seals, err := eng.SealEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return seals
+	}
+
+	led, recs, err := pvr.OpenLedger(t.TempDir() + "/audit.ledger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer led.Close()
+	if len(recs) != 0 {
+		t.Fatalf("fresh ledger has %d records", len(recs))
+	}
+	aud, err := pvr.NewAuditor(pvr.AuditorConfig{
+		ASN: n2.ASN(), Registry: net.Registry(), Ledger: led,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seals := range [][]*pvr.EngineSeal{sealsOf(), sealsOf()} {
+		for _, s := range seals {
+			if _, _, err := aud.AddRecord(pvr.AuditRecord{Epoch: s.Epoch, S: s.Statement()}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !aud.Convicted(a.ASN()) {
+		t.Fatal("cross-shard equivocation not convicted")
+	}
+	if len(aud.Convictions()) != 1 || aud.Convictions()[0].ASN != a.ASN() {
+		t.Fatalf("convictions = %+v", aud.Convictions())
+	}
+
+	pl := pvr.NewPipeline(net.Registry(), 1)
+	defer pl.Close()
+	pl.SetBanlist(aud.Convicted)
+	view := &pvr.EnginePromiseeView{Sealed: &pvr.SealedCommitment{Seal: &pvr.EngineSeal{Prover: a.ASN()}}}
+	pl.SubmitPromisee(view, n2.ASN())
+	for _, r := range pl.Drain() {
+		if r.Err == nil {
+			t.Fatal("pipeline accepted a convicted prover's view")
+		}
+	}
+}

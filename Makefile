@@ -21,21 +21,26 @@ vet:
 fmt:
 	gofmt -l .
 
-# bench emits BENCH_engine.json (E10 engine-vs-serial rows) and
-# BENCH_gossip.json (E11 audit-gossip rows), consumed by the perf
-# trajectory, plus the printed tables on stdout.
+# bench emits BENCH_engine.json (E10 engine-vs-serial rows),
+# BENCH_gossip.json (E11 audit-gossip rows), and BENCH_stream.json (E12
+# update-plane churn rows), consumed by the perf trajectory, plus the
+# printed tables on stdout.
 bench:
 	$(GO) run ./cmd/pvrbench -e engine -json BENCH_engine.json
 	$(GO) run ./cmd/pvrbench -e gossip -json BENCH_gossip.json
+	$(GO) run ./cmd/pvrbench -e stream -json BENCH_stream.json
 
-# bench-smoke runs both experiment harnesses at tiny sizes and fails if
-# either JSON output comes back empty — catches benchmark-harness rot in
+# bench-smoke runs the experiment harnesses at tiny sizes and fails if
+# any JSON output comes back empty — catches benchmark-harness rot in
 # CI without paying for the full sweeps.
 bench-smoke:
 	$(GO) run ./cmd/pvrbench -e engine -prefixes 50 -json BENCH_engine.json
 	$(GO) run ./cmd/pvrbench -e gossip -nodes 8 -json BENCH_gossip.json
+	$(GO) run ./cmd/pvrbench -e stream -prefixes 400 -json BENCH_stream.json
 	grep -q '"prefixes"' BENCH_engine.json
 	grep -q '"nodes"' BENCH_gossip.json
+	grep -q '"updates_per_sec"' BENCH_stream.json
+	grep -q '"speedup"' BENCH_stream.json
 
 clean:
-	rm -f BENCH_engine.json BENCH_gossip.json
+	rm -f BENCH_engine.json BENCH_gossip.json BENCH_stream.json

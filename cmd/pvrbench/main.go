@@ -14,12 +14,13 @@
 //	pvrbench -e ring         # E9: §3.2 ring signatures
 //	pvrbench -e engine       # E10: sharded multi-prefix engine vs prover loop
 //	pvrbench -e gossip       # E11: anti-entropy audit gossip (auditnet)
+//	pvrbench -e stream       # E12: streaming update plane (updplane)
 //
 // With -json FILE, the engine experiment (or, when selected directly, the
-// gossip experiment) additionally writes its rows as JSON (the
-// BENCH_engine.json / BENCH_gossip.json consumed by the perf trajectory).
-// -prefixes and -nodes shrink the E10/E11 sweeps to a single size, for CI
-// smoke runs.
+// gossip or stream experiment) additionally writes its rows as JSON (the
+// BENCH_engine.json / BENCH_gossip.json / BENCH_stream.json consumed by
+// the perf trajectory). -prefixes and -nodes shrink the E10/E11/E12
+// sweeps to a single size, for CI smoke runs.
 package main
 
 import (
@@ -29,7 +30,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("e", "all", "experiment: all|fig1|fig2|smc|zkp|crypto|batch|properties|e2e|ring|engine|gossip")
+	exp := flag.String("e", "all", "experiment: all|fig1|fig2|smc|zkp|crypto|batch|properties|e2e|ring|engine|gossip|stream")
 	seed := flag.Int64("seed", 1, "random seed for workloads")
 	flag.StringVar(&jsonOut, "json", "", "write the engine (or gossip, when selected) rows to this JSON file")
 	flag.IntVar(&benchPrefixes, "prefixes", 0, "override the E10 prefix-table sweep with one size")
@@ -49,8 +50,9 @@ func main() {
 		"ring":       runRing,
 		"engine":     runEngine,
 		"gossip":     runGossip,
+		"stream":     runStream,
 	}
-	order := []string{"fig1", "fig2", "smc", "zkp", "crypto", "batch", "properties", "e2e", "ring", "engine", "gossip"}
+	order := []string{"fig1", "fig2", "smc", "zkp", "crypto", "batch", "properties", "e2e", "ring", "engine", "gossip", "stream"}
 
 	var selected []string
 	if *exp == "all" {

@@ -18,7 +18,7 @@ type testPKI struct {
 	signers map[aspath.ASN]sigs.Signer
 }
 
-func newTestPKI(t *testing.T, n int) *testPKI {
+func newTestPKI(t testing.TB, n int) *testPKI {
 	t.Helper()
 	p := &testPKI{reg: sigs.NewRegistry(), signers: map[aspath.ASN]sigs.Signer{}}
 	for i := 1; i <= n; i++ {

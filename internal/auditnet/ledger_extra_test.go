@@ -1,0 +1,205 @@
+package auditnet
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pvr/internal/gossip"
+)
+
+// makeConflict builds judge-ready equivocation evidence: the accused
+// signs two different payloads for the same topic.
+func makeConflict(t testing.TB, p *testPKI, topic string) *gossip.Conflict {
+	t.Helper()
+	const accused = 2
+	sign := func(payload string) gossip.Statement {
+		sig, err := p.signers[accused].Sign([]byte(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return gossip.Statement{Origin: accused, Topic: topic, Payload: []byte(payload), Sig: sig}
+	}
+	return &gossip.Conflict{
+		Origin: accused, Topic: topic,
+		A: sign("version-A/" + topic), B: sign("version-B/" + topic),
+	}
+}
+
+// lastFrame returns the byte range of the final frame in a ledger file
+// (4-byte big-endian length prefix framing, netx.WriteFrame).
+func lastFrame(t *testing.T, b []byte) []byte {
+	t.Helper()
+	off := 0
+	last := -1
+	for off+4 <= len(b) {
+		n := int(uint32(b[off])<<24 | uint32(b[off+1])<<16 | uint32(b[off+2])<<8 | uint32(b[off+3]))
+		if off+4+n > len(b) {
+			t.Fatalf("torn frame at offset %d", off)
+		}
+		last = off
+		off += 4 + n
+	}
+	if last < 0 {
+		t.Fatal("no complete frame in ledger")
+	}
+	return b[last:off]
+}
+
+// TestLedgerReplayToleratesDuplicatedTrailingRecord: a crash between the
+// write and the application-level ack can leave the final record appended
+// twice on recovery-by-retry. Replay must absorb the duplicate the same
+// way it absorbs a torn tail — open cleanly, dedupe, and convict exactly
+// once.
+func TestLedgerReplayToleratesDuplicatedTrailingRecord(t *testing.T) {
+	p := newTestPKI(t, 3)
+	path := filepath.Join(t.TempDir(), "dup.ledger")
+
+	led, recs, err := OpenLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh ledger replayed %d records", len(recs))
+	}
+	a, err := New(Config{ASN: 1, Registry: p.reg, Ledger: led})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := makeConflict(t, p, "seal/2/9.1/0")
+	if added, err := a.HandleConflict(c); err != nil || !added {
+		t.Fatalf("HandleConflict = (%v, %v)", added, err)
+	}
+	if err := led.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Duplicate the trailing record, byte for byte.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := append(raw, lastFrame(t, raw)...)
+	if err := os.WriteFile(path, dup, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	led2, recs2, err := OpenLedger(path)
+	if err != nil {
+		t.Fatalf("reopen with duplicated trailing record: %v", err)
+	}
+	defer led2.Close()
+	if len(recs2) != 2 {
+		t.Fatalf("replayed %d records, want the duplicate pair", len(recs2))
+	}
+	a2, err := New(Config{ASN: 1, Registry: p.reg, Ledger: led2, Replay: recs2})
+	if err != nil {
+		t.Fatalf("auditor replay over duplicated record: %v", err)
+	}
+	if got := len(a2.Convictions()); got != 1 {
+		t.Fatalf("duplicate record minted %d convictions, want 1", got)
+	}
+	if got := a2.Store().ConflictCount(); got != 1 {
+		t.Fatalf("duplicate record stored %d conflicts, want 1", got)
+	}
+	// And the recovered ledger still appends cleanly.
+	if added, err := a2.HandleConflict(makeConflict(t, p, "seal/2/9.2/0")); err != nil || !added {
+		t.Fatalf("append after recovery = (%v, %v)", added, err)
+	}
+}
+
+// TestLedgerReplayToleratesTornAndDuplicatedTail: duplicate the trailing
+// record AND tear the copy mid-frame — the recovery path sees a valid
+// prefix, a complete duplicate, and a torn tail, and must keep exactly
+// the valid records.
+func TestLedgerReplayToleratesTornAndDuplicatedTail(t *testing.T) {
+	p := newTestPKI(t, 3)
+	path := filepath.Join(t.TempDir(), "duptorn.ledger")
+	led, _, err := OpenLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(Config{ASN: 1, Registry: p.reg, Ledger: led})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.HandleConflict(makeConflict(t, p, "seal/2/1.1/0")); err != nil {
+		t.Fatal(err)
+	}
+	led.Close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := lastFrame(t, raw)
+	mangled := append(append(append([]byte(nil), raw...), frame...), frame[:len(frame)/2]...)
+	if err := os.WriteFile(path, mangled, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	led2, recs, err := OpenLedger(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer led2.Close()
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records, want 2 (dup kept, torn tail dropped)", len(recs))
+	}
+	if _, err := New(Config{ASN: 1, Registry: p.reg, Ledger: led2, Replay: recs}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkLedgerAppendReplay measures the write path (append+fsync per
+// confirmed conflict) and the recovery path (replay of the whole file).
+func BenchmarkLedgerAppendReplay(b *testing.B) {
+	p := newTestPKI(b, 3)
+
+	b.Run("append", func(b *testing.B) {
+		// Each invocation (the harness re-runs with growing b.N) gets a
+		// fresh file; TempDir is unique per call.
+		path := filepath.Join(b.TempDir(), "append.ledger")
+		led, _, err := OpenLedger(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer led.Close()
+		conflicts := make([]*gossip.Conflict, b.N)
+		for i := range conflicts {
+			conflicts[i] = makeConflict(b, p, fmt.Sprintf("seal/2/%d/0", i))
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := led.AppendConflict(1, conflicts[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("replay", func(b *testing.B) {
+		path := filepath.Join(b.TempDir(), "replay.ledger")
+		led, _, err := OpenLedger(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		const records = 256
+		for i := 0; i < records; i++ {
+			if err := led.AppendConflict(1, makeConflict(b, p, fmt.Sprintf("seal/2/%d/0", i))); err != nil {
+				b.Fatal(err)
+			}
+		}
+		led.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			led, recs, err := OpenLedger(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(recs) != records {
+				b.Fatalf("replayed %d, want %d", len(recs), records)
+			}
+			led.Close()
+		}
+	})
+}

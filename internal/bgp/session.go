@@ -230,16 +230,34 @@ func (s *Session) pump() error {
 	}
 }
 
-// SendUpdate transmits an UPDATE; the session must be Established.
+// SendUpdate transmits an UPDATE; the session must be Established. A
+// session closed concurrently (Close, or pump teardown) yields
+// ErrSessionClosed — never a panic, and never a raw transport error for
+// the close the caller itself initiated.
 func (s *Session) SendUpdate(u Update) error {
 	if s.State() != StateEstablished {
 		return fmt.Errorf("%w: state %s", ErrFSM, s.State())
+	}
+	select {
+	case <-s.closed:
+		return ErrSessionClosed
+	default:
 	}
 	body, err := u.MarshalBinary()
 	if err != nil {
 		return err
 	}
-	return s.conn.Send(netx.Frame{Type: uint8(MsgUpdate), Payload: body})
+	if err := s.conn.Send(netx.Frame{Type: uint8(MsgUpdate), Payload: body}); err != nil {
+		// Close may have raced the write: report the session closure, not
+		// the underlying "use of closed connection".
+		select {
+		case <-s.closed:
+			return ErrSessionClosed
+		default:
+		}
+		return err
+	}
+	return nil
 }
 
 // notify best-effort sends a NOTIFICATION before teardown.

@@ -62,7 +62,14 @@ func (c *Config) fill() {
 type shard struct {
 	mu      sync.Mutex
 	provers map[prefix.Prefix]*core.Prover
-	// Set by SealEpoch:
+	// leaves caches each prefix's canonical commitment bytes so a dirty
+	// re-seal recomputes commitments only for the prefixes that actually
+	// changed; an entry is dropped whenever its prover is replaced.
+	leaves map[prefix.Prefix][]byte
+	// dirty marks the shard as changed since its last seal; SealDirty
+	// rebuilds only dirty shards and merely re-signs the rest.
+	dirty bool
+	// Set by sealShard:
 	seal   *Seal
 	batch  *merkle.Batch
 	index  map[prefix.Prefix]int // prefix -> leaf index
@@ -78,6 +85,7 @@ type ProverEngine struct {
 
 	mu     sync.RWMutex // guards epoch transitions vs. accepts/seals
 	epoch  uint64
+	window uint64 // commitment window within the epoch (see Seal.Window)
 	begun  bool
 	shards []*shard
 }
@@ -95,7 +103,10 @@ func New(cfg Config) (*ProverEngine, error) {
 	e := &ProverEngine{cfg: cfg, ver: sigs.NewCachedVerifier(cfg.Registry)}
 	e.shards = make([]*shard, cfg.Shards)
 	for i := range e.shards {
-		e.shards[i] = &shard{provers: make(map[prefix.Prefix]*core.Prover)}
+		e.shards[i] = &shard{
+			provers: make(map[prefix.Prefix]*core.Prover),
+			leaves:  make(map[prefix.Prefix][]byte),
+		}
 	}
 	return e, nil
 }
@@ -117,16 +128,27 @@ func (e *ProverEngine) Epoch() uint64 {
 // registry, for callers that verify neighbor material on the hot path.
 func (e *ProverEngine) Verifier() sigs.Verifier { return e.ver }
 
+// Window returns the current commitment window within the epoch: 0 until
+// the first SealDirty, then the window number of the latest dirty seal.
+func (e *ProverEngine) Window() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.window
+}
+
 // BeginEpoch starts a fresh commitment epoch, discarding all per-prefix
-// state from the previous one.
+// state from the previous one and resetting the window sequence.
 func (e *ProverEngine) BeginEpoch(epoch uint64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.epoch = epoch
+	e.window = 0
 	e.begun = true
 	for _, s := range e.shards {
 		s.mu.Lock()
 		s.provers = make(map[prefix.Prefix]*core.Prover)
+		s.leaves = make(map[prefix.Prefix][]byte)
+		s.dirty = false
 		s.seal, s.batch, s.index, s.sealed = nil, nil, nil, false
 		s.mu.Unlock()
 	}
@@ -186,7 +208,12 @@ func (e *ProverEngine) AcceptAnnouncement(a core.Announcement) (core.Receipt, er
 		p.BeginEpoch(e.epoch, a.Route.Prefix)
 		s.provers[a.Route.Prefix] = p
 	}
-	return p.AcceptAnnouncement(a)
+	rc, err := p.AcceptAnnouncement(a)
+	if err == nil {
+		s.dirty = true
+		delete(s.leaves, a.Route.Prefix)
+	}
+	return rc, err
 }
 
 // AcceptAll ingests a batch of announcements striped across the given
@@ -230,12 +257,35 @@ func (e *ProverEngine) AcceptAll(anns []core.Announcement, writers int) error {
 // SealEpoch commits every shard in parallel: each shard computes its
 // per-prefix bit-vector commitments, Merkle-batches their canonical bytes,
 // and signs the root once. Idempotent; shards with no prefixes produce no
-// seal. After sealing, AcceptAnnouncement fails until the next BeginEpoch.
+// seal. After sealing, AcceptAnnouncement fails until the next BeginEpoch
+// (streaming callers mutate sealed state with ReplacePrefix/RemovePrefix
+// and re-seal with SealDirty instead).
+//
+// On an engine that has already streamed (Window > 0), sealing a mutated
+// shard under the *current* window would publish a second root for a
+// (epoch, window, shard) topic whose seal may already have gossiped — a
+// self-inflicted equivocation. SealEpoch therefore delegates to the
+// dirty path in that case, advancing the window like SealDirty does.
 func (e *ProverEngine) SealEpoch() ([]*Seal, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if !e.begun {
 		return nil, fmt.Errorf("engine: BeginEpoch not called")
+	}
+	allSealed := true
+	for _, s := range e.shards {
+		s.mu.Lock()
+		if !s.sealed {
+			allSealed = false
+		}
+		s.mu.Unlock()
+	}
+	if allSealed {
+		return e.sealsLocked(), nil
+	}
+	if e.window > 0 {
+		seals, _, err := e.sealDirtyLocked()
+		return seals, err
 	}
 	var wg sync.WaitGroup
 	errs := make([]error, len(e.shards))
@@ -243,7 +293,12 @@ func (e *ProverEngine) SealEpoch() ([]*Seal, error) {
 		wg.Add(1)
 		go func(idx int, s *shard) {
 			defer wg.Done()
-			errs[idx] = e.sealShard(uint32(idx), s)
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if s.sealed {
+				return
+			}
+			errs[idx] = e.sealShardLocked(uint32(idx), s, 0)
 		}(i, s)
 	}
 	wg.Wait()
@@ -255,15 +310,15 @@ func (e *ProverEngine) SealEpoch() ([]*Seal, error) {
 	return e.sealsLocked(), nil
 }
 
-func (e *ProverEngine) sealShard(idx uint32, s *shard) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.sealed {
-		return nil
-	}
+// sealShardLocked (re)builds one shard's Merkle batch and signs its seal
+// for the given window. The caller holds s.mu. Per-prefix commitment bytes
+// are served from the shard's leaf cache when present — under streaming
+// churn only the prefixes whose provers were replaced recompute.
+func (e *ProverEngine) sealShardLocked(idx uint32, s *shard, window uint64) error {
 	seal := &Seal{
 		Prover: e.cfg.ASN,
 		Epoch:  e.epoch,
+		Window: window,
 		Shard:  idx,
 		Shards: uint32(len(e.shards)),
 	}
@@ -281,14 +336,18 @@ func (e *ProverEngine) sealShard(idx uint32, s *shard) error {
 		leaves := make([][]byte, len(pfxs))
 		s.index = make(map[prefix.Prefix]int, len(pfxs))
 		for i, pfx := range pfxs {
-			mc, err := s.provers[pfx].CommitMinUnsigned()
-			if err != nil {
-				return err
+			leaf, ok := s.leaves[pfx]
+			if !ok {
+				mc, err := s.provers[pfx].CommitMinUnsigned()
+				if err != nil {
+					return err
+				}
+				if leaf, err = mc.SignedBytes(); err != nil {
+					return err
+				}
+				s.leaves[pfx] = leaf
 			}
-			var err2 error
-			if leaves[i], err2 = mc.SignedBytes(); err2 != nil {
-				return err2
-			}
+			leaves[i] = leaf
 			s.index[pfx] = i
 		}
 		batch, err := merkle.NewBatch(leaves)
@@ -298,17 +357,156 @@ func (e *ProverEngine) sealShard(idx uint32, s *shard) error {
 		s.batch = batch
 		seal.Count = uint32(batch.Len())
 		seal.Root = batch.Root()
+	} else {
+		s.batch, s.index = nil, nil
 	}
 	var err error
 	if seal.Sig, err = e.cfg.Signer.Sign(seal.SignedBytes()); err != nil {
 		return err
 	}
 	// Mark sealed only once the seal exists: a mid-seal error leaves the
-	// shard unsealed so a retried SealEpoch redoes the work instead of
-	// silently returning a seal set with holes.
+	// shard unsealed so a retried seal redoes the work instead of silently
+	// returning a seal set with holes.
 	s.seal = seal
 	s.sealed = true
+	s.dirty = false
 	return nil
+}
+
+// ReplacePrefix is the streaming mutation path (internal/updplane): it
+// swaps the prefix's prover state for a fresh one built from the current
+// candidate announcements, marking the prefix's shard dirty so the next
+// SealDirty re-commits it. Unlike AcceptAnnouncement it is legal after a
+// seal — the shard is un-sealed until the next SealDirty, and disclosures
+// for its prefixes fail in between (the published seal no longer matches
+// the mutated state). An empty candidate set removes the prefix.
+func (e *ProverEngine) ReplacePrefix(pfx prefix.Prefix, anns []core.Announcement) error {
+	if len(anns) == 0 {
+		_, err := e.RemovePrefix(pfx)
+		return err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if !e.begun {
+		return fmt.Errorf("engine: BeginEpoch not called")
+	}
+	p, err := core.NewProver(e.cfg.ASN, e.cfg.Signer, e.ver, e.cfg.MaxLen)
+	if err != nil {
+		return err
+	}
+	p.BeginEpoch(e.epoch, pfx)
+	// Build (and verify) the replacement prover before touching shard
+	// state, so a bad announcement leaves the previous state intact.
+	for _, a := range anns {
+		if a.Route.Prefix != pfx {
+			return fmt.Errorf("engine: replace %s: announcement covers %s", pfx, a.Route.Prefix)
+		}
+		if _, err := p.AcceptAnnouncement(a); err != nil {
+			return fmt.Errorf("engine: replace %s from %s: %w", pfx, a.Provider, err)
+		}
+	}
+	s, _, err := e.shardOf(pfx)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.provers[pfx] = p
+	delete(s.leaves, pfx)
+	s.dirty = true
+	s.sealed = false
+	return nil
+}
+
+// RemovePrefix withdraws a prefix from the table (streaming path),
+// reporting whether it was present. Like ReplacePrefix it dirties the
+// shard and un-seals it until the next SealDirty.
+func (e *ProverEngine) RemovePrefix(pfx prefix.Prefix) (bool, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if !e.begun {
+		return false, fmt.Errorf("engine: BeginEpoch not called")
+	}
+	s, _, err := e.shardOf(pfx)
+	if err != nil {
+		return false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.provers[pfx]; !ok {
+		return false, nil
+	}
+	delete(s.provers, pfx)
+	delete(s.leaves, pfx)
+	s.dirty = true
+	s.sealed = false
+	return true, nil
+}
+
+// SealDirty advances the commitment window and re-seals incrementally:
+// shards dirtied since their last seal rebuild their Merkle batch
+// (recomputing commitments only for replaced prefixes, via the leaf
+// cache) and every clean shard merely re-signs its existing root under
+// the new window — one signature, no per-prefix work. It returns the full
+// seal set for the new window plus the indices of the shards that were
+// actually rebuilt; the difference is the §3.8 saving the update plane
+// exists to exploit. Never-sealed shards count as dirty.
+func (e *ProverEngine) SealDirty() ([]*Seal, []uint32, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.begun {
+		return nil, nil, fmt.Errorf("engine: BeginEpoch not called")
+	}
+	return e.sealDirtyLocked()
+}
+
+// sealDirtyLocked advances the window and re-seals; the caller holds
+// e.mu exclusively.
+func (e *ProverEngine) sealDirtyLocked() ([]*Seal, []uint32, error) {
+	e.window++
+	window := e.window
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		rebuilt []uint32
+	)
+	errs := make([]error, len(e.shards))
+	for i, s := range e.shards {
+		wg.Add(1)
+		go func(idx int, s *shard) {
+			defer wg.Done()
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if s.seal != nil && s.sealed && !s.dirty {
+				// Clean shard: same root, fresh window, one signature.
+				ns := *s.seal
+				ns.Window = window
+				sig, err := e.cfg.Signer.Sign(ns.SignedBytes())
+				if err != nil {
+					errs[idx] = err
+					return
+				}
+				ns.Sig = sig
+				s.seal = &ns
+				return
+			}
+			if err := e.sealShardLocked(uint32(idx), s, window); err != nil {
+				errs[idx] = err
+				return
+			}
+			mu.Lock()
+			rebuilt = append(rebuilt, uint32(idx))
+			mu.Unlock()
+		}(i, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	sort.Slice(rebuilt, func(i, j int) bool { return rebuilt[i] < rebuilt[j] })
+	return e.sealsLocked(), rebuilt, nil
 }
 
 // Seals returns the shard seals of the sealed epoch, ascending by shard

@@ -13,8 +13,9 @@ import (
 )
 
 // tagSeal domain-separates shard-seal signatures from every other signed
-// payload in the protocol.
-const tagSeal = "pvr/shard-seal/v1"
+// payload in the protocol. v2 adds the commitment-window sequence number
+// for the streaming update plane (internal/updplane).
+const tagSeal = "pvr/shard-seal/v2"
 
 // Seal is one shard's signed epoch commitment: a Merkle root over the
 // canonical bytes of every per-prefix MinCommitment the shard holds,
@@ -25,6 +26,13 @@ const tagSeal = "pvr/shard-seal/v1"
 type Seal struct {
 	Prover aspath.ASN
 	Epoch  uint64
+	// Window is the commitment window within the epoch. SealEpoch publishes
+	// window 0; each SealDirty under live churn advances it. The window is
+	// signed and part of the gossip topic, so a re-seal after a legitimate
+	// route change is a fresh statement rather than a false equivocation,
+	// while two different roots for the same (epoch, window, shard) remain
+	// a provable equivocation.
+	Window uint64
 	// Shard is this seal's shard index; Shards is the engine's total shard
 	// count. Both are signed so a prover cannot present the same prefix
 	// under two different shard layouts without equivocating.
@@ -42,6 +50,8 @@ func (s *Seal) SignedBytes() []byte {
 	buf.WriteString(tagSeal)
 	var u8 [8]byte
 	binary.BigEndian.PutUint64(u8[:], s.Epoch)
+	buf.Write(u8[:])
+	binary.BigEndian.PutUint64(u8[:], s.Window)
 	buf.Write(u8[:])
 	binary.BigEndian.PutUint32(u8[:4], uint32(s.Prover))
 	buf.Write(u8[:4])
@@ -64,15 +74,17 @@ func (s *Seal) Verify(ver sigs.Verifier) error {
 }
 
 // GossipTopic returns the topic under which neighbors gossip this seal
-// for equivocation detection: (prover, epoch, shard index). The layout
-// (Shards) is deliberately not part of the topic — it is part of the
-// signed payload instead, so two seal sets for one epoch with different
-// shard counts collide on the shard-0 topic (every layout publishes a
-// shard-0 seal, empty or not) with differing payloads: a provable
-// equivocation. Within one layout, two different roots for the same
-// shard conflict the same way.
+// for equivocation detection: (prover, epoch, window, shard index). The
+// layout (Shards) is deliberately not part of the topic — it is part of
+// the signed payload instead, so two seal sets for one epoch with
+// different shard counts collide on the shard-0 topic (every layout
+// publishes a shard-0 seal, empty or not) with differing payloads: a
+// provable equivocation. Within one layout, two different roots for the
+// same shard and window conflict the same way. The window IS part of the
+// topic: a dirty-shard re-seal after a route change legitimately carries
+// a new root, and must not collide with the previous window's statement.
 func (s *Seal) GossipTopic() string {
-	return fmt.Sprintf("seal/%d/%d/%d", uint32(s.Prover), s.Epoch, s.Shard)
+	return fmt.Sprintf("seal/%d/%d.%d/%d", uint32(s.Prover), s.Epoch, s.Window, s.Shard)
 }
 
 // Statement packages the seal for a gossip pool.
@@ -104,7 +116,7 @@ func (s *Seal) UnmarshalBinary(b []byte) error {
 	}
 	n := int(binary.BigEndian.Uint32(b))
 	b = b[4:]
-	want := len(tagSeal) + 8 + 4*4 + merkle.HashSize
+	want := len(tagSeal) + 8 + 8 + 4*4 + merkle.HashSize
 	if n != want || len(b) < n {
 		return fmt.Errorf("engine: malformed seal encoding")
 	}
@@ -114,11 +126,12 @@ func (s *Seal) UnmarshalBinary(b []byte) error {
 	}
 	body = body[len(tagSeal):]
 	s.Epoch = binary.BigEndian.Uint64(body)
-	s.Prover = aspath.ASN(binary.BigEndian.Uint32(body[8:]))
-	s.Shard = binary.BigEndian.Uint32(body[12:])
-	s.Shards = binary.BigEndian.Uint32(body[16:])
-	s.Count = binary.BigEndian.Uint32(body[20:])
-	copy(s.Root[:], body[24:])
+	s.Window = binary.BigEndian.Uint64(body[8:])
+	s.Prover = aspath.ASN(binary.BigEndian.Uint32(body[16:]))
+	s.Shard = binary.BigEndian.Uint32(body[20:])
+	s.Shards = binary.BigEndian.Uint32(body[24:])
+	s.Count = binary.BigEndian.Uint32(body[28:])
+	copy(s.Root[:], body[32:])
 	s.Sig = append([]byte(nil), sig...)
 	return nil
 }

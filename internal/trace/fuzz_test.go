@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzGenerate checks the generator's invariants over arbitrary
+// configurations:
+//
+//  1. a withdrawal for a prefix never precedes that prefix's
+//     announcement (and never strikes a prefix whose announcements have
+//     all been withdrawn);
+//  2. the event count matches Config.Events exactly;
+//  3. event times are non-decreasing (this one originally failed for
+//     negative MeanGap, which Validate now rejects);
+//  4. every event's prefix is inside the declared universe;
+//  5. equal seeds replay the identical stream.
+func FuzzGenerate(f *testing.F) {
+	f.Add(16, 64, int64(1_000_000), 4, 0.3, int64(1))
+	f.Add(1, 8, int64(0), 0, 0.0, int64(7))
+	f.Add(3, 100, int64(-50_000), 2, 1.0, int64(42)) // negative MeanGap: must be rejected
+	f.Add(256, 512, int64(250_000), 16, 0.5, int64(-9))
+	f.Fuzz(func(t *testing.T, prefixes, events int, meanGapNs int64, burstLen int, withdrawRatio float64, seed int64) {
+		// Keep runaway inputs bounded; validity is still the generator's
+		// problem for everything in range.
+		if prefixes > 1<<12 || events > 1<<13 || burstLen > 1<<10 || burstLen < -1<<10 {
+			t.Skip()
+		}
+		cfg := Config{
+			Prefixes: prefixes, Events: events,
+			MeanGap: time.Duration(meanGapNs), BurstLen: burstLen,
+			WithdrawRatio: withdrawRatio, Seed: seed,
+		}
+		evs, err := Generate(cfg)
+		if cfg.Validate() != nil {
+			if err == nil {
+				t.Fatalf("invalid config %+v accepted", cfg)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("valid config %+v rejected: %v", cfg, err)
+		}
+		if len(evs) != events {
+			t.Fatalf("got %d events, config asked for %d", len(evs), events)
+		}
+		uni := map[string]bool{}
+		for _, p := range Universe(prefixes) {
+			uni[p.String()] = true
+		}
+		announced := map[string]bool{}
+		for i, ev := range evs {
+			if !uni[ev.Prefix.String()] {
+				t.Fatalf("event %d prefix %s outside universe", i, ev.Prefix)
+			}
+			if i > 0 && ev.At < evs[i-1].At {
+				t.Fatalf("event %d time %v precedes event %d time %v", i, ev.At, i-1, evs[i-1].At)
+			}
+			switch ev.Kind {
+			case Announce:
+				announced[ev.Prefix.String()] = true
+			case Withdraw:
+				if !announced[ev.Prefix.String()] {
+					t.Fatalf("event %d withdraws %s before any announcement", i, ev.Prefix)
+				}
+				delete(announced, ev.Prefix.String())
+			default:
+				t.Fatalf("event %d has unknown kind %d", i, ev.Kind)
+			}
+		}
+		// Determinism: the same seed replays byte-identical events.
+		evs2, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range evs {
+			if evs[i] != evs2[i] {
+				t.Fatalf("event %d differs across equal-seed runs: %v vs %v", i, evs[i], evs2[i])
+			}
+		}
+		// Burstiness must not panic and must stay in range on any stream.
+		frac, maxBurst := Burstiness(evs)
+		if frac < 0 || frac > 1 || maxBurst < 0 || maxBurst > len(evs) {
+			t.Fatalf("burstiness out of range: %v, %d", frac, maxBurst)
+		}
+	})
+}

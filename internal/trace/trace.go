@@ -66,6 +66,11 @@ func (c Config) Validate() error {
 	if c.WithdrawRatio < 0 || c.WithdrawRatio > 1 {
 		return errors.New("trace: WithdrawRatio outside [0,1]")
 	}
+	// A negative gap would run event time backwards (found by
+	// FuzzGenerate: the non-decreasing-At invariant broke).
+	if c.MeanGap < 0 {
+		return errors.New("trace: MeanGap must be non-negative")
+	}
 	return nil
 }
 

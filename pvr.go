@@ -16,8 +16,12 @@
 //     selective disclosure (§3.5–3.7).
 //   - Commitment gossip for equivocation detection, transferable evidence,
 //     and a third-party Judge (§2.3).
-//   - Simulation drivers (RunFig1, RunConvergence) used by the examples
-//     and the experiment harness.
+//   - The sharded multi-prefix Engine with Merkle-batched shard seals and
+//     the streaming UpdatePlane that re-seals only dirty shards under
+//     live BGP churn (§3.8 batching).
+//   - Simulation drivers (RunFig1, RunConvergence, RunEngineEpoch,
+//     RunGossip, RunChurn) used by the examples and the experiment
+//     harness.
 //
 // A minimal session, with A proving its shortest-route promise:
 //
@@ -55,6 +59,7 @@ import (
 	"pvr/internal/rfg"
 	"pvr/internal/route"
 	"pvr/internal/sigs"
+	"pvr/internal/updplane"
 )
 
 // ASN is an autonomous system number.
@@ -203,6 +208,36 @@ var (
 	VerifyEnginePromiseeView = engine.VerifyPromiseeView
 )
 
+// Update-plane types (internal/updplane): the streaming layer between a
+// live BGP feed and the engine. An UpdatePlane consumes announce/withdraw
+// events through a bounded backpressured queue, applies them through the
+// BGP RIB decision process, and re-seals only the dirty shards each
+// commitment window (engine SealDirty) — the §3.8 batching argument
+// applied to continuous churn instead of static table re-seals.
+type (
+	// UpdatePlane is the streaming update plane.
+	UpdatePlane = updplane.Plane
+	// UpdatePlaneConfig parameterizes NewUpdatePlane; Engine is required.
+	UpdatePlaneConfig = updplane.Config
+	// UpdateEvent is one feed item (announce or withdraw).
+	UpdateEvent = updplane.Event
+	// UpdateWindow reports one sealed commitment window.
+	UpdateWindow = updplane.WindowResult
+	// UpdatePlaneStats is a snapshot of plane counters and seal-latency
+	// quantiles.
+	UpdatePlaneStats = updplane.Stats
+)
+
+// NewUpdatePlane starts a streaming update plane over an Engine;
+// AnnounceEvent and WithdrawEvent build its feed items. ErrQueueFull is
+// the backpressure signal from UpdatePlane.TrySubmit.
+var (
+	NewUpdatePlane = updplane.New
+	AnnounceEvent  = updplane.AnnounceEvent
+	WithdrawEvent  = updplane.WithdrawEvent
+	ErrQueueFull   = updplane.ErrQueueFull
+)
+
 // Re-exported verification functions: these are what each neighbor runs.
 var (
 	// VerifyProviderView is N_i's §3.3 check.
@@ -270,6 +305,20 @@ type (
 
 // RunGossip executes one gossip-convergence run.
 var RunGossip = netsim.RunGossip
+
+// Streaming-churn simulation driver (experiment E12): a table under live
+// announce/withdraw churn driven through the update plane, with
+// dirty-shard invariants checked, an optional full-reseal baseline, and
+// equivocation-under-churn audit.
+type (
+	// ChurnConfig parameterizes RunChurn.
+	ChurnConfig = netsim.ChurnConfig
+	// ChurnResult reports per-window costs, invariants, and detection.
+	ChurnResult = netsim.ChurnResult
+)
+
+// RunChurn executes one streaming-churn run.
+var RunChurn = netsim.RunChurn
 
 // Network is the set of participating ASes and their public keys: the
 // out-of-band PKI the paper assumes. Safe for concurrent use.

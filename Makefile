@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-smoke clean
+.PHONY: all build test race vet fmt bench bench-smoke api apicheck examples clean
 
 all: build
 
@@ -41,6 +41,20 @@ bench-smoke:
 	grep -q '"nodes"' BENCH_gossip.json
 	grep -q '"updates_per_sec"' BENCH_stream.json
 	grep -q '"speedup"' BENCH_stream.json
+
+# api regenerates the public-API snapshot that apicheck (and CI) diff
+# against; run it whenever a PR intentionally changes the pvr surface.
+# One generator (in the script) serves both targets so they cannot drift.
+api:
+	./scripts/apicheck.sh --update
+
+apicheck:
+	./scripts/apicheck.sh
+
+# examples vets and builds every example program against the current API.
+examples:
+	$(GO) vet ./examples/...
+	$(GO) build ./examples/...
 
 clean:
 	rm -f BENCH_engine.json BENCH_gossip.json BENCH_stream.json

@@ -1,14 +1,9 @@
-// Command pvrd is a small BGP speaker daemon demonstrating the substrate
-// over real TCP: it runs the session FSM (OPEN exchange, keepalives, hold
-// timer) and exchanges UPDATE messages whose attachments carry PVR engine
-// state — per-prefix commitments sealed into Merkle-batched shard roots —
-// instead of one signature per route.
-//
-// The listener owns a sharded ProverEngine: it ingests signed announcements
-// for every originated prefix (from a synthetic upstream provider standing
-// in for its provider sessions), seals the epoch, and serves each route
-// with its sealed commitment (commitment bytes, inclusion proof, shard
-// seal, and the speaker's public key) attached.
+// Command pvrd is the PVR daemon: one pvr.Participant per process,
+// configured from flags. It proves over the prefixes it originates
+// (sealing per-prefix commitments into Merkle-batched shard seals),
+// serves them to BGP peers with the commitment chain attached, verifies
+// what peers advertise (pinning unknown keys trust-on-first-use), joins
+// the audit gossip network, and persists equivocation evidence.
 //
 // Listener:
 //
@@ -18,781 +13,135 @@
 //
 //	pvrd -connect 127.0.0.1:1790 -asn 64501
 //
-// The dialer pins the listener's key trust-on-first-use (standing in for
-// the paper's out-of-band PKI), then verifies every learned route: the
-// route body's own signature, the shard-seal signature, the prefix→shard
-// binding, and Merkle inclusion of the commitment under the sealed root.
+// With -stream N the listener additionally runs N synthetic churn events
+// through the streaming update plane: each -window only the dirty shards
+// re-seal and the changed prefixes re-advertise to every live session.
+// -gossip-listen / -gossip-peers / -gossip-every / -ledger join the audit
+// network; routes from a convicted origin are rejected.
 //
-// With -stream N the listener additionally runs the streaming update
-// plane (internal/updplane): N synthetic churn events flow through the
-// upstream feed, each -window the plane re-seals only the dirty shards,
-// and changed routes are re-advertised to every live session with the
-// fresh window seals attached (-queue bounds the ingest queue).
-//
-// Both modes can additionally join the audit network (internal/auditnet):
-// -gossip-listen serves anti-entropy exchanges, -gossip-peers dials the
-// given peers every -gossip-every, and -ledger persists confirmed
-// equivocation evidence across restarts. The listener seeds its auditor
-// with its own shard seals (streaming windows included); the dialer
-// audits what it learns, and routes from a convicted peer are rejected.
-//
-// pvrd shuts down cleanly on SIGINT/SIGTERM: the accept loop is
-// cancelled, open BGP sessions are closed with CEASE, the gossip
-// exchanger stops, and the evidence ledger is flushed and closed before
-// exit.
+// pvrd shuts down cleanly on SIGINT/SIGTERM: sessions close with CEASE,
+// the update plane seals its final window, and the ledger is flushed.
+// The heavy lifting all lives in pvr.Participant — this file only maps
+// flags onto functional options.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"math/rand"
-	"net/netip"
+	"log"
 	"os"
 	"os/signal"
 	"strings"
-	"sync"
 	"syscall"
 	"time"
 
-	"pvr/internal/aspath"
-	"pvr/internal/auditnet"
-	"pvr/internal/bgp"
-	"pvr/internal/core"
-	"pvr/internal/engine"
-	"pvr/internal/merkle"
-	"pvr/internal/netx"
-	"pvr/internal/prefix"
-	"pvr/internal/route"
-	"pvr/internal/sigs"
-	"pvr/internal/trace"
-	"pvr/internal/updplane"
+	"pvr"
 )
 
-// gossipOpts carries the audit-network flags shared by both modes.
-type gossipOpts struct {
-	listen string
-	peers  []string
-	every  time.Duration
-	ledger string
-}
-
-// streamOpts carries the update-plane flags (listener mode).
-type streamOpts struct {
-	events int
-	window time.Duration
-	queue  int
-}
-
 func main() {
-	listen := flag.String("listen", "", "listen address (server mode)")
-	connect := flag.String("connect", "", "peer address (client mode)")
+	listen := flag.String("listen", "", "serve BGP sessions on this address")
+	connect := flag.String("connect", "", "comma-separated BGP peers to dial")
 	asn := flag.Uint("asn", 64500, "local AS number")
-	originate := flag.String("originate", "", "comma-separated prefixes to originate (server mode)")
+	originate := flag.String("originate", "", "comma-separated prefixes to originate")
 	shards := flag.Int("shards", 0, "engine shard count (0 = one per CPU)")
 	hold := flag.Uint("hold", 9, "hold time seconds (0 disables)")
-	streamN := flag.Int("stream", 0, "run the update plane over this many synthetic churn events (server mode, 0 = off)")
+	stream := flag.Int("stream", 0, "run the update plane over this many synthetic churn events (0 = off)")
 	window := flag.Duration("window", 250*time.Millisecond, "update-plane commitment window")
 	queue := flag.Int("queue", 1024, "update-plane ingest queue bound")
 	gossipListen := flag.String("gossip-listen", "", "serve audit anti-entropy exchanges on this address")
 	gossipPeers := flag.String("gossip-peers", "", "comma-separated audit peers to reconcile with periodically")
 	gossipEvery := flag.Duration("gossip-every", 2*time.Second, "anti-entropy round interval")
-	ledgerPath := flag.String("ledger", "", "persistent evidence ledger file (audit convictions survive restarts)")
+	ledger := flag.String("ledger", "", "persistent evidence ledger file (audit convictions survive restarts)")
 	flag.Parse()
 
-	if (*listen == "") == (*connect == "") {
-		fmt.Fprintln(os.Stderr, "exactly one of -listen or -connect is required")
+	if *listen == "" && *connect == "" && *gossipListen == "" {
+		fmt.Fprintln(os.Stderr, "at least one of -listen, -connect, or -gossip-listen is required")
 		os.Exit(2)
 	}
-	local := bgp.Open{ASN: aspath.ASN(*asn), HoldTime: uint16(*hold), RouterID: uint32(*asn)}
-	g := gossipOpts{listen: *gossipListen, every: *gossipEvery, ledger: *ledgerPath}
-	for _, p := range strings.Split(*gossipPeers, ",") {
-		if p = strings.TrimSpace(p); p != "" {
-			g.peers = append(g.peers, p)
-		}
+	log.SetFlags(0)
+	log.SetPrefix("pvrd: ")
+
+	opts := []pvr.Option{
+		pvr.WithASN(pvr.ASN(*asn)),
+		pvr.WithTransport(pvr.TCP()),
+		pvr.WithShards(*shards),
+		pvr.WithHoldTime(uint16(*hold)),
+		pvr.WithWindow(*window),
+		pvr.WithQueueSize(*queue),
+		pvr.WithChurn(*stream),
+		pvr.WithGossipInterval(*gossipEvery),
+		pvr.WithLogf(log.Printf),
 	}
-	st := streamOpts{events: *streamN, window: *window, queue: *queue}
-
-	// shutdown is closed on SIGINT/SIGTERM; every long-lived component
-	// registers a closer and main runs them, newest first, before exit.
-	shutdown := make(chan struct{})
-	go func() {
-		ch := make(chan os.Signal, 1)
-		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
-		<-ch
-		fmt.Println("pvrd: shutting down")
-		close(shutdown)
-	}()
-
 	if *listen != "" {
-		serve(*listen, local, *originate, *shards, g, st, shutdown)
-		return
+		opts = append(opts, pvr.WithListen(*listen))
 	}
-	dial(*connect, local, g, shutdown)
-}
-
-// closers runs registered cleanup functions newest-first on shutdown.
-type closers struct {
-	mu  sync.Mutex
-	fns []func()
-}
-
-func (c *closers) add(fn func()) {
-	c.mu.Lock()
-	c.fns = append(c.fns, fn)
-	c.mu.Unlock()
-}
-
-func (c *closers) run() {
-	c.mu.Lock()
-	fns := c.fns
-	c.fns = nil
-	c.mu.Unlock()
-	for i := len(fns) - 1; i >= 0; i-- {
-		fns[i]()
+	if peers := splitList(*connect); len(peers) > 0 {
+		opts = append(opts, pvr.WithPeers(peers...))
 	}
-}
-
-// sessionSet tracks live BGP sessions so shutdown (and the update plane)
-// can reach them.
-type sessionSet struct {
-	mu       sync.Mutex
-	sessions map[*bgp.Session]bool
-}
-
-func newSessionSet() *sessionSet {
-	return &sessionSet{sessions: make(map[*bgp.Session]bool)}
-}
-
-func (ss *sessionSet) add(s *bgp.Session)    { ss.mu.Lock(); ss.sessions[s] = true; ss.mu.Unlock() }
-func (ss *sessionSet) remove(s *bgp.Session) { ss.mu.Lock(); delete(ss.sessions, s); ss.mu.Unlock() }
-
-func (ss *sessionSet) each(fn func(*bgp.Session)) {
-	ss.mu.Lock()
-	open := make([]*bgp.Session, 0, len(ss.sessions))
-	for s := range ss.sessions {
-		open = append(open, s)
-	}
-	ss.mu.Unlock()
-	for _, s := range open {
-		fn(s)
-	}
-}
-
-// newAuditor stands up the local audit node over the daemon's registry,
-// replaying the evidence ledger when one is configured. The returned
-// ledger (nil when not configured) must be closed on shutdown so the
-// final fsync'd state is flushed before exit.
-func newAuditor(local aspath.ASN, reg *sigs.Registry, g gossipOpts) (*auditnet.Auditor, *auditnet.Ledger, error) {
-	cfg := auditnet.Config{ASN: local, Registry: reg}
-	var led *auditnet.Ledger
-	if g.ledger != "" {
-		l, recs, err := auditnet.OpenLedger(g.ledger)
+	for _, s := range splitList(*originate) {
+		p, err := pvr.ParsePrefix(s)
 		if err != nil {
-			return nil, nil, err
+			fatal(err)
 		}
-		led = l
-		cfg.Ledger, cfg.Replay = l, recs
-		if len(recs) > 0 {
-			fmt.Printf("pvrd: replayed %d evidence records from %s\n", len(recs), g.ledger)
-		}
+		opts = append(opts, pvr.WithOriginate(p))
 	}
-	a, err := auditnet.New(cfg)
+	if *gossipListen != "" {
+		opts = append(opts, pvr.WithGossipListen(*gossipListen))
+	}
+	if peers := splitList(*gossipPeers); len(peers) > 0 {
+		opts = append(opts, pvr.WithGossipPeers(peers...))
+	}
+	if *ledger != "" {
+		opts = append(opts, pvr.WithLedger(*ledger))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	p, err := pvr.Open(ctx, opts...)
 	if err != nil {
-		if led != nil {
-			led.Close()
-		}
-		return nil, nil, err
+		fatal(err)
 	}
-	for _, c := range a.Convictions() {
-		fmt.Printf("pvrd: audit: %s stands convicted (%s)\n", c.ASN, c.Detail)
-	}
-	return a, led, nil
-}
-
-// startGossip wires the auditor into the network: a listener answering
-// anti-entropy exchanges and a ticker reconciling with each peer. The
-// registered closers stop both.
-func startGossip(a *auditnet.Auditor, g gossipOpts, cl *closers) error {
-	if g.listen != "" {
-		bound, closer, err := netx.Listen(g.listen, func(c *netx.Conn) {
-			defer c.Close()
-			for {
-				if _, err := a.Respond(c); err != nil {
-					return // peer hung up or protocol error; drop the conn
-				}
-			}
-		})
-		if err != nil {
-			return err
-		}
-		cl.add(func() { closer.Close() })
-		fmt.Printf("pvrd: audit gossip listening on %s\n", bound)
-	}
-	if len(g.peers) > 0 {
-		stop := make(chan struct{})
-		done := make(chan struct{})
-		cl.add(func() { close(stop); <-done })
+	log.Printf("up as %s (%d prefixes, %d shards)", p.ASN(), p.Stats().Prefixes, p.Stats().Shards)
+	if *connect != "" && *listen == "" {
+		// Classic dial mode exits when its last BGP session ends, not
+		// only on SIGINT; watch the session gauge and cancel.
 		go func() {
-			defer close(done)
-			tick := time.NewTicker(g.every)
-			defer tick.Stop()
-			for {
-				select {
-				case <-stop:
+			for ctx.Err() == nil {
+				// The cumulative counter cannot miss a session that opens
+				// and dies between polls.
+				if st := p.Stats(); st.SessionsOpened > 0 && st.Sessions == 0 {
+					log.Printf("all sessions closed, exiting")
+					stop()
 					return
-				case <-tick.C:
 				}
-				for _, peer := range g.peers {
-					st, err := reconcileOnce(a, peer)
-					if err != nil {
-						fmt.Printf("pvrd: audit %s: %v\n", peer, err)
-						continue
-					}
-					if st.NewStatements > 0 || st.NewConflicts > 0 {
-						fmt.Printf("pvrd: audit %s: +%d statements, +%d convictions (%d B)\n",
-							peer, st.NewStatements, st.NewConflicts, st.Bytes())
-					}
-				}
+				time.Sleep(100 * time.Millisecond)
 			}
 		}()
 	}
-	return nil
+	if err := p.Run(ctx); err != nil {
+		fatal(err)
+	}
+	st := p.Stats()
+	log.Printf("shut down: window %d, %d prefixes sealed, %d routes verified, %d rejected, %d audit records, %d convictions",
+		st.Window, st.Prefixes, st.RoutesVerified, st.RoutesRejected, st.AuditRecords, st.Convictions)
+	log.Printf("update plane: %d events, %d windows, %d shards rebuilt, %d reused, seal p50 %s p99 %s",
+		st.Plane.EventsIn, st.Plane.Windows, st.Plane.RebuiltShards, st.Plane.ReusedShards,
+		st.Plane.SealP50.Round(time.Microsecond), st.Plane.SealP99.Round(time.Microsecond))
 }
 
-func reconcileOnce(a *auditnet.Auditor, peer string) (*auditnet.Stats, error) {
-	conn, err := netx.Dial(peer, 3*time.Second)
-	if err != nil {
-		return nil, err
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
 	}
-	defer conn.Close()
-	return a.Reconcile(conn)
+	return out
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "pvrd:", err)
 	os.Exit(1)
-}
-
-// engineState is the listener's prover state: the engine itself plus the
-// synthetic upstream provider that stands in for provider sessions.
-type engineState struct {
-	reg      *sigs.Registry
-	signer   sigs.Signer
-	key      []byte // marshaled public key, attached to updates
-	eng      *engine.ProverEngine
-	upstream aspath.ASN
-	upSigner sigs.Signer
-	pfxs     []prefix.Prefix
-}
-
-// buildEngineState stands up the PKI and engine and ingests one
-// announcement per originated prefix from the synthetic upstream
-// provider, sealing the initial epoch.
-func buildEngineState(local bgp.Open, originate string, shards int) (*engineState, error) {
-	signer, err := sigs.GenerateEd25519()
-	if err != nil {
-		return nil, err
-	}
-	upstream := aspath.ASN(uint32(local.ASN) + 1000)
-	upSigner, err := sigs.GenerateEd25519()
-	if err != nil {
-		return nil, err
-	}
-	reg := sigs.NewRegistry()
-	reg.Register(local.ASN, signer.Public())
-	reg.Register(upstream, upSigner.Public())
-
-	eng, err := engine.New(engine.Config{
-		ASN: local.ASN, Signer: signer, Registry: reg, Shards: shards,
-	})
-	if err != nil {
-		return nil, err
-	}
-	eng.BeginEpoch(1)
-
-	st := &engineState{
-		reg: reg, signer: signer, eng: eng,
-		upstream: upstream, upSigner: upSigner,
-	}
-	if st.key, err = signer.Public().Marshal(); err != nil {
-		return nil, err
-	}
-	for _, s := range strings.Split(originate, ",") {
-		s = strings.TrimSpace(s)
-		if s == "" {
-			continue
-		}
-		p, err := prefix.Parse(s)
-		if err != nil {
-			return nil, err
-		}
-		st.pfxs = append(st.pfxs, p)
-	}
-	for _, p := range st.pfxs {
-		ann, err := st.upstreamAnnouncement(p, 1)
-		if err != nil {
-			return nil, err
-		}
-		if _, err := eng.AcceptAnnouncement(ann); err != nil {
-			return nil, err
-		}
-	}
-	if len(st.pfxs) > 0 {
-		if _, err = eng.SealEpoch(); err != nil {
-			return nil, err
-		}
-	}
-	return st, nil
-}
-
-// upstreamAnnouncement synthesizes the upstream provider's signed route
-// for a prefix with the given AS-path length.
-func (st *engineState) upstreamAnnouncement(p prefix.Prefix, pathLen int) (core.Announcement, error) {
-	asns := make([]aspath.ASN, pathLen)
-	asns[0] = st.upstream
-	for i := 1; i < pathLen; i++ {
-		asns[i] = aspath.ASN(65000 + i)
-	}
-	r := route.Route{
-		Prefix:  p,
-		Path:    aspath.New(asns...),
-		NextHop: netip.MustParseAddr("192.0.2.1"),
-	}
-	return core.NewAnnouncement(st.upSigner, st.upstream, st.eng.ASN(), 1, r)
-}
-
-// updateFor builds the UPDATE advertising one prefix with its current
-// commitment chain attached; ok is false when the prefix is no longer in
-// the sealed table (callers withdraw instead).
-func (st *engineState) updateFor(p prefix.Prefix) (bgp.Update, bool, error) {
-	sc, err := st.eng.Commitment(p)
-	if err != nil {
-		return bgp.Update{}, false, nil // withdrawn (or not yet re-sealed)
-	}
-	mcBytes, err := sc.MC.SignedBytes()
-	if err != nil {
-		return bgp.Update{}, false, err
-	}
-	proofBytes, err := sc.Proof.MarshalBinary()
-	if err != nil {
-		return bgp.Update{}, false, err
-	}
-	sealBytes, err := sc.Seal.MarshalBinary()
-	if err != nil {
-		return bgp.Update{}, false, err
-	}
-	pv, err := st.eng.DiscloseToPromisee(p, 0) // exported route for any promisee
-	if err != nil {
-		return bgp.Update{}, false, err
-	}
-	// The route body itself is signed per-route (§3.2 announcement
-	// signing): the sealed commitment authenticates the promise state,
-	// not the path and next hop the update carries.
-	body, err := pv.Export.Route.MarshalBinary()
-	if err != nil {
-		return bgp.Update{}, false, err
-	}
-	routeSig, err := st.signer.Sign(body)
-	if err != nil {
-		return bgp.Update{}, false, err
-	}
-	return bgp.Update{
-		Announced: []route.Route{pv.Export.Route},
-		Attachments: map[string][]byte{
-			"pvr/sig":   routeSig,
-			"pvr/mc":    mcBytes,
-			"pvr/proof": proofBytes,
-			"pvr/seal":  sealBytes,
-			"pvr/key":   st.key,
-		},
-	}, true, nil
-}
-
-func serve(addr string, local bgp.Open, originate string, shards int, g gossipOpts, so streamOpts, shutdown <-chan struct{}) {
-	var cl closers
-	st, err := buildEngineState(local, originate, shards)
-	if err != nil {
-		fatal(err)
-	}
-	seals := st.eng.Seals()
-	fmt.Printf("pvrd: engine sealed %d prefixes into %d shard seals\n", len(st.pfxs), len(seals))
-
-	// Join the audit network: seed the auditor with our own shard seals so
-	// peers can cross-check what we told other neighbors.
-	auditor, ledger, err := newAuditor(local.ASN, st.reg, g)
-	if err != nil {
-		fatal(err)
-	}
-	if ledger != nil {
-		cl.add(func() {
-			if err := ledger.Close(); err != nil {
-				fmt.Printf("pvrd: ledger close: %v\n", err)
-			} else {
-				fmt.Printf("pvrd: evidence ledger %s flushed\n", ledger.Path())
-			}
-		})
-	}
-	for _, s := range seals {
-		if _, _, err := auditor.AddRecord(auditnet.Record{Epoch: s.Epoch, S: s.Statement()}); err != nil {
-			fatal(err)
-		}
-	}
-	if err := startGossip(auditor, g, &cl); err != nil {
-		fatal(err)
-	}
-
-	sessions := newSessionSet()
-	cl.add(func() {
-		sessions.each(func(s *bgp.Session) { s.Close() })
-	})
-
-	bound, closer, err := netx.Listen(addr, func(c *netx.Conn) {
-		fmt.Printf("pvrd: connection from %s\n", c.RemoteAddr())
-		s := bgp.NewSession(c, local, bgp.SessionHooks{
-			OnEstablished: func(peer bgp.Open) {
-				fmt.Printf("pvrd: established with %s\n", peer.ASN)
-			},
-			OnClose: func(err error) {
-				fmt.Printf("pvrd: session closed: %v\n", err)
-			},
-		})
-		sessions.add(s)
-		defer sessions.remove(s)
-		go func() {
-			// Once established, serve the sealed engine state: one update
-			// per prefix, each carrying its commitment chain.
-			for s.State() != bgp.StateEstablished {
-				if s.State() == bgp.StateClosed {
-					return
-				}
-				time.Sleep(10 * time.Millisecond)
-			}
-			for _, p := range st.pfxs {
-				// Under streaming, a shard is transiently unsealed between
-				// a mutation and the window's SealDirty; retry across a few
-				// window intervals before concluding the prefix is gone.
-				var u bgp.Update
-				ok := false
-				for attempt := 0; attempt < 30 && s.State() == bgp.StateEstablished; attempt++ {
-					var err error
-					u, ok, err = st.updateFor(p)
-					if err != nil {
-						fmt.Printf("pvrd: advertise %s: %v\n", p, err)
-						break
-					}
-					if ok {
-						break
-					}
-					time.Sleep(50 * time.Millisecond)
-				}
-				if !ok {
-					continue // withdrawn from the table
-				}
-				if err := s.SendUpdate(u); err != nil {
-					fmt.Printf("pvrd: send: %v\n", err)
-					return
-				}
-			}
-		}()
-		_ = s.Run()
-	})
-	if err != nil {
-		fatal(err)
-	}
-	cl.add(func() { closer.Close() })
-	fmt.Printf("pvrd: listening on %s as %s\n", bound, local.ASN)
-
-	if so.events > 0 {
-		if err := startStream(st, auditor, sessions, so, &cl); err != nil {
-			fatal(err)
-		}
-	}
-
-	<-shutdown
-	cl.run()
-}
-
-// startStream runs the update plane over synthetic churn: trace events
-// become upstream announce/withdraw feed items, each window re-seals the
-// dirty shards, publishes the fresh seals to the auditor, and
-// re-advertises the changed prefixes to every live session.
-//
-// Demo-scale caveat: the daemon stays in epoch 1, so with gossip enabled
-// every window adds ShardCount statements to each audit node's store —
-// a long-running stream grows audit state linearly until the operator
-// advances the epoch (restarts). Epoch rollover is the daemon's missing
-// production feature, not the plane's.
-func startStream(st *engineState, auditor *auditnet.Auditor, sessions *sessionSet, so streamOpts, cl *closers) error {
-	if len(st.pfxs) == 0 {
-		return fmt.Errorf("stream mode needs -originate prefixes")
-	}
-	// Re-advertisement runs on its own goroutine so a stalled peer's TCP
-	// buffer can never wedge the plane loop (and with it the feeder and
-	// shutdown); a full channel drops the window's batch with a log line —
-	// the affected prefixes re-advertise on their next change.
-	type windowBatch struct {
-		window  uint64
-		updates []bgp.Update
-	}
-	advertise := make(chan windowBatch, 4)
-	senderDone := make(chan struct{})
-	go func() {
-		defer close(senderDone)
-		for b := range advertise {
-			for _, u := range b.updates {
-				sessions.each(func(s *bgp.Session) {
-					if s.State() == bgp.StateEstablished {
-						_ = s.SendUpdate(u)
-					}
-				})
-			}
-		}
-	}()
-	plane, err := updplane.New(updplane.Config{
-		Engine:    st.eng,
-		Window:    so.window,
-		QueueSize: so.queue,
-		OnWindow: func(w updplane.WindowResult) {
-			for _, s := range w.Seals {
-				if _, _, err := auditor.AddRecord(auditnet.Record{Epoch: s.Epoch, S: s.Statement()}); err != nil {
-					fmt.Printf("pvrd: window %d audit: %v\n", w.Window, err)
-				}
-			}
-			var sent, withdrawn int
-			batch := windowBatch{window: w.Window}
-			for _, p := range w.Prefixes {
-				u, ok, err := st.updateFor(p)
-				if err != nil {
-					fmt.Printf("pvrd: window %d %s: %v\n", w.Window, p, err)
-					continue
-				}
-				if !ok {
-					u = bgp.Update{Withdrawn: []prefix.Prefix{p}}
-					withdrawn++
-				} else {
-					sent++
-				}
-				batch.updates = append(batch.updates, u)
-			}
-			select {
-			case advertise <- batch:
-			default:
-				fmt.Printf("pvrd: window %d: peers slow, dropped re-advertisement of %d updates\n",
-					w.Window, len(batch.updates))
-			}
-			fmt.Printf("pvrd: window %d: %d events, %d dirty prefixes, rebuilt %d/%d shards, re-advertised %d, withdrew %d (seal %s)\n",
-				w.Window, w.Events, w.DirtyPrefixes, len(w.Rebuilt), w.TotalShards, sent, withdrawn,
-				w.SealLatency.Round(time.Microsecond))
-		},
-	})
-	if err != nil {
-		close(advertise)
-		return err
-	}
-	stop := make(chan struct{})
-	done := make(chan struct{})
-	cl.add(func() {
-		close(stop)
-		<-done
-		if err := plane.Close(); err != nil {
-			fmt.Printf("pvrd: update plane: %v\n", err)
-		}
-		// Let the sender drain what it can; don't wait on it — a stalled
-		// peer unblocks when the session closer (which runs after this
-		// one) tears the connections down.
-		close(advertise)
-		select {
-		case <-senderDone:
-		case <-time.After(200 * time.Millisecond):
-		}
-		stats := plane.Stats()
-		fmt.Printf("pvrd: update plane: %d events, %d windows, %d shards rebuilt, %d reused, seal p50 %s p99 %s\n",
-			stats.EventsIn, stats.Windows, stats.RebuiltShards, stats.ReusedShards,
-			stats.SealP50.Round(time.Microsecond), stats.SealP99.Round(time.Microsecond))
-	})
-	go func() {
-		defer close(done)
-		events, err := trace.Generate(trace.Config{
-			Prefixes: len(st.pfxs), Events: so.events,
-			MeanGap: so.window / 4, BurstLen: 4, WithdrawRatio: 0.2, Seed: 1,
-		})
-		if err != nil {
-			fmt.Printf("pvrd: stream: %v\n", err)
-			return
-		}
-		// Map the generator's universe back onto the originated prefixes.
-		uni := trace.Universe(len(st.pfxs))
-		idx := make(map[prefix.Prefix]int, len(uni))
-		for i, p := range uni {
-			idx[p] = i
-		}
-		rng := rand.New(rand.NewSource(1))
-		fmt.Printf("pvrd: streaming %d churn events over %d prefixes (window %s)\n",
-			len(events), len(st.pfxs), so.window)
-		last := time.Duration(0)
-		for _, ev := range events {
-			if gap := ev.At - last; gap > 0 {
-				select {
-				case <-stop:
-					return
-				case <-time.After(gap):
-				}
-			}
-			last = ev.At
-			p := st.pfxs[idx[ev.Prefix]]
-			if ev.Kind == trace.Withdraw {
-				if err := plane.Submit(updplane.WithdrawEvent(st.upstream, p)); err != nil {
-					return
-				}
-				continue
-			}
-			ann, err := st.upstreamAnnouncement(p, 1+rng.Intn(8))
-			if err != nil {
-				fmt.Printf("pvrd: stream announce: %v\n", err)
-				return
-			}
-			if err := plane.Submit(updplane.AnnounceEvent(st.upstream, ann)); err != nil {
-				return
-			}
-		}
-		fmt.Println("pvrd: churn stream drained")
-	}()
-	return nil
-}
-
-func dial(addr string, local bgp.Open, g gossipOpts, shutdown <-chan struct{}) {
-	var cl closers
-	conn, err := netx.Dial(addr, 5*time.Second)
-	if err != nil {
-		fatal(err)
-	}
-	// The registry is TOFU-populated from the session; the auditor shares
-	// it, so gossip statements from the pinned peer verify once the BGP
-	// session has established.
-	reg := sigs.NewRegistry()
-	auditor, ledger, err := newAuditor(local.ASN, reg, g)
-	if err != nil {
-		fatal(err)
-	}
-	if ledger != nil {
-		cl.add(func() {
-			if err := ledger.Close(); err != nil {
-				fmt.Printf("pvrd: ledger close: %v\n", err)
-			}
-		})
-	}
-	if err := startGossip(auditor, g, &cl); err != nil {
-		fatal(err)
-	}
-	var (
-		mu       sync.Mutex
-		peerASN  aspath.ASN
-		haveKey  bool
-		verified int
-	)
-	closed := make(chan struct{})
-	s := bgp.NewSession(conn, local, bgp.SessionHooks{
-		OnEstablished: func(peer bgp.Open) {
-			mu.Lock()
-			peerASN = peer.ASN
-			mu.Unlock()
-			fmt.Printf("pvrd: established with %s (hold %ds)\n", peer.ASN, peer.HoldTime)
-		},
-		OnUpdate: func(u bgp.Update) {
-			mu.Lock()
-			defer mu.Unlock()
-			for _, r := range u.Announced {
-				if auditor.Convicted(peerASN) {
-					fmt.Printf("pvrd: learned %s — REJECTED: %s convicted by audit\n", r, peerASN)
-					continue
-				}
-				err := verifySealedRoute(reg, peerASN, r, u, &haveKey)
-				if err != nil {
-					fmt.Printf("pvrd: learned %s — REJECTED: %v\n", r, err)
-					continue
-				}
-				verified++
-				fmt.Printf("pvrd: learned %s — sealed commitment verified (%d so far)\n", r, verified)
-			}
-			for _, w := range u.Withdrawn {
-				fmt.Printf("pvrd: withdrawn %s\n", w)
-			}
-		},
-		OnClose: func(err error) {
-			fmt.Printf("pvrd: session closed: %v\n", err)
-			close(closed)
-		},
-	})
-	go func() { _ = s.Run() }()
-	select {
-	case <-shutdown:
-		s.Close()
-		<-closed
-	case <-closed:
-	}
-	cl.run()
-}
-
-// verifySealedRoute checks what an update's attachments actually
-// establish, rooted in the peer's key: the route body's own signature
-// (§3.2 — path and next hop are authenticated per route), the engine
-// commitment chain via engine.SealedCommitment.Verify (seal signature,
-// shard binding, Merkle inclusion), and that the commitment covers
-// exactly the announced prefix as the session peer's statement.
-//
-// The key itself is pinned trust-on-first-use from the pvr/key
-// attachment — a stand-in for the out-of-band PKI the paper assumes, so
-// the chain proves consistency with the pinned key, not the peer's
-// real-world identity.
-func verifySealedRoute(reg *sigs.Registry, peer aspath.ASN, r route.Route, u bgp.Update, haveKey *bool) error {
-	mcBytes, proofBytes, sealBytes := u.Attachments["pvr/mc"], u.Attachments["pvr/proof"], u.Attachments["pvr/seal"]
-	if mcBytes == nil || proofBytes == nil || sealBytes == nil {
-		return fmt.Errorf("missing engine attachments")
-	}
-	if !*haveKey {
-		kb := u.Attachments["pvr/key"]
-		if kb == nil {
-			return fmt.Errorf("no key attachment")
-		}
-		k, err := sigs.UnmarshalPublicKey(kb)
-		if err != nil {
-			return err
-		}
-		reg.Register(peer, k)
-		*haveKey = true
-		fp := k.Fingerprint()
-		fmt.Printf("pvrd: pinned %s's key (trust-on-first-use, fp %x…)\n", peer, fp[:6])
-	}
-	// Route-body signature: binds path and next hop.
-	body, err := r.MarshalBinary()
-	if err != nil {
-		return err
-	}
-	if err := reg.Verify(peer, body, u.Attachments["pvr/sig"]); err != nil {
-		return fmt.Errorf("route signature: %w", err)
-	}
-	// Commitment chain.
-	var seal engine.Seal
-	if err := seal.UnmarshalBinary(sealBytes); err != nil {
-		return err
-	}
-	if seal.Prover != peer {
-		return fmt.Errorf("seal from %s, session peer is %s", seal.Prover, peer)
-	}
-	mc, err := core.ParseMinCommitmentBytes(mcBytes)
-	if err != nil {
-		return err
-	}
-	if mc.Prefix != r.Prefix {
-		return fmt.Errorf("commitment covers %s, route announces %s", mc.Prefix, r.Prefix)
-	}
-	var proof merkle.BatchProof
-	if err := proof.UnmarshalBinary(proofBytes); err != nil {
-		return err
-	}
-	// ParseMinCommitmentBytes round-trips, so mc.SignedBytes() == mcBytes
-	// and the shared verifier covers prover/epoch agreement, shard-range
-	// and prefix->shard binding, seal signature, and Merkle inclusion.
-	sc := engine.SealedCommitment{MC: mc, Proof: &proof, Seal: &seal}
-	return sc.Verify(reg)
 }

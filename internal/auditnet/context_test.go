@@ -1,0 +1,83 @@
+package auditnet
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pvr/internal/netx"
+)
+
+// TestReconcileContextPreCancelled verifies a dead context short-circuits
+// before any frame moves.
+func TestReconcileContextPreCancelled(t *testing.T) {
+	p := newTestPKI(t, 2)
+	a := p.auditor(t, 1)
+	ca, cb := netx.Pipe()
+	defer ca.Close()
+	defer cb.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := a.ReconcileContext(ctx, ca); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ReconcileContext on cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+// TestReconcileContextCancelMidExchange verifies cancellation interrupts
+// an exchange blocked on an unresponsive peer: the conn is torn down and
+// ctx.Err comes back instead of hanging forever.
+func TestReconcileContextCancelMidExchange(t *testing.T) {
+	p := newTestPKI(t, 2)
+	a := p.auditor(t, 1)
+	a.AddRecord(p.record(t, 1, 1, "t", "payload"))
+	ca, cb := netx.Pipe()
+	defer cb.Close() // the "peer": accepts nothing, answers nothing
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.ReconcileContext(ctx, ca)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("ReconcileContext after cancel = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ReconcileContext did not return after cancel")
+	}
+}
+
+// TestContextExchangeCompletes verifies the context variants run a full
+// exchange identically to the plain ones when the context stays live.
+func TestContextExchangeCompletes(t *testing.T) {
+	p := newTestPKI(t, 2)
+	a := p.auditor(t, 1)
+	b := p.auditor(t, 2)
+	a.AddRecord(p.record(t, 1, 1, "t", "payload"))
+	ca, cb := netx.Pipe()
+	defer ca.Close()
+	defer cb.Close()
+	ctx := context.Background()
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.RespondContext(ctx, cb)
+		done <- err
+	}()
+	st, err := a.ReconcileContext(ctx, ca)
+	if err != nil {
+		t.Fatalf("initiator: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("responder: %v", err)
+	}
+	if st.StatementsSent != 1 {
+		t.Fatalf("statements sent = %d, want 1", st.StatementsSent)
+	}
+	if b.Store().Records() != 1 {
+		t.Fatalf("responder store = %d records, want 1", b.Store().Records())
+	}
+}

@@ -1,6 +1,7 @@
 package auditnet
 
 import (
+	"context"
 	"fmt"
 
 	"pvr/internal/aspath"
@@ -62,6 +63,44 @@ func (a *Auditor) Reconcile(c FrameConn) (*Stats, error) {
 // calls it once per accepted gossip connection.
 func (a *Auditor) Respond(c FrameConn) (*Stats, error) {
 	return a.exchange(c, false)
+}
+
+// ReconcileContext is Reconcile bounded by a context: when ctx ends
+// mid-exchange the connection is torn down (if it exposes Close) so the
+// blocked frame read returns, and ctx.Err() is reported.
+func (a *Auditor) ReconcileContext(ctx context.Context, c FrameConn) (*Stats, error) {
+	return a.exchangeContext(ctx, c, true)
+}
+
+// RespondContext is Respond bounded by a context, with the same teardown
+// semantics as ReconcileContext.
+func (a *Auditor) RespondContext(ctx context.Context, c FrameConn) (*Stats, error) {
+	return a.exchangeContext(ctx, c, false)
+}
+
+func (a *Auditor) exchangeContext(ctx context.Context, c FrameConn, initiator bool) (*Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if ctx.Done() == nil {
+		return a.exchange(c, initiator)
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			if closer, ok := c.(interface{ Close() error }); ok {
+				_ = closer.Close()
+			}
+		case <-stop:
+		}
+	}()
+	st, err := a.exchange(c, initiator)
+	if cerr := ctx.Err(); cerr != nil && err != nil {
+		return st, cerr
+	}
+	return st, err
 }
 
 // xfer is one ping-pong step: the initiator sends then receives, the

@@ -1,6 +1,7 @@
 package bgp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -61,7 +62,7 @@ type SessionHooks struct {
 // keepalive generation, hold-timer enforcement, and update dispatch. It is
 // safe for concurrent SendUpdate calls.
 type Session struct {
-	conn  *netx.Conn
+	conn  netx.FrameConn
 	local Open
 	hooks SessionHooks
 
@@ -74,8 +75,9 @@ type Session struct {
 
 // NewSession wraps a connection; call Run to perform the handshake and
 // pump messages. HoldTime 0 in local disables keepalives and hold timing
-// (useful in tests).
-func NewSession(conn *netx.Conn, local Open, hooks SessionHooks) *Session {
+// (useful in tests). Any netx.FrameConn works: a TCP *netx.Conn, a
+// net.Pipe half, or an in-memory transport connection.
+func NewSession(conn netx.FrameConn, local Open, hooks SessionHooks) *Session {
 	return &Session{conn: conn, local: local, hooks: hooks, closed: make(chan struct{})}
 }
 
@@ -99,12 +101,41 @@ func (s *Session) setState(st SessionState) {
 	s.mu.Unlock()
 }
 
+// RunContext is Run bounded by a context: when ctx is cancelled the
+// session closes cleanly (CEASE, then transport teardown) and RunContext
+// returns nil, exactly as if Close had been called. The watcher goroutine
+// is released when the session ends for any other reason.
+func (s *Session) RunContext(ctx context.Context) error {
+	if ctx.Done() == nil {
+		return s.Run()
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.Close()
+		case <-stop:
+		}
+	}()
+	return s.Run()
+}
+
 // Run performs the handshake and then pumps inbound messages until the
 // session ends; it returns the terminal error (nil on clean Close). Run
 // blocks; callers usually invoke it on its own goroutine.
 func (s *Session) Run() error {
 	err := s.handshake()
-	if err == nil {
+	if err != nil {
+		// A Close (or RunContext cancellation) racing the handshake makes
+		// Recv fail with a raw transport error; report the session closure
+		// the caller itself initiated, exactly as pump does.
+		select {
+		case <-s.closed:
+			err = ErrSessionClosed
+		default:
+		}
+	} else {
 		if s.hooks.OnEstablished != nil {
 			s.hooks.OnEstablished(s.Peer())
 		}
@@ -267,7 +298,10 @@ func (s *Session) notify(n Notification) {
 	}
 }
 
-// Close ends the session with a CEASE notification.
+// Close ends the session with a best-effort CEASE notification. The
+// notification is bounded by a short write deadline so Close can never
+// hang on a peer that has stopped reading (it also unblocks any writer
+// stuck mid-send on such a peer); the transport is then torn down.
 func (s *Session) Close() {
 	s.mu.Lock()
 	select {
@@ -278,6 +312,7 @@ func (s *Session) Close() {
 		close(s.closed)
 	}
 	s.mu.Unlock()
+	_ = s.conn.SetDeadline(time.Now().Add(200 * time.Millisecond))
 	s.notify(Notification{Code: NotifyCease})
 	_ = s.conn.Close()
 }

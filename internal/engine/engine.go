@@ -529,6 +529,20 @@ func (e *ProverEngine) sealsLocked() []*Seal {
 	return out
 }
 
+// PrefixCount reports how many prefixes hold accepted state this epoch,
+// without materializing them (use Prefixes for the sorted list).
+func (e *ProverEngine) PrefixCount() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	n := 0
+	for _, s := range e.shards {
+		s.mu.Lock()
+		n += len(s.provers)
+		s.mu.Unlock()
+	}
+	return n
+}
+
 // Prefixes returns every prefix with accepted state this epoch, sorted.
 func (e *ProverEngine) Prefixes() []prefix.Prefix {
 	e.mu.RLock()

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"pvr/internal/core"
@@ -164,6 +165,13 @@ func churnProvider(i int) aspath.ASN { return aspath.ASN(64600 + i) }
 // and gossiping each window's seals through an audit network in which an
 // injected mid-churn equivocation must still convict.
 func RunChurn(cfg ChurnConfig) (*ChurnResult, error) {
+	return RunChurnContext(context.Background(), cfg)
+}
+
+// RunChurnContext is RunChurn bounded by a context: cancellation is
+// observed at every window boundary, returning ctx.Err() with the run
+// abandoned.
+func RunChurnContext(ctx context.Context, cfg ChurnConfig) (*ChurnResult, error) {
 	cfg.fill()
 	if cfg.WindowEvents > cfg.Events {
 		cfg.WindowEvents = cfg.Events
@@ -296,6 +304,9 @@ func RunChurn(cfg ChurnConfig) (*ChurnResult, error) {
 	}
 
 	for off := 0; off < len(events); off += cfg.WindowEvents {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		end := off + cfg.WindowEvents
 		if end > len(events) {
 			end = len(events)

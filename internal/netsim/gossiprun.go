@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -124,6 +125,13 @@ func gossipNodeASN(i int) aspath.ASN { return aspath.ASN(1000 + i) }
 // rendezvous pipes running the real wire protocol) until the epoch
 // quiesces or MaxRounds is hit.
 func RunGossip(cfg GossipConfig) (*GossipResult, error) {
+	return RunGossipContext(context.Background(), cfg)
+}
+
+// RunGossipContext is RunGossip bounded by a context: cancellation is
+// observed at every anti-entropy round boundary, returning ctx.Err() with
+// the run abandoned.
+func RunGossipContext(ctx context.Context, cfg GossipConfig) (*GossipResult, error) {
 	cfg.fill()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
@@ -244,6 +252,9 @@ func RunGossip(cfg GossipConfig) (*GossipResult, error) {
 		}
 
 		for r := 1; r <= cfg.MaxRounds; r++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			globalRound++
 			var roundBytes int64
 			allInSync := true

@@ -66,6 +66,19 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	return Frame{Type: buf[0], Payload: buf[1:]}, nil
 }
 
+// FrameConn is the abstract framed connection the higher layers (the BGP
+// session FSM, the audit exchange, pvr.Transport) run over: *Conn (TCP or
+// net.Pipe) is the canonical implementation, and in-memory transports
+// provide their own. SetDeadline interrupts a blocked Recv, which is how
+// hold timers and context cancellation reach a stuck peer.
+type FrameConn interface {
+	Send(Frame) error
+	Recv() (Frame, error)
+	SetDeadline(t time.Time) error
+	Close() error
+	RemoteAddr() net.Addr
+}
+
 // Conn is a framed, mutex-protected connection: safe for one concurrent
 // reader plus any number of writers, the usage pattern of a BGP session
 // (one receive loop, sends from the decision process and keepalive timer).

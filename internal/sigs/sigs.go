@@ -219,6 +219,28 @@ func (r *Registry) Register(asn aspath.ASN, k PublicKey) {
 	r.keys[asn] = k
 }
 
+// RegisterIfAbsent installs k for an AS only when no key is registered
+// yet, atomically: it returns the key now registered and whether k was
+// added. Guards against check-then-register races on shared registries.
+func (r *Registry) RegisterIfAbsent(asn aspath.ASN, k PublicKey) (PublicKey, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.keys[asn]; ok {
+		return existing, false
+	}
+	r.keys[asn] = k
+	return k, true
+}
+
+// Unregister removes an AS's key, if any — the undo for a registration
+// that should not outlive a failed setup (e.g. pvr.Open rolling back the
+// keys it added to a caller-shared registry).
+func (r *Registry) Unregister(asn aspath.ASN) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.keys, asn)
+}
+
 // Lookup returns the key registered for an AS.
 func (r *Registry) Lookup(asn aspath.ASN) (PublicKey, error) {
 	r.mu.RLock()

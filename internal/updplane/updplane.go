@@ -20,6 +20,7 @@
 package updplane
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -231,6 +232,27 @@ func (p *Plane) Submit(ev Event) error {
 	return nil
 }
 
+// SubmitContext is Submit bounded by a context: it blocks while the queue
+// is full but gives up with ctx.Err() when the context ends first. The
+// same close-ordering guarantee as Submit applies to accepted events.
+func (p *Plane) SubmitContext(ctx context.Context, ev Event) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	p.closeMu.RLock()
+	defer p.closeMu.RUnlock()
+	if p.closed {
+		return ErrClosed
+	}
+	select {
+	case p.queue <- ev:
+		p.noteDepth()
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // TrySubmit enqueues an event without blocking, returning ErrQueueFull
 // when the bounded queue is at capacity.
 func (p *Plane) TrySubmit(ev Event) error {
@@ -267,6 +289,22 @@ func (p *Plane) Flush() (WindowResult, error) {
 	case p.flushCh <- reply:
 		r := <-reply
 		return r.res, r.err
+	case <-p.done:
+		return WindowResult{}, ErrClosed
+	}
+}
+
+// FlushContext is Flush bounded by a context: it returns ctx.Err() when
+// the context ends before the plane's loop picks the flush up. A flush
+// already accepted by the loop runs to completion.
+func (p *Plane) FlushContext(ctx context.Context) (WindowResult, error) {
+	reply := make(chan flushReply, 1)
+	select {
+	case p.flushCh <- reply:
+		r := <-reply
+		return r.res, r.err
+	case <-ctx.Done():
+		return WindowResult{}, ctx.Err()
 	case <-p.done:
 		return WindowResult{}, ErrClosed
 	}

@@ -1,0 +1,87 @@
+package pvr_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"pvr"
+)
+
+// TestNetworkConcurrentAddAndMembers hammers AddNode, Node, and Members
+// from many goroutines; run under -race this pins the Network's RWMutex
+// discipline.
+func TestNetworkConcurrentAddAndMembers(t *testing.T) {
+	network := pvr.NewNetwork()
+	const writers, readers, perWriter = 4, 4, 16
+
+	var writeWG, readWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			for i := 0; i < perWriter; i++ {
+				if _, err := network.AddNode(pvr.ASN(1000 + w*perWriter + i)); err != nil {
+					t.Errorf("AddNode: %v", err)
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		readWG.Add(1)
+		go func() {
+			defer readWG.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				members := network.Members()
+				for i := 1; i < len(members); i++ {
+					if members[i-1] >= members[i] {
+						t.Errorf("Members not strictly ascending: %v", members)
+						return
+					}
+				}
+				for _, asn := range members {
+					if _, ok := network.Node(asn); !ok {
+						t.Errorf("listed member %s not found", asn)
+						return
+					}
+				}
+			}
+		}()
+	}
+	writeWG.Wait()
+	close(done)
+	readWG.Wait()
+
+	if got := len(network.Members()); got != writers*perWriter {
+		t.Fatalf("members = %d, want %d", got, writers*perWriter)
+	}
+}
+
+// TestNetworkDuplicateASN pins the duplicate-ASN error path and its
+// taxonomy: the second AddNode for an ASN fails with ErrConfig and the
+// original node survives.
+func TestNetworkDuplicateASN(t *testing.T) {
+	network := pvr.NewNetwork()
+	first, err := network.AddNode(64500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := network.AddNode(64500); err == nil {
+		t.Fatal("duplicate AddNode succeeded")
+	} else if !errors.Is(err, pvr.ErrConfig) {
+		t.Fatalf("duplicate AddNode error = %v, want ErrConfig", err)
+	}
+	node, ok := network.Node(64500)
+	if !ok || node != first {
+		t.Fatal("original node displaced by failed duplicate add")
+	}
+	if got := len(network.Members()); got != 1 {
+		t.Fatalf("members = %d, want 1", got)
+	}
+}

@@ -44,7 +44,6 @@
 package pvr
 
 import (
-	"fmt"
 	"sort"
 	"sync"
 
@@ -129,6 +128,12 @@ type (
 	Verdict = evidence.Verdict
 	// GossipPool detects commitment equivocation between neighbors.
 	GossipPool = gossip.Pool
+	// Statement is a signed gossip utterance (for PVR: a seal or
+	// commitment) by its origin on a topic.
+	Statement = gossip.Statement
+	// Conflict is a detected equivocation: two validly signed, different
+	// payloads from the same origin on the same topic.
+	Conflict = gossip.Conflict
 )
 
 // Audit network types (internal/auditnet): the deployable accountability
@@ -166,6 +171,10 @@ var (
 
 // Registry maps ASNs to verification keys.
 type Registry = sigs.Registry
+
+// NewRegistry creates an empty key registry (a Network and a Participant
+// each manage one; this is for wiring them by hand).
+var NewRegistry = sigs.NewRegistry
 
 // Verifier is the read side of a Registry; *Registry implements it.
 type Verifier = sigs.Verifier
@@ -229,13 +238,13 @@ type (
 )
 
 // NewUpdatePlane starts a streaming update plane over an Engine;
-// AnnounceEvent and WithdrawEvent build its feed items. ErrQueueFull is
-// the backpressure signal from UpdatePlane.TrySubmit.
+// AnnounceEvent and WithdrawEvent build its feed items. The backpressure
+// signal from UpdatePlane.TrySubmit matches ErrQueueFull (deprecated) and,
+// through the Participant surface, ErrBackpressure.
 var (
 	NewUpdatePlane = updplane.New
 	AnnounceEvent  = updplane.AnnounceEvent
 	WithdrawEvent  = updplane.WithdrawEvent
-	ErrQueueFull   = updplane.ErrQueueFull
 )
 
 // Re-exported verification functions: these are what each neighbor runs.
@@ -303,8 +312,12 @@ type (
 	GossipResult = netsim.GossipResult
 )
 
-// RunGossip executes one gossip-convergence run.
-var RunGossip = netsim.RunGossip
+// RunGossip executes one gossip-convergence run; RunGossipContext is the
+// context-bounded variant (cancellation observed at round boundaries).
+var (
+	RunGossip        = netsim.RunGossip
+	RunGossipContext = netsim.RunGossipContext
+)
 
 // Streaming-churn simulation driver (experiment E12): a table under live
 // announce/withdraw churn driven through the update plane, with
@@ -317,13 +330,18 @@ type (
 	ChurnResult = netsim.ChurnResult
 )
 
-// RunChurn executes one streaming-churn run.
-var RunChurn = netsim.RunChurn
+// RunChurn executes one streaming-churn run; RunChurnContext is the
+// context-bounded variant (cancellation observed at window boundaries).
+var (
+	RunChurn        = netsim.RunChurn
+	RunChurnContext = netsim.RunChurnContext
+)
 
 // Network is the set of participating ASes and their public keys: the
-// out-of-band PKI the paper assumes. Safe for concurrent use.
+// out-of-band PKI the paper assumes. Safe for concurrent use; reads
+// (Node, Members) take only the read side of the lock.
 type Network struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	reg   *sigs.Registry
 	nodes map[ASN]*Node
 }
@@ -352,7 +370,7 @@ func (n *Network) addNode(asn ASN, gen func() (sigs.Signer, error)) (*Node, erro
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if _, dup := n.nodes[asn]; dup {
-		return nil, fmt.Errorf("pvr: node %s already exists", asn)
+		return nil, errConfigf("add-node", "node %s already exists", asn)
 	}
 	s, err := gen()
 	if err != nil {
@@ -366,16 +384,16 @@ func (n *Network) addNode(asn ASN, gen func() (sigs.Signer, error)) (*Node, erro
 
 // Node returns a previously added node.
 func (n *Network) Node(asn ASN) (*Node, bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	node, ok := n.nodes[asn]
 	return node, ok
 }
 
 // Members lists the network's ASNs in ascending order.
 func (n *Network) Members() []ASN {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	out := make([]ASN, 0, len(n.nodes))
 	for a := range n.nodes {
 		out = append(out, a)

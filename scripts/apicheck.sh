@@ -1,0 +1,36 @@
+#!/bin/sh
+# apicheck.sh — the public-API compatibility gate.
+#
+# Compares the current `go doc pvr` symbol surface against the checked-in
+# snapshot (api/pvr.txt). A PR that changes the exported surface must
+# regenerate the snapshot with `make api` (which runs this script with
+# --update) — making every API break (or addition) an explicit,
+# reviewable diff instead of a silent drift.
+set -eu
+cd "$(dirname "$0")/.."
+
+snapshot=api/pvr.txt
+
+# generate writes the current surface to $1. Declarations only — the
+# gate is about the API shape, not the package prose.
+generate() {
+    go doc pvr | awk '/^(const|var|func|type)[ (]/{found=1} found' > "$1"
+}
+
+if [ "${1:-}" = "--update" ]; then
+    generate "$snapshot"
+    echo "apicheck: regenerated $snapshot"
+    exit 0
+fi
+
+current="$(mktemp)"
+trap 'rm -f "$current"' EXIT
+generate "$current"
+
+if ! diff -u "$snapshot" "$current"; then
+    echo >&2
+    echo "apicheck: public pvr API surface changed." >&2
+    echo "apicheck: if intentional, regenerate the snapshot with: make api" >&2
+    exit 1
+fi
+echo "apicheck: public API surface matches $snapshot"

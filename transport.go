@@ -1,0 +1,191 @@
+package pvr
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"pvr/internal/netx"
+)
+
+// Frame is one transport message: an application type byte plus payload,
+// length-prefixed on the wire.
+type Frame = netx.Frame
+
+// Conn is a framed, bidirectional transport connection. *netx.Conn (TCP)
+// and the in-memory transport's connections both satisfy it; the BGP
+// session FSM and the audit anti-entropy exchange run over it unchanged.
+type Conn = netx.FrameConn
+
+// Listener is an open listening endpoint. Connections are delivered to
+// the handler passed to Transport.Listen; Close stops accepting and
+// releases the address.
+type Listener interface {
+	// Addr is the bound address, dialable through the same Transport.
+	Addr() string
+	// Close stops the listener.
+	Close() error
+}
+
+// Transport dials and listens: the pluggable byte layer beneath a
+// Participant's BGP sessions and audit gossip. TCP() is the production
+// implementation; NewMemTransport builds an in-process one for tests and
+// simulations. Implementations must be safe for concurrent use.
+type Transport interface {
+	// Dial connects to addr, honoring ctx for cancellation and deadline.
+	Dial(ctx context.Context, addr string) (Conn, error)
+	// Listen binds addr ("" or ":0" forms ask the transport to pick) and
+	// hands each accepted connection to handle on its own goroutine.
+	Listen(addr string, handle func(Conn)) (Listener, error)
+}
+
+// TCP returns the production TCP transport with a default 5s dial
+// timeout (a ctx deadline, when sooner, wins).
+func TCP() Transport { return &tcpTransport{} }
+
+type tcpTransport struct{}
+
+type tcpListener struct {
+	addr   net.Addr
+	closer interface{ Close() error }
+}
+
+func (l *tcpListener) Addr() string { return l.addr.String() }
+func (l *tcpListener) Close() error { return l.closer.Close() }
+
+func (t *tcpTransport) Dial(ctx context.Context, addr string) (Conn, error) {
+	d := net.Dialer{Timeout: 5 * time.Second}
+	raw, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, errKind(KindTransport, "dial", err)
+	}
+	return netx.NewConn(raw), nil
+}
+
+func (t *tcpTransport) Listen(addr string, handle func(Conn)) (Listener, error) {
+	bound, closer, err := netx.Listen(addr, func(c *netx.Conn) { handle(c) })
+	if err != nil {
+		return nil, errKind(KindTransport, "listen", err)
+	}
+	return &tcpListener{addr: bound, closer: closer}, nil
+}
+
+// MemTransport is an in-process Transport: Listen registers an address in
+// the transport's private namespace and Dial connects to it over a framed
+// net.Pipe, so the same session FSM, gossip protocol, and wire encodings
+// run with zero sockets. Use one MemTransport per simulated network; it
+// is safe for concurrent use.
+type MemTransport struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener
+	next      int
+}
+
+// NewMemTransport builds an empty in-memory transport.
+func NewMemTransport() *MemTransport {
+	return &MemTransport{listeners: make(map[string]*memListener)}
+}
+
+type memListener struct {
+	t      *MemTransport
+	addr   string
+	handle func(Conn)
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[*memConn]struct{}
+}
+
+// memConn is one half of a dialed pipe; closing it removes the pair's
+// tracking entries so a long-lived listener does not accumulate dead
+// connections across many short dials.
+type memConn struct {
+	Conn
+	l    *memListener
+	once sync.Once
+}
+
+func (c *memConn) Close() error {
+	err := c.Conn.Close()
+	c.once.Do(func() {
+		c.l.mu.Lock()
+		delete(c.l.conns, c)
+		c.l.mu.Unlock()
+	})
+	return err
+}
+
+func (l *memListener) Addr() string { return l.addr }
+
+// Close unregisters the address and tears down accepted connections.
+func (l *memListener) Close() error {
+	l.t.mu.Lock()
+	delete(l.t.listeners, l.addr)
+	l.t.mu.Unlock()
+	l.mu.Lock()
+	conns := make([]*memConn, 0, len(l.conns))
+	for c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.conns, l.closed = nil, true
+	l.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	return nil
+}
+
+// Listen registers addr; an empty addr or any ":0" form (":0",
+// "127.0.0.1:0", …) allocates "mem:N", matching the TCP convention so
+// configs port between transports. Duplicate registration is a
+// transport error.
+func (t *MemTransport) Listen(addr string, handle func(Conn)) (Listener, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if addr == "" || strings.HasSuffix(addr, ":0") {
+		t.next++
+		addr = fmt.Sprintf("mem:%d", t.next)
+	}
+	if _, dup := t.listeners[addr]; dup {
+		return nil, errKind(KindTransport, "listen", fmt.Errorf("address %q already bound", addr))
+	}
+	l := &memListener{t: t, addr: addr, handle: handle}
+	t.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects to a listening address. The server side runs the
+// listener's handler on its own goroutine, exactly like an accepted TCP
+// connection.
+func (t *MemTransport) Dial(ctx context.Context, addr string) (Conn, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, errKind(KindCanceled, "dial", err)
+	}
+	t.mu.Lock()
+	l := t.listeners[addr]
+	t.mu.Unlock()
+	if l == nil {
+		return nil, errKind(KindNotFound, "dial", fmt.Errorf("no listener at %q", addr))
+	}
+	rawClient, rawServer := netx.Pipe()
+	client := &memConn{Conn: rawClient, l: l}
+	server := &memConn{Conn: rawServer, l: l}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		_ = rawClient.Close()
+		_ = rawServer.Close()
+		return nil, errKind(KindClosed, "dial", fmt.Errorf("listener %q closed", addr))
+	}
+	if l.conns == nil {
+		l.conns = make(map[*memConn]struct{})
+	}
+	l.conns[client] = struct{}{}
+	l.conns[server] = struct{}{}
+	l.mu.Unlock()
+	go l.handle(server)
+	return client, nil
+}

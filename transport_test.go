@@ -1,0 +1,57 @@
+package pvr
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestMemTransportPrunesClosedConns guards against unbounded growth of
+// the listener's connection tracking across many short-lived dials (the
+// gossip loop dials one connection per peer per round).
+func TestMemTransportPrunesClosedConns(t *testing.T) {
+	mt := NewMemTransport()
+	lis, err := mt.Listen("x", func(c Conn) { _ = c.Close() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	ml := lis.(*memListener)
+	for i := 0; i < 20; i++ {
+		c, err := mt.Dial(context.Background(), "x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = c.Close()
+	}
+	// The handler closes its half asynchronously; wait for both halves of
+	// every dial to drop out of the tracking map.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ml.mu.Lock()
+		n := len(ml.conns)
+		ml.mu.Unlock()
+		if n == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d tracked conns remain after all dials closed", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestMemTransportDialAfterListenerClose pins the closed-listener path.
+func TestMemTransportDialAfterListenerClose(t *testing.T) {
+	mt := NewMemTransport()
+	lis, err := mt.Listen("x", func(c Conn) { _ = c.Close() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lis.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mt.Dial(context.Background(), "x"); err == nil {
+		t.Fatal("dial to a closed listener succeeded")
+	}
+}

@@ -22,13 +22,15 @@ fmt:
 	gofmt -l .
 
 # bench emits BENCH_engine.json (E10 engine-vs-serial rows),
-# BENCH_gossip.json (E11 audit-gossip rows), and BENCH_stream.json (E12
-# update-plane churn rows), consumed by the perf trajectory, plus the
-# printed tables on stdout.
+# BENCH_gossip.json (E11 audit-gossip rows), BENCH_stream.json (E12
+# update-plane churn rows), and BENCH_query.json (E13 disclosure
+# query-plane rows), consumed by the perf trajectory, plus the printed
+# tables on stdout.
 bench:
 	$(GO) run ./cmd/pvrbench -e engine -json BENCH_engine.json
 	$(GO) run ./cmd/pvrbench -e gossip -json BENCH_gossip.json
 	$(GO) run ./cmd/pvrbench -e stream -json BENCH_stream.json
+	$(GO) run ./cmd/pvrbench -e query -json BENCH_query.json
 
 # bench-smoke runs the experiment harnesses at tiny sizes and fails if
 # any JSON output comes back empty — catches benchmark-harness rot in
@@ -37,10 +39,13 @@ bench-smoke:
 	$(GO) run ./cmd/pvrbench -e engine -prefixes 50 -json BENCH_engine.json
 	$(GO) run ./cmd/pvrbench -e gossip -nodes 8 -json BENCH_gossip.json
 	$(GO) run ./cmd/pvrbench -e stream -prefixes 400 -json BENCH_stream.json
+	$(GO) run ./cmd/pvrbench -e query -prefixes 64 -json BENCH_query.json
 	grep -q '"prefixes"' BENCH_engine.json
 	grep -q '"nodes"' BENCH_gossip.json
 	grep -q '"updates_per_sec"' BENCH_stream.json
 	grep -q '"speedup"' BENCH_stream.json
+	grep -q '"qps"' BENCH_query.json
+	grep -q '"denied"' BENCH_query.json
 
 # api regenerates the public-API snapshot that apicheck (and CI) diff
 # against; run it whenever a PR intentionally changes the pvr surface.
@@ -57,4 +62,4 @@ examples:
 	$(GO) build ./examples/...
 
 clean:
-	rm -f BENCH_engine.json BENCH_gossip.json BENCH_stream.json
+	rm -f BENCH_engine.json BENCH_gossip.json BENCH_stream.json BENCH_query.json

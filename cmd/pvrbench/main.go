@@ -15,6 +15,7 @@
 //	pvrbench -e engine       # E10: sharded multi-prefix engine vs prover loop
 //	pvrbench -e gossip       # E11: anti-entropy audit gossip (auditnet)
 //	pvrbench -e stream       # E12: streaming update plane (updplane)
+//	pvrbench -e query        # E13: disclosure query plane (discplane)
 //
 // With -json FILE, the engine experiment (or, when selected directly, the
 // gossip or stream experiment) additionally writes its rows as JSON (the
@@ -30,7 +31,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("e", "all", "experiment: all|fig1|fig2|smc|zkp|crypto|batch|properties|e2e|ring|engine|gossip|stream")
+	exp := flag.String("e", "all", "experiment: all|fig1|fig2|smc|zkp|crypto|batch|properties|e2e|ring|engine|gossip|stream|query")
 	seed := flag.Int64("seed", 1, "random seed for workloads")
 	flag.StringVar(&jsonOut, "json", "", "write the engine (or gossip, when selected) rows to this JSON file")
 	flag.IntVar(&benchPrefixes, "prefixes", 0, "override the E10 prefix-table sweep with one size")
@@ -51,8 +52,9 @@ func main() {
 		"engine":     runEngine,
 		"gossip":     runGossip,
 		"stream":     runStream,
+		"query":      runQuery,
 	}
-	order := []string{"fig1", "fig2", "smc", "zkp", "crypto", "batch", "properties", "e2e", "ring", "engine", "gossip", "stream"}
+	order := []string{"fig1", "fig2", "smc", "zkp", "crypto", "batch", "properties", "e2e", "ring", "engine", "gossip", "stream", "query"}
 
 	var selected []string
 	if *exp == "all" {

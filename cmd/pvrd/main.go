@@ -19,6 +19,23 @@
 // -gossip-listen / -gossip-peers / -gossip-every / -ledger join the audit
 // network; routes from a convicted origin are rejected.
 //
+// With -disclose-listen the daemon additionally serves the α-gated
+// disclosure query plane: remote providers, promisees (declared with
+// -promisees), and third-party auditors fetch on-demand views of any
+// sealed (prefix, epoch), each granted exactly what α entitles them to.
+// The query subcommand is the matching client:
+//
+//	pvrd query -connect 127.0.0.1:1791 -prefix 203.0.113.0/24 -role observer
+//
+// An observer query verifies the sealed commitment chain, pinning the
+// prover's key trust-on-first-use. Provider and promisee views are
+// released only to authenticated principals: the serving daemon must both
+// list the ASN in -promisees and already hold its key (pinned from a live
+// BGP session, or shared out-of-band via the library's WithRegistry), so
+// a fresh-keyed CLI query for those roles is denied by α — exactly the
+// boundary the plane exists to enforce. See
+// pvr.Participant.QueryDisclosure for the programmatic client.
+//
 // pvrd shuts down cleanly on SIGINT/SIGTERM: sessions close with CEASE,
 // the update plane seals its final window, and the ledger is flushed.
 // The heavy lifting all lives in pvr.Participant — this file only maps
@@ -32,6 +49,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -40,6 +58,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "query" {
+		queryMain(os.Args[2:])
+		return
+	}
 	listen := flag.String("listen", "", "serve BGP sessions on this address")
 	connect := flag.String("connect", "", "comma-separated BGP peers to dial")
 	asn := flag.Uint("asn", 64500, "local AS number")
@@ -53,10 +75,12 @@ func main() {
 	gossipPeers := flag.String("gossip-peers", "", "comma-separated audit peers to reconcile with periodically")
 	gossipEvery := flag.Duration("gossip-every", 2*time.Second, "anti-entropy round interval")
 	ledger := flag.String("ledger", "", "persistent evidence ledger file (audit convictions survive restarts)")
+	discloseListen := flag.String("disclose-listen", "", "serve the α-gated disclosure query plane on this address")
+	promisees := flag.String("promisees", "", "comma-separated ASNs entitled to promisee views under α")
 	flag.Parse()
 
-	if *listen == "" && *connect == "" && *gossipListen == "" {
-		fmt.Fprintln(os.Stderr, "at least one of -listen, -connect, or -gossip-listen is required")
+	if *listen == "" && *connect == "" && *gossipListen == "" && *discloseListen == "" {
+		fmt.Fprintln(os.Stderr, "at least one of -listen, -connect, -gossip-listen, or -disclose-listen is required")
 		os.Exit(2)
 	}
 	log.SetFlags(0)
@@ -95,6 +119,18 @@ func main() {
 	if *ledger != "" {
 		opts = append(opts, pvr.WithLedger(*ledger))
 	}
+	if *discloseListen != "" {
+		opts = append(opts, pvr.WithDiscloseListen(*discloseListen))
+	}
+	for _, s := range splitList(*promisees) {
+		// Strict parse: a mis-separated list must fail loudly, not
+		// silently drop promisees from α.
+		asn, err := strconv.ParseUint(s, 10, 32)
+		if err != nil || asn == 0 {
+			fatal(fmt.Errorf("bad -promisees entry %q", s))
+		}
+		opts = append(opts, pvr.WithPromisees(pvr.ASN(asn)))
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -129,6 +165,66 @@ func main() {
 	log.Printf("update plane: %d events, %d windows, %d shards rebuilt, %d reused, seal p50 %s p99 %s",
 		st.Plane.EventsIn, st.Plane.Windows, st.Plane.RebuiltShards, st.Plane.ReusedShards,
 		st.Plane.SealP50.Round(time.Microsecond), st.Plane.SealP99.Round(time.Microsecond))
+}
+
+// queryMain is the disclosure query subcommand: one α-gated fetch against
+// a daemon's -disclose-listen endpoint, verified end to end.
+func queryMain(args []string) {
+	fs := flag.NewFlagSet("pvrd query", flag.ExitOnError)
+	connect := fs.String("connect", "", "disclosure query-plane address to dial (required)")
+	asn := fs.Uint("asn", 65099, "querying AS number")
+	pfxArg := fs.String("prefix", "", "prefix to query (required)")
+	epoch := fs.Uint64("epoch", 1, "commitment epoch to query")
+	roleArg := fs.String("role", "observer", "view to request under α: observer|promisee")
+	timeout := fs.Duration("timeout", 10*time.Second, "query deadline")
+	_ = fs.Parse(args)
+	if *connect == "" || *pfxArg == "" {
+		fmt.Fprintln(os.Stderr, "pvrd query: -connect and -prefix are required")
+		os.Exit(2)
+	}
+	pfx, err := pvr.ParsePrefix(*pfxArg)
+	if err != nil {
+		fatal(err)
+	}
+	var role pvr.Role
+	switch *roleArg {
+	case "observer":
+		role = pvr.RoleObserver
+	case "promisee":
+		role = pvr.RolePromisee
+	default:
+		// A provider-role query needs the original signed announcement to
+		// check the opened bit against; that lives in the providing
+		// daemon's process, not on a CLI. Use the library for that.
+		fmt.Fprintf(os.Stderr, "pvrd query: unsupported -role %q (observer|promisee)\n", *roleArg)
+		os.Exit(2)
+	}
+	log.SetFlags(0)
+	log.SetPrefix("pvrd: ")
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	p, err := pvr.Open(ctx, pvr.WithASN(pvr.ASN(*asn)), pvr.WithHoldTime(0), pvr.WithLogf(log.Printf))
+	if err != nil {
+		fatal(err)
+	}
+	defer p.Close()
+	d, err := p.QueryDisclosure(ctx, *connect, pvr.Query{Prefix: pfx, Epoch: *epoch, Role: role})
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("%s view of %s from %s verified (epoch %d, window %d, shard %d/%d, %d committed prefixes in shard)",
+		d.Role, d.Prefix, d.Prover, d.Epoch, d.Window,
+		d.Sealed.Seal.Shard, d.Sealed.Seal.Shards, d.Sealed.Seal.Count)
+	if d.KeyPinned {
+		log.Printf("pinned %s's key trust-on-first-use", d.Prover)
+	}
+	if d.Promisee != nil {
+		if d.Promisee.Export.Empty {
+			log.Printf("prover exported nothing for %s", d.Prefix)
+		} else {
+			log.Printf("prover exported %s (committed minimum kept)", d.Promisee.Export.Route)
+		}
+	}
 }
 
 func splitList(s string) []string {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"pvr/internal/bgp"
+	"pvr/internal/discplane"
 	"pvr/internal/engine"
 	"pvr/internal/netx"
 	"pvr/internal/updplane"
@@ -43,6 +44,10 @@ const (
 	KindVerification
 	// KindNotFound reports a missing prefix, node, or address.
 	KindNotFound
+	// KindAccessDenied reports a disclosure query refused by the access
+	// policy α: the requester is not entitled to the view it asked for, or
+	// could not be authenticated as the principal it claimed to be.
+	KindAccessDenied
 )
 
 // String names the kind.
@@ -66,6 +71,8 @@ func (k Kind) String() string {
 		return "verification"
 	case KindNotFound:
 		return "not-found"
+	case KindAccessDenied:
+		return "access-denied"
 	}
 	return "unknown"
 }
@@ -133,6 +140,10 @@ var (
 	ErrVerification = &Error{Kind: KindVerification}
 	// ErrNotFound matches missing prefixes, nodes, and addresses.
 	ErrNotFound = &Error{Kind: KindNotFound}
+	// ErrAccessDenied matches disclosure queries refused by the access
+	// policy α (the server answered DENY: the requester is not entitled to
+	// the view it asked for).
+	ErrAccessDenied = &Error{Kind: KindAccessDenied}
 )
 
 // classify maps an underlying error onto its public Kind.
@@ -146,6 +157,12 @@ func classify(err error) Kind {
 		return KindSessionClosed
 	case errors.Is(err, engine.ErrConvictedProver):
 		return KindConvicted
+	case errors.Is(err, discplane.ErrAccessDenied):
+		return KindAccessDenied
+	case errors.Is(err, discplane.ErrNotServed):
+		return KindNotFound
+	case errors.Is(err, discplane.ErrBadQuery), errors.Is(err, discplane.ErrWire):
+		return KindTransport
 	case errors.Is(err, updplane.ErrClosed), errors.Is(err, netx.ErrClosed):
 		return KindClosed
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):

@@ -93,6 +93,19 @@ func (a *Auditor) AddRecord(rec Record) (added bool, conflict *gossip.Conflict, 
 	return added, c, nil
 }
 
+// ObserveStatement feeds a statement observed out-of-band — a shard seal
+// fetched through the disclosure query plane, or one carried in a BGP
+// update's attachments — into the statement pool, returning the
+// equivocation evidence if it conflicts with what gossip already holds.
+// Any returned conflict has already been judged, persisted to the ledger,
+// and convicted by the time this returns: a fetched seal that disagrees
+// with the gossiped one IS the two-faced statement the audit network
+// exists to catch.
+func (a *Auditor) ObserveStatement(epoch uint64, s gossip.Statement) (*gossip.Conflict, error) {
+	_, c, err := a.AddRecord(Record{Epoch: epoch, S: s})
+	return c, err
+}
+
 // HandleConflict runs received (or locally detected) equivocation evidence
 // through the conviction service: verify both signatures from scratch,
 // dedupe, persist to the ledger, judge, and update the convicted set.

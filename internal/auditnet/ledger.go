@@ -124,14 +124,14 @@ func (l *Ledger) replay() ([]LedgerRecord, int64, error) {
 		}
 		switch fr.Type {
 		case recConflict:
-			r := &reader{b: fr.Payload}
-			accuser, err := r.u32()
+			r := &netx.PayloadReader{B: fr.Payload}
+			accuser, err := r.U32()
 			if err != nil {
 				return nil, 0, fmt.Errorf("%w: conflict record: %v", ErrLedgerCorrupt, err)
 			}
 			c, err := readConflict(r)
 			if err == nil {
-				err = r.done()
+				err = r.Done()
 			}
 			if err != nil {
 				return nil, 0, fmt.Errorf("%w: conflict record: %v", ErrLedgerCorrupt, err)
@@ -157,7 +157,7 @@ func (c *countingReader) Read(p []byte) (int, error) {
 
 // AppendConflict durably appends one evidence record.
 func (l *Ledger) AppendConflict(accuser aspath.ASN, c *gossip.Conflict) error {
-	payload := appendU32(nil, uint32(accuser))
+	payload := netx.AppendU32(nil, uint32(accuser))
 	payload = append(payload, EncodeConflict(c)...)
 	return l.appendFrame(netx.Frame{Type: recConflict, Payload: payload})
 }

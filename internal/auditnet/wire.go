@@ -19,11 +19,11 @@ package auditnet
 import (
 	"crypto/sha256"
 	"encoding/binary"
-	"errors"
 	"fmt"
 
 	"pvr/internal/aspath"
 	"pvr/internal/gossip"
+	"pvr/internal/netx"
 )
 
 // Frame types of the anti-entropy wire protocol, carried in netx.Frame.Type.
@@ -105,82 +105,14 @@ func writeLenPrefixed(w func([]byte) (int, error), b []byte) {
 	w(b)
 }
 
-// ErrWire is wrapped by every decoding error.
-var ErrWire = errors.New("auditnet: malformed wire encoding")
+// ErrWire is wrapped by every decoding error. It aliases the shared
+// netx payload sentinel, so the primitive readers' errors match it too.
+var ErrWire = netx.ErrMalformedPayload
 
-// --- primitive append/consume helpers ---
-
-func appendU32(b []byte, v uint32) []byte {
-	var u [4]byte
-	binary.BigEndian.PutUint32(u[:], v)
-	return append(b, u[:]...)
-}
-
-func appendU64(b []byte, v uint64) []byte {
-	var u [8]byte
-	binary.BigEndian.PutUint64(u[:], v)
-	return append(b, u[:]...)
-}
-
-func appendBytes(b, p []byte) []byte {
-	b = appendU32(b, uint32(len(p)))
-	return append(b, p...)
-}
-
-type reader struct {
-	b []byte
-}
-
-func (r *reader) take(n int) ([]byte, error) {
-	if n < 0 || len(r.b) < n {
-		return nil, ErrWire
-	}
-	out := r.b[:n]
-	r.b = r.b[n:]
-	return out, nil
-}
-
-func (r *reader) u32() (uint32, error) {
-	b, err := r.take(4)
-	if err != nil {
-		return 0, err
-	}
-	return binary.BigEndian.Uint32(b), nil
-}
-
-func (r *reader) u64() (uint64, error) {
-	b, err := r.take(8)
-	if err != nil {
-		return 0, err
-	}
-	return binary.BigEndian.Uint64(b), nil
-}
-
-func (r *reader) bytes() ([]byte, error) {
-	n, err := r.u32()
-	if err != nil {
-		return nil, err
-	}
-	return r.take(int(n))
-}
-
-// count reads a u32 element count and sanity-bounds it against the bytes
-// remaining, given a minimum encoded size per element, so a corrupt count
-// cannot force a huge allocation.
-func (r *reader) count(minPer int) (int, error) {
-	n, err := r.u32()
-	if err != nil {
-		return 0, err
-	}
-	if minPer > 0 && int(n) > len(r.b)/minPer {
-		return 0, ErrWire
-	}
-	return int(n), nil
-}
-
-func (r *reader) hash() (Hash, error) {
+// readHash consumes one 32-byte reconciliation hash.
+func readHash(r *netx.PayloadReader) (Hash, error) {
 	var out Hash
-	b, err := r.take(len(out))
+	b, err := r.Take(len(out))
 	if err != nil {
 		return out, err
 	}
@@ -188,22 +120,15 @@ func (r *reader) hash() (Hash, error) {
 	return out, nil
 }
 
-func (r *reader) done() error {
-	if len(r.b) != 0 {
-		return ErrWire
-	}
-	return nil
-}
-
 // --- statement / record / conflict encodings ---
 
 // AppendStatement appends the canonical wire encoding of a statement:
 // origin, topic, payload, signature, each length-prefixed.
 func AppendStatement(b []byte, s *gossip.Statement) []byte {
-	b = appendU32(b, uint32(s.Origin))
-	b = appendBytes(b, []byte(s.Topic))
-	b = appendBytes(b, s.Payload)
-	return appendBytes(b, s.Sig)
+	b = netx.AppendU32(b, uint32(s.Origin))
+	b = netx.AppendBytes(b, []byte(s.Topic))
+	b = netx.AppendBytes(b, s.Payload)
+	return netx.AppendBytes(b, s.Sig)
 }
 
 // EncodeStatement returns the wire encoding of one statement.
@@ -211,21 +136,21 @@ func EncodeStatement(s *gossip.Statement) []byte {
 	return AppendStatement(nil, s)
 }
 
-func readStatement(r *reader) (gossip.Statement, error) {
+func readStatement(r *netx.PayloadReader) (gossip.Statement, error) {
 	var s gossip.Statement
-	origin, err := r.u32()
+	origin, err := r.U32()
 	if err != nil {
 		return s, err
 	}
-	topic, err := r.bytes()
+	topic, err := r.Bytes()
 	if err != nil {
 		return s, err
 	}
-	payload, err := r.bytes()
+	payload, err := r.Bytes()
 	if err != nil {
 		return s, err
 	}
-	sig, err := r.bytes()
+	sig, err := r.Bytes()
 	if err != nil {
 		return s, err
 	}
@@ -238,22 +163,22 @@ func readStatement(r *reader) (gossip.Statement, error) {
 
 // DecodeStatement decodes an EncodeStatement encoding (exact length).
 func DecodeStatement(b []byte) (gossip.Statement, error) {
-	r := &reader{b: b}
+	r := &netx.PayloadReader{B: b}
 	s, err := readStatement(r)
 	if err != nil {
 		return s, err
 	}
-	return s, r.done()
+	return s, r.Done()
 }
 
 // AppendRecord appends a record: epoch then statement.
 func AppendRecord(b []byte, rec *Record) []byte {
-	b = appendU64(b, rec.Epoch)
+	b = netx.AppendU64(b, rec.Epoch)
 	return AppendStatement(b, &rec.S)
 }
 
-func readRecord(r *reader) (Record, error) {
-	epoch, err := r.u64()
+func readRecord(r *netx.PayloadReader) (Record, error) {
+	epoch, err := r.U64()
 	if err != nil {
 		return Record{}, err
 	}
@@ -267,18 +192,18 @@ func readRecord(r *reader) (Record, error) {
 // EncodeConflict returns the wire encoding of an equivocation record: the
 // accusation header plus both conflicting signed statements.
 func EncodeConflict(c *gossip.Conflict) []byte {
-	b := appendU32(nil, uint32(c.Origin))
-	b = appendBytes(b, []byte(c.Topic))
+	b := netx.AppendU32(nil, uint32(c.Origin))
+	b = netx.AppendBytes(b, []byte(c.Topic))
 	b = AppendStatement(b, &c.A)
 	return AppendStatement(b, &c.B)
 }
 
-func readConflict(r *reader) (*gossip.Conflict, error) {
-	origin, err := r.u32()
+func readConflict(r *netx.PayloadReader) (*gossip.Conflict, error) {
+	origin, err := r.U32()
 	if err != nil {
 		return nil, err
 	}
-	topic, err := r.bytes()
+	topic, err := r.Bytes()
 	if err != nil {
 		return nil, err
 	}
@@ -295,12 +220,12 @@ func readConflict(r *reader) (*gossip.Conflict, error) {
 
 // DecodeConflict decodes an EncodeConflict encoding (exact length).
 func DecodeConflict(b []byte) (*gossip.Conflict, error) {
-	r := &reader{b: b}
+	r := &netx.PayloadReader{B: b}
 	c, err := readConflict(r)
 	if err != nil {
 		return nil, err
 	}
-	return c, r.done()
+	return c, r.Done()
 }
 
 // --- reconciliation messages ---
@@ -326,27 +251,27 @@ func (m *summaryMsg) encode() []byte {
 	b := []byte{digestSummary}
 	b = append(b, m.Store[:]...)
 	b = append(b, m.Conflicts[:]...)
-	b = appendU32(b, m.Groups)
-	return appendU32(b, m.NConfl)
+	b = netx.AppendU32(b, m.Groups)
+	return netx.AppendU32(b, m.NConfl)
 }
 
 func decodeSummary(b []byte) (*summaryMsg, error) {
-	r := &reader{b: b}
+	r := &netx.PayloadReader{B: b}
 	var m summaryMsg
 	var err error
-	if m.Store, err = r.hash(); err != nil {
+	if m.Store, err = readHash(r); err != nil {
 		return nil, err
 	}
-	if m.Conflicts, err = r.hash(); err != nil {
+	if m.Conflicts, err = readHash(r); err != nil {
 		return nil, err
 	}
-	if m.Groups, err = r.u32(); err != nil {
+	if m.Groups, err = r.U32(); err != nil {
 		return nil, err
 	}
-	if m.NConfl, err = r.u32(); err != nil {
+	if m.NConfl, err = r.U32(); err != nil {
 		return nil, err
 	}
-	return &m, r.done()
+	return &m, r.Done()
 }
 
 // OriginDigest summarizes every group one origin has: a hash over the
@@ -366,13 +291,13 @@ type originsMsg struct {
 
 func (m *originsMsg) encode() []byte {
 	b := []byte{digestOrigins}
-	b = appendU32(b, uint32(len(m.Origins)))
+	b = netx.AppendU32(b, uint32(len(m.Origins)))
 	for _, o := range m.Origins {
-		b = appendU32(b, uint32(o.Origin))
+		b = netx.AppendU32(b, uint32(o.Origin))
 		b = append(b, o.Digest[:]...)
-		b = appendU32(b, o.Groups)
+		b = netx.AppendU32(b, o.Groups)
 	}
-	b = appendU32(b, uint32(len(m.ConflictKeys)))
+	b = netx.AppendU32(b, uint32(len(m.ConflictKeys)))
 	for _, k := range m.ConflictKeys {
 		b = append(b, k[:]...)
 	}
@@ -380,38 +305,38 @@ func (m *originsMsg) encode() []byte {
 }
 
 func decodeOrigins(b []byte) (*originsMsg, error) {
-	r := &reader{b: b}
-	n, err := r.count(4 + sha256.Size + 4)
+	r := &netx.PayloadReader{B: b}
+	n, err := r.Count(4 + sha256.Size + 4)
 	if err != nil {
 		return nil, err
 	}
 	m := &originsMsg{Origins: make([]OriginDigest, n)}
 	for i := range m.Origins {
-		o, err := r.u32()
+		o, err := r.U32()
 		if err != nil {
 			return nil, err
 		}
-		d, err := r.hash()
+		d, err := readHash(r)
 		if err != nil {
 			return nil, err
 		}
-		g, err := r.u32()
+		g, err := r.U32()
 		if err != nil {
 			return nil, err
 		}
 		m.Origins[i] = OriginDigest{Origin: aspath.ASN(o), Digest: d, Groups: g}
 	}
-	nk, err := r.count(sha256.Size)
+	nk, err := r.Count(sha256.Size)
 	if err != nil {
 		return nil, err
 	}
 	m.ConflictKeys = make([]Hash, nk)
 	for i := range m.ConflictKeys {
-		if m.ConflictKeys[i], err = r.hash(); err != nil {
+		if m.ConflictKeys[i], err = readHash(r); err != nil {
 			return nil, err
 		}
 	}
-	return m, r.done()
+	return m, r.Done()
 }
 
 // GroupDigest is the finest digest resolution: one (origin, epoch) group's
@@ -428,43 +353,43 @@ type groupsMsg struct {
 
 func (m *groupsMsg) encode() []byte {
 	b := []byte{digestGroups}
-	b = appendU32(b, uint32(len(m.Groups)))
+	b = netx.AppendU32(b, uint32(len(m.Groups)))
 	for _, g := range m.Groups {
-		b = appendU32(b, uint32(g.Key.Origin))
-		b = appendU64(b, g.Key.Epoch)
+		b = netx.AppendU32(b, uint32(g.Key.Origin))
+		b = netx.AppendU64(b, g.Key.Epoch)
 		b = append(b, g.Digest[:]...)
-		b = appendU32(b, g.Count)
+		b = netx.AppendU32(b, g.Count)
 	}
 	return b
 }
 
 func decodeGroups(b []byte) (*groupsMsg, error) {
-	r := &reader{b: b}
-	n, err := r.count(4 + 8 + sha256.Size + 4)
+	r := &netx.PayloadReader{B: b}
+	n, err := r.Count(4 + 8 + sha256.Size + 4)
 	if err != nil {
 		return nil, err
 	}
 	m := &groupsMsg{Groups: make([]GroupDigest, n)}
 	for i := range m.Groups {
-		o, err := r.u32()
+		o, err := r.U32()
 		if err != nil {
 			return nil, err
 		}
-		e, err := r.u64()
+		e, err := r.U64()
 		if err != nil {
 			return nil, err
 		}
-		d, err := r.hash()
+		d, err := readHash(r)
 		if err != nil {
 			return nil, err
 		}
-		c, err := r.u32()
+		c, err := r.U32()
 		if err != nil {
 			return nil, err
 		}
 		m.Groups[i] = GroupDigest{Key: GroupKey{Origin: aspath.ASN(o), Epoch: e}, Digest: d, Count: c}
 	}
-	return m, r.done()
+	return m, r.Done()
 }
 
 // GroupWant asks for one group's statements, minus the content hashes the
@@ -480,16 +405,16 @@ type wantMsg struct {
 }
 
 func (m *wantMsg) encode() []byte {
-	b := appendU32(nil, uint32(len(m.Groups)))
+	b := netx.AppendU32(nil, uint32(len(m.Groups)))
 	for _, g := range m.Groups {
-		b = appendU32(b, uint32(g.Key.Origin))
-		b = appendU64(b, g.Key.Epoch)
-		b = appendU32(b, uint32(len(g.Have)))
+		b = netx.AppendU32(b, uint32(g.Key.Origin))
+		b = netx.AppendU64(b, g.Key.Epoch)
+		b = netx.AppendU32(b, uint32(len(g.Have)))
 		for _, h := range g.Have {
 			b = append(b, h[:]...)
 		}
 	}
-	b = appendU32(b, uint32(len(m.Conflicts)))
+	b = netx.AppendU32(b, uint32(len(m.Conflicts)))
 	for _, k := range m.Conflicts {
 		b = append(b, k[:]...)
 	}
@@ -497,44 +422,44 @@ func (m *wantMsg) encode() []byte {
 }
 
 func decodeWant(b []byte) (*wantMsg, error) {
-	r := &reader{b: b}
-	n, err := r.count(4 + 8 + 4)
+	r := &netx.PayloadReader{B: b}
+	n, err := r.Count(4 + 8 + 4)
 	if err != nil {
 		return nil, err
 	}
 	m := &wantMsg{Groups: make([]GroupWant, n)}
 	for i := range m.Groups {
-		o, err := r.u32()
+		o, err := r.U32()
 		if err != nil {
 			return nil, err
 		}
-		e, err := r.u64()
+		e, err := r.U64()
 		if err != nil {
 			return nil, err
 		}
-		nh, err := r.count(sha256.Size)
+		nh, err := r.Count(sha256.Size)
 		if err != nil {
 			return nil, err
 		}
 		have := make([]Hash, nh)
 		for j := range have {
-			if have[j], err = r.hash(); err != nil {
+			if have[j], err = readHash(r); err != nil {
 				return nil, err
 			}
 		}
 		m.Groups[i] = GroupWant{Key: GroupKey{Origin: aspath.ASN(o), Epoch: e}, Have: have}
 	}
-	nk, err := r.count(sha256.Size)
+	nk, err := r.Count(sha256.Size)
 	if err != nil {
 		return nil, err
 	}
 	m.Conflicts = make([]Hash, nk)
 	for i := range m.Conflicts {
-		if m.Conflicts[i], err = r.hash(); err != nil {
+		if m.Conflicts[i], err = readHash(r); err != nil {
 			return nil, err
 		}
 	}
-	return m, r.done()
+	return m, r.Done()
 }
 
 type stmtsMsg struct {
@@ -542,7 +467,7 @@ type stmtsMsg struct {
 }
 
 func (m *stmtsMsg) encode() []byte {
-	b := appendU32(nil, uint32(len(m.Records)))
+	b := netx.AppendU32(nil, uint32(len(m.Records)))
 	for i := range m.Records {
 		b = AppendRecord(b, &m.Records[i])
 	}
@@ -550,8 +475,8 @@ func (m *stmtsMsg) encode() []byte {
 }
 
 func decodeStmts(b []byte) (*stmtsMsg, error) {
-	r := &reader{b: b}
-	n, err := r.count(8 + 4 + 4 + 4 + 4)
+	r := &netx.PayloadReader{B: b}
+	n, err := r.Count(8 + 4 + 4 + 4 + 4)
 	if err != nil {
 		return nil, err
 	}
@@ -561,7 +486,7 @@ func decodeStmts(b []byte) (*stmtsMsg, error) {
 			return nil, err
 		}
 	}
-	return m, r.done()
+	return m, r.Done()
 }
 
 type conflMsg struct {
@@ -569,22 +494,22 @@ type conflMsg struct {
 }
 
 func (m *conflMsg) encode() []byte {
-	b := appendU32(nil, uint32(len(m.Conflicts)))
+	b := netx.AppendU32(nil, uint32(len(m.Conflicts)))
 	for _, c := range m.Conflicts {
-		b = appendBytes(b, EncodeConflict(c))
+		b = netx.AppendBytes(b, EncodeConflict(c))
 	}
 	return b
 }
 
 func decodeConfl(b []byte) (*conflMsg, error) {
-	r := &reader{b: b}
-	n, err := r.count(4)
+	r := &netx.PayloadReader{B: b}
+	n, err := r.Count(4)
 	if err != nil {
 		return nil, err
 	}
 	m := &conflMsg{Conflicts: make([]*gossip.Conflict, n)}
 	for i := range m.Conflicts {
-		cb, err := r.bytes()
+		cb, err := r.Bytes()
 		if err != nil {
 			return nil, err
 		}
@@ -592,7 +517,7 @@ func decodeConfl(b []byte) (*conflMsg, error) {
 			return nil, err
 		}
 	}
-	return m, r.done()
+	return m, r.Done()
 }
 
 // decodeDigest dispatches on the digest kind byte.

@@ -6,6 +6,7 @@ import (
 
 	"pvr/internal/aspath"
 	"pvr/internal/gossip"
+	"pvr/internal/netx"
 )
 
 func TestStatementRoundTrip(t *testing.T) {
@@ -75,7 +76,7 @@ func TestDecodeRejectsTruncationsWithoutPanic(t *testing.T) {
 func TestDecodeBoundsHugeCounts(t *testing.T) {
 	// A corrupt count must not force a giant allocation: counts are bounded
 	// by the bytes remaining.
-	huge := appendU32(nil, 0xFFFFFFFF)
+	huge := netx.AppendU32(nil, 0xFFFFFFFF)
 	if _, err := decodeStmts(huge); err == nil {
 		t.Fatal("huge statement count accepted")
 	}
@@ -100,7 +101,7 @@ func FuzzStatementWire(f *testing.F) {
 		f.Add(EncodeStatement(&s))
 	}
 	f.Add([]byte{})
-	f.Add(appendU32(nil, 0xFFFFFFFF))
+	f.Add(netx.AppendU32(nil, 0xFFFFFFFF))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := DecodeStatement(data)
 		if err != nil {

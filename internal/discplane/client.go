@@ -1,0 +1,81 @@
+package discplane
+
+import (
+	"context"
+	"fmt"
+
+	"pvr/internal/netx"
+)
+
+// Fetch runs the client side of one disclosure query: send DISCLOSE,
+// receive VIEW or DENY. A denial is returned as a *Denial error (match
+// with errors.Is against ErrAccessDenied / ErrNotServed / ErrBadQuery).
+// The returned view is structurally decoded and cross-checked against
+// the query, but NOT verified — the caller owns signature, inclusion,
+// and §3.3 content verification.
+func Fetch(c FrameConn, q *Query) (*View, error) {
+	payload, err := q.Encode()
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Send(netx.Frame{Type: FrameDisclose, Payload: payload}); err != nil {
+		return nil, err
+	}
+	f, err := c.Recv()
+	if err != nil {
+		return nil, err
+	}
+	switch f.Type {
+	case FrameDeny:
+		d, err := DecodeDenial(f.Payload)
+		if err != nil {
+			return nil, err
+		}
+		return nil, d
+	case FrameView:
+		v, err := DecodeView(f.Payload)
+		if err != nil {
+			return nil, err
+		}
+		// The answer must be for what was asked: role, prefix, and epoch
+		// are cross-checked here so a confused (or malicious) server
+		// cannot satisfy a promisee query with an observer view.
+		if v.Role != q.Role {
+			return nil, fmt.Errorf("%w: granted role %s, requested %s", ErrWire, v.Role, q.Role)
+		}
+		if v.Sealed.MC.Prefix != q.Prefix || v.Sealed.MC.Epoch != q.Epoch {
+			return nil, fmt.Errorf("%w: view covers (%s, epoch %d), query asked (%s, epoch %d)",
+				ErrWire, v.Sealed.MC.Prefix, v.Sealed.MC.Epoch, q.Prefix, q.Epoch)
+		}
+		return v, nil
+	}
+	return nil, fmt.Errorf("discplane: protocol error: got frame %#x", f.Type)
+}
+
+// FetchContext is Fetch bounded by a context: when ctx ends mid-exchange
+// the connection is torn down (if it exposes Close) so the blocked frame
+// read returns, and ctx's error is reported.
+func FetchContext(ctx context.Context, c FrameConn, q *Query) (*View, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if ctx.Done() == nil {
+		return Fetch(c, q)
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			if closer, ok := c.(interface{ Close() error }); ok {
+				_ = closer.Close()
+			}
+		case <-stop:
+		}
+	}()
+	v, err := Fetch(c, q)
+	if cerr := ctx.Err(); cerr != nil && err != nil {
+		return nil, cerr
+	}
+	return v, err
+}

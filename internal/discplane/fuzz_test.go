@@ -1,0 +1,189 @@
+package discplane
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+
+	"pvr/internal/aspath"
+	"pvr/internal/commit"
+	"pvr/internal/core"
+	"pvr/internal/engine"
+	"pvr/internal/netx"
+	"pvr/internal/prefix"
+	"pvr/internal/route"
+	"pvr/internal/sigs"
+)
+
+// fuzzSeeds builds one valid encoding of each wire message (a query, all
+// three view roles, a denial) to seed the corpora, plus hand-mangled
+// variants covering the interesting rejection classes: malformed role,
+// truncated proof, oversized element counts.
+func fuzzSeeds(f *testing.F) (query []byte, views [][]byte, denial []byte) {
+	f.Helper()
+	reg := sigs.NewRegistry()
+	signer, err := sigs.GenerateEd25519()
+	if err != nil {
+		f.Fatal(err)
+	}
+	prov, err := sigs.GenerateEd25519()
+	if err != nil {
+		f.Fatal(err)
+	}
+	reg.Register(64500, signer.Public())
+	reg.Register(64601, prov.Public())
+	pfx := prefix.MustParse("203.0.113.0/24")
+	eng, err := engine.New(engine.Config{ASN: 64500, Signer: signer, Registry: reg, Shards: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	eng.BeginEpoch(1)
+	ann, err := core.NewAnnouncement(prov, 64601, 64500, 1, route.Route{
+		Prefix: pfx, Path: aspath.New(64601, 65001),
+		NextHop: netip.MustParseAddr("192.0.2.1"),
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := eng.AcceptAnnouncement(ann); err != nil {
+		f.Fatal(err)
+	}
+	if _, err := eng.SealEpoch(); err != nil {
+		f.Fatal(err)
+	}
+
+	q := &Query{Requester: 64601, Role: RoleProvider, Epoch: 1, Prefix: pfx}
+	if err := q.Sign(prov); err != nil {
+		f.Fatal(err)
+	}
+	query, err = q.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	sc, err := eng.Commitment(pfx)
+	if err != nil {
+		f.Fatal(err)
+	}
+	pv, err := eng.DiscloseToProvider(pfx, 64601)
+	if err != nil {
+		f.Fatal(err)
+	}
+	mv, err := eng.DiscloseToPromisee(pfx, 64999)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, v := range []*View{
+		{Role: RoleObserver, Sealed: sc},
+		{Role: RoleProvider, Sealed: pv.Sealed, Position: uint32(pv.Position), Opening: &pv.Opening},
+		{Role: RolePromisee, Sealed: mv.Sealed, Openings: mv.Openings, Winner: mv.Winner, Export: &mv.Export},
+	} {
+		enc, err := v.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		views = append(views, enc)
+	}
+	denial = (&Denial{Code: DenyAccess, Detail: "not a promisee under α"}).Encode()
+	return query, views, denial
+}
+
+// FuzzQueryWire fuzzes the DISCLOSE decoder: arbitrary bytes must never
+// panic, and every successfully decoded query must re-encode to identical
+// bytes (round-trip stability — the property the signature check and the
+// server's α decision both rely on).
+func FuzzQueryWire(f *testing.F) {
+	query, _, _ := fuzzSeeds(f)
+	f.Add(query)
+	// Malformed role byte (offset 8, after the requester and prover u32s).
+	mangled := append([]byte(nil), query...)
+	mangled[8] = 0xEE
+	f.Add(mangled)
+	f.Add(query[:len(query)/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := DecodeQuery(data)
+		if err != nil {
+			return
+		}
+		enc, err := q.Encode()
+		if err != nil {
+			t.Fatalf("decoded query does not re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("query round trip not stable: %x != %x", enc, data)
+		}
+	})
+}
+
+// FuzzViewWire fuzzes the VIEW decoder across all three role layouts:
+// never panic, bound allocations, and stay round-trip stable.
+func FuzzViewWire(f *testing.F) {
+	_, views, _ := fuzzSeeds(f)
+	for _, v := range views {
+		f.Add(v)
+		// Malformed role.
+		mangled := append([]byte(nil), v...)
+		mangled[0] = 0x7F
+		f.Add(mangled)
+		// Truncated proof: cut inside the Merkle proof region.
+		f.Add(v[:len(v)-len(v)/3])
+		// Oversized count: a huge openings count must be rejected by the
+		// remaining-bytes bound, not allocated.
+		f.Add(append(append([]byte(nil), v...), 0xFF, 0xFF, 0xFF, 0xFF))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > netx.MaxFrame {
+			return // the framing layer rejects these before the decoder runs
+		}
+		v, err := DecodeView(data)
+		if err != nil {
+			return
+		}
+		enc, err := v.Encode()
+		if err != nil {
+			t.Fatalf("decoded view does not re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("view round trip not stable (role %s)", v.Role)
+		}
+	})
+}
+
+// FuzzDenialWire fuzzes the DENY decoder.
+func FuzzDenialWire(f *testing.F) {
+	_, _, denial := fuzzSeeds(f)
+	f.Add(denial)
+	f.Add([]byte{0xFF})
+	f.Add(append([]byte{1, 0xFF, 0xFF, 0xFF, 0xFF}, bytes.Repeat([]byte{'x'}, 64)...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := DecodeDenial(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(d.Encode(), data) {
+			t.Fatal("denial round trip not stable")
+		}
+	})
+}
+
+// TestOpeningRoundTripForFuzzSanity pins that a legitimate opening
+// survives the commit.Opening encoding the views embed — if this breaks,
+// the fuzzers' round-trip property would be vacuous.
+func TestOpeningRoundTripForFuzzSanity(t *testing.T) {
+	var cm commit.Committer
+	_, op, err := cm.CommitBit("tag", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := op.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rt commit.Opening
+	if err := rt.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Tag != op.Tag {
+		t.Fatal("opening round trip mutated tag")
+	}
+}

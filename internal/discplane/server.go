@@ -1,0 +1,262 @@
+package discplane
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pvr/internal/aspath"
+	"pvr/internal/engine"
+	"pvr/internal/netx"
+	"pvr/internal/sigs"
+)
+
+// FrameConn is the transport a query exchange runs over: netx.Conn (TCP)
+// and any pvr.Transport connection satisfy it. The protocol is a strict
+// one-query/one-answer ping-pong, so unbuffered rendezvous pipes work.
+type FrameConn interface {
+	Send(netx.Frame) error
+	Recv() (netx.Frame, error)
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	// ASN is the serving prover (network A). Required.
+	ASN aspath.ASN
+	// Engine is the sealed state the server answers from. Required.
+	Engine *engine.ProverEngine
+	// Registry authenticates requesters: provider and promisee queries
+	// are granted only to principals whose signature verifies. Required.
+	Registry sigs.Verifier
+	// IsPromisee is the promisee half of α: which ASNs the prover's
+	// promise was made to. Nil means no promisee view is ever granted.
+	// Must be safe for concurrent use.
+	IsPromisee func(aspath.ASN) bool
+	// Key, when set, is the prover's marshaled public key, included in
+	// every view so trust-on-first-use clients can verify before pinning.
+	Key []byte
+	// Logf receives denial and serve log lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+// Server answers DISCLOSE queries from the engine's sealed state,
+// enforcing α per requesting ASN. Responses are cached per
+// (role, requester, prefix, epoch, window), so repeated queries for one
+// commitment window cost an encode-free map hit instead of re-opening
+// commitments and re-signing export statements. Safe for concurrent use.
+type Server struct {
+	cfg Config
+
+	served atomic.Uint64
+	denied atomic.Uint64
+
+	// cache maps a view key to its encoded VIEW payload. Keys embed the
+	// engine window, so a re-seal naturally invalidates by changing keys;
+	// stale windows are dropped wholesale at window transitions.
+	cache  sync.Map
+	cacheW atomic.Uint64
+
+	// nonces remembers recently seen gated-query nonces so a captured
+	// signed DISCLOSE cannot be replayed to pull fresher views as windows
+	// advance. Best-effort by design: the set holds the last two
+	// generations of nonceGeneration entries each, so only a query older
+	// than ~2·nonceGeneration gated queries could replay — and the
+	// Prover binding still stops it from being replayed elsewhere.
+	nonces nonceSet
+}
+
+// nonceGeneration bounds one generation of the replay-defense nonce set.
+const nonceGeneration = 1 << 15
+
+type nonceSet struct {
+	mu        sync.Mutex
+	cur, prev map[[NonceSize]byte]struct{}
+}
+
+// seen records n and reports whether it was already present.
+func (s *nonceSet) seen(n [NonceSize]byte) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.cur[n]; ok {
+		return true
+	}
+	if _, ok := s.prev[n]; ok {
+		return true
+	}
+	if s.cur == nil {
+		s.cur = make(map[[NonceSize]byte]struct{}, nonceGeneration)
+	}
+	s.cur[n] = struct{}{}
+	if len(s.cur) >= nonceGeneration {
+		s.prev, s.cur = s.cur, nil
+	}
+	return false
+}
+
+// NewServer validates the config and builds a server.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Engine == nil || cfg.Registry == nil {
+		return nil, fmt.Errorf("discplane: Engine and Registry are required")
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Server{cfg: cfg}, nil
+}
+
+// Served counts granted views; Denied counts α and not-found denials.
+func (s *Server) Served() uint64 { return s.served.Load() }
+
+// Denied counts denials sent.
+func (s *Server) Denied() uint64 { return s.denied.Load() }
+
+// Respond handles exactly one query on the connection: receive DISCLOSE,
+// answer VIEW or DENY. A transport or framing error is returned (the
+// caller should close the connection); a denial is a successful exchange
+// and returns nil.
+func (s *Server) Respond(c FrameConn) error {
+	f, err := c.Recv()
+	if err != nil {
+		return err
+	}
+	if f.Type != FrameDisclose {
+		return fmt.Errorf("discplane: protocol error: got frame %#x, want %#x", f.Type, FrameDisclose)
+	}
+	q, err := DecodeQuery(f.Payload)
+	if err != nil {
+		s.denied.Add(1)
+		_ = c.Send(netx.Frame{Type: FrameDeny, Payload: (&Denial{Code: DenyBadQuery, Detail: "undecodable query"}).Encode()})
+		return fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	payload, denial := s.answer(q)
+	if denial != nil {
+		s.denied.Add(1)
+		s.cfg.Logf("pvr: disclose: %s deny %s %s for %s epoch %d: %s",
+			s.cfg.ASN, q.Requester, q.Role, q.Prefix, q.Epoch, denial.Detail)
+		return c.Send(netx.Frame{Type: FrameDeny, Payload: denial.Encode()})
+	}
+	s.served.Add(1)
+	return c.Send(netx.Frame{Type: FrameView, Payload: payload})
+}
+
+// RespondContext is Respond bounded by a context: when ctx ends
+// mid-exchange the connection is torn down (if it exposes Close) so the
+// blocked frame read returns.
+func (s *Server) RespondContext(ctx context.Context, c FrameConn) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if ctx.Done() == nil {
+		return s.Respond(c)
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			if closer, ok := c.(interface{ Close() error }); ok {
+				_ = closer.Close()
+			}
+		case <-stop:
+		}
+	}()
+	err := s.Respond(c)
+	if cerr := ctx.Err(); cerr != nil && err != nil {
+		return cerr
+	}
+	return err
+}
+
+// answer applies α and builds the encoded VIEW payload for a query, or
+// the Denial that refuses it.
+func (s *Server) answer(q *Query) ([]byte, *Denial) {
+	if !q.Role.valid() {
+		return nil, &Denial{Code: DenyBadQuery, Detail: fmt.Sprintf("invalid role %d", uint8(q.Role))}
+	}
+	if cur := s.cfg.Engine.Epoch(); q.Epoch != cur {
+		return nil, &Denial{Code: DenyNotFound, Detail: fmt.Sprintf("epoch %d not served (current %d)", q.Epoch, cur)}
+	}
+	// α authentication: provider and promisee views go to a principal,
+	// never to a bare connection. The observer view is public material
+	// (the same bytes gossip through the audit network), so anonymous
+	// observers are fine. For gated roles the signature covers the
+	// addressed prover and a fresh nonce, both enforced here, so a
+	// captured query can be replayed neither to another prover nor to
+	// this one.
+	if q.Role != RoleObserver {
+		if q.Requester == 0 {
+			return nil, &Denial{Code: DenyAccess, Detail: fmt.Sprintf("anonymous requester cannot hold role %s", q.Role)}
+		}
+		if q.Prover != 0 && q.Prover != s.cfg.ASN {
+			return nil, &Denial{Code: DenyAccess, Detail: fmt.Sprintf("query addressed to %s, this prover is %s", q.Prover, s.cfg.ASN)}
+		}
+		if err := q.Verify(s.cfg.Registry); err != nil {
+			return nil, &Denial{Code: DenyAccess, Detail: fmt.Sprintf("requester %s not authenticated", q.Requester)}
+		}
+		if s.nonces.seen(q.Nonce) {
+			return nil, &Denial{Code: DenyAccess, Detail: "replayed query nonce"}
+		}
+	}
+	// The cache key snapshots the window before building; a concurrent
+	// re-seal at worst wastes one rebuild, never serves a stale window
+	// under a fresh key.
+	window := s.cfg.Engine.Window()
+	if old := s.cacheW.Load(); old != window && s.cacheW.CompareAndSwap(old, window) {
+		s.cache.Range(func(k, _ any) bool { s.cache.Delete(k); return true })
+	}
+	key := fmt.Sprintf("%d/%d/%d/%d/%s", q.Role, uint32(q.Requester), q.Epoch, window, q.Prefix)
+	if cached, ok := s.cache.Load(key); ok {
+		return cached.([]byte), nil
+	}
+
+	view := &View{Role: q.Role, Key: s.cfg.Key}
+	switch q.Role {
+	case RoleObserver:
+		sc, err := s.cfg.Engine.Commitment(q.Prefix)
+		if err != nil {
+			return nil, &Denial{Code: DenyNotFound, Detail: fmt.Sprintf("no sealed commitment for %s", q.Prefix)}
+		}
+		view.Sealed = sc
+	case RoleProvider:
+		provs, err := s.cfg.Engine.Providers(q.Prefix)
+		if err != nil {
+			return nil, &Denial{Code: DenyNotFound, Detail: fmt.Sprintf("no sealed state for %s", q.Prefix)}
+		}
+		entitled := false
+		for _, p := range provs {
+			if p == q.Requester {
+				entitled = true
+				break
+			}
+		}
+		if !entitled {
+			return nil, &Denial{Code: DenyAccess, Detail: fmt.Sprintf("%s provided no route for %s this epoch", q.Requester, q.Prefix)}
+		}
+		pv, err := s.cfg.Engine.DiscloseToProvider(q.Prefix, q.Requester)
+		if err != nil {
+			return nil, &Denial{Code: DenyNotFound, Detail: fmt.Sprintf("disclosure unavailable for %s", q.Prefix)}
+		}
+		view.Sealed = pv.Sealed
+		view.Position = uint32(pv.Position)
+		view.Opening = &pv.Opening
+	case RolePromisee:
+		if s.cfg.IsPromisee == nil || !s.cfg.IsPromisee(q.Requester) {
+			return nil, &Denial{Code: DenyAccess, Detail: fmt.Sprintf("%s is not a promisee of %s under α", q.Requester, s.cfg.ASN)}
+		}
+		mv, err := s.cfg.Engine.DiscloseToPromisee(q.Prefix, q.Requester)
+		if err != nil {
+			return nil, &Denial{Code: DenyNotFound, Detail: fmt.Sprintf("disclosure unavailable for %s", q.Prefix)}
+		}
+		view.Sealed = mv.Sealed
+		view.Openings = mv.Openings
+		view.Winner = mv.Winner
+		view.Export = &mv.Export
+	}
+	payload, err := view.Encode()
+	if err != nil {
+		return nil, &Denial{Code: DenyNotFound, Detail: fmt.Sprintf("view encoding failed for %s", q.Prefix)}
+	}
+	s.cache.Store(key, payload)
+	return payload, nil
+}

@@ -1,0 +1,605 @@
+// Package discplane is PVR's disclosure query plane: the on-demand,
+// α-gated verification surface of §2.2/§3.5–3.7 lifted onto the wire.
+//
+// Everywhere else in this repository a disclosure is constructed
+// in-process and handed to the verifier as a Go value. That never
+// exercises the paper's actual privacy boundary — the access policy α
+// that says each neighbor class sees exactly the view it is entitled to,
+// and nothing more. This package makes α a protocol artifact: a remote
+// requester sends a signed DISCLOSE query for one (prefix, epoch), and
+// the server answers with a VIEW containing exactly the material the
+// requester's role grants — the §3.3 single-bit opening for a provider,
+// the full vector plus provenance and export for the promisee, and only
+// the sealed commitment with its inclusion proof for everyone else — or
+// a typed DENY when α forbids the request.
+//
+// The protocol is a strict one-query/one-answer ping-pong over
+// internal/netx framing, so the same bytes run over an in-process
+// netx.Pipe in the simulator, the in-memory pvr transport in tests, and
+// TCP in cmd/pvrd.
+package discplane
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"pvr/internal/aspath"
+	"pvr/internal/commit"
+	"pvr/internal/core"
+	"pvr/internal/engine"
+	"pvr/internal/merkle"
+	"pvr/internal/netx"
+	"pvr/internal/prefix"
+	"pvr/internal/sigs"
+)
+
+// Frame types of the disclosure query protocol, carried in
+// netx.Frame.Type. The range is disjoint from the audit anti-entropy
+// frames (0x41–0x44) so a connection wired to the wrong endpoint fails
+// loudly instead of half-parsing.
+const (
+	// FrameDisclose carries one signed Query.
+	FrameDisclose uint8 = 0x51
+	// FrameView carries the granted View.
+	FrameView uint8 = 0x52
+	// FrameDeny carries a typed Denial.
+	FrameDeny uint8 = 0x53
+)
+
+// Role is the requester's claimed relationship to the prover for the
+// queried prefix — the α classes of §2.2.
+type Role uint8
+
+// Roles. The zero value is invalid so an uninitialized query cannot
+// accidentally select a view.
+const (
+	// RoleObserver is any third party: entitled to the sealed commitment
+	// and its inclusion proof only (public material — it gossips anyway).
+	RoleObserver Role = 1
+	// RoleProvider is a neighbor that provided an input route this epoch:
+	// entitled to the §3.3 single-bit opening for its own route length.
+	RoleProvider Role = 2
+	// RolePromisee is the neighbor the promise was made to: entitled to
+	// the full opened vector, the winning input, and the export statement.
+	RolePromisee Role = 3
+)
+
+// String names the role.
+func (r Role) String() string {
+	switch r {
+	case RoleObserver:
+		return "observer"
+	case RoleProvider:
+		return "provider"
+	case RolePromisee:
+		return "promisee"
+	}
+	return fmt.Sprintf("role(%d)", uint8(r))
+}
+
+func (r Role) valid() bool { return r >= RoleObserver && r <= RolePromisee }
+
+// tagDisclose domain-separates query signatures from every other signed
+// payload in the protocol.
+const tagDisclose = "pvr/disclose/v1"
+
+// NonceSize is the size of a query's anti-replay nonce.
+const NonceSize = 16
+
+// Sentinel errors. Denial.Is maps wire denials onto these, so callers
+// match with errors.Is without inspecting codes.
+var (
+	// ErrAccessDenied reports a query refused by the access policy α: the
+	// requester is not entitled to the view it asked for, or could not be
+	// authenticated as the principal it claimed to be.
+	ErrAccessDenied = errors.New("discplane: access denied under α")
+	// ErrNotServed reports a query for a prefix or epoch the server does
+	// not currently hold sealed state for.
+	ErrNotServed = errors.New("discplane: prefix or epoch not served")
+	// ErrBadQuery reports a structurally invalid query.
+	ErrBadQuery = errors.New("discplane: malformed query")
+	// ErrWire is wrapped by every decoding error; it aliases the shared
+	// netx payload sentinel the primitive readers return.
+	ErrWire = netx.ErrMalformedPayload
+)
+
+// Query is one DISCLOSE request: who is asking, in what claimed role, for
+// which (prefix, epoch). Provider and promisee queries must be signed by
+// the requester — α releases those views to a principal, not to whoever
+// holds the TCP connection. Observer queries may be anonymous
+// (Requester 0, no signature): the observer view is public material.
+type Query struct {
+	// Requester is the asking AS (0 for an anonymous observer).
+	Requester aspath.ASN
+	// Prover is the serving AS the query is addressed to. It is part of
+	// the signed bytes: a server refuses gated queries addressed to
+	// anyone else, so a captured query cannot be replayed against a
+	// different prover. 0 leaves the binding unspecified (the requester
+	// does not yet know the prover — e.g. a first trust-on-first-use
+	// contact); servers accept it but the cross-prover defense is lost.
+	Prover aspath.ASN
+	// Role is the view requested under α.
+	Role Role
+	// Epoch selects the commitment epoch.
+	Epoch uint64
+	// Prefix selects the committed prefix.
+	Prefix prefix.Prefix
+	// Nonce makes the signed bytes unique per query. Servers remember
+	// recently seen nonces and refuse duplicates of gated queries, so a
+	// captured DISCLOSE cannot be replayed to pull fresher views of the
+	// same (prefix, epoch) as windows advance (best-effort: the seen set
+	// is bounded; see the Server docs).
+	Nonce [NonceSize]byte
+	// Sig is the requester's signature over SignedBytes.
+	Sig []byte
+}
+
+// SignedBytes returns the canonical bytes the requester signs.
+func (q *Query) SignedBytes() ([]byte, error) {
+	pb, err := q.Prefix.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	buf.WriteString(tagDisclose)
+	var u8 [8]byte
+	binary.BigEndian.PutUint32(u8[:4], uint32(q.Requester))
+	buf.Write(u8[:4])
+	binary.BigEndian.PutUint32(u8[:4], uint32(q.Prover))
+	buf.Write(u8[:4])
+	buf.WriteByte(uint8(q.Role))
+	binary.BigEndian.PutUint64(u8[:], q.Epoch)
+	buf.Write(u8[:])
+	buf.WriteByte(byte(len(pb)))
+	buf.Write(pb)
+	buf.Write(q.Nonce[:])
+	return buf.Bytes(), nil
+}
+
+// Sign draws a fresh nonce and signs the query as the requester.
+func (q *Query) Sign(signer sigs.Signer) error {
+	if _, err := rand.Read(q.Nonce[:]); err != nil {
+		return err
+	}
+	msg, err := q.SignedBytes()
+	if err != nil {
+		return err
+	}
+	q.Sig, err = signer.Sign(msg)
+	return err
+}
+
+// Verify checks the requester's signature; the registry must hold the
+// requester's key.
+func (q *Query) Verify(ver sigs.Verifier) error {
+	msg, err := q.SignedBytes()
+	if err != nil {
+		return err
+	}
+	return ver.Verify(q.Requester, msg, q.Sig)
+}
+
+// Encode returns the DISCLOSE frame payload.
+func (q *Query) Encode() ([]byte, error) {
+	pb, err := q.Prefix.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	b := netx.AppendU32(nil, uint32(q.Requester))
+	b = netx.AppendU32(b, uint32(q.Prover))
+	b = append(b, uint8(q.Role))
+	b = netx.AppendU64(b, q.Epoch)
+	b = netx.AppendBytes(b, pb)
+	b = append(b, q.Nonce[:]...)
+	return netx.AppendBytes(b, q.Sig), nil
+}
+
+// DecodeQuery decodes an Encode payload (exact length).
+func DecodeQuery(b []byte) (*Query, error) {
+	r := &netx.PayloadReader{B: b}
+	var q Query
+	req, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	q.Requester = aspath.ASN(req)
+	prover, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	q.Prover = aspath.ASN(prover)
+	role, err := r.U8()
+	if err != nil {
+		return nil, err
+	}
+	q.Role = Role(role)
+	if q.Epoch, err = r.U64(); err != nil {
+		return nil, err
+	}
+	pb, err := r.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Prefix.UnmarshalBinary(pb); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrWire, err)
+	}
+	nb, err := r.Take(NonceSize)
+	if err != nil {
+		return nil, err
+	}
+	copy(q.Nonce[:], nb)
+	sig, err := r.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	if len(sig) > 0 {
+		q.Sig = append([]byte(nil), sig...)
+	}
+	return &q, r.Done()
+}
+
+// DenyCode classifies a denial for the client's error taxonomy.
+type DenyCode uint8
+
+// Denial codes.
+const (
+	// DenyAccess: α refuses the requester this view.
+	DenyAccess DenyCode = 1
+	// DenyNotFound: the prefix or epoch is not in the served sealed state.
+	DenyNotFound DenyCode = 2
+	// DenyBadQuery: the query was structurally invalid.
+	DenyBadQuery DenyCode = 3
+)
+
+// maxDetail bounds the denial detail string a peer can make us allocate.
+const maxDetail = 4096
+
+// Denial is one DENY answer. It satisfies error, and errors.Is maps it
+// onto the package sentinels by code.
+type Denial struct {
+	Code   DenyCode
+	Detail string
+}
+
+// Error implements error.
+func (d *Denial) Error() string {
+	return fmt.Sprintf("discplane: denied (%s): %s", d.codeString(), d.Detail)
+}
+
+func (d *Denial) codeString() string {
+	switch d.Code {
+	case DenyAccess:
+		return "access"
+	case DenyNotFound:
+		return "not-found"
+	case DenyBadQuery:
+		return "bad-query"
+	}
+	return fmt.Sprintf("code-%d", uint8(d.Code))
+}
+
+// Is maps denial codes onto the package sentinels for errors.Is.
+func (d *Denial) Is(target error) bool {
+	switch d.Code {
+	case DenyAccess:
+		return target == ErrAccessDenied
+	case DenyNotFound:
+		return target == ErrNotServed
+	case DenyBadQuery:
+		return target == ErrBadQuery
+	}
+	return false
+}
+
+// Encode returns the DENY frame payload.
+func (d *Denial) Encode() []byte {
+	b := []byte{uint8(d.Code)}
+	return netx.AppendBytes(b, []byte(d.Detail))
+}
+
+// DecodeDenial decodes an Encode payload (exact length).
+func DecodeDenial(b []byte) (*Denial, error) {
+	r := &netx.PayloadReader{B: b}
+	code, err := r.U8()
+	if err != nil {
+		return nil, err
+	}
+	detail, err := r.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	if len(detail) > maxDetail {
+		return nil, fmt.Errorf("%w: oversized denial detail", ErrWire)
+	}
+	return &Denial{Code: DenyCode(code), Detail: string(detail)}, r.Done()
+}
+
+// View is one VIEW answer: always the sealed commitment (with inclusion
+// proof and shard seal), plus exactly the extra material the granted role
+// is entitled to. Key carries the prover's public key bytes so clients
+// with a private trust-on-first-use registry can verify before pinning.
+type View struct {
+	// Role is the role the server granted (echoes the query's).
+	Role Role
+	// Sealed authenticates the per-prefix commitment: MC + proof + seal.
+	Sealed *engine.SealedCommitment
+	// Position and Opening are set for RoleProvider: the opened bit
+	// b_{|r_i|} for the requester's own route length.
+	Position uint32
+	Opening  *commit.Opening
+	// Openings, Winner, and Export are set for RolePromisee: the full
+	// opened vector, the winning input (nil when nothing was exported),
+	// and the signed export statement.
+	Openings []commit.Opening
+	Winner   *core.Announcement
+	Export   *core.ExportStatement
+	// Key is the prover's marshaled public key (may be empty).
+	Key []byte
+}
+
+// Encode returns the VIEW frame payload.
+func (v *View) Encode() ([]byte, error) {
+	if v.Sealed == nil || v.Sealed.MC == nil || v.Sealed.Proof == nil || v.Sealed.Seal == nil {
+		return nil, fmt.Errorf("discplane: encode view: incomplete sealed commitment")
+	}
+	mcb, err := v.Sealed.MC.SignedBytes()
+	if err != nil {
+		return nil, err
+	}
+	proofb, err := v.Sealed.Proof.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	sealb, err := v.Sealed.Seal.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	b := []byte{uint8(v.Role)}
+	b = netx.AppendBytes(b, v.Key)
+	b = netx.AppendBytes(b, mcb)
+	b = netx.AppendBytes(b, proofb)
+	b = netx.AppendBytes(b, sealb)
+	switch v.Role {
+	case RoleObserver:
+	case RoleProvider:
+		if v.Opening == nil {
+			return nil, fmt.Errorf("discplane: encode provider view: missing opening")
+		}
+		ob, err := v.Opening.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		b = netx.AppendU32(b, v.Position)
+		b = netx.AppendBytes(b, ob)
+	case RolePromisee:
+		if v.Export == nil {
+			return nil, fmt.Errorf("discplane: encode promisee view: missing export")
+		}
+		b = netx.AppendU32(b, uint32(len(v.Openings)))
+		for i := range v.Openings {
+			ob, err := v.Openings[i].MarshalBinary()
+			if err != nil {
+				return nil, err
+			}
+			b = netx.AppendBytes(b, ob)
+		}
+		if v.Winner != nil {
+			b = append(b, 1)
+			if b, err = appendAnnouncement(b, v.Winner); err != nil {
+				return nil, err
+			}
+		} else {
+			b = append(b, 0)
+		}
+		if b, err = appendExport(b, v.Export); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("discplane: encode view: invalid role %s", v.Role)
+	}
+	return b, nil
+}
+
+// DecodeView decodes an Encode payload (exact length), reconstructing the
+// role-specific material. Decoding establishes structure only; the caller
+// must still verify the view.
+func DecodeView(b []byte) (*View, error) {
+	r := &netx.PayloadReader{B: b}
+	role, err := r.U8()
+	if err != nil {
+		return nil, err
+	}
+	v := &View{Role: Role(role)}
+	if !v.Role.valid() {
+		return nil, fmt.Errorf("%w: invalid role %d", ErrWire, role)
+	}
+	key, err := r.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	if len(key) > 0 {
+		v.Key = append([]byte(nil), key...)
+	}
+	mcb, err := r.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	mc, err := core.ParseMinCommitmentBytes(mcb)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrWire, err)
+	}
+	proofb, err := r.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	proof := new(merkle.BatchProof)
+	if err := proof.UnmarshalBinary(proofb); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrWire, err)
+	}
+	sealb, err := r.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	seal := new(engine.Seal)
+	if err := seal.UnmarshalBinary(sealb); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrWire, err)
+	}
+	v.Sealed = &engine.SealedCommitment{MC: mc, Proof: proof, Seal: seal}
+	switch v.Role {
+	case RoleObserver:
+	case RoleProvider:
+		if v.Position, err = r.U32(); err != nil {
+			return nil, err
+		}
+		ob, err := r.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		op := new(commit.Opening)
+		if err := op.UnmarshalBinary(ob); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrWire, err)
+		}
+		v.Opening = op
+	case RolePromisee:
+		n, err := r.Count(4)
+		if err != nil {
+			return nil, err
+		}
+		if n > core.MaxVectorLen {
+			return nil, fmt.Errorf("%w: %d openings exceed the vector bound", ErrWire, n)
+		}
+		v.Openings = make([]commit.Opening, n)
+		for i := range v.Openings {
+			ob, err := r.Bytes()
+			if err != nil {
+				return nil, err
+			}
+			if err := v.Openings[i].UnmarshalBinary(ob); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrWire, err)
+			}
+		}
+		hasWinner, err := r.U8()
+		if err != nil {
+			return nil, err
+		}
+		if hasWinner > 1 {
+			return nil, fmt.Errorf("%w: winner flag %d", ErrWire, hasWinner)
+		}
+		if hasWinner == 1 {
+			if v.Winner, err = readAnnouncement(r); err != nil {
+				return nil, err
+			}
+		}
+		if v.Export, err = readExport(r); err != nil {
+			return nil, err
+		}
+	}
+	return v, r.Done()
+}
+
+// --- announcement / export encodings ---
+
+func appendAnnouncement(b []byte, a *core.Announcement) ([]byte, error) {
+	rb, err := a.Route.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	b = netx.AppendU64(b, a.Epoch)
+	b = netx.AppendU32(b, uint32(a.Provider))
+	b = netx.AppendU32(b, uint32(a.To))
+	b = netx.AppendBytes(b, rb)
+	return netx.AppendBytes(b, a.Sig), nil
+}
+
+func readAnnouncement(r *netx.PayloadReader) (*core.Announcement, error) {
+	var a core.Announcement
+	var err error
+	if a.Epoch, err = r.U64(); err != nil {
+		return nil, err
+	}
+	prov, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	to, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	a.Provider, a.To = aspath.ASN(prov), aspath.ASN(to)
+	rb, err := r.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	if err := a.Route.UnmarshalBinary(rb); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrWire, err)
+	}
+	sig, err := r.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	a.Sig = append([]byte(nil), sig...)
+	return &a, nil
+}
+
+func appendExport(b []byte, e *core.ExportStatement) ([]byte, error) {
+	b = netx.AppendU64(b, e.Epoch)
+	b = netx.AppendU32(b, uint32(e.Prover))
+	b = netx.AppendU32(b, uint32(e.To))
+	if e.Empty {
+		b = append(b, 1)
+		b = netx.AppendBytes(b, nil)
+	} else {
+		b = append(b, 0)
+		rb, err := e.Route.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		b = netx.AppendBytes(b, rb)
+	}
+	return netx.AppendBytes(b, e.Sig), nil
+}
+
+func readExport(r *netx.PayloadReader) (*core.ExportStatement, error) {
+	var e core.ExportStatement
+	var err error
+	if e.Epoch, err = r.U64(); err != nil {
+		return nil, err
+	}
+	prover, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	to, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	e.Prover, e.To = aspath.ASN(prover), aspath.ASN(to)
+	empty, err := r.U8()
+	if err != nil {
+		return nil, err
+	}
+	if empty > 1 {
+		return nil, fmt.Errorf("%w: export empty flag %d", ErrWire, empty)
+	}
+	e.Empty = empty == 1
+	rb, err := r.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	if e.Empty {
+		if len(rb) != 0 {
+			return nil, fmt.Errorf("%w: empty export carries a route", ErrWire)
+		}
+	} else if err := e.Route.UnmarshalBinary(rb); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrWire, err)
+	}
+	sig, err := r.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	e.Sig = append([]byte(nil), sig...)
+	return &e, nil
+}

@@ -559,6 +559,29 @@ func (e *ProverEngine) Prefixes() []prefix.Prefix {
 	return out
 }
 
+// Providers lists the ASNs that provided an input announcement for pfx
+// this epoch, ascending. It reads the live shard state and never rebuilds
+// or re-seals anything — the disclosure query plane (internal/discplane)
+// calls it on every α decision for a provider-role query.
+func (e *ProverEngine) Providers(pfx prefix.Prefix) ([]aspath.ASN, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if !e.begun {
+		return nil, fmt.Errorf("engine: BeginEpoch not called")
+	}
+	s, _, err := e.shardOf(pfx)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.provers[pfx]
+	if !ok {
+		return nil, fmt.Errorf("engine: no state for prefix %s", pfx)
+	}
+	return p.Inputs(), nil
+}
+
 // sealedProver returns the prefix's prover plus its sealed commitment
 // material; the epoch must be sealed and the prefix known.
 func (e *ProverEngine) sealedProver(pfx prefix.Prefix) (*core.Prover, *SealedCommitment, error) {

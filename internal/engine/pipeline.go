@@ -57,8 +57,9 @@ type Pipeline struct {
 	// value: error or nil). A shard seal covers every prefix in its batch,
 	// so its one signature would otherwise be re-verified per leaf — the
 	// dominant per-view cost. Memoizing is sound because the check is a
-	// pure function of the key.
-	seals sync.Map
+	// pure function of the key and the registry; ShareSealMemo lets
+	// short-lived pipelines over one registry amortize across instances.
+	seals *sync.Map
 
 	mu      sync.Mutex
 	results []Result
@@ -93,8 +94,9 @@ func NewPipeline(reg *sigs.Registry, workers int) *Pipeline {
 		panic(fmt.Sprintf("engine: pipeline workers %d", workers))
 	}
 	p := &Pipeline{
-		ver:  sigs.NewCachedVerifier(reg),
-		jobs: make(chan func(sigs.Verifier) Result, 4*workers),
+		ver:   sigs.NewCachedVerifier(reg),
+		jobs:  make(chan func(sigs.Verifier) Result, 4*workers),
+		seals: &sync.Map{},
 	}
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
@@ -115,6 +117,14 @@ func NewPipeline(reg *sigs.Registry, workers int) *Pipeline {
 // Convicted method) the pipeline consults before verifying a view. Call
 // before the first Submit; the function must be safe for concurrent use.
 func (p *Pipeline) SetBanlist(convicted func(aspath.ASN) bool) { p.ban = convicted }
+
+// ShareSealMemo replaces the pipeline's private seal-check memo with a
+// caller-owned map, so seal-signature checks amortize across many
+// short-lived pipelines (one per disclosure query, say). All sharing
+// pipelines must verify against the same registry: the memoized verdict
+// is a function of (seal bytes, signature, key set). Call before the
+// first Submit.
+func (p *Pipeline) ShareSealMemo(m *sync.Map) { p.seals = m }
 
 // banned returns the fast-fail error for a view's prover, or nil.
 func (p *Pipeline) banned(sc *SealedCommitment) error {

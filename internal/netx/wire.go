@@ -1,0 +1,111 @@
+package netx
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Shared frame-payload encoding helpers: the big-endian, length-prefixed
+// idiom every wire protocol in this repository (the audit anti-entropy
+// exchange, the disclosure query plane) builds its payloads from. One
+// implementation keeps the bounds discipline — counts sanity-checked
+// against bytes remaining, exact-length decodes — identical everywhere.
+
+// ErrMalformedPayload is wrapped by every payload decoding error.
+var ErrMalformedPayload = errors.New("netx: malformed frame payload")
+
+// AppendU32 appends v big-endian.
+func AppendU32(b []byte, v uint32) []byte {
+	var u [4]byte
+	binary.BigEndian.PutUint32(u[:], v)
+	return append(b, u[:]...)
+}
+
+// AppendU64 appends v big-endian.
+func AppendU64(b []byte, v uint64) []byte {
+	var u [8]byte
+	binary.BigEndian.PutUint64(u[:], v)
+	return append(b, u[:]...)
+}
+
+// AppendBytes appends p with a u32 length prefix.
+func AppendBytes(b, p []byte) []byte {
+	b = AppendU32(b, uint32(len(p)))
+	return append(b, p...)
+}
+
+// PayloadReader consumes a frame payload front to back. Every method
+// returns ErrMalformedPayload (possibly wrapped) when the remaining
+// bytes cannot satisfy the read; Done asserts the payload was consumed
+// exactly.
+type PayloadReader struct {
+	B []byte
+}
+
+// Take consumes the next n bytes (aliasing the payload, not copying).
+func (r *PayloadReader) Take(n int) ([]byte, error) {
+	if n < 0 || len(r.B) < n {
+		return nil, ErrMalformedPayload
+	}
+	out := r.B[:n]
+	r.B = r.B[n:]
+	return out, nil
+}
+
+// U8 consumes one byte.
+func (r *PayloadReader) U8() (uint8, error) {
+	b, err := r.Take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// U32 consumes a big-endian uint32.
+func (r *PayloadReader) U32() (uint32, error) {
+	b, err := r.Take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b), nil
+}
+
+// U64 consumes a big-endian uint64.
+func (r *PayloadReader) U64() (uint64, error) {
+	b, err := r.Take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+// Bytes consumes a u32-length-prefixed byte string (see AppendBytes).
+func (r *PayloadReader) Bytes() ([]byte, error) {
+	n, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	return r.Take(int(n))
+}
+
+// Count reads a u32 element count and sanity-bounds it against the bytes
+// remaining, given a minimum encoded size per element, so a corrupt count
+// cannot force a huge allocation.
+func (r *PayloadReader) Count(minPer int) (int, error) {
+	n, err := r.U32()
+	if err != nil {
+		return 0, err
+	}
+	if minPer > 0 && int(n) > len(r.B)/minPer {
+		return 0, ErrMalformedPayload
+	}
+	return int(n), nil
+}
+
+// Done reports an error unless the payload was consumed exactly.
+func (r *PayloadReader) Done() error {
+	if len(r.B) != 0 {
+		return ErrMalformedPayload
+	}
+	return nil
+}

@@ -85,3 +85,29 @@ func TestNetworkDuplicateASN(t *testing.T) {
 		t.Fatalf("members = %d, want 1", got)
 	}
 }
+
+// TestAddNodeKeygenErrorTaxonomy pins that key-generation failures
+// surface through the documented pvr.Error taxonomy instead of leaking
+// raw internal sigs errors: an impossible RSA modulus size must match
+// ErrConfig and expose its Kind via errors.As.
+func TestAddNodeKeygenErrorTaxonomy(t *testing.T) {
+	network := pvr.NewNetwork()
+	_, err := network.AddNodeRSA(64500, -1)
+	if err == nil {
+		t.Fatal("AddNodeRSA(-1 bits) succeeded")
+	}
+	if !errors.Is(err, pvr.ErrConfig) {
+		t.Fatalf("keygen failure = %v, want ErrConfig", err)
+	}
+	var pe *pvr.Error
+	if !errors.As(err, &pe) || pe.Kind != pvr.KindConfig || pe.Op != "add-node" {
+		t.Fatalf("keygen failure does not expose Kind/Op via errors.As: %v", err)
+	}
+	// The failed add must not leave a half-registered node behind.
+	if _, ok := network.Node(64500); ok {
+		t.Fatal("failed AddNodeRSA left a node registered")
+	}
+	if _, err := network.AddNode(64500); err != nil {
+		t.Fatalf("retry with a valid scheme after failed keygen: %v", err)
+	}
+}

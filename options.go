@@ -43,6 +43,9 @@ type participantConfig struct {
 	gossipInterval time.Duration
 	ledgerPath     string
 
+	discloseListen string
+	promisees      []ASN
+
 	logf func(format string, args ...any)
 }
 
@@ -244,6 +247,33 @@ func WithGossipInterval(d time.Duration) Option {
 			return errConfigf("option", "GossipInterval must be positive, got %s", d)
 		}
 		c.gossipInterval = d
+		return nil
+	}
+}
+
+// WithDiscloseListen serves the disclosure query plane on addr: remote
+// providers, promisees, and auditors fetch on-demand (prefix, epoch)
+// views with QueryDisclosure / RequestDisclosure, each answered with
+// exactly the material the access policy α grants the requesting ASN —
+// and a typed denial (ErrAccessDenied on the client) otherwise.
+func WithDiscloseListen(addr string) Option {
+	return func(c *participantConfig) error { c.discloseListen = addr; return nil }
+}
+
+// WithPromisees declares the promisee half of α: the ASNs this
+// participant's routing promise is made to, and therefore the only
+// requesters the disclosure query plane grants a full promisee view
+// (opened vector, winning input, export statement). Providers are
+// derived from the engine's accepted announcements; everyone else is a
+// third party and gets only the sealed commitment.
+func WithPromisees(asns ...ASN) Option {
+	return func(c *participantConfig) error {
+		for _, a := range asns {
+			if a == 0 {
+				return errConfigf("option", "promisee ASN must be nonzero")
+			}
+		}
+		c.promisees = append(c.promisees, asns...)
 		return nil
 	}
 }

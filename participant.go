@@ -13,6 +13,7 @@ import (
 	"pvr/internal/auditnet"
 	"pvr/internal/bgp"
 	"pvr/internal/core"
+	"pvr/internal/discplane"
 	"pvr/internal/engine"
 	"pvr/internal/merkle"
 	"pvr/internal/prefix"
@@ -57,8 +58,10 @@ type Participant struct {
 	auditor *Auditor
 	ledger  *Ledger
 
-	bgpLis    Listener
-	gossipLis Listener
+	bgpLis     Listener
+	gossipLis  Listener
+	discLis    Listener
+	discServer *discplane.Server
 
 	// lifeCtx spans Open to Close: sessions run under it via
 	// bgp.Session.RunContext and gossip responders via
@@ -74,6 +77,11 @@ type Participant struct {
 	verified       atomic.Uint64
 	rejected       atomic.Uint64
 	sessionsOpened atomic.Uint64
+	queriesSent    atomic.Uint64
+
+	// discSealMemo amortizes fetched-seal signature checks across this
+	// participant's disclosure queries (Pipeline.ShareSealMemo).
+	discSealMemo sync.Map
 
 	mu      sync.Mutex
 	closers []func()
@@ -362,6 +370,38 @@ func (p *Participant) bind() error {
 		p.addCloser(func() { _ = lis.Close() })
 		p.cfg.logf("pvr: %s audit gossip listening on %s", p.asn, lis.Addr())
 	}
+	if p.cfg.discloseListen != "" {
+		promisees := make(map[ASN]bool, len(p.cfg.promisees))
+		for _, a := range p.cfg.promisees {
+			promisees[a] = true
+		}
+		srv, err := discplane.NewServer(discplane.Config{
+			ASN:        p.asn,
+			Engine:     p.eng,
+			Registry:   p.reg,
+			IsPromisee: func(a aspath.ASN) bool { return promisees[a] },
+			Key:        p.keyBytes,
+			Logf:       p.cfg.logf,
+		})
+		if err != nil {
+			return wrapErr("open", err)
+		}
+		p.discServer = srv
+		lis, err := p.transport.Listen(p.cfg.discloseListen, func(c Conn) {
+			defer c.Close()
+			for {
+				if err := srv.RespondContext(p.lifeCtx, c); err != nil {
+					return // peer hung up, protocol error, or participant closing
+				}
+			}
+		})
+		if err != nil {
+			return wrapErr("open", err)
+		}
+		p.discLis = lis
+		p.addCloser(func() { _ = lis.Close() })
+		p.cfg.logf("pvr: %s disclosure query plane listening on %s", p.asn, lis.Addr())
+	}
 	return nil
 }
 
@@ -591,6 +631,19 @@ func (p *Participant) verifySealedRoute(peer aspath.ASN, r route.Route, u bgp.Up
 		fp := pinned.Fingerprint()
 		p.cfg.logf("pvr: %s pinned %s's key (trust-on-first-use, fp %x…)", p.asn, peer, fp[:6])
 	}
+	// Feed the session-carried seal into the audit pool: what a peer
+	// shows us over BGP must be the same statement it gossips, and the
+	// same statement it serves on the disclosure query plane. A conflict
+	// is transferable equivocation evidence — judged, convicted, and
+	// ledgered by ObserveStatement — and the route is rejected with it.
+	conflict, aerr := p.auditor.ObserveStatement(seal.Epoch, seal.Statement())
+	if aerr != nil {
+		return errKind(KindVerification, "verify", aerr)
+	}
+	if conflict != nil {
+		return errKind(KindConvicted, "verify",
+			fmt.Errorf("session seal equivocates with gossip on %s: %s convicted", conflict.Topic, peer))
+	}
 	return nil
 }
 
@@ -819,25 +872,37 @@ type ParticipantStats struct {
 	// AuditRecords is the statement-store size; Convictions the
 	// convicted-AS set size.
 	AuditRecords, Convictions int
+	// DisclosuresServed and DisclosuresDenied count what the disclosure
+	// query plane answered (zero when not serving); DisclosureQueries
+	// counts the queries this participant issued as a client.
+	DisclosuresServed, DisclosuresDenied uint64
+	DisclosureQueries                    uint64
 	// Plane is the streaming update plane's counter snapshot.
 	Plane UpdatePlaneStats
 }
 
 // Stats snapshots the participant.
 func (p *Participant) Stats() ParticipantStats {
+	var served, denied uint64
+	if p.discServer != nil {
+		served, denied = p.discServer.Served(), p.discServer.Denied()
+	}
 	return ParticipantStats{
-		ASN:            p.asn,
-		Epoch:          p.eng.Epoch(),
-		Window:         p.eng.Window(),
-		Prefixes:       p.eng.PrefixCount(),
-		Shards:         p.eng.ShardCount(),
-		Sessions:       p.sessions.len(),
-		SessionsOpened: p.sessionsOpened.Load(),
-		RoutesVerified: p.verified.Load(),
-		RoutesRejected: p.rejected.Load(),
-		AuditRecords:   p.auditor.Store().Records(),
-		Convictions:    len(p.auditor.Convictions()),
-		Plane:          p.plane.Stats(),
+		DisclosuresServed: served,
+		DisclosuresDenied: denied,
+		DisclosureQueries: p.queriesSent.Load(),
+		ASN:               p.asn,
+		Epoch:             p.eng.Epoch(),
+		Window:            p.eng.Window(),
+		Prefixes:          p.eng.PrefixCount(),
+		Shards:            p.eng.ShardCount(),
+		Sessions:          p.sessions.len(),
+		SessionsOpened:    p.sessionsOpened.Load(),
+		RoutesVerified:    p.verified.Load(),
+		RoutesRejected:    p.rejected.Load(),
+		AuditRecords:      p.auditor.Store().Records(),
+		Convictions:       len(p.auditor.Convictions()),
+		Plane:             p.plane.Stats(),
 	}
 }
 

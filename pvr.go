@@ -19,6 +19,10 @@
 //   - The sharded multi-prefix Engine with Merkle-batched shard seals and
 //     the streaming UpdatePlane that re-seals only dirty shards under
 //     live BGP churn (§3.8 batching).
+//   - The disclosure query plane: on-demand, α-gated views of any sealed
+//     (prefix, epoch) over the wire — providers, the promisee, and third
+//     parties each granted exactly their entitlement, denials typed as
+//     ErrAccessDenied (Participant.QueryDisclosure, WithDiscloseListen).
 //   - Simulation drivers (RunFig1, RunConvergence, RunEngineEpoch,
 //     RunGossip, RunChurn) used by the examples and the experiment
 //     harness.
@@ -337,6 +341,26 @@ var (
 	RunChurnContext = netsim.RunChurnContext
 )
 
+// Disclosure-query simulation driver (experiment E13): one prover serving
+// its sealed multi-prefix table over the DISCLOSE/VIEW/DENY query plane,
+// with concurrent clients issuing a deterministic mix of entitled and
+// unentitled queries — measuring query latency, throughput, and α-denial
+// correctness at scale.
+type (
+	// QueryRunConfig parameterizes RunQuery.
+	QueryRunConfig = netsim.QueryConfig
+	// QueryRunResult reports throughput, latency quantiles, and the
+	// α-correctness counters.
+	QueryRunResult = netsim.QueryResult
+)
+
+// RunQuery executes one disclosure-query run; RunQueryContext is the
+// context-bounded variant (cancellation observed between queries).
+var (
+	RunQuery        = netsim.RunQuery
+	RunQueryContext = netsim.RunQueryContext
+)
+
 // Network is the set of participating ASes and their public keys: the
 // out-of-band PKI the paper assumes. Safe for concurrent use; reads
 // (Node, Members) take only the read side of the lock.
@@ -374,7 +398,10 @@ func (n *Network) addNode(asn ASN, gen func() (sigs.Signer, error)) (*Node, erro
 	}
 	s, err := gen()
 	if err != nil {
-		return nil, err
+		// Key-generation failures (an invalid RSA size, a broken entropy
+		// source) surface through the documented error taxonomy instead of
+		// leaking raw internal sigs errors.
+		return nil, errKind(KindConfig, "add-node", err)
 	}
 	node := &Node{asn: asn, signer: s, net: n}
 	n.nodes[asn] = node

@@ -175,10 +175,14 @@ func (t *MemTransport) Dial(ctx context.Context, addr string) (Conn, error) {
 	server := &memConn{Conn: rawServer, l: l}
 	l.mu.Lock()
 	if l.closed {
+		// The listener was closed between the address lookup and here (a
+		// Close racing a Dial, e.g. a peer shutting down mid-Open). Fail
+		// like a refused TCP connection — a transport error, never a hang
+		// waiting on a handler that will not run.
 		l.mu.Unlock()
 		_ = rawClient.Close()
 		_ = rawServer.Close()
-		return nil, errKind(KindClosed, "dial", fmt.Errorf("listener %q closed", addr))
+		return nil, errKind(KindTransport, "dial", fmt.Errorf("listener %q closed", addr))
 	}
 	if l.conns == nil {
 		l.conns = make(map[*memConn]struct{})

@@ -2,6 +2,7 @@ package pvr
 
 import (
 	"context"
+	"errors"
 	"testing"
 	"time"
 )
@@ -53,5 +54,69 @@ func TestMemTransportDialAfterListenerClose(t *testing.T) {
 	}
 	if _, err := mt.Dial(context.Background(), "x"); err == nil {
 		t.Fatal("dial to a closed listener succeeded")
+	}
+}
+
+// TestMemTransportDialClosedMidOpen pins the race where a dialer resolves
+// the listener just before its Close finishes: the dial must return an
+// ErrTransport-kinded error — like a refused TCP connection — and must
+// never hang waiting on a handler that will not run.
+func TestMemTransportDialClosedMidOpen(t *testing.T) {
+	mt := NewMemTransport()
+	lis, err := mt.Listen("x", func(c Conn) { _ = c.Close() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml := lis.(*memListener)
+	if err := lis.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-insert the closed listener: exactly the state a racing dialer
+	// sees when it grabbed the map entry before Close removed it.
+	mt.mu.Lock()
+	mt.listeners["x"] = ml
+	mt.mu.Unlock()
+	done := make(chan error, 1)
+	go func() {
+		_, err := mt.Dial(context.Background(), "x")
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrTransport) {
+			t.Fatalf("dial to a listener closed mid-open: %v, want ErrTransport", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("dial hung on a listener closed mid-open")
+	}
+
+	// The same property under a genuine race: concurrent dials against a
+	// closing listener all complete with a typed outcome, never a hang.
+	for i := 0; i < 50; i++ {
+		lis, err := mt.Listen("race", func(c Conn) { _ = c.Close() })
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs := make(chan error, 4)
+		for d := 0; d < 4; d++ {
+			go func() {
+				conn, err := mt.Dial(context.Background(), "race")
+				if err == nil {
+					err = conn.Close()
+				}
+				errs <- err
+			}()
+		}
+		_ = lis.Close()
+		for d := 0; d < 4; d++ {
+			select {
+			case err := <-errs:
+				if err != nil && !errors.Is(err, ErrTransport) && !errors.Is(err, ErrNotFound) {
+					t.Fatalf("racing dial returned untyped error: %v", err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("racing dial hung against a closing listener")
+			}
+		}
 	}
 }

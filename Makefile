@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-smoke api apicheck examples clean
+.PHONY: all build test race vet fmt bench bench-smoke benchgate api apicheck examples clean
 
 all: build
 
@@ -46,6 +46,13 @@ bench-smoke:
 	grep -q '"speedup"' BENCH_stream.json
 	grep -q '"qps"' BENCH_query.json
 	grep -q '"denied"' BENCH_query.json
+
+# benchgate re-runs the engine epoch at a small size and fails when its
+# allocs/op regresses more than 15% against the checked-in
+# BENCH_engine.json baseline; run `make bench` to refresh the baseline
+# when an increase is intentional.
+benchgate:
+	./scripts/benchgate.sh
 
 # api regenerates the public-API snapshot that apicheck (and CI) diff
 # against; run it whenever a PR intentionally changes the pvr surface.

@@ -428,12 +428,13 @@ func BenchmarkEngineThroughput(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			eng, err := engine.New(engine.Config{
 				ASN: prover, Signer: e.signers[prover], Registry: e.reg, MaxLen: maxLen,
+				Promisee: promisee,
 			})
 			if err != nil {
 				b.Fatal(err)
 			}
 			eng.BeginEpoch(epoch)
-			if err := eng.AcceptAll(anns, writers); err != nil {
+			if _, err := eng.AcceptAll(anns, writers); err != nil {
 				b.Fatal(err)
 			}
 			if _, err := eng.SealEpoch(); err != nil {

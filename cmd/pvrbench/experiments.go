@@ -449,6 +449,12 @@ type engineRow struct {
 	Speedup    float64 `json:"speedup"`
 	SerialSigs int     `json:"serial_commit_sigs"`
 	Seals      int     `json:"engine_seals"`
+	// AllocsPerOp is heap allocations per prefix across the engine's full
+	// epoch (accept + seal + verify) — the benchgate regression metric.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// CPUs records the machine the row was measured on: speedups on a
+	// 1-CPU host come from batching alone, not parallelism.
+	CPUs int `json:"cpus"`
 }
 
 // jsonOut, when set by -json, receives the selected experiment's rows as a
@@ -488,8 +494,8 @@ func runEngine(seed int64) error {
 		providers[i] = aspath.ASN(101 + i)
 	}
 	rng := mrand.New(mrand.NewSource(seed))
-	fmt.Printf("%10s %12s %12s %10s %14s %10s\n",
-		"prefixes", "serial", "engine", "speedup", "commit sigs", "seals")
+	fmt.Printf("%10s %12s %12s %10s %14s %10s %11s %5s\n",
+		"prefixes", "serial", "engine", "speedup", "commit sigs", "seals", "allocs/op", "cpus")
 
 	sweep := []int{100, 500, 1000}
 	if benchPrefixes > 0 {
@@ -546,17 +552,21 @@ func runEngine(seed int64) error {
 		}
 		serialD := time.Since(t0)
 
-		// Engine: concurrent ingest, batched shard seals, pipelined verify.
+		// Engine: batch-verified ingest (one receipt-batch signature),
+		// sealed-export commitments, batched shard seals, pipelined verify.
+		var msBefore runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
 		t0 = time.Now()
 		eng, err := engine.New(engine.Config{
 			ASN: prover, Signer: pk.signers[prover], Registry: pk.reg, MaxLen: maxLen,
+			Promisee: promisee,
 		})
 		if err != nil {
 			return err
 		}
 		eng.BeginEpoch(epoch)
 		writers := runtime.GOMAXPROCS(0)
-		if err := eng.AcceptAll(anns, writers); err != nil {
+		if _, err := eng.AcceptAll(anns, writers); err != nil {
 			return err
 		}
 		seals, err := eng.SealEpoch()
@@ -584,15 +594,19 @@ func runEngine(seed int64) error {
 			return err
 		}
 		engineD := time.Since(t0)
+		var msAfter runtime.MemStats
+		runtime.ReadMemStats(&msAfter)
+		allocsPerOp := int64(msAfter.Mallocs-msBefore.Mallocs) / int64(nPfx)
 
 		speedup := float64(serialD) / float64(engineD)
-		fmt.Printf("%10d %12s %12s %9.1fx %14d %10d\n",
+		fmt.Printf("%10d %12s %12s %9.1fx %14d %10d %11d %5d\n",
 			nPfx, serialD.Round(time.Millisecond), engineD.Round(time.Millisecond),
-			speedup, serialSigs, len(seals))
+			speedup, serialSigs, len(seals), allocsPerOp, runtime.NumCPU())
 		rows = append(rows, engineRow{
 			Prefixes: nPfx, Providers: k,
 			SerialMs: float64(serialD) / 1e6, EngineMs: float64(engineD) / 1e6,
 			Speedup: speedup, SerialSigs: serialSigs, Seals: len(seals),
+			AllocsPerOp: allocsPerOp, CPUs: runtime.NumCPU(),
 		})
 	}
 

@@ -168,7 +168,7 @@ func (p *Participant) QueryDisclosure(ctx context.Context, peer string, q Query)
 	pl := engine.NewPipeline(reg, 1)
 	defer pl.Close()
 	if reg == p.reg {
-		pl.ShareSealMemo(&p.discSealMemo)
+		pl.ShareSealMemo(p.discSealMemo)
 	}
 	pl.SetBanlist(p.auditor.Convicted)
 	switch role {
@@ -178,6 +178,9 @@ func (p *Participant) QueryDisclosure(ctx context.Context, peer string, q Query)
 		d.Provider = pv
 	case RolePromisee:
 		mv := &engine.PromiseeView{Sealed: view.Sealed, Openings: view.Openings, Winner: view.Winner, Export: *view.Export}
+		if view.ExportOpening != nil {
+			mv.ExportOpening = *view.ExportOpening
+		}
 		pl.SubmitPromisee(mv, p.asn)
 		d.Promisee = mv
 	default:

@@ -112,11 +112,17 @@ type xfer struct {
 }
 
 func (x *xfer) send(f netx.Frame) error {
-	if err := x.conn.Send(f); err != nil {
+	size := len(f.Payload)
+	err := x.conn.Send(f)
+	// Every exchange frame is freshly encoded into a pooled buffer and
+	// never referenced after the send (FrameConn does not retain it), so
+	// recycle unconditionally.
+	netx.PutBuf(f.Payload)
+	if err != nil {
 		return err
 	}
 	x.stats.Frames++
-	x.stats.BytesSent += int64(5 + len(f.Payload))
+	x.stats.BytesSent += int64(5 + size)
 	return nil
 }
 

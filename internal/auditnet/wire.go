@@ -247,8 +247,12 @@ type summaryMsg struct {
 	NConfl    uint32
 }
 
+// The encode() methods below build their payloads in pooled buffers
+// (netx.GetBuf): an exchange frame is sent exactly once and never
+// referenced again, so xfer.send recycles it after the write.
+
 func (m *summaryMsg) encode() []byte {
-	b := []byte{digestSummary}
+	b := append(netx.GetBuf(96), digestSummary)
 	b = append(b, m.Store[:]...)
 	b = append(b, m.Conflicts[:]...)
 	b = netx.AppendU32(b, m.Groups)
@@ -290,7 +294,7 @@ type originsMsg struct {
 }
 
 func (m *originsMsg) encode() []byte {
-	b := []byte{digestOrigins}
+	b := append(netx.GetBuf(9+40*len(m.Origins)+32*len(m.ConflictKeys)), digestOrigins)
 	b = netx.AppendU32(b, uint32(len(m.Origins)))
 	for _, o := range m.Origins {
 		b = netx.AppendU32(b, uint32(o.Origin))
@@ -352,7 +356,7 @@ type groupsMsg struct {
 }
 
 func (m *groupsMsg) encode() []byte {
-	b := []byte{digestGroups}
+	b := append(netx.GetBuf(5+48*len(m.Groups)), digestGroups)
 	b = netx.AppendU32(b, uint32(len(m.Groups)))
 	for _, g := range m.Groups {
 		b = netx.AppendU32(b, uint32(g.Key.Origin))
@@ -405,7 +409,11 @@ type wantMsg struct {
 }
 
 func (m *wantMsg) encode() []byte {
-	b := netx.AppendU32(nil, uint32(len(m.Groups)))
+	n := 8 + 32*len(m.Conflicts)
+	for _, g := range m.Groups {
+		n += 16 + 32*len(g.Have)
+	}
+	b := netx.AppendU32(netx.GetBuf(n), uint32(len(m.Groups)))
 	for _, g := range m.Groups {
 		b = netx.AppendU32(b, uint32(g.Key.Origin))
 		b = netx.AppendU64(b, g.Key.Epoch)
@@ -467,7 +475,12 @@ type stmtsMsg struct {
 }
 
 func (m *stmtsMsg) encode() []byte {
-	b := netx.AppendU32(nil, uint32(len(m.Records)))
+	n := 4
+	for i := range m.Records {
+		s := &m.Records[i].S
+		n += 24 + len(s.Topic) + len(s.Payload) + len(s.Sig)
+	}
+	b := netx.AppendU32(netx.GetBuf(n), uint32(len(m.Records)))
 	for i := range m.Records {
 		b = AppendRecord(b, &m.Records[i])
 	}
@@ -494,7 +507,7 @@ type conflMsg struct {
 }
 
 func (m *conflMsg) encode() []byte {
-	b := netx.AppendU32(nil, uint32(len(m.Conflicts)))
+	b := netx.AppendU32(netx.GetBuf(256), uint32(len(m.Conflicts)))
 	for _, c := range m.Conflicts {
 		b = netx.AppendBytes(b, EncodeConflict(c))
 	}

@@ -274,11 +274,14 @@ func (s *Session) SendUpdate(u Update) error {
 		return ErrSessionClosed
 	default:
 	}
-	body, err := u.MarshalBinary()
+	// Encode into a pooled buffer; SendPooled recycles it after the write
+	// (FrameConn sends never retain the payload).
+	body, err := u.AppendBinary(netx.GetBuf(256))
 	if err != nil {
+		netx.PutBuf(body)
 		return err
 	}
-	if err := s.conn.Send(netx.Frame{Type: uint8(MsgUpdate), Payload: body}); err != nil {
+	if err := netx.SendPooled(s.conn, uint8(MsgUpdate), body); err != nil {
 		// Close may have raced the write: report the session closure, not
 		// the underlying "use of closed connection".
 		select {
@@ -293,8 +296,10 @@ func (s *Session) SendUpdate(u Update) error {
 
 // notify best-effort sends a NOTIFICATION before teardown.
 func (s *Session) notify(n Notification) {
-	if body, err := n.MarshalBinary(); err == nil {
-		_ = s.conn.Send(netx.Frame{Type: uint8(MsgNotification), Payload: body})
+	if body, err := n.AppendBinary(netx.GetBuf(64)); err == nil {
+		_ = netx.SendPooled(s.conn, uint8(MsgNotification), body)
+	} else {
+		netx.PutBuf(body)
 	}
 }
 

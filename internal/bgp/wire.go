@@ -10,7 +10,6 @@
 package bgp
 
 import (
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -89,33 +88,36 @@ type Update struct {
 
 // MarshalBinary encodes the UPDATE body.
 func (u Update) MarshalBinary() ([]byte, error) {
-	var buf bytes.Buffer
-	var n2 [2]byte
-	binary.BigEndian.PutUint16(n2[:], uint16(len(u.Withdrawn)))
-	buf.Write(n2[:])
+	return u.AppendBinary(nil)
+}
+
+// AppendBinary appends the UPDATE body encoding to b and returns the
+// extended slice, so hot senders can encode into a pooled buffer
+// (netx.GetBuf) instead of allocating per message. On error the partial
+// append is returned alongside it so the caller can still recycle b.
+func (u Update) AppendBinary(b []byte) ([]byte, error) {
+	b = appendU16(b, uint16(len(u.Withdrawn)))
 	for _, p := range u.Withdrawn {
 		pb, err := p.MarshalBinary()
 		if err != nil {
-			return nil, err
+			return b, err
 		}
-		writeU16Bytes(&buf, pb)
+		b = appendU16Bytes(b, pb)
 	}
-	binary.BigEndian.PutUint16(n2[:], uint16(len(u.Announced)))
-	buf.Write(n2[:])
+	b = appendU16(b, uint16(len(u.Announced)))
 	for _, r := range u.Announced {
 		rb, err := r.MarshalBinary()
 		if err != nil {
-			return nil, err
+			return b, err
 		}
-		writeU16Bytes(&buf, rb)
+		b = appendU16Bytes(b, rb)
 	}
-	binary.BigEndian.PutUint16(n2[:], uint16(len(u.Attachments)))
-	buf.Write(n2[:])
+	b = appendU16(b, uint16(len(u.Attachments)))
 	for _, k := range sortedKeys(u.Attachments) {
-		writeU16Bytes(&buf, []byte(k))
-		writeU32Bytes(&buf, u.Attachments[k])
+		b = appendU16Bytes(b, []byte(k))
+		b = appendU32Bytes(b, u.Attachments[k])
 	}
-	return buf.Bytes(), nil
+	return b, nil
 }
 
 // UnmarshalBinary decodes the UPDATE body.
@@ -196,7 +198,13 @@ const (
 
 // MarshalBinary encodes the NOTIFICATION body.
 func (n Notification) MarshalBinary() ([]byte, error) {
-	return append([]byte{n.Code, n.Subcode}, n.Data...), nil
+	return n.AppendBinary(nil)
+}
+
+// AppendBinary appends the NOTIFICATION body encoding to b.
+func (n Notification) AppendBinary(b []byte) ([]byte, error) {
+	b = append(b, n.Code, n.Subcode)
+	return append(b, n.Data...), nil
 }
 
 // UnmarshalBinary decodes the NOTIFICATION body.
@@ -211,18 +219,18 @@ func (n *Notification) UnmarshalBinary(b []byte) error {
 
 // --- small wire helpers ---
 
-func writeU16Bytes(buf *bytes.Buffer, b []byte) {
-	var l [2]byte
-	binary.BigEndian.PutUint16(l[:], uint16(len(b)))
-	buf.Write(l[:])
-	buf.Write(b)
+func appendU16(b []byte, v uint16) []byte {
+	return append(b, byte(v>>8), byte(v))
 }
 
-func writeU32Bytes(buf *bytes.Buffer, b []byte) {
-	var l [4]byte
-	binary.BigEndian.PutUint32(l[:], uint32(len(b)))
-	buf.Write(l[:])
-	buf.Write(b)
+func appendU16Bytes(b, p []byte) []byte {
+	b = appendU16(b, uint16(len(p)))
+	return append(b, p...)
+}
+
+func appendU32Bytes(b, p []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(len(p)))
+	return append(b, p...)
 }
 
 func sortedKeys(m map[string][]byte) []string {

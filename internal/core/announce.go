@@ -44,6 +44,26 @@ var (
 	ErrWrongEpoch      = errors.New("core: epoch mismatch")
 )
 
+// SigChecker abstracts one signature check so verification logic can run
+// either immediately (against a sigs.Verifier) or deferred into a batch
+// (a sigs.Collector feeding a sigs.BatchVerifier). A deferred checker
+// returns nil for checks it has merely recorded; cryptographic verdicts
+// arrive when the owning batch is flushed, and callers must treat any
+// verdict they derived before the flush as provisional until then.
+type SigChecker interface {
+	Check(signer aspath.ASN, msg, sig []byte) error
+}
+
+type immediateChecker struct{ ver sigs.Verifier }
+
+func (c immediateChecker) Check(asn aspath.ASN, msg, sig []byte) error {
+	return c.ver.Verify(asn, msg, sig)
+}
+
+// ImmediateChecker adapts a Verifier into a SigChecker that verifies
+// inline — the non-batched end of the deferred-verification seam.
+func ImmediateChecker(ver sigs.Verifier) SigChecker { return immediateChecker{ver} }
+
 // Violation is a detected promise violation. It satisfies error; the
 // evidence package packages the carried material for a third party.
 type Violation struct {
@@ -111,21 +131,42 @@ func NewAnnouncement(signer sigs.Signer, provider, to aspath.ASN, epoch uint64, 
 	return Announcement{Epoch: epoch, Provider: provider, To: to, Route: r, Sig: sig}, nil
 }
 
-// Verify checks the announcement's signature and structural sanity: the
-// route's first AS must be the provider itself (it advertised its own
-// path).
-func (a *Announcement) Verify(reg sigs.Verifier) error {
+// SignedBytes returns the canonical bytes the provider signs — what a
+// batch verifier enqueues alongside a.Provider and a.Sig.
+func (a *Announcement) SignedBytes() ([]byte, error) {
+	return announcementBytes(a.Epoch, a.Provider, a.To, a.Route)
+}
+
+// CheckContent runs the structural half of Verify: the route must be
+// valid and start at the provider itself (it advertised its own path).
+// It performs no cryptography.
+func (a *Announcement) CheckContent() error {
 	if !a.Route.Valid() {
 		return fmt.Errorf("%w: invalid route", ErrBadAnnouncement)
 	}
 	if f, ok := a.Route.Path.First(); !ok || f != a.Provider {
 		return fmt.Errorf("%w: path %s does not start at provider %s", ErrBadAnnouncement, a.Route.Path, a.Provider)
 	}
-	msg, err := announcementBytes(a.Epoch, a.Provider, a.To, a.Route)
+	return nil
+}
+
+// Verify checks the announcement's signature and structural sanity.
+func (a *Announcement) Verify(reg sigs.Verifier) error {
+	return a.VerifyDeferred(ImmediateChecker(reg))
+}
+
+// VerifyDeferred is Verify with the signature check routed through ck,
+// so a pipeline can run content checks now and settle all signatures in
+// one batched pass.
+func (a *Announcement) VerifyDeferred(ck SigChecker) error {
+	if err := a.CheckContent(); err != nil {
+		return err
+	}
+	msg, err := a.SignedBytes()
 	if err != nil {
 		return err
 	}
-	if err := reg.Verify(a.Provider, msg, a.Sig); err != nil {
+	if err := ck.Check(a.Provider, msg, a.Sig); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadAnnouncement, err)
 	}
 	return nil
@@ -245,13 +286,25 @@ func NewExportStatement(signer sigs.Signer, prover, to aspath.ASN, epoch uint64,
 	return ExportStatement{Epoch: epoch, Prover: prover, To: to, Route: r, Empty: empty, Sig: sig}, nil
 }
 
+// SignedBytes returns the canonical bytes the prover signs — also the
+// value bound into a sealed shard leaf when the engine commits to the
+// export instead of signing it per prefix.
+func (e *ExportStatement) SignedBytes() ([]byte, error) {
+	return exportBytes(e.Epoch, e.Prover, e.To, e.Route, e.Empty)
+}
+
 // Verify checks the statement's signature.
 func (e *ExportStatement) Verify(reg sigs.Verifier) error {
-	msg, err := exportBytes(e.Epoch, e.Prover, e.To, e.Route, e.Empty)
+	return e.VerifyDeferred(ImmediateChecker(reg))
+}
+
+// VerifyDeferred is Verify with the signature check routed through ck.
+func (e *ExportStatement) VerifyDeferred(ck SigChecker) error {
+	msg, err := e.SignedBytes()
 	if err != nil {
 		return err
 	}
-	if err := reg.Verify(e.Prover, msg, e.Sig); err != nil {
+	if err := ck.Check(e.Prover, msg, e.Sig); err != nil {
 		return fmt.Errorf("%w: export statement: %v", ErrBadCommitment, err)
 	}
 	return nil

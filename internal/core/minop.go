@@ -9,7 +9,6 @@ import (
 	"pvr/internal/aspath"
 	"pvr/internal/commit"
 	"pvr/internal/prefix"
-	"pvr/internal/route"
 	"pvr/internal/sigs"
 )
 
@@ -197,23 +196,48 @@ func (p *Prover) BeginEpoch(epoch uint64, pfx prefix.Prefix) {
 // signed receipt. Announcements for other prefixes, epochs, or recipients
 // are rejected.
 func (p *Prover) AcceptAnnouncement(a Announcement) (Receipt, error) {
-	if a.Epoch != p.epoch {
-		return Receipt{}, fmt.Errorf("%w: announcement epoch %d, current %d", ErrWrongEpoch, a.Epoch, p.epoch)
-	}
-	if a.To != p.asn {
-		return Receipt{}, fmt.Errorf("%w: addressed to %s", ErrBadAnnouncement, a.To)
-	}
-	if a.Route.Prefix != p.pfx {
-		return Receipt{}, fmt.Errorf("%w: prefix %s, epoch covers %s", ErrBadAnnouncement, a.Route.Prefix, p.pfx)
-	}
-	if a.Route.PathLen() > p.maxLen {
-		return Receipt{}, fmt.Errorf("%w: path length %d exceeds K=%d", ErrBadAnnouncement, a.Route.PathLen(), p.maxLen)
+	if err := p.checkAnnouncement(&a); err != nil {
+		return Receipt{}, err
 	}
 	if err := a.Verify(p.reg); err != nil {
 		return Receipt{}, err
 	}
 	p.inputs[a.Provider] = a
 	return NewReceipt(p.signer, p.asn, &a)
+}
+
+// AcceptPreverified records an input route whose signature the caller
+// already verified — the engine batch-verifies a whole epoch's
+// announcements in one pass and then ingests them through here, so the
+// per-announcement cost is content checks only. No receipt is issued;
+// bulk callers acknowledge with one ReceiptBatch instead.
+func (p *Prover) AcceptPreverified(a Announcement) error {
+	if err := p.checkAnnouncement(&a); err != nil {
+		return err
+	}
+	if err := a.CheckContent(); err != nil {
+		return err
+	}
+	p.inputs[a.Provider] = a
+	return nil
+}
+
+// checkAnnouncement rejects announcements for other prefixes, epochs, or
+// recipients, and routes longer than the committed vector.
+func (p *Prover) checkAnnouncement(a *Announcement) error {
+	if a.Epoch != p.epoch {
+		return fmt.Errorf("%w: announcement epoch %d, current %d", ErrWrongEpoch, a.Epoch, p.epoch)
+	}
+	if a.To != p.asn {
+		return fmt.Errorf("%w: addressed to %s", ErrBadAnnouncement, a.To)
+	}
+	if a.Route.Prefix != p.pfx {
+		return fmt.Errorf("%w: prefix %s, epoch covers %s", ErrBadAnnouncement, a.Route.Prefix, p.pfx)
+	}
+	if a.Route.PathLen() > p.maxLen {
+		return fmt.Errorf("%w: path length %d exceeds K=%d", ErrBadAnnouncement, a.Route.PathLen(), p.maxLen)
+	}
+	return nil
 }
 
 // Inputs returns the accepted providers in ascending order.
@@ -305,15 +329,34 @@ func (p *Prover) Winner() (Announcement, bool) {
 // Export produces the signed export statement for the promisee: the winning
 // route with A prepended, or an explicit "nothing" statement.
 func (p *Prover) Export(to aspath.ASN) (ExportStatement, error) {
+	e, err := p.ExportUnsigned(to)
+	if err != nil {
+		return ExportStatement{}, err
+	}
+	msg, err := e.SignedBytes()
+	if err != nil {
+		return ExportStatement{}, err
+	}
+	if e.Sig, err = p.signer.Sign(msg); err != nil {
+		return ExportStatement{}, err
+	}
+	return e, nil
+}
+
+// ExportUnsigned builds the export statement content without signing it
+// (Sig nil). The engine uses this when the export is authenticated by a
+// hiding commitment bound into the sealed shard leaf, amortizing the
+// per-prefix export signature into the shard seal.
+func (p *Prover) ExportUnsigned(to aspath.ASN) (ExportStatement, error) {
 	w, ok := p.Winner()
 	if !ok {
-		return NewExportStatement(p.signer, p.asn, to, p.epoch, route.Route{}, true)
+		return ExportStatement{Epoch: p.epoch, Prover: p.asn, To: to, Empty: true}, nil
 	}
 	exported, err := w.Route.WithPrepended(p.asn)
 	if err != nil {
 		return ExportStatement{}, err
 	}
-	return NewExportStatement(p.signer, p.asn, to, p.epoch, exported, false)
+	return ExportStatement{Epoch: p.epoch, Prover: p.asn, To: to, Route: exported}, nil
 }
 
 // ProviderView is what A reveals to a provider N_i: the commitment and the
@@ -354,12 +397,19 @@ type PromiseeView struct {
 
 // DiscloseToPromisee builds B's view. CommitMin must have been called.
 func (p *Prover) DiscloseToPromisee(b aspath.ASN) (*PromiseeView, error) {
-	if p.bv == nil {
-		return nil, fmt.Errorf("core: CommitMin not called")
-	}
 	exp, err := p.Export(b)
 	if err != nil {
 		return nil, err
+	}
+	return p.DiscloseToPromiseeWith(exp)
+}
+
+// DiscloseToPromiseeWith builds B's view around a caller-supplied export
+// statement — the engine passes its sealed, unsigned export so disclosure
+// does not spend a signature per prefix. CommitMin must have been called.
+func (p *Prover) DiscloseToPromiseeWith(exp ExportStatement) (*PromiseeView, error) {
+	if p.bv == nil {
+		return nil, fmt.Errorf("core: CommitMin not called")
 	}
 	view := &PromiseeView{
 		Commitment: p.mc,
@@ -445,15 +495,28 @@ func VerifyPromiseeView(ver sigs.Verifier, v *PromiseeView) error {
 // monotonicity, and export consistency — everything except the
 // commitment's own authenticity, which the caller has already established
 // (directly or through a shard seal and inclusion proof). The export and
-// winner signatures are still checked here; those stay per-statement even
-// when commitments are batch-sealed.
+// winner signatures are still checked here, inline.
 func CheckPromiseeDisclosure(ver sigs.Verifier, v *PromiseeView) error {
+	return CheckPromiseeDisclosureDeferred(ImmediateChecker(ver), v, false)
+}
+
+// CheckPromiseeDisclosureDeferred is CheckPromiseeDisclosure with the
+// export and winner signature checks routed through ck (a batch
+// collector, say). exportAuthed skips the export signature entirely: the
+// caller has authenticated the export bytes some other way, e.g. against
+// a hiding commitment bound into the sealed shard leaf. When ck defers,
+// a nil return (and even a *Violation) is provisional until the owning
+// batch flushes clean — a forged winner signature discovered at flush
+// time invalidates the verdict.
+func CheckPromiseeDisclosureDeferred(ck SigChecker, v *PromiseeView, exportAuthed bool) error {
 	mc := v.Commitment
 	if mc == nil {
 		return fmt.Errorf("%w: missing commitment", ErrBadCommitment)
 	}
-	if err := v.Export.Verify(ver); err != nil {
-		return err
+	if !exportAuthed {
+		if err := v.Export.VerifyDeferred(ck); err != nil {
+			return err
+		}
 	}
 	if v.Export.Prover != mc.Prover || v.Export.Epoch != mc.Epoch {
 		return fmt.Errorf("%w: export statement does not cover this epoch", ErrBadCommitment)
@@ -499,7 +562,7 @@ func CheckPromiseeDisclosure(ver sigs.Verifier, v *PromiseeView) error {
 	if v.Winner == nil {
 		return fmt.Errorf("%w: no provenance for exported route", ErrBadCommitment)
 	}
-	if err := v.Winner.Verify(ver); err != nil {
+	if err := v.Winner.VerifyDeferred(ck); err != nil {
 		return err
 	}
 	if v.Winner.To != mc.Prover || v.Winner.Epoch != mc.Epoch || v.Winner.Route.Prefix != mc.Prefix {

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"pvr/internal/aspath"
+	"pvr/internal/merkle"
+	"pvr/internal/sigs"
+)
+
+// tagReceiptBatch domain-separates the batch-root receipt statement from
+// individually signed receipts.
+const tagReceiptBatch = "pvr/receipt-batch/v1"
+
+// ReceiptBatch acknowledges a whole burst of announcements with ONE
+// signature: the issuer Merkle-batches the canonical receipt bytes of
+// every accepted announcement and signs only the root (§3.8: "it seems
+// feasible to sign messages in batches, perhaps using a small MHT to
+// reveal batched routes individually"). Each provider is then handed a
+// BatchedReceipt — its own receipt content plus the inclusion proof —
+// which carries the same evidentiary weight as a singly-signed Receipt
+// without revealing the other entries (and with them the issuer's
+// neighbor set).
+type ReceiptBatch struct {
+	Epoch  uint64
+	Issuer aspath.ASN
+	Root   merkle.Root
+	Count  uint32
+	Sig    []byte
+
+	// Issuer-side extraction state; absent on the verifying side, which
+	// only ever sees individual BatchedReceipts.
+	batch   *merkle.Batch
+	entries []receiptEntry
+}
+
+type receiptEntry struct {
+	provider aspath.ASN
+	annHash  [32]byte
+}
+
+func receiptBatchBytes(epoch uint64, issuer aspath.ASN, count uint32, root merkle.Root) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(tagReceiptBatch)
+	var u8 [8]byte
+	binary.BigEndian.PutUint64(u8[:], epoch)
+	buf.Write(u8[:])
+	binary.BigEndian.PutUint32(u8[:4], uint32(issuer))
+	buf.Write(u8[:4])
+	binary.BigEndian.PutUint32(u8[:4], count)
+	buf.Write(u8[:4])
+	buf.Write(root[:])
+	return buf.Bytes()
+}
+
+// NewReceiptBatch builds and signs one receipt batch over the given
+// announcements, which the caller has already verified and which must all
+// belong to the given epoch. The leaf order follows the slice order.
+func NewReceiptBatch(signer sigs.Signer, issuer aspath.ASN, epoch uint64, anns []Announcement) (*ReceiptBatch, error) {
+	if len(anns) == 0 {
+		return nil, fmt.Errorf("%w: empty receipt batch", ErrBadReceipt)
+	}
+	leaves := make([][]byte, len(anns))
+	entries := make([]receiptEntry, len(anns))
+	for i := range anns {
+		if anns[i].Epoch != epoch {
+			return nil, fmt.Errorf("%w: announcement %d is for epoch %d, batch covers %d",
+				ErrWrongEpoch, i, anns[i].Epoch, epoch)
+		}
+		h, err := anns[i].Hash()
+		if err != nil {
+			return nil, err
+		}
+		entries[i] = receiptEntry{provider: anns[i].Provider, annHash: h}
+		leaves[i] = receiptBytes(epoch, issuer, anns[i].Provider, h)
+	}
+	batch, err := merkle.NewBatch(leaves)
+	if err != nil {
+		return nil, err
+	}
+	rb := &ReceiptBatch{
+		Epoch:   epoch,
+		Issuer:  issuer,
+		Root:    batch.Root(),
+		Count:   uint32(len(anns)),
+		batch:   batch,
+		entries: entries,
+	}
+	if rb.Sig, err = signer.Sign(receiptBatchBytes(epoch, issuer, rb.Count, rb.Root)); err != nil {
+		return nil, err
+	}
+	return rb, nil
+}
+
+// Len returns the number of receipts in the batch.
+func (rb *ReceiptBatch) Len() int { return len(rb.entries) }
+
+// Receipt extracts the i-th provider's standalone receipt: content,
+// inclusion proof, and the once-signed root statement. Only the issuer
+// (the party that built the batch) can extract.
+func (rb *ReceiptBatch) Receipt(i int) (*BatchedReceipt, error) {
+	if rb.batch == nil {
+		return nil, fmt.Errorf("%w: receipt batch has no extraction state", ErrBadReceipt)
+	}
+	if i < 0 || i >= len(rb.entries) {
+		return nil, fmt.Errorf("%w: receipt index %d out of range 0..%d", ErrBadReceipt, i, len(rb.entries)-1)
+	}
+	proof, err := rb.batch.Prove(i)
+	if err != nil {
+		return nil, err
+	}
+	return &BatchedReceipt{
+		Epoch:    rb.Epoch,
+		Issuer:   rb.Issuer,
+		Provider: rb.entries[i].provider,
+		AnnHash:  rb.entries[i].annHash,
+		Count:    rb.Count,
+		Root:     rb.Root,
+		Proof:    proof,
+		Sig:      rb.Sig,
+	}, nil
+}
+
+// Verify checks the issuer's signature over the batch-root statement.
+// Individual receipts are checked via BatchedReceipt.Verify.
+func (rb *ReceiptBatch) Verify(reg sigs.Verifier) error {
+	if err := reg.Verify(rb.Issuer, receiptBatchBytes(rb.Epoch, rb.Issuer, rb.Count, rb.Root), rb.Sig); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadReceipt, err)
+	}
+	return nil
+}
+
+// BatchedReceipt is one provider's slice of a ReceiptBatch: exactly the
+// evidence a singly-signed Receipt carries (the issuer acknowledged this
+// announcement in this epoch), authenticated by the batch root signature
+// plus a Merkle inclusion proof instead of a per-receipt signature.
+type BatchedReceipt struct {
+	Epoch    uint64
+	Issuer   aspath.ASN
+	Provider aspath.ASN
+	AnnHash  [32]byte
+	Count    uint32
+	Root     merkle.Root
+	Proof    *merkle.BatchProof
+	Sig      []byte
+}
+
+// Verify checks that the receipt matches the announcement, that its
+// canonical bytes are included under the root, and that the issuer signed
+// the root statement.
+func (br *BatchedReceipt) Verify(reg sigs.Verifier, a *Announcement) error {
+	h, err := a.Hash()
+	if err != nil {
+		return err
+	}
+	if h != br.AnnHash || br.Epoch != a.Epoch || br.Provider != a.Provider {
+		return fmt.Errorf("%w: batched receipt does not match announcement", ErrBadReceipt)
+	}
+	if br.Proof == nil {
+		return fmt.Errorf("%w: batched receipt missing inclusion proof", ErrBadReceipt)
+	}
+	leaf := receiptBytes(br.Epoch, br.Issuer, br.Provider, br.AnnHash)
+	if err := merkle.VerifyBatch(br.Root, leaf, br.Proof); err != nil {
+		return fmt.Errorf("%w: receipt not under batch root: %v", ErrBadReceipt, err)
+	}
+	if err := reg.Verify(br.Issuer, receiptBatchBytes(br.Epoch, br.Issuer, br.Count, br.Root), br.Sig); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadReceipt, err)
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"pvr/internal/aspath"
+)
+
+func TestReceiptBatchRoundTrip(t *testing.T) {
+	f := newFixture(t)
+	const epoch = 40
+	providers := []aspath.ASN{101, 102, 103, 104, 105}
+	anns := make([]Announcement, len(providers))
+	for i, ni := range providers {
+		anns[i] = f.provide(t, ni, epoch, 2+i)
+	}
+	rb, err := NewReceiptBatch(f.signers[proverASN], proverASN, epoch, anns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rb.Verify(f.reg); err != nil {
+		t.Fatalf("honest batch rejected: %v", err)
+	}
+	if rb.Len() != len(anns) {
+		t.Fatalf("batch length %d, want %d", rb.Len(), len(anns))
+	}
+	for i := range anns {
+		br, err := rb.Receipt(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := br.Verify(f.reg, &anns[i]); err != nil {
+			t.Fatalf("receipt %d rejected: %v", i, err)
+		}
+		// A receipt must not verify against another provider's announcement.
+		other := &anns[(i+1)%len(anns)]
+		if err := br.Verify(f.reg, other); !errors.Is(err, ErrBadReceipt) {
+			t.Fatalf("receipt %d verified against foreign announcement: %v", i, err)
+		}
+	}
+}
+
+func TestReceiptBatchTamperDetection(t *testing.T) {
+	f := newFixture(t)
+	const epoch = 41
+	anns := []Announcement{f.provide(t, 101, epoch, 2), f.provide(t, 102, epoch, 3)}
+	rb, err := NewReceiptBatch(f.signers[proverASN], proverASN, epoch, anns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := rb.Receipt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Moving the receipt to another epoch breaks the leaf binding.
+	bad := *br
+	bad.Epoch = epoch + 1
+	a := anns[0]
+	a.Epoch = epoch + 1
+	if err := bad.Verify(f.reg, &a); err == nil {
+		t.Error("epoch-shifted batched receipt accepted")
+	}
+	// A forged root signature is rejected.
+	bad = *br
+	bad.Sig = append([]byte{}, br.Sig...)
+	bad.Sig[7] ^= 0x40
+	if err := bad.Verify(f.reg, &anns[0]); !errors.Is(err, ErrBadReceipt) {
+		t.Errorf("forged batch signature: got %v", err)
+	}
+	// An issuer that never signed cannot be blamed.
+	bad = *br
+	bad.Issuer = 102
+	if err := bad.Verify(f.reg, &anns[0]); err == nil {
+		t.Error("issuer substitution accepted")
+	}
+}
+
+func TestReceiptBatchRejectsMixedEpochs(t *testing.T) {
+	f := newFixture(t)
+	anns := []Announcement{f.provide(t, 101, 42, 2), f.provide(t, 102, 43, 3)}
+	if _, err := NewReceiptBatch(f.signers[proverASN], proverASN, 42, anns); !errors.Is(err, ErrWrongEpoch) {
+		t.Fatalf("mixed-epoch batch: got %v", err)
+	}
+}
+
+func TestAcceptPreverifiedMatchesAcceptAnnouncement(t *testing.T) {
+	f := newFixture(t)
+	const epoch = 44
+	a1 := f.provide(t, 101, epoch, 4)
+	a2 := f.provide(t, 102, epoch, 2)
+
+	signed := f.prover(t)
+	signed.BeginEpoch(epoch, f.pfx)
+	pre := f.prover(t)
+	pre.BeginEpoch(epoch, f.pfx)
+
+	for _, a := range []Announcement{a1, a2} {
+		if _, err := signed.AcceptAnnouncement(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := pre.AcceptPreverified(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w1, ok1 := signed.Winner()
+	w2, ok2 := pre.Winner()
+	if !ok1 || !ok2 || w1.Provider != w2.Provider {
+		t.Fatalf("winner mismatch: %v/%v vs %v/%v", w1.Provider, ok1, w2.Provider, ok2)
+	}
+	// Content checks still apply without the signature.
+	wrongEpoch := f.provide(t, 103, epoch+1, 3)
+	if err := pre.AcceptPreverified(wrongEpoch); !errors.Is(err, ErrWrongEpoch) {
+		t.Fatalf("wrong-epoch preverified accept: got %v", err)
+	}
+	malformed := a1
+	malformed.Provider = 104 // path no longer starts at the provider
+	if err := pre.AcceptPreverified(malformed); !errors.Is(err, ErrBadAnnouncement) {
+		t.Fatalf("malformed preverified accept: got %v", err)
+	}
+}

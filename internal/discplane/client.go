@@ -18,7 +18,7 @@ func Fetch(c FrameConn, q *Query) (*View, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := c.Send(netx.Frame{Type: FrameDisclose, Payload: payload}); err != nil {
+	if err := netx.SendPooled(c, FrameDisclose, payload); err != nil {
 		return nil, err
 	}
 	f, err := c.Recv()

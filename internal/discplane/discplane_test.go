@@ -136,6 +136,70 @@ func TestPromiseeQueryGrantsAndVerifies(t *testing.T) {
 	}
 }
 
+// TestSealedExportPromiseeQueryVerifies runs the full wire round trip
+// against a sealed-export engine: the served promisee view carries an
+// unsigned export statement plus the commitment opening, and the client
+// verifies it through the seal alone. Observer views from the same
+// engine must carry (and verify through) the extended leaf without
+// leaking the opening.
+func TestSealedExportPromiseeQueryVerifies(t *testing.T) {
+	f := newFixture(t)
+	eng, err := engine.New(engine.Config{
+		ASN: proverASN, Signer: f.signers[proverASN], Registry: f.reg, Shards: 2,
+		Promisee: promiseeASN,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.BeginEpoch(1)
+	if _, err := eng.AcceptAnnouncement(f.ann); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.SealEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	f.srv.cfg.Engine = eng
+
+	v, err := f.query(t, promiseeASN, RolePromisee)
+	if err != nil {
+		t.Fatalf("promisee query: %v", err)
+	}
+	if !v.Sealed.HasExport {
+		t.Fatal("sealed-export view lost the export commitment on the wire")
+	}
+	if len(v.Export.Sig) != 0 {
+		t.Fatalf("sealed-export statement carries a per-prefix signature (%d bytes)", len(v.Export.Sig))
+	}
+	if v.ExportOpening == nil {
+		t.Fatal("sealed-export promisee view lost the opening on the wire")
+	}
+	mv := &engine.PromiseeView{Sealed: v.Sealed, Openings: v.Openings, Winner: v.Winner,
+		Export: *v.Export, ExportOpening: *v.ExportOpening}
+	if err := engine.VerifyPromiseeView(f.reg, mv); err != nil {
+		t.Fatalf("fetched sealed-export view does not verify: %v", err)
+	}
+	// A tampered opening must not pass the commitment check.
+	bad := *mv
+	bad.ExportOpening.Nonce[0] ^= 1
+	if err := engine.VerifyPromiseeView(f.reg, &bad); err == nil {
+		t.Fatal("tampered export opening accepted")
+	}
+
+	ov, err := f.query(t, outsiderASN, RoleObserver)
+	if err != nil {
+		t.Fatalf("observer query: %v", err)
+	}
+	if !ov.Sealed.HasExport {
+		t.Fatal("observer view dropped the export commitment the leaf binds")
+	}
+	if err := ov.Sealed.Verify(f.reg); err != nil {
+		t.Fatalf("observer sealed-export commitment does not verify: %v", err)
+	}
+	if ov.ExportOpening != nil {
+		t.Fatal("observer view leaks the export opening")
+	}
+}
+
 func TestObserverQueryGetsCommitmentOnly(t *testing.T) {
 	f := newFixture(t)
 	for _, requester := range []aspath.ASN{0, outsiderASN} {

@@ -73,10 +73,31 @@ func fuzzSeeds(f *testing.F) (query []byte, views [][]byte, denial []byte) {
 	if err != nil {
 		f.Fatal(err)
 	}
+	// A sealed-export engine exercises the leaf-extension wire fields:
+	// HasExport/ExportC in the common section, the opening in the
+	// promisee section, and an unsigned export statement.
+	seng, err := engine.New(engine.Config{ASN: 64500, Signer: signer, Registry: reg, Shards: 2, Promisee: 64999})
+	if err != nil {
+		f.Fatal(err)
+	}
+	seng.BeginEpoch(1)
+	if _, err := seng.AcceptAnnouncement(ann); err != nil {
+		f.Fatal(err)
+	}
+	if _, err := seng.SealEpoch(); err != nil {
+		f.Fatal(err)
+	}
+	smv, err := seng.DiscloseToPromisee(pfx, 64999)
+	if err != nil {
+		f.Fatal(err)
+	}
+
 	for _, v := range []*View{
 		{Role: RoleObserver, Sealed: sc},
 		{Role: RoleProvider, Sealed: pv.Sealed, Position: uint32(pv.Position), Opening: &pv.Opening},
 		{Role: RolePromisee, Sealed: mv.Sealed, Openings: mv.Openings, Winner: mv.Winner, Export: &mv.Export},
+		{Role: RolePromisee, Sealed: smv.Sealed, Openings: smv.Openings, Winner: smv.Winner,
+			Export: &smv.Export, ExportOpening: &smv.ExportOpening},
 	} {
 		enc, err := v.Encode()
 		if err != nil {

@@ -126,7 +126,7 @@ func (s *Server) Respond(c FrameConn) error {
 	q, err := DecodeQuery(f.Payload)
 	if err != nil {
 		s.denied.Add(1)
-		_ = c.Send(netx.Frame{Type: FrameDeny, Payload: (&Denial{Code: DenyBadQuery, Detail: "undecodable query"}).Encode()})
+		_ = netx.SendPooled(c, FrameDeny, (&Denial{Code: DenyBadQuery, Detail: "undecodable query"}).Encode())
 		return fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
 	payload, denial := s.answer(q)
@@ -134,9 +134,11 @@ func (s *Server) Respond(c FrameConn) error {
 		s.denied.Add(1)
 		s.cfg.Logf("pvr: disclose: %s deny %s %s for %s epoch %d: %s",
 			s.cfg.ASN, q.Requester, q.Role, q.Prefix, q.Epoch, denial.Detail)
-		return c.Send(netx.Frame{Type: FrameDeny, Payload: denial.Encode()})
+		return netx.SendPooled(c, FrameDeny, denial.Encode())
 	}
 	s.served.Add(1)
+	// View payloads are cached across queries (s.cache) — they must never
+	// be recycled, so this send stays un-pooled.
 	return c.Send(netx.Frame{Type: FrameView, Payload: payload})
 }
 
@@ -252,6 +254,10 @@ func (s *Server) answer(q *Query) ([]byte, *Denial) {
 		view.Openings = mv.Openings
 		view.Winner = mv.Winner
 		view.Export = &mv.Export
+		if mv.ExportOpening.Tag != "" {
+			op := mv.ExportOpening
+			view.ExportOpening = &op
+		}
 	}
 	payload, err := view.Encode()
 	if err != nil {

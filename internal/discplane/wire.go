@@ -188,7 +188,9 @@ func (q *Query) Encode() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	b := netx.AppendU32(nil, uint32(q.Requester))
+	// Encoded into a pooled buffer: the client sends a query exactly once
+	// (SendPooled recycles it); other callers simply keep the buffer.
+	b := netx.AppendU32(netx.GetBuf(64), uint32(q.Requester))
 	b = netx.AppendU32(b, uint32(q.Prover))
 	b = append(b, uint8(q.Role))
 	b = netx.AppendU64(b, q.Epoch)
@@ -296,7 +298,7 @@ func (d *Denial) Is(target error) bool {
 
 // Encode returns the DENY frame payload.
 func (d *Denial) Encode() []byte {
-	b := []byte{uint8(d.Code)}
+	b := append(netx.GetBuf(64), uint8(d.Code))
 	return netx.AppendBytes(b, []byte(d.Detail))
 }
 
@@ -332,10 +334,14 @@ type View struct {
 	Opening  *commit.Opening
 	// Openings, Winner, and Export are set for RolePromisee: the full
 	// opened vector, the winning input (nil when nothing was exported),
-	// and the signed export statement.
-	Openings []commit.Opening
-	Winner   *core.Announcement
-	Export   *core.ExportStatement
+	// and the export statement. When the serving engine uses sealed
+	// exports the statement is unsigned and ExportOpening carries the
+	// opening of the commitment the shard leaf binds instead — the seal
+	// authenticates the export, not a per-prefix signature.
+	Openings      []commit.Opening
+	Winner        *core.Announcement
+	Export        *core.ExportStatement
+	ExportOpening *commit.Opening
 	// Key is the prover's marshaled public key (may be empty).
 	Key []byte
 }
@@ -362,6 +368,13 @@ func (v *View) Encode() ([]byte, error) {
 	b = netx.AppendBytes(b, mcb)
 	b = netx.AppendBytes(b, proofb)
 	b = netx.AppendBytes(b, sealb)
+	// Sealed-export leaf extension: the shard leaf appends the export
+	// commitment after the MC bytes, so every role's Merkle check needs it.
+	if v.Sealed.HasExport {
+		b = netx.AppendBytes(b, v.Sealed.ExportC[:])
+	} else {
+		b = netx.AppendBytes(b, nil)
+	}
 	switch v.Role {
 	case RoleObserver:
 	case RoleProvider:
@@ -396,6 +409,15 @@ func (v *View) Encode() ([]byte, error) {
 		}
 		if b, err = appendExport(b, v.Export); err != nil {
 			return nil, err
+		}
+		if v.ExportOpening != nil {
+			ob, err := v.ExportOpening.MarshalBinary()
+			if err != nil {
+				return nil, err
+			}
+			b = netx.AppendBytes(b, ob)
+		} else {
+			b = netx.AppendBytes(b, nil)
 		}
 	default:
 		return nil, fmt.Errorf("discplane: encode view: invalid role %s", v.Role)
@@ -448,6 +470,18 @@ func DecodeView(b []byte) (*View, error) {
 		return nil, fmt.Errorf("%w: %v", ErrWire, err)
 	}
 	v.Sealed = &engine.SealedCommitment{MC: mc, Proof: proof, Seal: seal}
+	ecb, err := r.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	switch len(ecb) {
+	case 0:
+	case commit.Size:
+		v.Sealed.HasExport = true
+		copy(v.Sealed.ExportC[:], ecb)
+	default:
+		return nil, fmt.Errorf("%w: export commitment length %d", ErrWire, len(ecb))
+	}
 	switch v.Role {
 	case RoleObserver:
 	case RoleProvider:
@@ -495,6 +529,17 @@ func DecodeView(b []byte) (*View, error) {
 		}
 		if v.Export, err = readExport(r); err != nil {
 			return nil, err
+		}
+		ob, err := r.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		if len(ob) > 0 {
+			op := new(commit.Opening)
+			if err := op.UnmarshalBinary(ob); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrWire, err)
+			}
+			v.ExportOpening = op
 		}
 	}
 	return v, r.Done()

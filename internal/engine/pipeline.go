@@ -35,56 +35,52 @@ type Result struct {
 func (r Result) Violation() (*core.Violation, bool) { return core.IsViolation(r.Err) }
 
 // Pipeline drives disclosure verification through a pool of channel-fed
-// workers. Signature checks dominate verification cost and are
-// embarrassingly parallel across (prefix, neighbor) pairs, so the pipeline
-// fans jobs out over Workers goroutines, each using a shared per-registry
-// verification-key cache (sigs.CachedVerifier) so registry lock traffic
-// does not serialize the pool.
+// workers. Workers run the cheap content checks (hash openings, Merkle
+// proofs, route comparisons) immediately and defer every statement
+// signature into one shared sigs.BatchVerifier; Drain settles the whole
+// backlog with a single batched Ed25519 pass — a few point additions per
+// signature instead of a full double-scalar multiplication each — and
+// folds the verdicts back into the per-job results. Seal signatures,
+// which cover whole shards, go through a sigs.VerifyMemo instead: one
+// check per distinct seal, however many leaves it covers.
 //
 // Usage is one-shot: NewPipeline, Submit* any number of times from any
 // goroutines, then Drain exactly once to close the feed and collect every
 // result.
 type Pipeline struct {
-	ver  sigs.Verifier
-	jobs chan func(sigs.Verifier) Result
+	ver   sigs.Verifier
+	jobs  chan func(sigs.Verifier) (Result, *sigs.Collector)
+	batch *sigs.BatchVerifier
+
+	// workers is the pool width, reused as the Flush parallelism.
+	workers int
 
 	// ban, when set, is consulted with the disclosing prover's ASN before
 	// any cryptographic work; convicted provers' views fail fast with
 	// ErrConvictedProver.
 	ban func(aspath.ASN) bool
 
-	// seals memoizes seal-signature checks (key: signed bytes ‖ signature,
-	// value: error or nil). A shard seal covers every prefix in its batch,
-	// so its one signature would otherwise be re-verified per leaf — the
-	// dominant per-view cost. Memoizing is sound because the check is a
-	// pure function of the key and the registry; ShareSealMemo lets
-	// short-lived pipelines over one registry amortize across instances.
-	seals *sync.Map
+	// seals memoizes seal-signature checks. A shard seal covers every
+	// prefix in its batch, so its one signature would otherwise be
+	// re-verified per leaf — the dominant per-view cost. Memoizing is
+	// sound because the check is a pure function of the triple and the
+	// registry; ShareSealMemo lets short-lived pipelines over one
+	// registry amortize across instances (and across the gossip observe
+	// path, which seeds the same memo).
+	seals *sigs.VerifyMemo
 
 	mu      sync.Mutex
 	results []Result
+	cols    []*sigs.Collector // cols[i] settles results[i]; nil = final
 	wg      sync.WaitGroup
 
 	drained bool
 }
 
 // checkSealOnce verifies a seal's signature at most once per distinct
-// (content, signature) pair.
+// (prover, content, signature) triple.
 func (p *Pipeline) checkSealOnce(s *Seal) error {
-	key := string(s.SignedBytes()) + string(s.Sig)
-	if v, ok := p.seals.Load(key); ok {
-		if v == nil {
-			return nil
-		}
-		return v.(error)
-	}
-	err := s.Verify(p.ver)
-	if err == nil {
-		p.seals.Store(key, nil)
-	} else {
-		p.seals.Store(key, err)
-	}
-	return err
+	return s.VerifyMemoized(p.ver, p.seals)
 }
 
 // NewPipeline starts a verification pool of the given width over the
@@ -93,19 +89,23 @@ func NewPipeline(reg *sigs.Registry, workers int) *Pipeline {
 	if workers <= 0 {
 		panic(fmt.Sprintf("engine: pipeline workers %d", workers))
 	}
+	ver := sigs.NewCachedVerifier(reg)
 	p := &Pipeline{
-		ver:   sigs.NewCachedVerifier(reg),
-		jobs:  make(chan func(sigs.Verifier) Result, 4*workers),
-		seals: &sync.Map{},
+		ver:     ver,
+		jobs:    make(chan func(sigs.Verifier) (Result, *sigs.Collector), 4*workers),
+		batch:   sigs.NewBatchVerifier(ver),
+		workers: workers,
+		seals:   sigs.NewVerifyMemo(),
 	}
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
 			for job := range p.jobs {
-				r := job(p.ver)
+				r, col := job(p.ver)
 				p.mu.Lock()
 				p.results = append(p.results, r)
+				p.cols = append(p.cols, col)
 				p.mu.Unlock()
 			}
 		}()
@@ -119,12 +119,12 @@ func NewPipeline(reg *sigs.Registry, workers int) *Pipeline {
 func (p *Pipeline) SetBanlist(convicted func(aspath.ASN) bool) { p.ban = convicted }
 
 // ShareSealMemo replaces the pipeline's private seal-check memo with a
-// caller-owned map, so seal-signature checks amortize across many
-// short-lived pipelines (one per disclosure query, say). All sharing
-// pipelines must verify against the same registry: the memoized verdict
-// is a function of (seal bytes, signature, key set). Call before the
-// first Submit.
-func (p *Pipeline) ShareSealMemo(m *sync.Map) { p.seals = m }
+// caller-owned one, so seal-signature checks amortize across many
+// short-lived pipelines (one per disclosure query, say) and across every
+// other path wired to the same memo. All sharers must verify against the
+// same registry: the memoized verdict is a function of (seal bytes,
+// signature, key set). Call before the first Submit.
+func (p *Pipeline) ShareSealMemo(m *sigs.VerifyMemo) { p.seals = m }
 
 // banned returns the fast-fail error for a view's prover, or nil.
 func (p *Pipeline) banned(sc *SealedCommitment) error {
@@ -140,35 +140,37 @@ func (p *Pipeline) banned(sc *SealedCommitment) error {
 // SubmitProvider enqueues N_i's check of an engine provider view against
 // the announcement N_i itself sent.
 func (p *Pipeline) SubmitProvider(v *ProviderView, myAnn core.Announcement) {
-	p.jobs <- func(ver sigs.Verifier) Result {
+	p.jobs <- func(ver sigs.Verifier) (Result, *sigs.Collector) {
 		r := Result{Prefix: myAnn.Route.Prefix, Neighbor: myAnn.Provider}
 		if v != nil {
 			if err := p.banned(v.Sealed); err != nil {
 				r.Err = err
-				return r
+				return r, nil
 			}
 		}
 		r.Err = verifyProviderView(p.checkSealOnce, ver, v, myAnn)
-		return r
+		return r, nil
 	}
 }
 
-// SubmitPromisee enqueues B's check of an engine promisee view.
+// SubmitPromisee enqueues B's check of an engine promisee view. The
+// export and winner signatures are settled in Drain's batched pass.
 func (p *Pipeline) SubmitPromisee(v *PromiseeView, b aspath.ASN) {
 	var pfx prefix.Prefix
 	if v != nil && v.Sealed != nil && v.Sealed.MC != nil {
 		pfx = v.Sealed.MC.Prefix
 	}
-	p.jobs <- func(ver sigs.Verifier) Result {
+	p.jobs <- func(ver sigs.Verifier) (Result, *sigs.Collector) {
 		r := Result{Prefix: pfx, Neighbor: b}
 		if v != nil {
 			if err := p.banned(v.Sealed); err != nil {
 				r.Err = err
-				return r
+				return r, nil
 			}
 		}
-		r.Err = verifyPromiseeView(p.checkSealOnce, ver, v)
-		return r
+		col := p.batch.Collector()
+		r.Err = verifyPromiseeView(p.checkSealOnce, col, v)
+		return r, col
 	}
 }
 
@@ -176,8 +178,8 @@ func (p *Pipeline) SubmitPromisee(v *PromiseeView, b aspath.ASN) {
 // pipeline's cached verifier. Used for mixed workloads (e.g. announcement
 // signature checks sharing the pool with view checks).
 func (p *Pipeline) Submit(pfx prefix.Prefix, neighbor aspath.ASN, check func(sigs.Verifier) error) {
-	p.jobs <- func(ver sigs.Verifier) Result {
-		return Result{Prefix: pfx, Neighbor: neighbor, Err: check(ver)}
+	p.jobs <- func(ver sigs.Verifier) (Result, *sigs.Collector) {
+		return Result{Prefix: pfx, Neighbor: neighbor, Err: check(ver)}, nil
 	}
 }
 
@@ -196,12 +198,32 @@ func (p *Pipeline) stop() bool {
 	return true
 }
 
-// Drain closes the job feed, waits for the workers, and returns every
-// result. Call exactly once; submissions after Drain panic.
+// settle flushes the deferred signature batch and folds the verdicts into
+// the collected results. A signature failure overrides whatever the
+// content check concluded — a violation verdict is only meaningful when
+// the statements that exhibit it are authentic.
+func (p *Pipeline) settle() {
+	flushed := p.batch.Flush(p.workers)
+	for i, col := range p.cols {
+		if col == nil {
+			continue
+		}
+		col.Resolve(flushed)
+		if err := col.Err(); err != nil {
+			p.results[i].Err = err
+		}
+	}
+	p.cols = nil
+}
+
+// Drain closes the job feed, waits for the workers, settles the deferred
+// signature batch, and returns every result. Call exactly once;
+// submissions after Drain panic.
 func (p *Pipeline) Drain() []Result {
 	if !p.stop() {
 		panic("engine: pipeline drained twice")
 	}
+	p.settle()
 	return p.results
 }
 

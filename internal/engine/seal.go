@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"pvr/internal/aspath"
+	"pvr/internal/commit"
 	"pvr/internal/core"
 	"pvr/internal/gossip"
 	"pvr/internal/merkle"
@@ -68,6 +69,16 @@ func (s *Seal) SignedBytes() []byte {
 // Verify checks the prover's signature over the seal.
 func (s *Seal) Verify(ver sigs.Verifier) error {
 	if err := ver.Verify(s.Prover, s.SignedBytes(), s.Sig); err != nil {
+		return fmt.Errorf("engine: seal: %w", err)
+	}
+	return nil
+}
+
+// VerifyMemoized checks the seal signature through a shared memo: a seal
+// already verified anywhere the memo is wired (the gossip observe path,
+// a pipeline, a disclosure query) is not re-verified here.
+func (s *Seal) VerifyMemoized(ver sigs.Verifier, memo *sigs.VerifyMemo) error {
+	if err := memo.Verify(ver, s.Prover, s.SignedBytes(), s.Sig); err != nil {
 		return fmt.Errorf("engine: seal: %w", err)
 	}
 	return nil
@@ -146,12 +157,26 @@ type SealedCommitment struct {
 	MC    *core.MinCommitment
 	Proof *merkle.BatchProof
 	Seal  *Seal
+	// ExportC, when HasExport, is the hiding commitment to the prefix's
+	// export statement that the shard leaf carries after the commitment
+	// bytes. The seal then authenticates the export too — no per-prefix
+	// export signature — while neighbors holding only the commitment
+	// learn nothing about the exported route.
+	ExportC   commit.Commitment
+	HasExport bool
 }
 
 // Verify authenticates the sealed commitment: seal signature, seal/content
 // agreement, and Merkle inclusion of the commitment bytes under the root.
 func (sc *SealedCommitment) Verify(ver sigs.Verifier) error {
 	return sc.verify(func(s *Seal) error { return s.Verify(ver) })
+}
+
+// VerifyMemoized is Verify with the seal-signature check routed through a
+// shared sigs.VerifyMemo, so one seal covering many prefixes costs one
+// signature check across every query that shares the memo.
+func (sc *SealedCommitment) VerifyMemoized(ver sigs.Verifier, memo *sigs.VerifyMemo) error {
+	return sc.verify(func(s *Seal) error { return s.VerifyMemoized(ver, memo) })
 }
 
 // verify runs the content checks around an injected seal-signature check —
@@ -186,6 +211,9 @@ func (sc *SealedCommitment) verify(checkSeal func(*Seal) error) error {
 	leaf, err := sc.MC.SignedBytes()
 	if err != nil {
 		return err
+	}
+	if sc.HasExport {
+		leaf = append(leaf, sc.ExportC[:]...)
 	}
 	if err := merkle.VerifyBatch(sc.Seal.Root, leaf, sc.Proof); err != nil {
 		return fmt.Errorf("engine: commitment not under shard root: %w", err)

@@ -29,11 +29,11 @@ type Statement struct {
 
 // Verify checks the statement's signature against the registry.
 func (s *Statement) Verify(reg sigs.Verifier) error {
-	k, err := reg.Lookup(s.Origin)
-	if err != nil {
-		return err
-	}
-	return k.Verify(s.Payload, s.Sig)
+	// Delegate to the verifier's own Verify rather than Lookup+key.Verify:
+	// memoizing or caching verifiers intercept the triple-level call, so a
+	// statement checked here is settled for every other path sharing the
+	// memo (seal checks use the identical (origin, payload, sig) triple).
+	return reg.Verify(s.Origin, s.Payload, s.Sig)
 }
 
 // Equal reports whether two statements carry identical payloads.

@@ -6,6 +6,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 )
 
 // Batch is the dense, index-addressed Merkle tree of §3.8: "it seems
@@ -22,41 +23,62 @@ type Batch struct {
 // padded to the next power of two by duplicating the last leaf hash, the
 // standard construction; proofs carry the original index so padding cannot
 // be confused with data.
+//
+// All node storage comes from one flat allocation (2·padded−1 hashes),
+// and both leaf hashing and inner-level construction split across
+// goroutines above a size threshold; the tree — padding included — is
+// fully deterministic, so the parallel build produces bit-identical
+// roots to the serial one.
 func NewBatch(msgs [][]byte) (*Batch, error) {
-	if len(msgs) == 0 {
+	n := len(msgs)
+	if n == 0 {
 		return nil, ErrEmptyTree
 	}
-	leaves := make([][HashSize]byte, len(msgs))
-	for i, m := range msgs {
-		leaves[i] = batchLeafHash(uint32(i), m)
+	padded := 1
+	for padded < n {
+		padded <<= 1
 	}
-	padded := append([][HashSize]byte(nil), leaves...)
-	for len(padded)&(len(padded)-1) != 0 {
-		padded = append(padded, padded[len(padded)-1])
-	}
-	levels := [][][HashSize]byte{padded}
-	for len(padded) > 1 {
-		next := make([][HashSize]byte, len(padded)/2)
-		for i := range next {
-			next[i] = innerHash(padded[2*i], padded[2*i+1])
+	flat := make([][HashSize]byte, 2*padded-1)
+	level0 := flat[:padded:padded]
+	parChunks(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			level0[i] = batchLeafHash(uint32(i), msgs[i])
 		}
-		levels = append(levels, next)
-		padded = next
+	})
+	for i := n; i < padded; i++ {
+		level0[i] = level0[n-1]
 	}
-	return &Batch{leaves: leaves, levels: levels}, nil
+
+	levels := make([][][HashSize]byte, 0, bits.Len(uint(padded)))
+	levels = append(levels, level0)
+	cur := level0
+	off := padded
+	for size := padded / 2; size >= 1; size /= 2 {
+		next := flat[off : off+size : off+size]
+		src := cur
+		parChunks(size, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				next[i] = innerHash(src[2*i], src[2*i+1])
+			}
+		})
+		levels = append(levels, next)
+		cur = next
+		off += size
+	}
+	return &Batch{leaves: level0[:n], levels: levels}, nil
 }
 
 // batchLeafHash binds the message to its index so two equal messages at
 // different positions have distinct leaves.
 func batchLeafHash(idx uint32, msg []byte) [HashSize]byte {
-	h := sha256.New()
-	h.Write([]byte{tagLeaf})
-	var ib [4]byte
-	binary.BigEndian.PutUint32(ib[:], idx)
-	h.Write(ib[:])
-	h.Write(msg)
-	var out [HashSize]byte
-	h.Sum(out[:0])
+	bp := getScratch()
+	b := (*bp)[:0]
+	b = append(b, tagLeaf)
+	b = binary.BigEndian.AppendUint32(b, idx)
+	b = append(b, msg...)
+	out := sha256.Sum256(b)
+	*bp = b
+	putScratch(bp)
 	return out
 }
 

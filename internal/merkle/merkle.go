@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 )
 
@@ -68,28 +69,25 @@ func labelBits(name string) ([]bool, error) {
 }
 
 func leafHash(name string, payload []byte) [HashSize]byte {
-	h := sha256.New()
-	h.Write([]byte{tagLeaf})
-	var l [4]byte
-	binary.BigEndian.PutUint32(l[:], uint32(len(name)))
-	h.Write(l[:])
-	h.Write([]byte(name))
-	binary.BigEndian.PutUint32(l[:], uint32(len(payload)))
-	h.Write(l[:])
-	h.Write(payload)
-	var out [HashSize]byte
-	h.Sum(out[:0])
+	bp := getScratch()
+	b := (*bp)[:0]
+	b = append(b, tagLeaf)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(name)))
+	b = append(b, name...)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(payload)))
+	b = append(b, payload...)
+	out := sha256.Sum256(b)
+	*bp = b
+	putScratch(bp)
 	return out
 }
 
 func innerHash(left, right [HashSize]byte) [HashSize]byte {
-	h := sha256.New()
-	h.Write([]byte{tagInner})
-	h.Write(left[:])
-	h.Write(right[:])
-	var out [HashSize]byte
-	h.Sum(out[:0])
-	return out
+	var b [1 + 2*HashSize]byte
+	b[0] = tagInner
+	copy(b[1:], left[:])
+	copy(b[1+HashSize:], right[:])
+	return sha256.Sum256(b[:])
 }
 
 // Tree is an immutable committed tree built by Build. It retains the
@@ -138,10 +136,47 @@ func Build(items map[string][]byte, rnd io.Reader) (*Tree, error) {
 			return nil, err
 		}
 	}
-	if err := t.finalize(t.root, rnd); err != nil {
+	// Subtrees hash independently, so fan the finalize pass out across
+	// goroutines — but only with the default entropy source: an injected
+	// rnd is consumed in deterministic order (tests seed it to get
+	// reproducible padding), which a parallel walk would scramble.
+	if rnd == rand.Reader && runtime.GOMAXPROCS(0) > 1 && len(items) >= 64 {
+		if err := t.finalizeParallel(t.root, 3); err != nil {
+			return nil, err
+		}
+	} else if err := t.finalize(t.root, rnd); err != nil {
 		return nil, err
 	}
 	return t, nil
+}
+
+// finalizeParallel finalizes left and right subtrees concurrently while
+// fork budget remains, falling back to the sequential pass at the
+// leaves of the fork tree. Only used with crypto/rand, which is safe
+// for concurrent reads.
+func (t *Tree) finalizeParallel(n *tnode, budget int) error {
+	if n == nil {
+		return nil
+	}
+	if n.name != "" {
+		n.hash = leafHash(n.name, t.names[n.name])
+		return nil
+	}
+	if budget <= 0 || n.left == nil || n.right == nil {
+		return t.finalize(n, rand.Reader)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- t.finalizeParallel(n.left, budget-1) }()
+	rerr := t.finalizeParallel(n.right, budget-1)
+	lerr := <-errCh
+	if lerr != nil {
+		return lerr
+	}
+	if rerr != nil {
+		return rerr
+	}
+	n.hash = innerHash(n.left.hash, n.right.hash)
+	return nil
 }
 
 // insert materializes the path for a leaf. Prefix-freeness guarantees we

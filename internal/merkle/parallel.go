@@ -1,0 +1,50 @@
+package merkle
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the minimum number of nodes in a hashing pass
+// before it is split across goroutines; below this the spawn cost
+// exceeds the hashing cost.
+const parallelThreshold = 512
+
+// scratchPool recycles the per-leaf concatenation buffers: leaf hashing
+// assembles tag ‖ lengths ‖ bytes into one buffer and runs a one-shot
+// SHA-256 over it, so the only allocation left to avoid is the buffer
+// itself.
+var scratchPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
+func getScratch() *[]byte  { return scratchPool.Get().(*[]byte) }
+func putScratch(b *[]byte) { scratchPool.Put(b) }
+
+// parChunks runs fn over [0, n) in contiguous chunks, in parallel when
+// both the work and the machine are big enough; fn must be safe for
+// disjoint ranges.
+func parChunks(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers <= 1 || n < parallelThreshold {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,80 @@
+package merkle
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"testing"
+)
+
+// refBatchRoot is an independent, deliberately naive reimplementation
+// of the batch-tree construction; the optimized NewBatch must produce
+// bit-identical roots for every size, including non-powers of two that
+// exercise the padding rule.
+func refBatchRoot(msgs [][]byte) Root {
+	level := make([][HashSize]byte, len(msgs))
+	for i, m := range msgs {
+		h := sha256.New()
+		h.Write([]byte{tagLeaf})
+		var ib [4]byte
+		binary.BigEndian.PutUint32(ib[:], uint32(i))
+		h.Write(ib[:])
+		h.Write(m)
+		h.Sum(level[i][:0])
+	}
+	for len(level)&(len(level)-1) != 0 {
+		level = append(level, level[len(level)-1])
+	}
+	for len(level) > 1 {
+		next := make([][HashSize]byte, len(level)/2)
+		for i := range next {
+			h := sha256.New()
+			h.Write([]byte{tagInner})
+			h.Write(level[2*i][:])
+			h.Write(level[2*i+1][:])
+			h.Sum(next[i][:0])
+		}
+		level = next
+	}
+	return Root(level[0])
+}
+
+func TestNewBatchMatchesReferenceRoots(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 17, 100, 513, 1000, 2048} {
+		ms := make([][]byte, n)
+		for i := range ms {
+			ms[i] = []byte(fmt.Sprintf("leaf payload %d with some body", i))
+		}
+		b, err := NewBatch(ms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := b.Root(), refBatchRoot(ms); got != want {
+			t.Fatalf("n=%d: optimized root %x != reference %x", n, got, want)
+		}
+		// Every index must still prove against the flat-allocated levels.
+		for _, i := range []int{0, n / 2, n - 1} {
+			p, err := b.Prove(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := VerifyBatch(b.Root(), ms[i], p); err != nil {
+				t.Fatalf("n=%d i=%d: %v", n, i, err)
+			}
+		}
+	}
+}
+
+func BenchmarkNewBatch1000(b *testing.B) {
+	ms := make([][]byte, 1000)
+	for i := range ms {
+		ms[i] = []byte(fmt.Sprintf("commitment leaf %d abcdefghijklmnopqrstuvwxyz0123456789", i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewBatch(ms); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -516,7 +516,7 @@ func fullReseal(cfg ChurnConfig, reg *sigs.Registry, proverSigner sigs.Signer,
 		return 0, err
 	}
 	eng.BeginEpoch(1)
-	if err := eng.AcceptAll(anns, cfg.Workers); err != nil {
+	if _, err := eng.AcceptAll(anns, cfg.Workers); err != nil {
 		return 0, err
 	}
 	if _, err := eng.SealEpoch(); err != nil {

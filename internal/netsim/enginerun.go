@@ -100,6 +100,7 @@ func RunEngineEpoch(cfg EngineRunConfig) (*EngineRunResult, error) {
 	eng, err := engine.New(engine.Config{
 		ASN: proverASN, Signer: signers[proverASN], Registry: reg,
 		MaxLen: cfg.MaxLen, Shards: cfg.Shards, Workers: cfg.Workers,
+		Promisee: promiseeASN,
 	})
 	if err != nil {
 		return nil, err
@@ -125,7 +126,7 @@ func RunEngineEpoch(cfg EngineRunConfig) (*EngineRunResult, error) {
 
 	// Ingest.
 	t0 := time.Now()
-	if err := eng.AcceptAll(anns, cfg.Writers); err != nil {
+	if _, err := eng.AcceptAll(anns, cfg.Writers); err != nil {
 		return nil, err
 	}
 	res.AcceptTime = time.Since(t0)

@@ -168,7 +168,7 @@ func RunQueryContext(ctx context.Context, cfg QueryConfig) (*QueryResult, error)
 			flat = append(flat, a)
 		}
 	}
-	if err := eng.AcceptAll(flat, cfg.Shards); err != nil {
+	if _, err := eng.AcceptAll(flat, cfg.Shards); err != nil {
 		return nil, err
 	}
 	if _, err := eng.SealEpoch(); err != nil {

@@ -33,14 +33,19 @@ var (
 )
 
 // WriteFrame writes one frame: u32 length of (type ‖ payload), then bytes.
+// Header and payload go out in a single pooled write, so a frame costs no
+// allocation and writers sharing a stream never interleave partial frames.
 func WriteFrame(w io.Writer, f Frame) error {
 	if len(f.Payload) > MaxFrame {
 		return ErrFrameTooBig
 	}
-	hdr := make([]byte, 5, 5+len(f.Payload))
-	binary.BigEndian.PutUint32(hdr, uint32(1+len(f.Payload)))
-	hdr[4] = f.Type
-	if _, err := w.Write(append(hdr, f.Payload...)); err != nil {
+	buf := GetBuf(5 + len(f.Payload))
+	buf, _ = AppendFrame(buf, f)
+	_, err := w.Write(buf)
+	// io.Writer must not retain the slice past Write, so the buffer can go
+	// straight back to the pool.
+	PutBuf(buf)
+	if err != nil {
 		return fmt.Errorf("netx: write frame: %w", err)
 	}
 	return nil
@@ -71,6 +76,11 @@ func ReadFrame(r io.Reader) (Frame, error) {
 // net.Pipe) is the canonical implementation, and in-memory transports
 // provide their own. SetDeadline interrupts a blocked Recv, which is how
 // hold timers and context cancellation reach a stuck peer.
+//
+// Contract: Send must not retain f.Payload after it returns (it copies or
+// finishes writing first), so callers may recycle payload buffers
+// immediately — that is what SendPooled does. Recv hands ownership of the
+// returned payload to the caller: it never aliases pooled memory.
 type FrameConn interface {
 	Send(Frame) error
 	Recv() (Frame, error)

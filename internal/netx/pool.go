@@ -1,0 +1,102 @@
+package netx
+
+import "sync"
+
+// Pooled frame buffers. Every plane in the repository (BGP sessions, the
+// audit anti-entropy exchange, the disclosure query plane) sends framed
+// messages at high rate; allocating a fresh header+payload buffer per
+// frame makes the garbage collector a hidden per-message cost. The pool
+// hands out size-classed buffers that the framing layer (WriteFrame) and
+// the encoders (via GetBuf/SendPooled) recycle instead.
+//
+// Ownership discipline: a buffer obtained from GetBuf is the caller's
+// until it is passed to PutBuf or SendPooled — after that it must not be
+// touched. Nothing handed to callers by the read path (ReadFrame, Recv)
+// ever comes from the pool, so received payloads can be retained freely;
+// the FuzzFramePoolAliasing fuzzer pins that invariant.
+
+// bufClasses are the pooled capacities, smallest first. The top class
+// covers a maximum frame plus its 5-byte header so even the largest
+// reconciliation payload gets a single pooled write buffer.
+var bufClasses = [...]int{512, 8 << 10, 128 << 10, MaxFrame + 5}
+
+var bufPools [len(bufClasses)]sync.Pool
+
+func init() {
+	for i := range bufPools {
+		size := bufClasses[i]
+		bufPools[i].New = func() any {
+			b := make([]byte, 0, size)
+			return &b
+		}
+	}
+}
+
+// classFor returns the index of the smallest class with capacity >= n,
+// or -1 when n exceeds every class.
+func classFor(n int) int {
+	for i, size := range bufClasses {
+		if n <= size {
+			return i
+		}
+	}
+	return -1
+}
+
+// GetBuf returns a buffer with length 0 and capacity at least n, pooled
+// when n fits a size class (requests beyond MaxFrame+5 fall back to a
+// plain allocation). Append into it, then release it with PutBuf — or
+// hand it to SendPooled, which releases it after the send.
+func GetBuf(n int) []byte {
+	ci := classFor(n)
+	if ci < 0 {
+		return make([]byte, 0, n)
+	}
+	return (*bufPools[ci].Get().(*[]byte))[:0]
+}
+
+// PutBuf recycles a buffer obtained from GetBuf. The caller must not use
+// b (or anything aliasing it) afterwards. Buffers whose capacity matches
+// no size class are dropped for the garbage collector, so PutBuf is safe
+// to call on any buffer whose ownership ends here.
+func PutBuf(b []byte) {
+	if b == nil {
+		return
+	}
+	for i, size := range bufClasses {
+		if cap(b) == size {
+			b = b[:0]
+			bufPools[i].Put(&b)
+			return
+		}
+	}
+}
+
+// AppendFrame appends f's full wire encoding — u32 length of
+// (type ‖ payload), type byte, payload — to b and returns the result:
+// the append-style form of WriteFrame for callers that batch several
+// frames into one buffer or one write.
+func AppendFrame(b []byte, f Frame) ([]byte, error) {
+	if len(f.Payload) > MaxFrame {
+		return b, ErrFrameTooBig
+	}
+	b = AppendU32(b, uint32(1+len(f.Payload)))
+	b = append(b, f.Type)
+	return append(b, f.Payload...), nil
+}
+
+// FrameSender is the minimal surface SendPooled needs; netx.FrameConn and
+// the per-plane connection interfaces (auditnet, discplane) all satisfy it.
+type FrameSender interface {
+	Send(Frame) error
+}
+
+// SendPooled sends (t, payload) over c and recycles payload, which must
+// have been obtained from GetBuf and must not be used afterwards. This
+// relies on the FrameConn contract that Send does not retain the payload
+// past its return.
+func SendPooled(c FrameSender, t uint8, payload []byte) error {
+	err := c.Send(Frame{Type: t, Payload: payload})
+	PutBuf(payload)
+	return err
+}

@@ -1,0 +1,177 @@
+package netx
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func TestGetBufPutBufClasses(t *testing.T) {
+	for _, n := range []int{0, 1, 511, 512, 513, 8 << 10, 100 << 10, MaxFrame + 5} {
+		b := GetBuf(n)
+		if len(b) != 0 {
+			t.Fatalf("GetBuf(%d): len %d, want 0", n, len(b))
+		}
+		if cap(b) < n {
+			t.Fatalf("GetBuf(%d): cap %d < requested", n, cap(b))
+		}
+		PutBuf(b)
+	}
+	// Oversized requests fall back to plain allocation and PutBuf drops
+	// them (capacity matches no class) without blowing up.
+	big := GetBuf(MaxFrame + 6)
+	if cap(big) < MaxFrame+6 {
+		t.Fatalf("oversized GetBuf cap %d", cap(big))
+	}
+	PutBuf(big)
+	PutBuf(nil)
+	// A foreign buffer whose capacity matches no class is silently dropped.
+	PutBuf(make([]byte, 0, 777))
+}
+
+// countingWriter counts Write calls, to pin the single-write framing
+// property that keeps concurrent writers on one stream from interleaving.
+type countingWriter struct {
+	bytes.Buffer
+	calls int
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.calls++
+	return w.Buffer.Write(p)
+}
+
+func TestWriteFrameSingleWrite(t *testing.T) {
+	var w countingWriter
+	payload := bytes.Repeat([]byte{0xAB}, 1000)
+	if err := WriteFrame(&w, Frame{Type: 7, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	if w.calls != 1 {
+		t.Fatalf("WriteFrame issued %d writes, want 1", w.calls)
+	}
+	f, err := ReadFrame(&w.Buffer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != 7 || !bytes.Equal(f.Payload, payload) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestAppendFrameMatchesWriteFrame(t *testing.T) {
+	payload := []byte("the quick brown fox")
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Type: 3, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	ab, err := AppendFrame(nil, Frame{Type: 3, Payload: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, buf.Bytes()) {
+		t.Fatalf("AppendFrame %x != WriteFrame %x", ab, buf.Bytes())
+	}
+	if _, err := AppendFrame(nil, Frame{Payload: make([]byte, MaxFrame+1)}); err == nil {
+		t.Fatal("oversized AppendFrame accepted")
+	}
+}
+
+// poisonPools cycles a buffer through every size class, filling its full
+// capacity with junk. If any live slice aliases pooled memory, its bytes
+// change underneath it.
+func poisonPools() {
+	for _, size := range bufClasses {
+		b := GetBuf(size)
+		b = b[:cap(b)]
+		for i := range b {
+			b[i] = 0xDB
+		}
+		PutBuf(b[:0])
+	}
+}
+
+func TestSendPooledRecyclesAfterCopy(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	payload := GetBuf(64)
+	payload = append(payload, bytes.Repeat([]byte{0x5C}, 64)...)
+	want := append([]byte(nil), payload...)
+	done := make(chan Frame, 1)
+	go func() {
+		f, err := b.Recv()
+		if err != nil {
+			close(done)
+			return
+		}
+		done <- f
+	}()
+	if err := SendPooled(a, 9, payload); err != nil {
+		t.Fatal(err)
+	}
+	f, ok := <-done
+	if !ok {
+		t.Fatal("recv failed")
+	}
+	poisonPools()
+	if f.Type != 9 || !bytes.Equal(f.Payload, want) {
+		t.Fatal("received frame corrupted by buffer recycling")
+	}
+}
+
+// FuzzFramePoolAliasing is the codec round-trip fuzzer: a frame encoded
+// through the pooled writer and decoded back must survive aggressive
+// reuse of every pool class — i.e. ReadFrame's result never aliases
+// pooled memory, the invariant that makes SendPooled safe system-wide.
+func FuzzFramePoolAliasing(f *testing.F) {
+	f.Add(uint8(1), []byte(nil))
+	f.Add(uint8(2), []byte("hello"))
+	f.Add(uint8(0x41), bytes.Repeat([]byte{0xA5}, 600))
+	f.Add(uint8(0xFF), bytes.Repeat([]byte{0x00}, 9000))
+	f.Fuzz(func(t *testing.T, typ uint8, payload []byte) {
+		if len(payload) > MaxFrame {
+			t.Skip()
+		}
+		// Encode via the pooled path, both through WriteFrame and through
+		// AppendFrame into an explicitly pooled buffer.
+		var stream bytes.Buffer
+		if err := WriteFrame(&stream, Frame{Type: typ, Payload: payload}); err != nil {
+			t.Fatal(err)
+		}
+		enc, err := AppendFrame(GetBuf(5+len(payload)), Frame{Type: typ, Payload: payload})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, stream.Bytes()) {
+			t.Fatal("AppendFrame and WriteFrame disagree")
+		}
+
+		got, err := ReadFrame(&stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got2, err := ReadFrame(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		PutBuf(enc) // enc's ownership ends; got2 must not care
+
+		snapshot := append([]byte(nil), payload...)
+		// Hammer every pool class with poison, plus extra frame traffic
+		// that reuses whatever buffers the reads might have leaked.
+		poisonPools()
+		junk := bytes.Repeat([]byte{0xEE}, len(payload)+32)
+		if err := WriteFrame(io.Discard, Frame{Type: ^typ, Payload: junk}); err != nil {
+			t.Fatal(err)
+		}
+		poisonPools()
+
+		if got.Type != typ || !bytes.Equal(got.Payload, snapshot) {
+			t.Fatal("ReadFrame payload aliases pooled memory (WriteFrame path)")
+		}
+		if got2.Type != typ || !bytes.Equal(got2.Payload, snapshot) {
+			t.Fatal("ReadFrame payload aliases pooled memory (AppendFrame path)")
+		}
+	})
+}

@@ -1,0 +1,236 @@
+package sigs
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"pvr/internal/aspath"
+	"pvr/internal/sigs/ed25519batch"
+)
+
+// BatchVerifier accumulates (signer, msg, sig) triples and verifies
+// them in one pass. Ed25519 triples go through the cofactored batch
+// equation (internal/sigs/ed25519batch), which costs a few point
+// additions per signature instead of a full double-scalar
+// multiplication; everything else (RSA, unknown schemes) is verified
+// individually at Flush. This is the verification-side half of the
+// paper's §3.8 batching argument: the prover amortizes signing across a
+// Merkle batch, and the verifier amortizes checking across the epoch's
+// whole backlog.
+//
+// A BatchVerifier is safe for concurrent Add from multiple goroutines;
+// Flush must not race with Add. Msg and sig slices are retained until
+// Flush and must not be mutated by the caller in between.
+type BatchVerifier struct {
+	ver Verifier
+
+	mu    sync.Mutex
+	items []batchItem
+	keys  map[aspath.ASN]*batchKey
+}
+
+type batchKey struct {
+	pub PublicKey
+	ed  *ed25519batch.PublicKey // nil when not batchable
+}
+
+type batchItem struct {
+	asn aspath.ASN
+	msg []byte
+	sig []byte
+	key *batchKey
+	err error
+}
+
+// NewBatchVerifier returns an empty batch bound to a key source.
+func NewBatchVerifier(ver Verifier) *BatchVerifier {
+	return &BatchVerifier{ver: ver, keys: make(map[aspath.ASN]*batchKey)}
+}
+
+// Add enqueues one signature check and returns its index into the slice
+// Flush will return. Key resolution happens immediately, so an unknown
+// signer is already recorded as failed.
+func (b *BatchVerifier) Add(asn aspath.ASN, msg, sig []byte) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	it := batchItem{asn: asn, msg: msg, sig: sig}
+	k, ok := b.keys[asn]
+	if !ok {
+		pub, err := b.ver.Lookup(asn)
+		if err != nil {
+			it.err = err
+			b.items = append(b.items, it)
+			return len(b.items) - 1
+		}
+		k = &batchKey{pub: pub}
+		if pub.Scheme() == Ed25519 {
+			if raw, err := pub.Marshal(); err == nil && len(raw) == 1+ed25519.PublicKeySize {
+				if ed, err := ed25519batch.ParsePublicKey(raw[1:]); err == nil {
+					k.ed = ed
+				}
+			}
+		}
+		b.keys[asn] = k
+	}
+	it.key = k
+	b.items = append(b.items, it)
+	return len(b.items) - 1
+}
+
+// Len reports the number of pending checks.
+func (b *BatchVerifier) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.items)
+}
+
+// Flush verifies every pending triple and returns one error slot per
+// Add, in Add order (nil = valid). The pending set is cleared; the
+// per-key cache survives for the next fill. workers bounds the
+// parallelism of the Ed25519 batch chunks; values < 1 mean GOMAXPROCS.
+func (b *BatchVerifier) Flush(workers int) []error {
+	b.mu.Lock()
+	items := b.items
+	b.items = nil
+	b.mu.Unlock()
+	if len(items) == 0 {
+		return nil
+	}
+	errs := make([]error, len(items))
+
+	// Partition: batchable Ed25519 vs individual fallback.
+	var edIdx []int
+	var restIdx []int
+	for i := range items {
+		switch {
+		case items[i].err != nil:
+			errs[i] = items[i].err
+		case items[i].key.ed != nil && len(items[i].sig) == ed25519.SignatureSize:
+			edIdx = append(edIdx, i)
+		default:
+			restIdx = append(restIdx, i)
+		}
+	}
+	for _, i := range restIdx {
+		errs[i] = items[i].key.pub.Verify(items[i].msg, items[i].sig)
+	}
+	if len(edIdx) == 0 {
+		return errs
+	}
+
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Below this size a chunk's bucket-aggregation overhead eats the
+	// batching win, so don't split finer.
+	const minChunk = 64
+	chunks := 1
+	if workers > 1 && len(edIdx) > minChunk {
+		chunks = min(workers, (len(edIdx)+minChunk-1)/minChunk)
+	}
+	if chunks == 1 {
+		b.verifyChunk(items, edIdx, errs)
+		return errs
+	}
+	var wg sync.WaitGroup
+	per := (len(edIdx) + chunks - 1) / chunks
+	for off := 0; off < len(edIdx); off += per {
+		end := min(off+per, len(edIdx))
+		wg.Add(1)
+		go func(part []int) {
+			defer wg.Done()
+			b.verifyChunk(items, part, errs)
+		}(edIdx[off:end])
+	}
+	wg.Wait()
+	return errs
+}
+
+// verifyChunk batch-verifies items[idx] and writes results into errs,
+// bisecting on failure to pin the blame on individual signatures.
+func (b *BatchVerifier) verifyChunk(items []batchItem, idx []int, errs []error) {
+	if len(idx) == 0 {
+		return
+	}
+	// Small chunks: individual checks are cheaper than the equation and
+	// give exact crypto/ed25519 semantics.
+	if len(idx) <= 8 {
+		for _, i := range idx {
+			errs[i] = items[i].key.pub.Verify(items[i].msg, items[i].sig)
+		}
+		return
+	}
+	batch := make([]ed25519batch.Item, len(idx))
+	for j, i := range idx {
+		batch[j] = ed25519batch.Item{Key: items[i].key.ed, Msg: items[i].msg, Sig: items[i].sig}
+	}
+	ok, bad := ed25519batch.Verify(batch)
+	if ok {
+		return // all nil
+	}
+	if bad >= 0 {
+		// Structurally malformed item: resolve it exactly, then retry
+		// the remainder as one batch.
+		i := idx[bad]
+		if err := items[i].key.pub.Verify(items[i].msg, items[i].sig); err != nil {
+			errs[i] = err
+		} else {
+			errs[i] = fmt.Errorf("%w: malformed in batch but individually valid", ErrBadSignature)
+		}
+		rest := make([]int, 0, len(idx)-1)
+		rest = append(rest, idx[:bad]...)
+		rest = append(rest, idx[bad+1:]...)
+		b.verifyChunk(items, rest, errs)
+		return
+	}
+	// Equation failed somewhere in this chunk: bisect.
+	mid := len(idx) / 2
+	b.verifyChunk(items, idx[:mid], errs)
+	b.verifyChunk(items, idx[mid:], errs)
+}
+
+// Collector groups a subset of a BatchVerifier's checks so one logical
+// unit of work (one pipeline job) can later learn whether all of its
+// signatures held. Check records the triple and returns an immediate
+// error only for resolution failures (unknown signer); cryptographic
+// failures surface through Err after the owning batch is flushed.
+type Collector struct {
+	b    *BatchVerifier
+	idxs []int
+	errs []error
+}
+
+// Collector returns a new collector feeding this batch.
+func (b *BatchVerifier) Collector() *Collector { return &Collector{b: b} }
+
+// Check enqueues one deferred signature check.
+func (c *Collector) Check(asn aspath.ASN, msg, sig []byte) error {
+	i := c.b.Add(asn, msg, sig)
+	c.idxs = append(c.idxs, i)
+	c.b.mu.Lock()
+	err := c.b.items[i].err
+	c.b.mu.Unlock()
+	return err
+}
+
+// Resolve captures this collector's verdicts from the flushed results.
+func (c *Collector) Resolve(flushed []error) {
+	c.errs = c.errs[:0]
+	for _, i := range c.idxs {
+		if i < len(flushed) {
+			c.errs = append(c.errs, flushed[i])
+		}
+	}
+}
+
+// Err returns the first signature failure recorded by Resolve, or nil.
+func (c *Collector) Err() error {
+	for _, e := range c.errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,371 @@
+package ed25519batch
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha512"
+	"fmt"
+	"math/big"
+	mrand "math/rand"
+	"testing"
+)
+
+// --- field arithmetic ---
+
+func feFromBig(t *testing.T, n *big.Int) fe {
+	t.Helper()
+	var b [32]byte
+	raw := n.Bytes()
+	for i, v := range raw {
+		b[len(raw)-1-i] = v
+	}
+	var v fe
+	if !v.setBytes(&b) {
+		t.Fatalf("non-canonical input %v", n)
+	}
+	return v
+}
+
+func feToBig(v *fe) *big.Int {
+	b := v.bytes()
+	rev := make([]byte, 32)
+	for i := range b {
+		rev[31-i] = b[i]
+	}
+	return new(big.Int).SetBytes(rev)
+}
+
+var prime = new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 255), big.NewInt(19))
+
+func TestFieldOpsAgainstBig(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		a := new(big.Int).Rand(rng, prime)
+		b := new(big.Int).Rand(rng, prime)
+		fa := feFromBig(t, a)
+		fb := feFromBig(t, b)
+
+		var sum, diff, prod, sq fe
+		sum.add(&fa, &fb)
+		diff.sub(&fa, &fb)
+		prod.mul(&fa, &fb)
+		sq.square(&fa)
+
+		want := new(big.Int)
+		if got := feToBig(&sum); got.Cmp(want.Mod(want.Add(a, b), prime)) != 0 {
+			t.Fatalf("add mismatch: %v+%v got %v want %v", a, b, got, want)
+		}
+		if got := feToBig(&diff); got.Cmp(want.Mod(want.Sub(a, b), prime)) != 0 {
+			t.Fatalf("sub mismatch")
+		}
+		if got := feToBig(&prod); got.Cmp(want.Mod(want.Mul(a, b), prime)) != 0 {
+			t.Fatalf("mul mismatch")
+		}
+		if got := feToBig(&sq); got.Cmp(want.Mod(want.Mul(a, a), prime)) != 0 {
+			t.Fatalf("square mismatch")
+		}
+	}
+}
+
+func TestFieldInvert(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(11))
+	for i := 0; i < 50; i++ {
+		a := new(big.Int).Rand(rng, prime)
+		if a.Sign() == 0 {
+			continue
+		}
+		fa := feFromBig(t, a)
+		var inv, prod fe
+		inv.invert(&fa)
+		prod.mul(&fa, &inv)
+		if !prod.equal(&feOne) {
+			t.Fatalf("invert(%v) * a != 1", a)
+		}
+	}
+}
+
+func TestSetBytesRejectsNonCanonical(t *testing.T) {
+	// p itself, little-endian: 0xed, 0xff … 0x7f.
+	var b [32]byte
+	b[0] = 0xed
+	for i := 1; i < 31; i++ {
+		b[i] = 0xff
+	}
+	b[31] = 0x7f
+	var v fe
+	if v.setBytes(&b) {
+		t.Fatal("setBytes accepted p")
+	}
+	b[0] = 0xec // p-1 is canonical
+	if !v.setBytes(&b) {
+		t.Fatal("setBytes rejected p-1")
+	}
+}
+
+// --- point arithmetic ---
+
+func TestBasePointRoundTrip(t *testing.T) {
+	enc := basePt.bytes()
+	// RFC 8032: B encodes as 0x58666666…66 (y = 4/5, x positive).
+	if enc[31] != 0x66 || enc[0] != 0x58 {
+		t.Fatalf("unexpected base point encoding %x", enc)
+	}
+	var p point
+	if !p.setBytes(enc[:]) {
+		t.Fatal("failed to decompress base point")
+	}
+	if !p.onCurve() {
+		t.Fatal("decompressed base point off curve")
+	}
+	if got := p.bytes(); got != enc {
+		t.Fatalf("round trip mismatch: %x vs %x", got, enc)
+	}
+}
+
+func TestAddDoubleConsistency(t *testing.T) {
+	// 2B via double == B+B; [k]B stays on curve and matches add chains.
+	var d, s point
+	d.double(&basePt)
+	s.add(&basePt, &basePt)
+	if d.bytes() != s.bytes() {
+		t.Fatal("double(B) != B+B")
+	}
+	if !d.onCurve() {
+		t.Fatal("2B off curve")
+	}
+	// [5]B two ways.
+	var p5a, p5b, t4 point
+	t4.double(&d)         // 4B
+	p5a.add(&t4, &basePt) // 5B
+	scalarMult(&p5b, &basePt, big.NewInt(5))
+	if p5a.bytes() != p5b.bytes() {
+		t.Fatal("[5]B mismatch between add chain and scalarMult")
+	}
+	// [l]B == identity.
+	var pl point
+	scalarMult(&pl, &basePt, order)
+	if !pl.isIdentity() {
+		t.Fatal("[l]B != identity")
+	}
+}
+
+func TestScalarMultMatchesStdlibKeys(t *testing.T) {
+	// ed25519 public key = [a]B with a the clamped SHA512 half of the
+	// seed; generate stdlib keys and reproduce the public point.
+	for i := 0; i < 8; i++ {
+		pub, priv, err := ed25519.GenerateKey(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Recompute A from the seed the way RFC 8032 does.
+		seed := priv.Seed()
+		a := clampedScalar(seed)
+		var p point
+		scalarMult(&p, &basePt, a)
+		if got := p.bytes(); string(got[:]) != string(pub) {
+			t.Fatalf("scalarMult does not reproduce stdlib public key")
+		}
+	}
+}
+
+func clampedScalar(seed []byte) *big.Int {
+	h := sha512Sum(seed)
+	var k [32]byte
+	copy(k[:], h[:32])
+	k[0] &= 248
+	k[31] &= 127
+	k[31] |= 64
+	return scalarFromLE(k[:])
+}
+
+func sha512Sum(b []byte) [64]byte { return sha512.Sum512(b) }
+
+// --- MSM ---
+
+func TestMSM128MatchesNaive(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(3))
+	for _, n := range []int{1, 2, 5, 33, 150} {
+		pts := make([]point, n)
+		limbs := make([][4]uint64, n)
+		var want point
+		want.setIdentity()
+		for i := 0; i < n; i++ {
+			k := new(big.Int).Rand(rng, order)
+			scalarMult(&pts[i], &basePt, k) // arbitrary distinct points
+			z := new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), 128))
+			limbs[i] = scalarLimbs(z)
+			var term point
+			scalarMult(&term, &pts[i], z)
+			want.add(&want, &term)
+		}
+		got := msm128(pts, limbs)
+		if got.bytes() != want.bytes() {
+			t.Fatalf("msm128 mismatch at n=%d", n)
+		}
+	}
+}
+
+// --- batch verification ---
+
+func makeBatch(t testing.TB, n int, keys int) ([]Item, []ed25519.PublicKey) {
+	t.Helper()
+	pubs := make([]ed25519.PublicKey, keys)
+	privs := make([]ed25519.PrivateKey, keys)
+	parsed := make([]*PublicKey, keys)
+	for i := range pubs {
+		pub, priv, err := ed25519.GenerateKey(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pubs[i], privs[i] = pub, priv
+		pk, err := ParsePublicKey(pub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsed[i] = pk
+	}
+	items := make([]Item, n)
+	for i := range items {
+		k := i % keys
+		msg := []byte(fmt.Sprintf("announcement %d over prefix 10.%d.0.0/16", i, i%250))
+		items[i] = Item{Key: parsed[k], Msg: msg, Sig: ed25519.Sign(privs[k], msg)}
+	}
+	return items, pubs
+}
+
+func TestVerifyBatchValid(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 64, 300} {
+		items, _ := makeBatch(t, n, 3)
+		ok, bad := Verify(items)
+		if !ok || bad != -1 {
+			t.Fatalf("valid batch of %d rejected (bad=%d)", n, bad)
+		}
+	}
+}
+
+func TestVerifyBatchDetectsTampering(t *testing.T) {
+	corrupt := []func(it *Item){
+		func(it *Item) { it.Msg = append(append([]byte{}, it.Msg...), 'x') },
+		func(it *Item) { it.Sig[10] ^= 1 }, // R tweak
+		func(it *Item) { it.Sig[40] ^= 1 }, // s tweak
+	}
+	for ci, mod := range corrupt {
+		items, _ := makeBatch(t, 50, 3)
+		it := items[17]
+		it.Sig = append([]byte{}, it.Sig...)
+		mod(&it)
+		items[17] = it
+		ok, _ := Verify(items)
+		if ok {
+			t.Fatalf("corruption %d: batch accepted a bad signature", ci)
+		}
+	}
+}
+
+func TestVerifyBatchStructuralFailures(t *testing.T) {
+	items, _ := makeBatch(t, 10, 2)
+	// Non-canonical s: s + l still satisfies the equation but must be
+	// rejected, exactly as crypto/ed25519 does.
+	bad := append([]byte{}, items[4].Sig...)
+	s := scalarFromLE(bad[32:])
+	s.Add(s, order)
+	sb := s.Bytes() // big-endian
+	for i := range bad[32:] {
+		bad[32+i] = 0
+	}
+	for i, v := range sb {
+		bad[32+len(sb)-1-i] = v
+	}
+	items[4].Sig = bad
+	ok, idx := Verify(items)
+	if ok || idx != 4 {
+		t.Fatalf("non-canonical s not flagged: ok=%v idx=%d", ok, idx)
+	}
+
+	items2, _ := makeBatch(t, 5, 1)
+	items2[2].Sig = items2[2].Sig[:40]
+	ok, idx = Verify(items2)
+	if ok || idx != 2 {
+		t.Fatalf("short sig not flagged: ok=%v idx=%d", ok, idx)
+	}
+}
+
+func TestVerifyBatchAgreesWithStdlibRandomized(t *testing.T) {
+	// Randomized cross-check: flip coins on corrupting each item and
+	// confirm batch-level accept/reject matches "all items stdlib-valid".
+	rng := mrand.New(mrand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		items, pubs := makeBatch(t, 30, 3)
+		anyBad := false
+		for i := range items {
+			if rng.Intn(10) == 0 {
+				items[i].Sig = append([]byte{}, items[i].Sig...)
+				items[i].Sig[0] ^= 0x40
+				anyBad = true
+			}
+		}
+		allStdlibOK := true
+		for i := range items {
+			if !ed25519.Verify(pubs[i%3], items[i].Msg, items[i].Sig) {
+				allStdlibOK = false
+			}
+		}
+		ok, idx := Verify(items)
+		accepted := ok && idx == -1
+		if accepted != allStdlibOK {
+			t.Fatalf("trial %d: batch accept=%v stdlib=%v anyBad=%v", trial, accepted, allStdlibOK, anyBad)
+		}
+	}
+}
+
+func TestParsePublicKeyRejectsGarbage(t *testing.T) {
+	if _, err := ParsePublicKey(make([]byte, 31)); err == nil {
+		t.Fatal("short key accepted")
+	}
+	// A y coordinate whose x² has no square root: search from a fixed
+	// pattern.
+	bad := make([]byte, 32)
+	for i := range bad {
+		bad[i] = 0xA5
+	}
+	found := false
+	for i := 0; i < 64; i++ {
+		bad[0] = byte(i)
+		if _, err := ParsePublicKey(bad); err != nil {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no invalid point found in sweep (decompression too permissive?)")
+	}
+}
+
+// --- benchmarks ---
+
+func BenchmarkStdlibVerify(b *testing.B) {
+	items, pubs := makeBatch(b, 1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !ed25519.Verify(pubs[0], items[0].Msg, items[0].Sig) {
+			b.Fatal("bad sig")
+		}
+	}
+}
+
+func benchBatch(b *testing.B, n int) {
+	items, _ := makeBatch(b, n, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, _ := Verify(items)
+		if !ok {
+			b.Fatal("batch rejected")
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/sig")
+}
+
+func BenchmarkBatchVerify64(b *testing.B)   { benchBatch(b, 64) }
+func BenchmarkBatchVerify256(b *testing.B)  { benchBatch(b, 256) }
+func BenchmarkBatchVerify1024(b *testing.B) { benchBatch(b, 1024) }
+func BenchmarkBatchVerify3072(b *testing.B) { benchBatch(b, 3072) }

@@ -1,0 +1,136 @@
+package sigs
+
+import (
+	"crypto/sha256"
+	"sync"
+	"sync/atomic"
+
+	"pvr/internal/aspath"
+)
+
+// memoStripes is the number of lock stripes in a VerifyMemo; a power of
+// two so the stripe index is a mask of the key hash.
+const memoStripes = 64
+
+// VerifyMemo memoizes signature-verification verdicts keyed by the full
+// (signer, message, signature) triple. The protocol re-checks the same
+// seal signature on many paths — the gossip overlay when a seal
+// statement arrives, the verification pipeline for every disclosure in
+// a shard, the query plane when a peer asks for the same epoch — and
+// each of those used to keep its own memo (or none). One shared
+// VerifyMemo makes a signature checked anywhere a signature checked
+// everywhere.
+//
+// Verdicts are cached including failures: a forged seal stays rejected
+// without re-deriving the rejection. The memo is lock-striped so
+// pipeline workers hitting the same hot seal do not serialize on one
+// mutex.
+type VerifyMemo struct {
+	stripes [memoStripes]memoStripe
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}
+
+type memoStripe struct {
+	mu sync.RWMutex
+	m  map[[sha256.Size]byte]error
+}
+
+// NewVerifyMemo returns an empty memo.
+func NewVerifyMemo() *VerifyMemo {
+	m := &VerifyMemo{}
+	for i := range m.stripes {
+		m.stripes[i].m = make(map[[sha256.Size]byte]error)
+	}
+	return m
+}
+
+func memoKey(asn aspath.ASN, msg, sig []byte) [sha256.Size]byte {
+	h := sha256.New()
+	var hdr [8]byte
+	hdr[0] = byte(asn >> 24)
+	hdr[1] = byte(asn >> 16)
+	hdr[2] = byte(asn >> 8)
+	hdr[3] = byte(asn)
+	hdr[4] = byte(len(msg) >> 24)
+	hdr[5] = byte(len(msg) >> 16)
+	hdr[6] = byte(len(msg) >> 8)
+	hdr[7] = byte(len(msg))
+	h.Write(hdr[:])
+	h.Write(msg)
+	h.Write(sig)
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// Verify checks sig over msg by asn through the memo: a cached verdict
+// is returned without touching the verifier.
+func (m *VerifyMemo) Verify(ver Verifier, asn aspath.ASN, msg, sig []byte) error {
+	k := memoKey(asn, msg, sig)
+	s := &m.stripes[k[0]&(memoStripes-1)]
+	s.mu.RLock()
+	err, ok := s.m[k]
+	s.mu.RUnlock()
+	if ok {
+		m.hits.Add(1)
+		return err
+	}
+	err = ver.Verify(asn, msg, sig)
+	m.misses.Add(1)
+	s.mu.Lock()
+	s.m[k] = err
+	s.mu.Unlock()
+	return err
+}
+
+// Bind adapts the memo to the Verifier interface over a fixed underlying
+// verifier, so components that accept a plain Verifier (the auditnet
+// store, say) participate in the shared memo: a seal statement verified
+// on the gossip path is already settled when a disclosure query checks
+// the same seal. All Bind sharers must use the same key set — the
+// memoized verdict is a function of the triple and the registry.
+func (m *VerifyMemo) Bind(ver Verifier) Verifier {
+	return memoVerifier{memo: m, ver: ver}
+}
+
+type memoVerifier struct {
+	memo *VerifyMemo
+	ver  Verifier
+}
+
+func (v memoVerifier) Lookup(asn aspath.ASN) (PublicKey, error) {
+	return v.ver.Lookup(asn)
+}
+
+func (v memoVerifier) Verify(asn aspath.ASN, msg, sig []byte) error {
+	return v.memo.Verify(v.ver, asn, msg, sig)
+}
+
+// Seen reports whether a verdict for the triple is already cached,
+// without computing one.
+func (m *VerifyMemo) Seen(asn aspath.ASN, msg, sig []byte) bool {
+	k := memoKey(asn, msg, sig)
+	s := &m.stripes[k[0]&(memoStripes-1)]
+	s.mu.RLock()
+	_, ok := s.m[k]
+	s.mu.RUnlock()
+	return ok
+}
+
+// Hits returns how many checks were answered from cache.
+func (m *VerifyMemo) Hits() uint64 { return m.hits.Load() }
+
+// Misses returns how many checks had to run the verifier.
+func (m *VerifyMemo) Misses() uint64 { return m.misses.Load() }
+
+// Len returns the number of cached verdicts.
+func (m *VerifyMemo) Len() int {
+	n := 0
+	for i := range m.stripes {
+		m.stripes[i].mu.RLock()
+		n += len(m.stripes[i].m)
+		m.stripes[i].mu.RUnlock()
+	}
+	return n
+}

@@ -273,33 +273,54 @@ func (r *Registry) Members() []aspath.ASN {
 	return out
 }
 
-// CachedVerifier memoizes registry lookups. Registry.Lookup takes a lock
-// and a map probe per signature check; on the engine's parallel
-// verification paths the same handful of keys is checked millions of
-// times, so each worker-facing verifier snapshots keys into a sync.Map
-// that is read lock-free after first use. A key replaced in the underlying
-// registry is picked up again after Invalidate.
+// cacheStripes is the number of lock stripes in a CachedVerifier; a
+// power of two so the stripe index is a mask of the ASN.
+const cacheStripes = 32
+
+// CachedVerifier memoizes registry lookups. Registry.Lookup takes one
+// global lock and a map probe per signature check; on the engine's
+// parallel verification paths the same handful of keys is checked
+// millions of times from many workers at once, so the cache is striped
+// across independent read-write locks — workers resolving different
+// (or even the same) keys proceed without funneling through a single
+// mutex. A key replaced in the underlying registry is picked up again
+// after Invalidate.
 type CachedVerifier struct {
-	reg   *Registry
-	cache sync.Map // aspath.ASN -> PublicKey
+	reg     *Registry
+	stripes [cacheStripes]cacheStripe
+}
+
+type cacheStripe struct {
+	mu sync.RWMutex
+	m  map[aspath.ASN]PublicKey
 }
 
 // NewCachedVerifier wraps a registry in a lookup cache. The returned
 // verifier is safe for concurrent use.
 func NewCachedVerifier(reg *Registry) *CachedVerifier {
-	return &CachedVerifier{reg: reg}
+	c := &CachedVerifier{reg: reg}
+	for i := range c.stripes {
+		c.stripes[i].m = make(map[aspath.ASN]PublicKey)
+	}
+	return c
 }
 
 // Lookup returns the cached key for asn, consulting the registry on miss.
 func (c *CachedVerifier) Lookup(asn aspath.ASN) (PublicKey, error) {
-	if k, ok := c.cache.Load(asn); ok {
-		return k.(PublicKey), nil
+	s := &c.stripes[uint32(asn)&(cacheStripes-1)]
+	s.mu.RLock()
+	k, ok := s.m[asn]
+	s.mu.RUnlock()
+	if ok {
+		return k, nil
 	}
 	k, err := c.reg.Lookup(asn)
 	if err != nil {
 		return nil, err
 	}
-	c.cache.Store(asn, k)
+	s.mu.Lock()
+	s.m[asn] = k
+	s.mu.Unlock()
 	return k, nil
 }
 
@@ -315,7 +336,12 @@ func (c *CachedVerifier) Verify(asn aspath.ASN, msg, sig []byte) error {
 
 // Invalidate drops every cached key, forcing fresh registry lookups.
 func (c *CachedVerifier) Invalidate() {
-	c.cache.Range(func(k, _ any) bool { c.cache.Delete(k); return true })
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		clear(s.m)
+		s.mu.Unlock()
+	}
 }
 
 // Signed is a signed envelope: a payload bound to its signer's ASN. The

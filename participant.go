@@ -79,9 +79,13 @@ type Participant struct {
 	sessionsOpened atomic.Uint64
 	queriesSent    atomic.Uint64
 
-	// discSealMemo amortizes fetched-seal signature checks across this
-	// participant's disclosure queries (Pipeline.ShareSealMemo).
-	discSealMemo sync.Map
+	// discSealMemo amortizes seal-signature checks across this
+	// participant's disclosure queries, BGP-carried seal verification, and
+	// the gossip observe path (Pipeline.ShareSealMemo). Only checks against
+	// the shared registry go through it — trust-on-first-use scratch
+	// registries must not seed it, since the memoized verdict is a function
+	// of (seal bytes, signature, key set).
+	discSealMemo *sigs.VerifyMemo
 
 	mu      sync.Mutex
 	closers []func()
@@ -112,13 +116,14 @@ func Open(ctx context.Context, opts ...Option) (*Participant, error) {
 		return nil, errConfigf("open", "WithChurn requires WithOriginate")
 	}
 	p := &Participant{
-		cfg:       cfg,
-		asn:       cfg.asn,
-		signer:    cfg.signer,
-		reg:       cfg.registry,
-		transport: cfg.transport,
-		pfxs:      append([]Prefix(nil), cfg.originate...),
-		sessions:  newSessionSet(),
+		cfg:          cfg,
+		asn:          cfg.asn,
+		signer:       cfg.signer,
+		reg:          cfg.registry,
+		transport:    cfg.transport,
+		pfxs:         append([]Prefix(nil), cfg.originate...),
+		sessions:     newSessionSet(),
+		discSealMemo: sigs.NewVerifyMemo(),
 	}
 	p.lifeCtx, p.lifeCancel = context.WithCancel(context.Background())
 	if p.transport == nil {
@@ -222,7 +227,11 @@ func (p *Participant) buildEngine() error {
 // buildAuditor opens the ledger (replaying convictions) and seeds the
 // auditor with the participant's own shard seals.
 func (p *Participant) buildAuditor() error {
-	cfg := auditnet.Config{ASN: p.asn, Registry: p.reg}
+	// The auditor verifies statements through the participant's shared
+	// seal memo: a seal statement checked on the gossip observe path is
+	// already settled when a disclosure query or a sealed BGP update
+	// presents the same seal, and vice versa.
+	cfg := auditnet.Config{ASN: p.asn, Registry: p.discSealMemo.Bind(p.reg)}
 	if p.cfg.ledgerPath != "" {
 		led, recs, err := auditnet.OpenLedger(p.cfg.ledgerPath)
 		if err != nil {
@@ -621,8 +630,17 @@ func (p *Participant) verifySealedRoute(peer aspath.ASN, r route.Route, u bgp.Up
 	if err := proof.UnmarshalBinary(proofBytes); err != nil {
 		return errKind(KindVerification, "verify", err)
 	}
+	// A sealed update stream re-ships the same shard seal with every
+	// prefix in the shard, so the seal-signature check is memoized — but
+	// only on the shared-registry path. A trust-on-first-use scratch check
+	// is relative to the candidate key and must not seed the memo.
 	sc := engine.SealedCommitment{MC: mc, Proof: &proof, Seal: &seal}
-	if err := sc.Verify(ver); err != nil {
+	if pinned == nil {
+		err = sc.VerifyMemoized(ver, p.discSealMemo)
+	} else {
+		err = sc.Verify(ver)
+	}
+	if err != nil {
 		return errKind(KindVerification, "verify", err)
 	}
 	if pinned != nil {

@@ -1,0 +1,44 @@
+#!/bin/sh
+# benchgate.sh — allocation-regression gate for the engine epoch path.
+#
+# Re-runs the E10 engine experiment at a small size and compares its
+# allocs/op (heap allocations per prefix for the full accept+seal+verify
+# epoch) against the checked-in BENCH_engine.json baseline. A regression
+# of more than 15% fails the gate: the batched/pooled hot path is a
+# headline property of this codebase, and allocs/op is the metric that
+# catches its erosion deterministically — unlike wall-clock, it does not
+# depend on the CI machine.
+#
+# Usage: scripts/benchgate.sh [baseline.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+baseline="${1:-BENCH_engine.json}"
+
+if [ ! -f "$baseline" ]; then
+    echo "benchgate: baseline $baseline not found" >&2
+    exit 1
+fi
+
+# Baseline allocs/op: the row with the most prefixes (steady-state).
+base_allocs="$(jq 'max_by(.prefixes).allocs_per_op' "$baseline")"
+if [ -z "$base_allocs" ] || [ "$base_allocs" = "null" ]; then
+    echo "benchgate: baseline $baseline has no allocs_per_op column" >&2
+    echo "benchgate: regenerate it with: make bench" >&2
+    exit 1
+fi
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+go run ./cmd/pvrbench -e engine -prefixes 200 -json "$tmp" >/dev/null
+cur_allocs="$(jq 'max_by(.prefixes).allocs_per_op' "$tmp")"
+
+# Integer threshold: fail when cur > base * 1.15.
+limit=$(( base_allocs * 115 / 100 ))
+echo "benchgate: engine epoch allocs/op: baseline ${base_allocs}, current ${cur_allocs}, limit ${limit} (+15%)"
+if [ "$cur_allocs" -gt "$limit" ]; then
+    echo "benchgate: FAIL — allocs/op regressed by more than 15%" >&2
+    echo "benchgate: if the increase is intentional, refresh the baseline with: make bench" >&2
+    exit 1
+fi
+echo "benchgate: OK"

@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-smoke benchgate api apicheck examples clean
+.PHONY: all build test race vet fmt bench bench-smoke benchgate metricsmoke api apicheck examples clean
 
 all: build
 
 build:
 	$(GO) build ./...
 
-test:
+test: metricsmoke
 	$(GO) test ./...
 
 race:
@@ -48,11 +48,17 @@ bench-smoke:
 	grep -q '"denied"' BENCH_query.json
 
 # benchgate re-runs the engine epoch at a small size and fails when its
-# allocs/op regresses more than 15% against the checked-in
-# BENCH_engine.json baseline; run `make bench` to refresh the baseline
-# when an increase is intentional.
+# allocs/op regresses more than 15% — or its shard-seal p99 more than
+# 20% — against the checked-in BENCH_engine.json baseline; run
+# `make bench` to refresh the baseline when an increase is intentional.
 benchgate:
 	./scripts/benchgate.sh
+
+# metricsmoke boots one pvrd, scrapes its /metrics endpoint, and fails
+# unless every plane's metric families show up — the end-to-end check
+# that the observability plumbing stays wired.
+metricsmoke:
+	./scripts/metricsmoke.sh
 
 # api regenerates the public-API snapshot that apicheck (and CI) diff
 # against; run it whenever a PR intentionally changes the pvr surface.

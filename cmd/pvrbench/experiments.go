@@ -17,6 +17,7 @@ import (
 	"pvr/internal/engine"
 	"pvr/internal/merkle"
 	"pvr/internal/netsim"
+	"pvr/internal/obs"
 	"pvr/internal/prefix"
 	"pvr/internal/rfg"
 	"pvr/internal/ringsig"
@@ -452,6 +453,11 @@ type engineRow struct {
 	// AllocsPerOp is heap allocations per prefix across the engine's full
 	// epoch (accept + seal + verify) — the benchgate regression metric.
 	AllocsPerOp int64 `json:"allocs_per_op"`
+	// SealP50Ms / SealP99Ms are per-shard seal latency quantiles read from
+	// the engine's obs histogram (pvr_engine_shard_seal_seconds) —
+	// benchgate's second regression metric.
+	SealP50Ms float64 `json:"seal_p50_ms"`
+	SealP99Ms float64 `json:"seal_p99_ms"`
 	// CPUs records the machine the row was measured on: speedups on a
 	// 1-CPU host come from batching alone, not parallelism.
 	CPUs int `json:"cpus"`
@@ -494,8 +500,8 @@ func runEngine(seed int64) error {
 		providers[i] = aspath.ASN(101 + i)
 	}
 	rng := mrand.New(mrand.NewSource(seed))
-	fmt.Printf("%10s %12s %12s %10s %14s %10s %11s %5s\n",
-		"prefixes", "serial", "engine", "speedup", "commit sigs", "seals", "allocs/op", "cpus")
+	fmt.Printf("%10s %12s %12s %10s %14s %10s %11s %10s %5s\n",
+		"prefixes", "serial", "engine", "speedup", "commit sigs", "seals", "allocs/op", "seal p99", "cpus")
 
 	sweep := []int{100, 500, 1000}
 	if benchPrefixes > 0 {
@@ -557,9 +563,10 @@ func runEngine(seed int64) error {
 		var msBefore runtime.MemStats
 		runtime.ReadMemStats(&msBefore)
 		t0 = time.Now()
+		engObs := obs.NewRegistry()
 		eng, err := engine.New(engine.Config{
 			ASN: prover, Signer: pk.signers[prover], Registry: pk.reg, MaxLen: maxLen,
-			Promisee: promisee,
+			Promisee: promisee, Obs: engObs,
 		})
 		if err != nil {
 			return err
@@ -599,14 +606,19 @@ func runEngine(seed int64) error {
 		allocsPerOp := int64(msAfter.Mallocs-msBefore.Mallocs) / int64(nPfx)
 
 		speedup := float64(serialD) / float64(engineD)
-		fmt.Printf("%10d %12s %12s %9.1fx %14d %10d %11d %5d\n",
+		sealP50, _ := engObs.Quantile("pvr_engine_shard_seal_seconds", 0.50)
+		sealP99, _ := engObs.Quantile("pvr_engine_shard_seal_seconds", 0.99)
+		fmt.Printf("%10d %12s %12s %9.1fx %14d %10d %11d %10s %5d\n",
 			nPfx, serialD.Round(time.Millisecond), engineD.Round(time.Millisecond),
-			speedup, serialSigs, len(seals), allocsPerOp, runtime.NumCPU())
+			speedup, serialSigs, len(seals), allocsPerOp,
+			time.Duration(sealP99*float64(time.Second)).Round(time.Microsecond), runtime.NumCPU())
 		rows = append(rows, engineRow{
 			Prefixes: nPfx, Providers: k,
 			SerialMs: float64(serialD) / 1e6, EngineMs: float64(engineD) / 1e6,
 			Speedup: speedup, SerialSigs: serialSigs, Seals: len(seals),
-			AllocsPerOp: allocsPerOp, CPUs: runtime.NumCPU(),
+			AllocsPerOp: allocsPerOp,
+			SealP50Ms:   sealP50 * 1e3, SealP99Ms: sealP99 * 1e3,
+			CPUs: runtime.NumCPU(),
 		})
 	}
 

@@ -25,6 +25,13 @@ type queryRow struct {
 	QPS       float64 `json:"qps"`
 	P50Us     float64 `json:"p50_us"`
 	P99Us     float64 `json:"p99_us"`
+	// Server-side answer latency from the plane's obs histogram and the
+	// response-cache counters: the columns E15 reads to split wire cost
+	// from serve cost.
+	SrvP50Us  float64 `json:"srv_p50_us"`
+	SrvP99Us  float64 `json:"srv_p99_us"`
+	CacheHits uint64  `json:"cache_hits"`
+	CacheMiss uint64  `json:"cache_misses"`
 }
 
 func runQuery(seed int64) error {
@@ -36,8 +43,8 @@ func runQuery(seed int64) error {
 		sweep = []struct{ prefixes, clients int }{{benchPrefixes, 4}}
 	}
 	const providers = 3
-	fmt.Printf("%10s %10s %9s %9s %10s %10s %12s %12s\n",
-		"prefixes", "clients", "queries", "denied", "qps", "verified", "p50", "p99")
+	fmt.Printf("%10s %10s %9s %9s %10s %10s %12s %12s %12s %9s\n",
+		"prefixes", "clients", "queries", "denied", "qps", "verified", "p50", "p99", "srv p99", "cache hit")
 	var rows []queryRow
 	for _, sz := range sweep {
 		res, err := netsim.RunQuery(netsim.QueryConfig{
@@ -52,14 +59,21 @@ func runQuery(seed int64) error {
 			return fmt.Errorf("query: α correctness violated at %d prefixes: wrongDenials=%d wrongGrants=%d verifyFailures=%d",
 				sz.prefixes, res.WrongDenials, res.WrongGrants, res.VerifyFailures)
 		}
-		fmt.Printf("%10d %10d %9d %9d %10.0f %10d %12s %12s\n",
+		hitRatio := 0.0
+		if lookups := res.CacheHits + res.CacheMisses; lookups > 0 {
+			hitRatio = float64(res.CacheHits) / float64(lookups)
+		}
+		fmt.Printf("%10d %10d %9d %9d %10.0f %10d %12s %12s %12s %8.1f%%\n",
 			res.Prefixes, res.Clients, res.Queries, res.Denied, res.QPS, res.Verified,
-			res.P50.Round(time.Microsecond), res.P99.Round(time.Microsecond))
+			res.P50.Round(time.Microsecond), res.P99.Round(time.Microsecond),
+			res.ServerP99.Round(time.Microsecond), 100*hitRatio)
 		rows = append(rows, queryRow{
 			Prefixes: res.Prefixes, Providers: res.Providers, Clients: res.Clients,
 			Queries: res.Queries, Verified: res.Verified, Denied: res.Denied,
 			QPS:   res.QPS,
 			P50Us: float64(res.P50) / 1e3, P99Us: float64(res.P99) / 1e3,
+			SrvP50Us: float64(res.ServerP50) / 1e3, SrvP99Us: float64(res.ServerP99) / 1e3,
+			CacheHits: res.CacheHits, CacheMiss: res.CacheMisses,
 		})
 	}
 	fmt.Println("  (every unentitled query denied, every granted view verified; latency includes sign + round trip + verify)")

@@ -36,6 +36,11 @@
 // boundary the plane exists to enforce. See
 // pvr.Participant.QueryDisclosure for the programmatic client.
 //
+// With -debug-listen the daemon serves its observability plane over HTTP:
+// /metrics (Prometheus text exposition of every plane's families), /trace
+// (the most recent lifecycle events as JSON; ?n= caps the count), and the
+// standard /debug/pprof profiles.
+//
 // pvrd shuts down cleanly on SIGINT/SIGTERM: sessions close with CEASE,
 // the update plane seals its final window, and the ledger is flushed.
 // The heavy lifting all lives in pvr.Participant — this file only maps
@@ -47,6 +52,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -77,6 +84,7 @@ func main() {
 	ledger := flag.String("ledger", "", "persistent evidence ledger file (audit convictions survive restarts)")
 	discloseListen := flag.String("disclose-listen", "", "serve the α-gated disclosure query plane on this address")
 	promisees := flag.String("promisees", "", "comma-separated ASNs entitled to promisee views under α")
+	debugListen := flag.String("debug-listen", "", "serve /metrics, /trace, and /debug/pprof on this HTTP address")
 	flag.Parse()
 
 	if *listen == "" && *connect == "" && *gossipListen == "" && *discloseListen == "" {
@@ -140,6 +148,21 @@ func main() {
 		fatal(err)
 	}
 	log.Printf("up as %s (%d prefixes, %d shards)", p.ASN(), p.Stats().Prefixes, p.Stats().Shards)
+	if *debugListen != "" {
+		lis, err := net.Listen("tcp", *debugListen)
+		if err != nil {
+			p.Close()
+			fatal(err)
+		}
+		srv := &http.Server{Handler: p.DebugHandler()}
+		go func() {
+			if err := srv.Serve(lis); err != nil && err != http.ErrServerClosed {
+				log.Printf("debug server: %v", err)
+			}
+		}()
+		defer srv.Close()
+		log.Printf("debug endpoint on http://%s (/metrics, /trace, /debug/pprof)", lis.Addr())
+	}
 	if *connect != "" && *listen == "" {
 		// Classic dial mode exits when its last BGP session ends, not
 		// only on SIGINT; watch the session gauge and cancel.

@@ -1,0 +1,112 @@
+package pvr
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"pvr/internal/bgp"
+	"pvr/internal/netx"
+	"pvr/internal/obs"
+)
+
+// TraceEvent is one entry of the participant's epoch-trace ring: a typed
+// lifecycle event (announce accepted, shard sealed, seal gossiped,
+// disclosure served, conviction recorded, …) stamped with its epoch,
+// window, and prefix. See TraceEvents and the /trace debug endpoint.
+type TraceEvent = obs.Event
+
+// traceRingSize bounds the participant's lifecycle-event ring. At ~100 B
+// an event this is a few hundred KB — enough to hold the full
+// announce→seal→gossip→disclose story for recent windows without ever
+// growing.
+const traceRingSize = 4096
+
+// initObs stands up the participant's observability plane: the metric
+// registry every subsystem exports into, the lifecycle-event tracer, and
+// the participant-level counters that used to be bare atomics. Called
+// once from Open, before any build step.
+func (p *Participant) initObs() {
+	p.obsReg = obs.NewRegistry()
+	p.tracer = obs.NewTracer(traceRingSize)
+	p.bgpMet = bgp.NewMetrics(p.obsReg)
+	p.verified = obs.NewCounter(p.obsReg, "pvr_routes_verified_total", "learned routes whose sealed commitment chain verified")
+	p.rejected = obs.NewCounter(p.obsReg, "pvr_routes_rejected_total", "learned routes rejected (verification failure or convicted peer)")
+	p.sessionsOpened = obs.NewCounter(p.obsReg, "pvr_sessions_opened_total", "BGP sessions ever admitted, both directions")
+	p.queriesSent = obs.NewCounter(p.obsReg, "pvr_disc_client_queries_total", "disclosure queries issued as a client")
+	obs.NewGaugeFunc(p.obsReg, "pvr_bgp_sessions", "live BGP sessions, both directions", func() float64 {
+		return float64(p.sessions.len())
+	})
+	obs.NewCounterFunc(p.obsReg, "pvr_sigmemo_hits_total", "seal-signature checks answered by the verify memo", func() float64 {
+		return float64(p.discSealMemo.Hits())
+	})
+	obs.NewCounterFunc(p.obsReg, "pvr_sigmemo_misses_total", "seal-signature checks that ran the full verification", func() float64 {
+		return float64(p.discSealMemo.Misses())
+	})
+	// netx counters are process totals (every participant and every dialer
+	// in the process shares the frame and buffer-pool paths), exported here
+	// so one scrape shows the wire alongside the planes.
+	netx.RegisterMetrics(p.obsReg)
+}
+
+// Metrics exposes the participant's metric registry, into which every
+// plane (engine, update plane, audit network, disclosure query plane,
+// framing layer, BGP sessions) exports its families.
+func (p *Participant) Metrics() *obs.Registry { return p.obsReg }
+
+// WriteMetrics writes the participant's full metric state to w in the
+// Prometheus text exposition format.
+func (p *Participant) WriteMetrics(w io.Writer) error { return p.obsReg.WritePrometheus(w) }
+
+// TraceEvents returns up to n of the most recent lifecycle events,
+// oldest first. n <= 0 returns everything the ring holds.
+func (p *Participant) TraceEvents(n int) []TraceEvent {
+	if n <= 0 {
+		n = traceRingSize
+	}
+	return p.tracer.Recent(n)
+}
+
+// DebugHandler returns the participant's debug surface, ready to mount on
+// an http.Server (cmd/pvrd serves it under -debug-listen):
+//
+//	/metrics        Prometheus text exposition of every plane's families
+//	/trace          most recent lifecycle events as a JSON array (?n= caps)
+//	/debug/pprof/   the standard runtime profiles
+//
+// The handler holds no locks across requests and is safe to serve while
+// the participant runs full tilt.
+func (p *Participant) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = p.obsReg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		n := 0
+		if s := r.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				http.Error(w, "bad n: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		evs := p.TraceEvents(n)
+		if evs == nil {
+			evs = []TraceEvent{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(evs)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,144 @@
+package pvr_test
+
+// Smoke test of the observability plane through the public API: one
+// participant serving its debug surface over HTTP must expose the metric
+// families of every plane, and its trace ring must tell the full
+// announce→seal→gossip→disclose story for an originated prefix.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pvr"
+)
+
+func TestDebugSurfaceServesAllPlanes(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	tr := pvr.NewMemTransport()
+	reg := pvr.NewRegistry()
+	pfx := pvr.MustParsePrefix("203.0.113.0/24")
+
+	a, err := pvr.Open(ctx,
+		pvr.WithASN(64500),
+		pvr.WithTransport(tr),
+		pvr.WithRegistry(reg),
+		pvr.WithOriginate(pfx),
+		pvr.WithShards(4),
+		pvr.WithWindow(0),
+		pvr.WithHoldTime(0),
+		pvr.WithDiscloseListen("obs-a"),
+		pvr.WithLogf(t.Logf),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	// A disclosure query against A completes the lifecycle: its serve is
+	// the last event of the announce→seal→gossip→disclose story.
+	observer, err := pvr.Open(ctx,
+		pvr.WithASN(64503), pvr.WithTransport(tr), pvr.WithRegistry(reg),
+		pvr.WithHoldTime(0), pvr.WithLogf(t.Logf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer observer.Close()
+	if _, err := observer.QueryDisclosure(ctx, a.DiscloseAddr(), pvr.Query{
+		Prefix: pfx, Epoch: 1, Role: pvr.RoleObserver,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(a.DebugHandler())
+	defer srv.Close()
+
+	// /metrics: Prometheus text exposition with every plane represented.
+	body := httpGet(t, srv.URL+"/metrics")
+	families := strings.Count(body, "# TYPE ")
+	if families < 25 {
+		t.Fatalf("/metrics exposes %d families, want >= 25", families)
+	}
+	for _, family := range []string{
+		"pvr_engine_seals_total",               // engine
+		"pvr_upd_events_total",                 // update plane
+		"pvr_audit_rounds_total",               // audit network
+		"pvr_disc_served_total",                // disclosure query plane
+		"pvr_netx_frames_out_total",            // framing layer
+		"pvr_bgp_updates_in_total",             // BGP sessions
+		"pvr_routes_verified_total",            // participant
+		"pvr_sigmemo_hits_total",               // seal-signature memo
+		"pvr_engine_shard_seal_seconds_bucket", // histogram exposition
+	} {
+		if !strings.Contains(body, family) {
+			t.Errorf("/metrics missing %s", family)
+		}
+	}
+	if got := a.Metrics().Families(); got < 25 {
+		t.Errorf("registry holds %d families, want >= 25", got)
+	}
+
+	// /trace: the lifecycle events in causal order for the prefix.
+	var events []pvr.TraceEvent
+	if err := json.Unmarshal([]byte(httpGet(t, srv.URL+"/trace")), &events); err != nil {
+		t.Fatalf("/trace is not a JSON event array: %v", err)
+	}
+	order := []string{"AnnounceAccepted", "ShardSealed", "SealGossiped", "DisclosureServed"}
+	next := 0
+	for _, ev := range events {
+		if next < len(order) && ev.Kind.String() == order[next] {
+			next++
+		}
+	}
+	if next != len(order) {
+		kinds := make([]string, len(events))
+		for i, ev := range events {
+			kinds[i] = ev.Kind.String()
+		}
+		t.Fatalf("trace missing lifecycle step %q; got %v", order[next], kinds)
+	}
+
+	// ?n= caps the count; a bad value is a 400, not a panic.
+	if err := json.Unmarshal([]byte(httpGet(t, srv.URL+"/trace?n=2")), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) > 2 {
+		t.Fatalf("/trace?n=2 returned %d events", len(events))
+	}
+	resp, err := http.Get(srv.URL + "/trace?n=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("/trace?n=bogus: %d, want 400", resp.StatusCode)
+	}
+
+	// /debug/pprof is mounted.
+	if !strings.Contains(httpGet(t, srv.URL+"/debug/pprof/"), "profile") {
+		t.Error("/debug/pprof/ index not served")
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

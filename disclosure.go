@@ -114,7 +114,7 @@ func (p *Participant) QueryDisclosure(ctx context.Context, peer string, q Query)
 	if err != nil {
 		return nil, wrapErr("query", err)
 	}
-	p.queriesSent.Add(1)
+	p.queriesSent.Inc()
 	seal := view.Sealed.Seal
 	prover := seal.Prover
 	if q.Prover != 0 && prover != q.Prover {

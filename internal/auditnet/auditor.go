@@ -8,6 +8,7 @@ import (
 	"pvr/internal/aspath"
 	"pvr/internal/evidence"
 	"pvr/internal/gossip"
+	"pvr/internal/obs"
 	"pvr/internal/sigs"
 )
 
@@ -23,6 +24,13 @@ type Config struct {
 	// Replay holds the records OpenLedger returned for Ledger; New verifies
 	// and re-judges each one to rebuild the conviction set.
 	Replay []LedgerRecord
+	// Obs, when non-nil, exports the auditor's metric families (round
+	// counts and latency, bytes reconciled, ledger fsync latency, store
+	// and conviction gauges) into the given registry.
+	Obs *obs.Registry
+	// Tracer, when non-nil, receives SealGossiped and ConvictionRecorded
+	// lifecycle events.
+	Tracer *obs.Tracer
 }
 
 // Conviction is one entry of the convicted-AS set: the judge upheld
@@ -44,6 +52,8 @@ type Auditor struct {
 	reg    sigs.Verifier
 	store  *Store
 	ledger *Ledger
+	met    *auditMetrics
+	tr     *obs.Tracer
 
 	mu        sync.RWMutex
 	convicted map[aspath.ASN]Conviction
@@ -62,7 +72,15 @@ func New(cfg Config) (*Auditor, error) {
 		reg:       cfg.Registry,
 		store:     NewStore(cfg.Registry),
 		ledger:    cfg.Ledger,
+		met:       newAuditMetrics(cfg.Obs),
+		tr:        cfg.Tracer,
 		convicted: make(map[aspath.ASN]Conviction),
+	}
+	if cfg.Ledger != nil {
+		cfg.Ledger.instrument(a.met)
+	}
+	if cfg.Obs != nil {
+		a.registerGauges(cfg.Obs)
 	}
 	for i, rec := range cfg.Replay {
 		if _, err := a.handleConflict(rec.Conflict, false); err != nil {
@@ -84,6 +102,12 @@ func (a *Auditor) Store() *Store { return a.store }
 // returned conflict is non-nil.
 func (a *Auditor) AddRecord(rec Record) (added bool, conflict *gossip.Conflict, err error) {
 	added, c, err := a.store.AddRecord(rec)
+	if added {
+		a.tr.Record(obs.Event{
+			Kind: obs.EvSealGossiped, Epoch: rec.Epoch,
+			AS: uint32(rec.S.Origin), Note: rec.S.Topic,
+		})
+	}
 	if err != nil || c == nil {
 		return added, c, err
 	}
@@ -143,10 +167,17 @@ func (a *Auditor) handleConflict(c *gossip.Conflict, persist bool) (bool, error)
 	// store, a later retry dedupes out, so a transient ledger failure here
 	// must not leave the equivocator unconvicted in memory.
 	a.mu.Lock()
-	if _, already := a.convicted[c.Origin]; !already {
+	_, already := a.convicted[c.Origin]
+	if !already {
 		a.convicted[c.Origin] = Conviction{ASN: c.Origin, Topic: c.Topic, Detail: detail}
 	}
 	a.mu.Unlock()
+	if !already {
+		a.met.convictions.Inc()
+		a.tr.Record(obs.Event{
+			Kind: obs.EvConvictionRecorded, AS: uint32(c.Origin), Note: c.Topic,
+		})
+	}
 	if persist && a.ledger != nil {
 		if err := a.ledger.AppendConflict(a.asn, c); err != nil {
 			return true, fmt.Errorf("auditnet: ledger append: %w", err)

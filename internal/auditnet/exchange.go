@@ -3,6 +3,7 @@ package auditnet
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"pvr/internal/aspath"
 	"pvr/internal/gossip"
@@ -175,7 +176,22 @@ func digestFrame(kind uint8, body []byte) netx.Frame {
 }
 
 func (a *Auditor) exchange(c FrameConn, initiator bool) (*Stats, error) {
+	t0 := time.Now()
 	st := &Stats{}
+	// One deferred fold covers every return path, including protocol
+	// aborts — an aborted round still moved its bytes.
+	defer func() {
+		a.met.rounds.Inc()
+		if st.InSync {
+			a.met.roundsInSync.Inc()
+		}
+		a.met.roundSec.ObserveSince(t0)
+		a.met.bytesSent.Add(uint64(st.BytesSent))
+		a.met.bytesRecv.Add(uint64(st.BytesRecv))
+		a.met.stmtsNew.Add(uint64(st.NewStatements))
+		a.met.conflNew.Add(uint64(st.NewConflicts))
+		a.met.rejected.Add(uint64(st.Rejected))
+	}()
 	x := &xfer{conn: c, initiator: initiator, stats: st}
 
 	// 1. Summary digests: one hash each for the statement store and the

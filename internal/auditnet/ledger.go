@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
 	"pvr/internal/aspath"
 	"pvr/internal/gossip"
@@ -22,6 +23,7 @@ type Ledger struct {
 	mu   sync.Mutex
 	f    *os.File
 	path string
+	met  *auditMetrics // detached handles until an Auditor instruments us
 }
 
 // Ledger record frame types.
@@ -162,16 +164,33 @@ func (l *Ledger) AppendConflict(accuser aspath.ASN, c *gossip.Conflict) error {
 	return l.appendFrame(netx.Frame{Type: recConflict, Payload: payload})
 }
 
+// instrument points the ledger's append accounting at an auditor's
+// metric set. Called by auditnet.New; appends before that (the replay
+// magic record) go uncounted.
+func (l *Ledger) instrument(m *auditMetrics) {
+	l.mu.Lock()
+	l.met = m
+	l.mu.Unlock()
+}
+
 func (l *Ledger) appendFrame(f netx.Frame) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.f == nil {
 		return fmt.Errorf("auditnet: ledger closed")
 	}
+	t0 := time.Now()
 	if err := netx.WriteFrame(l.f, f); err != nil {
 		return err
 	}
-	return l.f.Sync()
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	if l.met != nil {
+		l.met.ledgerApps.Inc()
+		l.met.fsyncSec.ObserveSince(t0)
+	}
+	return nil
 }
 
 // Path returns the backing file path.

@@ -1,0 +1,51 @@
+package auditnet
+
+import (
+	"pvr/internal/obs"
+)
+
+// auditMetrics are the audit network's instruments; handles are live even
+// without a registry, so the exchange and ledger paths never branch on
+// observability.
+type auditMetrics struct {
+	rounds       *obs.Counter   // anti-entropy rounds completed or aborted
+	roundsInSync *obs.Counter   // rounds that stopped at matching digests
+	roundSec     *obs.Histogram // whole-round latency
+	bytesSent    *obs.Counter   // reconciliation bytes sent (headers included)
+	bytesRecv    *obs.Counter   // reconciliation bytes received
+	stmtsNew     *obs.Counter   // statements new to this store, via exchange
+	conflNew     *obs.Counter   // conflicts new to this store, via exchange
+	rejected     *obs.Counter   // records/evidence rejected in exchanges
+	convictions  *obs.Counter   // convictions entered into the set
+	ledgerApps   *obs.Counter   // durable ledger appends
+	fsyncSec     *obs.Histogram // ledger write+fsync latency
+}
+
+func newAuditMetrics(r *obs.Registry) *auditMetrics {
+	return &auditMetrics{
+		rounds:       obs.NewCounter(r, "pvr_audit_rounds_total", "anti-entropy exchange rounds"),
+		roundsInSync: obs.NewCounter(r, "pvr_audit_rounds_insync_total", "rounds ended at matching summary digests"),
+		roundSec:     obs.NewHistogram(r, "pvr_audit_round_seconds", "anti-entropy round latency", nil),
+		bytesSent:    obs.NewCounter(r, "pvr_audit_bytes_sent_total", "reconciliation bytes sent, frame headers included"),
+		bytesRecv:    obs.NewCounter(r, "pvr_audit_bytes_recv_total", "reconciliation bytes received, frame headers included"),
+		stmtsNew:     obs.NewCounter(r, "pvr_audit_statements_new_total", "statements learned from peers"),
+		conflNew:     obs.NewCounter(r, "pvr_audit_conflicts_new_total", "equivocation evidence learned from peers"),
+		rejected:     obs.NewCounter(r, "pvr_audit_rejected_total", "records or evidence rejected on verification"),
+		convictions:  obs.NewCounter(r, "pvr_audit_convictions_total", "ASes convicted of equivocation"),
+		ledgerApps:   obs.NewCounter(r, "pvr_audit_ledger_appends_total", "durable evidence ledger appends"),
+		fsyncSec:     obs.NewHistogram(r, "pvr_audit_ledger_fsync_seconds", "ledger append write+fsync latency", nil),
+	}
+}
+
+// registerGauges exports the auditor's live state; called once from New
+// when a registry is configured.
+func (a *Auditor) registerGauges(r *obs.Registry) {
+	obs.NewGaugeFunc(r, "pvr_audit_store_records", "statement records held by the store", func() float64 {
+		return float64(a.store.Records())
+	})
+	obs.NewGaugeFunc(r, "pvr_audit_convicted_ases", "size of the convicted-AS set", func() float64 {
+		a.mu.RLock()
+		defer a.mu.RUnlock()
+		return float64(len(a.convicted))
+	})
+}

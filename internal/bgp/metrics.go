@@ -1,0 +1,59 @@
+package bgp
+
+import (
+	"pvr/internal/obs"
+)
+
+// Metrics aggregates session-plane counters across every session that
+// shares it (hand one instance to all SessionHooks). A nil *Metrics is
+// valid everywhere: every method is a no-op on it, so session code never
+// branches on observability.
+type Metrics struct {
+	updatesIn   *obs.Counter
+	updatesOut  *obs.Counter
+	established *obs.Counter
+	closed      *obs.Counter
+	notifyRecv  *obs.Counter
+}
+
+// NewMetrics builds the session-plane counter set, exporting the families
+// into r when it is non-nil.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		updatesIn:   obs.NewCounter(r, "pvr_bgp_updates_in_total", "UPDATE messages received while Established"),
+		updatesOut:  obs.NewCounter(r, "pvr_bgp_updates_out_total", "UPDATE messages sent"),
+		established: obs.NewCounter(r, "pvr_bgp_sessions_established_total", "sessions that completed the OPEN handshake"),
+		closed:      obs.NewCounter(r, "pvr_bgp_sessions_closed_total", "sessions ended, any cause"),
+		notifyRecv:  obs.NewCounter(r, "pvr_bgp_notifications_recv_total", "NOTIFICATION messages received"),
+	}
+}
+
+func (m *Metrics) updateIn() {
+	if m != nil {
+		m.updatesIn.Inc()
+	}
+}
+
+func (m *Metrics) updateOut() {
+	if m != nil {
+		m.updatesOut.Inc()
+	}
+}
+
+func (m *Metrics) sessionEstablished() {
+	if m != nil {
+		m.established.Inc()
+	}
+}
+
+func (m *Metrics) sessionClosed() {
+	if m != nil {
+		m.closed.Inc()
+	}
+}
+
+func (m *Metrics) notificationRecv() {
+	if m != nil {
+		m.notifyRecv.Inc()
+	}
+}

@@ -56,6 +56,9 @@ type SessionHooks struct {
 	OnEstablished func(Open)
 	// OnClose is called once when the session ends, with the cause.
 	OnClose func(error)
+	// Metrics, when non-nil, receives session-plane counters; one instance
+	// is typically shared by every session of a speaker.
+	Metrics *Metrics
 }
 
 // Session runs the BGP FSM over a framed connection: OPEN exchange,
@@ -136,6 +139,7 @@ func (s *Session) Run() error {
 		default:
 		}
 	} else {
+		s.hooks.Metrics.sessionEstablished()
 		if s.hooks.OnEstablished != nil {
 			s.hooks.OnEstablished(s.Peer())
 		}
@@ -245,6 +249,7 @@ func (s *Session) pump() error {
 				s.notify(Notification{Code: NotifyUpdateError})
 				return err
 			}
+			s.hooks.Metrics.updateIn()
 			if s.hooks.OnUpdate != nil {
 				s.hooks.OnUpdate(u)
 			}
@@ -253,6 +258,7 @@ func (s *Session) pump() error {
 			if err := n.UnmarshalBinary(f.Payload); err != nil {
 				return err
 			}
+			s.hooks.Metrics.notificationRecv()
 			return fmt.Errorf("%w: code %d subcode %d", ErrNotifyRecv, n.Code, n.Subcode)
 		default:
 			s.notify(Notification{Code: NotifyMsgHeaderError})
@@ -291,6 +297,7 @@ func (s *Session) SendUpdate(u Update) error {
 		}
 		return err
 	}
+	s.hooks.Metrics.updateOut()
 	return nil
 }
 
@@ -323,6 +330,7 @@ func (s *Session) Close() {
 }
 
 func (s *Session) finish(err error) {
+	s.hooks.Metrics.sessionClosed()
 	s.setState(StateClosed)
 	_ = s.conn.Close()
 	s.mu.Lock()

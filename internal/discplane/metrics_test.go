@@ -1,0 +1,106 @@
+package discplane
+
+import (
+	"testing"
+
+	"pvr/internal/aspath"
+	"pvr/internal/obs"
+)
+
+// TestCacheAccounting pins the response cache's hit/miss/eviction
+// bookkeeping: a repeat query for one window is a hit, a window advance
+// drops every cached view and counts each one evicted.
+func TestCacheAccounting(t *testing.T) {
+	f := newFixture(t)
+
+	if _, err := f.query(t, 0, RoleObserver); err != nil {
+		t.Fatal(err)
+	}
+	st := f.srv.CacheStats()
+	if st.Misses != 1 || st.Hits != 0 || st.Evictions != 0 {
+		t.Fatalf("after first query: %+v, want 1 miss only", st)
+	}
+
+	// The identical anonymous query again: answered from the cache.
+	if _, err := f.query(t, 0, RoleObserver); err != nil {
+		t.Fatal(err)
+	}
+	if st = f.srv.CacheStats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("after repeat query: %+v, want 1 hit, 1 miss", st)
+	}
+
+	// A different principal builds (and caches) its own view.
+	if _, err := f.query(t, promiseeASN, RolePromisee); err != nil {
+		t.Fatal(err)
+	}
+	if st = f.srv.CacheStats(); st.Misses != 2 {
+		t.Fatalf("after promisee query: %+v, want 2 misses", st)
+	}
+
+	// Advancing the commitment window invalidates wholesale: both cached
+	// views are evicted and the next lookup misses.
+	if _, _, err := f.eng.SealDirty(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.query(t, 0, RoleObserver); err != nil {
+		t.Fatal(err)
+	}
+	st = f.srv.CacheStats()
+	if st.Evictions != 2 {
+		t.Fatalf("after window advance: %+v, want 2 evictions", st)
+	}
+	if st.Hits != 1 || st.Misses != 3 {
+		t.Fatalf("after window advance: %+v, want 1 hit, 3 misses", st)
+	}
+}
+
+// TestServerMetricsAndTrace wires a registry and tracer into the server
+// and checks the exported families and the DisclosureServed event.
+func TestServerMetricsAndTrace(t *testing.T) {
+	f := newFixture(t)
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(64)
+	srv, err := NewServer(Config{
+		ASN: proverASN, Engine: f.eng, Registry: f.reg,
+		IsPromisee: func(a aspath.ASN) bool { return a == promiseeASN },
+		Obs:        reg, Tracer: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.srv = srv
+
+	if _, err := f.query(t, 0, RoleObserver); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.query(t, outsiderASN, RolePromisee); err == nil {
+		t.Fatal("outsider promisee query granted")
+	}
+
+	for name, want := range map[string]float64{
+		"pvr_disc_queries_total":      2,
+		"pvr_disc_served_total":       1,
+		"pvr_disc_denied_total":       1,
+		"pvr_disc_cache_misses_total": 1,
+		"pvr_disc_cache_entries":      1,
+	} {
+		if got, ok := reg.Value(name); !ok || got != want {
+			t.Errorf("%s = %v (ok=%v), want %v", name, got, ok, want)
+		}
+	}
+	if q, ok := reg.Quantile("pvr_disc_latency_seconds", 0.99); !ok || q <= 0 {
+		t.Errorf("overall latency p99 = %v (ok=%v), want > 0", q, ok)
+	}
+	if q, ok := reg.Quantile(`pvr_disc_role_latency_seconds{role="observer"}`, 0.5); !ok || q <= 0 {
+		t.Errorf("observer latency p50 = %v (ok=%v), want > 0", q, ok)
+	}
+
+	evs := tr.Recent(8)
+	if len(evs) != 1 {
+		t.Fatalf("tracer holds %d events, want exactly the granted view", len(evs))
+	}
+	ev := evs[0]
+	if ev.Kind != obs.EvDisclosureServed || ev.Prefix != f.pfx.String() || ev.Note != "observer" {
+		t.Fatalf("trace event %+v, want DisclosureServed for %s as observer", ev, f.pfx)
+	}
+}

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pvr/internal/aspath"
 	"pvr/internal/engine"
 	"pvr/internal/netx"
+	"pvr/internal/obs"
 	"pvr/internal/sigs"
 )
 
@@ -38,6 +40,13 @@ type Config struct {
 	Key []byte
 	// Logf receives denial and serve log lines (default: discard).
 	Logf func(format string, args ...any)
+	// Obs, when non-nil, exports the server's metric families (query and
+	// denial counts, per-role answer latency, response-cache accounting)
+	// into the given registry.
+	Obs *obs.Registry
+	// Tracer, when non-nil, receives a DisclosureServed event per granted
+	// view.
+	Tracer *obs.Tracer
 }
 
 // Server answers DISCLOSE queries from the engine's sealed state,
@@ -47,9 +56,8 @@ type Config struct {
 // commitments and re-signing export statements. Safe for concurrent use.
 type Server struct {
 	cfg Config
-
-	served atomic.Uint64
-	denied atomic.Uint64
+	met *discMetrics
+	tr  *obs.Tracer
 
 	// cache maps a view key to its encoded VIEW payload. Keys embed the
 	// engine window, so a re-seal naturally invalidates by changing keys;
@@ -102,14 +110,18 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	return &Server{cfg: cfg}, nil
+	s := &Server{cfg: cfg, met: newDiscMetrics(cfg.Obs), tr: cfg.Tracer}
+	if cfg.Obs != nil {
+		s.registerGauges(cfg.Obs)
+	}
+	return s, nil
 }
 
 // Served counts granted views; Denied counts α and not-found denials.
-func (s *Server) Served() uint64 { return s.served.Load() }
+func (s *Server) Served() uint64 { return uint64(s.met.served.Value()) }
 
 // Denied counts denials sent.
-func (s *Server) Denied() uint64 { return s.denied.Load() }
+func (s *Server) Denied() uint64 { return uint64(s.met.denied.Value()) }
 
 // Respond handles exactly one query on the connection: receive DISCLOSE,
 // answer VIEW or DENY. A transport or framing error is returned (the
@@ -123,20 +135,32 @@ func (s *Server) Respond(c FrameConn) error {
 	if f.Type != FrameDisclose {
 		return fmt.Errorf("discplane: protocol error: got frame %#x, want %#x", f.Type, FrameDisclose)
 	}
+	t0 := time.Now()
+	s.met.queries.Inc()
 	q, err := DecodeQuery(f.Payload)
 	if err != nil {
-		s.denied.Add(1)
+		s.met.denied.Inc()
+		s.met.latAll.ObserveSince(t0)
 		_ = netx.SendPooled(c, FrameDeny, (&Denial{Code: DenyBadQuery, Detail: "undecodable query"}).Encode())
 		return fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
 	payload, denial := s.answer(q)
+	el := time.Since(t0)
+	s.met.latAll.ObserveDuration(el)
+	if q.Role.valid() {
+		s.met.roleLat(q.Role).ObserveDuration(el)
+	}
 	if denial != nil {
-		s.denied.Add(1)
+		s.met.denied.Inc()
 		s.cfg.Logf("pvr: disclose: %s deny %s %s for %s epoch %d: %s",
 			s.cfg.ASN, q.Requester, q.Role, q.Prefix, q.Epoch, denial.Detail)
 		return netx.SendPooled(c, FrameDeny, denial.Encode())
 	}
-	s.served.Add(1)
+	s.met.served.Inc()
+	s.tr.Record(obs.Event{
+		Kind: obs.EvDisclosureServed, Epoch: q.Epoch, Window: s.cfg.Engine.Window(),
+		Prefix: q.Prefix.String(), AS: uint32(q.Requester), Note: q.Role.String(),
+	})
 	// View payloads are cached across queries (s.cache) — they must never
 	// be recycled, so this send stays un-pooled.
 	return c.Send(netx.Frame{Type: FrameView, Payload: payload})
@@ -205,10 +229,13 @@ func (s *Server) answer(q *Query) ([]byte, *Denial) {
 	// under a fresh key.
 	window := s.cfg.Engine.Window()
 	if old := s.cacheW.Load(); old != window && s.cacheW.CompareAndSwap(old, window) {
-		s.cache.Range(func(k, _ any) bool { s.cache.Delete(k); return true })
+		var dropped uint64
+		s.cache.Range(func(k, _ any) bool { s.cache.Delete(k); dropped++; return true })
+		s.met.evicted.Add(dropped)
 	}
 	key := fmt.Sprintf("%d/%d/%d/%d/%s", q.Role, uint32(q.Requester), q.Epoch, window, q.Prefix)
 	if cached, ok := s.cache.Load(key); ok {
+		s.met.hits.Inc()
 		return cached.([]byte), nil
 	}
 
@@ -263,6 +290,9 @@ func (s *Server) answer(q *Query) ([]byte, *Denial) {
 	if err != nil {
 		return nil, &Denial{Code: DenyNotFound, Detail: fmt.Sprintf("view encoding failed for %s", q.Prefix)}
 	}
+	// A miss is a view built (and cached) fresh; denied queries never reach
+	// here, so hits+misses tracks cacheable work, not every lookup.
+	s.met.misses.Inc()
 	s.cache.Store(key, payload)
 	return payload, nil
 }

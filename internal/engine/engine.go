@@ -21,11 +21,13 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"pvr/internal/aspath"
 	"pvr/internal/commit"
 	"pvr/internal/core"
 	"pvr/internal/merkle"
+	"pvr/internal/obs"
 	"pvr/internal/prefix"
 	"pvr/internal/sigs"
 )
@@ -57,6 +59,14 @@ type Config struct {
 	// (and its verification at B) folds into the one shard-seal
 	// signature. Zero keeps the classic sign-per-export behavior.
 	Promisee aspath.ASN
+	// Obs, when non-nil, exports the engine's metric families (accept and
+	// seal latencies, batch sizes, shard rebuild counts, epoch/window/
+	// prefix gauges) into the given registry. The engine observes either
+	// way; a nil registry just leaves the numbers unread.
+	Obs *obs.Registry
+	// Tracer, when non-nil, receives lifecycle events (announce accepted,
+	// shard sealed) for the /trace feed.
+	Tracer *obs.Tracer
 }
 
 func (c *Config) fill() {
@@ -111,6 +121,8 @@ type ProverEngine struct {
 	cfg Config
 	ver *sigs.CachedVerifier
 	cm  commit.Committer // nonce source for sealed-export commitments
+	met *metrics
+	tr  *obs.Tracer
 
 	mu     sync.RWMutex // guards epoch transitions vs. accepts/seals
 	epoch  uint64
@@ -129,7 +141,12 @@ func New(cfg Config) (*ProverEngine, error) {
 	if cfg.MaxLen > core.MaxVectorLen {
 		return nil, fmt.Errorf("engine: MaxLen %d exceeds core.MaxVectorLen %d", cfg.MaxLen, core.MaxVectorLen)
 	}
-	e := &ProverEngine{cfg: cfg, ver: sigs.NewCachedVerifier(cfg.Registry)}
+	e := &ProverEngine{
+		cfg: cfg,
+		ver: sigs.NewCachedVerifier(cfg.Registry),
+		met: newMetrics(cfg.Obs),
+		tr:  cfg.Tracer,
+	}
 	e.shards = make([]*shard, cfg.Shards)
 	for i := range e.shards {
 		e.shards[i] = &shard{
@@ -137,6 +154,9 @@ func New(cfg Config) (*ProverEngine, error) {
 			leaves:  make(map[prefix.Prefix][]byte),
 			exports: make(map[prefix.Prefix]*sealedExport),
 		}
+	}
+	if cfg.Obs != nil {
+		e.registerGauges(cfg.Obs)
 	}
 	return e, nil
 }
@@ -216,6 +236,7 @@ func (e *ProverEngine) shardOf(pfx prefix.Prefix) (*shard, uint32, error) {
 // returning the prover's signed receipt. Concurrent calls for prefixes in
 // different shards proceed in parallel.
 func (e *ProverEngine) AcceptAnnouncement(a core.Announcement) (core.Receipt, error) {
+	t0 := time.Now()
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if !e.begun {
@@ -244,6 +265,12 @@ func (e *ProverEngine) AcceptAnnouncement(a core.Announcement) (core.Receipt, er
 		s.dirty = true
 		delete(s.leaves, a.Route.Prefix)
 		delete(s.exports, a.Route.Prefix)
+		e.met.accepts.Inc()
+		e.met.acceptSec.ObserveSince(t0)
+		e.tr.Record(obs.Event{
+			Kind: obs.EvAnnounceAccepted, Epoch: e.epoch,
+			Prefix: a.Route.Prefix.String(), AS: uint32(a.Provider),
+		})
 	}
 	return rc, err
 }
@@ -290,6 +317,7 @@ func (e *ProverEngine) AcceptAll(anns []core.Announcement, writers int) (*core.R
 	if len(anns) == 0 {
 		return nil, nil
 	}
+	t0 := time.Now()
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if !e.begun {
@@ -304,7 +332,10 @@ func (e *ProverEngine) AcceptAll(anns []core.Announcement, writers int) (*core.R
 		}
 		bv.Add(anns[i].Provider, msg, anns[i].Sig)
 	}
-	for i, err := range bv.Flush(writers) {
+	tv := time.Now()
+	verdicts := bv.Flush(writers)
+	e.met.batchVerifySec.ObserveSince(tv)
+	for i, err := range verdicts {
 		if err != nil {
 			return nil, fmt.Errorf("engine: accept %s from %s: %w", anns[i].Route.Prefix, anns[i].Provider, err)
 		}
@@ -348,6 +379,9 @@ func (e *ProverEngine) AcceptAll(anns []core.Announcement, writers int) (*core.R
 	if err != nil {
 		return nil, err
 	}
+	e.met.accepts.Add(uint64(len(anns)))
+	e.met.batchSize.Observe(float64(len(anns)))
+	e.met.batchSec.ObserveSince(t0)
 	return rb, nil
 }
 
@@ -384,6 +418,7 @@ func (e *ProverEngine) SealEpoch() ([]*Seal, error) {
 		seals, _, err := e.sealDirtyLocked()
 		return seals, err
 	}
+	t0 := time.Now()
 	var wg sync.WaitGroup
 	errs := make([]error, len(e.shards))
 	for i, s := range e.shards {
@@ -404,6 +439,7 @@ func (e *ProverEngine) SealEpoch() ([]*Seal, error) {
 			return nil, err
 		}
 	}
+	e.met.sealSec.ObserveSince(t0)
 	return e.sealsLocked(), nil
 }
 
@@ -412,6 +448,7 @@ func (e *ProverEngine) SealEpoch() ([]*Seal, error) {
 // are served from the shard's leaf cache when present — under streaming
 // churn only the prefixes whose provers were replaced recompute.
 func (e *ProverEngine) sealShardLocked(idx uint32, s *shard, window uint64) error {
+	t0 := time.Now()
 	seal := &Seal{
 		Prover: e.cfg.ASN,
 		Epoch:  e.epoch,
@@ -488,6 +525,13 @@ func (e *ProverEngine) sealShardLocked(idx uint32, s *shard, window uint64) erro
 	s.seal = seal
 	s.sealed = true
 	s.dirty = false
+	e.met.shardSealSec.ObserveSince(t0)
+	e.met.sealsTotal.Inc()
+	e.met.shardsRebuilt.Inc()
+	e.tr.Record(obs.Event{
+		Kind: obs.EvShardSealed, Epoch: e.epoch, Window: window,
+		Shard: int(idx), Note: fmt.Sprintf("%d prefixes", seal.Count),
+	})
 	return nil
 }
 
@@ -540,6 +584,11 @@ func (e *ProverEngine) ReplacePrefix(pfx prefix.Prefix, anns []core.Announcement
 	delete(s.exports, pfx)
 	s.dirty = true
 	s.sealed = false
+	e.met.accepts.Add(uint64(len(anns)))
+	e.tr.Record(obs.Event{
+		Kind: obs.EvAnnounceAccepted, Epoch: e.epoch, Prefix: pfx.String(),
+		AS: uint32(anns[0].Provider), Note: fmt.Sprintf("%d candidates", len(anns)),
+	})
 	return nil
 }
 
@@ -589,6 +638,7 @@ func (e *ProverEngine) SealDirty() ([]*Seal, []uint32, error) {
 // sealDirtyLocked advances the window and re-seals; the caller holds
 // e.mu exclusively.
 func (e *ProverEngine) sealDirtyLocked() ([]*Seal, []uint32, error) {
+	t0 := time.Now()
 	e.window++
 	window := e.window
 	var (
@@ -614,6 +664,8 @@ func (e *ProverEngine) sealDirtyLocked() ([]*Seal, []uint32, error) {
 				}
 				ns.Sig = sig
 				s.seal = &ns
+				e.met.sealsTotal.Inc()
+				e.met.shardsResigned.Inc()
 				return
 			}
 			if err := e.sealShardLocked(uint32(idx), s, window); err != nil {
@@ -632,6 +684,7 @@ func (e *ProverEngine) sealDirtyLocked() ([]*Seal, []uint32, error) {
 		}
 	}
 	sort.Slice(rebuilt, func(i, j int) bool { return rebuilt[i] < rebuilt[j] })
+	e.met.sealSec.ObserveSince(t0)
 	return e.sealsLocked(), rebuilt, nil
 }
 

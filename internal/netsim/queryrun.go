@@ -15,6 +15,7 @@ import (
 	"pvr/internal/discplane"
 	"pvr/internal/engine"
 	"pvr/internal/netx"
+	"pvr/internal/obs"
 	"pvr/internal/prefix"
 	"pvr/internal/route"
 	"pvr/internal/sigs"
@@ -84,8 +85,15 @@ type QueryResult struct {
 	// P50 and P99 are end-to-end per-query latency quantiles (sign, wire
 	// round trip, and client-side verification included).
 	P50, P99 time.Duration
+	// ServerP50 and ServerP99 are the server's own answer-latency
+	// quantiles from its obs histogram (decode→answer, no wire time);
+	// the gap to P50/P99 is what the wire and client verification cost.
+	ServerP50, ServerP99 time.Duration
 	// ServerServed / ServerDenied are the server's own counters.
 	ServerServed, ServerDenied uint64
+	// CacheHits / CacheMisses are the server's response-cache counters: a
+	// table of P prefixes queried Q times converges on Q−P·roles hits.
+	CacheHits, CacheMisses uint64
 }
 
 // ASNs of the E13 cast. queryGhost's key is deliberately never
@@ -179,10 +187,12 @@ func RunQueryContext(ctx context.Context, cfg QueryConfig) (*QueryResult, error)
 	if err != nil {
 		return nil, err
 	}
+	obsReg := obs.NewRegistry()
 	srv, err := discplane.NewServer(discplane.Config{
 		ASN: queryProver, Engine: eng, Registry: reg,
 		IsPromisee: func(a aspath.ASN) bool { return a == queryPromisee },
 		Key:        kb,
+		Obs:        obsReg,
 	})
 	if err != nil {
 		return nil, err
@@ -272,10 +282,18 @@ func RunQueryContext(ctx context.Context, cfg QueryConfig) (*QueryResult, error)
 	wg.Wait()
 	elapsed := time.Since(start)
 
+	cs := srv.CacheStats()
 	res := &QueryResult{
 		Prefixes: cfg.Prefixes, Providers: cfg.Providers, Clients: cfg.Clients,
 		Elapsed:      elapsed,
 		ServerServed: srv.Served(), ServerDenied: srv.Denied(),
+		CacheHits: cs.Hits, CacheMisses: cs.Misses,
+	}
+	if q, ok := obsReg.Quantile("pvr_disc_latency_seconds", 0.50); ok {
+		res.ServerP50 = time.Duration(q * float64(time.Second))
+	}
+	if q, ok := obsReg.Quantile("pvr_disc_latency_seconds", 0.99); ok {
+		res.ServerP99 = time.Duration(q * float64(time.Second))
 	}
 	var lats []time.Duration
 	for c := range tallies {

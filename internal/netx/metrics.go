@@ -1,0 +1,52 @@
+package netx
+
+import (
+	"sync/atomic"
+
+	"pvr/internal/obs"
+)
+
+// Transport counters are process-global: the buffer pool and the framing
+// functions are package state shared by every connection in the process,
+// so their totals are too. RegisterMetrics exports them into a registry as
+// callback metrics; multiple registries may observe the same totals.
+var (
+	framesOut atomic.Uint64
+	bytesOut  atomic.Uint64
+	framesIn  atomic.Uint64
+	bytesIn   atomic.Uint64
+	poolGets  atomic.Uint64
+	poolNews  atomic.Uint64
+)
+
+// IOStats is a snapshot of the process-global transport counters.
+type IOStats struct {
+	FramesOut, BytesOut uint64
+	FramesIn, BytesIn   uint64
+	// PoolGets counts GetBuf calls served from a size class; PoolNews
+	// counts the subset that had to allocate because the pool was empty.
+	// The pool hit rate is (PoolGets-PoolNews)/PoolGets.
+	PoolGets, PoolNews uint64
+}
+
+// ReadIOStats snapshots the transport counters.
+func ReadIOStats() IOStats {
+	return IOStats{
+		FramesOut: framesOut.Load(), BytesOut: bytesOut.Load(),
+		FramesIn: framesIn.Load(), BytesIn: bytesIn.Load(),
+		PoolGets: poolGets.Load(), PoolNews: poolNews.Load(),
+	}
+}
+
+// RegisterMetrics exports the process-global transport counters into r.
+func RegisterMetrics(r *obs.Registry) {
+	reg := func(name, help string, src *atomic.Uint64) {
+		obs.NewCounterFunc(r, name, help, func() float64 { return float64(src.Load()) })
+	}
+	reg("pvr_netx_frames_out_total", "frames written by WriteFrame (process-wide)", &framesOut)
+	reg("pvr_netx_frame_bytes_out_total", "frame bytes written, headers included (process-wide)", &bytesOut)
+	reg("pvr_netx_frames_in_total", "frames read by ReadFrame (process-wide)", &framesIn)
+	reg("pvr_netx_frame_bytes_in_total", "frame bytes read, headers included (process-wide)", &bytesIn)
+	reg("pvr_netx_pool_gets_total", "pooled buffer requests served from a size class (process-wide)", &poolGets)
+	reg("pvr_netx_pool_misses_total", "pooled buffer requests that allocated because the class pool was empty (process-wide)", &poolNews)
+}

@@ -41,6 +41,8 @@ func WriteFrame(w io.Writer, f Frame) error {
 	}
 	buf := GetBuf(5 + len(f.Payload))
 	buf, _ = AppendFrame(buf, f)
+	framesOut.Add(1)
+	bytesOut.Add(uint64(len(buf)))
 	_, err := w.Write(buf)
 	// io.Writer must not retain the slice past Write, so the buffer can go
 	// straight back to the pool.
@@ -68,6 +70,8 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return Frame{}, fmt.Errorf("netx: read payload: %w", err)
 	}
+	framesIn.Add(1)
+	bytesIn.Add(uint64(4 + n))
 	return Frame{Type: buf[0], Payload: buf[1:]}, nil
 }
 

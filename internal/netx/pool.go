@@ -26,6 +26,7 @@ func init() {
 	for i := range bufPools {
 		size := bufClasses[i]
 		bufPools[i].New = func() any {
+			poolNews.Add(1)
 			b := make([]byte, 0, size)
 			return &b
 		}
@@ -52,6 +53,7 @@ func GetBuf(n int) []byte {
 	if ci < 0 {
 		return make([]byte, 0, n)
 	}
+	poolGets.Add(1)
 	return (*bufPools[ci].Get().(*[]byte))[:0]
 }
 

@@ -1,0 +1,497 @@
+// Package obs is the repository's observability layer: a zero-dependency
+// metrics registry (counters, gauges, fixed-bucket latency histograms with
+// quantile extraction) plus a ring-buffer epoch tracer that records typed
+// lifecycle events (announce accepted, shard sealed, seal gossiped,
+// disclosure served, conviction recorded).
+//
+// Design constraints, in order:
+//
+//  1. Hot paths must stay allocation-free and effectively contention-free.
+//     Counter stripes its cells across cache lines; Histogram.Observe is a
+//     bounds scan plus two atomic adds. Neither takes a lock.
+//  2. Every handle works detached. All constructors accept a nil *Registry
+//     and return a live, unregistered handle, so instrumented packages
+//     never branch on "is observability enabled" — they always observe,
+//     and a registry only decides whether the numbers are exported.
+//  3. Exposition is Prometheus text format, hand-written over the standard
+//     library, because the module has no third-party dependencies.
+//
+// Metric names follow the Prometheus convention: pvr_<plane>_<what>_<unit>
+// with _total for counters, _seconds for latency histograms.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metric is one registered exposition unit.
+type metric interface {
+	// metricName returns the full name including any label set, e.g.
+	// `pvr_disc_latency_seconds{role="provider"}`.
+	metricName() string
+	// metricType is "counter", "gauge", or "histogram".
+	metricType() string
+	// write appends the sample lines (no HELP/TYPE header) to w.
+	write(w *bufio.Writer)
+}
+
+// Registry holds an ordered set of metrics and renders them in Prometheus
+// text exposition format. The zero value is unusable; call NewRegistry. A
+// nil *Registry is a valid argument everywhere: constructors still return
+// working handles, they are just not exported anywhere.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+	help    map[string]string // family name -> HELP text
+	byName  map[string]metric // full name (with labels) -> metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		help:   make(map[string]string),
+		byName: make(map[string]metric),
+	}
+}
+
+// familyOf strips a label set from a full metric name.
+func familyOf(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// register adds m under its name; duplicate full names panic because two
+// handles silently shadowing each other is a bug in the instrumented code.
+func (r *Registry) register(help string, m metric) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	name := m.metricName()
+	if _, dup := r.byName[name]; dup {
+		panic("obs: duplicate metric " + name)
+	}
+	r.byName[name] = m
+	fam := familyOf(name)
+	if _, ok := r.help[fam]; !ok {
+		r.help[fam] = help
+	}
+	r.metrics = append(r.metrics, m)
+}
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format. Families registered under several label sets are
+// grouped under a single HELP/TYPE header.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	metrics := make([]metric, len(r.metrics))
+	copy(metrics, r.metrics)
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	// Stable order: group by family in first-registration order.
+	order := make([]string, 0, len(metrics))
+	grouped := make(map[string][]metric, len(metrics))
+	for _, m := range metrics {
+		fam := familyOf(m.metricName())
+		if _, ok := grouped[fam]; !ok {
+			order = append(order, fam)
+		}
+		grouped[fam] = append(grouped[fam], m)
+	}
+
+	bw := bufio.NewWriter(w)
+	for _, fam := range order {
+		ms := grouped[fam]
+		if h := help[fam]; h != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", fam, h)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", fam, ms[0].metricType())
+		for _, m := range ms {
+			m.write(bw)
+		}
+	}
+	return bw.Flush()
+}
+
+// Families returns the number of distinct metric families registered.
+func (r *Registry) Families() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.help)
+}
+
+// Value reads a counter or gauge by its full registered name (including
+// labels, if any). The second result is false when the name is unknown or
+// names a histogram.
+func (r *Registry) Value(name string) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	r.mu.Lock()
+	m := r.byName[name]
+	r.mu.Unlock()
+	switch v := m.(type) {
+	case *Counter:
+		return float64(v.Value()), true
+	case *Gauge:
+		return float64(v.Value()), true
+	case *funcMetric:
+		return v.fn(), true
+	}
+	return 0, false
+}
+
+// Quantile extracts quantile q from the histogram registered under name
+// (including labels, if any). The second result is false when the name is
+// unknown, not a histogram, or the histogram is empty.
+func (r *Registry) Quantile(name string, q float64) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	r.mu.Lock()
+	m := r.byName[name]
+	r.mu.Unlock()
+	h, ok := m.(*Histogram)
+	if !ok || h.Count() == 0 {
+		return 0, false
+	}
+	return h.Quantile(q), true
+}
+
+// writeFloat renders a sample value the way Prometheus expects: integers
+// without an exponent, everything else in shortest-round-trip form.
+func writeFloat(w *bufio.Writer, v float64) {
+	switch {
+	case math.IsInf(v, 1):
+		w.WriteString("+Inf")
+	case math.IsInf(v, -1):
+		w.WriteString("-Inf")
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		w.WriteString(strconv.FormatInt(int64(v), 10))
+	default:
+		w.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+
+// counterStripes is the number of cache-line-padded cells a counter spreads
+// its increments over. Eight cells keep two sockets' worth of cores from
+// bouncing one line without bloating every counter past half a KiB.
+const counterStripes = 8
+
+type counterCell struct {
+	n atomic.Uint64
+	_ [56]byte // pad to a 64-byte cache line
+}
+
+// Counter is a monotonically increasing striped counter. Add is wait-free
+// and allocation-free; Value folds the stripes.
+type Counter struct {
+	name string
+	c    [counterStripes]counterCell
+}
+
+// NewCounter creates a counter and registers it when r is non-nil. The
+// name may carry a label set: `pvr_x_total{op="seal"}`.
+func NewCounter(r *Registry, name, help string) *Counter {
+	c := &Counter{name: name}
+	r.register(help, c)
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. Striping uses the address of a stack variable, which lands
+// different goroutines on different cells without any per-goroutine state.
+func (c *Counter) Add(n uint64) {
+	c.c[stripe()].n.Add(n)
+}
+
+// Value folds all stripes into the counter's current total.
+func (c *Counter) Value() uint64 {
+	var t uint64
+	for i := range c.c {
+		t += c.c[i].n.Load()
+	}
+	return t
+}
+
+func (c *Counter) metricName() string { return c.name }
+func (c *Counter) metricType() string { return "counter" }
+func (c *Counter) write(w *bufio.Writer) {
+	w.WriteString(c.name)
+	w.WriteByte(' ')
+	w.WriteString(strconv.FormatUint(c.Value(), 10))
+	w.WriteByte('\n')
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+
+// Gauge is an instantaneous value. All methods are atomic.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// NewGauge creates a gauge and registers it when r is non-nil.
+func NewGauge(r *Registry, name, help string) *Gauge {
+	g := &Gauge{name: name}
+	r.register(help, g)
+	return g
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds d (possibly negative).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// SetMax raises the gauge to v when v exceeds the current value — a
+// high-water mark.
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) metricName() string { return g.name }
+func (g *Gauge) metricType() string { return "gauge" }
+func (g *Gauge) write(w *bufio.Writer) {
+	w.WriteString(g.name)
+	w.WriteByte(' ')
+	w.WriteString(strconv.FormatInt(g.v.Load(), 10))
+	w.WriteByte('\n')
+}
+
+// ---------------------------------------------------------------------------
+// Callback metrics
+
+// funcMetric evaluates a callback at scrape time; it is how live values
+// (queue depth, store sizes, process-global transport totals) are exported
+// without mirroring them into a second variable.
+type funcMetric struct {
+	name string
+	typ  string
+	fn   func() float64
+}
+
+// NewGaugeFunc registers a gauge whose value is fn(), read at scrape time.
+// fn must be safe for concurrent use. Returns nothing: callback metrics
+// have no handle to poke.
+func NewGaugeFunc(r *Registry, name, help string, fn func() float64) {
+	r.register(help, &funcMetric{name: name, typ: "gauge", fn: fn})
+}
+
+// NewCounterFunc registers a counter whose value is fn(), read at scrape
+// time; fn must be monotonically non-decreasing and concurrency-safe.
+func NewCounterFunc(r *Registry, name, help string, fn func() float64) {
+	r.register(help, &funcMetric{name: name, typ: "counter", fn: fn})
+}
+
+func (f *funcMetric) metricName() string { return f.name }
+func (f *funcMetric) metricType() string { return f.typ }
+func (f *funcMetric) write(w *bufio.Writer) {
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	writeFloat(w, f.fn())
+	w.WriteByte('\n')
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+// DefLatencyBuckets is the default bucket ladder for latency histograms,
+// in seconds: 1µs–10s, roughly logarithmic, 22 buckets. Fine enough that
+// a p99 read off a bucket boundary is within ~2.5x of the true value at
+// the microsecond end and ~25% at the millisecond end.
+var DefLatencyBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	1e-1, 2.5e-1, 5e-1,
+	1, 2.5, 5, 10,
+}
+
+// SizeBuckets returns a power-of-two bucket ladder 1, 2, 4, … up to max,
+// for count-valued histograms (batch sizes, dirty-prefix counts).
+func SizeBuckets(max int) []float64 {
+	var b []float64
+	for v := 1; v <= max; v *= 2 {
+		b = append(b, float64(v))
+	}
+	return b
+}
+
+// Histogram is a fixed-bucket histogram with cumulative Prometheus
+// exposition and direct quantile extraction. Observe is lock-free: a
+// linear scan of the (small, immutable) bounds slice, one bucket atomic
+// add, one count add, and CAS loops for the running sum and max.
+type Histogram struct {
+	name   string
+	bounds []float64 // upper bounds, ascending; +Inf bucket is implicit
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // math.Float64bits
+	max    atomic.Uint64 // math.Float64bits
+}
+
+// NewHistogram creates a histogram with the given ascending upper bounds
+// (use DefLatencyBuckets or SizeBuckets) and registers it when r is
+// non-nil. Bounds are copied.
+func NewHistogram(r *Registry, name, help string, bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefLatencyBuckets
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic("obs: histogram bounds must be ascending: " + name)
+	}
+	h := &Histogram{
+		name:   name,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	r.register(help, h)
+	return h
+}
+
+// Observe records v. Values land in the first bucket whose upper bound is
+// >= v (bounds are inclusive), matching Prometheus `le` semantics.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if v <= math.Float64frombits(old) {
+			break
+		}
+		if h.max.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Max returns the largest observed value (0 when empty).
+func (h *Histogram) Max() float64 { return math.Float64frombits(h.max.Load()) }
+
+// Quantile returns an upper bound for quantile q in [0, 1]: the smallest
+// bucket boundary at or below which at least q of the observations fall.
+// Observations beyond the last bound report the observed maximum. An empty
+// histogram reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.bounds {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			return h.bounds[i]
+		}
+	}
+	return h.Max()
+}
+
+func (h *Histogram) metricName() string { return h.name }
+func (h *Histogram) metricType() string { return "histogram" }
+
+// write renders cumulative buckets, sum, and count. Label-carrying names
+// get `le` merged into the existing label set.
+func (h *Histogram) write(w *bufio.Writer) {
+	fam, labels := h.name, ""
+	if i := strings.IndexByte(h.name, '{'); i >= 0 {
+		fam, labels = h.name[:i], h.name[i+1:len(h.name)-1]+","
+	}
+	var cum uint64
+	emit := func(le string, n uint64) {
+		w.WriteString(fam)
+		w.WriteString(`_bucket{`)
+		w.WriteString(labels)
+		w.WriteString(`le="`)
+		w.WriteString(le)
+		w.WriteString(`"} `)
+		w.WriteString(strconv.FormatUint(n, 10))
+		w.WriteByte('\n')
+	}
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		emit(strconv.FormatFloat(b, 'g', -1, 64), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	emit("+Inf", cum)
+
+	suffix := func(s string) {
+		w.WriteString(fam)
+		w.WriteString(s)
+		if labels != "" {
+			w.WriteByte('{')
+			w.WriteString(labels[:len(labels)-1])
+			w.WriteByte('}')
+		}
+		w.WriteByte(' ')
+	}
+	suffix("_sum")
+	writeFloat(w, h.Sum())
+	w.WriteByte('\n')
+	suffix("_count")
+	w.WriteString(strconv.FormatUint(cum, 10))
+	w.WriteByte('\n')
+}

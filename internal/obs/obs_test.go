@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterStripesFold(t *testing.T) {
+	c := NewCounter(nil, "t_total", "")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	g := NewGauge(nil, "t", "")
+	g.SetMax(5)
+	g.SetMax(3)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("SetMax kept %d, want 5", got)
+	}
+	g.SetMax(9)
+	if got := g.Value(); got != 9 {
+		t.Fatalf("SetMax kept %d, want 9", got)
+	}
+}
+
+// Quantile must return the exact bucket boundary when observations sit
+// exactly on boundaries: `le` is inclusive, so a value equal to a bound
+// belongs to that bound's bucket.
+func TestHistogramQuantileExactBoundaries(t *testing.T) {
+	h := NewHistogram(nil, "t_seconds", "", []float64{1, 2, 4, 8})
+	for _, v := range []float64{1, 1, 2, 2, 4, 4, 8, 8} {
+		h.Observe(v)
+	}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.25, 1}, // ranks 1-2 live in the le=1 bucket
+		{0.5, 2},
+		{0.75, 4},
+		{1.0, 8},
+		{0, 1}, // clamped to rank 1
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+// Observations past the last bound fall in the +Inf bucket; quantiles that
+// land there report the observed max rather than infinity.
+func TestHistogramQuantileOverflowBucket(t *testing.T) {
+	h := NewHistogram(nil, "t_seconds", "", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(100)
+	if got := h.Quantile(0.99); got != 100 {
+		t.Fatalf("Quantile(0.99) = %v, want observed max 100", got)
+	}
+	if got := h.Max(); got != 100 {
+		t.Fatalf("Max = %v, want 100", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(nil, "t_seconds", "", nil)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile = %v, want 0", got)
+	}
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram not zeroed: count=%d sum=%v max=%v", h.Count(), h.Sum(), h.Max())
+	}
+	r := NewRegistry()
+	h2 := NewHistogram(r, "t2_seconds", "", nil)
+	_ = h2
+	if _, ok := r.Quantile("t2_seconds", 0.5); ok {
+		t.Fatal("Registry.Quantile reported ok for empty histogram")
+	}
+}
+
+// Concurrent Observe must neither lose observations nor corrupt the sum;
+// run under -race this also pins the lock-free paths.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(nil, "t_seconds", "", DefLatencyBuckets)
+	const goroutines, per = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(g+1) * 1e-6)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*per {
+		t.Fatalf("count = %d, want %d", got, goroutines*per)
+	}
+	wantSum := 0.0
+	for g := 1; g <= goroutines; g++ {
+		wantSum += float64(g) * 1e-6 * per
+	}
+	if got := h.Sum(); math.Abs(got-wantSum) > wantSum*1e-9 {
+		t.Fatalf("sum = %v, want %v", got, wantSum)
+	}
+}
+
+func TestHistogramDurationHelpers(t *testing.T) {
+	h := NewHistogram(nil, "t_seconds", "", []float64{0.001, 0.01, 0.1})
+	h.ObserveDuration(5 * time.Millisecond)
+	if got := h.QuantileDuration(0.5); got != 10*time.Millisecond {
+		t.Fatalf("QuantileDuration = %v, want 10ms (bucket bound)", got)
+	}
+	if got := h.MaxDuration(); got != 5*time.Millisecond {
+		t.Fatalf("MaxDuration = %v, want 5ms", got)
+	}
+}
+
+func TestNilRegistryHandlesWork(t *testing.T) {
+	var r *Registry
+	c := NewCounter(r, "a_total", "")
+	g := NewGauge(r, "b", "")
+	h := NewHistogram(r, "c_seconds", "", nil)
+	NewGaugeFunc(r, "d", "", func() float64 { return 1 })
+	c.Inc()
+	g.Set(2)
+	h.Observe(1)
+	if c.Value() != 1 || g.Value() != 2 || h.Count() != 1 {
+		t.Fatal("nil-registry handles are not live")
+	}
+	if err := r.WritePrometheus(nil); err != nil {
+		t.Fatalf("nil registry WritePrometheus: %v", err)
+	}
+	if r.Families() != 0 {
+		t.Fatal("nil registry claims families")
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	c := NewCounter(r, "pvr_x_total", "things done")
+	c.Add(3)
+	g := NewGauge(r, "pvr_y", "current y")
+	g.Set(-2)
+	h := NewHistogram(r, `pvr_z_seconds{role="provider"}`, "z latency", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(2)
+	NewCounterFunc(r, "pvr_w_total", "w", func() float64 { return 7 })
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP pvr_x_total things done\n# TYPE pvr_x_total counter\npvr_x_total 3\n",
+		"# TYPE pvr_y gauge\npvr_y -2\n",
+		"# TYPE pvr_z_seconds histogram\n",
+		`pvr_z_seconds_bucket{role="provider",le="0.5"} 1`,
+		`pvr_z_seconds_bucket{role="provider",le="1"} 1`,
+		`pvr_z_seconds_bucket{role="provider",le="+Inf"} 2`,
+		`pvr_z_seconds_sum{role="provider"} 2.25`,
+		`pvr_z_seconds_count{role="provider"} 2`,
+		"pvr_w_total 7\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if got := r.Families(); got != 4 {
+		t.Fatalf("Families = %d, want 4", got)
+	}
+	if v, ok := r.Value("pvr_x_total"); !ok || v != 3 {
+		t.Fatalf("Value(pvr_x_total) = %v, %v", v, ok)
+	}
+	if q, ok := r.Quantile(`pvr_z_seconds{role="provider"}`, 0.5); !ok || q != 0.5 {
+		t.Fatalf("Quantile = %v, %v", q, ok)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	NewCounter(r, "dup_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	NewCounter(r, "dup_total", "")
+}
+
+func TestTracerWraparound(t *testing.T) {
+	tr := NewTracer(16) // minimum capacity
+	for i := 0; i < 40; i++ {
+		tr.Record(Event{Kind: EvAnnounceAccepted, Epoch: uint64(i)})
+	}
+	if got := tr.Seq(); got != 40 {
+		t.Fatalf("Seq = %d, want 40", got)
+	}
+	evs := tr.Recent(0)
+	if len(evs) != 16 {
+		t.Fatalf("Recent(0) returned %d events, want ring capacity 16", len(evs))
+	}
+	for i, ev := range evs {
+		wantSeq := uint64(24 + i) // oldest surviving is #24
+		if ev.Seq != wantSeq || ev.Epoch != wantSeq {
+			t.Fatalf("event %d: seq=%d epoch=%d, want %d", i, ev.Seq, ev.Epoch, wantSeq)
+		}
+		if ev.At.IsZero() {
+			t.Fatal("Record did not stamp At")
+		}
+	}
+	if got := tr.Recent(4); len(got) != 4 || got[0].Seq != 36 {
+		t.Fatalf("Recent(4) = %d events starting at %d", len(got), got[0].Seq)
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record(Event{Kind: EvShardSealed})
+	if tr.Seq() != 0 || tr.Recent(10) != nil {
+		t.Fatal("nil tracer not inert")
+	}
+}
+
+func TestEventKindJSON(t *testing.T) {
+	b, err := EvConvictionRecorded.MarshalJSON()
+	if err != nil || string(b) != `"ConvictionRecorded"` {
+		t.Fatalf("MarshalJSON = %s, %v", b, err)
+	}
+	if EvWindowSealed.String() != "WindowSealed" || EventKind(200).String() != "Unknown" {
+		t.Fatal("EventKind.String wrong")
+	}
+}

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"time"
+	"unsafe"
+)
+
+// stripe picks a counter cell for the calling goroutine. Go offers no
+// goroutine-local storage, but the address of a stack variable is a cheap
+// proxy: each goroutine's stack lives in its own allocation, so distinct
+// goroutines hash to distinct cells with high probability, while a single
+// goroutine stays on one cell across calls at the same stack depth. Wrong
+// answers only cost contention, never correctness.
+func stripe() int {
+	var probe byte
+	return int(uintptr(unsafe.Pointer(&probe)) >> 10 % counterStripes)
+}
+
+// ObserveSince records the elapsed time since start, in seconds — the
+// idiom for latency instrumentation:
+//
+//	t0 := time.Now()
+//	...
+//	h.ObserveSince(t0)
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Seconds())
+}
+
+// QuantileDuration is Quantile for latency histograms, returned as a
+// time.Duration.
+func (h *Histogram) QuantileDuration(q float64) time.Duration {
+	return time.Duration(h.Quantile(q) * float64(time.Second))
+}
+
+// MaxDuration is Max as a time.Duration.
+func (h *Histogram) MaxDuration() time.Duration {
+	return time.Duration(h.Max() * float64(time.Second))
+}

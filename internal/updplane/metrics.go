@@ -1,0 +1,51 @@
+package updplane
+
+import (
+	"pvr/internal/obs"
+)
+
+// planeMetrics are the update plane's instruments. Handles are live even
+// with a nil registry, so the loop and the submit paths observe
+// unconditionally; Stats() reads the very same handles, which is what
+// makes the snapshot race-free — every field is an atomic read, and the
+// numbers a scrape exports can never disagree with the API.
+type planeMetrics struct {
+	events     *obs.Counter   // accepted submissions
+	rejected   *obs.Counter   // announcements dropped on failed verification
+	windows    *obs.Counter   // sealed windows
+	rebuilt    *obs.Counter   // shard seals rebuilt across all windows
+	resigned   *obs.Counter   // clean shard seals merely re-signed
+	dirtyTotal *obs.Counter   // dirty prefixes summed over windows
+	dirtySize  *obs.Histogram // dirty prefixes per window
+	applySec   *obs.Histogram // per-window prover-state rebuild latency
+	sealSec    *obs.Histogram // per-window engine.SealDirty latency
+	flushSec   *obs.Histogram // whole window flush (apply + seal)
+	queueHW    *obs.Gauge     // deepest observed ingest queue
+}
+
+func newPlaneMetrics(r *obs.Registry) *planeMetrics {
+	return &planeMetrics{
+		events:     obs.NewCounter(r, "pvr_upd_events_total", "feed events accepted by the update plane"),
+		rejected:   obs.NewCounter(r, "pvr_upd_events_rejected_total", "announcements rejected on signature verification"),
+		windows:    obs.NewCounter(r, "pvr_upd_windows_total", "commitment windows sealed"),
+		rebuilt:    obs.NewCounter(r, "pvr_upd_shards_rebuilt_total", "shard seals rebuilt across windows"),
+		resigned:   obs.NewCounter(r, "pvr_upd_shards_resigned_total", "clean shard seals re-signed across windows"),
+		dirtyTotal: obs.NewCounter(r, "pvr_upd_dirty_prefixes_total", "dirty prefixes summed over all windows"),
+		dirtySize:  obs.NewHistogram(r, "pvr_upd_window_dirty_prefixes", "dirty prefixes per sealed window", obs.SizeBuckets(1<<20)),
+		applySec:   obs.NewHistogram(r, "pvr_upd_window_apply_seconds", "per-window prover-state rebuild latency", nil),
+		sealSec:    obs.NewHistogram(r, "pvr_upd_window_seal_seconds", "per-window engine SealDirty latency", nil),
+		flushSec:   obs.NewHistogram(r, "pvr_upd_window_flush_seconds", "whole window flush latency (apply + seal)", nil),
+		queueHW:    obs.NewGauge(r, "pvr_upd_queue_high_water", "deepest observed ingest queue"),
+	}
+}
+
+// registerGauges exports the plane's live state; called once from New
+// when a registry is configured.
+func (p *Plane) registerGauges(r *obs.Registry) {
+	obs.NewGaugeFunc(r, "pvr_upd_queue_depth", "current ingest queue depth", func() float64 {
+		return float64(len(p.queue))
+	})
+	obs.NewGaugeFunc(r, "pvr_upd_installed_prefixes", "Loc-RIB size", func() float64 {
+		return float64(p.InstalledPrefixes())
+	})
+}

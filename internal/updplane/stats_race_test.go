@@ -1,0 +1,110 @@
+package updplane
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStatsRaceStress hammers the plane's read surface (Stats, Seals,
+// Best, InstalledPrefixes) from many goroutines while submitters and
+// flushers run concurrently. Under -race this pins the guarantee that a
+// Stats snapshot takes no lock shared with the worker pool and reads no
+// loop-owned state: a regression that touches loop fields from Stats
+// shows up as a race report, not a flaky number.
+func TestStatsRaceStress(t *testing.T) {
+	e := newEnv(t, 4)
+	p, err := New(Config{Engine: e.eng, QueueSize: 256, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pfxs := testPrefixes(32)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Two submitters alternating announce and withdraw churn.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			peer := tPeerA
+			if g == 1 {
+				peer = tPeerB
+			}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				pfx := pfxs[i%len(pfxs)]
+				var ev Event
+				if i%5 == 4 {
+					ev = WithdrawEvent(peer, pfx)
+				} else {
+					ev = AnnounceEvent(peer, e.announce(t, peer, pfx, 1+i%6))
+				}
+				if err := p.Submit(ev); err != nil {
+					return // plane closed under us; fine
+				}
+			}
+		}(g)
+	}
+
+	// One flusher sealing windows as fast as the engine allows.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := p.Flush(); err != nil {
+				return
+			}
+		}
+	}()
+
+	// Four readers pounding the snapshot surface.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := p.Stats()
+				if st.EventsIn < last {
+					t.Errorf("EventsIn went backwards: %d -> %d", last, st.EventsIn)
+					return
+				}
+				last = st.EventsIn
+				_ = p.Seals()
+				_, _ = p.Best(pfxs[0])
+				_ = p.InstalledPrefixes()
+			}
+		}()
+	}
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if err := p.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	st := p.Stats()
+	if st.Windows == 0 || st.EventsIn == 0 {
+		t.Fatalf("stress produced no work: %+v", st)
+	}
+	if st.SealMax == 0 || st.SealP99 == 0 {
+		t.Fatalf("seal latency quantiles empty after %d windows", st.Windows)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"pvr/internal/bgp"
 	"pvr/internal/core"
 	"pvr/internal/engine"
+	"pvr/internal/obs"
 	"pvr/internal/prefix"
 	"pvr/internal/route"
 )
@@ -120,6 +121,12 @@ type Config struct {
 	// synchronously from the plane's loop (keep it fast; hand off to a
 	// goroutine for slow sinks).
 	OnWindow func(WindowResult)
+	// Obs, when non-nil, exports the plane's metric families (event and
+	// window counters, flush/apply/seal latency histograms, queue depth)
+	// into the given registry.
+	Obs *obs.Registry
+	// Tracer, when non-nil, receives a WindowSealed event per flush.
+	Tracer *obs.Tracer
 }
 
 func (c *Config) fill() error {
@@ -138,7 +145,10 @@ func (c *Config) fill() error {
 	return nil
 }
 
-// Stats is a point-in-time snapshot of plane counters.
+// Stats is a point-in-time snapshot of plane counters. Every field is
+// read from the plane's lock-free obs instruments, so a snapshot never
+// contends with the worker pool and never tears: each value is one atomic
+// (or folded-atomic) read.
 type Stats struct {
 	// EventsIn counts accepted submissions; EventsRejected counts
 	// announcements whose signatures failed verification at window time.
@@ -153,7 +163,10 @@ type Stats struct {
 	DirtyPrefixes uint64
 	// QueueHighWater is the deepest observed ingest queue.
 	QueueHighWater int
-	// SealP50/SealP99/SealMax summarize per-window SealDirty latency.
+	// SealP50/SealP99 summarize per-window SealDirty latency, extracted
+	// from a fixed-bucket histogram (each is the upper bound of the bucket
+	// holding that quantile, so P50/P99 may round up past SealMax, which
+	// is exact).
 	SealP50, SealP99, SealMax time.Duration
 }
 
@@ -182,11 +195,13 @@ type Plane struct {
 	closeMu sync.RWMutex
 	closed  bool
 
-	rejected atomic.Uint64
+	met *planeMetrics
+	tr  *obs.Tracer
 
+	// statsMu guards the loop-shared reference state below (the Loc-RIB
+	// views and the last seal set); all counters and latency quantiles
+	// live in met and are read lock-free.
 	statsMu   sync.Mutex
-	stats     Stats
-	sealLat   []time.Duration
 	loopErr   error
 	lastSeals []*engine.Seal
 }
@@ -211,6 +226,11 @@ func New(cfg Config) (*Plane, error) {
 		flushCh: make(chan chan flushReply),
 		closing: make(chan struct{}),
 		done:    make(chan struct{}),
+		met:     newPlaneMetrics(cfg.Obs),
+		tr:      cfg.Tracer,
+	}
+	if cfg.Obs != nil {
+		p.registerGauges(cfg.Obs)
 	}
 	go p.loop()
 	return p, nil
@@ -271,12 +291,7 @@ func (p *Plane) TrySubmit(ev Event) error {
 }
 
 func (p *Plane) noteDepth() {
-	d := len(p.queue)
-	p.statsMu.Lock()
-	if d > p.stats.QueueHighWater {
-		p.stats.QueueHighWater = d
-	}
-	p.statsMu.Unlock()
+	p.met.queueHW.SetMax(int64(len(p.queue)))
 }
 
 // Flush drains everything already submitted, seals a window, and returns
@@ -326,20 +341,22 @@ func (p *Plane) Close() error {
 }
 
 // Stats returns a snapshot of the plane's counters, including seal
-// latency quantiles over the windows sealed so far.
+// latency quantiles over the windows sealed so far. It takes no locks:
+// every field reads an atomic instrument, so Stats is safe (and cheap) to
+// call from any goroutine at any rate while the worker pool runs.
 func (p *Plane) Stats() Stats {
-	p.statsMu.Lock()
-	defer p.statsMu.Unlock()
-	st := p.stats
-	st.EventsRejected = p.rejected.Load()
-	if n := len(p.sealLat); n > 0 {
-		sorted := append([]time.Duration(nil), p.sealLat...)
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-		st.SealP50 = sorted[n/2]
-		st.SealP99 = sorted[(n*99)/100]
-		st.SealMax = sorted[n-1]
+	return Stats{
+		EventsIn:       p.met.events.Value(),
+		EventsRejected: p.met.rejected.Value(),
+		Windows:        p.met.windows.Value(),
+		RebuiltShards:  p.met.rebuilt.Value(),
+		ReusedShards:   p.met.resigned.Value(),
+		DirtyPrefixes:  p.met.dirtyTotal.Value(),
+		QueueHighWater: int(p.met.queueHW.Value()),
+		SealP50:        p.met.sealSec.QuantileDuration(0.50),
+		SealP99:        p.met.sealSec.QuantileDuration(0.99),
+		SealMax:        p.met.sealSec.MaxDuration(),
 	}
-	return st
 }
 
 // Seals returns the most recent window's full seal set.
@@ -379,7 +396,7 @@ func (p *Plane) SessionFeed(peer aspath.ASN, authenticate func(route.Route, bgp.
 		for _, r := range u.Announced {
 			ann, err := authenticate(r, u)
 			if err != nil {
-				p.rejected.Add(1)
+				p.met.rejected.Inc()
 				continue
 			}
 			_ = p.Submit(AnnounceEvent(peer, ann))
@@ -439,9 +456,7 @@ func (p *Plane) drainQueue() {
 // recorded unverified here — signature checks run in parallel at window
 // time, inside engine.ReplacePrefix.
 func (p *Plane) apply(ev Event) {
-	p.statsMu.Lock()
-	p.stats.EventsIn++
-	p.statsMu.Unlock()
+	p.met.events.Inc()
 	p.pending++
 	if ev.Withdraw {
 		if !p.adjIn.Remove(ev.Peer, ev.Prefix) {
@@ -583,12 +598,21 @@ func (p *Plane) sealWindow() (WindowResult, error) {
 	res.Seals = seals
 	res.Rebuilt = rebuilt
 
+	p.met.windows.Inc()
+	p.met.rebuilt.Add(uint64(len(rebuilt)))
+	p.met.resigned.Add(uint64(res.TotalShards - len(rebuilt)))
+	p.met.dirtyTotal.Add(uint64(res.DirtyPrefixes))
+	p.met.dirtySize.Observe(float64(res.DirtyPrefixes))
+	p.met.applySec.ObserveDuration(res.ApplyLatency)
+	p.met.sealSec.ObserveDuration(res.SealLatency)
+	p.met.flushSec.ObserveDuration(res.ApplyLatency + res.SealLatency)
+	p.tr.Record(obs.Event{
+		Kind: obs.EvWindowSealed, Epoch: p.cfg.Engine.Epoch(), Window: res.Window,
+		Note: fmt.Sprintf("%d events, %d dirty, %d/%d shards rebuilt",
+			res.Events, res.DirtyPrefixes, len(rebuilt), res.TotalShards),
+	})
+
 	p.statsMu.Lock()
-	p.stats.Windows++
-	p.stats.RebuiltShards += uint64(len(rebuilt))
-	p.stats.ReusedShards += uint64(res.TotalShards - len(rebuilt))
-	p.stats.DirtyPrefixes += uint64(res.DirtyPrefixes)
-	p.sealLat = append(p.sealLat, res.SealLatency)
 	p.lastSeals = seals
 	p.statsMu.Unlock()
 
@@ -652,7 +676,7 @@ func (p *Plane) applyPrefix(pfx prefix.Prefix, removed *atomic.Int64) ([]aspath.
 	good := make([]core.Announcement, 0, len(anns))
 	for i, a := range anns {
 		if verr := a.Verify(ver); verr != nil {
-			p.rejected.Add(1)
+			p.met.rejected.Inc()
 			bad = append(bad, peers[i])
 			continue
 		}

@@ -6,7 +6,6 @@ import (
 	"math/rand"
 	"net/netip"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"pvr/internal/aspath"
@@ -16,6 +15,7 @@ import (
 	"pvr/internal/discplane"
 	"pvr/internal/engine"
 	"pvr/internal/merkle"
+	"pvr/internal/obs"
 	"pvr/internal/prefix"
 	"pvr/internal/route"
 	"pvr/internal/sigs"
@@ -74,10 +74,17 @@ type Participant struct {
 	advertise chan []bgp.Update
 	sendDone  chan struct{}
 
-	verified       atomic.Uint64
-	rejected       atomic.Uint64
-	sessionsOpened atomic.Uint64
-	queriesSent    atomic.Uint64
+	// obsReg and tracer are the participant's observability plane: every
+	// subsystem registers its metric families into obsReg and records
+	// lifecycle events into tracer. DebugHandler serves both.
+	obsReg *obs.Registry
+	tracer *obs.Tracer
+	bgpMet *bgp.Metrics
+
+	verified       *obs.Counter
+	rejected       *obs.Counter
+	sessionsOpened *obs.Counter
+	queriesSent    *obs.Counter
 
 	// discSealMemo amortizes seal-signature checks across this
 	// participant's disclosure queries, BGP-carried seal verification, and
@@ -126,6 +133,7 @@ func Open(ctx context.Context, opts ...Option) (*Participant, error) {
 		discSealMemo: sigs.NewVerifyMemo(),
 	}
 	p.lifeCtx, p.lifeCancel = context.WithCancel(context.Background())
+	p.initObs()
 	if p.transport == nil {
 		p.transport = TCP()
 	}
@@ -189,6 +197,7 @@ func (p *Participant) buildEngine() error {
 	eng, err := engine.New(engine.Config{
 		ASN: p.asn, Signer: p.signer, Registry: p.reg,
 		Shards: p.cfg.shards, MaxLen: p.cfg.maxLen, Workers: p.cfg.workers,
+		Obs: p.obsReg, Tracer: p.tracer,
 	})
 	if err != nil {
 		return wrapErr("open", err)
@@ -231,7 +240,10 @@ func (p *Participant) buildAuditor() error {
 	// seal memo: a seal statement checked on the gossip observe path is
 	// already settled when a disclosure query or a sealed BGP update
 	// presents the same seal, and vice versa.
-	cfg := auditnet.Config{ASN: p.asn, Registry: p.discSealMemo.Bind(p.reg)}
+	cfg := auditnet.Config{
+		ASN: p.asn, Registry: p.discSealMemo.Bind(p.reg),
+		Obs: p.obsReg, Tracer: p.tracer,
+	}
 	if p.cfg.ledgerPath != "" {
 		led, recs, err := auditnet.OpenLedger(p.cfg.ledgerPath)
 		if err != nil {
@@ -289,6 +301,8 @@ func (p *Participant) buildPlane() error {
 		MaxBatch:  p.cfg.maxBatch,
 		Workers:   p.cfg.workers,
 		OnWindow:  p.onWindow,
+		Obs:       p.obsReg,
+		Tracer:    p.tracer,
 	})
 	if err != nil {
 		close(p.advertise)
@@ -391,6 +405,8 @@ func (p *Participant) bind() error {
 			IsPromisee: func(a aspath.ASN) bool { return promisees[a] },
 			Key:        p.keyBytes,
 			Logf:       p.cfg.logf,
+			Obs:        p.obsReg,
+			Tracer:     p.tracer,
 		})
 		if err != nil {
 			return wrapErr("open", err)
@@ -461,16 +477,28 @@ func (p *Participant) runSession(c Conn) {
 			defer vmu.Unlock()
 			for _, r := range u.Announced {
 				if p.auditor.Convicted(peerASN) {
-					p.rejected.Add(1)
+					p.rejected.Inc()
+					p.tracer.Record(obs.Event{
+						Kind: obs.EvRouteRejected, Epoch: p.eng.Epoch(),
+						Prefix: r.Prefix.String(), AS: uint32(peerASN), Note: "peer convicted",
+					})
 					p.cfg.logf("pvr: %s learned %s — REJECTED: %s convicted by audit", p.asn, r, peerASN)
 					continue
 				}
 				if err := p.verifySealedRoute(peerASN, r, u, &haveKey); err != nil {
-					p.rejected.Add(1)
+					p.rejected.Inc()
+					p.tracer.Record(obs.Event{
+						Kind: obs.EvRouteRejected, Epoch: p.eng.Epoch(),
+						Prefix: r.Prefix.String(), AS: uint32(peerASN), Note: err.Error(),
+					})
 					p.cfg.logf("pvr: %s learned %s — REJECTED: %v", p.asn, r, err)
 					continue
 				}
-				p.verified.Add(1)
+				p.verified.Inc()
+				p.tracer.Record(obs.Event{
+					Kind: obs.EvRouteVerified, Epoch: p.eng.Epoch(),
+					Prefix: r.Prefix.String(), AS: uint32(peerASN),
+				})
 				p.cfg.logf("pvr: %s learned %s — sealed commitment verified", p.asn, r)
 			}
 			for _, w := range u.Withdrawn {
@@ -480,12 +508,13 @@ func (p *Participant) runSession(c Conn) {
 		OnClose: func(err error) {
 			p.cfg.logf("pvr: %s session closed: %v", p.asn, err)
 		},
+		Metrics: p.bgpMet,
 	})
 	if !p.sessions.add(s) {
 		_ = c.Close() // participant already closing
 		return
 	}
-	p.sessionsOpened.Add(1)
+	p.sessionsOpened.Inc()
 	defer p.sessions.remove(s)
 	_ = s.RunContext(p.lifeCtx)
 }
@@ -908,16 +937,16 @@ func (p *Participant) Stats() ParticipantStats {
 	return ParticipantStats{
 		DisclosuresServed: served,
 		DisclosuresDenied: denied,
-		DisclosureQueries: p.queriesSent.Load(),
+		DisclosureQueries: p.queriesSent.Value(),
 		ASN:               p.asn,
 		Epoch:             p.eng.Epoch(),
 		Window:            p.eng.Window(),
 		Prefixes:          p.eng.PrefixCount(),
 		Shards:            p.eng.ShardCount(),
 		Sessions:          p.sessions.len(),
-		SessionsOpened:    p.sessionsOpened.Load(),
-		RoutesVerified:    p.verified.Load(),
-		RoutesRejected:    p.rejected.Load(),
+		SessionsOpened:    p.sessionsOpened.Value(),
+		RoutesVerified:    p.verified.Value(),
+		RoutesRejected:    p.rejected.Value(),
 		AuditRecords:      p.auditor.Store().Records(),
 		Convictions:       len(p.auditor.Convictions()),
 		Plane:             p.plane.Stats(),

@@ -1,0 +1,105 @@
+#!/bin/sh
+# metricsmoke.sh — end-to-end smoke of pvrd's debug endpoint.
+#
+# Builds pvrd, runs one daemon that originates a prefix (so every plane
+# does real work: engine seal, update plane, audit store, disclosure
+# server, framing layer), scrapes /metrics over HTTP, and asserts the
+# Prometheus exposition is well-formed and complete: at least 25 metric
+# families, with at least one family from each plane. This is the check
+# that the observability layer stays wired end to end — a plane whose
+# Config.Obs plumbing is dropped disappears from the scrape and fails
+# here, not in production.
+#
+# Usage: scripts/metricsmoke.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+workdir="$(mktemp -d)"
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$workdir/pvrd" ./cmd/pvrd
+
+"$workdir/pvrd" \
+    -listen 127.0.0.1:0 \
+    -disclose-listen 127.0.0.1:0 \
+    -gossip-listen 127.0.0.1:0 \
+    -originate 203.0.113.0/24 \
+    -debug-listen 127.0.0.1:0 \
+    >"$workdir/pvrd.log" 2>&1 &
+pid=$!
+
+# The daemon logs its ephemeral debug address; wait for the line.
+addr=""
+for i in $(seq 1 50); do
+    addr="$(sed -n 's!.*debug endpoint on http://\([^ ]*\).*!\1!p' "$workdir/pvrd.log" | head -n1)"
+    [ -n "$addr" ] && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "metricsmoke: pvrd exited before serving; log follows" >&2
+        cat "$workdir/pvrd.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+if [ -z "$addr" ]; then
+    echo "metricsmoke: no debug endpoint line in pvrd log after 10s" >&2
+    cat "$workdir/pvrd.log" >&2
+    exit 1
+fi
+
+fetch() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS "$1"
+    else
+        wget -qO- "$1"
+    fi
+}
+
+# The scrape can race the first epoch seal; retry briefly.
+metrics=""
+for i in $(seq 1 25); do
+    metrics="$(fetch "http://$addr/metrics" 2>/dev/null || true)"
+    if [ -n "$metrics" ] && printf '%s\n' "$metrics" | grep -q '^pvr_engine_seals_total [1-9]'; then
+        break
+    fi
+    sleep 0.2
+done
+
+families="$(printf '%s\n' "$metrics" | grep -c '^# TYPE ' || true)"
+echo "metricsmoke: scraped http://$addr/metrics — ${families} metric families"
+if [ "$families" -lt 25 ]; then
+    echo "metricsmoke: FAIL — want >= 25 families; exposition follows" >&2
+    printf '%s\n' "$metrics" >&2
+    exit 1
+fi
+
+# One family per plane, plus the participant's own counters.
+for family in \
+    pvr_engine_seals_total \
+    pvr_upd_events_total \
+    pvr_audit_rounds_total \
+    pvr_disc_queries_total \
+    pvr_netx_frames_out_total \
+    pvr_bgp_sessions \
+    pvr_routes_verified_total \
+    pvr_engine_shard_seal_seconds_bucket
+do
+    if ! printf '%s\n' "$metrics" | grep -q "^$family"; then
+        echo "metricsmoke: FAIL — family $family missing from /metrics" >&2
+        exit 1
+    fi
+done
+
+# /trace must be a JSON array holding the originated prefix's lifecycle.
+trace="$(fetch "http://$addr/trace")"
+if ! printf '%s' "$trace" | jq -e 'type == "array" and (map(.kind) | index("ShardSealed") != null)' >/dev/null; then
+    echo "metricsmoke: FAIL — /trace lacks a ShardSealed event; got:" >&2
+    printf '%s\n' "$trace" >&2
+    exit 1
+fi
+
+echo "metricsmoke: OK"

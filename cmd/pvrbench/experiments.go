@@ -10,6 +10,7 @@ import (
 	"net/netip"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"time"
 
 	"pvr/internal/aspath"
@@ -475,8 +476,53 @@ var (
 	gossipNodes   int
 )
 
+// benchMeta stamps every BENCH_*.json with the run's provenance, so a
+// regression diff can tell "the code got slower" apart from "the machine
+// or toolchain changed".
+type benchMeta struct {
+	Experiment string `json:"experiment"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	// Commit is the VCS revision baked into the binary ("" when built
+	// outside a checkout or without VCS stamping), with "-dirty"
+	// appended when the working tree had local modifications.
+	Commit string `json:"commit,omitempty"`
+}
+
+func runMeta() benchMeta {
+	m := benchMeta{
+		Experiment: jsonExp,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev string
+		dirty := false
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if rev != "" && dirty {
+			rev += "-dirty"
+		}
+		m.Commit = rev
+	}
+	return m
+}
+
 func writeJSONRows(rows any) error {
-	b, err := json.MarshalIndent(rows, "", "  ")
+	b, err := json.MarshalIndent(struct {
+		Meta benchMeta `json:"meta"`
+		Rows any       `json:"rows"`
+	}{runMeta(), rows}, "", "  ")
 	if err != nil {
 		return err
 	}

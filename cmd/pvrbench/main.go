@@ -16,12 +16,14 @@
 //	pvrbench -e gossip       # E11: anti-entropy audit gossip (auditnet)
 //	pvrbench -e stream       # E12: streaming update plane (updplane)
 //	pvrbench -e query        # E13: disclosure query plane (discplane)
+//	pvrbench -e trace        # E16: distributed tracing across the fleet (netsim)
 //
 // With -json FILE, the engine experiment (or, when selected directly, the
-// gossip or stream experiment) additionally writes its rows as JSON (the
-// BENCH_engine.json / BENCH_gossip.json / BENCH_stream.json consumed by
-// the perf trajectory). -prefixes and -nodes shrink the E10/E11/E12
-// sweeps to a single size, for CI smoke runs.
+// gossip, stream, query, or trace experiment) additionally writes its rows
+// as JSON under a {"meta": ..., "rows": ...} envelope carrying run
+// provenance (go version, GOMAXPROCS, VCS commit) — the BENCH_*.json files
+// consumed by the perf trajectory. -prefixes and -nodes shrink the
+// E10/E11/E12/E16 sweeps to a single size, for CI smoke runs.
 package main
 
 import (
@@ -31,11 +33,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("e", "all", "experiment: all|fig1|fig2|smc|zkp|crypto|batch|properties|e2e|ring|engine|gossip|stream|query")
+	exp := flag.String("e", "all", "experiment: all|fig1|fig2|smc|zkp|crypto|batch|properties|e2e|ring|engine|gossip|stream|query|trace")
 	seed := flag.Int64("seed", 1, "random seed for workloads")
 	flag.StringVar(&jsonOut, "json", "", "write the engine (or gossip, when selected) rows to this JSON file")
 	flag.IntVar(&benchPrefixes, "prefixes", 0, "override the E10 prefix-table sweep with one size")
-	flag.IntVar(&gossipNodes, "nodes", 0, "override the E11 network-size sweep with one size")
+	flag.IntVar(&gossipNodes, "nodes", 0, "override the E11/E16 network-size sweeps with one size")
 	flag.Parse()
 	jsonExp = *exp
 
@@ -53,8 +55,9 @@ func main() {
 		"gossip":     runGossip,
 		"stream":     runStream,
 		"query":      runQuery,
+		"trace":      runTrace,
 	}
-	order := []string{"fig1", "fig2", "smc", "zkp", "crypto", "batch", "properties", "e2e", "ring", "engine", "gossip", "stream", "query"}
+	order := []string{"fig1", "fig2", "smc", "zkp", "crypto", "batch", "properties", "e2e", "ring", "engine", "gossip", "stream", "query", "trace"}
 
 	var selected []string
 	if *exp == "all" {

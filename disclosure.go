@@ -7,6 +7,7 @@ import (
 	"pvr/internal/core"
 	"pvr/internal/discplane"
 	"pvr/internal/engine"
+	"pvr/internal/obs"
 	"pvr/internal/sigs"
 )
 
@@ -45,6 +46,10 @@ type Query struct {
 	// this participant sent the prover, which the opened bit is checked
 	// against (§3.3: N_i verifies b_{|r_i|} = 1 for its own route length).
 	Announcement *Announcement
+	// Trace, when set, propagates a distributed-trace context with the
+	// query so the server's DisclosureServed event joins the caller's
+	// chain; left zero, QueryDisclosure mints a fresh one.
+	Trace TraceContext
 }
 
 // Disclosure is a fetched, fully verified on-demand view: the typed
@@ -68,6 +73,10 @@ type Disclosure struct {
 	// KeyPinned reports that the prover's key was pinned
 	// trust-on-first-use during this query (private registries only).
 	KeyPinned bool
+	// Trace is the distributed-trace context the granted view carried —
+	// the SEAL's trace (minted where the sealed announcement was ingested),
+	// not the query's, so it links the fetched state back to its origin.
+	Trace TraceContext
 }
 
 // RequestDisclosure fetches and verifies this participant's promisee view
@@ -106,7 +115,11 @@ func (p *Participant) QueryDisclosure(ctx context.Context, peer string, q Query)
 	}
 	defer conn.Close()
 
-	dq := &discplane.Query{Requester: p.asn, Prover: q.Prover, Role: role, Epoch: q.Epoch, Prefix: q.Prefix}
+	qtc := q.Trace
+	if qtc.IsZero() {
+		qtc = obs.NewTraceContext()
+	}
+	dq := &discplane.Query{Requester: p.asn, Prover: q.Prover, Role: role, Epoch: q.Epoch, Prefix: q.Prefix, Trace: qtc}
 	if err := dq.Sign(p.signer); err != nil {
 		return nil, wrapErr("query", err)
 	}
@@ -158,6 +171,7 @@ func (p *Participant) QueryDisclosure(ctx context.Context, peer string, q Query)
 		Prover: prover, Role: role,
 		Prefix: q.Prefix, Epoch: seal.Epoch, Window: seal.Window,
 		Sealed: view.Sealed,
+		Trace:  view.Trace,
 	}
 	// Every fetched view goes through the verification Pipeline: the same
 	// banlist gate, seal-signature memoization, and §3.3 content checks
@@ -203,8 +217,10 @@ func (p *Participant) QueryDisclosure(ctx context.Context, peer string, q Query)
 	// Cross-check the fetched seal against the audit network: the seal
 	// this server showed us must be the same statement it gossips. A
 	// conflict is transferable evidence — judged, convicted, and ledgered
-	// by ObserveStatement before we report it.
-	conflict, aerr := p.auditor.ObserveStatement(seal.Epoch, seal.Statement())
+	// by ObserveStatement before we report it. The view's trace (the
+	// seal's own chain) travels with the statement so a conviction here
+	// stitches back to the announcement that produced the seal.
+	conflict, aerr := p.auditor.ObserveStatementTraced(seal.Epoch, seal.Statement(), view.Trace)
 	if aerr != nil {
 		return nil, wrapErr("query", aerr)
 	}

@@ -83,7 +83,7 @@ func New(cfg Config) (*Auditor, error) {
 		a.registerGauges(cfg.Obs)
 	}
 	for i, rec := range cfg.Replay {
-		if _, err := a.handleConflict(rec.Conflict, false); err != nil {
+		if _, err := a.handleConflict(rec.Conflict, obs.TraceContext{}, false); err != nil {
 			return nil, fmt.Errorf("auditnet: ledger record %d does not verify on replay: %w", i, err)
 		}
 	}
@@ -106,12 +106,18 @@ func (a *Auditor) AddRecord(rec Record) (added bool, conflict *gossip.Conflict, 
 		a.tr.Record(obs.Event{
 			Kind: obs.EvSealGossiped, Epoch: rec.Epoch,
 			AS: uint32(rec.S.Origin), Note: rec.S.Topic,
-		})
+		}.SetTrace(rec.Trace))
 	}
 	if err != nil || c == nil {
 		return added, c, err
 	}
-	if _, herr := a.HandleConflict(c); herr != nil {
+	// A conflict detected here means rec contradicted a stored statement:
+	// convict under rec's trace, falling back to the stored side's.
+	tc := rec.Trace
+	if tc.IsZero() {
+		tc = a.store.TraceOf(c.Origin, rec.Epoch, c.Topic)
+	}
+	if _, herr := a.HandleConflictTraced(c, tc); herr != nil {
 		return added, c, herr
 	}
 	return added, c, nil
@@ -130,15 +136,31 @@ func (a *Auditor) ObserveStatement(epoch uint64, s gossip.Statement) (*gossip.Co
 	return c, err
 }
 
+// ObserveStatementTraced is ObserveStatement under the distributed trace
+// context the statement arrived with (a seal carried in a BGP update's
+// attachments, or fetched through the disclosure plane).
+func (a *Auditor) ObserveStatementTraced(epoch uint64, s gossip.Statement, tc obs.TraceContext) (*gossip.Conflict, error) {
+	_, c, err := a.AddRecord(Record{Epoch: epoch, S: s, Trace: tc})
+	return c, err
+}
+
 // HandleConflict runs received (or locally detected) equivocation evidence
 // through the conviction service: verify both signatures from scratch,
 // dedupe, persist to the ledger, judge, and update the convicted set.
 // Returns true when the evidence was new.
 func (a *Auditor) HandleConflict(c *gossip.Conflict) (bool, error) {
-	return a.handleConflict(c, true)
+	return a.handleConflict(c, obs.TraceContext{}, true)
 }
 
-func (a *Auditor) handleConflict(c *gossip.Conflict, persist bool) (bool, error) {
+// HandleConflictTraced is HandleConflict under the distributed trace
+// context the evidence travels with; the conviction event inherits it, so
+// a fleet collector can stitch the conviction back to the announcement
+// that started the chain.
+func (a *Auditor) HandleConflictTraced(c *gossip.Conflict, tc obs.TraceContext) (bool, error) {
+	return a.handleConflict(c, tc, true)
+}
+
+func (a *Auditor) handleConflict(c *gossip.Conflict, tc obs.TraceContext, persist bool) (bool, error) {
 	if a.store.HasConflict(ConflictKey(c)) {
 		return false, nil
 	}
@@ -160,8 +182,11 @@ func (a *Auditor) handleConflict(c *gossip.Conflict, persist bool) (bool, error)
 		// equivocation evidence, but refuse to store rather than convict.
 		return false, fmt.Errorf("auditnet: evidence against %s unproven: %s", c.Origin, detail)
 	}
-	if !a.store.AddConflict(c) {
+	if !a.store.AddConflictTraced(c, tc) {
 		return false, nil // raced with a concurrent ingest of the same evidence
+	}
+	if tc.IsZero() {
+		tc = a.store.ConflictTrace(ConflictKey(c))
 	}
 	// Convict before attempting persistence: once the evidence is in the
 	// store, a later retry dedupes out, so a transient ledger failure here
@@ -176,7 +201,7 @@ func (a *Auditor) handleConflict(c *gossip.Conflict, persist bool) (bool, error)
 		a.met.convictions.Inc()
 		a.tr.Record(obs.Event{
 			Kind: obs.EvConvictionRecorded, AS: uint32(c.Origin), Note: c.Topic,
-		})
+		}.SetTrace(tc))
 	}
 	if persist && a.ledger != nil {
 		if err := a.ledger.AppendConflict(a.asn, c); err != nil {

@@ -320,7 +320,7 @@ func (a *Auditor) exchange(c FrameConn, initiator bool) (*Stats, error) {
 		peerKnows[k] = struct{}{}
 	}
 	buildConfl := func() netx.Frame {
-		out := a.store.ServeConflicts(peerWant.Conflicts)
+		out, traces := a.store.ServeConflictsTraced(peerWant.Conflicts)
 		seen := make(map[Hash]struct{}, len(out))
 		for _, c := range out {
 			seen[ConflictKey(c)] = struct{}{}
@@ -335,9 +335,12 @@ func (a *Auditor) exchange(c FrameConn, initiator bool) (*Stats, error) {
 			}
 			seen[k] = struct{}{}
 			out = append(out, c)
+			// Fresh conflicts were just handled through AddRecord, so the
+			// store already holds their trace metadata.
+			traces = append(traces, a.store.ConflictTrace(k))
 		}
 		st.ConflictsSent += len(out)
-		cm := &conflMsg{Conflicts: out}
+		cm := &conflMsg{Conflicts: out, Traces: traces}
 		return netx.Frame{Type: FrameConflict, Payload: cm.encode()}
 	}
 	ingestConfl := func(in *netx.Frame) error {
@@ -346,9 +349,9 @@ func (a *Auditor) exchange(c FrameConn, initiator bool) (*Stats, error) {
 			return err
 		}
 		st.ConflictsRecv += len(cm.Conflicts)
-		for _, c := range cm.Conflicts {
+		for i, c := range cm.Conflicts {
 			peerKnows[ConflictKey(c)] = struct{}{}
-			isNew, err := a.HandleConflict(c)
+			isNew, err := a.HandleConflictTraced(c, cm.traceAt(i))
 			if err != nil {
 				st.Rejected++
 				continue

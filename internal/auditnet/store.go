@@ -9,6 +9,7 @@ import (
 	"pvr/internal/aspath"
 	"pvr/internal/gossip"
 	"pvr/internal/merkle"
+	"pvr/internal/obs"
 	"pvr/internal/sigs"
 )
 
@@ -27,13 +28,15 @@ import (
 type Store struct {
 	reg sigs.Verifier
 
-	mu       sync.RWMutex
-	groups   map[GroupKey]*group
-	poisoned map[string]struct{}       // origin/topic keys with known conflicts
-	epochOf  map[string]uint64         // origin/topic -> filing epoch (one per topic)
-	confl    map[Hash]*gossip.Conflict // by ConflictKey
-	conflLog []Hash                    // insertion order, for deterministic export
-	records  int
+	mu         sync.RWMutex
+	groups     map[GroupKey]*group
+	poisoned   map[string]struct{}       // origin/topic keys with known conflicts
+	epochOf    map[string]uint64         // origin/topic -> filing epoch (one per topic)
+	confl      map[Hash]*gossip.Conflict // by ConflictKey
+	conflTrace map[Hash]obs.TraceContext // trace metadata per conflict (sparse)
+	conflLog   []Hash                    // insertion order, for deterministic export
+	records    int
+	lastTrace  obs.TraceContext // most recently ingested non-zero record trace
 }
 
 type group struct {
@@ -43,18 +46,20 @@ type group struct {
 }
 
 type storedStatement struct {
-	s    gossip.Statement
-	hash Hash
+	s     gossip.Statement
+	hash  Hash
+	trace obs.TraceContext
 }
 
 // NewStore builds an empty store verifying statements against reg.
 func NewStore(reg sigs.Verifier) *Store {
 	return &Store{
-		reg:      reg,
-		groups:   make(map[GroupKey]*group),
-		poisoned: make(map[string]struct{}),
-		epochOf:  make(map[string]uint64),
-		confl:    make(map[Hash]*gossip.Conflict),
+		reg:        reg,
+		groups:     make(map[GroupKey]*group),
+		poisoned:   make(map[string]struct{}),
+		epochOf:    make(map[string]uint64),
+		confl:      make(map[Hash]*gossip.Conflict),
+		conflTrace: make(map[Hash]obs.TraceContext),
 	}
 }
 
@@ -92,16 +97,43 @@ func (st *Store) AddRecord(rec Record) (added bool, conflict *gossip.Conflict, e
 	}
 	prev, seen := g.byTopic[rec.S.Topic]
 	if !seen {
-		g.byTopic[rec.S.Topic] = &storedStatement{s: rec.S, hash: ContentHash(&rec.S)}
+		g.byTopic[rec.S.Topic] = &storedStatement{s: rec.S, hash: ContentHash(&rec.S), trace: rec.Trace}
 		g.dirty = true
 		st.epochOf[tk] = rec.Epoch
 		st.records++
+		if !rec.Trace.IsZero() {
+			st.lastTrace = rec.Trace
+		}
 		return true, nil, nil
 	}
 	if prev.s.Equal(&rec.S) {
+		// A duplicate can still carry trace metadata the first copy lacked.
+		if prev.trace.IsZero() && !rec.Trace.IsZero() {
+			prev.trace = rec.Trace
+		}
 		return false, nil, nil
 	}
 	return false, &gossip.Conflict{Origin: rec.S.Origin, Topic: rec.S.Topic, A: prev.s, B: rec.S}, nil
+}
+
+// TraceOf returns the trace context of the stored statement for (origin,
+// epoch, topic), zero when unknown or untraced.
+func (st *Store) TraceOf(origin aspath.ASN, epoch uint64, topic string) obs.TraceContext {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if g := st.groups[GroupKey{Origin: origin, Epoch: epoch}]; g != nil {
+		if s := g.byTopic[topic]; s != nil {
+			return s.trace
+		}
+	}
+	return obs.TraceContext{}
+}
+
+// LastTrace returns the most recently ingested non-zero record trace.
+func (st *Store) LastTrace() obs.TraceContext {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.lastTrace
 }
 
 // HasConflict reports whether the evidence for this key is already stored.
@@ -117,11 +149,29 @@ func (st *Store) HasConflict(key Hash) bool {
 // versions). The caller verifies the conflict first. Returns false when
 // the evidence was already known.
 func (st *Store) AddConflict(c *gossip.Conflict) bool {
+	return st.AddConflictTraced(c, obs.TraceContext{})
+}
+
+// AddConflictTraced is AddConflict with the distributed trace context the
+// evidence travels under; a zero tc falls back to the trace of the stored
+// statement the conflict displaces, so a locally detected equivocation
+// stitches to the announcement that triggered it.
+func (st *Store) AddConflictTraced(c *gossip.Conflict, tc obs.TraceContext) bool {
 	key := ConflictKey(c)
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if _, dup := st.confl[key]; dup {
 		return false
+	}
+	if tc.IsZero() {
+		if g := st.groups[GroupKey{Origin: c.Origin, Epoch: topicEpoch(st, c)}]; g != nil {
+			if s := g.byTopic[c.Topic]; s != nil {
+				tc = s.trace
+			}
+		}
+	}
+	if !tc.IsZero() {
+		st.conflTrace[key] = tc
 	}
 	st.confl[key] = c
 	st.conflLog = append(st.conflLog, key)
@@ -141,6 +191,20 @@ func (st *Store) AddConflict(c *gossip.Conflict) bool {
 		}
 	}
 	return true
+}
+
+// topicEpoch resolves the filing epoch of the conflict's topic (caller
+// holds st.mu); zero when the topic was never stored.
+func topicEpoch(st *Store, c *gossip.Conflict) uint64 {
+	return st.epochOf[topicKey(c.Origin, c.Topic)]
+}
+
+// ConflictTrace returns the trace context stored alongside the evidence
+// for key (zero when untraced or unknown).
+func (st *Store) ConflictTrace(key Hash) obs.TraceContext {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.conflTrace[key]
 }
 
 // Records returns the number of stored statements.
@@ -216,6 +280,7 @@ func (st *Store) Summary() *summaryMsg {
 	}
 	ch.Sum(m.Conflicts[:0])
 	m.NConfl = uint32(len(keys))
+	m.Trace = st.lastTrace
 	return &m
 }
 
@@ -412,7 +477,7 @@ func (st *Store) Serve(wants []GroupWant) []Record {
 			if len(out) > 0 && bytes > frameBudget {
 				return out
 			}
-			out = append(out, Record{Epoch: w.Key.Epoch, S: s.s})
+			out = append(out, Record{Epoch: w.Key.Epoch, S: s.s, Trace: s.trace})
 		}
 	}
 	return out
@@ -420,13 +485,22 @@ func (st *Store) Serve(wants []GroupWant) []Record {
 
 // ServeConflicts answers conflict-key wants from the stored evidence.
 func (st *Store) ServeConflicts(keys []Hash) []*gossip.Conflict {
+	out, _ := st.ServeConflictsTraced(keys)
+	return out
+}
+
+// ServeConflictsTraced is ServeConflicts plus the parallel trace contexts
+// stored alongside the evidence (zero entries where untraced).
+func (st *Store) ServeConflictsTraced(keys []Hash) ([]*gossip.Conflict, []obs.TraceContext) {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	var out []*gossip.Conflict
+	var traces []obs.TraceContext
 	for _, k := range keys {
 		if c, ok := st.confl[k]; ok {
 			out = append(out, c)
+			traces = append(traces, st.conflTrace[k])
 		}
 	}
-	return out
+	return out, traces
 }

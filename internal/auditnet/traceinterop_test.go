@@ -1,0 +1,219 @@
+package auditnet
+
+// Wire back-compat for the tracing extensions: the pre-tracing protocol
+// is exactly the ext-free encoding, so (a) an untraced message must
+// encode byte-identically to the old format, (b) an old-format frame
+// must decode on a new decoder with zero traces, and (c) a new decoder
+// must skip extension tags it does not recognise.
+
+import (
+	"bytes"
+	"testing"
+
+	"pvr/internal/gossip"
+	"pvr/internal/netx"
+	"pvr/internal/obs"
+)
+
+// oldStmtsEncode is the pre-tracing STATEMENTS payload: count + records,
+// nothing else.
+func oldStmtsEncode(recs []Record) []byte {
+	b := netx.AppendU32(nil, uint32(len(recs)))
+	for i := range recs {
+		b = AppendRecord(b, &recs[i])
+	}
+	return b
+}
+
+func testRecords(traced bool) []Record {
+	recs := []Record{
+		{Epoch: 1, S: gossip.Statement{Origin: 7, Topic: "seal/1/1/0", Payload: []byte("r1"), Sig: []byte("s1")}},
+		{Epoch: 2, S: gossip.Statement{Origin: 8, Topic: "seal/2/0/1", Payload: []byte("r2"), Sig: []byte("s2")}},
+		{Epoch: 2, S: gossip.Statement{Origin: 9, Topic: "t", Payload: nil, Sig: nil}},
+	}
+	if traced {
+		recs[0].Trace = obs.NewTraceContext()
+		recs[2].Trace = obs.NewTraceContext()
+	}
+	return recs
+}
+
+func TestStmtsWireTraceInterop(t *testing.T) {
+	// Untraced new encoding == old format, byte for byte.
+	recs := testRecords(false)
+	newEnc := (&stmtsMsg{Records: recs}).encode()
+	if !bytes.Equal(newEnc, oldStmtsEncode(recs)) {
+		t.Fatal("untraced STATEMENTS encoding is not byte-identical to the pre-tracing format")
+	}
+
+	// Old-format frame decodes on the new decoder with zero traces.
+	m, err := decodeStmts(oldStmtsEncode(recs))
+	if err != nil {
+		t.Fatalf("old-format frame rejected: %v", err)
+	}
+	for i, r := range m.Records {
+		if !r.Trace.IsZero() {
+			t.Fatalf("record %d grew a trace from an old-format frame", i)
+		}
+	}
+
+	// Traced round trip: sparse traces survive, untraced slots stay zero.
+	traced := testRecords(true)
+	m2, err := decodeStmts((&stmtsMsg{Records: traced}).encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range traced {
+		want := traced[i].Trace
+		if m2.Records[i].Trace != want {
+			t.Fatalf("record %d trace %v, want %v", i, m2.Records[i].Trace, want)
+		}
+	}
+
+	// Unknown trailing extension tags are skipped, traces still land.
+	withUnknown := netx.AppendExt((&stmtsMsg{Records: traced}).encode(), 0x7F, []byte("future"))
+	m3, err := decodeStmts(withUnknown)
+	if err != nil {
+		t.Fatalf("unknown extension tag rejected: %v", err)
+	}
+	if m3.Records[0].Trace != traced[0].Trace {
+		t.Fatal("trace lost when an unknown extension follows")
+	}
+
+	// A truncated extension block is malformed, not silently dropped.
+	if _, err := decodeStmts(withUnknown[:len(withUnknown)-3]); err == nil {
+		t.Fatal("truncated extension accepted")
+	}
+}
+
+func TestConflWireTraceInterop(t *testing.T) {
+	a := gossip.Statement{Origin: 7, Topic: "t", Payload: []byte("v1"), Sig: []byte("sa")}
+	b := gossip.Statement{Origin: 7, Topic: "t", Payload: []byte("v2"), Sig: []byte("sb")}
+	confl := []*gossip.Conflict{{Origin: 7, Topic: "t", A: a, B: b}}
+
+	oldEnc := netx.AppendU32(nil, 1)
+	oldEnc = netx.AppendBytes(oldEnc, EncodeConflict(confl[0]))
+
+	// Untraced == old format.
+	if got := (&conflMsg{Conflicts: confl}).encode(); !bytes.Equal(got, oldEnc) {
+		t.Fatal("untraced CONFLICT encoding differs from the pre-tracing format")
+	}
+	// Old format decodes, zero traces.
+	m, err := decodeConfl(oldEnc)
+	if err != nil {
+		t.Fatalf("old-format conflict frame rejected: %v", err)
+	}
+	if !m.traceAt(0).IsZero() {
+		t.Fatal("old-format conflict grew a trace")
+	}
+	// Traced round trip.
+	tc := obs.NewTraceContext()
+	m2, err := decodeConfl((&conflMsg{Conflicts: confl, Traces: []obs.TraceContext{tc}}).encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.traceAt(0) != tc {
+		t.Fatalf("conflict trace %v, want %v", m2.traceAt(0), tc)
+	}
+	// Unknown ext skipped.
+	enc := netx.AppendExt((&conflMsg{Conflicts: confl, Traces: []obs.TraceContext{tc}}).encode(), 0x42, nil)
+	if m3, err := decodeConfl(enc); err != nil || m3.traceAt(0) != tc {
+		t.Fatalf("unknown ext after conflict traces: %v %v", err, m3)
+	}
+}
+
+func TestSummaryWireTraceInterop(t *testing.T) {
+	m := &summaryMsg{Store: Hash{1}, Conflicts: Hash{2}, Groups: 3, NConfl: 4}
+	oldEnc := append([]byte{digestSummary}, m.Store[:]...)
+	oldEnc = append(oldEnc, m.Conflicts[:]...)
+	oldEnc = netx.AppendU32(oldEnc, m.Groups)
+	oldEnc = netx.AppendU32(oldEnc, m.NConfl)
+
+	// Untraced == old format (modulo the leading kind byte both carry).
+	if got := m.encode(); !bytes.Equal(got, oldEnc) {
+		t.Fatal("untraced summary encoding differs from the pre-tracing format")
+	}
+	// Old format (body without kind byte) decodes with zero trace.
+	got, err := decodeSummary(oldEnc[1:])
+	if err != nil {
+		t.Fatalf("old-format summary rejected: %v", err)
+	}
+	if !got.Trace.IsZero() {
+		t.Fatal("old-format summary grew a trace")
+	}
+	// Traced round trip.
+	m.Trace = obs.NewTraceContext()
+	got2, err := decodeSummary(m.encode()[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Trace != m.Trace {
+		t.Fatalf("summary trace %v, want %v", got2.Trace, m.Trace)
+	}
+	if got2.Store != m.Store || got2.Groups != m.Groups || got2.NConfl != m.NConfl {
+		t.Fatalf("summary fields mutated: %+v", got2)
+	}
+}
+
+// FuzzStmtsWireTraceExts fuzzes the full STATEMENTS payload decoder —
+// fixed fields plus trailing extensions: arbitrary bytes must never
+// panic, and a successful decode must re-decode stably after a re-encode
+// (records and traces both).
+func FuzzStmtsWireTraceExts(f *testing.F) {
+	f.Add(oldStmtsEncode(testRecords(false)))
+	f.Add((&stmtsMsg{Records: testRecords(true)}).encode())
+	f.Add(netx.AppendExt((&stmtsMsg{Records: testRecords(true)}).encode(), 0x7F, []byte("x")))
+	f.Add([]byte{})
+	f.Add(netx.AppendU32(nil, 0xFFFFFFFF))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeStmts(data)
+		if err != nil {
+			return
+		}
+		re := (&stmtsMsg{Records: m.Records}).encode()
+		m2, err := decodeStmts(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(m2.Records) != len(m.Records) {
+			t.Fatalf("record count drifted: %d -> %d", len(m.Records), len(m2.Records))
+		}
+		for i := range m.Records {
+			if m2.Records[i].Trace != m.Records[i].Trace {
+				t.Fatalf("record %d trace drifted across re-encode", i)
+			}
+			if ContentHash(&m2.Records[i].S) != ContentHash(&m.Records[i].S) {
+				t.Fatalf("record %d content drifted across re-encode", i)
+			}
+		}
+	})
+}
+
+// FuzzConflWireTraceExts does the same for the CONFLICT payload.
+func FuzzConflWireTraceExts(f *testing.F) {
+	a := gossip.Statement{Origin: 7, Topic: "t", Payload: []byte("v1"), Sig: []byte("sa")}
+	b := gossip.Statement{Origin: 7, Topic: "t", Payload: []byte("v2"), Sig: []byte("sb")}
+	confl := []*gossip.Conflict{{Origin: 7, Topic: "t", A: a, B: b}}
+	f.Add((&conflMsg{Conflicts: confl}).encode())
+	f.Add((&conflMsg{Conflicts: confl, Traces: []obs.TraceContext{obs.NewTraceContext()}}).encode())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeConfl(data)
+		if err != nil {
+			return
+		}
+		re := (&conflMsg{Conflicts: m.Conflicts, Traces: m.Traces}).encode()
+		m2, err := decodeConfl(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		for i := range m.Conflicts {
+			if m2.traceAt(i) != m.traceAt(i) {
+				t.Fatalf("conflict %d trace drifted", i)
+			}
+			if ConflictKey(m2.Conflicts[i]) != ConflictKey(m.Conflicts[i]) {
+				t.Fatalf("conflict %d key drifted", i)
+			}
+		}
+	})
+}

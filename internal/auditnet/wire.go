@@ -24,6 +24,7 @@ import (
 	"pvr/internal/aspath"
 	"pvr/internal/gossip"
 	"pvr/internal/netx"
+	"pvr/internal/obs"
 )
 
 // Frame types of the anti-entropy wire protocol, carried in netx.Frame.Type.
@@ -58,6 +59,11 @@ type Hash = [sha256.Size]byte
 type Record struct {
 	Epoch uint64
 	S     gossip.Statement
+	// Trace is the distributed trace context the statement travels under:
+	// observability metadata, excluded from ContentHash and from the fixed
+	// record encoding (it rides in a trailing frame extension instead), so
+	// traced and untraced copies of one statement reconcile as one element.
+	Trace obs.TraceContext
 }
 
 // ContentHash identifies a statement for set reconciliation: origin, topic,
@@ -228,6 +234,82 @@ func DecodeConflict(b []byte) (*gossip.Conflict, error) {
 	return c, r.Done()
 }
 
+// --- trace extensions ---
+//
+// Trace contexts ride as trailing netx extensions so every fixed message
+// layout is byte-identical to the pre-tracing protocol when no trace is
+// present, and decoders that do not recognise the tags skip them.
+
+// appendTraceListExt appends an ExtTraceList block carrying the non-zero
+// entries of traces as (element index, context) pairs; no block is
+// emitted when every entry is zero.
+func appendTraceListExt(b []byte, traces []obs.TraceContext) []byte {
+	nz := 0
+	for _, tc := range traces {
+		if !tc.IsZero() {
+			nz++
+		}
+	}
+	if nz == 0 {
+		return b
+	}
+	body := netx.AppendU32(make([]byte, 0, 4+nz*(4+obs.TraceWireSize)), uint32(nz))
+	for i, tc := range traces {
+		if tc.IsZero() {
+			continue
+		}
+		body = netx.AppendU32(body, uint32(i))
+		body = tc.AppendWire(body)
+	}
+	return netx.AppendExt(b, netx.ExtTraceList, body)
+}
+
+// decodeTraceListExt parses an ExtTraceList body into a dense slice of n
+// contexts (zero where absent). Out-of-range indices are ignored rather
+// than rejected: the extension is advisory metadata.
+func decodeTraceListExt(body []byte, n int) ([]obs.TraceContext, error) {
+	r := &netx.PayloadReader{B: body}
+	cnt, err := r.Count(4 + obs.TraceWireSize)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]obs.TraceContext, n)
+	for i := 0; i < cnt; i++ {
+		idx, err := r.U32()
+		if err != nil {
+			return nil, err
+		}
+		tb, err := r.Take(obs.TraceWireSize)
+		if err != nil {
+			return nil, err
+		}
+		tc, err := obs.TraceContextFromWire(tb)
+		if err != nil {
+			return nil, err
+		}
+		if int(idx) < n {
+			out[idx] = tc
+		}
+	}
+	return out, r.Done()
+}
+
+// readTraceExts consumes every trailing extension, capturing an
+// ExtTraceList into a dense n-slot slice (nil when absent) and skipping
+// unknown tags.
+func readTraceExts(r *netx.PayloadReader, n int) ([]obs.TraceContext, error) {
+	var traces []obs.TraceContext
+	err := netx.ReadExts(r, func(tag uint8, body []byte) error {
+		if tag != netx.ExtTraceList {
+			return nil
+		}
+		var derr error
+		traces, derr = decodeTraceListExt(body, n)
+		return derr
+	})
+	return traces, err
+}
+
 // --- reconciliation messages ---
 
 // GroupKey addresses one digest group: every statement an origin made for
@@ -245,6 +327,10 @@ type summaryMsg struct {
 	Conflicts Hash
 	Groups    uint32
 	NConfl    uint32
+	// Trace is the context of the store's most recently ingested traced
+	// record, carried as a trailing extension so even a digest-only round
+	// links the exchange to the activity that triggered it.
+	Trace obs.TraceContext
 }
 
 // The encode() methods below build their payloads in pooled buffers
@@ -252,11 +338,15 @@ type summaryMsg struct {
 // referenced again, so xfer.send recycles it after the write.
 
 func (m *summaryMsg) encode() []byte {
-	b := append(netx.GetBuf(96), digestSummary)
+	b := append(netx.GetBuf(128), digestSummary)
 	b = append(b, m.Store[:]...)
 	b = append(b, m.Conflicts[:]...)
 	b = netx.AppendU32(b, m.Groups)
-	return netx.AppendU32(b, m.NConfl)
+	b = netx.AppendU32(b, m.NConfl)
+	if !m.Trace.IsZero() {
+		b = netx.AppendExt(b, netx.ExtTrace, m.Trace.AppendWire(nil))
+	}
+	return b
 }
 
 func decodeSummary(b []byte) (*summaryMsg, error) {
@@ -273,6 +363,20 @@ func decodeSummary(b []byte) (*summaryMsg, error) {
 		return nil, err
 	}
 	if m.NConfl, err = r.U32(); err != nil {
+		return nil, err
+	}
+	err = netx.ReadExts(r, func(tag uint8, body []byte) error {
+		if tag != netx.ExtTrace {
+			return nil
+		}
+		tc, terr := obs.TraceContextFromWire(body)
+		if terr != nil {
+			return terr
+		}
+		m.Trace = tc
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
 	return &m, r.Done()
@@ -484,7 +588,11 @@ func (m *stmtsMsg) encode() []byte {
 	for i := range m.Records {
 		b = AppendRecord(b, &m.Records[i])
 	}
-	return b
+	traces := make([]obs.TraceContext, len(m.Records))
+	for i := range m.Records {
+		traces[i] = m.Records[i].Trace
+	}
+	return appendTraceListExt(b, traces)
 }
 
 func decodeStmts(b []byte) (*stmtsMsg, error) {
@@ -499,11 +607,29 @@ func decodeStmts(b []byte) (*stmtsMsg, error) {
 			return nil, err
 		}
 	}
+	traces, err := readTraceExts(r, n)
+	if err != nil {
+		return nil, err
+	}
+	for i := range traces {
+		m.Records[i].Trace = traces[i]
+	}
 	return m, r.Done()
 }
 
 type conflMsg struct {
 	Conflicts []*gossip.Conflict
+	// Traces runs parallel to Conflicts (nil, or a zero entry, when a
+	// conflict travels untraced); carried as a trailing extension.
+	Traces []obs.TraceContext
+}
+
+// traceAt returns the i-th conflict's trace context (zero when absent).
+func (m *conflMsg) traceAt(i int) obs.TraceContext {
+	if i < len(m.Traces) {
+		return m.Traces[i]
+	}
+	return obs.TraceContext{}
 }
 
 func (m *conflMsg) encode() []byte {
@@ -511,7 +637,7 @@ func (m *conflMsg) encode() []byte {
 	for _, c := range m.Conflicts {
 		b = netx.AppendBytes(b, EncodeConflict(c))
 	}
-	return b
+	return appendTraceListExt(b, m.Traces)
 }
 
 func decodeConfl(b []byte) (*conflMsg, error) {
@@ -529,6 +655,9 @@ func decodeConfl(b []byte) (*conflMsg, error) {
 		if m.Conflicts[i], err = DecodeConflict(cb); err != nil {
 			return nil, err
 		}
+	}
+	if m.Traces, err = readTraceExts(r, n); err != nil {
+		return nil, err
 	}
 	return m, r.Done()
 }

@@ -430,8 +430,18 @@ func TestDecodeRejectsTruncationsWithoutPanic(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < len(enc); i++ {
-		if _, err := DecodeView(enc[:i]); err == nil {
-			t.Fatalf("view truncation to %d bytes decoded", i)
+		// A truncation that lands exactly on a trailing-extension boundary
+		// is indistinguishable from a valid old-format frame — that is the
+		// wire back-compat contract. Such a prefix may decode, but only if
+		// it is itself a canonical encoding (round-trips byte-identically);
+		// any mid-field truncation must be rejected.
+		dv, err := DecodeView(enc[:i])
+		if err != nil {
+			continue
+		}
+		re, rerr := dv.Encode()
+		if rerr != nil || !bytes.Equal(re, enc[:i]) {
+			t.Fatalf("view truncation to %d bytes decoded non-canonically", i)
 		}
 	}
 	if _, err := DecodeView(append(append([]byte(nil), enc...), 0)); err == nil {
@@ -446,8 +456,13 @@ func TestDecodeRejectsTruncationsWithoutPanic(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < len(qe); i++ {
-		if _, err := DecodeQuery(qe[:i]); err == nil {
-			t.Fatalf("query truncation to %d bytes decoded", i)
+		dq, err := DecodeQuery(qe[:i])
+		if err != nil {
+			continue
+		}
+		re, rerr := dq.Encode()
+		if rerr != nil || !bytes.Equal(re, qe[:i]) {
+			t.Fatalf("query truncation to %d bytes decoded non-canonically", i)
 		}
 	}
 }

@@ -157,10 +157,13 @@ func (s *Server) Respond(c FrameConn) error {
 		return netx.SendPooled(c, FrameDeny, denial.Encode())
 	}
 	s.met.served.Inc()
+	// The served event carries the REQUESTER's propagated trace (the query
+	// round-trip chain); the view payload itself carries the seal's trace,
+	// which is cache-stable across requesters.
 	s.tr.Record(obs.Event{
 		Kind: obs.EvDisclosureServed, Epoch: q.Epoch, Window: s.cfg.Engine.Window(),
 		Prefix: q.Prefix.String(), AS: uint32(q.Requester), Note: q.Role.String(),
-	})
+	}.SetTrace(q.Trace))
 	// View payloads are cached across queries (s.cache) — they must never
 	// be recycled, so this send stays un-pooled.
 	return c.Send(netx.Frame{Type: FrameView, Payload: payload})
@@ -285,6 +288,9 @@ func (s *Server) answer(q *Query) ([]byte, *Denial) {
 			op := mv.ExportOpening
 			view.ExportOpening = &op
 		}
+	}
+	if view.Sealed != nil && view.Sealed.Seal != nil {
+		view.Trace = view.Sealed.Seal.Trace
 	}
 	payload, err := view.Encode()
 	if err != nil {

@@ -1,0 +1,130 @@
+package discplane
+
+// Wire back-compat for the disclosure plane's trace extension: an
+// untraced frame is byte-identical to the pre-tracing format, a traced
+// frame is that same encoding plus a trailing ExtTrace block, and
+// decoders skip extension tags they do not recognise.
+
+import (
+	"bytes"
+	"testing"
+
+	"pvr/internal/netx"
+	"pvr/internal/obs"
+)
+
+func TestQueryWireTraceInterop(t *testing.T) {
+	f := newFixture(t)
+	q := &Query{Requester: providerASN, Role: RoleProvider, Epoch: 7, Prefix: f.pfx}
+	if err := q.Sign(f.signers[providerASN]); err != nil {
+		t.Fatal(err)
+	}
+	old, err := q.Encode() // zero trace: the pre-tracing format
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Trace = obs.NewTraceContext()
+	traced, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The trace rides as a purely trailing extension: the traced frame is
+	// the old frame plus one ext block, nothing reordered.
+	if !bytes.Equal(traced[:len(old)], old) {
+		t.Fatal("trace extension disturbed the pre-tracing prefix")
+	}
+	if want := len(old) + 1 + 4 + obs.TraceWireSize; len(traced) != want {
+		t.Fatalf("traced frame %d bytes, want %d", len(traced), want)
+	}
+	// An old-format frame decodes with a zero trace and a valid signature.
+	dq, err := DecodeQuery(old)
+	if err != nil {
+		t.Fatalf("old-format query rejected: %v", err)
+	}
+	if !dq.Trace.IsZero() {
+		t.Fatal("old-format query grew a trace")
+	}
+	if err := dq.Verify(f.reg); err != nil {
+		t.Fatalf("old-format query signature: %v", err)
+	}
+	// A traced frame round-trips the context, and re-stamping the trace
+	// does not invalidate the signature (trace excluded from SignedBytes).
+	dq2, err := DecodeQuery(traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dq2.Trace != q.Trace {
+		t.Fatalf("query trace %v, want %v", dq2.Trace, q.Trace)
+	}
+	if err := dq2.Verify(f.reg); err != nil {
+		t.Fatalf("traced query signature: %v", err)
+	}
+	// Unknown extension tags after the trace are skipped.
+	withUnknown := netx.AppendExt(append([]byte(nil), traced...), 0x7F, []byte("future"))
+	dq3, err := DecodeQuery(withUnknown)
+	if err != nil {
+		t.Fatalf("unknown extension rejected: %v", err)
+	}
+	if dq3.Trace != q.Trace {
+		t.Fatal("trace lost when an unknown extension follows")
+	}
+}
+
+func TestDenialWireTraceInterop(t *testing.T) {
+	d := &Denial{Code: DenyAccess, Detail: "no"}
+	old := d.Encode()
+	d.Trace = obs.NewTraceContext()
+	traced := d.Encode()
+	if !bytes.Equal(traced[:len(old)], old) {
+		t.Fatal("trace extension disturbed the pre-tracing denial prefix")
+	}
+	gd, err := DecodeDenial(old)
+	if err != nil || !gd.Trace.IsZero() {
+		t.Fatalf("old-format denial: %v trace=%v", err, gd.Trace)
+	}
+	gd2, err := DecodeDenial(traced)
+	if err != nil || gd2.Trace != d.Trace {
+		t.Fatalf("traced denial: %v trace=%v want %v", err, gd2.Trace, d.Trace)
+	}
+	if _, err := DecodeDenial(netx.AppendExt(append([]byte(nil), traced...), 0x55, nil)); err != nil {
+		t.Fatalf("unknown extension after denial trace rejected: %v", err)
+	}
+}
+
+func TestViewWireTraceInterop(t *testing.T) {
+	f := newFixture(t)
+	v, err := f.query(t, promiseeASN, RolePromisee)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Trace = obs.TraceContext{}
+	old, err := v.Encode() // pre-tracing format
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Trace = obs.NewTraceContext()
+	traced, err := v.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(traced[:len(old)], old) {
+		t.Fatal("trace extension disturbed the pre-tracing view prefix")
+	}
+	dv, err := DecodeView(old)
+	if err != nil {
+		t.Fatalf("old-format view rejected: %v", err)
+	}
+	if !dv.Trace.IsZero() {
+		t.Fatal("old-format view grew a trace")
+	}
+	dv2, err := DecodeView(traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dv2.Trace != v.Trace {
+		t.Fatalf("view trace %v, want %v", dv2.Trace, v.Trace)
+	}
+	if dv3, err := DecodeView(netx.AppendExt(append([]byte(nil), traced...), 0x7F, []byte("x"))); err != nil || dv3.Trace != v.Trace {
+		t.Fatalf("unknown extension after view trace: %v", err)
+	}
+}

@@ -32,9 +32,35 @@ import (
 	"pvr/internal/engine"
 	"pvr/internal/merkle"
 	"pvr/internal/netx"
+	"pvr/internal/obs"
 	"pvr/internal/prefix"
 	"pvr/internal/sigs"
 )
+
+// readTraceExt consumes every trailing extension, capturing an ExtTrace
+// context into dst and skipping unknown tags — the forward-compatibility
+// path for frames from newer peers.
+func readTraceExt(r *netx.PayloadReader, dst *obs.TraceContext) error {
+	return netx.ReadExts(r, func(tag uint8, body []byte) error {
+		if tag != netx.ExtTrace {
+			return nil
+		}
+		tc, err := obs.TraceContextFromWire(body)
+		if err != nil {
+			return err
+		}
+		*dst = tc
+		return nil
+	})
+}
+
+// appendTraceExt appends an ExtTrace block when tc is set.
+func appendTraceExt(b []byte, tc obs.TraceContext) []byte {
+	if tc.IsZero() {
+		return b
+	}
+	return netx.AppendExt(b, netx.ExtTrace, tc.AppendWire(nil))
+}
 
 // Frame types of the disclosure query protocol, carried in
 // netx.Frame.Type. The range is disjoint from the audit anti-entropy
@@ -135,6 +161,11 @@ type Query struct {
 	Nonce [NonceSize]byte
 	// Sig is the requester's signature over SignedBytes.
 	Sig []byte
+	// Trace is the distributed trace context the query travels under:
+	// observability metadata, deliberately excluded from SignedBytes (a
+	// relay re-stamping the trace must not invalidate the signature) and
+	// carried as a trailing frame extension old servers skip.
+	Trace obs.TraceContext
 }
 
 // SignedBytes returns the canonical bytes the requester signs.
@@ -196,7 +227,8 @@ func (q *Query) Encode() ([]byte, error) {
 	b = netx.AppendU64(b, q.Epoch)
 	b = netx.AppendBytes(b, pb)
 	b = append(b, q.Nonce[:]...)
-	return netx.AppendBytes(b, q.Sig), nil
+	b = netx.AppendBytes(b, q.Sig)
+	return appendTraceExt(b, q.Trace), nil
 }
 
 // DecodeQuery decodes an Encode payload (exact length).
@@ -240,6 +272,9 @@ func DecodeQuery(b []byte) (*Query, error) {
 	if len(sig) > 0 {
 		q.Sig = append([]byte(nil), sig...)
 	}
+	if err := readTraceExt(r, &q.Trace); err != nil {
+		return nil, err
+	}
 	return &q, r.Done()
 }
 
@@ -264,6 +299,9 @@ const maxDetail = 4096
 type Denial struct {
 	Code   DenyCode
 	Detail string
+	// Trace echoes the denied query's trace context (extension-carried),
+	// so a denied fetch still closes its span in the requester's ring.
+	Trace obs.TraceContext
 }
 
 // Error implements error.
@@ -299,7 +337,8 @@ func (d *Denial) Is(target error) bool {
 // Encode returns the DENY frame payload.
 func (d *Denial) Encode() []byte {
 	b := append(netx.GetBuf(64), uint8(d.Code))
-	return netx.AppendBytes(b, []byte(d.Detail))
+	b = netx.AppendBytes(b, []byte(d.Detail))
+	return appendTraceExt(b, d.Trace)
 }
 
 // DecodeDenial decodes an Encode payload (exact length).
@@ -316,7 +355,11 @@ func DecodeDenial(b []byte) (*Denial, error) {
 	if len(detail) > maxDetail {
 		return nil, fmt.Errorf("%w: oversized denial detail", ErrWire)
 	}
-	return &Denial{Code: DenyCode(code), Detail: string(detail)}, r.Done()
+	d := &Denial{Code: DenyCode(code), Detail: string(detail)}
+	if err := readTraceExt(r, &d.Trace); err != nil {
+		return nil, err
+	}
+	return d, r.Done()
 }
 
 // View is one VIEW answer: always the sealed commitment (with inclusion
@@ -344,6 +387,11 @@ type View struct {
 	ExportOpening *commit.Opening
 	// Key is the prover's marshaled public key (may be empty).
 	Key []byte
+	// Trace is the distributed trace context of the served seal — the
+	// chain that produced the commitment being disclosed, NOT the
+	// requester's query trace (views are cached across requesters, so the
+	// payload must not vary per query). Extension-carried.
+	Trace obs.TraceContext
 }
 
 // Encode returns the VIEW frame payload.
@@ -422,7 +470,7 @@ func (v *View) Encode() ([]byte, error) {
 	default:
 		return nil, fmt.Errorf("discplane: encode view: invalid role %s", v.Role)
 	}
-	return b, nil
+	return appendTraceExt(b, v.Trace), nil
 }
 
 // DecodeView decodes an Encode payload (exact length), reconstructing the
@@ -541,6 +589,9 @@ func DecodeView(b []byte) (*View, error) {
 			}
 			v.ExportOpening = op
 		}
+	}
+	if err := readTraceExt(r, &v.Trace); err != nil {
+		return nil, err
 	}
 	return v, r.Done()
 }

@@ -107,6 +107,10 @@ type shard struct {
 	// dirty marks the shard as changed since its last seal; SealDirty
 	// rebuilds only dirty shards and merely re-signs the rest.
 	dirty bool
+	// trace is the distributed trace context of the announcement that most
+	// recently dirtied the shard; the next seal inherits it (Seal.Trace) so
+	// the sealing and gossip events downstream stitch to the ingest event.
+	trace obs.TraceContext
 	// Set by sealShard:
 	seal   *Seal
 	batch  *merkle.Batch
@@ -200,6 +204,7 @@ func (e *ProverEngine) BeginEpoch(epoch uint64) {
 		s.leaves = make(map[prefix.Prefix][]byte)
 		s.exports = make(map[prefix.Prefix]*sealedExport)
 		s.dirty = false
+		s.trace = obs.TraceContext{}
 		s.seal, s.batch, s.index, s.sealed = nil, nil, nil, false
 		s.mu.Unlock()
 	}
@@ -234,9 +239,22 @@ func (e *ProverEngine) shardOf(pfx prefix.Prefix) (*shard, uint32, error) {
 
 // AcceptAnnouncement verifies and records an input route for its prefix,
 // returning the prover's signed receipt. Concurrent calls for prefixes in
-// different shards proceed in parallel.
+// different shards proceed in parallel. A fresh trace context is minted
+// for the announcement; use AcceptAnnouncementTraced to continue one
+// propagated from upstream.
 func (e *ProverEngine) AcceptAnnouncement(a core.Announcement) (core.Receipt, error) {
+	return e.AcceptAnnouncementTraced(a, obs.TraceContext{})
+}
+
+// AcceptAnnouncementTraced is AcceptAnnouncement under an explicit
+// distributed trace context; a zero tc mints a fresh trace. On success the
+// prefix's shard remembers tc, so the next seal of that shard (and every
+// downstream gossip/conviction event) stitches back to this ingestion.
+func (e *ProverEngine) AcceptAnnouncementTraced(a core.Announcement, tc obs.TraceContext) (core.Receipt, error) {
 	t0 := time.Now()
+	if tc.IsZero() {
+		tc = obs.NewTraceContext()
+	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if !e.begun {
@@ -263,6 +281,7 @@ func (e *ProverEngine) AcceptAnnouncement(a core.Announcement) (core.Receipt, er
 	rc, err := p.AcceptAnnouncement(a)
 	if err == nil {
 		s.dirty = true
+		s.trace = tc
 		delete(s.leaves, a.Route.Prefix)
 		delete(s.exports, a.Route.Prefix)
 		e.met.accepts.Inc()
@@ -270,7 +289,7 @@ func (e *ProverEngine) AcceptAnnouncement(a core.Announcement) (core.Receipt, er
 		e.tr.Record(obs.Event{
 			Kind: obs.EvAnnounceAccepted, Epoch: e.epoch,
 			Prefix: a.Route.Prefix.String(), AS: uint32(a.Provider),
-		})
+		}.SetTrace(tc))
 	}
 	return rc, err
 }
@@ -300,6 +319,7 @@ func (e *ProverEngine) acceptPreverified(a core.Announcement) error {
 		return err
 	}
 	s.dirty = true
+	s.trace = obs.NewTraceContext()
 	delete(s.leaves, a.Route.Prefix)
 	delete(s.exports, a.Route.Prefix)
 	return nil
@@ -455,6 +475,7 @@ func (e *ProverEngine) sealShardLocked(idx uint32, s *shard, window uint64) erro
 		Window: window,
 		Shard:  idx,
 		Shards: uint32(len(e.shards)),
+		Trace:  s.trace,
 	}
 	// Empty shards still seal (Count 0, zero root): every epoch publishes
 	// exactly Shards seals, so shard 0 always exists and two seal sets
@@ -531,7 +552,7 @@ func (e *ProverEngine) sealShardLocked(idx uint32, s *shard, window uint64) erro
 	e.tr.Record(obs.Event{
 		Kind: obs.EvShardSealed, Epoch: e.epoch, Window: window,
 		Shard: int(idx), Note: fmt.Sprintf("%d prefixes", seal.Count),
-	})
+	}.SetTrace(s.trace))
 	return nil
 }
 
@@ -543,9 +564,19 @@ func (e *ProverEngine) sealShardLocked(idx uint32, s *shard, window uint64) erro
 // for its prefixes fail in between (the published seal no longer matches
 // the mutated state). An empty candidate set removes the prefix.
 func (e *ProverEngine) ReplacePrefix(pfx prefix.Prefix, anns []core.Announcement) error {
+	return e.ReplacePrefixTraced(pfx, anns, obs.TraceContext{})
+}
+
+// ReplacePrefixTraced is ReplacePrefix under an explicit distributed trace
+// context (a zero tc mints a fresh trace) — the streaming update plane
+// passes the trace carried by the churn event that triggered the swap.
+func (e *ProverEngine) ReplacePrefixTraced(pfx prefix.Prefix, anns []core.Announcement, tc obs.TraceContext) error {
 	if len(anns) == 0 {
-		_, err := e.RemovePrefix(pfx)
+		_, err := e.RemovePrefixTraced(pfx, tc)
 		return err
+	}
+	if tc.IsZero() {
+		tc = obs.NewTraceContext()
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -583,12 +614,13 @@ func (e *ProverEngine) ReplacePrefix(pfx prefix.Prefix, anns []core.Announcement
 	delete(s.leaves, pfx)
 	delete(s.exports, pfx)
 	s.dirty = true
+	s.trace = tc
 	s.sealed = false
 	e.met.accepts.Add(uint64(len(anns)))
 	e.tr.Record(obs.Event{
 		Kind: obs.EvAnnounceAccepted, Epoch: e.epoch, Prefix: pfx.String(),
 		AS: uint32(anns[0].Provider), Note: fmt.Sprintf("%d candidates", len(anns)),
-	})
+	}.SetTrace(tc))
 	return nil
 }
 
@@ -596,6 +628,12 @@ func (e *ProverEngine) ReplacePrefix(pfx prefix.Prefix, anns []core.Announcement
 // reporting whether it was present. Like ReplacePrefix it dirties the
 // shard and un-seals it until the next SealDirty.
 func (e *ProverEngine) RemovePrefix(pfx prefix.Prefix) (bool, error) {
+	return e.RemovePrefixTraced(pfx, obs.TraceContext{})
+}
+
+// RemovePrefixTraced is RemovePrefix under an explicit distributed trace
+// context; a zero tc mints a fresh trace for the withdrawal.
+func (e *ProverEngine) RemovePrefixTraced(pfx prefix.Prefix, tc obs.TraceContext) (bool, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if !e.begun {
@@ -614,6 +652,10 @@ func (e *ProverEngine) RemovePrefix(pfx prefix.Prefix) (bool, error) {
 	delete(s.leaves, pfx)
 	delete(s.exports, pfx)
 	s.dirty = true
+	if tc.IsZero() {
+		tc = obs.NewTraceContext()
+	}
+	s.trace = tc
 	s.sealed = false
 	return true, nil
 }

@@ -10,6 +10,7 @@ import (
 	"pvr/internal/core"
 	"pvr/internal/gossip"
 	"pvr/internal/merkle"
+	"pvr/internal/obs"
 	"pvr/internal/sigs"
 )
 
@@ -43,6 +44,13 @@ type Seal struct {
 	Count uint32
 	Root  merkle.Root
 	Sig   []byte
+	// Trace is the distributed trace context of the announcement that most
+	// recently dirtied this shard. It is observability metadata only:
+	// excluded from SignedBytes, MarshalBinary, the gossip statement, and
+	// every equivocation comparison. It propagates out-of-band (wire
+	// extensions, BGP attachments) so cross-participant event rings stitch
+	// into end-to-end causal chains.
+	Trace obs.TraceContext
 }
 
 // SignedBytes returns the canonical bytes the prover signs.

@@ -109,3 +109,58 @@ func (r *PayloadReader) Done() error {
 	}
 	return nil
 }
+
+// Remaining returns the number of unconsumed payload bytes.
+func (r *PayloadReader) Remaining() int { return len(r.B) }
+
+// ---------------------------------------------------------------------------
+// Trailing extensions
+//
+// Versioned optional fields ride after a message's fixed encoding as a
+// sequence of (tag u8, u32-length-prefixed body) blocks running to the end
+// of the payload. Old decoders predating extensions fail their exact-length
+// Done() check on extended frames, so extension-aware decoders call
+// ReadExts between the fixed fields and Done; a decoder that recognises no
+// tags still skips every block, which is what makes unknown (future)
+// extensions safe to ignore.
+
+// Extension tags. Tag values are shared across every plane's framing so a
+// trace context looks the same in an audit STATEMENTS frame and a
+// disclosure VIEW.
+const (
+	// ExtTrace carries a distributed trace context
+	// (obs.TraceContext.AppendWire, 24 bytes).
+	ExtTrace uint8 = 0x01
+	// ExtTraceList carries trace contexts for a frame whose elements are
+	// concatenated without per-element framing: a u32 pair count followed
+	// by (u32 element index, trace context) pairs.
+	ExtTraceList uint8 = 0x02
+)
+
+// AppendExt appends one trailing extension block.
+func AppendExt(b []byte, tag uint8, body []byte) []byte {
+	b = append(b, tag)
+	return AppendBytes(b, body)
+}
+
+// ReadExts consumes every trailing extension block, calling fn for each.
+// Unknown tags must be ignored by fn (it simply returns nil); bodies alias
+// the payload. fn errors abort the scan.
+func ReadExts(r *PayloadReader, fn func(tag uint8, body []byte) error) error {
+	for r.Remaining() > 0 {
+		tag, err := r.U8()
+		if err != nil {
+			return err
+		}
+		body, err := r.Bytes()
+		if err != nil {
+			return err
+		}
+		if fn != nil {
+			if err := fn(tag, body); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,354 @@
+// Package fleet gathers the observability planes of many PVR
+// participants into one place: incremental event collection through a
+// cursor protocol, cross-participant causal stitching by distributed
+// TraceID, and fleet-level rollups of each participant's metric
+// registry.
+//
+// The package is deliberately transport-agnostic. A Source is anything
+// that can answer "give me your events since cursor N and a metric
+// snapshot": in-process participants adapt their Tracer/Registry pair
+// directly (netsim drives hundreds this way), while HTTPSource scrapes
+// a live pvrd's /trace?since= and /metrics endpoints over the wire.
+package fleet
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"pvr/internal/obs"
+)
+
+// Snapshot is one incremental capture of a participant's observability
+// plane: the lifecycle events recorded since the caller's cursor, the
+// cursor to pass next time, and a point-in-time metric snapshot.
+type Snapshot struct {
+	// Participant identifies the source (typically the AS number's
+	// string form, or a scrape address).
+	Participant string `json:"participant"`
+	// Events are the lifecycle events with Seq >= the requested cursor,
+	// oldest first. If the participant's ring wrapped past the cursor,
+	// the slice starts at the oldest retained event.
+	Events []obs.Event `json:"events"`
+	// Next is the cursor to request next time (one past the newest
+	// event ever recorded by the participant).
+	Next uint64 `json:"next"`
+	// Metrics is the participant's flattened metric registry (see
+	// obs.Registry.Snapshot); nil when the source does not expose one.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Source produces snapshots for a Collector. Implementations must be
+// safe for concurrent use with the participant they observe.
+type Source interface {
+	// Name identifies the participant; it keys the collector's cursor
+	// and metric state, so it must be stable across polls.
+	Name() string
+	// Snapshot returns the events since the given cursor plus current
+	// metrics.
+	Snapshot(since uint64) (Snapshot, error)
+}
+
+// Span is one event located at the participant that recorded it — the
+// unit a cross-participant causal chain is made of.
+type Span struct {
+	Participant string    `json:"participant"`
+	Event       obs.Event `json:"event"`
+}
+
+// Chain is every span the fleet recorded under one TraceID, ordered by
+// event time: the stitched journey of one announcement through accept,
+// seal, gossip, disclosure, and (for equivocators) conviction —
+// possibly across many participants.
+type Chain struct {
+	ID    obs.TraceID `json:"id"`
+	Spans []Span      `json:"spans"`
+}
+
+// Participants returns the distinct participants on the chain, in
+// first-appearance order.
+func (c *Chain) Participants() []string {
+	seen := make(map[string]bool, 4)
+	var out []string
+	for _, s := range c.Spans {
+		if !seen[s.Participant] {
+			seen[s.Participant] = true
+			out = append(out, s.Participant)
+		}
+	}
+	return out
+}
+
+// HasKind reports whether any span on the chain is of kind k.
+func (c *Chain) HasKind(k obs.EventKind) bool {
+	for _, s := range c.Spans {
+		if s.Event.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+// FirstAt returns the time of the chain's earliest event of kind k.
+func (c *Chain) FirstAt(k obs.EventKind) (time.Time, bool) {
+	for _, s := range c.Spans {
+		if s.Event.Kind == k {
+			return s.Event.At, true
+		}
+	}
+	return time.Time{}, false
+}
+
+// Stitched reports whether the chain crosses participants: at least two
+// distinct recorders, which is what distinguishes a propagated trace
+// from one that never left its origin.
+func (c *Chain) Stitched() bool {
+	if len(c.Spans) < 2 {
+		return false
+	}
+	first := c.Spans[0].Participant
+	for _, s := range c.Spans[1:] {
+		if s.Participant != first {
+			return true
+		}
+	}
+	return false
+}
+
+// DetectionLatency is the wall-clock distance from the chain's first
+// AnnounceAccepted to its first ConvictionRecorded; ok is false when
+// the chain holds no such pair (honest traffic, or not yet detected).
+func (c *Chain) DetectionLatency() (time.Duration, bool) {
+	start, ok := c.FirstAt(obs.EvAnnounceAccepted)
+	if !ok {
+		// A chain can enter the fleet mid-flight (the accept event
+		// predates collection); fall back to the earliest span.
+		if len(c.Spans) == 0 {
+			return 0, false
+		}
+		start = c.Spans[0].Event.At
+	}
+	end, ok := c.FirstAt(obs.EvConvictionRecorded)
+	if !ok {
+		return 0, false
+	}
+	d := end.Sub(start)
+	if d < 0 {
+		d = 0
+	}
+	return d, true
+}
+
+// Stats is a fleet-level rollup of everything a Collector holds.
+type Stats struct {
+	// Participants is the number of polled sources.
+	Participants int `json:"participants"`
+	// Events counts every collected event; Untraced the subset carrying
+	// no TraceID (pre-tracing peers, or events outside any chain).
+	Events   int `json:"events"`
+	Untraced int `json:"untraced"`
+	// Traces is the number of distinct TraceIDs; Stitched the subset
+	// whose chain crosses at least two participants.
+	Traces   int `json:"traces"`
+	Stitched int `json:"stitched"`
+	// Convicted counts chains that ended in a conviction.
+	Convicted int `json:"convicted"`
+}
+
+// Collector pulls snapshots from many sources, maintaining a per-source
+// cursor so each Poll is incremental, and stitches every traced event
+// into its chain. Safe for concurrent use.
+type Collector struct {
+	mu       sync.Mutex
+	sources  []Source
+	cursors  map[string]uint64
+	chains   map[obs.TraceID]*Chain
+	metrics  map[string]map[string]float64
+	events   int
+	untraced int
+}
+
+// NewCollector builds a collector over the given sources; more can be
+// added later with Add.
+func NewCollector(srcs ...Source) *Collector {
+	c := &Collector{
+		cursors: make(map[string]uint64),
+		chains:  make(map[obs.TraceID]*Chain),
+		metrics: make(map[string]map[string]float64),
+	}
+	c.sources = append(c.sources, srcs...)
+	return c
+}
+
+// Add registers another source for subsequent polls.
+func (c *Collector) Add(src Source) {
+	c.mu.Lock()
+	c.sources = append(c.sources, src)
+	c.mu.Unlock()
+}
+
+// Poll runs one incremental sweep: every source is asked for events
+// since its cursor, traced events are stitched into chains, and metric
+// snapshots replace the previous ones. The first source error aborts
+// the sweep (already-ingested sources keep their progress).
+func (c *Collector) Poll() error {
+	c.mu.Lock()
+	srcs := append([]Source(nil), c.sources...)
+	c.mu.Unlock()
+	for _, src := range srcs {
+		name := src.Name()
+		c.mu.Lock()
+		cur := c.cursors[name]
+		c.mu.Unlock()
+		snap, err := src.Snapshot(cur)
+		if err != nil {
+			return err
+		}
+		c.ingest(name, snap)
+	}
+	return nil
+}
+
+func (c *Collector) ingest(name string, snap Snapshot) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cursors[name] = snap.Next
+	if snap.Metrics != nil {
+		c.metrics[name] = snap.Metrics
+	}
+	for _, ev := range snap.Events {
+		c.events++
+		if ev.Trace.IsZero() {
+			c.untraced++
+			continue
+		}
+		ch := c.chains[ev.Trace]
+		if ch == nil {
+			ch = &Chain{ID: ev.Trace}
+			c.chains[ev.Trace] = ch
+		}
+		ch.Spans = append(ch.Spans, Span{Participant: name, Event: ev})
+	}
+}
+
+// sortedCopy returns a time-ordered copy of ch's spans (stable on
+// arrival order for equal timestamps, so one participant's sequence is
+// preserved).
+func sortedCopy(ch *Chain) *Chain {
+	out := &Chain{ID: ch.ID, Spans: append([]Span(nil), ch.Spans...)}
+	sort.SliceStable(out.Spans, func(i, j int) bool {
+		return out.Spans[i].Event.At.Before(out.Spans[j].Event.At)
+	})
+	return out
+}
+
+// Chain returns the stitched chain for one TraceID (nil when the fleet
+// never saw it), spans ordered by event time.
+func (c *Collector) Chain(id obs.TraceID) *Chain {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := c.chains[id]
+	if ch == nil {
+		return nil
+	}
+	return sortedCopy(ch)
+}
+
+// Chains returns every stitched chain, ordered by each chain's earliest
+// event time (ties broken by TraceID for determinism).
+func (c *Collector) Chains() []*Chain {
+	c.mu.Lock()
+	out := make([]*Chain, 0, len(c.chains))
+	for _, ch := range c.chains {
+		out = append(out, sortedCopy(ch))
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		ti, tj := out[i].Spans[0].Event.At, out[j].Spans[0].Event.At
+		if !ti.Equal(tj) {
+			return ti.Before(tj)
+		}
+		return out[i].ID.String() < out[j].ID.String()
+	})
+	return out
+}
+
+// Metrics returns the latest metric snapshot collected from one
+// participant (nil when never polled or the source exposes none).
+func (c *Collector) Metrics(participant string) map[string]float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.metrics[participant]
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// MetricTotal sums one metric across every polled participant — the
+// fleet-level view of a per-participant counter (total convictions,
+// total bytes reconciled, …).
+func (c *Collector) MetricTotal(name string) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total float64
+	for _, m := range c.metrics {
+		total += m[name]
+	}
+	return total
+}
+
+// Stats rolls the collector's state up.
+func (c *Collector) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{
+		Participants: len(c.sources),
+		Events:       c.events,
+		Untraced:     c.untraced,
+		Traces:       len(c.chains),
+	}
+	for _, ch := range c.chains {
+		if ch.Stitched() {
+			st.Stitched++
+		}
+		for _, s := range ch.Spans {
+			if s.Event.Kind == obs.EvConvictionRecorded {
+				st.Convicted++
+				break
+			}
+		}
+	}
+	return st
+}
+
+// TracerSource adapts an in-process (Tracer, Registry) pair — a
+// participant's observability plane — into a Source. Registry may be
+// nil (events only).
+type TracerSource struct {
+	name string
+	tr   *obs.Tracer
+	reg  *obs.Registry
+}
+
+// NewTracerSource builds an in-process source named name.
+func NewTracerSource(name string, tr *obs.Tracer, reg *obs.Registry) *TracerSource {
+	return &TracerSource{name: name, tr: tr, reg: reg}
+}
+
+// Name implements Source.
+func (s *TracerSource) Name() string { return s.name }
+
+// Snapshot implements Source.
+func (s *TracerSource) Snapshot(since uint64) (Snapshot, error) {
+	evs, next := s.tr.Since(since)
+	snap := Snapshot{Participant: s.name, Events: evs, Next: next}
+	if s.reg != nil {
+		snap.Metrics = s.reg.Snapshot()
+	}
+	return snap, nil
+}

@@ -1,0 +1,212 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"pvr/internal/obs"
+)
+
+func TestCollectorStitchesAcrossSources(t *testing.T) {
+	trA, trB := obs.NewTracer(64), obs.NewTracer(64)
+	regA := obs.NewRegistry()
+	ctr := obs.NewCounter(regA, "pvr_test_total", "test counter")
+	ctr.Add(3)
+
+	tc := obs.NewTraceContext()
+	base := time.Now()
+	trA.Record(obs.Event{Kind: obs.EvAnnounceAccepted, At: base}.SetTrace(tc))
+	trA.Record(obs.Event{Kind: obs.EvShardSealed, At: base.Add(time.Millisecond)}.SetTrace(tc))
+	trB.Record(obs.Event{Kind: obs.EvSealGossiped, At: base.Add(2 * time.Millisecond)}.SetTrace(tc))
+	trB.Record(obs.Event{Kind: obs.EvConvictionRecorded, At: base.Add(3 * time.Millisecond)}.SetTrace(tc))
+	trB.Record(obs.Event{Kind: obs.EvWindowSealed, At: base}) // untraced
+
+	c := NewCollector(
+		NewTracerSource("A", trA, regA),
+		NewTracerSource("B", trB, nil),
+	)
+	if err := c.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	ch := c.Chain(tc.TraceID)
+	if ch == nil {
+		t.Fatal("chain not found")
+	}
+	if len(ch.Spans) != 4 {
+		t.Fatalf("spans = %d, want 4", len(ch.Spans))
+	}
+	if !ch.Stitched() {
+		t.Fatal("chain not stitched across A and B")
+	}
+	if got := ch.Participants(); len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Fatalf("participants = %v", got)
+	}
+	// Time ordering: conviction is last.
+	if ch.Spans[3].Event.Kind != obs.EvConvictionRecorded {
+		t.Fatalf("last span kind = %v", ch.Spans[3].Event.Kind)
+	}
+	d, ok := ch.DetectionLatency()
+	if !ok || d != 3*time.Millisecond {
+		t.Fatalf("detection latency = %v ok=%v, want 3ms", d, ok)
+	}
+	st := c.Stats()
+	if st.Traces != 1 || st.Stitched != 1 || st.Convicted != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Events != 5 || st.Untraced != 1 {
+		t.Fatalf("events/untraced = %d/%d, want 5/1", st.Events, st.Untraced)
+	}
+	if got := c.MetricTotal("pvr_test_total"); got != 3 {
+		t.Fatalf("metric total = %v, want 3", got)
+	}
+}
+
+func TestCollectorPollIsIncremental(t *testing.T) {
+	tr := obs.NewTracer(64)
+	tc := obs.NewTraceContext()
+	tr.Record(obs.Event{Kind: obs.EvAnnounceAccepted}.SetTrace(tc))
+
+	c := NewCollector(NewTracerSource("A", tr, nil))
+	if err := c.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	// A second poll with no new events must not duplicate spans.
+	if err := c.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if ch := c.Chain(tc.TraceID); len(ch.Spans) != 1 {
+		t.Fatalf("spans after re-poll = %d, want 1", len(ch.Spans))
+	}
+	tr.Record(obs.Event{Kind: obs.EvShardSealed}.SetTrace(tc))
+	if err := c.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if ch := c.Chain(tc.TraceID); len(ch.Spans) != 2 {
+		t.Fatalf("spans after new event = %d, want 2", len(ch.Spans))
+	}
+}
+
+func TestHistoryRingAndJSONL(t *testing.T) {
+	h := NewHistory(8)
+	for i := 0; i < 20; i++ {
+		h.Record(time.Unix(int64(i), 0), map[string]float64{"x": float64(i)})
+	}
+	if h.Len() != 8 {
+		t.Fatalf("len = %d, want 8", h.Len())
+	}
+	pts := h.Points()
+	if pts[0].Values["x"] != 12 || pts[7].Values["x"] != 19 {
+		t.Fatalf("ring retained wrong window: first=%v last=%v", pts[0].Values["x"], pts[7].Values["x"])
+	}
+	var buf bytes.Buffer
+	if err := h.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		var p Point
+		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+			t.Fatalf("line %d: %v", lines, err)
+		}
+		lines++
+	}
+	if lines != 8 {
+		t.Fatalf("jsonl lines = %d, want 8", lines)
+	}
+	// nil history is inert.
+	var nilH *History
+	nilH.Record(time.Now(), nil)
+	if nilH.Len() != 0 || nilH.Points() != nil {
+		t.Fatal("nil history not inert")
+	}
+}
+
+func TestParsePrometheus(t *testing.T) {
+	text := `# HELP pvr_x_total things
+# TYPE pvr_x_total counter
+pvr_x_total 42
+pvr_lat_seconds_bucket{role="observer",le="0.001"} 5
+pvr_lat_seconds_bucket{role="observer",le="+Inf"} 9
+pvr_lat_seconds_sum{role="observer"} 0.25
+`
+	m, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["pvr_x_total"] != 42 {
+		t.Fatalf("counter = %v", m["pvr_x_total"])
+	}
+	if m[`pvr_lat_seconds_bucket{role="observer",le="+Inf"}`] != 9 {
+		t.Fatalf("+Inf bucket = %v", m[`pvr_lat_seconds_bucket{role="observer",le="+Inf"}`])
+	}
+	if _, err := ParsePrometheus(strings.NewReader("garbage-without-value\n")); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+}
+
+func TestHTTPSourceScrapesEnvelopeAndMetrics(t *testing.T) {
+	tr := obs.NewTracer(64)
+	reg := obs.NewRegistry()
+	obs.NewCounter(reg, "pvr_scraped_total", "scraped").Add(7)
+	tc := obs.NewTraceContext()
+	tr.Record(obs.Event{Kind: obs.EvSealGossiped}.SetTrace(tc))
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		var since uint64
+		if s := r.URL.Query().Get("since"); s != "" {
+			v, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, err.Error(), 400)
+				return
+			}
+			since = v
+		}
+		evs, next := tr.Since(since)
+		_ = json.NewEncoder(w).Encode(traceEnvelope{Next: next, Events: evs})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		_ = reg.WritePrometheus(w)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	src := NewHTTPSource("D", srv.URL, srv.Client())
+	snap, err := src.Snapshot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Events) != 1 || snap.Events[0].Trace != tc.TraceID {
+		t.Fatalf("scraped events = %+v", snap.Events)
+	}
+	if snap.Next != 1 {
+		t.Fatalf("cursor = %d, want 1", snap.Next)
+	}
+	if snap.Metrics["pvr_scraped_total"] != 7 {
+		t.Fatalf("scraped metrics = %v", snap.Metrics)
+	}
+	// Incremental: second scrape from the cursor is empty.
+	snap2, err := src.Snapshot(snap.Next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap2.Events) != 0 {
+		t.Fatalf("re-scrape returned %d events", len(snap2.Events))
+	}
+	// Collector over an HTTP source stitches like an in-process one.
+	c := NewCollector(NewHTTPSource("D2", srv.URL, srv.Client()))
+	if err := c.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if ch := c.Chain(tc.TraceID); ch == nil || len(ch.Spans) != 1 {
+		t.Fatalf("chain over HTTP = %+v", ch)
+	}
+}

@@ -1,0 +1,92 @@
+package fleet
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Point is one sampled metric snapshot in a History.
+type Point struct {
+	At     time.Time          `json:"at"`
+	Values map[string]float64 `json:"values"`
+}
+
+// History is a bounded time-series ring of metric snapshots: a
+// participant samples its registry periodically and the ring retains
+// the most recent capacity points at constant memory. Safe for
+// concurrent use.
+type History struct {
+	mu  sync.Mutex
+	buf []Point
+	seq uint64
+}
+
+// NewHistory returns a history retaining the most recent capacity
+// points (minimum 8).
+func NewHistory(capacity int) *History {
+	if capacity < 8 {
+		capacity = 8
+	}
+	return &History{buf: make([]Point, capacity)}
+}
+
+// Record appends one sample. A zero at is stamped with the current
+// time. Safe on a nil history.
+func (h *History) Record(at time.Time, values map[string]float64) {
+	if h == nil {
+		return
+	}
+	if at.IsZero() {
+		at = time.Now()
+	}
+	h.mu.Lock()
+	h.buf[h.seq%uint64(len(h.buf))] = Point{At: at, Values: values}
+	h.seq++
+	h.mu.Unlock()
+}
+
+// Len reports how many points are currently retained.
+func (h *History) Len() int {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.seq > uint64(len(h.buf)) {
+		return len(h.buf)
+	}
+	return int(h.seq)
+}
+
+// Points returns the retained samples, oldest first.
+func (h *History) Points() []Point {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	have := h.seq
+	if have > uint64(len(h.buf)) {
+		have = uint64(len(h.buf))
+	}
+	out := make([]Point, 0, have)
+	for i := h.seq - have; i < h.seq; i++ {
+		out = append(out, h.buf[i%uint64(len(h.buf))])
+	}
+	return out
+}
+
+// WriteJSONL streams the retained samples to w, one JSON object per
+// line, oldest first — the dump format pvrbench persists alongside its
+// BENCH_*.json result files.
+func (h *History) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, p := range h.Points() {
+		if err := enc.Encode(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}

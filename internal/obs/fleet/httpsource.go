@@ -1,0 +1,109 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"pvr/internal/obs"
+)
+
+// HTTPSource scrapes a live pvrd debug endpoint: /trace?since= for the
+// event cursor protocol and /metrics for the Prometheus families. It
+// is the over-the-wire counterpart of TracerSource.
+type HTTPSource struct {
+	name   string
+	base   string
+	client *http.Client
+}
+
+// NewHTTPSource builds a source scraping baseURL (e.g.
+// "http://127.0.0.1:8080", no trailing slash needed). A nil client
+// uses http.DefaultClient.
+func NewHTTPSource(name, baseURL string, client *http.Client) *HTTPSource {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &HTTPSource{name: name, base: strings.TrimRight(baseURL, "/"), client: client}
+}
+
+// Name implements Source.
+func (s *HTTPSource) Name() string { return s.name }
+
+// traceEnvelope mirrors the /trace?since= response shape.
+type traceEnvelope struct {
+	Next   uint64      `json:"next"`
+	Events []obs.Event `json:"events"`
+}
+
+// Snapshot implements Source: one GET of /trace?since=N and one of
+// /metrics.
+func (s *HTTPSource) Snapshot(since uint64) (Snapshot, error) {
+	snap := Snapshot{Participant: s.name}
+	resp, err := s.client.Get(fmt.Sprintf("%s/trace?since=%d", s.base, since))
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("fleet: %s /trace: %s", s.name, resp.Status)
+	}
+	var env traceEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		return snap, fmt.Errorf("fleet: %s /trace: %w", s.name, err)
+	}
+	snap.Events, snap.Next = env.Events, env.Next
+
+	mresp, err := s.client.Get(s.base + "/metrics")
+	if err != nil {
+		return snap, err
+	}
+	defer mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("fleet: %s /metrics: %s", s.name, mresp.Status)
+	}
+	vals, err := ParsePrometheus(mresp.Body)
+	if err != nil {
+		return snap, fmt.Errorf("fleet: %s /metrics: %w", s.name, err)
+	}
+	snap.Metrics = vals
+	return snap, nil
+}
+
+// ParsePrometheus reads the Prometheus text exposition format into a
+// flat series→value map (series keys keep their label sets verbatim:
+// "pvr_disc_latency_seconds_bucket{role=\"observer\",le=\"0.001\"}").
+// Comment and blank lines are skipped; a malformed sample line is an
+// error, not a silent drop.
+func ParsePrometheus(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value is everything after the last space outside braces;
+		// label values may themselves contain spaces, so split from the
+		// right.
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return nil, fmt.Errorf("fleet: malformed sample line %q", line)
+		}
+		series, valStr := line[:i], line[i+1:]
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: bad value in %q: %w", line, err)
+		}
+		out[series] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -162,6 +162,41 @@ func (r *Registry) Value(name string) (float64, bool) {
 	return 0, false
 }
 
+// Snapshot reads every registered metric into a flat name → value map:
+// counters and gauges under their full name, histograms as <name>_count,
+// <name>_sum, and <name>_max. This is the form the fleet collector and
+// the /metrics/history recorder store per sample.
+func (r *Registry) Snapshot() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	metrics := make([]metric, len(r.metrics))
+	copy(metrics, r.metrics)
+	r.mu.Unlock()
+
+	out := make(map[string]float64, len(metrics))
+	for _, m := range metrics {
+		switch v := m.(type) {
+		case *Counter:
+			out[v.name] = float64(v.Value())
+		case *Gauge:
+			out[v.name] = float64(v.Value())
+		case *funcMetric:
+			out[v.name] = v.fn()
+		case *Histogram:
+			fam, labels := v.name, ""
+			if i := strings.IndexByte(v.name, '{'); i >= 0 {
+				fam, labels = v.name[:i], v.name[i:]
+			}
+			out[fam+"_count"+labels] = float64(v.Count())
+			out[fam+"_sum"+labels] = v.Sum()
+			out[fam+"_max"+labels] = v.Max()
+		}
+	}
+	return out
+}
+
 // Quantile extracts quantile q from the histogram registered under name
 // (including labels, if any). The second result is false when the name is
 // unknown, not a histogram, or the histogram is empty.

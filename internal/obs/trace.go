@@ -81,12 +81,24 @@ type Event struct {
 	Seq    uint64    `json:"seq"`
 	At     time.Time `json:"at"`
 	Kind   EventKind `json:"kind"`
+	Trace  TraceID   `json:"trace,omitzero"`
+	Span   SpanID    `json:"span,omitzero"`
 	Epoch  uint64    `json:"epoch,omitempty"`
 	Window uint64    `json:"window,omitempty"`
 	Shard  int       `json:"shard,omitempty"`
 	Prefix string    `json:"prefix,omitempty"`
 	AS     uint32    `json:"as,omitempty"`
 	Note   string    `json:"note,omitempty"`
+}
+
+// SetTrace stamps ev with tc's trace and span identities and returns it;
+// a zero context leaves the event untraced.
+func (ev Event) SetTrace(tc TraceContext) Event {
+	if !tc.IsZero() {
+		ev.Trace = tc.TraceID
+		ev.Span = tc.Span
+	}
+	return ev
 }
 
 // Tracer is a fixed-capacity ring buffer of Events. Record overwrites the
@@ -132,6 +144,34 @@ func (t *Tracer) Seq() uint64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.seq
+}
+
+// Since returns every retained event with Seq >= seq, oldest first, plus
+// the cursor to pass next time (the sequence number one past the newest
+// event ever recorded). If the ring has wrapped past seq, the returned
+// slice starts at the oldest retained event — the caller can detect the
+// gap by comparing the first event's Seq against its cursor.
+func (t *Tracer) Since(seq uint64) (events []Event, next uint64) {
+	if t == nil {
+		return nil, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	oldest := uint64(0)
+	if t.seq > uint64(len(t.buf)) {
+		oldest = t.seq - uint64(len(t.buf))
+	}
+	if seq < oldest {
+		seq = oldest
+	}
+	if seq > t.seq {
+		seq = t.seq
+	}
+	out := make([]Event, 0, t.seq-seq)
+	for i := seq; i < t.seq; i++ {
+		out = append(out, t.buf[i%uint64(len(t.buf))])
+	}
+	return out, t.seq
 }
 
 // Recent returns up to n of the most recent events, oldest first. n <= 0

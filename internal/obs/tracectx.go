@@ -1,0 +1,189 @@
+package obs
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+)
+
+// Distributed trace context, W3C-traceparent-shaped: a 128-bit TraceID
+// naming one end-to-end causal chain (an announcement's journey from
+// ingestion through sealing, gossip, and — when the prover equivocates —
+// conviction), plus a 64-bit span identifying the hop that forwarded it.
+//
+// The context is minted at announce ingestion and carried as a versioned
+// optional field through every plane's wire format (audit anti-entropy
+// STATEMENTS/CONFLICT extensions, BGP update attachments, disclosure
+// DISCLOSE/VIEW extensions). It is observability metadata: never part of
+// signed bytes, content hashes, or reconciliation digests, so two copies
+// of one statement with different trace contexts are still the same
+// statement.
+
+// TraceID is the 128-bit trace identity shared by every event of one
+// causal chain.
+type TraceID [16]byte
+
+// SpanID is the 64-bit identity of one hop within a trace.
+type SpanID [8]byte
+
+// TraceContext is a propagated trace reference: which chain, and which
+// span within it the carrying message descends from.
+type TraceContext struct {
+	TraceID TraceID
+	Span    SpanID
+}
+
+// TraceWireSize is the fixed wire encoding size of a TraceContext.
+const TraceWireSize = 16 + 8
+
+// traceSalt makes IDs minted by concurrent processes distinct (two pvrd
+// daemons must never collide); the counter makes IDs within a process
+// unique without per-mint entropy draws on the ingest hot path.
+var (
+	traceSalt uint64
+	traceCtr  atomic.Uint64
+)
+
+func init() {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		panic("obs: no entropy for trace salt: " + err.Error())
+	}
+	traceSalt = binary.BigEndian.Uint64(b[:])
+}
+
+// NewTraceContext mints a fresh trace: a process-unique TraceID and its
+// root span. Cheap enough for per-announcement use on the ingest path.
+func NewTraceContext() TraceContext {
+	n := traceCtr.Add(1)
+	var tc TraceContext
+	binary.BigEndian.PutUint64(tc.TraceID[:8], traceSalt)
+	binary.BigEndian.PutUint64(tc.TraceID[8:], n)
+	binary.BigEndian.PutUint64(tc.Span[:], traceSalt^n)
+	return tc
+}
+
+// Child returns a context continuing tc's trace under a fresh span — the
+// hop identity a forwarding plane stamps before putting the context back
+// on the wire.
+func (tc TraceContext) Child() TraceContext {
+	if tc.IsZero() {
+		return tc // no trace to continue; zero stays zero
+	}
+	n := traceCtr.Add(1)
+	out := TraceContext{TraceID: tc.TraceID}
+	binary.BigEndian.PutUint64(out.Span[:], traceSalt^n)
+	return out
+}
+
+// IsZero reports an unset context (no trace propagated).
+func (tc TraceContext) IsZero() bool { return tc == TraceContext{} }
+
+// IsZero reports an unset trace identity.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// String renders the trace identity as 32 hex digits.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// String renders the span identity as 16 hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// Traceparent renders the context in W3C trace-context form:
+// "00-<32 hex trace-id>-<16 hex span-id>-01" (version 00, sampled).
+func (tc TraceContext) Traceparent() string {
+	return fmt.Sprintf("00-%s-%s-01", tc.TraceID, tc.Span)
+}
+
+// ParseTraceparent parses the W3C form Traceparent emits. The version and
+// flags fields are accepted as any two hex digits (forward compatibility);
+// only the trace and span identities are retained.
+func ParseTraceparent(s string) (TraceContext, error) {
+	var tc TraceContext
+	if len(s) != 2+1+32+1+16+1+2 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return tc, fmt.Errorf("obs: malformed traceparent %q", s)
+	}
+	if !isHex(s[:2]) || !isHex(s[53:]) {
+		return tc, fmt.Errorf("obs: malformed traceparent %q", s)
+	}
+	if _, err := hex.Decode(tc.TraceID[:], []byte(s[3:35])); err != nil {
+		return tc, fmt.Errorf("obs: malformed traceparent trace-id: %w", err)
+	}
+	if _, err := hex.Decode(tc.Span[:], []byte(s[36:52])); err != nil {
+		return tc, fmt.Errorf("obs: malformed traceparent span-id: %w", err)
+	}
+	return tc, nil
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') && (c < 'A' || c > 'F') {
+			return false
+		}
+	}
+	return true
+}
+
+// AppendWire appends the fixed 24-byte wire encoding: trace-id then span.
+func (tc TraceContext) AppendWire(b []byte) []byte {
+	b = append(b, tc.TraceID[:]...)
+	return append(b, tc.Span[:]...)
+}
+
+// TraceContextFromWire decodes an AppendWire encoding. Exactly
+// TraceWireSize bytes are required — extension blocks are length-framed,
+// so a future larger encoding arrives under a different extension tag.
+func TraceContextFromWire(b []byte) (TraceContext, error) {
+	var tc TraceContext
+	if len(b) != TraceWireSize {
+		return tc, fmt.Errorf("obs: trace context length %d, want %d", len(b), TraceWireSize)
+	}
+	copy(tc.TraceID[:], b[:16])
+	copy(tc.Span[:], b[16:])
+	return tc, nil
+}
+
+// MarshalJSON renders the trace identity as a hex string (the form /trace
+// serves and the fleet collector stitches on).
+func (id TraceID) MarshalJSON() ([]byte, error) { return json.Marshal(id.String()) }
+
+// UnmarshalJSON accepts the hex form MarshalJSON emits ("" decodes as the
+// zero identity).
+func (id *TraceID) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	if s == "" {
+		*id = TraceID{}
+		return nil
+	}
+	if len(s) != 32 {
+		return fmt.Errorf("obs: trace id %q: want 32 hex digits", s)
+	}
+	_, err := hex.Decode(id[:], []byte(s))
+	return err
+}
+
+// MarshalJSON renders the span identity as a hex string.
+func (s SpanID) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON accepts the hex form MarshalJSON emits.
+func (s *SpanID) UnmarshalJSON(b []byte) error {
+	var str string
+	if err := json.Unmarshal(b, &str); err != nil {
+		return err
+	}
+	if str == "" {
+		*s = SpanID{}
+		return nil
+	}
+	if len(str) != 16 {
+		return fmt.Errorf("obs: span id %q: want 16 hex digits", str)
+	}
+	_, err := hex.Decode(s[:], []byte(str))
+	return err
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestNewTraceContextMintsDistinctIDs(t *testing.T) {
+	seen := make(map[TraceID]bool)
+	for i := 0; i < 1000; i++ {
+		tc := NewTraceContext()
+		if tc.IsZero() {
+			t.Fatal("minted a zero context")
+		}
+		if seen[tc.TraceID] {
+			t.Fatalf("duplicate TraceID after %d mints", i)
+		}
+		seen[tc.TraceID] = true
+	}
+}
+
+func TestChildKeepsTraceChangesSpan(t *testing.T) {
+	root := NewTraceContext()
+	child := root.Child()
+	if child.TraceID != root.TraceID {
+		t.Fatal("child changed the TraceID")
+	}
+	if child.Span == root.Span {
+		t.Fatal("child kept the parent span")
+	}
+	if (TraceContext{}).Child().IsZero() != true {
+		t.Fatal("child of zero context must stay zero")
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tc := NewTraceContext()
+	tp := tc.Traceparent()
+	if len(tp) != 55 {
+		t.Fatalf("traceparent length %d, want 55: %q", len(tp), tp)
+	}
+	back, err := ParseTraceparent(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != tc {
+		t.Fatalf("round trip %v != %v", back, tc)
+	}
+	for _, bad := range []string{
+		"",
+		"00-zz" + tp[5:],
+		tp[:54],
+		tp + "0",
+	} {
+		if _, err := ParseTraceparent(bad); err == nil {
+			t.Fatalf("accepted malformed traceparent %q", bad)
+		}
+	}
+}
+
+func TestTraceContextWireRoundTrip(t *testing.T) {
+	tc := NewTraceContext()
+	b := tc.AppendWire(nil)
+	if len(b) != TraceWireSize {
+		t.Fatalf("wire size %d, want %d", len(b), TraceWireSize)
+	}
+	back, err := TraceContextFromWire(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != tc {
+		t.Fatalf("wire round trip %v != %v", back, tc)
+	}
+	if _, err := TraceContextFromWire(b[:TraceWireSize-1]); err == nil {
+		t.Fatal("short wire form accepted")
+	}
+	if _, err := TraceContextFromWire(append(b, 0)); err == nil {
+		t.Fatal("long wire form accepted")
+	}
+}
+
+func TestTraceIDJSONRoundTrip(t *testing.T) {
+	tc := NewTraceContext()
+	ev := Event{Kind: EvAnnounceAccepted}.SetTrace(tc)
+	b, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Event
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Trace != tc.TraceID || back.Span != tc.Span {
+		t.Fatalf("json round trip lost trace: %+v", back)
+	}
+	// Untraced events omit the fields entirely (omitzero).
+	plain, err := json.Marshal(Event{Kind: EvShardSealed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(plain) != "" && (jsonHas(plain, "trace") || jsonHas(plain, "span")) {
+		t.Fatalf("zero trace serialized: %s", plain)
+	}
+	var zero Event
+	if err := json.Unmarshal([]byte(`{"kind":"ShardSealed","trace":"","span":""}`), &zero); err != nil {
+		t.Fatal(err)
+	}
+	if !zero.Trace.IsZero() {
+		t.Fatal("empty-string trace did not decode to zero")
+	}
+}
+
+func jsonHas(b []byte, key string) bool {
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		return false
+	}
+	_, ok := m[key]
+	return ok
+}
+
+func TestTracerSinceCursor(t *testing.T) {
+	tr := NewTracer(16)
+	evs, next := tr.Since(0)
+	if len(evs) != 0 || next != 0 {
+		t.Fatalf("empty tracer Since = %d events, next %d", len(evs), next)
+	}
+	for i := 0; i < 5; i++ {
+		tr.Record(Event{Kind: EvAnnounceAccepted})
+	}
+	evs, next = tr.Since(0)
+	if len(evs) != 5 || next != 5 {
+		t.Fatalf("Since(0) = %d events, next %d; want 5, 5", len(evs), next)
+	}
+	if evs[0].Seq != 0 || evs[4].Seq != 4 {
+		t.Fatalf("seq range %d..%d, want 0..4", evs[0].Seq, evs[4].Seq)
+	}
+	// Incremental pull from the cursor.
+	evs, next = tr.Since(next)
+	if len(evs) != 0 || next != 5 {
+		t.Fatalf("idle re-poll = %d events, next %d", len(evs), next)
+	}
+	tr.Record(Event{Kind: EvShardSealed})
+	evs, next = tr.Since(next)
+	if len(evs) != 1 || evs[0].Kind != EvShardSealed || next != 6 {
+		t.Fatalf("incremental pull = %+v next %d", evs, next)
+	}
+	// A future cursor clamps to the present instead of fabricating events.
+	if evs, _ := tr.Since(100); len(evs) != 0 {
+		t.Fatalf("future cursor returned %d events", len(evs))
+	}
+}
+
+func TestTracerSinceWraparound(t *testing.T) {
+	tr := NewTracer(16)
+	for i := 0; i < 40; i++ {
+		tr.Record(Event{Kind: EvSealGossiped, Epoch: uint64(i)})
+	}
+	// Cursor 0 is long gone: the ring holds seq 24..39. The caller
+	// detects the gap because the first event's Seq is ahead of its
+	// cursor.
+	evs, next := tr.Since(0)
+	if len(evs) != 16 {
+		t.Fatalf("wrapped Since(0) = %d events, want 16", len(evs))
+	}
+	if evs[0].Seq != 24 {
+		t.Fatalf("oldest retained seq = %d, want 24", evs[0].Seq)
+	}
+	if next != 40 {
+		t.Fatalf("cursor = %d, want 40", next)
+	}
+	if gap := evs[0].Seq - 0; gap == 0 {
+		t.Fatal("gap not detectable")
+	}
+	// Events are contiguous and ordered after the wrap.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("non-contiguous seq %d after %d", evs[i].Seq, evs[i-1].Seq)
+		}
+	}
+}

@@ -59,6 +59,11 @@ type Event struct {
 	Prefix prefix.Prefix
 	// Ann is the signed announcement (announce events only).
 	Ann core.Announcement
+	// Trace is the distributed trace context the event travels under. Zero
+	// mints a fresh trace at apply time; a non-zero context (propagated
+	// from an upstream participant) is continued, so the window's seals and
+	// every downstream gossip event stitch back to the original ingestion.
+	Trace obs.TraceContext
 }
 
 // AnnounceEvent builds an announce feed item.
@@ -69,6 +74,12 @@ func AnnounceEvent(peer aspath.ASN, ann core.Announcement) Event {
 // WithdrawEvent builds a withdraw feed item.
 func WithdrawEvent(peer aspath.ASN, pfx prefix.Prefix) Event {
 	return Event{Peer: peer, Withdraw: true, Prefix: pfx}
+}
+
+// Traced returns a copy of the event carrying tc.
+func (ev Event) Traced(tc obs.TraceContext) Event {
+	ev.Trace = tc
+	return ev
 }
 
 // WindowResult reports one sealed commitment window.
@@ -183,6 +194,7 @@ type Plane struct {
 	loc     *bgp.LocRIB
 	anns    map[prefix.Prefix]map[aspath.ASN]core.Announcement
 	dirty   map[prefix.Prefix]bool
+	traceOf map[prefix.Prefix]obs.TraceContext // last event trace per dirty prefix
 	pending int
 
 	flushCh chan chan flushReply
@@ -223,6 +235,7 @@ func New(cfg Config) (*Plane, error) {
 		loc:     bgp.NewLocRIB(),
 		anns:    make(map[prefix.Prefix]map[aspath.ASN]core.Announcement),
 		dirty:   make(map[prefix.Prefix]bool),
+		traceOf: make(map[prefix.Prefix]obs.TraceContext),
 		flushCh: make(chan chan flushReply),
 		closing: make(chan struct{}),
 		done:    make(chan struct{}),
@@ -458,6 +471,9 @@ func (p *Plane) drainQueue() {
 func (p *Plane) apply(ev Event) {
 	p.met.events.Inc()
 	p.pending++
+	if ev.Trace.IsZero() {
+		ev.Trace = obs.NewTraceContext()
+	}
 	if ev.Withdraw {
 		if !p.adjIn.Remove(ev.Peer, ev.Prefix) {
 			return // no such route; nothing changed
@@ -468,6 +484,7 @@ func (p *Plane) apply(ev Event) {
 				delete(p.anns, ev.Prefix)
 			}
 		}
+		p.traceOf[ev.Prefix] = ev.Trace
 		p.recompute(ev.Prefix)
 		return
 	}
@@ -479,6 +496,7 @@ func (p *Plane) apply(ev Event) {
 		p.anns[pfx] = m
 	}
 	m[ev.Peer] = ev.Ann
+	p.traceOf[pfx] = ev.Trace
 	p.recompute(pfx)
 }
 
@@ -511,6 +529,8 @@ func (p *Plane) sealWindow() (WindowResult, error) {
 	}
 	sort.Slice(work, func(i, j int) bool { return work[i].Compare(work[j]) < 0 })
 	p.dirty = make(map[prefix.Prefix]bool)
+	traces := p.traceOf
+	p.traceOf = make(map[prefix.Prefix]obs.TraceContext)
 	res.Prefixes = work
 
 	t0 := time.Now()
@@ -530,7 +550,7 @@ func (p *Plane) sealWindow() (WindowResult, error) {
 	)
 	runWorker := func(w int) {
 		for i := w; i < len(work); i += workers {
-			ev, err := p.applyPrefix(work[i], &removed)
+			ev, err := p.applyPrefix(work[i], traces[work[i]], &removed)
 			if err != nil {
 				errMu.Lock()
 				if firstErr == nil {
@@ -644,10 +664,10 @@ func (p *Plane) failWindow(work []prefix.Prefix, err error) {
 // their signatures failed verification — one bad announcement must not
 // wedge the prefix. It reads the table but never mutates it; the caller
 // applies evictions after the worker barrier.
-func (p *Plane) applyPrefix(pfx prefix.Prefix, removed *atomic.Int64) ([]aspath.ASN, error) {
+func (p *Plane) applyPrefix(pfx prefix.Prefix, tc obs.TraceContext, removed *atomic.Int64) ([]aspath.ASN, error) {
 	cands := p.anns[pfx]
 	if len(cands) == 0 {
-		was, err := p.cfg.Engine.RemovePrefix(pfx)
+		was, err := p.cfg.Engine.RemovePrefixTraced(pfx, tc)
 		if err != nil {
 			return nil, fmt.Errorf("updplane: remove %s: %w", pfx, err)
 		}
@@ -665,7 +685,7 @@ func (p *Plane) applyPrefix(pfx prefix.Prefix, removed *atomic.Int64) ([]aspath.
 	for _, peer := range peers {
 		anns = append(anns, cands[peer])
 	}
-	err := p.cfg.Engine.ReplacePrefix(pfx, anns)
+	err := p.cfg.Engine.ReplacePrefixTraced(pfx, anns, tc)
 	if err == nil {
 		return nil, nil
 	}
@@ -687,7 +707,7 @@ func (p *Plane) applyPrefix(pfx prefix.Prefix, removed *atomic.Int64) ([]aspath.
 		return nil, fmt.Errorf("updplane: replace %s: %w", pfx, err)
 	}
 	if len(good) == 0 {
-		was, err := p.cfg.Engine.RemovePrefix(pfx)
+		was, err := p.cfg.Engine.RemovePrefixTraced(pfx, tc)
 		if err != nil {
 			return nil, fmt.Errorf("updplane: remove %s: %w", pfx, err)
 		}
@@ -696,7 +716,7 @@ func (p *Plane) applyPrefix(pfx prefix.Prefix, removed *atomic.Int64) ([]aspath.
 		}
 		return bad, nil
 	}
-	if err := p.cfg.Engine.ReplacePrefix(pfx, good); err != nil {
+	if err := p.cfg.Engine.ReplacePrefixTraced(pfx, good, tc); err != nil {
 		return nil, fmt.Errorf("updplane: replace %s after eviction: %w", pfx, err)
 	}
 	return bad, nil

@@ -16,6 +16,7 @@ import (
 	"pvr/internal/engine"
 	"pvr/internal/merkle"
 	"pvr/internal/obs"
+	"pvr/internal/obs/fleet"
 	"pvr/internal/prefix"
 	"pvr/internal/route"
 	"pvr/internal/sigs"
@@ -77,9 +78,10 @@ type Participant struct {
 	// obsReg and tracer are the participant's observability plane: every
 	// subsystem registers its metric families into obsReg and records
 	// lifecycle events into tracer. DebugHandler serves both.
-	obsReg *obs.Registry
-	tracer *obs.Tracer
-	bgpMet *bgp.Metrics
+	obsReg  *obs.Registry
+	tracer  *obs.Tracer
+	history *fleet.History
+	bgpMet  *bgp.Metrics
 
 	verified       *obs.Counter
 	rejected       *obs.Counter
@@ -269,7 +271,7 @@ func (p *Participant) buildAuditor() error {
 		p.cfg.logf("pvr: audit: %s stands convicted (%s)", c.ASN, c.Detail)
 	}
 	for _, s := range p.eng.Seals() {
-		if _, _, err := aud.AddRecord(auditnet.Record{Epoch: s.Epoch, S: s.Statement()}); err != nil {
+		if _, _, err := aud.AddRecord(auditnet.Record{Epoch: s.Epoch, S: s.Statement(), Trace: s.Trace}); err != nil {
 			return wrapErr("open", err)
 		}
 	}
@@ -328,7 +330,7 @@ func (p *Participant) buildPlane() error {
 // the changed prefixes for re-advertisement to every live session.
 func (p *Participant) onWindow(w updplane.WindowResult) {
 	for _, s := range w.Seals {
-		if _, _, err := p.auditor.AddRecord(auditnet.Record{Epoch: s.Epoch, S: s.Statement()}); err != nil {
+		if _, _, err := p.auditor.AddRecord(auditnet.Record{Epoch: s.Epoch, S: s.Statement(), Trace: s.Trace}); err != nil {
 			p.cfg.logf("pvr: window %d audit: %v", w.Window, err)
 		}
 	}
@@ -475,22 +477,23 @@ func (p *Participant) runSession(c Conn) {
 		OnUpdate: func(u bgp.Update) {
 			vmu.Lock()
 			defer vmu.Unlock()
+			tc := traceFromUpdate(u)
 			for _, r := range u.Announced {
 				if p.auditor.Convicted(peerASN) {
 					p.rejected.Inc()
 					p.tracer.Record(obs.Event{
 						Kind: obs.EvRouteRejected, Epoch: p.eng.Epoch(),
 						Prefix: r.Prefix.String(), AS: uint32(peerASN), Note: "peer convicted",
-					})
+					}.SetTrace(tc))
 					p.cfg.logf("pvr: %s learned %s — REJECTED: %s convicted by audit", p.asn, r, peerASN)
 					continue
 				}
-				if err := p.verifySealedRoute(peerASN, r, u, &haveKey); err != nil {
+				if err := p.verifySealedRoute(peerASN, r, u, &haveKey, tc); err != nil {
 					p.rejected.Inc()
 					p.tracer.Record(obs.Event{
 						Kind: obs.EvRouteRejected, Epoch: p.eng.Epoch(),
 						Prefix: r.Prefix.String(), AS: uint32(peerASN), Note: err.Error(),
-					})
+					}.SetTrace(tc))
 					p.cfg.logf("pvr: %s learned %s — REJECTED: %v", p.asn, r, err)
 					continue
 				}
@@ -498,7 +501,7 @@ func (p *Participant) runSession(c Conn) {
 				p.tracer.Record(obs.Event{
 					Kind: obs.EvRouteVerified, Epoch: p.eng.Epoch(),
 					Prefix: r.Prefix.String(), AS: uint32(peerASN),
-				})
+				}.SetTrace(tc))
 				p.cfg.logf("pvr: %s learned %s — sealed commitment verified", p.asn, r)
 			}
 			for _, w := range u.Withdrawn {
@@ -583,7 +586,7 @@ func (p *Participant) updateFor(pfx Prefix) (bgp.Update, bool, error) {
 	if err != nil {
 		return bgp.Update{}, false, err
 	}
-	return bgp.Update{
+	u := bgp.Update{
 		Announced: []route.Route{pv.Export.Route},
 		Attachments: map[string][]byte{
 			"pvr/sig":   routeSig,
@@ -592,7 +595,30 @@ func (p *Participant) updateFor(pfx Prefix) (bgp.Update, bool, error) {
 			"pvr/seal":  sealBytes,
 			"pvr/key":   p.keyBytes,
 		},
-	}, true, nil
+	}
+	// The seal's distributed-trace context travels as its own attachment:
+	// Seal.MarshalBinary excludes it (trace is observability metadata, never
+	// signed material), and receivers that predate tracing simply never look
+	// the key up.
+	if !sc.Seal.Trace.IsZero() {
+		u.Attachments["pvr/trace"] = sc.Seal.Trace.AppendWire(nil)
+	}
+	return u, true, nil
+}
+
+// traceFromUpdate recovers the distributed-trace context a sealed update
+// carries in its "pvr/trace" attachment; zero when absent or malformed
+// (tracing is best-effort metadata, never a verification input).
+func traceFromUpdate(u bgp.Update) obs.TraceContext {
+	tb, ok := u.Attachments["pvr/trace"]
+	if !ok {
+		return obs.TraceContext{}
+	}
+	tc, err := obs.TraceContextFromWire(tb)
+	if err != nil {
+		return obs.TraceContext{}
+	}
+	return tc
 }
 
 // verifySealedRoute checks what an update's attachments establish, rooted
@@ -608,7 +634,7 @@ func (p *Participant) updateFor(pfx Prefix) (bgp.Update, bool, error) {
 // paper assumes, and a peer-supplied key for a peer-claimed ASN must
 // never be written into it: that would let an attacker impersonate (and
 // then frame, via forged equivocation) any AS the network has not met.
-func (p *Participant) verifySealedRoute(peer aspath.ASN, r route.Route, u bgp.Update, haveKey *bool) error {
+func (p *Participant) verifySealedRoute(peer aspath.ASN, r route.Route, u bgp.Update, haveKey *bool, tc obs.TraceContext) error {
 	mcBytes, proofBytes, sealBytes := u.Attachments["pvr/mc"], u.Attachments["pvr/proof"], u.Attachments["pvr/seal"]
 	if mcBytes == nil || proofBytes == nil || sealBytes == nil {
 		return errKind(KindVerification, "verify", fmt.Errorf("missing engine attachments"))
@@ -683,7 +709,7 @@ func (p *Participant) verifySealedRoute(peer aspath.ASN, r route.Route, u bgp.Up
 	// same statement it serves on the disclosure query plane. A conflict
 	// is transferable equivocation evidence — judged, convicted, and
 	// ledgered by ObserveStatement — and the route is rejected with it.
-	conflict, aerr := p.auditor.ObserveStatement(seal.Epoch, seal.Statement())
+	conflict, aerr := p.auditor.ObserveStatementTraced(seal.Epoch, seal.Statement(), tc)
 	if aerr != nil {
 		return errKind(KindVerification, "verify", aerr)
 	}
@@ -742,6 +768,22 @@ func (p *Participant) Run(ctx context.Context) error {
 			p.churnFeed(ctx)
 		}()
 	}
+	// Metric time series: one registry sample per seal window, into the
+	// bounded history ring /metrics/history serves.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(p.cfg.window)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				p.SampleMetrics()
+			}
+		}
+	}()
 	<-ctx.Done()
 	wg.Wait()
 	return p.Close()

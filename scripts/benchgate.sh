@@ -31,20 +31,20 @@ if [ ! -f "$baseline" ]; then
 fi
 
 # Baseline values: the row with the most prefixes (steady-state).
-base_allocs="$(jq 'max_by(.prefixes).allocs_per_op' "$baseline")"
+base_allocs="$(jq '(if type=="object" then .rows else . end) | max_by(.prefixes).allocs_per_op' "$baseline")"
 if [ -z "$base_allocs" ] || [ "$base_allocs" = "null" ]; then
     echo "benchgate: baseline $baseline has no allocs_per_op column" >&2
     echo "benchgate: regenerate it with: make bench" >&2
     exit 1
 fi
-base_sealp99="$(jq 'max_by(.prefixes).seal_p99_ms' "$baseline")"
-base_prefixes="$(jq 'max_by(.prefixes).prefixes' "$baseline")"
+base_sealp99="$(jq '(if type=="object" then .rows else . end) | max_by(.prefixes).seal_p99_ms' "$baseline")"
+base_prefixes="$(jq '(if type=="object" then .rows else . end) | max_by(.prefixes).prefixes' "$baseline")"
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 go run ./cmd/pvrbench -e engine -prefixes "$base_prefixes" -json "$tmp" >/dev/null
-cur_allocs="$(jq 'max_by(.prefixes).allocs_per_op' "$tmp")"
-cur_sealp99="$(jq 'max_by(.prefixes).seal_p99_ms' "$tmp")"
+cur_allocs="$(jq '(if type=="object" then .rows else . end) | max_by(.prefixes).allocs_per_op' "$tmp")"
+cur_sealp99="$(jq '(if type=="object" then .rows else . end) | max_by(.prefixes).seal_p99_ms' "$tmp")"
 
 # Gate 1 — allocs/op, integer threshold: fail when cur > base * 1.15.
 limit=$(( base_allocs * 115 / 100 ))
@@ -78,7 +78,7 @@ else
         fi
         attempt=$(( attempt + 1 ))
         go run ./cmd/pvrbench -e engine -prefixes "$base_prefixes" -json "$tmp" >/dev/null
-        cur_sealp99="$(jq 'max_by(.prefixes).seal_p99_ms' "$tmp")"
+        cur_sealp99="$(jq '(if type=="object" then .rows else . end) | max_by(.prefixes).seal_p99_ms' "$tmp")"
     done
 fi
 echo "benchgate: OK"

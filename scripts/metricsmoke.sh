@@ -10,14 +10,23 @@
 # Config.Obs plumbing is dropped disappears from the scrape and fails
 # here, not in production.
 #
+# It then dials a second daemon into the first over real TCP (BGP +
+# audit gossip) and asserts the distributed-tracing plane holds up
+# end to end: /trace?since= serves the cursor envelope, /metrics/history
+# serves sampled time series, and at least one trace identity minted on
+# the originating daemon shows up in the peer's ring too — the stitched
+# cross-participant chain the fleet collector is built on.
+#
 # Usage: scripts/metricsmoke.sh
 set -eu
 
 cd "$(dirname "$0")/.."
 workdir="$(mktemp -d)"
 pid=""
+pid2=""
 cleanup() {
     [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    [ -n "$pid2" ] && kill "$pid2" 2>/dev/null || true
     rm -rf "$workdir"
 }
 trap cleanup EXIT INT TERM
@@ -101,5 +110,92 @@ if ! printf '%s' "$trace" | jq -e 'type == "array" and (map(.kind) | index("Shar
     printf '%s\n' "$trace" >&2
     exit 1
 fi
+
+# /trace?since= must serve the cursor envelope the fleet collector
+# scrapes: {"next": N, "events": [...]} with traced events inside.
+if ! fetch "http://$addr/trace?since=0" | jq -e \
+    '(.next > 0) and (.events | type == "array") and ([.events[].trace] | map(select(. != null and . != "")) | length > 0)' >/dev/null; then
+    echo "metricsmoke: FAIL — /trace?since=0 is not a traced cursor envelope" >&2
+    exit 1
+fi
+
+# /metrics/history must serve sampled time series (the daemon samples
+# once per commitment window, so points accrue within a second).
+history=""
+for i in $(seq 1 25); do
+    history="$(fetch "http://$addr/metrics/history" 2>/dev/null || true)"
+    if printf '%s' "$history" | jq -e 'type == "array" and length >= 1 and (.[0].values | type == "object")' >/dev/null 2>&1; then
+        break
+    fi
+    history=""
+    sleep 0.2
+done
+if [ -z "$history" ]; then
+    echo "metricsmoke: FAIL — /metrics/history never served a sampled point" >&2
+    exit 1
+fi
+
+# --- two-daemon TCP run: the trace must cross participants ---
+
+# The first daemon's BGP and gossip listen addresses, from its log.
+bgp_addr="$(sed -n 's!.* listening on \([0-9.:]*\)$!\1!p' "$workdir/pvrd.log" | head -n1)"
+gossip_addr="$(sed -n 's!.* audit gossip listening on \([0-9.:]*\)$!\1!p' "$workdir/pvrd.log" | head -n1)"
+if [ -z "$bgp_addr" ] || [ -z "$gossip_addr" ]; then
+    echo "metricsmoke: FAIL — daemon A's BGP/gossip addresses not in its log" >&2
+    cat "$workdir/pvrd.log" >&2
+    exit 1
+fi
+
+"$workdir/pvrd" \
+    -asn 64501 \
+    -connect "$bgp_addr" \
+    -gossip-listen 127.0.0.1:0 \
+    -gossip-peers "$gossip_addr" \
+    -gossip-every 250ms \
+    -debug-listen 127.0.0.1:0 \
+    >"$workdir/pvrd2.log" 2>&1 &
+pid2=$!
+
+addr2=""
+for i in $(seq 1 50); do
+    addr2="$(sed -n 's!.*debug endpoint on http://\([^ ]*\).*!\1!p' "$workdir/pvrd2.log" | head -n1)"
+    [ -n "$addr2" ] && break
+    if ! kill -0 "$pid2" 2>/dev/null; then
+        echo "metricsmoke: second pvrd exited before serving; log follows" >&2
+        cat "$workdir/pvrd2.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+if [ -z "$addr2" ]; then
+    echo "metricsmoke: no debug endpoint line in second pvrd log after 10s" >&2
+    cat "$workdir/pvrd2.log" >&2
+    exit 1
+fi
+
+# A trace identity minted on daemon A (at announce ingestion) must appear
+# in daemon B's ring too, carried there over the wire (BGP seal
+# attachment and/or gossip STATEMENTS extension) — a stitched chain.
+stitched=""
+for i in $(seq 1 50); do
+    fetch "http://$addr/trace?since=0" >"$workdir/ta.json" 2>/dev/null || true
+    fetch "http://$addr2/trace?since=0" >"$workdir/tb.json" 2>/dev/null || true
+    if jq -n -e --slurpfile a "$workdir/ta.json" --slurpfile b "$workdir/tb.json" '
+        ([$a[0].events[]?.trace] | map(select(. != null and . != "")) | unique) as $ta |
+        ([$b[0].events[]?.trace] | map(select(. != null and . != "")) | unique) as $tb |
+        ($ta - ($ta - $tb)) | length > 0' >/dev/null 2>&1; then
+        stitched=yes
+        break
+    fi
+    sleep 0.3
+done
+if [ -z "$stitched" ]; then
+    echo "metricsmoke: FAIL — no trace identity shared across the two daemons" >&2
+    echo "--- daemon A /trace ---" >&2; cat "$workdir/ta.json" >&2 || true
+    echo "--- daemon B /trace ---" >&2; cat "$workdir/tb.json" >&2 || true
+    echo "--- daemon B log ---" >&2; cat "$workdir/pvrd2.log" >&2
+    exit 1
+fi
+echo "metricsmoke: cross-participant trace stitched across $addr and $addr2"
 
 echo "metricsmoke: OK"

@@ -1,0 +1,45 @@
+package pvr
+
+// Wire back-compat for the BGP plane's trace carriage: the context rides
+// as an opaque "pvr/trace" attachment, so the UPDATE format is unchanged
+// — peers that do not know the key round-trip or ignore it, and its
+// absence simply yields a zero trace.
+
+import (
+	"testing"
+
+	"pvr/internal/bgp"
+	"pvr/internal/obs"
+)
+
+func TestTraceRidesBGPAttachment(t *testing.T) {
+	tc := obs.NewTraceContext()
+	u := bgp.Update{Attachments: map[string][]byte{
+		"pvr/trace": tc.AppendWire(nil),
+		"pvr/seal":  []byte("seal-bytes"),
+	}}
+	enc, err := u.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back bgp.Update
+	if err := back.UnmarshalBinary(enc); err != nil {
+		t.Fatal(err)
+	}
+	if got := traceFromUpdate(back); got != tc {
+		t.Fatalf("trace from update %v, want %v", got, tc)
+	}
+}
+
+func TestTraceFromUpdateToleratesOldAndMalformedPeers(t *testing.T) {
+	// An old peer's update has no trace attachment at all.
+	if got := traceFromUpdate(bgp.Update{}); !got.IsZero() {
+		t.Fatalf("no-attachment update produced trace %v", got)
+	}
+	// A malformed attachment (wrong length) degrades to no trace rather
+	// than failing route processing — tracing is observability metadata.
+	bad := bgp.Update{Attachments: map[string][]byte{"pvr/trace": []byte("short")}}
+	if got := traceFromUpdate(bad); !got.IsZero() {
+		t.Fatalf("malformed attachment produced trace %v", got)
+	}
+}

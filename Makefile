@@ -24,15 +24,17 @@ fmt:
 # bench emits BENCH_engine.json (E10 engine-vs-serial rows),
 # BENCH_gossip.json (E11 audit-gossip rows), BENCH_stream.json (E12
 # update-plane churn rows), BENCH_query.json (E13 disclosure query-plane
-# rows), and BENCH_trace.json (E16 distributed-tracing rows), consumed
-# by the perf trajectory, plus the printed tables on stdout. Each file
-# carries a "meta" envelope recording the run's toolchain and commit.
+# rows), BENCH_trace.json (E16 distributed-tracing rows), and
+# BENCH_priv.json (E17 privacy-plane rows), consumed by the perf
+# trajectory, plus the printed tables on stdout. Each file carries a
+# "meta" envelope recording the run's toolchain and commit.
 bench:
 	$(GO) run ./cmd/pvrbench -e engine -json BENCH_engine.json
 	$(GO) run ./cmd/pvrbench -e gossip -json BENCH_gossip.json
 	$(GO) run ./cmd/pvrbench -e stream -json BENCH_stream.json
 	$(GO) run ./cmd/pvrbench -e query -json BENCH_query.json
 	$(GO) run ./cmd/pvrbench -e trace -json BENCH_trace.json
+	$(GO) run ./cmd/pvrbench -e priv -json BENCH_priv.json
 
 # bench-smoke runs the experiment harnesses at tiny sizes and fails if
 # any JSON output comes back empty — catches benchmark-harness rot in
@@ -43,6 +45,7 @@ bench-smoke:
 	$(GO) run ./cmd/pvrbench -e stream -prefixes 400 -json BENCH_stream.json
 	$(GO) run ./cmd/pvrbench -e query -prefixes 64 -json BENCH_query.json
 	$(GO) run ./cmd/pvrbench -e trace -nodes 50 -json BENCH_trace.json
+	$(GO) run ./cmd/pvrbench -e priv -prefixes 6 -json BENCH_priv.json
 	grep -q '"prefixes"' BENCH_engine.json
 	grep -q '"nodes"' BENCH_gossip.json
 	grep -q '"updates_per_sec"' BENCH_stream.json
@@ -50,6 +53,8 @@ bench-smoke:
 	grep -q '"qps"' BENCH_query.json
 	grep -q '"denied"' BENCH_query.json
 	grep -q '"fleet_stitched"' BENCH_trace.json
+	grep -q '"proof_size_bytes"' BENCH_priv.json
+	grep -q '"ring_verify_p50_us"' BENCH_priv.json
 
 # benchgate re-runs the engine epoch at a small size and fails when its
 # allocs/op regresses more than 15% — or its shard-seal p99 more than
@@ -79,4 +84,4 @@ examples:
 	$(GO) build ./examples/...
 
 clean:
-	rm -f BENCH_engine.json BENCH_gossip.json BENCH_stream.json BENCH_query.json
+	rm -f BENCH_engine.json BENCH_gossip.json BENCH_stream.json BENCH_query.json BENCH_trace.json BENCH_priv.json

@@ -17,9 +17,11 @@
 //	pvrbench -e stream       # E12: streaming update plane (updplane)
 //	pvrbench -e query        # E13: disclosure query plane (discplane)
 //	pvrbench -e trace        # E16: distributed tracing across the fleet (netsim)
+//	pvrbench -e priv         # E17: privacy plane — anonymous queries + ZK openings
 //
 // With -json FILE, the engine experiment (or, when selected directly, the
-// gossip, stream, query, or trace experiment) additionally writes its rows
+// gossip, stream, query, trace, or priv experiment) additionally writes its
+// rows
 // as JSON under a {"meta": ..., "rows": ...} envelope carrying run
 // provenance (go version, GOMAXPROCS, VCS commit) — the BENCH_*.json files
 // consumed by the perf trajectory. -prefixes and -nodes shrink the
@@ -33,11 +35,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("e", "all", "experiment: all|fig1|fig2|smc|zkp|crypto|batch|properties|e2e|ring|engine|gossip|stream|query|trace")
+	exp := flag.String("e", "all", "experiment: all|fig1|fig2|smc|zkp|crypto|batch|properties|e2e|ring|engine|gossip|stream|query|trace|priv")
 	seed := flag.Int64("seed", 1, "random seed for workloads")
 	flag.StringVar(&jsonOut, "json", "", "write the engine (or gossip, when selected) rows to this JSON file")
 	flag.IntVar(&benchPrefixes, "prefixes", 0, "override the E10 prefix-table sweep with one size")
 	flag.IntVar(&gossipNodes, "nodes", 0, "override the E11/E16 network-size sweeps with one size")
+	flag.IntVar(&privRing, "ring", 0, "override the E17 ring-size sweep with one size")
 	flag.Parse()
 	jsonExp = *exp
 
@@ -56,8 +59,9 @@ func main() {
 		"stream":     runStream,
 		"query":      runQuery,
 		"trace":      runTrace,
+		"priv":       runPriv,
 	}
-	order := []string{"fig1", "fig2", "smc", "zkp", "crypto", "batch", "properties", "e2e", "ring", "engine", "gossip", "stream", "query", "trace"}
+	order := []string{"fig1", "fig2", "smc", "zkp", "crypto", "batch", "properties", "e2e", "ring", "engine", "gossip", "stream", "query", "trace", "priv"}
 
 	var selected []string
 	if *exp == "all" {

@@ -8,6 +8,7 @@ import (
 	"pvr/internal/discplane"
 	"pvr/internal/engine"
 	"pvr/internal/obs"
+	"pvr/internal/privplane"
 	"pvr/internal/sigs"
 )
 
@@ -26,6 +27,36 @@ const (
 	// RolePromisee (the neighbor the promise was made to) is granted the
 	// full opened vector, the winning input, and the export statement.
 	RolePromisee = discplane.RolePromisee
+	// RoleAuditor (any third party, when the prover seals with
+	// WithZKDisclosure) is granted the sealed commitment plus a
+	// zero-knowledge proof that the committed promise holds — no bit is
+	// opened. Auditor queries may be anonymous; the proof is its own gate.
+	RoleAuditor = discplane.RoleAuditor
+)
+
+// Privacy-plane types (internal/privplane): ring-signature identities for
+// anonymous provider queries and the zero-knowledge auditor material.
+type (
+	// RingKey is a participant's ring-signing identity: a dedicated RSA
+	// key, separate from its Ed25519 protocol key.
+	RingKey = privplane.RingKey
+	// RingDirectory maps ASNs to ring public keys the way Registry maps
+	// them to signing keys.
+	RingDirectory = privplane.Directory
+	// VectorView is the auditor-facing zero-knowledge material: the
+	// Pedersen commitment vector a seal binds plus the proof that it
+	// commits to a well-formed monotone bit vector.
+	VectorView = privplane.VectorView
+)
+
+// Ring-key constructors (see WithRingKey / WithRingDirectory).
+var (
+	// GenerateRingKey draws a fresh RSA ring key for an ASN.
+	GenerateRingKey = privplane.GenerateRingKey
+	// NewRingKey wraps an existing RSA private key as a ring key.
+	NewRingKey = privplane.NewRingKey
+	// NewRingDirectory builds an empty ring-key directory.
+	NewRingDirectory = privplane.NewDirectory
 )
 
 // Query selects one on-demand disclosure: which (prefix, epoch), in what
@@ -46,6 +77,16 @@ type Query struct {
 	// this participant sent the prover, which the opened bit is checked
 	// against (§3.3: N_i verifies b_{|r_i|} = 1 for its own route length).
 	Announcement *Announcement
+	// Anonymous, for RoleProvider, authenticates the query with a ring
+	// signature over Ring instead of this participant's Ed25519 signature:
+	// the server learns only "some provider in the ring asked" (anonymity
+	// set k = len(Ring)). Requires WithRingKey and a Ring of at least two
+	// declared providers including this participant.
+	Anonymous bool
+	// Ring is the anonymity set for an Anonymous query: ASNs that all
+	// provided a route for Prefix this epoch. Order is irrelevant (the
+	// wire carries it canonically sorted).
+	Ring []ASN
 	// Trace, when set, propagates a distributed-trace context with the
 	// query so the server's DisclosureServed event joins the caller's
 	// chain; left zero, QueryDisclosure mints a fresh one.
@@ -70,6 +111,10 @@ type Disclosure struct {
 	Provider *EngineProviderView
 	// Promisee is the verified §3.3 promisee view (RolePromisee only).
 	Promisee *EnginePromiseeView
+	// Vector is the verified zero-knowledge opening (RoleAuditor only):
+	// the Pedersen vector matched the sealed digest and its proof of
+	// well-formedness and monotonicity verified — the promise holds.
+	Vector *VectorView
 	// KeyPinned reports that the prover's key was pinned
 	// trust-on-first-use during this query (private registries only).
 	KeyPinned bool
@@ -86,6 +131,28 @@ type Disclosure struct {
 // everyday "prove to me you kept your promise for this prefix" call.
 func (p *Participant) RequestDisclosure(ctx context.Context, peer string, pfx Prefix, epoch uint64) (*Disclosure, error) {
 	return p.QueryDisclosure(ctx, peer, Query{Prefix: pfx, Epoch: epoch, Role: RolePromisee})
+}
+
+// RequestAnonymousDisclosure fetches and verifies this participant's §3.3
+// provider view WITHOUT identifying itself: the query is authenticated by
+// a ring signature over ring (every member a declared provider for pfx
+// this epoch, this participant among them), so the serving prover learns
+// only that some member of the ring asked — anonymity set k = len(ring).
+// Requires WithRingKey; ann is the input announcement this participant
+// sent the prover, whose route length selects the opened bit.
+func (p *Participant) RequestAnonymousDisclosure(ctx context.Context, peer string, pfx Prefix, epoch uint64, ring []ASN, ann *Announcement) (*Disclosure, error) {
+	return p.QueryDisclosure(ctx, peer, Query{
+		Prefix: pfx, Epoch: epoch, Role: RoleProvider,
+		Anonymous: true, Ring: ring, Announcement: ann,
+	})
+}
+
+// RequestAuditProof fetches and verifies a zero-knowledge opening of
+// (prefix, epoch) as a third party: the sealed commitment plus a proof
+// that the committed promise holds, with no bit opened. The serving
+// prover must seal with WithZKDisclosure.
+func (p *Participant) RequestAuditProof(ctx context.Context, peer string, pfx Prefix, epoch uint64) (*Disclosure, error) {
+	return p.QueryDisclosure(ctx, peer, Query{Prefix: pfx, Epoch: epoch, Role: RoleAuditor})
 }
 
 // QueryDisclosure runs one on-demand disclosure query against the plane
@@ -109,6 +176,17 @@ func (p *Participant) QueryDisclosure(ctx context.Context, peer string, q Query)
 	if role == RoleProvider && q.Announcement == nil {
 		return nil, errConfigf("query", "RoleProvider requires Query.Announcement (the input route to check the opened bit against)")
 	}
+	if q.Anonymous {
+		if role != RoleProvider {
+			return nil, errConfigf("query", "Anonymous queries carry only RoleProvider (the auditor role is anonymous by construction)")
+		}
+		if p.ringKey == nil {
+			return nil, errConfigf("query", "Anonymous queries require WithRingKey")
+		}
+		if len(q.Ring) < 2 {
+			return nil, errConfigf("query", "Anonymous queries need a ring of at least 2 providers, got %d", len(q.Ring))
+		}
+	}
 	conn, err := p.transport.Dial(ctx, peer)
 	if err != nil {
 		return nil, wrapErr("query", err)
@@ -119,13 +197,31 @@ func (p *Participant) QueryDisclosure(ctx context.Context, peer string, q Query)
 	if qtc.IsZero() {
 		qtc = obs.NewTraceContext()
 	}
-	dq := &discplane.Query{Requester: p.asn, Prover: q.Prover, Role: role, Epoch: q.Epoch, Prefix: q.Prefix, Trace: qtc}
-	if err := dq.Sign(p.signer); err != nil {
-		return nil, wrapErr("query", err)
-	}
-	view, err := discplane.FetchContext(ctx, conn, dq)
-	if err != nil {
-		return nil, wrapErr("query", err)
+	var view *discplane.View
+	if q.Anonymous {
+		ring, rerr := privplane.CanonicalRing(q.Ring)
+		if rerr != nil {
+			return nil, errKind(KindConfig, "query", rerr)
+		}
+		aq := &discplane.AnonQuery{
+			Prover: q.Prover, Epoch: q.Epoch, Prefix: q.Prefix,
+			Position: uint32(q.Announcement.Route.PathLen()),
+			Ring:     ring, Trace: qtc,
+		}
+		if err := aq.Sign(p.priv, p.ringKey); err != nil {
+			return nil, wrapErr("query", err)
+		}
+		if view, err = discplane.FetchAnonContext(ctx, conn, aq); err != nil {
+			return nil, wrapErr("query", err)
+		}
+	} else {
+		dq := &discplane.Query{Requester: p.asn, Prover: q.Prover, Role: role, Epoch: q.Epoch, Prefix: q.Prefix, Trace: qtc}
+		if err := dq.Sign(p.signer); err != nil {
+			return nil, wrapErr("query", err)
+		}
+		if view, err = discplane.FetchContext(ctx, conn, dq); err != nil {
+			return nil, wrapErr("query", err)
+		}
 	}
 	p.queriesSent.Inc()
 	seal := view.Sealed.Seal
@@ -197,6 +293,20 @@ func (p *Participant) QueryDisclosure(ctx context.Context, peer string, q Query)
 		}
 		pl.SubmitPromisee(mv, p.asn)
 		d.Promisee = mv
+	case RoleAuditor:
+		sc := view.Sealed
+		vv := &VectorView{Commitments: view.ZKCommitments, Proof: view.ZKProof}
+		pl.Submit(q.Prefix, prover, func(ver sigs.Verifier) error {
+			if err := sc.Verify(ver); err != nil {
+				return err
+			}
+			// The seal chain is authenticated; now the zero-knowledge half:
+			// the Pedersen vector must digest to what the leaf binds, and
+			// its well-formedness/monotonicity proof must verify under the
+			// seal-bound context.
+			return p.priv.VerifyAuditorProof(sc, vv)
+		})
+		d.Vector = vv
 	default:
 		sc := view.Sealed
 		pl.Submit(q.Prefix, prover, func(ver sigs.Verifier) error { return sc.Verify(ver) })

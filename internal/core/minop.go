@@ -386,6 +386,59 @@ func (p *Prover) DiscloseToProvider(ni aspath.ASN) (*ProviderView, error) {
 	return &ProviderView{Commitment: p.mc, Position: pos, Opening: op}, nil
 }
 
+// DiscloseAtLength builds the anonymous-provider view: the opening of bit
+// b_pos for a caller that has proven ring membership in the declared
+// provider set without identifying itself. pos must be the path length of
+// some accepted input — any ring member that supplied a route of that
+// length is entitled to exactly this opening under §3.3, so granting it
+// reveals nothing about which one asked. CommitMin must have been called.
+func (p *Prover) DiscloseAtLength(pos int) (*ProviderView, error) {
+	if p.bv == nil {
+		return nil, fmt.Errorf("core: CommitMin not called")
+	}
+	declared := false
+	for _, a := range p.inputs {
+		if a.Route.PathLen() == pos {
+			declared = true
+			break
+		}
+	}
+	if !declared {
+		return nil, fmt.Errorf("core: no declared input of length %d this epoch", pos)
+	}
+	op, err := p.bv.Open(pos)
+	if err != nil {
+		return nil, err
+	}
+	return &ProviderView{Commitment: p.mc, Position: pos, Opening: op}, nil
+}
+
+// DeclaredLengths returns the distinct route lengths among the accepted
+// inputs, ascending — the positions DiscloseAtLength will open.
+func (p *Prover) DeclaredLengths() []int {
+	seen := make(map[int]bool, len(p.inputs))
+	for _, a := range p.inputs {
+		seen[a.Route.PathLen()] = true
+	}
+	out := make([]int, 0, len(seen))
+	for l := range seen {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// CommittedBits returns the honest bit vector behind the current
+// commitment, for callers that bridge it into a second commitment scheme
+// (the privacy plane's Pedersen vector). CommitMin must have been called
+// so the returned bits are exactly the committed ones.
+func (p *Prover) CommittedBits() ([]bool, error) {
+	if p.bv == nil {
+		return nil, fmt.Errorf("core: CommitMin not called")
+	}
+	return p.bits(), nil
+}
+
 // PromiseeView is what A reveals to B: all bit openings, the winning signed
 // input (provenance), and the signed export statement.
 type PromiseeView struct {

@@ -52,15 +52,71 @@ func Fetch(c FrameConn, q *Query) (*View, error) {
 	return nil, fmt.Errorf("discplane: protocol error: got frame %#x", f.Type)
 }
 
+// FetchAnon runs the client side of one anonymous provider query: send
+// DISCLOSE-ANON (q must already be ring-signed via AnonQuery.Sign),
+// receive a provider-role VIEW or DENY. The returned view is decoded and
+// cross-checked against the query — including that the opened position is
+// the one asked for — but NOT verified; the caller runs
+// engine.VerifyProviderView against its own announcement, which needs no
+// identity beyond the route it already holds.
+func FetchAnon(c FrameConn, q *AnonQuery) (*View, error) {
+	payload, err := q.Encode()
+	if err != nil {
+		return nil, err
+	}
+	if err := netx.SendPooled(c, FrameDiscloseAnon, payload); err != nil {
+		return nil, err
+	}
+	f, err := c.Recv()
+	if err != nil {
+		return nil, err
+	}
+	switch f.Type {
+	case FrameDeny:
+		d, err := DecodeDenial(f.Payload)
+		if err != nil {
+			return nil, err
+		}
+		return nil, d
+	case FrameView:
+		v, err := DecodeView(f.Payload)
+		if err != nil {
+			return nil, err
+		}
+		if v.Role != RoleProvider {
+			return nil, fmt.Errorf("%w: granted role %s, requested anonymous provider", ErrWire, v.Role)
+		}
+		if v.Sealed.MC.Prefix != q.Prefix || v.Sealed.MC.Epoch != q.Epoch {
+			return nil, fmt.Errorf("%w: view covers (%s, epoch %d), query asked (%s, epoch %d)",
+				ErrWire, v.Sealed.MC.Prefix, v.Sealed.MC.Epoch, q.Prefix, q.Epoch)
+		}
+		if v.Position != q.Position {
+			return nil, fmt.Errorf("%w: opened position %d, asked %d", ErrWire, v.Position, q.Position)
+		}
+		return v, nil
+	}
+	return nil, fmt.Errorf("discplane: protocol error: got frame %#x", f.Type)
+}
+
 // FetchContext is Fetch bounded by a context: when ctx ends mid-exchange
 // the connection is torn down (if it exposes Close) so the blocked frame
 // read returns, and ctx's error is reported.
 func FetchContext(ctx context.Context, c FrameConn, q *Query) (*View, error) {
+	return fetchBounded(ctx, c, func() (*View, error) { return Fetch(c, q) })
+}
+
+// FetchAnonContext is FetchAnon bounded by a context, with the same
+// teardown semantics as FetchContext.
+func FetchAnonContext(ctx context.Context, c FrameConn, q *AnonQuery) (*View, error) {
+	return fetchBounded(ctx, c, func() (*View, error) { return FetchAnon(c, q) })
+}
+
+func fetchBounded(ctx context.Context, c FrameConn, fetch func() (*View, error)) (*View, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if ctx.Done() == nil {
-		return Fetch(c, q)
+		return fetch()
 	}
 	stop := make(chan struct{})
 	defer close(stop)
@@ -73,7 +129,7 @@ func FetchContext(ctx context.Context, c FrameConn, q *Query) (*View, error) {
 		case <-stop:
 		}
 	}()
-	v, err := Fetch(c, q)
+	v, err := fetch()
 	if cerr := ctx.Err(); cerr != nil && err != nil {
 		return nil, cerr
 	}

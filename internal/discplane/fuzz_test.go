@@ -187,6 +187,171 @@ func FuzzDenialWire(f *testing.F) {
 	})
 }
 
+// privFuzzSeeds builds valid encodings of the privacy-plane wire messages:
+// a ring-signed anonymous query, an auditor view carrying the Pedersen
+// vector and monotonicity proof, and a ZK-digest-bearing observer view.
+func privFuzzSeeds(f *testing.F) (anon []byte, views [][]byte) {
+	f.Helper()
+	fx := newPrivFixture(f)
+	q := &AnonQuery{Prover: proverASN, Epoch: 1, Prefix: fx.pfx,
+		Position: uint32(fx.lengths[fx.ring[0]]), Ring: fx.ring}
+	if err := q.Sign(fx.plane, fx.ringKey[fx.ring[0]]); err != nil {
+		f.Fatal(err)
+	}
+	anon, err := q.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	vv, sc, err := fx.plane.VectorView(fx.pfx)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, v := range []*View{
+		{Role: RoleObserver, Sealed: sc},
+		{Role: RoleAuditor, Sealed: sc, ZKCommitments: vv.Commitments, ZKProof: vv.Proof},
+	} {
+		enc, err := v.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		views = append(views, enc)
+	}
+	return anon, views
+}
+
+// FuzzAnonQueryWire fuzzes the DISCLOSE-ANON decoder: arbitrary bytes must
+// never panic, and every decoded query must re-encode identically — the
+// property the ring-signature check depends on, since the server verifies
+// over the re-derived signed bytes.
+func FuzzAnonQueryWire(f *testing.F) {
+	anon, _ := privFuzzSeeds(f)
+	f.Add(anon)
+	// Mangled ring-signature bytes (the tail of the encoding).
+	mangled := append([]byte(nil), anon...)
+	mangled[len(mangled)-1] ^= 0xA5
+	f.Add(mangled)
+	// Non-canonical ring order: swap the first two ring entries (u32s right
+	// after the ring count) so the decoder's canonical-order check trips.
+	f.Add(anon[:len(anon)/2])
+	f.Add(anon[:7])
+	// Oversized ring count appended junk.
+	f.Add(append(append([]byte(nil), anon...), 0xFF, 0xFF, 0xFF, 0xFF))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := DecodeAnonQuery(data)
+		if err != nil {
+			return
+		}
+		if len(q.Ring) < 2 || len(q.Ring) > maxWireRing {
+			t.Fatalf("decoder admitted ring of size %d", len(q.Ring))
+		}
+		for i := 1; i < len(q.Ring); i++ {
+			if q.Ring[i-1] >= q.Ring[i] {
+				t.Fatal("decoder admitted a non-canonical ring")
+			}
+		}
+		enc, err := q.Encode()
+		if err != nil {
+			t.Fatalf("decoded anon query does not re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("anon query round trip not stable: %x != %x", enc, data)
+		}
+	})
+}
+
+// FuzzZKViewWire re-runs the view round-trip property seeded with the
+// privacy-plane layouts: auditor views (Pedersen commitments + vector
+// proof) and ZK-digest-bearing observer views. Truncations inside the
+// commitment array and the proof region must be rejected, never panic.
+func FuzzZKViewWire(f *testing.F) {
+	_, views := privFuzzSeeds(f)
+	for _, v := range views {
+		f.Add(v)
+		f.Add(v[:len(v)-len(v)/4]) // cut inside proof / commitments
+		f.Add(v[:len(v)/2])
+		mangled := append([]byte(nil), v...)
+		mangled[0] = byte(RoleAuditor) + 1 // just past the valid role range
+		f.Add(mangled)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > netx.MaxFrame {
+			return
+		}
+		v, err := DecodeView(data)
+		if err != nil {
+			return
+		}
+		enc, err := v.Encode()
+		if err != nil {
+			t.Fatalf("decoded view does not re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("zk view round trip not stable (role %s)", v.Role)
+		}
+	})
+}
+
+// FuzzAnonPoolAliasing extends the netx pool-aliasing property to the
+// DISCLOSE-ANON path: a frame sent with SendPooled (which recycles the
+// encode buffer) must arrive intact even when the pools are churned and
+// poisoned immediately after the send — i.e. the received payload never
+// aliases pooled memory.
+func FuzzAnonPoolAliasing(f *testing.F) {
+	anon, _ := privFuzzSeeds(f)
+	f.Add(anon)
+	f.Add(anon[:len(anon)/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := DecodeAnonQuery(data)
+		if err != nil {
+			return
+		}
+		enc, err := q.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := append([]byte(nil), enc...)
+		client, server := netx.Pipe()
+		defer client.Close()
+		defer server.Close()
+		type recv struct {
+			fr  netx.Frame
+			err error
+		}
+		done := make(chan recv, 1)
+		go func() {
+			fr, err := server.Recv()
+			done <- recv{fr, err}
+		}()
+		if err := netx.SendPooled(client, FrameDiscloseAnon, enc); err != nil {
+			t.Fatal(err)
+		}
+		r := <-done
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		// Poison the pools: grab buffers of the same size class, scribble
+		// over their full capacity, and recycle them. If the received
+		// payload aliased pooled memory, the scribble lands in it.
+		for i := 0; i < 8; i++ {
+			buf := netx.GetBuf(len(snap) + 5)
+			buf = buf[:cap(buf)]
+			for j := range buf {
+				buf[j] = 0xEE
+			}
+			netx.PutBuf(buf)
+		}
+		if r.fr.Type != FrameDiscloseAnon {
+			t.Fatalf("frame type %#x", r.fr.Type)
+		}
+		if !bytes.Equal(r.fr.Payload, snap) {
+			t.Fatal("received anon query aliases pooled memory")
+		}
+		if _, err := DecodeAnonQuery(r.fr.Payload); err != nil {
+			t.Fatalf("received anon query no longer decodes: %v", err)
+		}
+	})
+}
+
 // TestOpeningRoundTripForFuzzSanity pins that a legitimate opening
 // survives the commit.Opening encoding the views embed — if this breaks,
 // the fuzzers' round-trip property would be vacuous.

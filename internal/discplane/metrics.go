@@ -11,7 +11,7 @@ type discMetrics struct {
 	served  *obs.Counter   // VIEW responses sent
 	denied  *obs.Counter   // DENY responses sent
 	latAll  *obs.Histogram // decode→answer latency, all roles
-	latRole [3]*obs.Histogram
+	latRole [4]*obs.Histogram
 	hits    *obs.Counter // response-cache hits
 	misses  *obs.Counter // response-cache misses (view built fresh)
 	evicted *obs.Counter // cached views dropped at window transitions
@@ -27,7 +27,7 @@ func newDiscMetrics(r *obs.Registry) *discMetrics {
 		misses:  obs.NewCounter(r, "pvr_disc_cache_misses_total", "response-cache misses"),
 		evicted: obs.NewCounter(r, "pvr_disc_cache_evictions_total", "cached views dropped at window transitions"),
 	}
-	for i, role := range []Role{RoleObserver, RoleProvider, RolePromisee} {
+	for i, role := range []Role{RoleObserver, RoleProvider, RolePromisee, RoleAuditor} {
 		m.latRole[i] = obs.NewHistogram(r,
 			`pvr_disc_role_latency_seconds{role="`+role.String()+`"}`,
 			"query answer latency by requester role", nil)

@@ -11,6 +11,7 @@ import (
 	"pvr/internal/engine"
 	"pvr/internal/netx"
 	"pvr/internal/obs"
+	"pvr/internal/privplane"
 	"pvr/internal/sigs"
 )
 
@@ -38,6 +39,10 @@ type Config struct {
 	// Key, when set, is the prover's marshaled public key, included in
 	// every view so trust-on-first-use clients can verify before pinning.
 	Key []byte
+	// Priv, when set, enables the privacy plane: anonymous ring-signed
+	// provider queries (FrameDiscloseAnon) and zero-knowledge auditor
+	// views (RoleAuditor). Nil denies both.
+	Priv *privplane.Plane
 	// Logf receives denial and serve log lines (default: discard).
 	Logf func(format string, args ...any)
 	// Obs, when non-nil, exports the server's metric families (query and
@@ -132,6 +137,9 @@ func (s *Server) Respond(c FrameConn) error {
 	if err != nil {
 		return err
 	}
+	if f.Type == FrameDiscloseAnon {
+		return s.respondAnon(c, f)
+	}
 	if f.Type != FrameDisclose {
 		return fmt.Errorf("discplane: protocol error: got frame %#x, want %#x", f.Type, FrameDisclose)
 	}
@@ -167,6 +175,101 @@ func (s *Server) Respond(c FrameConn) error {
 	// View payloads are cached across queries (s.cache) — they must never
 	// be recycled, so this send stays un-pooled.
 	return c.Send(netx.Frame{Type: FrameView, Payload: payload})
+}
+
+// respondAnon handles one anonymous (ring-signed) provider query: the
+// answer is a provider-role VIEW, granted when the ring checks out, with
+// no requester identity learned or recorded — the served event carries
+// AS 0 and the ring size, which is exactly what a server-side observer
+// can know.
+func (s *Server) respondAnon(c FrameConn, f netx.Frame) error {
+	t0 := time.Now()
+	s.met.queries.Inc()
+	q, err := DecodeAnonQuery(f.Payload)
+	if err != nil {
+		s.met.denied.Inc()
+		s.met.latAll.ObserveSince(t0)
+		_ = netx.SendPooled(c, FrameDeny, (&Denial{Code: DenyBadQuery, Detail: "undecodable anonymous query"}).Encode())
+		return fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	payload, denial := s.answerAnon(q)
+	el := time.Since(t0)
+	s.met.latAll.ObserveDuration(el)
+	s.met.roleLat(RoleProvider).ObserveDuration(el)
+	if denial != nil {
+		s.met.denied.Inc()
+		s.cfg.Logf("pvr: disclose: %s deny anon ring=%d %s epoch %d: %s",
+			s.cfg.ASN, len(q.Ring), q.Prefix, q.Epoch, denial.Detail)
+		return netx.SendPooled(c, FrameDeny, denial.Encode())
+	}
+	s.met.served.Inc()
+	s.tr.Record(obs.Event{
+		Kind: obs.EvDisclosureServed, Epoch: q.Epoch, Window: s.cfg.Engine.Window(),
+		Prefix: q.Prefix.String(), AS: 0, Note: fmt.Sprintf("provider(anon k=%d)", len(q.Ring)),
+	}.SetTrace(q.Trace))
+	return c.Send(netx.Frame{Type: FrameView, Payload: payload})
+}
+
+// answerAnon applies α to an anonymous provider query. The requester is
+// authenticated as "some member of a ring of declared providers"; the
+// opened position must itself be a declared route length (the engine
+// enforces it), so the grant reveals nothing a provider of that length
+// was not already entitled to.
+func (s *Server) answerAnon(q *AnonQuery) ([]byte, *Denial) {
+	if s.cfg.Priv == nil {
+		return nil, &Denial{Code: DenyAccess, Detail: "no privacy plane at this prover"}
+	}
+	if cur := s.cfg.Engine.Epoch(); q.Epoch != cur {
+		return nil, &Denial{Code: DenyNotFound, Detail: fmt.Sprintf("epoch %d not served (current %d)", q.Epoch, cur)}
+	}
+	if q.Prover != 0 && q.Prover != s.cfg.ASN {
+		return nil, &Denial{Code: DenyAccess, Detail: fmt.Sprintf("query addressed to %s, this prover is %s", q.Prover, s.cfg.ASN)}
+	}
+	msg, err := q.SignedBytes()
+	if err != nil {
+		return nil, &Denial{Code: DenyBadQuery, Detail: "unencodable query"}
+	}
+	sig, err := q.ringSig()
+	if err != nil {
+		return nil, &Denial{Code: DenyAccess, Detail: "malformed ring signature"}
+	}
+	if err := s.cfg.Priv.CheckAnon(q.Prefix, q.Ring, msg, sig); err != nil {
+		return nil, &Denial{Code: DenyAccess, Detail: err.Error()}
+	}
+	if s.nonces.seen(q.Nonce) {
+		return nil, &Denial{Code: DenyAccess, Detail: "replayed query nonce"}
+	}
+	window := s.cfg.Engine.Window()
+	if old := s.cacheW.Load(); old != window && s.cacheW.CompareAndSwap(old, window) {
+		var dropped uint64
+		s.cache.Range(func(k, _ any) bool { s.cache.Delete(k); dropped++; return true })
+		s.met.evicted.Add(dropped)
+	}
+	// The anonymous cache key carries the position, not a requester: every
+	// ring member with the same route length gets byte-identical views.
+	key := fmt.Sprintf("anon/%d/%d/%d/%s", q.Epoch, window, q.Position, q.Prefix)
+	if cached, ok := s.cache.Load(key); ok {
+		s.met.hits.Inc()
+		return cached.([]byte), nil
+	}
+	pv, err := s.cfg.Engine.DiscloseAtLength(q.Prefix, int(q.Position))
+	if err != nil {
+		return nil, &Denial{Code: DenyAccess, Detail: fmt.Sprintf("position %d not openable for %s", q.Position, q.Prefix)}
+	}
+	view := &View{
+		Role: RoleProvider, Key: s.cfg.Key,
+		Sealed: pv.Sealed, Position: uint32(pv.Position), Opening: &pv.Opening,
+	}
+	if view.Sealed.Seal != nil {
+		view.Trace = view.Sealed.Seal.Trace
+	}
+	payload, err := view.Encode()
+	if err != nil {
+		return nil, &Denial{Code: DenyNotFound, Detail: fmt.Sprintf("view encoding failed for %s", q.Prefix)}
+	}
+	s.met.misses.Inc()
+	s.cache.Store(key, payload)
+	return payload, nil
 }
 
 // RespondContext is Respond bounded by a context: when ctx ends
@@ -208,12 +311,12 @@ func (s *Server) answer(q *Query) ([]byte, *Denial) {
 	}
 	// α authentication: provider and promisee views go to a principal,
 	// never to a bare connection. The observer view is public material
-	// (the same bytes gossip through the audit network), so anonymous
-	// observers are fine. For gated roles the signature covers the
-	// addressed prover and a fresh nonce, both enforced here, so a
-	// captured query can be replayed neither to another prover nor to
-	// this one.
-	if q.Role != RoleObserver {
+	// (the same bytes gossip through the audit network), and the auditor
+	// view is zero-knowledge by construction, so both may be anonymous.
+	// For gated roles the signature covers the addressed prover and a
+	// fresh nonce, both enforced here, so a captured query can be
+	// replayed neither to another prover nor to this one.
+	if q.Role != RoleObserver && q.Role != RoleAuditor {
 		if q.Requester == 0 {
 			return nil, &Denial{Code: DenyAccess, Detail: fmt.Sprintf("anonymous requester cannot hold role %s", q.Role)}
 		}
@@ -272,6 +375,20 @@ func (s *Server) answer(q *Query) ([]byte, *Denial) {
 		view.Sealed = pv.Sealed
 		view.Position = uint32(pv.Position)
 		view.Opening = &pv.Opening
+		if s.cfg.Priv != nil {
+			s.cfg.Priv.NoteAttributed()
+		}
+	case RoleAuditor:
+		if s.cfg.Priv == nil {
+			return nil, &Denial{Code: DenyAccess, Detail: "no privacy plane at this prover"}
+		}
+		vv, sc, err := s.cfg.Priv.VectorView(q.Prefix)
+		if err != nil {
+			return nil, &Denial{Code: DenyNotFound, Detail: fmt.Sprintf("no zero-knowledge opening for %s", q.Prefix)}
+		}
+		view.Sealed = sc
+		view.ZKCommitments = vv.Commitments
+		view.ZKProof = vv.Proof
 	case RolePromisee:
 		if s.cfg.IsPromisee == nil || !s.cfg.IsPromisee(q.Requester) {
 			return nil, &Denial{Code: DenyAccess, Detail: fmt.Sprintf("%s is not a promisee of %s under α", q.Requester, s.cfg.ASN)}

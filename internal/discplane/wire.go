@@ -34,7 +34,10 @@ import (
 	"pvr/internal/netx"
 	"pvr/internal/obs"
 	"pvr/internal/prefix"
+	"pvr/internal/privplane"
+	"pvr/internal/ringsig"
 	"pvr/internal/sigs"
+	"pvr/internal/zkp"
 )
 
 // readTraceExt consumes every trailing extension, capturing an ExtTrace
@@ -73,6 +76,10 @@ const (
 	FrameView uint8 = 0x52
 	// FrameDeny carries a typed Denial.
 	FrameDeny uint8 = 0x53
+	// FrameDiscloseAnon carries one ring-signed AnonQuery: a provider
+	// asking for its §3.3 opening without identifying itself beyond
+	// membership in the prefix's declared provider set.
+	FrameDiscloseAnon uint8 = 0x54
 )
 
 // Role is the requester's claimed relationship to the prover for the
@@ -91,6 +98,13 @@ const (
 	// RolePromisee is the neighbor the promise was made to: entitled to
 	// the full opened vector, the winning input, and the export statement.
 	RolePromisee Role = 3
+	// RoleAuditor is a third party asking for the zero-knowledge opening:
+	// entitled to the sealed commitment plus the Pedersen commitment
+	// vector and the Σ-protocol proof that it commits to a well-formed
+	// monotone bit vector — "the promise holds", with no bit opened.
+	// Served only when the prover runs a privacy plane (ZKBind engine);
+	// anonymous like the observer role, since nothing released is secret.
+	RoleAuditor Role = 4
 )
 
 // String names the role.
@@ -102,11 +116,73 @@ func (r Role) String() string {
 		return "provider"
 	case RolePromisee:
 		return "promisee"
+	case RoleAuditor:
+		return "auditor"
 	}
 	return fmt.Sprintf("role(%d)", uint8(r))
 }
 
-func (r Role) valid() bool { return r >= RoleObserver && r <= RolePromisee }
+func (r Role) valid() bool { return r >= RoleObserver && r <= RoleAuditor }
+
+// Field identifies one disclosable unit of a View for the per-role data
+// minimization masks. The wire codec consults FieldsFor — not the view
+// struct's contents — when encoding and decoding, so a server bug that
+// populates an unentitled field cannot leak it: the bytes are simply
+// never written. The contract tests assert byte-level equality between
+// "fully populated then masked" and "only entitled fields" encodings for
+// every (role, frame) pair.
+type Field uint16
+
+// View fields, in wire order.
+const (
+	// FieldSealed is the sealed commitment (MC + inclusion proof + seal):
+	// public material, part of every view.
+	FieldSealed Field = 1 << iota
+	// FieldKey is the prover's marshaled public key.
+	FieldKey
+	// FieldExportC is the sealed-export commitment the shard leaf binds;
+	// hiding, so every role may see it (the Merkle check needs it).
+	FieldExportC
+	// FieldZKDigest is the Pedersen-vector digest the shard leaf binds;
+	// hiding, needed by every role's Merkle check.
+	FieldZKDigest
+	// FieldPosition and FieldOpening are the §3.3 single-bit opening.
+	FieldPosition
+	FieldOpening
+	// FieldOpenings, FieldWinner, FieldExport, and FieldExportOpening are
+	// the promisee's full view.
+	FieldOpenings
+	FieldWinner
+	FieldExport
+	FieldExportOpening
+	// FieldZKVector is the Pedersen commitment vector plus the monotone
+	// vector proof — the auditor's zero-knowledge opening.
+	FieldZKVector
+)
+
+// fieldsBase is the material every granted view carries: the sealed
+// commitment, the prover key, and the two hiding leaf extensions without
+// which no role can reconstruct the leaf for the Merkle check.
+const fieldsBase = FieldSealed | FieldKey | FieldExportC | FieldZKDigest
+
+// FieldsFor is the data-minimization policy: exactly the fields role is
+// entitled to, per §2.2's α. Everything else is masked at the codec.
+func FieldsFor(role Role) Field {
+	switch role {
+	case RoleObserver:
+		return fieldsBase
+	case RoleProvider:
+		return fieldsBase | FieldPosition | FieldOpening
+	case RolePromisee:
+		return fieldsBase | FieldOpenings | FieldWinner | FieldExport | FieldExportOpening
+	case RoleAuditor:
+		return fieldsBase | FieldZKVector
+	}
+	return 0
+}
+
+// Has reports whether f includes field.
+func (f Field) Has(field Field) bool { return f&field != 0 }
 
 // tagDisclose domain-separates query signatures from every other signed
 // payload in the protocol.
@@ -278,6 +354,182 @@ func DecodeQuery(b []byte) (*Query, error) {
 	return &q, r.Done()
 }
 
+// tagDiscloseAnon domain-separates ring-signature messages of anonymous
+// disclosure queries.
+const tagDiscloseAnon = "pvr/disclose-anon/v1"
+
+// maxWireRing bounds the ring size a peer can make the server build: ring
+// verification costs one RSA exponentiation per member.
+const maxWireRing = 128
+
+// AnonQuery is one anonymous DISCLOSE request: a provider asks for the
+// §3.3 single-bit opening at its own route length, authenticating as
+// *some* member of Ring — a canonical subset of the prefix's declared
+// provider set — via an RST ring signature instead of naming itself.
+// The server learns "a provider with a route of length Position asked"
+// and nothing more; the anonymity set is the ring (k = len(Ring)).
+type AnonQuery struct {
+	// Prover is the serving AS the query is addressed to; signed, so a
+	// captured query cannot be replayed against a different prover.
+	Prover aspath.ASN
+	// Epoch and Prefix select the sealed commitment.
+	Epoch  uint64
+	Prefix prefix.Prefix
+	// Position is the declared route length whose bit should open. The
+	// engine refuses positions no accepted input declared, so an
+	// anonymous asker cannot probe arbitrary bits.
+	Position uint32
+	// Ring is the claimed anonymity set, in canonical order (sorted
+	// ascending, no duplicates). Every member must be a declared provider
+	// for (Prefix, Epoch) at the server.
+	Ring []aspath.ASN
+	// Nonce makes the ring-signed bytes unique per query; the server's
+	// replay set refuses duplicates exactly as for signed queries.
+	Nonce [NonceSize]byte
+	// Sig is the flattened ring signature (privplane.MarshalRingSig) over
+	// SignedBytes by some ring member.
+	Sig []byte
+	// Trace is observability metadata, excluded from SignedBytes and
+	// carried as a trailing frame extension.
+	Trace obs.TraceContext
+}
+
+// SignedBytes returns the canonical bytes the ring signature covers. The
+// ring itself is inside (besides being bound by the ring-keyed Feistel),
+// so the signed statement names its own anonymity set.
+func (q *AnonQuery) SignedBytes() ([]byte, error) {
+	pb, err := q.Prefix.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	buf.WriteString(tagDiscloseAnon)
+	var u8 [8]byte
+	binary.BigEndian.PutUint32(u8[:4], uint32(q.Prover))
+	buf.Write(u8[:4])
+	binary.BigEndian.PutUint64(u8[:], q.Epoch)
+	buf.Write(u8[:])
+	buf.WriteByte(byte(len(pb)))
+	buf.Write(pb)
+	binary.BigEndian.PutUint32(u8[:4], q.Position)
+	buf.Write(u8[:4])
+	binary.BigEndian.PutUint32(u8[:4], uint32(len(q.Ring)))
+	buf.Write(u8[:4])
+	for _, m := range q.Ring {
+		binary.BigEndian.PutUint32(u8[:4], uint32(m))
+		buf.Write(u8[:4])
+	}
+	buf.Write(q.Nonce[:])
+	return buf.Bytes(), nil
+}
+
+// Sign canonicalizes the ring, draws a fresh nonce, and ring-signs the
+// query as key's holder through the privacy plane.
+func (q *AnonQuery) Sign(p *privplane.Plane, key *privplane.RingKey) error {
+	ring, err := privplane.CanonicalRing(q.Ring)
+	if err != nil {
+		return err
+	}
+	q.Ring = ring
+	if _, err := rand.Read(q.Nonce[:]); err != nil {
+		return err
+	}
+	msg, err := q.SignedBytes()
+	if err != nil {
+		return err
+	}
+	sig, err := p.Sign(q.Ring, key, msg)
+	if err != nil {
+		return err
+	}
+	q.Sig = privplane.MarshalRingSig(sig)
+	return nil
+}
+
+// ringSig splits the wire signature back into components for the ring.
+func (q *AnonQuery) ringSig() (*ringsig.Signature, error) {
+	return privplane.UnmarshalRingSig(q.Sig, len(q.Ring))
+}
+
+// Encode returns the DISCLOSE-ANON frame payload (pooled buffer; the
+// client sends it exactly once).
+func (q *AnonQuery) Encode() ([]byte, error) {
+	pb, err := q.Prefix.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	b := netx.AppendU32(netx.GetBuf(256), uint32(q.Prover))
+	b = netx.AppendU64(b, q.Epoch)
+	b = netx.AppendBytes(b, pb)
+	b = netx.AppendU32(b, q.Position)
+	b = netx.AppendU32(b, uint32(len(q.Ring)))
+	for _, m := range q.Ring {
+		b = netx.AppendU32(b, uint32(m))
+	}
+	b = append(b, q.Nonce[:]...)
+	b = netx.AppendBytes(b, q.Sig)
+	return appendTraceExt(b, q.Trace), nil
+}
+
+// DecodeAnonQuery decodes an Encode payload (exact length). Structure
+// only: ring membership and the signature are the server's checks.
+func DecodeAnonQuery(b []byte) (*AnonQuery, error) {
+	r := &netx.PayloadReader{B: b}
+	var q AnonQuery
+	prover, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	q.Prover = aspath.ASN(prover)
+	if q.Epoch, err = r.U64(); err != nil {
+		return nil, err
+	}
+	pb, err := r.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Prefix.UnmarshalBinary(pb); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrWire, err)
+	}
+	if q.Position, err = r.U32(); err != nil {
+		return nil, err
+	}
+	n, err := r.Count(4)
+	if err != nil {
+		return nil, err
+	}
+	if n < 2 || n > maxWireRing {
+		return nil, fmt.Errorf("%w: ring size %d outside [2, %d]", ErrWire, n, maxWireRing)
+	}
+	q.Ring = make([]aspath.ASN, n)
+	for i := range q.Ring {
+		m, err := r.U32()
+		if err != nil {
+			return nil, err
+		}
+		q.Ring[i] = aspath.ASN(m)
+		if i > 0 && q.Ring[i] <= q.Ring[i-1] {
+			return nil, fmt.Errorf("%w: ring not in canonical order", ErrWire)
+		}
+	}
+	nb, err := r.Take(NonceSize)
+	if err != nil {
+		return nil, err
+	}
+	copy(q.Nonce[:], nb)
+	sig, err := r.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	if len(sig) > 0 {
+		q.Sig = append([]byte(nil), sig...)
+	}
+	if err := readTraceExt(r, &q.Trace); err != nil {
+		return nil, err
+	}
+	return &q, r.Done()
+}
+
 // DenyCode classifies a denial for the client's error taxonomy.
 type DenyCode uint8
 
@@ -385,6 +637,12 @@ type View struct {
 	Winner        *core.Announcement
 	Export        *core.ExportStatement
 	ExportOpening *commit.Opening
+	// ZKCommitments and ZKProof are set for RoleAuditor: the Pedersen
+	// commitment vector the seal's leaf digests (Sealed.ZKDigest) and the
+	// zero-knowledge proof that it commits to a well-formed monotone bit
+	// vector. Verify with privplane.Plane.VerifyAuditorProof.
+	ZKCommitments []zkp.Commitment
+	ZKProof       *zkp.VectorProof
 	// Key is the prover's marshaled public key (may be empty).
 	Key []byte
 	// Trace is the distributed trace context of the served seal — the
@@ -394,8 +652,16 @@ type View struct {
 	Trace obs.TraceContext
 }
 
-// Encode returns the VIEW frame payload.
+// Encode returns the VIEW frame payload. Every field write is gated on
+// the role's FieldsFor mask, never on what the struct happens to hold:
+// populating an unentitled field (a server bug) yields the same bytes as
+// never setting it. That makes data minimization a codec property the
+// contract tests can pin byte-for-byte.
 func (v *View) Encode() ([]byte, error) {
+	if !v.Role.valid() {
+		return nil, fmt.Errorf("discplane: encode view: invalid role %s", v.Role)
+	}
+	m := FieldsFor(v.Role)
 	if v.Sealed == nil || v.Sealed.MC == nil || v.Sealed.Proof == nil || v.Sealed.Seal == nil {
 		return nil, fmt.Errorf("discplane: encode view: incomplete sealed commitment")
 	}
@@ -412,20 +678,28 @@ func (v *View) Encode() ([]byte, error) {
 		return nil, err
 	}
 	b := []byte{uint8(v.Role)}
-	b = netx.AppendBytes(b, v.Key)
+	if m.Has(FieldKey) {
+		b = netx.AppendBytes(b, v.Key)
+	} else {
+		b = netx.AppendBytes(b, nil)
+	}
 	b = netx.AppendBytes(b, mcb)
 	b = netx.AppendBytes(b, proofb)
 	b = netx.AppendBytes(b, sealb)
-	// Sealed-export leaf extension: the shard leaf appends the export
-	// commitment after the MC bytes, so every role's Merkle check needs it.
-	if v.Sealed.HasExport {
+	// Hiding leaf extensions: the shard leaf appends the export commitment
+	// and the ZK digest after the MC bytes, so every role's Merkle check
+	// needs them.
+	if m.Has(FieldExportC) && v.Sealed.HasExport {
 		b = netx.AppendBytes(b, v.Sealed.ExportC[:])
 	} else {
 		b = netx.AppendBytes(b, nil)
 	}
-	switch v.Role {
-	case RoleObserver:
-	case RoleProvider:
+	if m.Has(FieldZKDigest) && v.Sealed.HasZK {
+		b = netx.AppendBytes(b, v.Sealed.ZKDigest[:])
+	} else {
+		b = netx.AppendBytes(b, nil)
+	}
+	if m.Has(FieldPosition) || m.Has(FieldOpening) {
 		if v.Opening == nil {
 			return nil, fmt.Errorf("discplane: encode provider view: missing opening")
 		}
@@ -435,7 +709,8 @@ func (v *View) Encode() ([]byte, error) {
 		}
 		b = netx.AppendU32(b, v.Position)
 		b = netx.AppendBytes(b, ob)
-	case RolePromisee:
+	}
+	if m.Has(FieldOpenings) {
 		if v.Export == nil {
 			return nil, fmt.Errorf("discplane: encode promisee view: missing export")
 		}
@@ -447,7 +722,7 @@ func (v *View) Encode() ([]byte, error) {
 			}
 			b = netx.AppendBytes(b, ob)
 		}
-		if v.Winner != nil {
+		if m.Has(FieldWinner) && v.Winner != nil {
 			b = append(b, 1)
 			if b, err = appendAnnouncement(b, v.Winner); err != nil {
 				return nil, err
@@ -458,7 +733,7 @@ func (v *View) Encode() ([]byte, error) {
 		if b, err = appendExport(b, v.Export); err != nil {
 			return nil, err
 		}
-		if v.ExportOpening != nil {
+		if m.Has(FieldExportOpening) && v.ExportOpening != nil {
 			ob, err := v.ExportOpening.MarshalBinary()
 			if err != nil {
 				return nil, err
@@ -467,15 +742,26 @@ func (v *View) Encode() ([]byte, error) {
 		} else {
 			b = netx.AppendBytes(b, nil)
 		}
-	default:
-		return nil, fmt.Errorf("discplane: encode view: invalid role %s", v.Role)
+	}
+	if m.Has(FieldZKVector) {
+		if v.ZKProof == nil {
+			return nil, fmt.Errorf("discplane: encode auditor view: missing vector proof")
+		}
+		b = netx.AppendBytes(b, zkp.MarshalCommitments(v.ZKCommitments))
+		pb, err := v.ZKProof.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		b = netx.AppendBytes(b, pb)
 	}
 	return appendTraceExt(b, v.Trace), nil
 }
 
 // DecodeView decodes an Encode payload (exact length), reconstructing the
-// role-specific material. Decoding establishes structure only; the caller
-// must still verify the view.
+// role-specific material under the same FieldsFor mask the encoder used —
+// a frame structurally carrying fields its role is not entitled to does
+// not parse. Decoding establishes structure only; the caller must still
+// verify the view.
 func DecodeView(b []byte) (*View, error) {
 	r := &netx.PayloadReader{B: b}
 	role, err := r.U8()
@@ -486,6 +772,7 @@ func DecodeView(b []byte) (*View, error) {
 	if !v.Role.valid() {
 		return nil, fmt.Errorf("%w: invalid role %d", ErrWire, role)
 	}
+	m := FieldsFor(v.Role)
 	key, err := r.Bytes()
 	if err != nil {
 		return nil, err
@@ -530,9 +817,19 @@ func DecodeView(b []byte) (*View, error) {
 	default:
 		return nil, fmt.Errorf("%w: export commitment length %d", ErrWire, len(ecb))
 	}
-	switch v.Role {
-	case RoleObserver:
-	case RoleProvider:
+	zdb, err := r.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	switch len(zdb) {
+	case 0:
+	case len(v.Sealed.ZKDigest):
+		v.Sealed.HasZK = true
+		copy(v.Sealed.ZKDigest[:], zdb)
+	default:
+		return nil, fmt.Errorf("%w: ZK digest length %d", ErrWire, len(zdb))
+	}
+	if m.Has(FieldPosition) || m.Has(FieldOpening) {
 		if v.Position, err = r.U32(); err != nil {
 			return nil, err
 		}
@@ -545,7 +842,8 @@ func DecodeView(b []byte) (*View, error) {
 			return nil, fmt.Errorf("%w: %v", ErrWire, err)
 		}
 		v.Opening = op
-	case RolePromisee:
+	}
+	if m.Has(FieldOpenings) {
 		n, err := r.Count(4)
 		if err != nil {
 			return nil, err
@@ -589,6 +887,24 @@ func DecodeView(b []byte) (*View, error) {
 			}
 			v.ExportOpening = op
 		}
+	}
+	if m.Has(FieldZKVector) {
+		csb, err := r.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		if v.ZKCommitments, err = zkp.UnmarshalCommitments(csb); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrWire, err)
+		}
+		pb, err := r.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		vp := new(zkp.VectorProof)
+		if err := vp.UnmarshalBinary(pb); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrWire, err)
+		}
+		v.ZKProof = vp
 	}
 	if err := readTraceExt(r, &v.Trace); err != nil {
 		return nil, err

@@ -30,6 +30,7 @@ import (
 	"pvr/internal/obs"
 	"pvr/internal/prefix"
 	"pvr/internal/sigs"
+	"pvr/internal/zkp"
 )
 
 // exportCommitTag domain-separates the hiding commitments that bind a
@@ -59,6 +60,14 @@ type Config struct {
 	// (and its verification at B) folds into the one shard-seal
 	// signature. Zero keeps the classic sign-per-export behavior.
 	Promisee aspath.ASN
+	// ZKBind, when true, additionally binds a Pedersen commitment vector
+	// over the prefix's committed bits into each sealed shard leaf (as a
+	// 32-byte digest after the commitment and export-commitment bytes).
+	// The privacy plane (internal/privplane) then proves in zero knowledge
+	// to third parties that the sealed vector is well-formed and monotone —
+	// "the promise holds" — without opening any bit. Off by default: the
+	// Pedersen arithmetic costs ~2K modexps per sealed prefix.
+	ZKBind bool
 	// Obs, when non-nil, exports the engine's metric families (accept and
 	// seal latencies, batch sizes, shard rebuild counts, epoch/window/
 	// prefix gauges) into the given registry. The engine observes either
@@ -79,6 +88,16 @@ func (c *Config) fill() {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
+}
+
+// zkState is a prefix's Pedersen bit-vector material as bound into its
+// shard leaf: per-bit commitments, their openings (the proving secrets,
+// never disclosed — only Σ-protocol proofs over them leave the engine),
+// and the canonical digest the leaf carries.
+type zkState struct {
+	cs     []zkp.Commitment
+	os     []zkp.Opening
+	digest [32]byte
 }
 
 // sealedExport is a prefix's export statement as bound into its shard
@@ -104,6 +123,9 @@ type shard struct {
 	// exports holds the sealed export material per prefix, populated
 	// alongside leaves when Config.Promisee is set.
 	exports map[prefix.Prefix]*sealedExport
+	// zk holds the Pedersen bit-vector material per prefix, populated
+	// alongside leaves when Config.ZKBind is set and invalidated with them.
+	zk map[prefix.Prefix]*zkState
 	// dirty marks the shard as changed since its last seal; SealDirty
 	// rebuilds only dirty shards and merely re-signs the rest.
 	dirty bool
@@ -157,6 +179,7 @@ func New(cfg Config) (*ProverEngine, error) {
 			provers: make(map[prefix.Prefix]*core.Prover),
 			leaves:  make(map[prefix.Prefix][]byte),
 			exports: make(map[prefix.Prefix]*sealedExport),
+			zk:      make(map[prefix.Prefix]*zkState),
 		}
 	}
 	if cfg.Obs != nil {
@@ -203,6 +226,7 @@ func (e *ProverEngine) BeginEpoch(epoch uint64) {
 		s.provers = make(map[prefix.Prefix]*core.Prover)
 		s.leaves = make(map[prefix.Prefix][]byte)
 		s.exports = make(map[prefix.Prefix]*sealedExport)
+		s.zk = make(map[prefix.Prefix]*zkState)
 		s.dirty = false
 		s.trace = obs.TraceContext{}
 		s.seal, s.batch, s.index, s.sealed = nil, nil, nil, false
@@ -284,6 +308,7 @@ func (e *ProverEngine) AcceptAnnouncementTraced(a core.Announcement, tc obs.Trac
 		s.trace = tc
 		delete(s.leaves, a.Route.Prefix)
 		delete(s.exports, a.Route.Prefix)
+		delete(s.zk, a.Route.Prefix)
 		e.met.accepts.Inc()
 		e.met.acceptSec.ObserveSince(t0)
 		e.tr.Record(obs.Event{
@@ -322,6 +347,7 @@ func (e *ProverEngine) acceptPreverified(a core.Announcement) error {
 	s.trace = obs.NewTraceContext()
 	delete(s.leaves, a.Route.Prefix)
 	delete(s.exports, a.Route.Prefix)
+	delete(s.zk, a.Route.Prefix)
 	return nil
 }
 
@@ -521,6 +547,25 @@ func (e *ProverEngine) sealShardLocked(idx uint32, s *shard, window uint64) erro
 					s.exports[pfx] = &sealedExport{stmt: exp, cm: cm, op: op}
 					leaf = append(leaf, cm[:]...)
 				}
+				if e.cfg.ZKBind {
+					// Bind the digest of a Pedersen commitment vector over
+					// the committed bits into the leaf. The seal signature
+					// then vouches for the Pedersen vector alongside the
+					// hash-based one, letting the privacy plane hand third
+					// parties Σ-protocol proofs that verify against the
+					// gossiped seal.
+					bits, err := s.provers[pfx].CommittedBits()
+					if err != nil {
+						return err
+					}
+					cs, os, err := zkp.CommitBits(bits)
+					if err != nil {
+						return err
+					}
+					z := &zkState{cs: cs, os: os, digest: zkp.DigestCommitments(cs)}
+					s.zk[pfx] = z
+					leaf = append(leaf, z.digest[:]...)
+				}
 				s.leaves[pfx] = leaf
 			}
 			leaves[i] = leaf
@@ -613,6 +658,7 @@ func (e *ProverEngine) ReplacePrefixTraced(pfx prefix.Prefix, anns []core.Announ
 	s.provers[pfx] = p
 	delete(s.leaves, pfx)
 	delete(s.exports, pfx)
+	delete(s.zk, pfx)
 	s.dirty = true
 	s.trace = tc
 	s.sealed = false
@@ -651,6 +697,7 @@ func (e *ProverEngine) RemovePrefixTraced(pfx prefix.Prefix, tc obs.TraceContext
 	delete(s.provers, pfx)
 	delete(s.leaves, pfx)
 	delete(s.exports, pfx)
+	delete(s.zk, pfx)
 	s.dirty = true
 	if tc.IsZero() {
 		tc = obs.NewTraceContext()
@@ -833,6 +880,9 @@ func (e *ProverEngine) sealedProver(pfx prefix.Prefix) (*core.Prover, *SealedCom
 	if se != nil {
 		sc.ExportC, sc.HasExport = se.cm, true
 	}
+	if z := s.zk[pfx]; z != nil {
+		sc.ZKDigest, sc.HasZK = z.digest, true
+	}
 	return p, sc, se, nil
 }
 
@@ -880,6 +930,54 @@ func (e *ProverEngine) DiscloseToProvider(pfx prefix.Prefix, ni aspath.ASN) (*Pr
 		return nil, err
 	}
 	return &ProviderView{Sealed: sc, Position: v.Position, Opening: v.Opening}, nil
+}
+
+// DiscloseAtLength builds the provider view for an anonymous (ring-signed)
+// disclosure at the given declared route length, without naming a provider:
+// the privacy plane authenticates the asker as *some* member of the
+// prefix's provider ring and the engine opens the single bit at the
+// length the asker declared. The position must equal the path length of
+// some accepted input — an anonymous asker cannot probe arbitrary bits.
+func (e *ProverEngine) DiscloseAtLength(pfx prefix.Prefix, pos int) (*ProviderView, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	p, sc, _, err := e.sealedProver(pfx)
+	if err != nil {
+		return nil, err
+	}
+	v, err := p.DiscloseAtLength(pos)
+	if err != nil {
+		return nil, err
+	}
+	return &ProviderView{Sealed: sc, Position: v.Position, Opening: v.Opening}, nil
+}
+
+// ZKOpenings returns the Pedersen bit-vector commitments sealed into the
+// prefix's leaf together with their openings and the sealed commitment
+// that authenticates them. The openings are proving secrets: the caller
+// (internal/privplane) uses them to build zero-knowledge proofs and must
+// never put them on the wire. Requires Config.ZKBind and a sealed epoch.
+func (e *ProverEngine) ZKOpenings(pfx prefix.Prefix) ([]zkp.Commitment, []zkp.Opening, *SealedCommitment, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	_, sc, _, err := e.sealedProver(pfx)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if !sc.HasZK {
+		return nil, nil, nil, fmt.Errorf("engine: prefix %s sealed without ZK commitments", pfx)
+	}
+	s, _, err := e.shardOf(pfx)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	s.mu.Lock()
+	z := s.zk[pfx]
+	s.mu.Unlock()
+	if z == nil {
+		return nil, nil, nil, fmt.Errorf("engine: no ZK state for prefix %s", pfx)
+	}
+	return z.cs, z.os, sc, nil
 }
 
 // DiscloseToPromisee builds promisee b's view for one prefix. SealEpoch

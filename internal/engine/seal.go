@@ -172,6 +172,14 @@ type SealedCommitment struct {
 	// learn nothing about the exported route.
 	ExportC   commit.Commitment
 	HasExport bool
+	// ZKDigest, when HasZK, is the canonical digest of the Pedersen
+	// bit-vector commitments (zkp.DigestCommitments) that the shard leaf
+	// carries after the commitment and export-commitment bytes. The seal
+	// then authenticates the Pedersen vector too, so third-party
+	// zero-knowledge openings (internal/privplane) verify against the
+	// same gossiped seal as every other disclosure.
+	ZKDigest [32]byte
+	HasZK    bool
 }
 
 // Verify authenticates the sealed commitment: seal signature, seal/content
@@ -222,6 +230,9 @@ func (sc *SealedCommitment) verify(checkSeal func(*Seal) error) error {
 	}
 	if sc.HasExport {
 		leaf = append(leaf, sc.ExportC[:]...)
+	}
+	if sc.HasZK {
+		leaf = append(leaf, sc.ZKDigest[:]...)
 	}
 	if err := merkle.VerifyBatch(sc.Seal.Root, leaf, sc.Proof); err != nil {
 		return fmt.Errorf("engine: commitment not under shard root: %w", err)

@@ -1,0 +1,40 @@
+package privplane
+
+import (
+	"pvr/internal/obs"
+)
+
+// privMetrics are the privacy plane's instruments. Handles stay live
+// without a registry (every obs constructor is nil-safe), so the hot
+// paths never branch on observability.
+type privMetrics struct {
+	ringSigns      *obs.Counter   // ring signatures produced
+	ringVerifies   *obs.Counter   // ring signatures checked (either verdict)
+	ringRejects    *obs.Counter   // anonymous queries rejected (ring or sig)
+	anonQueries    *obs.Counter   // anonymous provider queries accepted
+	attrQueries    *obs.Counter   // attributed (named) provider views granted
+	proofsBuilt    *obs.Counter   // vector proofs built fresh
+	proofHits      *obs.Counter   // vector proofs served from the cache
+	proofVerifies  *obs.Counter   // vector proofs checked (either verdict)
+	ringSignSec    *obs.Histogram // ring sign latency
+	ringVerifySec  *obs.Histogram // ring verify latency
+	proofGenSec    *obs.Histogram // vector proof generation latency
+	proofVerifySec *obs.Histogram // vector proof verification latency
+}
+
+func newPrivMetrics(r *obs.Registry) *privMetrics {
+	return &privMetrics{
+		ringSigns:      obs.NewCounter(r, "pvr_priv_ring_signs_total", "ring signatures produced"),
+		ringVerifies:   obs.NewCounter(r, "pvr_priv_ring_verifies_total", "ring signatures checked"),
+		ringRejects:    obs.NewCounter(r, "pvr_priv_ring_rejects_total", "anonymous queries rejected (ring membership or signature)"),
+		anonQueries:    obs.NewCounter(r, "pvr_priv_anon_queries_total", "anonymous provider queries accepted"),
+		attrQueries:    obs.NewCounter(r, "pvr_priv_attributed_queries_total", "attributed provider views granted"),
+		proofsBuilt:    obs.NewCounter(r, "pvr_priv_proofs_built_total", "ZK vector proofs built fresh"),
+		proofHits:      obs.NewCounter(r, "pvr_priv_proof_cache_hits_total", "ZK vector proofs served from the cache"),
+		proofVerifies:  obs.NewCounter(r, "pvr_priv_proof_verifies_total", "ZK vector proofs checked"),
+		ringSignSec:    obs.NewHistogram(r, "pvr_priv_ring_sign_seconds", "ring signature latency", nil),
+		ringVerifySec:  obs.NewHistogram(r, "pvr_priv_ring_verify_seconds", "ring verification latency", nil),
+		proofGenSec:    obs.NewHistogram(r, "pvr_priv_proof_gen_seconds", "ZK vector proof generation latency", nil),
+		proofVerifySec: obs.NewHistogram(r, "pvr_priv_proof_verify_seconds", "ZK vector proof verification latency", nil),
+	}
+}

@@ -1,0 +1,298 @@
+package privplane
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+
+	"pvr/internal/aspath"
+	"pvr/internal/core"
+	"pvr/internal/engine"
+	"pvr/internal/obs"
+	"pvr/internal/prefix"
+	"pvr/internal/route"
+	"pvr/internal/sigs"
+)
+
+const tProver = aspath.ASN(100)
+
+// env is a ZKBind engine with k providers (ASNs 101..100+k) that each
+// announced one route for every test prefix, sealed, plus ring keys for
+// every provider.
+type env struct {
+	reg     *sigs.Registry
+	eng     *engine.ProverEngine
+	dir     *Directory
+	ringKey map[aspath.ASN]*RingKey
+	pfxs    []prefix.Prefix
+	anns    map[aspath.ASN]core.Announcement // per provider, for pfxs[0]
+}
+
+func newEnv(t testing.TB, k, nPfx int) *env {
+	t.Helper()
+	e := &env{
+		reg: sigs.NewRegistry(), dir: NewDirectory(),
+		ringKey: map[aspath.ASN]*RingKey{},
+		anns:    map[aspath.ASN]core.Announcement{},
+	}
+	signers := map[aspath.ASN]sigs.Signer{}
+	asns := []aspath.ASN{tProver}
+	for i := 0; i < k; i++ {
+		asns = append(asns, aspath.ASN(101+i))
+	}
+	for _, asn := range asns {
+		s, err := sigs.GenerateEd25519()
+		if err != nil {
+			t.Fatal(err)
+		}
+		signers[asn] = s
+		e.reg.Register(asn, s.Public())
+		if asn != tProver {
+			rk, err := GenerateRingKey(asn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.ringKey[asn] = rk
+			if err := e.dir.RegisterBytes(asn, rk.PublicBytes()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	eng, err := engine.New(engine.Config{
+		ASN: tProver, Signer: signers[tProver], Registry: e.reg,
+		Shards: 2, MaxLen: 8, ZKBind: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.eng = eng
+	eng.BeginEpoch(1)
+	for i := 0; i < nPfx; i++ {
+		pfx := prefix.V4(10, byte(i>>8), byte(i), 0, 24)
+		e.pfxs = append(e.pfxs, pfx)
+		for j := 0; j < k; j++ {
+			from := aspath.ASN(101 + j)
+			length := 1 + (i+j)%8
+			path := make([]aspath.ASN, length)
+			path[0] = from
+			for l := 1; l < length; l++ {
+				path[l] = aspath.ASN(65000 + l)
+			}
+			r := route.Route{Prefix: pfx, Path: aspath.New(path...), NextHop: netip.AddrFrom4([4]byte{10, 0, 0, 1})}
+			a, err := core.NewAnnouncement(signers[from], from, tProver, 1, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := eng.AcceptAnnouncement(a); err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				e.anns[from] = a
+			}
+		}
+	}
+	if _, err := eng.SealEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func (e *env) plane(t testing.TB) *Plane {
+	t.Helper()
+	p, err := New(Config{Engine: e.eng, Dir: e.dir, Obs: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func (e *env) providers() []aspath.ASN {
+	out := make([]aspath.ASN, 0, len(e.ringKey))
+	for asn := range e.ringKey {
+		out = append(out, asn)
+	}
+	canon, _ := CanonicalRing(out)
+	return canon
+}
+
+func TestCanonicalRing(t *testing.T) {
+	got, err := CanonicalRing([]aspath.ASN{30, 10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []aspath.ASN{10, 20, 30} {
+		if got[i] != want {
+			t.Fatalf("canonical order %v", got)
+		}
+	}
+	if _, err := CanonicalRing([]aspath.ASN{10, 20, 10}); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+}
+
+func TestDirectoryRingCache(t *testing.T) {
+	e := newEnv(t, 3, 1)
+	ring := e.providers()
+	r1, err := e.dir.Ring(ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.dir.Ring(ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("ring not cached")
+	}
+	// Re-registration invalidates.
+	rk, err := GenerateRingKey(ring[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.dir.Register(ring[0], rk.Public())
+	r3, err := e.dir.Ring(ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 == r1 {
+		t.Fatal("stale ring served after key rotation")
+	}
+	if _, err := e.dir.Ring([]aspath.ASN{ring[0]}); err == nil {
+		t.Fatal("1-member ring accepted")
+	}
+	if _, err := e.dir.Ring([]aspath.ASN{ring[1], ring[0]}); err == nil {
+		t.Fatal("non-canonical member order accepted")
+	}
+	if _, err := e.dir.Ring([]aspath.ASN{ring[0], 999}); err == nil {
+		t.Fatal("unknown member accepted")
+	}
+}
+
+func TestRingSigWireRoundTrip(t *testing.T) {
+	e := newEnv(t, 3, 1)
+	p := e.plane(t)
+	ring := e.providers()
+	msg := []byte("anon disclose")
+	sig, err := p.Sign(ring, e.ringKey[ring[1]], msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := MarshalRingSig(sig)
+	rt, err := UnmarshalRingSig(wire, len(ring))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(MarshalRingSig(rt), wire) {
+		t.Fatal("ring signature encoding not canonical")
+	}
+	r, err := e.dir.Ring(ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Verify(msg, rt); err != nil {
+		t.Fatal(err)
+	}
+	// Structural garbage must error, never panic.
+	if _, err := UnmarshalRingSig(wire[:len(wire)-1], len(ring)); err == nil {
+		t.Fatal("ragged signature length decoded")
+	}
+	if _, err := UnmarshalRingSig(nil, len(ring)); err == nil {
+		t.Fatal("empty signature decoded")
+	}
+	if _, err := UnmarshalRingSig(wire, 1); err == nil {
+		t.Fatal("1-member split accepted")
+	}
+}
+
+func TestCheckAnonGrantsEveryMember(t *testing.T) {
+	e := newEnv(t, 4, 2)
+	p := e.plane(t)
+	ring := e.providers()
+	msg := []byte("open my bit")
+	for _, signer := range ring {
+		sig, err := p.Sign(ring, e.ringKey[signer], msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.CheckAnon(e.pfxs[0], ring, msg, sig); err != nil {
+			t.Fatalf("member %s: %v", signer, err)
+		}
+	}
+}
+
+func TestCheckAnonRejects(t *testing.T) {
+	e := newEnv(t, 3, 1)
+	p := e.plane(t)
+	ring := e.providers()
+	msg := []byte("open my bit")
+	sig, err := p.Sign(ring, e.ringKey[ring[0]], msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong message.
+	if p.CheckAnon(e.pfxs[0], ring, []byte("other"), sig) == nil {
+		t.Fatal("wrong message accepted")
+	}
+	// Ring containing a non-provider: the outsider has a directory key but
+	// provided no route, so the set is not an anonymity set of providers.
+	outsider := aspath.ASN(900)
+	rk, err := GenerateRingKey(outsider)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.dir.Register(outsider, rk.Public())
+	badRing, _ := CanonicalRing(append([]aspath.ASN{outsider}, ring[:1]...))
+	badSig, err := p.Sign(badRing, rk, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CheckAnon(e.pfxs[0], badRing, msg, badSig) == nil {
+		t.Fatal("ring with non-provider accepted")
+	}
+	// Too-small ring.
+	if p.CheckAnon(e.pfxs[0], ring[:1], msg, sig) == nil {
+		t.Fatal("1-ring accepted")
+	}
+	// Signature over a different ring.
+	sub, _ := CanonicalRing(ring[:2])
+	if p.CheckAnon(e.pfxs[0], sub, msg, sig) == nil {
+		t.Fatal("signature accepted over a different ring")
+	}
+}
+
+func TestVectorViewVerifiesAndCaches(t *testing.T) {
+	e := newEnv(t, 3, 2)
+	p := e.plane(t)
+	vv, sc, err := p.VectorView(e.pfxs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Verify(e.reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.VerifyAuditorProof(sc, vv); err != nil {
+		t.Fatal(err)
+	}
+	vv2, _, err := p.VectorView(e.pfxs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vv2 != vv {
+		t.Fatal("vector proof not cached per (epoch, window, prefix)")
+	}
+	// A proof transplanted onto another prefix's seal must fail: the
+	// Fiat–Shamir context binds prover, epoch, window, prefix, and root.
+	_, sc2, err := p.VectorView(e.pfxs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.VerifyAuditorProof(sc2, vv) == nil {
+		t.Fatal("proof transplanted across prefixes verified")
+	}
+	// Tampered commitment vector must fail the digest check.
+	mut := &VectorView{Commitments: append(vv.Commitments[:0:0], vv.Commitments...), Proof: vv.Proof}
+	mut.Commitments[0], mut.Commitments[1] = mut.Commitments[1], mut.Commitments[0]
+	if p.VerifyAuditorProof(sc, mut) == nil {
+		t.Fatal("reordered commitment vector verified")
+	}
+}

@@ -25,7 +25,9 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"errors"
+	"hash"
 	"math/big"
+	"sync"
 )
 
 // Errors returned by signing and verification.
@@ -102,21 +104,47 @@ func (r *Ring) invert(i int, priv *rsa.PrivateKey, y *big.Int) *big.Int {
 // pseudorandom permutation when the round function is pseudorandom.
 const feistelRounds = 4
 
+// feistelScratch is the per-permutation working set: one reusable SHA-256
+// state, a digest buffer Sum appends into without allocating, and the
+// half-block XOR buffer. Pooled so the Feistel rounds — which run
+// 4 × ring-size times per sign or verify, each expanding ~a thousand
+// counter-mode blocks — allocate nothing per round. Ring itself stays
+// stateless and safe for concurrent use; the pool is package-global.
+type feistelScratch struct {
+	h   hash.Hash
+	sum [sha256.Size]byte
+	tmp []byte
+}
+
+var feistelPool = sync.Pool{
+	New: func() any { return &feistelScratch{h: sha256.New()} },
+}
+
+func getScratch(half int) *feistelScratch {
+	sc := feistelPool.Get().(*feistelScratch)
+	if cap(sc.tmp) < half {
+		sc.tmp = make([]byte, half)
+	}
+	sc.tmp = sc.tmp[:half]
+	return sc
+}
+
 // roundF expands a SHA-256 PRF keyed by (key, ring position, round) over
-// the half-block src into dst (counter-mode expansion).
-func roundF(key [32]byte, pos, round int, src, dst []byte) {
+// the half-block src into dst (counter-mode expansion), using sc's hash
+// state and digest buffer instead of allocating per block.
+func roundF(sc *feistelScratch, key [32]byte, pos, round int, src, dst []byte) {
 	var ctr uint32
 	off := 0
 	for off < len(dst) {
-		h := sha256.New()
-		h.Write(key[:])
+		sc.h.Reset()
+		sc.h.Write(key[:])
 		var hdr [12]byte
 		binary.BigEndian.PutUint32(hdr[0:], uint32(pos))
 		binary.BigEndian.PutUint32(hdr[4:], uint32(round))
 		binary.BigEndian.PutUint32(hdr[8:], ctr)
-		h.Write(hdr[:])
-		h.Write(src)
-		off += copy(dst[off:], h.Sum(nil))
+		sc.h.Write(hdr[:])
+		sc.h.Write(src)
+		off += copy(dst[off:], sc.h.Sum(sc.sum[:0]))
 		ctr++
 	}
 }
@@ -129,34 +157,36 @@ func roundF(key [32]byte, pos, round int, src, dst []byte) {
 func (r *Ring) encrypt(key [32]byte, i int, buf []byte) {
 	half := len(buf) / 2
 	a, b := buf[:half], buf[half:]
-	tmp := make([]byte, half)
+	sc := getScratch(half)
 	for round := 0; round < feistelRounds; round++ {
 		dst, src := a, b
 		if round%2 == 1 {
 			dst, src = b, a
 		}
-		roundF(key, i, round, src, tmp)
+		roundF(sc, key, i, round, src, sc.tmp)
 		for j := range dst {
-			dst[j] ^= tmp[j]
+			dst[j] ^= sc.tmp[j]
 		}
 	}
+	feistelPool.Put(sc)
 }
 
 // decrypt inverts encrypt in place.
 func (r *Ring) decrypt(key [32]byte, i int, buf []byte) {
 	half := len(buf) / 2
 	a, b := buf[:half], buf[half:]
-	tmp := make([]byte, half)
+	sc := getScratch(half)
 	for round := feistelRounds - 1; round >= 0; round-- {
 		dst, src := a, b
 		if round%2 == 1 {
 			dst, src = b, a
 		}
-		roundF(key, i, round, src, tmp)
+		roundF(sc, key, i, round, src, sc.tmp)
 		for j := range dst {
-			dst[j] ^= tmp[j]
+			dst[j] ^= sc.tmp[j]
 		}
 	}
+	feistelPool.Put(sc)
 }
 
 // bytesOf left-pads x to the domain width.

@@ -3,30 +3,28 @@ package ringsig
 import (
 	"crypto/rand"
 	"crypto/rsa"
+	"fmt"
 	"sync"
 	"testing"
 )
 
-// Test keys are expensive; generate a pool once.
+// Test keys are expensive; generate them once and grow the pool on demand
+// (the sign/verify benchmark sweeps ring sizes up to 32).
 var (
-	poolOnce sync.Once
-	pool     []*rsa.PrivateKey
+	poolMu sync.Mutex
+	pool   []*rsa.PrivateKey
 )
 
 func keys(t testing.TB, n int) []*rsa.PrivateKey {
 	t.Helper()
-	poolOnce.Do(func() {
-		pool = make([]*rsa.PrivateKey, 8)
-		for i := range pool {
-			k, err := rsa.GenerateKey(rand.Reader, 1024)
-			if err != nil {
-				t.Fatal(err)
-			}
-			pool[i] = k
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	for len(pool) < n {
+		k, err := rsa.GenerateKey(rand.Reader, 1024)
+		if err != nil {
+			t.Fatal(err)
 		}
-	})
-	if n > len(pool) {
-		t.Fatalf("need %d keys, pool has %d", n, len(pool))
+		pool = append(pool, k)
 	}
 	return pool[:n]
 }
@@ -173,6 +171,38 @@ func TestSignatureSize(t *testing.T) {
 	}
 	if r.Size() != 3 {
 		t.Errorf("Size = %d", r.Size())
+	}
+}
+
+// BenchmarkRingSignVerify sweeps ring sizes 2–32, reporting sign and
+// verify cost and the signature size at each k — the anonymity-set cost
+// curve the privacy plane trades against (k-anonymity = ring size).
+func BenchmarkRingSignVerify(b *testing.B) {
+	for _, k := range []int{2, 4, 8, 16, 32} {
+		ks := keys(b, k)
+		r := ringOf(b, ks)
+		msg := []byte("a route exists")
+		b.Run(fmt.Sprintf("sign/k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ReportMetric(float64(r.SignatureSize()), "sig-bytes")
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Sign(msg, ks[i%k]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		sig, err := r.Sign(msg, ks[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("verify/k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := r.Verify(msg, sig); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,123 @@
+package zkp
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestVectorProofRoundTrip(t *testing.T) {
+	for _, bits := range [][]bool{
+		{false, false, true, true},
+		{true, true, true},
+		{false, false, false},
+		{false, true},
+	} {
+		cs, os := commitVector(t, bits)
+		ctx := []byte("test-ctx")
+		vp, err := ProveVector(cs, os, ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyVector(cs, vp, ctx); err != nil {
+			t.Fatalf("bits %v: %v", bits, err)
+		}
+		// Wrong context must fail: the proof is bound to its seal.
+		if err := VerifyVector(cs, vp, []byte("other-ctx")); err == nil {
+			t.Fatalf("bits %v: proof verified under wrong context", bits)
+		}
+	}
+}
+
+func TestVectorProofRejectsNonMonotone(t *testing.T) {
+	// 1,0 is not monotone: the diff commitment hides -1, which is neither
+	// 0 nor 1, so the prover cannot produce a passing diff proof. Simulate
+	// a cheater by proving each vector position honestly but lying in the
+	// diff opening.
+	cs, os := commitVector(t, []bool{true, false})
+	ctx := []byte("ctx")
+	vp, err := ProveVector(cs, os, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyVector(cs, vp, ctx); err == nil {
+		t.Fatal("non-monotone vector verified")
+	}
+}
+
+func TestVectorProofHidesMin(t *testing.T) {
+	// Two vectors with different minima must produce proofs of identical
+	// shape and size — the proof leaks nothing about where the first 1 is.
+	csA, osA := commitVector(t, []bool{false, false, true, true})
+	csB, osB := commitVector(t, []bool{true, true, true, true})
+	pa, err := ProveVector(csA, osA, []byte("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := ProveVector(csB, osB, []byte("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.Size() != pb.Size() {
+		t.Fatalf("proof size leaks the minimum: %d != %d", pa.Size(), pb.Size())
+	}
+	ba, _ := pa.MarshalBinary()
+	bb, _ := pb.MarshalBinary()
+	if len(ba) != len(bb) {
+		t.Fatalf("serialized size leaks the minimum: %d != %d", len(ba), len(bb))
+	}
+}
+
+func TestVectorProofSerialization(t *testing.T) {
+	cs, os := commitVector(t, []bool{false, true, true})
+	ctx := []byte("wire")
+	vp, err := ProveVector(cs, os, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := vp.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != vp.Size() {
+		t.Fatalf("Size()=%d but encoding is %d bytes", vp.Size(), len(b))
+	}
+	var rt VectorProof
+	if err := rt.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyVector(cs, &rt, ctx); err != nil {
+		t.Fatalf("round-tripped proof does not verify: %v", err)
+	}
+	b2, err := rt.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Fatal("proof encoding is not canonical")
+	}
+	// Truncations and length lies must error, never panic.
+	for cut := 0; cut < len(b); cut += ElemSize / 2 {
+		var bad VectorProof
+		if err := bad.UnmarshalBinary(b[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded", cut)
+		}
+	}
+}
+
+func TestCommitmentVectorSerialization(t *testing.T) {
+	cs, _ := commitVector(t, []bool{false, true, true, true})
+	b := MarshalCommitments(cs)
+	rt, err := UnmarshalCommitments(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(MarshalCommitments(rt), b) {
+		t.Fatal("commitment encoding is not canonical")
+	}
+	if DigestCommitments(rt) != DigestCommitments(cs) {
+		t.Fatal("digest changed across round trip")
+	}
+	if _, err := UnmarshalCommitments(b[:len(b)-1]); err == nil {
+		t.Fatal("short commitment vector decoded")
+	}
+}

@@ -46,6 +46,10 @@ type participantConfig struct {
 	discloseListen string
 	promisees      []ASN
 
+	zkBind  bool
+	ringKey *RingKey
+	ringDir *RingDirectory
+
 	logf func(format string, args ...any)
 }
 
@@ -274,6 +278,45 @@ func WithPromisees(asns ...ASN) Option {
 			}
 		}
 		c.promisees = append(c.promisees, asns...)
+		return nil
+	}
+}
+
+// WithZKDisclosure makes the engine bind a Pedersen commitment vector
+// into every shard-seal leaf, enabling zero-knowledge third-party
+// openings: auditors query with RoleAuditor and receive a proof that the
+// sealed promise holds — the bit vector is well-formed and monotone —
+// without any bit being opened. Costs one Pedersen commitment per vector
+// element at seal time.
+func WithZKDisclosure() Option {
+	return func(c *participantConfig) error { c.zkBind = true; return nil }
+}
+
+// WithRingKey supplies the participant's ring-signing identity (a
+// dedicated RSA key, separate from the Ed25519 protocol key) and registers
+// it in the ring directory. Required for issuing anonymous provider
+// queries; see GenerateRingKey.
+func WithRingKey(k *RingKey) Option {
+	return func(c *participantConfig) error {
+		if k == nil {
+			return errConfigf("option", "RingKey must be non-nil")
+		}
+		c.ringKey = k
+		return nil
+	}
+}
+
+// WithRingDirectory shares a ring-key directory across participants (the
+// ring-signature analogue of WithRegistry): servers resolve ring members'
+// public keys from it when checking anonymous queries, and clients build
+// rings from it when signing. Default: a private empty directory, which
+// can be populated via Participant.RingDirectory.
+func WithRingDirectory(d *RingDirectory) Option {
+	return func(c *participantConfig) error {
+		if d == nil {
+			return errConfigf("option", "RingDirectory must be non-nil")
+		}
+		c.ringDir = d
 		return nil
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"pvr/internal/obs"
 	"pvr/internal/obs/fleet"
 	"pvr/internal/prefix"
+	"pvr/internal/privplane"
 	"pvr/internal/route"
 	"pvr/internal/sigs"
 	"pvr/internal/trace"
@@ -58,6 +59,15 @@ type Participant struct {
 	plane   *UpdatePlane
 	auditor *Auditor
 	ledger  *Ledger
+
+	// priv is the participant's privacy plane: ring-signature checking for
+	// anonymous provider queries it serves, ring signing for anonymous
+	// queries it issues, and zero-knowledge vector proofs when the engine
+	// seals with WithZKDisclosure. Always built (its metric families are
+	// part of the participant's observability surface); ringKey is nil
+	// unless WithRingKey was given.
+	priv    *privplane.Plane
+	ringKey *privplane.RingKey
 
 	bgpLis     Listener
 	gossipLis  Listener
@@ -176,6 +186,7 @@ func Open(ctx context.Context, opts ...Option) (*Participant, error) {
 	// registry is not poisoned for the retry.
 	for _, step := range []func() error{
 		p.buildEngine,
+		p.buildPriv,
 		p.buildAuditor,
 		p.buildPlane,
 		p.bind,
@@ -199,7 +210,8 @@ func (p *Participant) buildEngine() error {
 	eng, err := engine.New(engine.Config{
 		ASN: p.asn, Signer: p.signer, Registry: p.reg,
 		Shards: p.cfg.shards, MaxLen: p.cfg.maxLen, Workers: p.cfg.workers,
-		Obs: p.obsReg, Tracer: p.tracer,
+		ZKBind: p.cfg.zkBind,
+		Obs:    p.obsReg, Tracer: p.tracer,
 	})
 	if err != nil {
 		return wrapErr("open", err)
@@ -232,6 +244,31 @@ func (p *Participant) buildEngine() error {
 	if _, err := eng.SealEpoch(); err != nil {
 		return wrapErr("open", err)
 	}
+	return nil
+}
+
+// buildPriv stands up the privacy plane over the engine: the ring-key
+// directory (shared via WithRingDirectory or private), the participant's
+// own ring key registered into it when configured, and the pvr_priv_*
+// metric families — which register unconditionally, like every other
+// subsystem's.
+func (p *Participant) buildPriv() error {
+	dir := p.cfg.ringDir
+	if dir == nil {
+		dir = privplane.NewDirectory()
+	}
+	if p.cfg.ringKey != nil {
+		if p.cfg.ringKey.ASN() != p.asn {
+			return errConfigf("open", "ring key belongs to %s, participant is %s", p.cfg.ringKey.ASN(), p.asn)
+		}
+		p.ringKey = p.cfg.ringKey
+		dir.Register(p.asn, p.ringKey.Public())
+	}
+	priv, err := privplane.New(privplane.Config{Engine: p.eng, Dir: dir, Obs: p.obsReg})
+	if err != nil {
+		return wrapErr("open", err)
+	}
+	p.priv = priv
 	return nil
 }
 
@@ -406,6 +443,7 @@ func (p *Participant) bind() error {
 			Registry:   p.reg,
 			IsPromisee: func(a aspath.ASN) bool { return promisees[a] },
 			Key:        p.keyBytes,
+			Priv:       p.priv,
 			Logf:       p.cfg.logf,
 			Obs:        p.obsReg,
 			Tracer:     p.tracer,
@@ -924,6 +962,12 @@ func (p *Participant) Engine() *Engine { return p.eng }
 // Auditor exposes the audit-network node (statement ingest, convictions,
 // evidence).
 func (p *Participant) Auditor() *Auditor { return p.auditor }
+
+// RingDirectory exposes the participant's ring-key directory: register
+// peers' ring keys here (RingKey.PublicBytes over whatever out-of-band
+// channel distributes Ed25519 keys) so anonymous queries can be signed
+// and checked against them.
+func (p *Participant) RingDirectory() *RingDirectory { return p.priv.Dir() }
 
 // Addr returns the bound BGP listen address ("" when not listening).
 func (p *Participant) Addr() string {

@@ -19,6 +19,19 @@
 #      bucket. Latency depends on table size, so this comparison
 #      re-runs at the baseline's own steady-state prefix count.
 #
+# It then re-runs the E17 privacy-plane experiment against the
+# BENCH_priv.json baseline (skipped with a warning when that baseline or
+# its columns don't exist yet):
+#
+#   3. proof size (proof_size_bytes, the ZK vector proof an auditor
+#      downloads) — more than +10% fails. The proof is a wire-format
+#      property, deterministic for a given bit-vector length, so growth
+#      means the encoding itself got fatter.
+#   4. ring-verify p50 (ring_verify_p50_us, the server-side cost of
+#      checking one anonymous query's ring signature) — more than +25%
+#      fails, with the same best-of-3 retry as the seal gate since it is
+#      a bucketed wall-clock quantile.
+#
 # Usage: scripts/benchgate.sh [baseline.json]
 set -eu
 
@@ -80,5 +93,59 @@ else
         go run ./cmd/pvrbench -e engine -prefixes "$base_prefixes" -json "$tmp" >/dev/null
         cur_sealp99="$(jq '(if type=="object" then .rows else . end) | max_by(.prefixes).seal_p99_ms' "$tmp")"
     done
+fi
+
+# Gates 3 & 4 — the privacy plane, against the BENCH_priv.json baseline.
+# The comparison row is the baseline's largest ring (steady-state), and
+# the re-run is pinned to that row's own prefix count and ring size.
+priv_baseline="BENCH_priv.json"
+priv_rows='(if type=="object" then .rows else . end) | max_by(.ring_k)'
+if [ ! -f "$priv_baseline" ]; then
+    echo "benchgate: WARN — baseline $priv_baseline not found; privacy-plane gates skipped" >&2
+    echo "benchgate: generate it with: make bench" >&2
+else
+    base_proof="$(jq "$priv_rows.proof_size_bytes" "$priv_baseline")"
+    base_ringver="$(jq "$priv_rows.ring_verify_p50_us" "$priv_baseline")"
+    base_ringk="$(jq "$priv_rows.ring_k" "$priv_baseline")"
+    base_privpfx="$(jq "$priv_rows.prefixes" "$priv_baseline")"
+    if [ -z "$base_proof" ] || [ "$base_proof" = "null" ]; then
+        echo "benchgate: WARN — baseline $priv_baseline has no proof_size_bytes column; privacy-plane gates skipped" >&2
+        echo "benchgate: refresh it with: make bench" >&2
+    else
+        go run ./cmd/pvrbench -e priv -prefixes "$base_privpfx" -ring "$base_ringk" -json "$tmp" >/dev/null
+        cur_proof="$(jq "$priv_rows.proof_size_bytes" "$tmp")"
+        cur_ringver="$(jq "$priv_rows.ring_verify_p50_us" "$tmp")"
+
+        # Gate 3 — proof size, integer threshold: fail when cur > base * 1.10.
+        limit=$(( base_proof * 110 / 100 ))
+        echo "benchgate: auditor proof size (bytes): baseline ${base_proof}, current ${cur_proof}, limit ${limit} (+10%)"
+        if [ "$cur_proof" -gt "$limit" ]; then
+            echo "benchgate: FAIL — ZK proof size grew by more than 10%" >&2
+            echo "benchgate: if the growth is intentional, refresh the baseline with: make bench" >&2
+            exit 1
+        fi
+
+        # Gate 4 — ring-verify p50, float threshold with best-of-3 retry.
+        if [ -z "$base_ringver" ] || [ "$base_ringver" = "null" ]; then
+            echo "benchgate: WARN — baseline has no ring_verify_p50_us column; ring-verify gate skipped" >&2
+        else
+            attempt=1
+            while :; do
+                echo "benchgate: ring verify p50 (us): baseline ${base_ringver}, current ${cur_ringver}, limit +25% (attempt ${attempt}/3)"
+                if awk -v base="$base_ringver" -v cur="$cur_ringver" \
+                    'BEGIN { exit !(base > 0 && cur <= base * 1.25) }'; then
+                    break
+                fi
+                if [ "$attempt" -ge 3 ]; then
+                    echo "benchgate: FAIL — ring-verify p50 regressed by more than 25% in 3 runs (or baseline is zero)" >&2
+                    echo "benchgate: if the slowdown is intentional, refresh the baseline with: make bench" >&2
+                    exit 1
+                fi
+                attempt=$(( attempt + 1 ))
+                go run ./cmd/pvrbench -e priv -prefixes "$base_privpfx" -ring "$base_ringk" -json "$tmp" >/dev/null
+                cur_ringver="$(jq "$priv_rows.ring_verify_p50_us" "$tmp")"
+            done
+        fi
+    fi
 fi
 echo "benchgate: OK"

@@ -86,7 +86,11 @@ if [ "$families" -lt 25 ]; then
     exit 1
 fi
 
-# One family per plane, plus the participant's own counters.
+# One family per plane, plus the participant's own counters. The
+# pvr_priv_* families are the privacy plane's: registered whenever a
+# participant boots (ring-signed anonymous queries and ZK openings are
+# always servable), so a daemon that drops the plane's Obs plumbing
+# loses them from the scrape and fails here.
 for family in \
     pvr_engine_seals_total \
     pvr_upd_events_total \
@@ -95,7 +99,14 @@ for family in \
     pvr_netx_frames_out_total \
     pvr_bgp_sessions \
     pvr_routes_verified_total \
-    pvr_engine_shard_seal_seconds_bucket
+    pvr_engine_shard_seal_seconds_bucket \
+    pvr_priv_ring_signs_total \
+    pvr_priv_ring_verifies_total \
+    pvr_priv_anon_queries_total \
+    pvr_priv_proofs_built_total \
+    pvr_priv_proof_verifies_total \
+    pvr_priv_ring_verify_seconds_bucket \
+    pvr_priv_proof_gen_seconds_bucket
 do
     if ! printf '%s\n' "$metrics" | grep -q "^$family"; then
         echo "metricsmoke: FAIL — family $family missing from /metrics" >&2

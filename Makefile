@@ -25,7 +25,8 @@ fmt:
 # BENCH_gossip.json (E11 audit-gossip rows), BENCH_stream.json (E12
 # update-plane churn rows), BENCH_query.json (E13 disclosure query-plane
 # rows), BENCH_trace.json (E16 distributed-tracing rows), and
-# BENCH_priv.json (E17 privacy-plane rows), consumed by the perf
+# BENCH_priv.json (E17 privacy-plane rows), and BENCH_store.json (E18
+# durable-store rows), consumed by the perf
 # trajectory, plus the printed tables on stdout. Each file carries a
 # "meta" envelope recording the run's toolchain and commit.
 bench:
@@ -35,6 +36,7 @@ bench:
 	$(GO) run ./cmd/pvrbench -e query -json BENCH_query.json
 	$(GO) run ./cmd/pvrbench -e trace -json BENCH_trace.json
 	$(GO) run ./cmd/pvrbench -e priv -json BENCH_priv.json
+	$(GO) run ./cmd/pvrbench -e store -json BENCH_store.json
 
 # bench-smoke runs the experiment harnesses at tiny sizes and fails if
 # any JSON output comes back empty — catches benchmark-harness rot in
@@ -46,6 +48,7 @@ bench-smoke:
 	$(GO) run ./cmd/pvrbench -e query -prefixes 64 -json BENCH_query.json
 	$(GO) run ./cmd/pvrbench -e trace -nodes 50 -json BENCH_trace.json
 	$(GO) run ./cmd/pvrbench -e priv -prefixes 6 -json BENCH_priv.json
+	$(GO) run ./cmd/pvrbench -e store -appenders 8 -json BENCH_store.json
 	grep -q '"prefixes"' BENCH_engine.json
 	grep -q '"nodes"' BENCH_gossip.json
 	grep -q '"updates_per_sec"' BENCH_stream.json
@@ -55,6 +58,8 @@ bench-smoke:
 	grep -q '"fleet_stitched"' BENCH_trace.json
 	grep -q '"proof_size_bytes"' BENCH_priv.json
 	grep -q '"ring_verify_p50_us"' BENCH_priv.json
+	grep -q '"speedup"' BENCH_store.json
+	grep -q '"recovery_ms"' BENCH_store.json
 
 # benchgate re-runs the engine epoch at a small size and fails when its
 # allocs/op regresses more than 15% — or its shard-seal p99 more than
@@ -84,4 +89,4 @@ examples:
 	$(GO) build ./examples/...
 
 clean:
-	rm -f BENCH_engine.json BENCH_gossip.json BENCH_stream.json BENCH_query.json BENCH_trace.json BENCH_priv.json
+	rm -f BENCH_engine.json BENCH_gossip.json BENCH_stream.json BENCH_query.json BENCH_trace.json BENCH_priv.json BENCH_store.json

@@ -18,6 +18,7 @@
 //	pvrbench -e query        # E13: disclosure query plane (discplane)
 //	pvrbench -e trace        # E16: distributed tracing across the fleet (netsim)
 //	pvrbench -e priv         # E17: privacy plane — anonymous queries + ZK openings
+//	pvrbench -e store        # E18: durable store — group-commit WAL + crash matrix
 //
 // With -json FILE, the engine experiment (or, when selected directly, the
 // gossip, stream, query, trace, or priv experiment) additionally writes its
@@ -35,12 +36,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("e", "all", "experiment: all|fig1|fig2|smc|zkp|crypto|batch|properties|e2e|ring|engine|gossip|stream|query|trace|priv")
+	exp := flag.String("e", "all", "experiment: all|fig1|fig2|smc|zkp|crypto|batch|properties|e2e|ring|engine|gossip|stream|query|trace|priv|store")
 	seed := flag.Int64("seed", 1, "random seed for workloads")
 	flag.StringVar(&jsonOut, "json", "", "write the engine (or gossip, when selected) rows to this JSON file")
 	flag.IntVar(&benchPrefixes, "prefixes", 0, "override the E10 prefix-table sweep with one size")
 	flag.IntVar(&gossipNodes, "nodes", 0, "override the E11/E16 network-size sweeps with one size")
 	flag.IntVar(&privRing, "ring", 0, "override the E17 ring-size sweep with one size")
+	flag.IntVar(&storeAppenders, "appenders", 0, "override the E18 appender sweep with one count")
 	flag.Parse()
 	jsonExp = *exp
 
@@ -60,8 +62,9 @@ func main() {
 		"query":      runQuery,
 		"trace":      runTrace,
 		"priv":       runPriv,
+		"store":      runStore,
 	}
-	order := []string{"fig1", "fig2", "smc", "zkp", "crypto", "batch", "properties", "e2e", "ring", "engine", "gossip", "stream", "query", "trace", "priv"}
+	order := []string{"fig1", "fig2", "smc", "zkp", "crypto", "batch", "properties", "e2e", "ring", "engine", "gossip", "stream", "query", "trace", "priv", "store"}
 
 	var selected []string
 	if *exp == "all" {

@@ -17,7 +17,11 @@
 // through the streaming update plane: each -window only the dirty shards
 // re-seal and the changed prefixes re-advertise to every live session.
 // -gossip-listen / -gossip-peers / -gossip-every / -ledger join the audit
-// network; routes from a convicted origin are rejected.
+// network; routes from a convicted origin are rejected. With -store DIR
+// the daemon persists its durable state (sealed window sequence,
+// trust-on-first-use key pins, disclosure-nonce marks, and — absent
+// -ledger — the evidence ledger) under DIR and recovers it on restart,
+// resuming the window sequence past everything it ever published.
 //
 // With -disclose-listen the daemon additionally serves the α-gated
 // disclosure query plane: remote providers, promisees (declared with
@@ -42,7 +46,9 @@
 // standard /debug/pprof profiles.
 //
 // pvrd shuts down cleanly on SIGINT/SIGTERM: sessions close with CEASE,
-// the update plane seals its final window, and the ledger is flushed.
+// the update plane seals its final window, the ledger is flushed, and
+// -store takes a final checkpoint — a clean stop never needs WAL replay
+// on the next boot.
 // The heavy lifting all lives in pvr.Participant — this file only maps
 // flags onto functional options.
 package main
@@ -82,6 +88,7 @@ func main() {
 	gossipPeers := flag.String("gossip-peers", "", "comma-separated audit peers to reconcile with periodically")
 	gossipEvery := flag.Duration("gossip-every", 2*time.Second, "anti-entropy round interval")
 	ledger := flag.String("ledger", "", "persistent evidence ledger file (audit convictions survive restarts)")
+	storeDir := flag.String("store", "", "durable state directory (WAL + snapshots; sealed windows, key pins, and nonce marks survive restarts)")
 	discloseListen := flag.String("disclose-listen", "", "serve the α-gated disclosure query plane on this address")
 	promisees := flag.String("promisees", "", "comma-separated ASNs entitled to promisee views under α")
 	debugListen := flag.String("debug-listen", "", "serve /metrics, /trace, and /debug/pprof on this HTTP address")
@@ -126,6 +133,9 @@ func main() {
 	}
 	if *ledger != "" {
 		opts = append(opts, pvr.WithLedger(*ledger))
+	}
+	if *storeDir != "" {
+		opts = append(opts, pvr.WithStore(*storeDir))
 	}
 	if *discloseListen != "" {
 		opts = append(opts, pvr.WithDiscloseListen(*discloseListen))

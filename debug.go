@@ -12,6 +12,7 @@ import (
 	"pvr/internal/netx"
 	"pvr/internal/obs"
 	"pvr/internal/obs/fleet"
+	"pvr/internal/store"
 )
 
 // TraceEvent is one entry of the participant's epoch-trace ring: a typed
@@ -55,6 +56,9 @@ func (p *Participant) initObs() {
 	p.tracer = obs.NewTracer(traceRingSize)
 	p.history = fleet.NewHistory(historyRingSize)
 	p.bgpMet = bgp.NewMetrics(p.obsReg)
+	// The pvr_store_* families register unconditionally like every other
+	// plane's; the state store and the evidence ledger share this set.
+	p.storeMet = store.NewMetrics(p.obsReg)
 	p.verified = obs.NewCounter(p.obsReg, "pvr_routes_verified_total", "learned routes whose sealed commitment chain verified")
 	p.rejected = obs.NewCounter(p.obsReg, "pvr_routes_rejected_total", "learned routes rejected (verification failure or convicted peer)")
 	p.sessionsOpened = obs.NewCounter(p.obsReg, "pvr_sessions_opened_total", "BGP sessions ever admitted, both directions")

@@ -1,6 +1,7 @@
 package auditnet
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -11,29 +12,33 @@ import (
 	"pvr/internal/aspath"
 	"pvr/internal/gossip"
 	"pvr/internal/netx"
+	"pvr/internal/store"
 )
 
 // Ledger is the persistent append-only evidence log: every confirmed
-// equivocation, framed with the same explicit binary encoding the wire
-// uses, fsync'd on append. Nothing in the ledger is trusted on read —
-// OpenLedger returns the raw records and the Auditor re-verifies every
-// signature and re-runs the judge during replay, so a tampered ledger
-// fails loudly instead of minting convictions.
+// equivocation, encoded with the same explicit binary layout the wire
+// uses, appended to a group-commit write-ahead log (one fsync covers
+// every record that queued behind it). Nothing in the ledger is trusted
+// on read — OpenLedger returns the raw records and the Auditor
+// re-verifies every signature and re-runs the judge during replay, so a
+// tampered ledger fails loudly instead of minting convictions.
 type Ledger struct {
-	mu   sync.Mutex
-	f    *os.File
+	log  *store.Log
 	path string
-	met  *auditMetrics // detached handles until an Auditor instruments us
+
+	mu  sync.Mutex
+	met *auditMetrics // detached handles until an Auditor instruments us
 }
 
-// Ledger record frame types.
+// Ledger record frame types. recMagic only appears in legacy v1
+// single-file ledgers (the WAL's segment header versions the new
+// format); recConflict is the evidence record in both.
 const (
 	recMagic    uint8 = 0x01
 	recConflict uint8 = 0x02
 )
 
-// ledgerMagic is the first record of every ledger file; it versions the
-// format.
+// ledgerMagic is the first record of a legacy v1 ledger file.
 const ledgerMagic = "pvr/auditnet-ledger/v1"
 
 // LedgerRecord is one replayed evidence entry.
@@ -48,162 +53,175 @@ type LedgerRecord struct {
 // ErrLedgerCorrupt is wrapped by replay failures.
 var ErrLedgerCorrupt = errors.New("auditnet: ledger corrupt")
 
-// OpenLedger opens (creating if needed) the ledger at path and replays its
-// records. A torn final record — the crash-during-append case — is
-// truncated away; any other malformed framing fails with ErrLedgerCorrupt.
-// Record *contents* are not verified here; the Auditor does that, with
-// keys, during its replay.
+// OpenLedger opens (creating if needed) the ledger rooted at path — a
+// directory of WAL segments — and replays its records. A torn final
+// record (the crash-during-append case) is dropped; any other malformed
+// framing fails with ErrLedgerCorrupt. Record *contents* are not
+// verified here; the Auditor does that, with keys, during its replay.
+//
+// A regular file at path is a legacy v1 single-file ledger: its records
+// are migrated into the WAL and the file is kept beside it as
+// path+".v1".
 func OpenLedger(path string) (*Ledger, []LedgerRecord, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenLedgerAt(path, store.Options{})
+}
+
+// OpenLedgerAt is OpenLedger with explicit WAL options (group-commit
+// cadence, metrics).
+func OpenLedgerAt(path string, opt store.Options) (*Ledger, []LedgerRecord, error) {
+	migrated, err := readLegacy(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := store.NewFileBackend(path)
 	if err != nil {
 		return nil, nil, fmt.Errorf("auditnet: open ledger: %w", err)
 	}
-	l := &Ledger{f: f, path: path}
-	recs, goodOffset, err := l.replay()
+	return openLedger(b, opt, path, migrated)
+}
+
+// OpenLedgerBackend opens the ledger on an arbitrary store backend (a
+// Participant's shared durable store, a netsim Mem, a fault injector).
+func OpenLedgerBackend(b store.Backend, opt store.Options) (*Ledger, []LedgerRecord, error) {
+	return openLedger(b, opt, "", nil)
+}
+
+func openLedger(b store.Backend, opt store.Options, path string, migrated [][]byte) (*Ledger, []LedgerRecord, error) {
+	log, rec, err := store.OpenLog(b, opt)
 	if err != nil {
-		f.Close()
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("%w: %v", ErrLedgerCorrupt, err)
 	}
-	// Drop a torn tail so the next append starts on a frame boundary.
-	if err := f.Truncate(goodOffset); err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("auditnet: truncate ledger: %w", err)
+	var recs []LedgerRecord
+	for _, r := range rec.Records {
+		lr, err := decodeLedgerRecord(r)
+		if err != nil {
+			log.Close()
+			return nil, nil, err
+		}
+		recs = append(recs, lr)
 	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
-		f.Close()
-		return nil, nil, err
+	l := &Ledger{log: log, path: path}
+	// Re-home legacy records into the WAL before anything else lands.
+	for _, payload := range migrated {
+		lr, err := decodeLedgerRecord(store.Record{Type: recConflict, Data: payload})
+		if err != nil {
+			log.Close()
+			return nil, nil, err
+		}
+		if err := log.Append(recConflict, payload); err != nil {
+			log.Close()
+			return nil, nil, fmt.Errorf("auditnet: migrate ledger: %w", err)
+		}
+		recs = append(recs, lr)
 	}
 	return l, recs, nil
 }
 
-func (l *Ledger) replay() ([]LedgerRecord, int64, error) {
-	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
-		return nil, 0, err
+func decodeLedgerRecord(r store.Record) (LedgerRecord, error) {
+	if r.Type != recConflict {
+		return LedgerRecord{}, fmt.Errorf("%w: unknown record type %#x", ErrLedgerCorrupt, r.Type)
 	}
-	info, err := l.f.Stat()
+	pr := &netx.PayloadReader{B: r.Data}
+	accuser, err := pr.U32()
 	if err != nil {
-		return nil, 0, err
+		return LedgerRecord{}, fmt.Errorf("%w: conflict record: %v", ErrLedgerCorrupt, err)
 	}
-	if info.Size() == 0 {
-		// Fresh ledger: write the magic record.
-		if err := l.appendFrame(netx.Frame{Type: recMagic, Payload: []byte(ledgerMagic)}); err != nil {
-			return nil, 0, err
-		}
-		return nil, int64(5 + len(ledgerMagic)), nil
+	c, err := readConflict(pr)
+	if err == nil {
+		err = pr.Done()
 	}
-	cr := &countingReader{r: l.f}
-	first, err := netx.ReadFrame(cr)
+	if err != nil {
+		return LedgerRecord{}, fmt.Errorf("%w: conflict record: %v", ErrLedgerCorrupt, err)
+	}
+	return LedgerRecord{Accuser: aspath.ASN(accuser), Conflict: c}, nil
+}
+
+// readLegacy detects a v1 single-file ledger at path, parses its
+// records, and moves the file aside so a WAL directory can take its
+// place. It returns the raw conflict payloads to re-append.
+func readLegacy(path string) ([][]byte, error) {
+	info, err := os.Stat(path)
+	if err != nil || info.IsDir() {
+		return nil, nil // absent or already a WAL directory
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("auditnet: read legacy ledger: %w", err)
+	}
+	payloads, err := parseLegacy(raw)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.Rename(path, path+".v1"); err != nil {
+		return nil, fmt.Errorf("auditnet: move legacy ledger aside: %w", err)
+	}
+	return payloads, nil
+}
+
+// parseLegacy decodes a v1 ledger image: netx frames, a magic record
+// first, conflict records after, torn tail tolerated. A torn magic
+// (crash during the very first write) reads as an empty ledger.
+func parseLegacy(raw []byte) ([][]byte, error) {
+	rd := bytes.NewReader(raw)
+	first, err := netx.ReadFrame(rd)
 	if errors.Is(err, netx.ErrClosed) || errors.Is(err, io.ErrUnexpectedEOF) {
-		// The initial magic write itself was torn by a crash: no complete
-		// record ever existed, so reset to a fresh ledger rather than
-		// refusing to open.
-		if err := l.f.Truncate(0); err != nil {
-			return nil, 0, err
-		}
-		if _, err := l.f.Seek(0, io.SeekStart); err != nil {
-			return nil, 0, err
-		}
-		if err := l.appendFrame(netx.Frame{Type: recMagic, Payload: []byte(ledgerMagic)}); err != nil {
-			return nil, 0, err
-		}
-		return nil, int64(5 + len(ledgerMagic)), nil
+		return nil, nil
 	}
 	if err != nil || first.Type != recMagic || string(first.Payload) != ledgerMagic {
-		return nil, 0, fmt.Errorf("%w: bad magic", ErrLedgerCorrupt)
+		return nil, fmt.Errorf("%w: bad magic", ErrLedgerCorrupt)
 	}
-	var recs []LedgerRecord
-	good := cr.n
+	var payloads [][]byte
 	for {
-		fr, err := netx.ReadFrame(cr)
+		fr, err := netx.ReadFrame(rd)
 		if errors.Is(err, netx.ErrClosed) || errors.Is(err, io.ErrUnexpectedEOF) {
-			// Clean EOF, or a torn record from a crash mid-append (a short
-			// length read maps to ErrClosed, a short payload read to
-			// ErrUnexpectedEOF); keep what replayed and truncate the tail.
-			return recs, good, nil
+			return payloads, nil // clean EOF or torn tail
 		}
 		if err != nil {
-			return nil, 0, fmt.Errorf("%w: %v", ErrLedgerCorrupt, err)
+			return nil, fmt.Errorf("%w: %v", ErrLedgerCorrupt, err)
 		}
-		switch fr.Type {
-		case recConflict:
-			r := &netx.PayloadReader{B: fr.Payload}
-			accuser, err := r.U32()
-			if err != nil {
-				return nil, 0, fmt.Errorf("%w: conflict record: %v", ErrLedgerCorrupt, err)
-			}
-			c, err := readConflict(r)
-			if err == nil {
-				err = r.Done()
-			}
-			if err != nil {
-				return nil, 0, fmt.Errorf("%w: conflict record: %v", ErrLedgerCorrupt, err)
-			}
-			recs = append(recs, LedgerRecord{Accuser: aspath.ASN(accuser), Conflict: c})
-		default:
-			return nil, 0, fmt.Errorf("%w: unknown record type %#x", ErrLedgerCorrupt, fr.Type)
+		if fr.Type != recConflict {
+			return nil, fmt.Errorf("%w: unknown record type %#x", ErrLedgerCorrupt, fr.Type)
 		}
-		good = cr.n
+		payloads = append(payloads, fr.Payload)
 	}
 }
 
-type countingReader struct {
-	r io.Reader
-	n int64
-}
-
-func (c *countingReader) Read(p []byte) (int, error) {
-	n, err := c.r.Read(p)
-	c.n += int64(n)
-	return n, err
-}
-
-// AppendConflict durably appends one evidence record.
+// AppendConflict durably appends one evidence record: it returns once
+// the record — and every record that shared its group commit — has been
+// fsynced.
 func (l *Ledger) AppendConflict(accuser aspath.ASN, c *gossip.Conflict) error {
 	payload := netx.AppendU32(nil, uint32(accuser))
 	payload = append(payload, EncodeConflict(c)...)
-	return l.appendFrame(netx.Frame{Type: recConflict, Payload: payload})
+	t0 := time.Now()
+	if err := l.log.Append(recConflict, payload); err != nil {
+		if errors.Is(err, store.ErrClosed) {
+			return fmt.Errorf("auditnet: ledger closed")
+		}
+		return fmt.Errorf("auditnet: ledger append: %w", err)
+	}
+	l.mu.Lock()
+	met := l.met
+	l.mu.Unlock()
+	if met != nil {
+		met.ledgerApps.Inc()
+		met.fsyncSec.ObserveSince(t0)
+	}
+	return nil
 }
 
 // instrument points the ledger's append accounting at an auditor's
-// metric set. Called by auditnet.New; appends before that (the replay
-// magic record) go uncounted.
+// metric set. Called by auditnet.New.
 func (l *Ledger) instrument(m *auditMetrics) {
 	l.mu.Lock()
 	l.met = m
 	l.mu.Unlock()
 }
 
-func (l *Ledger) appendFrame(f netx.Frame) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.f == nil {
-		return fmt.Errorf("auditnet: ledger closed")
-	}
-	t0 := time.Now()
-	if err := netx.WriteFrame(l.f, f); err != nil {
-		return err
-	}
-	if err := l.f.Sync(); err != nil {
-		return err
-	}
-	if l.met != nil {
-		l.met.ledgerApps.Inc()
-		l.met.fsyncSec.ObserveSince(t0)
-	}
-	return nil
-}
+// Log exposes the underlying write-ahead log (for stats and tests).
+func (l *Ledger) Log() *store.Log { return l.log }
 
-// Path returns the backing file path.
+// Path returns the backing directory ("" when opened on a backend).
 func (l *Ledger) Path() string { return l.path }
 
-// Close closes the backing file.
-func (l *Ledger) Close() error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.f == nil {
-		return nil
-	}
-	err := l.f.Close()
-	l.f = nil
-	return err
-}
+// Close flushes pending appends and closes the log.
+func (l *Ledger) Close() error { return l.log.Close() }

@@ -2,11 +2,16 @@ package auditnet
 
 import (
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
 	"testing"
 
 	"pvr/internal/gossip"
+	"pvr/internal/netx"
 )
 
 // makeConflict builds judge-ready equivocation evidence: the accused
@@ -27,22 +32,47 @@ func makeConflict(t testing.TB, p *testPKI, topic string) *gossip.Conflict {
 	}
 }
 
-// lastFrame returns the byte range of the final frame in a ledger file
-// (4-byte big-endian length prefix framing, netx.WriteFrame).
-func lastFrame(t *testing.T, b []byte) []byte {
+// newestSegment returns the path of the newest WAL segment in a ledger
+// directory — where a crash-torn or tampered tail would live.
+func newestSegment(t testing.TB, dir string) string {
 	t.Helper()
-	off := 0
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "wal-") && strings.HasSuffix(e.Name(), ".log") {
+			segs = append(segs, e.Name())
+		}
+	}
+	if len(segs) == 0 {
+		t.Fatalf("no WAL segment in %s", dir)
+	}
+	sort.Strings(segs) // fixed-width hex names: lexicographic = numeric
+	return filepath.Join(dir, segs[len(segs)-1])
+}
+
+// lastWALFrame returns the byte range of the final record frame in a WAL
+// segment image (16-byte header, then u32 len | type‖data | u32 CRC).
+func lastWALFrame(t testing.TB, b []byte) []byte {
+	t.Helper()
+	const hdr = 16
+	off := hdr
 	last := -1
-	for off+4 <= len(b) {
+	for off < len(b) {
+		if len(b)-off < 4 {
+			t.Fatalf("torn frame at offset %d", off)
+		}
 		n := int(uint32(b[off])<<24 | uint32(b[off+1])<<16 | uint32(b[off+2])<<8 | uint32(b[off+3]))
-		if off+4+n > len(b) {
+		if off+4+n+4 > len(b) {
 			t.Fatalf("torn frame at offset %d", off)
 		}
 		last = off
-		off += 4 + n
+		off += 4 + n + 4
 	}
 	if last < 0 {
-		t.Fatal("no complete frame in ledger")
+		t.Fatal("no complete frame in segment")
 	}
 	return b[last:off]
 }
@@ -75,13 +105,15 @@ func TestLedgerReplayToleratesDuplicatedTrailingRecord(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Duplicate the trailing record, byte for byte.
-	raw, err := os.ReadFile(path)
+	// Duplicate the trailing record, byte for byte: a valid CRC-framed
+	// copy appended to the newest segment.
+	seg := newestSegment(t, path)
+	raw, err := os.ReadFile(seg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dup := append(raw, lastFrame(t, raw)...)
-	if err := os.WriteFile(path, dup, 0o644); err != nil {
+	dup := append(raw, lastWALFrame(t, raw)...)
+	if err := os.WriteFile(seg, dup, 0o644); err != nil {
 		t.Fatal(err)
 	}
 
@@ -129,13 +161,14 @@ func TestLedgerReplayToleratesTornAndDuplicatedTail(t *testing.T) {
 	}
 	led.Close()
 
-	raw, err := os.ReadFile(path)
+	seg := newestSegment(t, path)
+	raw, err := os.ReadFile(seg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	frame := lastFrame(t, raw)
+	frame := lastWALFrame(t, raw)
 	mangled := append(append(append([]byte(nil), raw...), frame...), frame[:len(frame)/2]...)
-	if err := os.WriteFile(path, mangled, 0o644); err != nil {
+	if err := os.WriteFile(seg, mangled, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	led2, recs, err := OpenLedger(path)
@@ -151,31 +184,166 @@ func TestLedgerReplayToleratesTornAndDuplicatedTail(t *testing.T) {
 	}
 }
 
-// BenchmarkLedgerAppendReplay measures the write path (append+fsync per
-// confirmed conflict) and the recovery path (replay of the whole file).
+// TestLedgerMigratesLegacyV1File: a ledger written by the old
+// single-file format opens transparently — its records land in the WAL,
+// the original file is kept aside as a .v1 backup, and a second open
+// sees only the WAL.
+func TestLedgerMigratesLegacyV1File(t *testing.T) {
+	p := newTestPKI(t, 3)
+	path := filepath.Join(t.TempDir(), "legacy.ledger")
+
+	// Write a v1 image by hand: magic record, then one conflict record.
+	c := makeConflict(t, p, "seal/2/7.1/0")
+	payload := netx.AppendU32(nil, 1) // accuser
+	payload = append(payload, EncodeConflict(c)...)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := netx.WriteFrame(f, netx.Frame{Type: recMagic, Payload: []byte(ledgerMagic)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := netx.WriteFrame(f, netx.Frame{Type: recConflict, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	led, recs, err := OpenLedger(path)
+	if err != nil {
+		t.Fatalf("legacy ledger did not migrate: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Accuser != 1 || recs[0].Conflict.Topic != c.Topic {
+		t.Fatalf("migrated records = %+v", recs)
+	}
+	if _, err := os.Stat(path + ".v1"); err != nil {
+		t.Fatalf("legacy backup missing: %v", err)
+	}
+	if info, err := os.Stat(path); err != nil || !info.IsDir() {
+		t.Fatalf("path is not a WAL directory after migration: %v", err)
+	}
+	if err := led.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second open replays from the WAL alone; the evidence verifies.
+	led2, recs2, err := OpenLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer led2.Close()
+	if len(recs2) != 1 {
+		t.Fatalf("reopen after migration replayed %d records, want 1", len(recs2))
+	}
+	if _, err := New(Config{ASN: 1, Registry: p.reg, Ledger: led2, Replay: recs2}); err != nil {
+		t.Fatalf("migrated evidence failed verification: %v", err)
+	}
+}
+
+// TestLedgerTamperWithFixedCRCFailsAuditorReplay: framing CRCs catch
+// accidental corruption, but an adversary who can rewrite the file can
+// recompute them. The ledger must still not be trusted on read — the
+// auditor's signature verification is what refuses the forged evidence.
+func TestLedgerTamperWithFixedCRCFailsAuditorReplay(t *testing.T) {
+	p := newTestPKI(t, 3)
+	path := filepath.Join(t.TempDir(), "tamper.ledger")
+	led, _, err := OpenLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(Config{ASN: 1, Registry: p.reg, Ledger: led})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.HandleConflict(makeConflict(t, p, "seal/2/3.1/0")); err != nil {
+		t.Fatal(err)
+	}
+	led.Close()
+
+	seg := newestSegment(t, path)
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := lastWALFrame(t, raw) // aliases raw
+	body := frame[4 : len(frame)-4]
+	idx := -1
+	for i, b := range body {
+		if b == 'A' { // "version-A" payload byte
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		t.Fatal("could not locate payload byte to tamper")
+	}
+	body[idx] = 'X'
+	crc := crc32.Checksum(body, crc32.MakeTable(crc32.Castagnoli))
+	end := frame[len(frame)-4:]
+	end[0], end[1], end[2], end[3] = byte(crc>>24), byte(crc>>16), byte(crc>>8), byte(crc)
+	if err := os.WriteFile(seg, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	led2, recs2, err := OpenLedger(path)
+	if err != nil {
+		t.Fatal(err) // framing is intact; content verification is New's job
+	}
+	defer led2.Close()
+	if len(recs2) != 1 {
+		t.Fatalf("replayed %d records", len(recs2))
+	}
+	if _, err := New(Config{ASN: 1, Registry: p.reg, Ledger: led2, Replay: recs2}); err == nil {
+		t.Fatal("tampered ledger replayed without error")
+	}
+}
+
+// BenchmarkLedgerAppendReplay measures the write path — one appender
+// (every append pays a full commit) against concurrent appenders
+// sharing group commits — and the recovery path (replay of the whole
+// log).
 func BenchmarkLedgerAppendReplay(b *testing.B) {
 	p := newTestPKI(b, 3)
+	// A fixed pool of pre-signed conflicts: the ledger does not dedupe,
+	// so cycling them measures pure append cost, not signing.
+	pool := make([]*gossip.Conflict, 64)
+	for i := range pool {
+		pool[i] = makeConflict(b, p, fmt.Sprintf("seal/2/%d/0", i))
+	}
 
 	b.Run("append", func(b *testing.B) {
-		// Each invocation (the harness re-runs with growing b.N) gets a
-		// fresh file; TempDir is unique per call.
-		path := filepath.Join(b.TempDir(), "append.ledger")
-		led, _, err := OpenLedger(path)
+		led, _, err := OpenLedger(filepath.Join(b.TempDir(), "append.ledger"))
 		if err != nil {
 			b.Fatal(err)
 		}
 		defer led.Close()
-		conflicts := make([]*gossip.Conflict, b.N)
-		for i := range conflicts {
-			conflicts[i] = makeConflict(b, p, fmt.Sprintf("seal/2/%d/0", i))
-		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if err := led.AppendConflict(1, conflicts[i]); err != nil {
+			if err := led.AppendConflict(1, pool[i%len(pool)]); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
+
+	for _, par := range []int{8, 32} {
+		b.Run(fmt.Sprintf("append-group-%d", par), func(b *testing.B) {
+			led, _, err := OpenLedger(filepath.Join(b.TempDir(), "group.ledger"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer led.Close()
+			var next atomic.Uint64
+			b.SetParallelism(par)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := next.Add(1)
+					if err := led.AppendConflict(1, pool[int(i)%len(pool)]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
 
 	b.Run("replay", func(b *testing.B) {
 		path := filepath.Join(b.TempDir(), "replay.ledger")
@@ -185,7 +353,7 @@ func BenchmarkLedgerAppendReplay(b *testing.B) {
 		}
 		const records = 256
 		for i := 0; i < records; i++ {
-			if err := led.AppendConflict(1, makeConflict(b, p, fmt.Sprintf("seal/2/%d/0", i))); err != nil {
+			if err := led.AppendConflict(1, pool[i%len(pool)]); err != nil {
 				b.Fatal(err)
 			}
 		}

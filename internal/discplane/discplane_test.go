@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"net/netip"
+	"sync"
 	"testing"
 
 	"pvr/internal/aspath"
@@ -285,6 +286,71 @@ func TestReplayedQueryDenied(t *testing.T) {
 	}
 	if _, err := Fetch(client, q); err != nil {
 		t.Fatalf("re-signed query: %v", err)
+	}
+}
+
+// TestNonceFloorDeniesPreRecoveryReplay: the durable half of replay
+// defense. A server restarted with NonceFloor set to its recovered
+// stamp high-water mark refuses captured pre-crash queries even though
+// its in-memory seen-set is empty, while freshly signed queries (whose
+// stamps exceed the floor) pass, and OnNonce observes their stamps.
+func TestNonceFloorDeniesPreRecoveryReplay(t *testing.T) {
+	f := newFixture(t)
+
+	// A query signed "before the crash".
+	captured := &Query{Requester: promiseeASN, Prover: proverASN, Role: RolePromisee, Epoch: 1, Prefix: f.pfx}
+	if err := captured.Sign(f.signers[promiseeASN]); err != nil {
+		t.Fatal(err)
+	}
+	floor := NonceStamp(captured.Nonce)
+	if floor == 0 {
+		t.Fatal("signed query carries no nonce stamp")
+	}
+
+	// The "restarted" server: fresh seen-set, recovered floor.
+	var stamps []uint64
+	var mu sync.Mutex
+	srv, err := NewServer(Config{
+		ASN: proverASN, Engine: f.eng, Registry: f.reg,
+		IsPromisee: func(a aspath.ASN) bool { return a == promiseeASN },
+		Logf:       t.Logf,
+		NonceFloor: floor,
+		OnNonce: func(s uint64) {
+			mu.Lock()
+			stamps = append(stamps, s)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundTrip := func(q *Query) error {
+		client, server := netx.Pipe()
+		defer client.Close()
+		defer server.Close()
+		done := make(chan error, 1)
+		go func() { done <- srv.Respond(server) }()
+		_, err := Fetch(client, q)
+		<-done
+		return err
+	}
+	if err := roundTrip(captured); !errors.Is(err, ErrAccessDenied) {
+		t.Fatalf("pre-recovery query replayed into a fresh seen-set: %v, want ErrAccessDenied", err)
+	}
+	fresh := &Query{Requester: promiseeASN, Prover: proverASN, Role: RolePromisee, Epoch: 1, Prefix: f.pfx}
+	if err := fresh.Sign(f.signers[promiseeASN]); err != nil {
+		t.Fatal(err)
+	}
+	if NonceStamp(fresh.Nonce) <= floor {
+		t.Fatalf("stamp not monotonic: %d then %d", floor, NonceStamp(fresh.Nonce))
+	}
+	if err := roundTrip(fresh); err != nil {
+		t.Fatalf("post-recovery query denied: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(stamps) != 1 || stamps[0] != NonceStamp(fresh.Nonce) {
+		t.Fatalf("OnNonce observed %v, want exactly the accepted stamp %d", stamps, NonceStamp(fresh.Nonce))
 	}
 }
 

@@ -52,6 +52,19 @@ type Config struct {
 	// Tracer, when non-nil, receives a DisclosureServed event per granted
 	// view.
 	Tracer *obs.Tracer
+	// NonceFloor, when nonzero, is the recovered anti-replay floor: a
+	// gated query whose nonce stamp (NonceStamp) is at or below it is
+	// denied. A restarting prover sets this to the stamp high-water mark
+	// it durably recorded before going down, which is what stops captured
+	// pre-crash queries from replaying into the empty in-memory seen-set.
+	// Fixed at the recovered value rather than live so querier clock skew
+	// and in-flight reordering cannot deny legitimate concurrent queries.
+	NonceFloor uint64
+	// OnNonce, when set, observes the stamp of every accepted gated
+	// query, for the owner to persist as the next NonceFloor. Called on
+	// the serve path; implementations should not block (an async WAL
+	// append is the intended use).
+	OnNonce func(stamp uint64)
 }
 
 // Server answers DISCLOSE queries from the engine's sealed state,
@@ -326,8 +339,14 @@ func (s *Server) answer(q *Query) ([]byte, *Denial) {
 		if err := q.Verify(s.cfg.Registry); err != nil {
 			return nil, &Denial{Code: DenyAccess, Detail: fmt.Sprintf("requester %s not authenticated", q.Requester)}
 		}
+		if stamp := NonceStamp(q.Nonce); stamp <= s.cfg.NonceFloor {
+			return nil, &Denial{Code: DenyAccess, Detail: "stale query nonce (below recovered floor)"}
+		}
 		if s.nonces.seen(q.Nonce) {
 			return nil, &Denial{Code: DenyAccess, Detail: "replayed query nonce"}
+		}
+		if s.cfg.OnNonce != nil {
+			s.cfg.OnNonce(NonceStamp(q.Nonce))
 		}
 	}
 	// The cache key snapshots the window before building; a concurrent

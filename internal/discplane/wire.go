@@ -25,6 +25,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"pvr/internal/aspath"
 	"pvr/internal/commit"
@@ -266,11 +268,40 @@ func (q *Query) SignedBytes() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// Sign draws a fresh nonce and signs the query as the requester.
+// nonceClock issues the strictly increasing stamps embedded in gated
+// query nonces. It starts at the wall clock so a restarted requester's
+// stamps naturally exceed everything it issued before going down — the
+// property a recovering server's NonceFloor relies on — and advances by
+// max(now, last+1) so bursts within one nanosecond stay monotonic.
+var nonceClock atomic.Uint64
+
+func nextNonceStamp() uint64 {
+	for {
+		now := uint64(time.Now().UnixNano())
+		last := nonceClock.Load()
+		if now <= last {
+			now = last + 1
+		}
+		if nonceClock.CompareAndSwap(last, now) {
+			return now
+		}
+	}
+}
+
+// NonceStamp extracts the monotonic stamp from a gated query nonce (its
+// first 8 bytes, big-endian). Servers persist the high-water mark of
+// accepted stamps and, after a restart, refuse gated queries at or below
+// the recovered floor — the durable half of replay defense that the
+// in-memory seen-set cannot provide across a crash.
+func NonceStamp(n [NonceSize]byte) uint64 { return binary.BigEndian.Uint64(n[:8]) }
+
+// Sign draws a fresh nonce — a monotonic stamp in the first 8 bytes,
+// random bytes after — and signs the query as the requester.
 func (q *Query) Sign(signer sigs.Signer) error {
 	if _, err := rand.Read(q.Nonce[:]); err != nil {
 		return err
 	}
+	binary.BigEndian.PutUint64(q.Nonce[:8], nextNonceStamp())
 	msg, err := q.SignedBytes()
 	if err != nil {
 		return err

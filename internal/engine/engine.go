@@ -150,11 +150,12 @@ type ProverEngine struct {
 	met *metrics
 	tr  *obs.Tracer
 
-	mu     sync.RWMutex // guards epoch transitions vs. accepts/seals
-	epoch  uint64
-	window uint64 // commitment window within the epoch (see Seal.Window)
-	begun  bool
-	shards []*shard
+	mu      sync.RWMutex // guards epoch transitions vs. accepts/seals
+	epoch   uint64
+	window  uint64 // commitment window within the epoch (see Seal.Window)
+	begun   bool
+	resumed bool // epoch entered via ResumeEpoch: never reuse the recovered window
+	shards  []*shard
 }
 
 // New builds an engine. The zero-value fields of cfg are defaulted; ASN,
@@ -221,6 +222,7 @@ func (e *ProverEngine) BeginEpoch(epoch uint64) {
 	e.epoch = epoch
 	e.window = 0
 	e.begun = true
+	e.resumed = false
 	for _, s := range e.shards {
 		s.mu.Lock()
 		s.provers = make(map[prefix.Prefix]*core.Prover)
@@ -232,6 +234,23 @@ func (e *ProverEngine) BeginEpoch(epoch uint64) {
 		s.seal, s.batch, s.index, s.sealed = nil, nil, nil, false
 		s.mu.Unlock()
 	}
+}
+
+// ResumeEpoch is BeginEpoch for a restarted prover: it enters epoch with
+// the window sequence picked up at window — the highest window this
+// participant durably recorded sealing before it went down. Per-prefix
+// state is rebuilt empty (commitments re-randomize on restart, so the old
+// roots cannot be reproduced anyway); what matters is that the next seal
+// set publishes under window+1, never re-using a window whose roots may
+// already have gossiped. Re-sealing the same topics with fresh
+// commitments under a *new* window is ordinary churn; doing so under a
+// recovered window would be a self-inflicted equivocation.
+func (e *ProverEngine) ResumeEpoch(epoch, window uint64) {
+	e.BeginEpoch(epoch)
+	e.mu.Lock()
+	e.window = window
+	e.resumed = true
+	e.mu.Unlock()
 }
 
 // ShardIndexFor maps a prefix to its shard index by FNV-1a over the
@@ -460,7 +479,11 @@ func (e *ProverEngine) SealEpoch() ([]*Seal, error) {
 	if allSealed {
 		return e.sealsLocked(), nil
 	}
-	if e.window > 0 {
+	if e.window > 0 || e.resumed {
+		// A resumed epoch takes the dirty path even at its first seal:
+		// the recovered window (and every one before it) may already have
+		// gossiped roots, so the fresh commitments must publish under the
+		// next window, not re-occupy the recovered one.
 		seals, _, err := e.sealDirtyLocked()
 		return seals, err
 	}

@@ -80,6 +80,59 @@ func testPrefixes(t testing.TB, n int) []prefix.Prefix {
 	return out
 }
 
+// TestResumeEpochNeverReusesRecoveredWindow: a prover restarted
+// mid-epoch resumes with the window sequence it durably recorded; its
+// first seal set after recovery must publish under the NEXT window even
+// though nothing is dirty-in-the-old-sense — re-occupying a recovered
+// window with fresh (re-randomized) commitments would be an equivocation
+// against its own gossiped roots.
+func TestResumeEpochNeverReusesRecoveredWindow(t *testing.T) {
+	e := newEnv(t, 1)
+	eng := e.engine(t, 2, 16)
+	eng.ResumeEpoch(7, 5)
+	if got := eng.Window(); got != 5 {
+		t.Fatalf("Window after resume = %d, want 5", got)
+	}
+	pfx := prefix.V4(10, 0, 0, 0, 24)
+	if _, err := eng.AcceptAnnouncement(e.announce(t, 101, 7, pfx, 2)); err != nil {
+		t.Fatal(err)
+	}
+	seals, err := eng.SealEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range seals {
+		if s.Window != 6 {
+			t.Fatalf("seal window = %d, want 6 (recovered window 5 must not be reused)", s.Window)
+		}
+	}
+	// A second SealEpoch with nothing dirty is a no-op at the same window.
+	again, err := eng.SealEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range again {
+		if s.Window != 6 {
+			t.Fatalf("clean re-seal moved the window to %d", s.Window)
+		}
+	}
+	// A plain BeginEpoch clears the resumed state: window restarts at 0
+	// and the first seal takes the fresh-epoch path.
+	eng.BeginEpoch(8)
+	if _, err := eng.AcceptAnnouncement(e.announce(t, 101, 8, pfx, 2)); err != nil {
+		t.Fatal(err)
+	}
+	seals, err = eng.SealEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range seals {
+		if s.Window != 0 {
+			t.Fatalf("fresh epoch sealed at window %d, want 0", s.Window)
+		}
+	}
+}
+
 func TestEngineEndToEnd(t *testing.T) {
 	const k, nPfx = 3, 50
 	e := newEnv(t, k)

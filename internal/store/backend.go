@@ -1,0 +1,84 @@
+// Package store is the durability subsystem: a segmented write-ahead log
+// with group commit (batched fsync), CRC-framed records with torn-tail
+// tolerance, snapshots of materialized state with log compaction behind
+// them, pluggable backends (file, mem), and a fault-injection wrapper
+// that simulates torn writes, short writes, fsync failures, and kills at
+// arbitrary byte offsets. The auditnet evidence ledger and a
+// Participant's durable state (sealed window sequence, trust-on-first-use
+// pins, disclosure nonce high-water marks) are both built on it.
+package store
+
+import (
+	"errors"
+	"io"
+	"sort"
+	"strings"
+)
+
+// File is one writable backend file. Writes are sequential; Sync makes
+// everything written so far durable.
+type File interface {
+	io.Writer
+	io.Closer
+	Sync() error
+}
+
+// Backend is a flat namespace of named files — the only filesystem
+// surface the WAL and snapshot layers use, and therefore the only thing
+// a fault injector has to wrap. Names are slash-separated relative
+// paths. Implementations must be safe for concurrent use.
+type Backend interface {
+	// Create creates (or truncates) name for writing.
+	Create(name string) (File, error)
+	// Append opens name for appending, creating it when absent.
+	Append(name string) (File, error)
+	// ReadFile returns the entire contents of name.
+	ReadFile(name string) ([]byte, error)
+	// List returns every file name in the backend, sorted.
+	List() ([]string, error)
+	// Remove deletes name.
+	Remove(name string) error
+	// Rename atomically replaces newname with oldname's contents.
+	Rename(oldname, newname string) error
+}
+
+// ErrClosed is returned by operations on a closed Log or Store.
+var ErrClosed = errors.New("store: closed")
+
+// Sub returns a view of b rooted at dir: every name is transparently
+// prefixed with dir+"/", so independent logs (a participant's state
+// store and its evidence ledger) can share one backend without their
+// segment names colliding.
+func Sub(b Backend, dir string) Backend {
+	return &subBackend{b: b, prefix: dir + "/"}
+}
+
+type subBackend struct {
+	b      Backend
+	prefix string
+}
+
+func (s *subBackend) Create(name string) (File, error) { return s.b.Create(s.prefix + name) }
+func (s *subBackend) Append(name string) (File, error) { return s.b.Append(s.prefix + name) }
+func (s *subBackend) ReadFile(name string) ([]byte, error) {
+	return s.b.ReadFile(s.prefix + name)
+}
+func (s *subBackend) Remove(name string) error { return s.b.Remove(s.prefix + name) }
+func (s *subBackend) Rename(oldname, newname string) error {
+	return s.b.Rename(s.prefix+oldname, s.prefix+newname)
+}
+
+func (s *subBackend) List() ([]string, error) {
+	all, err := s.b.List()
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, name := range all {
+		if strings.HasPrefix(name, s.prefix) {
+			out = append(out, strings.TrimPrefix(name, s.prefix))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,227 @@
+package store
+
+import (
+	"errors"
+	"sync"
+)
+
+// Fault errors, distinguishable so tests can assert which injected
+// failure a path actually hit.
+var (
+	// ErrCrashed is returned by every operation after a simulated kill:
+	// the process that owned this backend is gone, and only a reopen of
+	// the underlying backend (a "restart") recovers.
+	ErrCrashed = errors.New("store: simulated crash")
+	// ErrInjectedSync is the injected fsync failure.
+	ErrInjectedSync = errors.New("store: injected fsync failure")
+	// ErrInjectedShortWrite is the injected transient short write.
+	ErrInjectedShortWrite = errors.New("store: injected short write")
+)
+
+// Fault is an error- and crash-injecting Backend wrapper: torn writes
+// (half the bytes land, then the process dies), short writes (half the
+// bytes land, the write errors, the process lives), fsync failures, and
+// kill-at-arbitrary-byte-offset. After a crash trips, every operation
+// returns ErrCrashed until the scenario reopens the underlying backend
+// directly — exactly a process restart. Safe for concurrent use.
+type Fault struct {
+	mu          sync.Mutex
+	inner       Backend
+	crashed     bool
+	crashBudget int64 // bytes until simulated kill; <0 = disarmed
+	armedBudget bool
+	syncFail    bool
+	tornNext    bool
+	shortNext   bool
+}
+
+// NewFault returns a fault injector with no faults armed; Bind attaches
+// it to the backend it wraps.
+func NewFault() *Fault { return &Fault{crashBudget: -1} }
+
+// Bind attaches the injector to inner and returns the wrapped backend.
+// Rebinding (e.g. to the same Mem after a simulated restart) clears the
+// crashed state but keeps armed faults.
+func (f *Fault) Bind(inner Backend) Backend {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.inner = inner
+	f.crashed = false
+	return f
+}
+
+// CrashAfterBytes arms a kill n written bytes from now: the write that
+// crosses the budget persists only the bytes that fit, then the backend
+// behaves dead (ErrCrashed everywhere). n = 0 kills on the next write.
+func (f *Fault) CrashAfterBytes(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashBudget, f.armedBudget = n, true
+}
+
+// FailSyncs makes every subsequent Sync return ErrInjectedSync (until
+// called again with false).
+func (f *Fault) FailSyncs(fail bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncFail = fail
+}
+
+// TearNextWrite makes the next write persist only its first half and
+// then kill the backend — a torn write.
+func (f *Fault) TearNextWrite() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tornNext = true
+}
+
+// ShortNextWrite makes the next write persist only its first half and
+// return ErrInjectedShortWrite, with the backend staying alive.
+func (f *Fault) ShortNextWrite() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.shortNext = true
+}
+
+// Crashed reports whether a simulated kill has tripped.
+func (f *Fault) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// gate returns the inner backend, or ErrCrashed after a kill.
+func (f *Fault) gate() (Backend, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.inner == nil {
+		return nil, errors.New("store: fault injector not bound to a backend")
+	}
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	return f.inner, nil
+}
+
+func (f *Fault) Create(name string) (File, error) {
+	inner, err := f.gate()
+	if err != nil {
+		return nil, err
+	}
+	file, err := inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, file: file}, nil
+}
+
+func (f *Fault) Append(name string) (File, error) {
+	inner, err := f.gate()
+	if err != nil {
+		return nil, err
+	}
+	file, err := inner.Append(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, file: file}, nil
+}
+
+func (f *Fault) ReadFile(name string) ([]byte, error) {
+	inner, err := f.gate()
+	if err != nil {
+		return nil, err
+	}
+	return inner.ReadFile(name)
+}
+
+func (f *Fault) List() ([]string, error) {
+	inner, err := f.gate()
+	if err != nil {
+		return nil, err
+	}
+	return inner.List()
+}
+
+func (f *Fault) Remove(name string) error {
+	inner, err := f.gate()
+	if err != nil {
+		return err
+	}
+	return inner.Remove(name)
+}
+
+func (f *Fault) Rename(oldname, newname string) error {
+	inner, err := f.gate()
+	if err != nil {
+		return err
+	}
+	return inner.Rename(oldname, newname)
+}
+
+type faultFile struct {
+	f    *Fault
+	file File
+}
+
+// plan decides, under the injector's lock, how many of n bytes the next
+// write may persist and which error (if any) follows.
+func (ff *faultFile) plan(n int) (persist int, err error) {
+	f := ff.f
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return 0, ErrCrashed
+	}
+	if f.tornNext {
+		f.tornNext = false
+		f.crashed = true
+		return n / 2, ErrCrashed
+	}
+	if f.shortNext {
+		f.shortNext = false
+		return n / 2, ErrInjectedShortWrite
+	}
+	if f.armedBudget {
+		if int64(n) > f.crashBudget {
+			persist = int(f.crashBudget)
+			f.crashBudget, f.armedBudget = -1, false
+			f.crashed = true
+			return persist, ErrCrashed
+		}
+		f.crashBudget -= int64(n)
+	}
+	return n, nil
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	persist, ferr := ff.plan(len(p))
+	n := 0
+	if persist > 0 {
+		var err error
+		n, err = ff.file.Write(p[:persist])
+		if err != nil {
+			return n, err
+		}
+	}
+	if ferr != nil {
+		return n, ferr
+	}
+	return n, nil
+}
+
+func (ff *faultFile) Sync() error {
+	f := ff.f
+	f.mu.Lock()
+	crashed, syncFail := f.crashed, f.syncFail
+	f.mu.Unlock()
+	if crashed {
+		return ErrCrashed
+	}
+	if syncFail {
+		return ErrInjectedSync
+	}
+	return ff.file.Sync()
+}
+
+func (ff *faultFile) Close() error { return ff.file.Close() }

@@ -1,0 +1,212 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// appendUntilCrash appends records until the injected kill trips,
+// returning how many were acknowledged as durable.
+func appendUntilCrash(t *testing.T, l *Log, limit int) int {
+	t.Helper()
+	acked := 0
+	for i := 0; i < limit; i++ {
+		if err := l.Append(1, []byte(fmt.Sprintf("rec-%04d", i))); err != nil {
+			if !errors.Is(err, ErrCrashed) {
+				t.Fatalf("append failed with %v, want ErrCrashed", err)
+			}
+			return acked
+		}
+		acked++
+	}
+	t.Fatalf("crash never tripped within %d appends", limit)
+	return acked
+}
+
+func TestFaultKillAtArbitraryOffsetNeverLosesAckedRecords(t *testing.T) {
+	// Sweep the kill point across record boundaries: wherever the write
+	// is cut, every acknowledged (fsynced) record must replay, and
+	// nothing fabricated may appear.
+	for offset := int64(0); offset < 600; offset += 37 {
+		m := NewMem()
+		fault := NewFault()
+		l, _, err := OpenLog(fault.Bind(m), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fault.CrashAfterBytes(offset)
+		acked := appendUntilCrash(t, l, 1000)
+		if !fault.Crashed() {
+			t.Fatal("fault reports not crashed")
+		}
+		// "Restart": reopen the underlying backend directly.
+		_, rec, err := OpenLog(m, Options{})
+		if err != nil {
+			t.Fatalf("offset %d: recovery failed: %v", offset, err)
+		}
+		if len(rec.Records) < acked {
+			t.Fatalf("offset %d: %d acked records, only %d recovered", offset, acked, len(rec.Records))
+		}
+		// At most the one in-flight record beyond the acked ones may
+		// surface (its frame may have fully landed before the cut).
+		if len(rec.Records) > acked+1 {
+			t.Fatalf("offset %d: recovered %d records, only %d were ever appended before the crash",
+				offset, len(rec.Records), acked+1)
+		}
+		for i, r := range rec.Records {
+			if want := fmt.Sprintf("rec-%04d", i); string(r.Data) != want {
+				t.Fatalf("offset %d: record %d = %q, want %q", offset, i, r.Data, want)
+			}
+		}
+	}
+}
+
+func TestFaultPowerLossDropsUnsyncedTail(t *testing.T) {
+	m := NewMem()
+	l, _, err := OpenLog(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(1, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	// A complete, CRC-valid frame that reached the OS but was never
+	// fsynced — exactly what a power cut leaves behind.
+	f, err := m.Append(segName(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(appendFrame(nil, 1, []byte("in page cache only"))); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	m.Crash() // power loss before any sync of the tail
+	_, rec, err := OpenLog(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != 1 || string(rec.Records[0].Data) != "durable" {
+		t.Fatalf("recovered %v, want exactly the synced record", rec.Records)
+	}
+}
+
+func TestFaultTornWriteRecoversCommittedPrefix(t *testing.T) {
+	m := NewMem()
+	fault := NewFault()
+	l, _, err := OpenLog(fault.Bind(m), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.Append(1, []byte(fmt.Sprintf("ok-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fault.TearNextWrite()
+	if err := l.Append(1, []byte("torn away")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("torn append returned %v, want ErrCrashed", err)
+	}
+	_, rec, err := OpenLog(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != 5 {
+		t.Fatalf("recovered %d records, want the 5 committed", len(rec.Records))
+	}
+	if rec.TornBytes == 0 {
+		t.Fatal("torn tail not reported")
+	}
+}
+
+func TestFaultShortWriteWedgesButDoesNotKill(t *testing.T) {
+	m := NewMem()
+	fault := NewFault()
+	l, _, err := OpenLog(fault.Bind(m), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(1, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	fault.ShortNextWrite()
+	if err := l.Append(1, []byte("short")); err == nil {
+		t.Fatal("short write not surfaced")
+	}
+	// The log wedges (durability is unknown past the failure) but the
+	// backend is alive: a reopen recovers the committed prefix.
+	if err := l.Append(1, []byte("after")); err == nil {
+		t.Fatal("append accepted on a wedged log")
+	}
+	if fault.Crashed() {
+		t.Fatal("short write must not read as a kill")
+	}
+	_, rec, err := OpenLog(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != 1 || string(rec.Records[0].Data) != "before" {
+		t.Fatalf("recovered %v", rec.Records)
+	}
+}
+
+func TestFaultFsyncFailureWedgesTheLog(t *testing.T) {
+	m := NewMem()
+	fault := NewFault()
+	l, _, err := OpenLog(fault.Bind(m), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(1, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	fault.FailSyncs(true)
+	if err := l.Append(1, []byte("unsynced")); !errors.Is(err, ErrInjectedSync) {
+		t.Fatalf("append under failing fsync returned %v", err)
+	}
+	// fsync failure means durability is unknowable; the log must refuse
+	// further work rather than ack records it cannot promise.
+	fault.FailSyncs(false)
+	if err := l.Append(1, []byte("after")); err == nil {
+		t.Fatal("log accepted appends after an fsync failure")
+	}
+	_, rec, err := OpenLog(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) < 1 || string(rec.Records[0].Data) != "before" {
+		t.Fatalf("recovered %v", rec.Records)
+	}
+}
+
+func TestFaultSnapshotCrashKeepsOldSnapshot(t *testing.T) {
+	m := NewMem()
+	fault := NewFault()
+	s, _, err := Open(fault.Bind(m), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot([]byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(1, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	fault.CrashAfterBytes(4) // dies inside the snapshot temp-file write
+	if err := s.Snapshot([]byte("new, never durable")); err == nil {
+		t.Fatal("snapshot survived the injected crash")
+	}
+	_, rec, err := Open(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rec.Snapshot) != "old" {
+		t.Fatalf("snapshot = %q, want the old durable one", rec.Snapshot)
+	}
+	if len(rec.Records) != 1 || string(rec.Records[0].Data) != "b" {
+		t.Fatalf("records = %v", rec.Records)
+	}
+}

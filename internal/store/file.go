@@ -1,0 +1,119 @@
+package store
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// fileBackend stores files under one root directory on the real
+// filesystem. Durability follows the textbook discipline: file contents
+// are made durable by File.Sync, and the directory entry of a created or
+// renamed file is made durable by fsyncing its parent directory (an
+// fsync on the file alone does not cover its own dir entry).
+type fileBackend struct {
+	root string
+}
+
+// NewFileBackend opens (creating if needed) a backend rooted at dir.
+func NewFileBackend(dir string) (Backend, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty backend dir")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &fileBackend{root: dir}, nil
+}
+
+func (b *fileBackend) path(name string) string {
+	return filepath.Join(b.root, filepath.FromSlash(name))
+}
+
+// syncDir best-effort-fsyncs the directory holding path, making its
+// entries durable. Errors are ignored: not every platform supports
+// directory fsync, and the file-content sync already happened.
+func syncDir(path string) {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}
+
+type osFile struct {
+	f    *os.File
+	path string
+}
+
+func (f *osFile) Write(p []byte) (int, error) { return f.f.Write(p) }
+func (f *osFile) Close() error                { return f.f.Close() }
+func (f *osFile) Sync() error                 { return f.f.Sync() }
+
+func (b *fileBackend) open(name string, flag int) (File, error) {
+	path := b.path(name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	f, err := os.OpenFile(path, flag, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	syncDir(path)
+	return &osFile{f: f, path: path}, nil
+}
+
+func (b *fileBackend) Create(name string) (File, error) {
+	return b.open(name, os.O_RDWR|os.O_CREATE|os.O_TRUNC)
+}
+
+func (b *fileBackend) Append(name string) (File, error) {
+	return b.open(name, os.O_WRONLY|os.O_CREATE|os.O_APPEND)
+}
+
+func (b *fileBackend) ReadFile(name string) ([]byte, error) {
+	return os.ReadFile(b.path(name))
+}
+
+func (b *fileBackend) List() ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(b.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(b.root, path)
+		if err != nil {
+			return err
+		}
+		out = append(out, strings.ReplaceAll(rel, string(filepath.Separator), "/"))
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (b *fileBackend) Remove(name string) error {
+	return os.Remove(b.path(name))
+}
+
+func (b *fileBackend) Rename(oldname, newname string) error {
+	to := b.path(newname)
+	if err := os.MkdirAll(filepath.Dir(to), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(b.path(oldname), to); err != nil {
+		return err
+	}
+	syncDir(to)
+	return nil
+}

@@ -1,0 +1,98 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// FuzzWALRecovery corrupts or truncates a WAL at arbitrary byte offsets
+// and asserts the three recovery invariants: no record that was not
+// fully committed is ever returned, no committed record before the
+// damage is dropped, and recovery never panics. The fuzzer controls the
+// damage point, the damage kind, and how the log was populated.
+func FuzzWALRecovery(f *testing.F) {
+	f.Add(uint16(0), uint8(0), uint8(5))
+	f.Add(uint16(40), uint8(1), uint8(12))
+	f.Add(uint16(999), uint8(2), uint8(1))
+	f.Add(uint16(17), uint8(3), uint8(30))
+	f.Fuzz(func(t *testing.T, off uint16, kind uint8, count uint8) {
+		m := NewMem()
+		l, _, err := OpenLog(m, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([][]byte, 0, int(count))
+		for i := 0; i < int(count); i++ {
+			data := []byte(fmt.Sprintf("committed-%03d", i))
+			if err := l.Append(uint8(i%7+1), data); err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, data)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := m.ReadFile(segName(1))
+		if err != nil {
+			t.Skip("no segment (zero records)")
+		}
+		offset := int(off) % (len(data) + 1)
+		switch kind % 3 {
+		case 0: // truncate at offset
+			data = data[:offset]
+		case 1: // flip a byte
+			if offset == len(data) {
+				t.Skip("flip past end is a no-op")
+			}
+			data[offset] ^= 0x5a
+		case 2: // truncate, then append garbage
+			data = append(data[:offset], 0xde, 0xad, 0xbe, 0xef)
+		}
+		w, err := m.Create(segName(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Write(data)
+		w.Close()
+
+		_, rec, err := OpenLog(m, Options{}) // must not panic
+		if err != nil {
+			// A single segment is always "newest", so damage reads as a
+			// torn tail and recovery must tolerate it. Only a mangled
+			// header may refuse the open.
+			if offset >= hdrSize && kind%3 != 0 {
+				// Corruption strictly inside the record area of the last
+				// segment must be tolerated as a torn tail.
+				t.Fatalf("recovery refused a torn last segment: %v", err)
+			}
+			return
+		}
+		// Never fabricate: every recovered record must be one that was
+		// committed, in order, as a prefix of the appends.
+		if len(rec.Records) > len(want) {
+			t.Fatalf("recovered %d records, only %d were committed", len(rec.Records), len(want))
+		}
+		for i, r := range rec.Records {
+			if !bytes.Equal(r.Data, want[i]) {
+				t.Fatalf("record %d = %q, want %q: recovery fabricated or reordered data", i, r.Data, want[i])
+			}
+		}
+		// Never drop: every damage kind here (truncation, byte flip,
+		// garbage tail) leaves frames wholly before the damage offset
+		// intact on disk, so recovery must return at least those.
+		intact := 0
+		pos := hdrSize
+		for i := range want {
+			fl := len(appendFrame(nil, uint8(i%7+1), want[i]))
+			if pos+fl > offset {
+				break
+			}
+			pos += fl
+			intact++
+		}
+		if len(rec.Records) < intact {
+			t.Fatalf("recovered %d records but %d frames lie wholly before the damage at offset %d", len(rec.Records), intact, offset)
+		}
+	})
+}

@@ -1,0 +1,147 @@
+package store
+
+import (
+	"fmt"
+	"io/fs"
+	"sort"
+	"sync"
+)
+
+// Mem is an in-memory Backend. Contents survive Log/Store reopens for as
+// long as the Mem value is shared, which is what lets tests and the
+// netsim fault matrix model a process restart without touching disk. It
+// also models durability honestly: each file tracks how many of its
+// bytes have been Synced, and Crash reverts every file to that durable
+// prefix — the power-loss (as opposed to process-kill) failure mode.
+type Mem struct {
+	mu    sync.Mutex
+	files map[string]*memData
+}
+
+type memData struct {
+	data    []byte
+	durable int
+}
+
+// NewMem returns an empty in-memory backend.
+func NewMem() *Mem {
+	return &Mem{files: make(map[string]*memData)}
+}
+
+// Crash simulates power loss: every file reverts to its last synced
+// length, and files never synced disappear entirely.
+func (m *Mem) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, f := range m.files {
+		if f.durable == 0 {
+			delete(m.files, name)
+			continue
+		}
+		f.data = f.data[:f.durable]
+	}
+}
+
+type memFile struct {
+	m    *Mem
+	name string
+
+	mu     sync.Mutex
+	closed bool
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, fmt.Errorf("store: write to closed mem file %s", f.name)
+	}
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	d, ok := f.m.files[f.name]
+	if !ok {
+		return 0, fmt.Errorf("store: mem file %s removed under an open handle", f.name)
+	}
+	d.data = append(d.data, p...)
+	return len(p), nil
+}
+
+func (f *memFile) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return fmt.Errorf("store: sync of closed mem file %s", f.name)
+	}
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	if d, ok := f.m.files[f.name]; ok {
+		d.durable = len(d.data)
+	}
+	return nil
+}
+
+func (f *memFile) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.closed = true
+	return nil
+}
+
+func (m *Mem) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files[name] = &memData{}
+	return &memFile{m: m, name: name}, nil
+}
+
+func (m *Mem) Append(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		m.files[name] = &memData{}
+	}
+	return &memFile{m: m, name: name}, nil
+}
+
+func (m *Mem) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d, ok := m.files[name]
+	if !ok {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	}
+	return append([]byte(nil), d.data...), nil
+}
+
+func (m *Mem) List() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.files))
+	for name := range m.files {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (m *Mem) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(m.files, name)
+	return nil
+}
+
+func (m *Mem) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d, ok := m.files[oldname]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldname, Err: fs.ErrNotExist}
+	}
+	delete(m.files, oldname)
+	m.files[newname] = d
+	return nil
+}

@@ -1,0 +1,41 @@
+package store
+
+import "pvr/internal/obs"
+
+// Metrics is the subsystem's pvr_store_* family set. A nil registry
+// yields working detached handles, so every code path can count
+// unconditionally; one Metrics value may be shared by several logs in
+// the same registry (a participant's state store and its ledger).
+type Metrics struct {
+	appends   *obs.Counter
+	commits   *obs.Counter
+	walBytes  *obs.Counter
+	batchRecs *obs.Histogram
+	commitSec *obs.Histogram
+	segments  *obs.Gauge
+	snapshots *obs.Counter
+	compacted *obs.Counter
+	recSec    *obs.Histogram
+	recRecs   *obs.Counter
+	tornTails *obs.Counter
+	errs      *obs.Counter
+}
+
+// NewMetrics registers the pvr_store_* families into r (nil for
+// detached handles).
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		appends:   obs.NewCounter(r, "pvr_store_appends_total", "WAL records appended (sync and async)"),
+		commits:   obs.NewCounter(r, "pvr_store_commits_total", "group commits — one fsync each, however many records rode it"),
+		walBytes:  obs.NewCounter(r, "pvr_store_wal_bytes_total", "bytes written to WAL segments"),
+		batchRecs: obs.NewHistogram(r, "pvr_store_commit_batch_records", "records per group commit", obs.SizeBuckets(1<<12)),
+		commitSec: obs.NewHistogram(r, "pvr_store_commit_seconds", "group-commit latency: batch write + fsync", nil),
+		segments:  obs.NewGauge(r, "pvr_store_segments", "live WAL segment files"),
+		snapshots: obs.NewCounter(r, "pvr_store_snapshots_total", "state snapshots written"),
+		compacted: obs.NewCounter(r, "pvr_store_compacted_segments_total", "WAL segments deleted behind snapshots"),
+		recSec:    obs.NewHistogram(r, "pvr_store_recovery_seconds", "open-time recovery: snapshot load + WAL replay", nil),
+		recRecs:   obs.NewCounter(r, "pvr_store_recovered_records_total", "WAL records replayed at open"),
+		tornTails: obs.NewCounter(r, "pvr_store_torn_tails_total", "torn WAL tails truncated at recovery"),
+		errs:      obs.NewCounter(r, "pvr_store_errors_total", "WAL flush and snapshot errors"),
+	}
+}

@@ -1,0 +1,224 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Store is a Log plus snapshots and compaction: the owner periodically
+// serializes its materialized state and calls Snapshot, which makes the
+// snapshot durable (temp file, fsync, atomic rename), rolls the active
+// segment, and deletes every segment and older snapshot the new one
+// covers. Open recovers the latest durable snapshot and replays only
+// the records after it. Safe for concurrent use.
+//
+// Snapshot files are snap-%016x.snap, named and stamped with the
+// sequence number they cover up to (exclusive):
+//
+//	snapMagic | u64 seq | u32 length | payload | u32 CRC-32C(payload)
+//
+// A crash at any point leaves either the old snapshot or the new one
+// durable, never neither: the temp file is invisible to recovery until
+// the rename, and compaction runs only after the rename is on disk.
+type Store struct {
+	log *Log
+	b   Backend
+	met *Metrics
+
+	// sinceSnap counts records appended since the last snapshot; the
+	// owner polls SnapshotDue at its own cadence.
+	sinceSnap atomic.Int64
+
+	// snapMu serializes snapshots against each other and Close.
+	snapMu sync.Mutex
+	closed bool
+}
+
+// Open opens (creating if needed) a store on b: the latest durable
+// snapshot is loaded, the WAL after it is replayed, and the returned
+// Recovery carries both for the owner to fold together.
+func Open(b Backend, opt Options) (*Store, *Recovery, error) {
+	t0 := time.Now()
+	opt = opt.withDefaults()
+	names, err := b.List()
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: list: %w", err)
+	}
+	// Newest durable snapshot wins; torn or corrupt ones (a crash during
+	// the temp-file write never renames, but a corrupt backend is still
+	// handled) are skipped in favor of the next older. Leftover temp
+	// files are swept.
+	var (
+		snapPayload []byte
+		snapSeq     uint64
+	)
+	var snaps []string
+	for _, name := range names {
+		if strings.HasSuffix(name, ".tmp") {
+			_ = b.Remove(name)
+			continue
+		}
+		var s uint64
+		if n, err := fmt.Sscanf(name, "snap-%016x.snap", &s); err == nil && n == 1 && name == snapName(s) {
+			snaps = append(snaps, name)
+		}
+	}
+	for i := len(snaps) - 1; i >= 0; i-- {
+		data, err := b.ReadFile(snaps[i])
+		if err != nil {
+			continue
+		}
+		payload, seq, err := parseSnapshot(data)
+		if err != nil {
+			continue
+		}
+		snapPayload, snapSeq = payload, seq
+		break
+	}
+	log, rec, err := openLog(b, opt, snapSeq)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec.Snapshot, rec.SnapshotSeq = snapPayload, snapSeq
+	rec.Elapsed = time.Since(t0)
+	log.met.recSec.Observe(rec.Elapsed.Seconds())
+	s := &Store{log: log, b: b, met: log.met}
+	s.sinceSnap.Store(int64(len(rec.Records)))
+	return s, rec, nil
+}
+
+func parseSnapshot(data []byte) ([]byte, uint64, error) {
+	if len(data) < len(snapMagic)+8+4+4 {
+		return nil, 0, fmt.Errorf("store: snapshot truncated")
+	}
+	if string(data[:len(snapMagic)]) != snapMagic {
+		return nil, 0, fmt.Errorf("store: bad snapshot magic")
+	}
+	seq := binary.BigEndian.Uint64(data[len(snapMagic):])
+	n := int(binary.BigEndian.Uint32(data[len(snapMagic)+8:]))
+	body := data[len(snapMagic)+12:]
+	if len(body) != n+4 {
+		return nil, 0, fmt.Errorf("store: snapshot length mismatch")
+	}
+	payload := body[:n]
+	if crc32.Checksum(payload, crcTable) != binary.BigEndian.Uint32(body[n:]) {
+		return nil, 0, fmt.Errorf("store: snapshot CRC mismatch")
+	}
+	return append([]byte(nil), payload...), seq, nil
+}
+
+// Append durably appends one record (see Log.Append).
+func (s *Store) Append(t uint8, data []byte) error {
+	err := s.log.Append(t, data)
+	if err == nil {
+		s.sinceSnap.Add(1)
+	}
+	return err
+}
+
+// AppendAsync enqueues a record without waiting (see Log.AppendAsync).
+func (s *Store) AppendAsync(t uint8, data []byte) {
+	s.log.AppendAsync(t, data)
+	s.sinceSnap.Add(1)
+}
+
+// Sync flushes everything pending.
+func (s *Store) Sync() error { return s.log.Sync() }
+
+// SnapshotDue reports whether SnapshotEvery records have accumulated
+// since the last snapshot.
+func (s *Store) SnapshotDue() bool {
+	return s.sinceSnap.Load() >= int64(s.log.opt.SnapshotEvery)
+}
+
+// Snapshot makes state durable and compacts the WAL behind it: every
+// record appended before this call is superseded by the snapshot, and
+// the segments holding them are deleted. Appends that race this call
+// simply land after the boundary and survive replay.
+func (s *Store) Snapshot(state []byte) error {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.log.Sync(); err != nil {
+		return err
+	}
+	// Freeze flushes so the boundary sequence is exact: pending appends
+	// queue behind wmu and commit after the snapshot, with seq >= boundary.
+	l := s.log
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	seq := l.seq.Load()
+	final, tmp := snapName(seq), snapName(seq)+".tmp"
+	buf := append([]byte(snapMagic), 0, 0, 0, 0, 0, 0, 0, 0)
+	binary.BigEndian.PutUint64(buf[len(snapMagic):], seq)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(state)))
+	buf = append(buf, state...)
+	buf = binary.BigEndian.AppendUint32(buf, crc32.Checksum(state, crcTable))
+	f, err := s.b.Create(tmp)
+	if err != nil {
+		s.met.errs.Inc()
+		return fmt.Errorf("store: snapshot create: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		_ = f.Close()
+		s.met.errs.Inc()
+		return fmt.Errorf("store: snapshot write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		s.met.errs.Inc()
+		return fmt.Errorf("store: snapshot fsync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		s.met.errs.Inc()
+		return fmt.Errorf("store: snapshot close: %w", err)
+	}
+	if err := s.b.Rename(tmp, final); err != nil {
+		s.met.errs.Inc()
+		return fmt.Errorf("store: snapshot rename: %w", err)
+	}
+	s.met.snapshots.Inc()
+	// The snapshot is durable; everything before seq is dead weight.
+	// Roll the active segment so it is deletable too, then sweep.
+	l.rollLocked()
+	names, err := s.b.List()
+	if err != nil {
+		return nil
+	}
+	var compacted uint64
+	for _, name := range names {
+		var old uint64
+		if n, err := fmt.Sscanf(name, "wal-%016x.log", &old); err == nil && n == 1 && name == segName(old) && old < seq {
+			if s.b.Remove(name) == nil {
+				compacted++
+				l.segCount--
+			}
+		}
+		if n, err := fmt.Sscanf(name, "snap-%016x.snap", &old); err == nil && n == 1 && name == snapName(old) && old < seq {
+			_ = s.b.Remove(name)
+		}
+	}
+	l.met.segments.Set(int64(l.segCount))
+	s.met.compacted.Add(compacted)
+	s.sinceSnap.Store(0)
+	return nil
+}
+
+// Log exposes the underlying write-ahead log.
+func (s *Store) Log() *Log { return s.log }
+
+// Close flushes and closes the log. The owner snapshots first when it
+// wants a replay-free next boot; Close itself never discards records.
+func (s *Store) Close() error {
+	s.snapMu.Lock()
+	s.closed = true
+	s.snapMu.Unlock()
+	return s.log.Close()
+}

@@ -46,6 +46,11 @@ type participantConfig struct {
 	discloseListen string
 	promisees      []ASN
 
+	storeDir     string
+	storeBackend StoreBackend
+	storeFault   *StoreFault
+	storeCfg     StoreConfig
+
 	zkBind  bool
 	ringKey *RingKey
 	ringDir *RingDirectory

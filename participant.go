@@ -21,6 +21,7 @@ import (
 	"pvr/internal/privplane"
 	"pvr/internal/route"
 	"pvr/internal/sigs"
+	"pvr/internal/store"
 	"pvr/internal/trace"
 	"pvr/internal/updplane"
 )
@@ -59,6 +60,17 @@ type Participant struct {
 	plane   *UpdatePlane
 	auditor *Auditor
 	ledger  *Ledger
+
+	// dstate is the participant's durable state (nil without WithStore):
+	// sealed window position, trust-on-first-use pins, and the
+	// disclosure-nonce high-water mark, recovered at Open and written
+	// ahead of publication while running. storeBk is the resolved
+	// backend (shared with the ledger under "ledger/" when WithLedger is
+	// absent); storeMet the pvr_store_* metric set both logs share.
+	dstate     *durableState
+	storeBk    store.Backend
+	storeMet   *store.Metrics
+	storeStats StoreStats
 
 	// priv is the participant's privacy plane: ring-signature checking for
 	// anonymous provider queries it serves, ring signing for anonymous
@@ -185,6 +197,7 @@ func Open(ctx context.Context, opts ...Option) (*Participant, error) {
 	// failed Open also rolls back the keys it added, so a caller-shared
 	// registry is not poisoned for the retry.
 	for _, step := range []func() error{
+		p.buildStore,
 		p.buildEngine,
 		p.buildPriv,
 		p.buildAuditor,
@@ -216,7 +229,16 @@ func (p *Participant) buildEngine() error {
 	if err != nil {
 		return wrapErr("open", err)
 	}
-	eng.BeginEpoch(1)
+	// A recovered store resumes the sealed sequence: the engine re-enters
+	// the epoch at the recovered window, so the first seal after restart
+	// publishes at window+1 — commitments re-randomize on re-seal, and
+	// reusing a window number the network already saw would read as
+	// self-equivocation.
+	if p.dstate != nil && p.storeStats.RecoveredEpoch != 0 {
+		eng.ResumeEpoch(p.storeStats.RecoveredEpoch, p.storeStats.RecoveredWindow)
+	} else {
+		eng.BeginEpoch(1)
+	}
 	p.eng = eng
 	if len(p.pfxs) == 0 {
 		return nil
@@ -243,6 +265,13 @@ func (p *Participant) buildEngine() error {
 	}
 	if _, err := eng.SealEpoch(); err != nil {
 		return wrapErr("open", err)
+	}
+	// Write-ahead: the window lands on disk before buildAuditor (and
+	// later gossip or BGP) publishes any seal from it.
+	if p.dstate != nil {
+		if err := p.dstate.logWindow(eng.Epoch(), eng.Window()); err != nil {
+			return wrapErr("open", err)
+		}
 	}
 	return nil
 }
@@ -283,15 +312,33 @@ func (p *Participant) buildAuditor() error {
 		ASN: p.asn, Registry: p.discSealMemo.Bind(p.reg),
 		Obs: p.obsReg, Tracer: p.tracer,
 	}
-	if p.cfg.ledgerPath != "" {
-		led, recs, err := auditnet.OpenLedger(p.cfg.ledgerPath)
-		if err != nil {
-			return wrapErr("open", err)
-		}
+	var (
+		led  *auditnet.Ledger
+		recs []auditnet.LedgerRecord
+		err  error
+	)
+	switch {
+	case p.cfg.ledgerPath != "":
+		led, recs, err = auditnet.OpenLedgerAt(p.cfg.ledgerPath, p.storeOptions())
+	case p.storeBk != nil:
+		// No explicit ledger path, but a durable store: the evidence
+		// ledger rides the same backend under its own WAL. Convictions
+		// are never snapshotted — replay re-verifies every signature, so
+		// a tampered store cannot mint one.
+		led, recs, err = auditnet.OpenLedgerBackend(store.Sub(p.storeBk, "ledger"), p.storeOptions())
+	}
+	if err != nil {
+		return wrapErr("open", err)
+	}
+	if led != nil {
 		p.ledger = led
 		cfg.Ledger, cfg.Replay = led, recs
 		if len(recs) > 0 {
-			p.cfg.logf("pvr: replayed %d evidence records from %s", len(recs), led.Path())
+			src := led.Path()
+			if src == "" {
+				src = "the durable store"
+			}
+			p.cfg.logf("pvr: replayed %d evidence records from %s", len(recs), src)
 		}
 		p.addCloser(func() {
 			if err := led.Close(); err != nil {
@@ -366,6 +413,16 @@ func (p *Participant) buildPlane() error {
 // onWindow publishes the window's fresh seals to the auditor and queues
 // the changed prefixes for re-advertisement to every live session.
 func (p *Participant) onWindow(w updplane.WindowResult) {
+	// Write-ahead: the window number must be durable before any of its
+	// seals escape the process. If the log cannot commit it, publishing
+	// anyway could let a post-crash restart resume below a window the
+	// network has seen — so publication is suppressed instead.
+	if p.dstate != nil {
+		if err := p.dstate.logWindow(p.eng.Epoch(), w.Window); err != nil {
+			p.cfg.logf("pvr: window %d: durable log failed, suppressing publication: %v", w.Window, err)
+			return
+		}
+	}
 	for _, s := range w.Seals {
 		if _, _, err := p.auditor.AddRecord(auditnet.Record{Epoch: s.Epoch, S: s.Statement(), Trace: s.Trace}); err != nil {
 			p.cfg.logf("pvr: window %d audit: %v", w.Window, err)
@@ -395,6 +452,9 @@ func (p *Participant) onWindow(w updplane.WindowResult) {
 	p.cfg.logf("pvr: window %d: %d events, %d dirty prefixes, rebuilt %d/%d shards, re-advertised %d, withdrew %d (seal %s)",
 		w.Window, w.Events, w.DirtyPrefixes, len(w.Rebuilt), w.TotalShards, sent, withdrawn,
 		w.SealLatency.Round(time.Microsecond))
+	if p.dstate != nil {
+		p.dstate.maybeSnapshot()
+	}
 }
 
 // bind starts the BGP and gossip listeners. The lifecycle closer is
@@ -437,7 +497,7 @@ func (p *Participant) bind() error {
 		for _, a := range p.cfg.promisees {
 			promisees[a] = true
 		}
-		srv, err := discplane.NewServer(discplane.Config{
+		dcfg := discplane.Config{
 			ASN:        p.asn,
 			Engine:     p.eng,
 			Registry:   p.reg,
@@ -447,7 +507,15 @@ func (p *Participant) bind() error {
 			Logf:       p.cfg.logf,
 			Obs:        p.obsReg,
 			Tracer:     p.tracer,
-		})
+		}
+		if p.dstate != nil {
+			// Replay protection across restarts: nonces served before the
+			// crash are at or below the recovered high-water mark, and
+			// every nonce served from now on is logged behind the mark.
+			dcfg.NonceFloor = p.dstate.nonceFloor()
+			dcfg.OnNonce = p.dstate.logNonce
+		}
+		srv, err := discplane.NewServer(dcfg)
 		if err != nil {
 			return wrapErr("open", err)
 		}
@@ -741,6 +809,14 @@ func (p *Participant) verifySealedRoute(peer aspath.ASN, r route.Route, u bgp.Up
 		*haveKey = true
 		fp := pinned.Fingerprint()
 		p.cfg.logf("pvr: %s pinned %s's key (trust-on-first-use, fp %x…)", p.asn, peer, fp[:6])
+		// Persist the pin so the peer cannot present a different key
+		// after our restart. Failure is logged, not fatal: the chain
+		// verified, the route is good — only restart continuity suffers.
+		if p.dstate != nil {
+			if err := p.dstate.logPin(peer, u.Attachments["pvr/key"]); err != nil {
+				p.cfg.logf("pvr: %s pin of %s not durable: %v", p.asn, peer, err)
+			}
+		}
 	}
 	// Feed the session-carried seal into the audit pool: what a peer
 	// shows us over BGP must be the same statement it gossips, and the
@@ -1012,6 +1088,9 @@ type ParticipantStats struct {
 	DisclosureQueries                    uint64
 	// Plane is the streaming update plane's counter snapshot.
 	Plane UpdatePlaneStats
+	// Store reports what the durable store recovered at Open (zero when
+	// running without one).
+	Store StoreStats
 }
 
 // Stats snapshots the participant.
@@ -1036,6 +1115,7 @@ func (p *Participant) Stats() ParticipantStats {
 		AuditRecords:      p.auditor.Store().Records(),
 		Convictions:       len(p.auditor.Convictions()),
 		Plane:             p.plane.Stats(),
+		Store:             p.storeStats,
 	}
 }
 

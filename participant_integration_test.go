@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"net/netip"
+	"os"
 	"testing"
 	"time"
 
@@ -245,9 +246,14 @@ func TestOpenConfigErrors(t *testing.T) {
 	// A failed Open must roll back the keys it added, so a shared
 	// registry is not poisoned for the retry.
 	reg := pvr.NewRegistry()
+	// A path through a regular file cannot become the ledger directory.
+	blocker := t.TempDir() + "/blocker"
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := pvr.Open(ctx, pvr.WithASN(7), pvr.WithRegistry(reg),
 		pvr.WithOriginate(pvr.MustParsePrefix("203.0.113.0/24")),
-		pvr.WithLedger(t.TempDir()+"/no/such/dir/ledger")); err == nil {
+		pvr.WithLedger(blocker+"/ledger")); err == nil {
 		t.Fatal("Open with an unopenable ledger succeeded")
 	}
 	retry, err := pvr.Open(ctx, pvr.WithASN(7), pvr.WithRegistry(reg),

@@ -32,6 +32,10 @@
 #      fails, with the same best-of-3 retry as the seal gate since it is
 #      a bucketed wall-clock quantile.
 #
+# And finally the E18 durable store against the BENCH_store.json
+# baseline (gates 5 and 6, described at their site below): an absolute
+# 10x group-commit speedup floor and a +100% recovery-time bound.
+#
 # Usage: scripts/benchgate.sh [baseline.json]
 set -eu
 
@@ -144,6 +148,80 @@ else
                 attempt=$(( attempt + 1 ))
                 go run ./cmd/pvrbench -e priv -prefixes "$base_privpfx" -ring "$base_ringk" -json "$tmp" >/dev/null
                 cur_ringver="$(jq "$priv_rows.ring_verify_p50_us" "$tmp")"
+            done
+        fi
+    fi
+fi
+# Gates 5 & 6 — the durable store, against the BENCH_store.json
+# baseline (skipped with a warning when it doesn't exist yet):
+#
+#   5. group-commit speedup (speedup at the baseline's largest appender
+#      count) — an absolute floor of 10x over the one-fsync-per-record
+#      baseline, not a relative drift bound: batching appenders behind a
+#      shared fsync is the subsystem's headline property, and losing it
+#      (a serialized flush leader, an accidental fsync per record) drops
+#      the ratio to ~1x regardless of machine speed. Best-of-3, since
+#      both sides of the ratio are wall-clock.
+#   6. recovery time (recovery_ms at the baseline's largest WAL size) —
+#      more than +100% fails, best-of-3. Recovery is a few milliseconds
+#      of sequential reads, so only a categorical slowdown (quadratic
+#      replay, per-record fsync on open) doubles it.
+store_baseline="BENCH_store.json"
+store_row='(if type=="object" then .rows else . end) | max_by(.appenders)'
+store_rec='(if type=="object" then .rows else . end) | max_by(.recovery_records)'
+if [ ! -f "$store_baseline" ]; then
+    echo "benchgate: WARN — baseline $store_baseline not found; durable-store gates skipped" >&2
+    echo "benchgate: generate it with: make bench" >&2
+else
+    base_appenders="$(jq "$store_row.appenders" "$store_baseline")"
+    base_speedup="$(jq "$store_row.speedup" "$store_baseline")"
+    base_recms="$(jq "$store_rec.recovery_ms" "$store_baseline")"
+    base_recn="$(jq "$store_rec.recovery_records" "$store_baseline")"
+    if [ -z "$base_speedup" ] || [ "$base_speedup" = "null" ]; then
+        echo "benchgate: WARN — baseline $store_baseline has no speedup column; durable-store gates skipped" >&2
+        echo "benchgate: refresh it with: make bench" >&2
+    else
+        go run ./cmd/pvrbench -e store -appenders "$base_appenders" -json "$tmp" >/dev/null
+        cur_speedup="$(jq "$store_row.speedup" "$tmp")"
+        cur_recms="$(jq "$store_rec.recovery_ms" "$tmp")"
+
+        # Gate 5 — group-commit speedup, absolute 10x floor, best-of-3.
+        attempt=1
+        while :; do
+            echo "benchgate: group-commit speedup at ${base_appenders} appenders: baseline ${base_speedup}x, current ${cur_speedup}x, floor 10x (attempt ${attempt}/3)"
+            if awk -v cur="$cur_speedup" 'BEGIN { exit !(cur >= 10) }'; then
+                break
+            fi
+            if [ "$attempt" -ge 3 ]; then
+                echo "benchgate: FAIL — group commit under 10x over per-record fsync in 3 runs" >&2
+                echo "benchgate: the WAL is likely syncing per record; see internal/store" >&2
+                exit 1
+            fi
+            attempt=$(( attempt + 1 ))
+            go run ./cmd/pvrbench -e store -appenders "$base_appenders" -json "$tmp" >/dev/null
+            cur_speedup="$(jq "$store_row.speedup" "$tmp")"
+            cur_recms="$(jq "$store_rec.recovery_ms" "$tmp")"
+        done
+
+        # Gate 6 — recovery time, float threshold with best-of-3 retry.
+        if [ -z "$base_recms" ] || [ "$base_recms" = "null" ]; then
+            echo "benchgate: WARN — baseline has no recovery_ms column; recovery gate skipped" >&2
+        else
+            attempt=1
+            while :; do
+                echo "benchgate: recovery of ${base_recn} records (ms): baseline ${base_recms}, current ${cur_recms}, limit +100% (attempt ${attempt}/3)"
+                if awk -v base="$base_recms" -v cur="$cur_recms" \
+                    'BEGIN { exit !(base > 0 && cur <= base * 2.0) }'; then
+                    break
+                fi
+                if [ "$attempt" -ge 3 ]; then
+                    echo "benchgate: FAIL — WAL recovery slowed by more than 100% in 3 runs (or baseline is zero)" >&2
+                    echo "benchgate: if the slowdown is intentional, refresh the baseline with: make bench" >&2
+                    exit 1
+                fi
+                attempt=$(( attempt + 1 ))
+                go run ./cmd/pvrbench -e store -appenders "$base_appenders" -json "$tmp" >/dev/null
+                cur_recms="$(jq "$store_rec.recovery_ms" "$tmp")"
             done
         fi
     fi

@@ -39,6 +39,7 @@ go build -o "$workdir/pvrd" ./cmd/pvrd
     -gossip-listen 127.0.0.1:0 \
     -originate 203.0.113.0/24 \
     -debug-listen 127.0.0.1:0 \
+    -store "$workdir/state" \
     >"$workdir/pvrd.log" 2>&1 &
 pid=$!
 
@@ -90,7 +91,9 @@ fi
 # pvr_priv_* families are the privacy plane's: registered whenever a
 # participant boots (ring-signed anonymous queries and ZK openings are
 # always servable), so a daemon that drops the plane's Obs plumbing
-# loses them from the scrape and fails here.
+# loses them from the scrape and fails here. The pvr_store_* families
+# are the durable store's — daemon A runs with -store, so its appends
+# and group commits are live, not just registered.
 for family in \
     pvr_engine_seals_total \
     pvr_upd_events_total \
@@ -106,7 +109,11 @@ for family in \
     pvr_priv_proofs_built_total \
     pvr_priv_proof_verifies_total \
     pvr_priv_ring_verify_seconds_bucket \
-    pvr_priv_proof_gen_seconds_bucket
+    pvr_priv_proof_gen_seconds_bucket \
+    pvr_store_appends_total \
+    pvr_store_commits_total \
+    pvr_store_commit_seconds_bucket \
+    pvr_store_segments
 do
     if ! printf '%s\n' "$metrics" | grep -q "^$family"; then
         echo "metricsmoke: FAIL — family $family missing from /metrics" >&2
